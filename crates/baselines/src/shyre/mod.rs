@@ -1,0 +1,17 @@
+//! The SHyRe family (Wang & Kleinberg, ICLR 2024).
+//!
+//! * [`ShyreSupervised`] — the supervised sampler/classifier pipeline, in
+//!   its Count (structural features) and Motif (plus motif counts)
+//!   flavours,
+//! * [`ShyreUnsup`] — the unsupervised, multiplicity-aware variant from
+//!   the paper's appendix,
+//! * [`rho`] — the ρ(n, k) clique-size statistics that drive candidate
+//!   sampling.
+
+pub mod rho;
+pub mod supervised;
+pub mod unsup;
+
+pub use rho::RhoStatistics;
+pub use supervised::{ShyreFlavor, ShyreSupervised};
+pub use unsup::ShyreUnsup;

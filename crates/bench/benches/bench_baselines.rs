@@ -1,0 +1,42 @@
+//! Criterion bench: method runtime comparison on one affiliation dataset
+//! (the Fig. 5 shape at micro scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use marioh_bench::runner::{build_method, cell_rng};
+use marioh_datasets::split::split_source_target;
+use marioh_datasets::PaperDataset;
+use marioh_hypergraph::projection::project;
+
+fn bench_baselines(c: &mut Criterion) {
+    let data = PaperDataset::Crime.generate_default();
+    let reduced = data.hypergraph.reduce_multiplicity();
+    let mut rng = cell_rng(data.name, "split", 0);
+    let (source, target) = split_source_target(&reduced, &mut rng);
+    let g = project(&target);
+
+    let mut group = c.benchmark_group("methods_on_crime");
+    group.sample_size(10);
+    for method in [
+        "MaxClique",
+        "CliqueCovering",
+        "Bayesian-MDL",
+        "SHyRe-Unsup",
+        "SHyRe-Count",
+        "MARIOH",
+    ] {
+        // Training happens outside the timed loop (Fig. 5 separates the
+        // stages; inference cost is what differs most).
+        let mut rng = cell_rng(data.name, method, 0);
+        let m = build_method(method, &source, &mut rng).expect("known method");
+        group.bench_with_input(BenchmarkId::from_parameter(method), &m, |b, m| {
+            b.iter(|| {
+                let mut rng = cell_rng(data.name, method, 1);
+                std::hint::black_box(m.reconstruct(&g, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

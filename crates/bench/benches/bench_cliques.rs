@@ -1,0 +1,35 @@
+//! Criterion bench: maximal-clique enumeration (Bron–Kerbosch), the
+//! shared candidate generator of every method.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use marioh_datasets::hypercl::dblp_like;
+use marioh_datasets::PaperDataset;
+use marioh_hypergraph::clique::maximal_cliques;
+use marioh_hypergraph::projection::project;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_cliques(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maximal_cliques");
+    // Sparse co-authorship-like graphs of growing size.
+    for scale in [0.5, 1.0, 2.0] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = project(&dblp_like(scale, &mut rng));
+        group.bench_with_input(
+            BenchmarkId::new("hypercl", format!("edges={}", g.num_edges())),
+            &g,
+            |b, g| b.iter(|| std::hint::black_box(maximal_cliques(g))),
+        );
+    }
+    // A dense contact graph (the hard regime).
+    let data = PaperDataset::Enron.generate_scaled(0.5);
+    let g = project(&data.hypergraph);
+    group.bench_with_input(
+        BenchmarkId::new("contact", format!("edges={}", g.num_edges())),
+        &g,
+        |b, g| b.iter(|| std::hint::black_box(maximal_cliques(g))),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_cliques);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench: clique feature extraction for all three feature
+//! modes (the per-candidate cost inside the search loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use marioh_core::features::{extract, FeatureMode};
+use marioh_datasets::PaperDataset;
+use marioh_hypergraph::clique::maximal_cliques;
+use marioh_hypergraph::projection::project;
+
+fn bench_features(c: &mut Criterion) {
+    let data = PaperDataset::Enron.generate_scaled(0.5);
+    let g = project(&data.hypergraph);
+    let cliques = maximal_cliques(&g);
+    assert!(!cliques.is_empty());
+    let mut group = c.benchmark_group("feature_extraction");
+    for mode in [
+        FeatureMode::Multiplicity,
+        FeatureMode::Count,
+        FeatureMode::Motif,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for clique in &cliques {
+                        let f = extract(mode, &g, clique);
+                        acc += f[0];
+                    }
+                    std::hint::black_box(acc)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

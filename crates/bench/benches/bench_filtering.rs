@@ -1,0 +1,32 @@
+//! Criterion bench: Algorithm 2 (theoretically-guaranteed filtering)
+//! across projected-graph sizes — the left panel of Fig. 7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use marioh_core::filtering::filtering;
+use marioh_datasets::hypercl::dblp_like;
+use marioh_hypergraph::projection::project;
+use marioh_hypergraph::Hypergraph;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_filtering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filtering");
+    for scale in [0.25, 0.5, 1.0, 2.0] {
+        let mut rng = StdRng::seed_from_u64(42);
+        let h = dblp_like(scale, &mut rng);
+        let g = project(&h);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("edges={}", g.num_edges())),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    let mut rec = Hypergraph::new(g.num_nodes());
+                    std::hint::black_box(filtering(g, &mut rec))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filtering);
+criterion_main!(benches);

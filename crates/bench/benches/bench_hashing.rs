@@ -1,0 +1,70 @@
+//! Ablation bench for a DESIGN.md choice: the custom Fx hasher vs. the
+//! standard library's SipHash, on the reconstruction loop's hot
+//! operation (weight lookups / decrements over small integer keys).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use marioh_hypergraph::fxhash::FxHashMap;
+use std::collections::HashMap;
+
+fn workload<M: MapLike>(map: &mut M, keys: &[(u32, u32)]) -> u64 {
+    let mut acc = 0u64;
+    for &(u, v) in keys {
+        map.bump(u, v);
+    }
+    for &(u, v) in keys {
+        acc += u64::from(map.get(u, v));
+    }
+    acc
+}
+
+trait MapLike {
+    fn bump(&mut self, u: u32, v: u32);
+    fn get(&self, u: u32, v: u32) -> u32;
+}
+
+impl MapLike for FxHashMap<(u32, u32), u32> {
+    fn bump(&mut self, u: u32, v: u32) {
+        *self.entry((u, v)).or_insert(0) += 1;
+    }
+    fn get(&self, u: u32, v: u32) -> u32 {
+        self.get(&(u, v)).copied().unwrap_or(0)
+    }
+}
+
+impl MapLike for HashMap<(u32, u32), u32> {
+    fn bump(&mut self, u: u32, v: u32) {
+        *self.entry((u, v)).or_insert(0) += 1;
+    }
+    fn get(&self, u: u32, v: u32) -> u32 {
+        self.get(&(u, v)).copied().unwrap_or(0)
+    }
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    // Pair-key workload shaped like projection weights.
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(0);
+    let keys: Vec<(u32, u32)> = (0..50_000)
+        .map(|_| {
+            let u = rng.gen_range(0..2_000u32);
+            let v = rng.gen_range(0..2_000u32);
+            (u.min(v), u.max(v))
+        })
+        .collect();
+
+    c.bench_function("edge_weights_fxhash", |b| {
+        b.iter(|| {
+            let mut map: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+            std::hint::black_box(workload(&mut map, &keys))
+        });
+    });
+    c.bench_function("edge_weights_siphash", |b| {
+        b.iter(|| {
+            let mut map: HashMap<(u32, u32), u32> = HashMap::new();
+            std::hint::black_box(workload(&mut map, &keys))
+        });
+    });
+}
+
+criterion_group!(benches, bench_hashing);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench: Jaccard / multi-Jaccard evaluation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use marioh_datasets::hypercl::dblp_like;
+use marioh_datasets::split::split_events;
+use marioh_hypergraph::metrics::{jaccard, multi_jaccard};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let h = dblp_like(4.0, &mut rng);
+    // Two overlapping halves to compare.
+    let (a, _) = split_events(&h, 0.7, &mut rng);
+    let (b, _) = split_events(&h, 0.7, &mut rng);
+
+    c.bench_function("jaccard", |bch| {
+        bch.iter(|| std::hint::black_box(jaccard(&a, &b)));
+    });
+    c.bench_function("multi_jaccard", |bch| {
+        bch.iter(|| std::hint::black_box(multi_jaccard(&a, &b)));
+    });
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

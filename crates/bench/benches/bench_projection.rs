@@ -1,0 +1,23 @@
+//! Criterion bench: clique expansion (hypergraph → weighted projection).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use marioh_datasets::hypercl::dblp_like;
+use marioh_hypergraph::projection::project;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("projection");
+    for scale in [1.0, 4.0] {
+        let mut rng = StdRng::seed_from_u64(0);
+        let h = dblp_like(scale, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("hyperedges={}", h.unique_edge_count())),
+            &h,
+            |b, h| b.iter(|| std::hint::black_box(project(h))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_projection);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: Fig. 7 end-to-end — full MARIOH reconstruction
+//! (filtering + all search rounds) on HyperCL graphs of growing size,
+//! with a fixed pre-trained classifier.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use marioh_core::{Marioh, MariohConfig, TrainingConfig};
+use marioh_datasets::hypercl::dblp_like;
+use marioh_hypergraph::projection::project;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_scalability(c: &mut Criterion) {
+    // Train once, outside the timing loop (as in the paper).
+    let mut rng = StdRng::seed_from_u64(0);
+    let source = dblp_like(1.0, &mut rng);
+    let model = Marioh::train(&source, &TrainingConfig::default(), &mut rng);
+    let cfg = MariohConfig::default();
+
+    let mut group = c.benchmark_group("marioh_scalability");
+    group.sample_size(10);
+    for scale in [0.5, 1.0, 2.0] {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = project(&dblp_like(scale, &mut rng));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("edges={}", g.num_edges())),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    std::hint::black_box(model.reconstruct(g, &cfg, &mut rng))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

@@ -1,0 +1,212 @@
+//! The experiment CLI: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments <id> [--scale <f|full>] [--seeds <n>] [--budget <secs>]
+//!
+//! ids: table1 table2 table3 table4 table5 table6 table7 table8 table9
+//!      fig2 case-studies table7-hard fig4 fig5 fig6 fig7 storage features all quick
+//! ```
+
+use marioh_bench::experiments::{
+    self, case_studies, feature_importance, fig2, fig4, fig5, fig6, fig7, storage, table1, table2,
+    table4, table5, table6, table7, table9, ExperimentEnv, Setting,
+};
+use marioh_bench::runner::HarnessConfig;
+use marioh_datasets::PaperDataset;
+use std::time::Duration;
+
+fn parse_args() -> (String, HarnessConfig) {
+    let mut args = std::env::args().skip(1);
+    let id = args.next().unwrap_or_else(|| {
+        eprintln!("usage: experiments <id> [--scale f|full] [--seeds n] [--budget secs]");
+        std::process::exit(2);
+    });
+    let mut cfg = HarnessConfig::default();
+    while let Some(flag) = args.next() {
+        let value = args.next().unwrap_or_else(|| {
+            eprintln!("flag {flag} needs a value");
+            std::process::exit(2);
+        });
+        match flag.as_str() {
+            "--scale" => {
+                cfg.scale = if value == "full" {
+                    Some(1.0)
+                } else {
+                    Some(value.parse().expect("--scale needs a number or 'full'"))
+                };
+            }
+            "--seeds" => cfg.seeds = value.parse().expect("--seeds needs an integer"),
+            "--budget" => {
+                cfg.budget = Duration::from_secs(value.parse().expect("--budget needs seconds"));
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    (id, cfg)
+}
+
+fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn main() {
+    let (id, cfg) = parse_args();
+    let env = ExperimentEnv::new(cfg);
+    let all_datasets = PaperDataset::TABLE1;
+    // Fast subset used for the runtime figures.
+    let runtime_datasets = [
+        PaperDataset::Enron,
+        PaperDataset::Crime,
+        PaperDataset::Hosts,
+        PaperDataset::Directors,
+        PaperDataset::Foursquare,
+        PaperDataset::Eu,
+    ];
+
+    // Figures also render SVG plots next to the printed tables.
+    let svg_dir = Some(std::path::Path::new("results"));
+    let run_one = |env: &ExperimentEnv, id: &str| match id {
+        "table1" => {
+            banner("Table I: dataset summary");
+            table1::run(env).print();
+        }
+        "table2" => {
+            banner("Table II: reconstruction accuracy (multiplicity-reduced, Jaccard x100)");
+            table2::run(env, Setting::MultiplicityReduced, &all_datasets).print();
+        }
+        "table3" => {
+            banner(
+                "Table III: reconstruction accuracy (multiplicity-preserved, multi-Jaccard x100)",
+            );
+            table2::run(env, Setting::MultiplicityPreserved, &all_datasets).print();
+        }
+        "table4" => {
+            banner("Table IV: structural property preservation (lower is better)");
+            table4::run(env, &all_datasets).print();
+        }
+        "table5" => {
+            banner("Table V: transfer learning (Jaccard x100)");
+            table5::run(env).print();
+        }
+        "table6" => {
+            banner("Table VI: semi-supervised learning (Jaccard x100)");
+            table6::run(env).print();
+        }
+        "table7" => {
+            banner("Table VII: node clustering (NMI)");
+            table7::run_clustering(env).print();
+        }
+        "table7-hard" => {
+            banner("Tables VII/VIII in the hard community regime (HardContact stand-in)");
+            let (clu, cls) = table7::run_hard(env);
+            clu.print();
+            println!();
+            cls.print();
+        }
+        "table8" => {
+            banner("Table VIII: node classification (F1)");
+            table7::run_classification(env).print();
+        }
+        "table9" => {
+            banner("Table IX: link prediction (AUC x100)");
+            table9::run(env, &all_datasets).print();
+        }
+        "fig2" => {
+            banner("Fig. 2: co-authorship case study");
+            fig2::run(env).print();
+        }
+        "case-studies" => {
+            banner("Appendix: Hosts / Crime case studies");
+            case_studies::run(env).print();
+        }
+        "fig4" => {
+            banner("Fig. 4: hyperparameter sensitivity");
+            for setting in [Setting::MultiplicityReduced, Setting::MultiplicityPreserved] {
+                for t in fig4::run(env, setting, svg_dir) {
+                    println!();
+                    t.print();
+                }
+            }
+        }
+        "fig5" => {
+            banner("Fig. 5: average runtime per method");
+            fig5::run(env, &runtime_datasets, svg_dir).print();
+        }
+        "fig6" => {
+            banner("Fig. 6: runtime breakdown MARIOH vs SHyRe-Count");
+            fig6::run(env, &runtime_datasets, svg_dir).print();
+        }
+        "fig7" => {
+            banner("Fig. 7: scalability (HyperCL, DBLP statistics)");
+            fig7::run(env, svg_dir).print();
+        }
+        "storage" => {
+            banner("Appendix: storage savings");
+            storage::run(env).print();
+        }
+        "features" => {
+            banner("Appendix: feature importance (Enron stand-in)");
+            feature_importance::run(env, PaperDataset::Enron).print();
+        }
+        other => {
+            eprintln!("unknown experiment id: {other}");
+            std::process::exit(2);
+        }
+    };
+
+    match id.as_str() {
+        "all" => {
+            for id in [
+                "table1",
+                "fig2",
+                "case-studies",
+                "table2",
+                "table3",
+                "table4",
+                "table5",
+                "table6",
+                "table7",
+                "table8",
+                "table9",
+                "fig4",
+                "fig5",
+                "fig6",
+                "fig7",
+                "storage",
+                "features",
+            ] {
+                run_one(&env, id);
+            }
+        }
+        "quick" => {
+            // A fast smoke pass: small scale, 1 seed.
+            let quick = ExperimentEnv::new(HarnessConfig {
+                scale: Some(env.cfg.scale.unwrap_or(0.15)),
+                seeds: 1,
+                budget: Duration::from_secs(60),
+            });
+            for id in ["table1", "fig2", "storage"] {
+                run_one(&quick, id);
+            }
+            banner("quick Table II (Crime, Hosts, Directors)");
+            table2::run(
+                &quick,
+                Setting::MultiplicityReduced,
+                &[
+                    PaperDataset::Crime,
+                    PaperDataset::Hosts,
+                    PaperDataset::Directors,
+                ],
+            )
+            .print();
+        }
+        _ => {
+            run_one(&env, &id);
+        }
+    }
+
+    let _ = experiments::Setting::MultiplicityReduced; // keep import shape stable
+}

@@ -1,0 +1,53 @@
+//! Regime explorer for the hard community configuration (`table7-hard`):
+//! sweeps the cross-contact share and prints clustering NMI for the
+//! projected graph vs. the ground-truth hypergraph, without running any
+//! reconstruction. Used to pick `run_hard`'s parameters; kept as a dev
+//! tool for recalibrating when the generator changes.
+
+use marioh_bench::runner::cell_rng;
+use marioh_datasets::domains::contact::{self, ContactParams};
+use marioh_downstream::{cluster_graph, cluster_hypergraph};
+use marioh_hypergraph::projection::project;
+use marioh_ml::metrics::nmi;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.45);
+    println!("intra_prob  NMI(G)   NMI(H)   gap");
+    for &intra in &[0.55, 0.35, 0.2, 0.1, 0.05] {
+        let params = ContactParams {
+            num_nodes: ((240.0 * scale) as u32).max(60),
+            num_hyperedges: ((8_000.0 * scale) as usize).max(400),
+            mean_multiplicity: 7.0,
+            num_communities: 10,
+            intra_community_prob: intra,
+            size_dist: vec![(2, 0.2), (3, 0.35), (4, 0.3), (5, 0.15)],
+        };
+        let mut rng = cell_rng("scan", "generate", (intra * 100.0) as u64);
+        let (h, labels) = contact::generate(&params, &mut rng);
+        let h = h.reduce_multiplicity();
+        let covered = h.covered_nodes();
+        let labels_c: Vec<usize> = covered.iter().map(|n| labels[n.index()]).collect();
+        let k = 10;
+        let g = project(&h);
+        // Best of 3 k-means seeds, as in the integration tests.
+        let best = |f: &dyn Fn(&mut rand::rngs::StdRng) -> Vec<usize>| -> f64 {
+            (0..3u64)
+                .map(|s| {
+                    let mut rng = cell_rng("scan", "cluster", s);
+                    let assign = f(&mut rng);
+                    let pred: Vec<usize> = covered.iter().map(|n| assign[n.index()]).collect();
+                    nmi(&pred, &labels_c)
+                })
+                .fold(0.0, f64::max)
+        };
+        let nmi_g = best(&|rng| cluster_graph(&g, k, rng));
+        let nmi_h = best(&|rng| cluster_hypergraph(&h, k, rng));
+        println!(
+            "{intra:<10}  {nmi_g:.4}   {nmi_h:.4}   {:+.4}",
+            nmi_h - nmi_g
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Fig. 5: average runtime of every method over the dataset suite.
+
+use super::ExperimentEnv;
+use crate::plot::{write_svg, BarChart};
+use crate::runner::{build_method, cell_rng, run_budgeted, RunOutcome, TABLE2_METHODS};
+use crate::table::Table;
+use marioh_datasets::split::split_source_target;
+use marioh_datasets::PaperDataset;
+use marioh_hypergraph::projection::project;
+use std::path::Path;
+use std::time::Instant;
+
+/// Regenerates Fig. 5 as a table of average wall-clock seconds per
+/// method (training + inference), across the given datasets. When
+/// `svg_dir` is given, also renders the log-scale runtime bar chart.
+pub fn run(env: &ExperimentEnv, datasets: &[PaperDataset], svg_dir: Option<&Path>) -> Table {
+    let mut t = Table::new(vec!["Method", "Avg. runtime (s)", "Completed", "OOT"]);
+    let mut chart_bars: Vec<(String, f64)> = Vec::new();
+    let data: Vec<_> = datasets.iter().map(|&d| env.dataset(d)).collect();
+    for &method in &TABLE2_METHODS {
+        let mut times = Vec::new();
+        let mut oot = 0usize;
+        for d in &data {
+            let reduced = d.hypergraph.reduce_multiplicity();
+            let mut split_rng = cell_rng(d.name, "split", 0);
+            let (source, target) = split_source_target(&reduced, &mut split_rng);
+            if source.unique_edge_count() == 0 || target.unique_edge_count() == 0 {
+                continue;
+            }
+            let mut rng = cell_rng(d.name, method, 0);
+            let t0 = Instant::now();
+            let Some(m) = build_method(method, &source, &mut rng) else {
+                continue;
+            };
+            let train_secs = t0.elapsed().as_secs_f64();
+            match run_budgeted(m, &project(&target), rng, env.cfg.budget) {
+                RunOutcome::Done(_, secs) => times.push(train_secs + secs),
+                RunOutcome::OutOfTime => oot += 1,
+            }
+        }
+        let avg = if times.is_empty() {
+            "OOT".to_owned()
+        } else {
+            let mean = times.iter().sum::<f64>() / times.len() as f64;
+            chart_bars.push((method.to_owned(), mean));
+            format!("{mean:.3}")
+        };
+        t.add_row(vec![
+            method.to_owned(),
+            avg,
+            times.len().to_string(),
+            oot.to_string(),
+        ]);
+        eprintln!("[fig5] {method} done");
+    }
+    if let Some(dir) = svg_dir {
+        if !chart_bars.is_empty() {
+            let chart = BarChart {
+                title: "Fig. 5: average runtime per method".into(),
+                y_label: "seconds (log)".into(),
+                categories: chart_bars.iter().map(|(m, _)| m.clone()).collect(),
+                series: vec![(
+                    "avg runtime".into(),
+                    // Sub-millisecond averages would break the log axis
+                    // at 0; clamp to the plot's resolution.
+                    chart_bars.iter().map(|&(_, v)| v.max(1e-4)).collect(),
+                )],
+                stacked: false,
+                log_y: true,
+            };
+            let path = dir.join("fig5_runtimes.svg");
+            if let Err(e) = write_svg(&path, &chart.to_svg()) {
+                eprintln!("[fig5] could not write {}: {e}", path.display());
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::HarnessConfig;
+    use std::time::Duration;
+
+    #[test]
+    #[ignore = "minutes at default scale; run explicitly"]
+    fn runtime_table_shape() {
+        let env = ExperimentEnv::new(HarnessConfig {
+            scale: Some(0.05),
+            seeds: 1,
+            budget: Duration::from_secs(60),
+        });
+        let t = run(&env, &[PaperDataset::Crime], None);
+        assert_eq!(t.len(), TABLE2_METHODS.len());
+    }
+}

@@ -1,0 +1,125 @@
+//! Fig. 7: scalability of the filtering and bidirectional-search steps on
+//! HyperCL-generated graphs with DBLP statistics.
+
+use super::ExperimentEnv;
+use crate::plot::{write_svg, LinePlot, Series};
+use crate::runner::cell_rng;
+use crate::table::Table;
+use marioh_core::{Marioh, MariohConfig, TrainingConfig};
+use marioh_datasets::hypercl::dblp_like;
+use marioh_datasets::split::split_source_target;
+use marioh_datasets::PaperDataset;
+use marioh_hypergraph::projection::project;
+use std::path::Path;
+
+/// The geometric scale ladder of the sweep.
+pub const SCALES: [f64; 6] = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0];
+
+/// Runs the scalability sweep: one MARIOH model trained on the DBLP
+/// stand-in (as in the paper, training is independent of the sweep),
+/// then filtering/search timings on HyperCL graphs of growing size.
+/// The last column reports the log–log slope vs. the previous scale
+/// (≈ 1 ⇒ linear scaling). When `svg_dir` is given, also renders the
+/// log–log plot with a slope-1 reference line.
+pub fn run(env: &ExperimentEnv, svg_dir: Option<&Path>) -> Table {
+    // Train once on the DBLP stand-in's source half.
+    let data = env.dataset(PaperDataset::Dblp);
+    let mut split_rng = cell_rng(data.name, "split", 0);
+    let (source, _) = split_source_target(&data.hypergraph.reduce_multiplicity(), &mut split_rng);
+    let mut rng = cell_rng(data.name, "fig7-train", 0);
+    let model = Marioh::train(&source, &TrainingConfig::default(), &mut rng);
+    eprintln!("[fig7] model trained; sweeping scales ...");
+
+    let mut t = Table::new(vec![
+        "Scale",
+        "|E_G|",
+        "Filtering (s)",
+        "Bidirectional (s)",
+        "Filter slope",
+        "Search slope",
+    ]);
+    let mut prev: Option<(f64, f64, f64)> = None; // (|E|, filter, search)
+    let mut filter_pts: Vec<(f64, f64)> = Vec::new();
+    let mut search_pts: Vec<(f64, f64)> = Vec::new();
+    for (i, &s) in SCALES.iter().enumerate() {
+        let mut rng = cell_rng("hypercl", "generate", i as u64);
+        let h = dblp_like(s, &mut rng);
+        let g = project(&h);
+        let edges = g.num_edges() as f64;
+        let mut rng = cell_rng("hypercl", "run", i as u64);
+        let (_, report) = model.reconstruct_with_report(&g, &MariohConfig::default(), &mut rng);
+        let (fslope, sslope) = match prev {
+            Some((pe, pf, ps)) if pf > 0.0 && ps > 0.0 && report.filtering_secs > 0.0 => {
+                let le = (edges / pe).ln();
+                (
+                    format!("{:.2}", (report.filtering_secs / pf).ln() / le),
+                    format!("{:.2}", (report.search_secs / ps).ln() / le),
+                )
+            }
+            _ => ("-".to_owned(), "-".to_owned()),
+        };
+        t.add_row(vec![
+            format!("{s}"),
+            format!("{edges}"),
+            format!("{:.4}", report.filtering_secs),
+            format!("{:.4}", report.search_secs),
+            fslope,
+            sslope,
+        ]);
+        eprintln!(
+            "[fig7] scale {s}: |E|={edges} filter={:.4}s search={:.4}s",
+            report.filtering_secs, report.search_secs
+        );
+        if report.filtering_secs > 0.0 {
+            filter_pts.push((edges, report.filtering_secs));
+        }
+        if report.search_secs > 0.0 {
+            search_pts.push((edges, report.search_secs));
+        }
+        prev = Some((edges, report.filtering_secs, report.search_secs));
+    }
+    if let Some(dir) = svg_dir {
+        if filter_pts.len() >= 2 && search_pts.len() >= 2 {
+            // Slope-1 reference anchored at the first search point.
+            let (x0, y0) = search_pts[0];
+            let reference: Vec<(f64, f64)> =
+                search_pts.iter().map(|&(x, _)| (x, y0 * x / x0)).collect();
+            let plot = LinePlot {
+                title: "Fig. 7: scalability vs |E_G| (log-log)".into(),
+                x_label: "|E_G|".into(),
+                y_label: "seconds".into(),
+                log_x: true,
+                log_y: true,
+                series: vec![
+                    Series::new("Filtering", filter_pts),
+                    Series::new("Bidirectional", search_pts),
+                    Series::new("slope 1 ref", reference),
+                ],
+            };
+            let path = dir.join("fig7_scalability.svg");
+            if let Err(e) = write_svg(&path, &plot.to_svg()) {
+                eprintln!("[fig7] could not write {}: {e}", path.display());
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::HarnessConfig;
+    use std::time::Duration;
+
+    #[test]
+    #[ignore = "minutes at default scale; run explicitly"]
+    fn sweep_shape() {
+        let env = ExperimentEnv::new(HarnessConfig {
+            scale: Some(0.05),
+            seeds: 1,
+            budget: Duration::from_secs(120),
+        });
+        let t = run(&env, None);
+        assert_eq!(t.len(), SCALES.len());
+    }
+}

@@ -1,0 +1,123 @@
+//! One module per table/figure of the paper (DESIGN.md §4 maps each to
+//! its paper counterpart).
+
+pub mod case_studies;
+pub mod feature_importance;
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod storage;
+pub mod table1;
+pub mod table2;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod table9;
+
+use crate::runner::{build_method, cell_rng, run_budgeted, HarnessConfig, RunOutcome};
+use marioh_datasets::split::split_source_target;
+use marioh_datasets::{GeneratedDataset, PaperDataset};
+use marioh_hypergraph::metrics::{jaccard, multi_jaccard};
+use marioh_hypergraph::projection::project;
+use marioh_hypergraph::Hypergraph;
+
+/// Shared environment: harness configuration plus dataset generation.
+pub struct ExperimentEnv {
+    /// Harness settings (scale, seeds, budget).
+    pub cfg: HarnessConfig,
+}
+
+impl ExperimentEnv {
+    /// Creates an environment from a harness configuration.
+    pub fn new(cfg: HarnessConfig) -> Self {
+        ExperimentEnv { cfg }
+    }
+
+    /// Generates a dataset honouring the scale override.
+    pub fn dataset(&self, d: PaperDataset) -> GeneratedDataset {
+        match self.cfg.scale {
+            Some(s) => d.generate_scaled(s),
+            None => d.generate_default(),
+        }
+    }
+}
+
+/// Which evaluation setting an accuracy experiment uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Setting {
+    /// Hyperedge multiplicities reduced to 1; Jaccard similarity
+    /// (Table II). Projected-graph edge multiplicities remain > 1.
+    MultiplicityReduced,
+    /// Multiplicities kept; multi-Jaccard similarity (Table III).
+    MultiplicityPreserved,
+}
+
+/// Scores of one (dataset, method) cell across seeds; empty = all OOT.
+pub fn accuracy_cell(
+    env: &ExperimentEnv,
+    data: &GeneratedDataset,
+    method: &str,
+    setting: Setting,
+) -> Vec<f64> {
+    let effective: Hypergraph = match setting {
+        Setting::MultiplicityReduced => data.hypergraph.reduce_multiplicity(),
+        Setting::MultiplicityPreserved => data.hypergraph.clone(),
+    };
+    let mut scores = Vec::new();
+    for seed in 0..env.cfg.seeds {
+        // The split is shared across methods for a given seed.
+        let mut split_rng = cell_rng(data.name, "split", seed);
+        let (source, target) = split_source_target(&effective, &mut split_rng);
+        if source.unique_edge_count() == 0 || target.unique_edge_count() == 0 {
+            continue;
+        }
+        let mut rng = cell_rng(data.name, method, seed);
+        let Some(m) = build_method(method, &source, &mut rng) else {
+            continue;
+        };
+        let g = project(&target);
+        match run_budgeted(m, &g, rng, env.cfg.budget) {
+            RunOutcome::Done(rec, _) => scores.push(match setting {
+                Setting::MultiplicityReduced => jaccard(&target, &rec),
+                Setting::MultiplicityPreserved => multi_jaccard(&target, &rec),
+            }),
+            RunOutcome::OutOfTime => {}
+        }
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn tiny_env() -> ExperimentEnv {
+        ExperimentEnv::new(HarnessConfig {
+            scale: Some(0.15),
+            seeds: 1,
+            budget: Duration::from_secs(60),
+        })
+    }
+
+    #[test]
+    fn accuracy_cell_produces_scores() {
+        let env = tiny_env();
+        let data = env.dataset(PaperDataset::Crime);
+        let scores = accuracy_cell(&env, &data, "MaxClique", Setting::MultiplicityReduced);
+        assert_eq!(scores.len(), 1);
+        assert!((0.0..=1.0).contains(&scores[0]));
+    }
+
+    #[test]
+    fn preserved_setting_uses_multi_jaccard() {
+        let env = tiny_env();
+        let data = env.dataset(PaperDataset::Crime);
+        let scores = accuracy_cell(&env, &data, "SHyRe-Unsup", Setting::MultiplicityPreserved);
+        assert_eq!(scores.len(), 1);
+        assert!((0.0..=1.0).contains(&scores[0]));
+    }
+}

@@ -1,0 +1,153 @@
+//! Table IV: preservation of the 12 structural properties.
+
+use super::{ExperimentEnv, Setting};
+use crate::runner::{build_method, cell_rng, mean_std, run_budgeted, RunOutcome};
+use crate::table::Table;
+use marioh_datasets::split::split_source_target;
+use marioh_datasets::PaperDataset;
+use marioh_hypergraph::projection::project;
+use marioh_hypergraph::properties::{
+    distributional_properties, ks_statistic, normalized_difference, scalar_properties,
+};
+use marioh_hypergraph::Hypergraph;
+
+/// The methods compared in Table IV, in paper column order.
+pub const TABLE4_METHODS: [&str; 5] = [
+    "Bayesian-MDL",
+    "SHyRe-Count",
+    "SHyRe-Motif",
+    "SHyRe-Unsup",
+    "MARIOH",
+];
+
+/// The 12 property names, scalars first (paper row order).
+const PROPERTY_NAMES: [&str; 12] = [
+    "Number of Nodes",
+    "Number of Hyperedges",
+    "Average Node Degree",
+    "Average Hyperedge Size",
+    "Simplicial Closure Ratio",
+    "Hypergraph Density",
+    "Hypergraph Overlapness",
+    "Node Degree",
+    "Node-Pair Degree",
+    "Node-Triple Degree",
+    "Hyperedge Homogeneity",
+    "Singular Values",
+];
+
+/// Per-dataset property errors of one reconstruction vs. ground truth:
+/// normalised differences for scalars, KS statistics for distributions.
+fn property_errors(truth: &Hypergraph, rec: &Hypergraph, seed: u64) -> [f64; 12] {
+    // Identically-seeded RNGs: the Lanczos start vector (and any triple
+    // sampling) is then the same for both sides, so identical hypergraphs
+    // get exactly identical distribution samples (KS = 0) instead of
+    // numerically-jittered ones.
+    let mut rng_t = cell_rng("props", "props", seed);
+    let mut rng_r = cell_rng("props", "props", seed);
+    let ts = scalar_properties(truth);
+    let rs = scalar_properties(rec);
+    let td = distributional_properties(truth, &mut rng_t);
+    let rd = distributional_properties(rec, &mut rng_r);
+    let mut out = [0.0; 12];
+    for (i, ((_, tv), (_, rv))) in ts.named().iter().zip(rs.named().iter()).enumerate() {
+        out[i] = normalized_difference(*tv, *rv);
+    }
+    for (i, ((_, tv), (_, rv))) in td.named().iter().zip(rd.named().iter()).enumerate() {
+        out[7 + i] = ks_statistic(tv, rv);
+    }
+    out
+}
+
+/// Regenerates Table IV over the given datasets (one seed per dataset;
+/// the mean ± std is across datasets, following the paper).
+pub fn run(env: &ExperimentEnv, datasets: &[PaperDataset]) -> Table {
+    let mut headers = vec!["Structural Property".to_owned()];
+    headers.extend(TABLE4_METHODS.iter().map(|m| (*m).to_owned()));
+    let mut t = Table::new(headers);
+
+    // errors[m][p] = per-dataset error samples.
+    let mut errors: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); 12]; TABLE4_METHODS.len()];
+    for &d in datasets {
+        let data = env.dataset(d);
+        eprintln!("[table4] dataset {} ...", data.name);
+        let reduced = data.hypergraph.reduce_multiplicity();
+        let mut split_rng = cell_rng(data.name, "split", 0);
+        let (source, target) = split_source_target(&reduced, &mut split_rng);
+        if source.unique_edge_count() == 0 || target.unique_edge_count() == 0 {
+            continue;
+        }
+        let g = project(&target);
+        for (mi, &method) in TABLE4_METHODS.iter().enumerate() {
+            let mut rng = cell_rng(data.name, method, 0);
+            let Some(m) = build_method(method, &source, &mut rng) else {
+                continue;
+            };
+            if let RunOutcome::Done(rec, _) = run_budgeted(m, &g, rng, env.cfg.budget) {
+                let errs = property_errors(&target, &rec, 0);
+                for (p, &e) in errs.iter().enumerate() {
+                    errors[mi][p].push(e);
+                }
+            }
+        }
+    }
+    let mut overall: Vec<Vec<f64>> = vec![Vec::new(); TABLE4_METHODS.len()];
+    for (p, &prop) in PROPERTY_NAMES.iter().enumerate() {
+        let mut row = vec![prop.to_owned()];
+        for (mi, _) in TABLE4_METHODS.iter().enumerate() {
+            let (mean, std) = mean_std(&errors[mi][p]);
+            if errors[mi][p].is_empty() {
+                row.push("OOT".to_owned());
+            } else {
+                overall[mi].push(mean);
+                row.push(format!("{mean:.3}±{std:.3}"));
+            }
+        }
+        t.add_row(row);
+    }
+    let mut row = vec!["Average (Overall)".to_owned()];
+    for means in &overall {
+        let (mean, std) = mean_std(means);
+        row.push(if means.is_empty() {
+            "OOT".to_owned()
+        } else {
+            format!("{mean:.3}±{std:.3}")
+        });
+    }
+    t.add_row(row);
+    t
+}
+
+/// Convenience used by the CLI: Table IV's setting marker (reduced).
+pub const SETTING: Setting = Setting::MultiplicityReduced;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::HarnessConfig;
+    use std::time::Duration;
+
+    #[test]
+    fn property_errors_are_zero_for_identical_hypergraphs() {
+        use marioh_hypergraph::hyperedge::edge;
+        let mut h = Hypergraph::new(0);
+        h.add_edge(edge(&[0, 1, 2]));
+        h.add_edge(edge(&[2, 3]));
+        let errs = property_errors(&h, &h, 0);
+        for (i, &e) in errs.iter().enumerate() {
+            assert!(e.abs() < 1e-9, "property {i} error {e}");
+        }
+    }
+
+    #[test]
+    fn table_has_13_rows() {
+        let env = ExperimentEnv::new(HarnessConfig {
+            scale: Some(0.1),
+            seeds: 1,
+            budget: Duration::from_secs(60),
+        });
+        let t = run(&env, &[PaperDataset::Crime]);
+        assert_eq!(t.len(), 13); // 12 properties + overall average
+        assert!(t.render().contains("Average (Overall)"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Table V: transfer learning — train on one dataset, reconstruct a
+//! different same-domain dataset.
+
+use super::ExperimentEnv;
+use crate::runner::{build_method, cell_rng, format_cell, run_budgeted, RunOutcome};
+use crate::table::Table;
+use marioh_datasets::split::split_source_target;
+use marioh_datasets::PaperDataset;
+use marioh_hypergraph::metrics::jaccard;
+use marioh_hypergraph::projection::project;
+
+/// The transfer methods of Table V.
+pub const TRANSFER_METHODS: [&str; 4] = ["SHyRe-Unsup", "SHyRe-Motif", "SHyRe-Count", "MARIOH"];
+
+/// The paper's source → target pairs.
+pub fn transfer_pairs() -> Vec<(PaperDataset, PaperDataset)> {
+    vec![
+        (PaperDataset::Dblp, PaperDataset::Dblp),
+        (PaperDataset::Dblp, PaperDataset::MagHistory),
+        (PaperDataset::Dblp, PaperDataset::MagTopCs),
+        (PaperDataset::Dblp, PaperDataset::MagGeology),
+        (PaperDataset::Eu, PaperDataset::Eu),
+        (PaperDataset::Eu, PaperDataset::Enron),
+        (PaperDataset::PSchool, PaperDataset::PSchool),
+        (PaperDataset::PSchool, PaperDataset::HSchool),
+    ]
+}
+
+/// Regenerates Table V (multiplicity-reduced setting, Jaccard × 100).
+pub fn run(env: &ExperimentEnv) -> Table {
+    let pairs = transfer_pairs();
+    let mut headers = vec!["Method".to_owned()];
+    headers.extend(
+        pairs
+            .iter()
+            .map(|(s, t)| format!("{}→{}", s.name(), t.name())),
+    );
+    let mut t = Table::new(headers);
+
+    let mut cells: Vec<Vec<String>> = vec![Vec::new(); TRANSFER_METHODS.len()];
+    for &(src, tgt) in &pairs {
+        eprintln!("[table5] {} -> {} ...", src.name(), tgt.name());
+        let src_data = env.dataset(src);
+        let tgt_data = env.dataset(tgt);
+        let src_reduced = src_data.hypergraph.reduce_multiplicity();
+        let tgt_reduced = tgt_data.hypergraph.reduce_multiplicity();
+        for (mi, &method) in TRANSFER_METHODS.iter().enumerate() {
+            let mut scores = Vec::new();
+            for seed in 0..env.cfg.seeds {
+                // Train on the source dataset's source half; evaluate on
+                // the target dataset's target half.
+                let mut rng = cell_rng(src_data.name, "split", seed);
+                let (train_half, _) = split_source_target(&src_reduced, &mut rng);
+                let mut rng = cell_rng(tgt_data.name, "split", seed);
+                let (_, eval_half) = split_source_target(&tgt_reduced, &mut rng);
+                if train_half.unique_edge_count() == 0 || eval_half.unique_edge_count() == 0 {
+                    continue;
+                }
+                let mut rng = cell_rng(&format!("{}->{}", src.name(), tgt.name()), method, seed);
+                let Some(m) = build_method(method, &train_half, &mut rng) else {
+                    continue;
+                };
+                let g = project(&eval_half);
+                if let RunOutcome::Done(rec, _) = run_budgeted(m, &g, rng, env.cfg.budget) {
+                    scores.push(jaccard(&eval_half, &rec));
+                }
+            }
+            cells[mi].push(format_cell(&scores));
+        }
+    }
+    for (mi, &method) in TRANSFER_METHODS.iter().enumerate() {
+        let mut row = vec![method.to_owned()];
+        row.extend(cells[mi].iter().cloned());
+        t.add_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::HarnessConfig;
+    use std::time::Duration;
+
+    #[test]
+    fn pair_list_matches_paper() {
+        let pairs = transfer_pairs();
+        assert_eq!(pairs.len(), 8);
+        assert_eq!(pairs[0], (PaperDataset::Dblp, PaperDataset::Dblp));
+        assert!(pairs.contains(&(PaperDataset::PSchool, PaperDataset::HSchool)));
+    }
+
+    #[test]
+    #[ignore = "several minutes at default scale; run explicitly"]
+    fn full_transfer_table() {
+        let env = ExperimentEnv::new(HarnessConfig {
+            scale: Some(0.05),
+            seeds: 1,
+            budget: Duration::from_secs(120),
+        });
+        let t = run(&env);
+        assert_eq!(t.len(), TRANSFER_METHODS.len());
+    }
+}

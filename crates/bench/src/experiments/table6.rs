@@ -1,0 +1,114 @@
+//! Table VI: semi-supervised learning — MARIOH with 10/20/50/100 % of
+//! the source hyperedges, against fully-supervised baselines.
+
+use super::ExperimentEnv;
+use crate::runner::{build_method, cell_rng, format_cell, run_budgeted, RunOutcome};
+use crate::table::Table;
+use marioh_baselines::{MariohMethod, ReconstructionMethod};
+use marioh_core::{MariohConfig, TrainingConfig, Variant};
+use marioh_datasets::split::split_source_target;
+use marioh_datasets::PaperDataset;
+use marioh_hypergraph::metrics::jaccard;
+use marioh_hypergraph::projection::project;
+
+/// The datasets of Table VI.
+pub const TABLE6_DATASETS: [PaperDataset; 3] =
+    [PaperDataset::Dblp, PaperDataset::Hosts, PaperDataset::Enron];
+
+/// Fully-supervised baseline rows.
+const BASELINES: [&str; 3] = ["Bayesian-MDL", "SHyRe-Motif", "SHyRe-Count"];
+
+/// MARIOH supervision fractions.
+const FRACTIONS: [f64; 4] = [0.1, 0.2, 0.5, 1.0];
+
+/// Regenerates Table VI (multiplicity-reduced setting).
+pub fn run(env: &ExperimentEnv) -> Table {
+    let mut headers = vec!["Method".to_owned()];
+    headers.extend(TABLE6_DATASETS.iter().map(|d| d.name().to_owned()));
+    let mut t = Table::new(headers);
+
+    let data: Vec<_> = TABLE6_DATASETS.iter().map(|&d| env.dataset(d)).collect();
+
+    // Baseline rows.
+    for &method in &BASELINES {
+        let mut row = vec![method.to_owned()];
+        for d in &data {
+            let reduced = d.hypergraph.reduce_multiplicity();
+            let mut scores = Vec::new();
+            for seed in 0..env.cfg.seeds {
+                let mut split_rng = cell_rng(d.name, "split", seed);
+                let (source, target) = split_source_target(&reduced, &mut split_rng);
+                let mut rng = cell_rng(d.name, method, seed);
+                let Some(m) = build_method(method, &source, &mut rng) else {
+                    continue;
+                };
+                if let RunOutcome::Done(rec, _) =
+                    run_budgeted(m, &project(&target), rng, env.cfg.budget)
+                {
+                    scores.push(jaccard(&target, &rec));
+                }
+            }
+            row.push(format_cell(&scores));
+        }
+        t.add_row(row);
+        eprintln!("[table6] {method} done");
+    }
+
+    // MARIOH at each supervision fraction.
+    for &frac in &FRACTIONS {
+        let label = format!("MARIOH ({:.0}%)", frac * 100.0);
+        let mut row = vec![label.clone()];
+        for d in &data {
+            let reduced = d.hypergraph.reduce_multiplicity();
+            let mut scores = Vec::new();
+            for seed in 0..env.cfg.seeds {
+                let mut split_rng = cell_rng(d.name, "split", seed);
+                let (source, target) = split_source_target(&reduced, &mut split_rng);
+                if source.unique_edge_count() == 0 || target.unique_edge_count() == 0 {
+                    continue;
+                }
+                let mut rng = cell_rng(d.name, &label, seed);
+                let tcfg = TrainingConfig {
+                    supervision_fraction: frac,
+                    ..TrainingConfig::default()
+                };
+                let method = MariohMethod::train(
+                    Variant::Full,
+                    &source,
+                    &tcfg,
+                    &MariohConfig::default(),
+                    &mut rng,
+                );
+                let boxed: Box<dyn ReconstructionMethod + Send> = Box::new(method);
+                if let RunOutcome::Done(rec, _) =
+                    run_budgeted(boxed, &project(&target), rng, env.cfg.budget)
+                {
+                    scores.push(jaccard(&target, &rec));
+                }
+            }
+            row.push(format_cell(&scores));
+        }
+        t.add_row(row);
+        eprintln!("[table6] {label} done");
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::HarnessConfig;
+    use std::time::Duration;
+
+    #[test]
+    #[ignore = "minutes at default scale; run explicitly"]
+    fn table6_shape() {
+        let env = ExperimentEnv::new(HarnessConfig {
+            scale: Some(0.05),
+            seeds: 1,
+            budget: Duration::from_secs(60),
+        });
+        let t = run(&env);
+        assert_eq!(t.len(), BASELINES.len() + FRACTIONS.len());
+    }
+}

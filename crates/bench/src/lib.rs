@@ -1,0 +1,20 @@
+//! Experiment harness regenerating every table and figure of the MARIOH
+//! paper (see DESIGN.md §4 for the experiment index).
+//!
+//! The [`runner`] module owns method construction, per-run seeding, time
+//! budgets (the paper's OOT entries) and mean ± std aggregation;
+//! [`table`] is a small aligned-table printer; [`experiments`] holds one
+//! module per table/figure. The `experiments` binary dispatches on a
+//! subcommand:
+//!
+//! ```text
+//! cargo run -p marioh-bench --release --bin experiments -- table2 --seeds 3
+//! cargo run -p marioh-bench --release --bin experiments -- all --scale 0.25
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod plot;
+pub mod runner;
+pub mod table;

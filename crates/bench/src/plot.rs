@@ -1,0 +1,719 @@
+//! Minimal SVG chart rendering for the paper's figures.
+//!
+//! The experiment runners print tables; the paper's figures (Fig. 4
+//! sensitivity curves, Fig. 5/6 runtime bars, Fig. 7 log–log scaling)
+//! additionally need plots. This module renders line plots and
+//! (optionally stacked) bar charts as standalone SVG documents with no
+//! external dependency: axes with "nice" ticks, optional log scales, a
+//! legend, and a small qualitative palette.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Canvas width in px.
+const WIDTH: f64 = 640.0;
+/// Canvas height in px.
+const HEIGHT: f64 = 420.0;
+/// Margins: left, right, top, bottom (room for labels/legend).
+const MARGIN: (f64, f64, f64, f64) = (64.0, 24.0, 36.0, 56.0);
+/// Qualitative palette (ColorBrewer Set1-like, colour-blind aware).
+const PALETTE: [&str; 8] = [
+    "#377eb8", "#e41a1c", "#4daf4a", "#984ea3", "#ff7f00", "#a65628", "#f781bf", "#999999",
+];
+
+/// One named line series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in data coordinates, rendered in order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// A line plot with one or more series.
+#[derive(Debug, Clone, Default)]
+pub struct LinePlot {
+    /// Title rendered above the plot.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Log-scale the x axis (all x must be > 0).
+    pub log_x: bool,
+    /// Log-scale the y axis (all y must be > 0).
+    pub log_y: bool,
+    /// The series to draw.
+    pub series: Vec<Series>,
+}
+
+/// A bar chart over labelled categories.
+#[derive(Debug, Clone, Default)]
+pub struct BarChart {
+    /// Title rendered above the plot.
+    pub title: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Category labels along the x axis.
+    pub categories: Vec<String>,
+    /// One `(label, value-per-category)` entry per series; each series
+    /// must have exactly `categories.len()` values.
+    pub series: Vec<(String, Vec<f64>)>,
+    /// Stack the series within each category instead of grouping them
+    /// side by side (Fig. 6's runtime breakdown).
+    pub stacked: bool,
+    /// Log-scale the y axis (grouped charts only; all values must be
+    /// > 0).
+    pub log_y: bool,
+}
+
+/// An axis scale: maps data values into `[0, 1]`.
+#[derive(Debug, Clone, Copy)]
+struct Scale {
+    min: f64,
+    max: f64,
+    log: bool,
+}
+
+impl Scale {
+    fn new(min: f64, max: f64, log: bool) -> Self {
+        assert!(min.is_finite() && max.is_finite(), "non-finite axis range");
+        if log {
+            assert!(min > 0.0, "log scale needs positive values");
+        }
+        // Degenerate range: widen symmetrically so points land mid-axis.
+        let (min, max) = if (max - min).abs() < f64::EPSILON {
+            if log {
+                (min / 2.0, max * 2.0)
+            } else {
+                (min - 0.5, max + 0.5)
+            }
+        } else {
+            (min, max)
+        };
+        Scale { min, max, log }
+    }
+
+    /// Normalised position of `v` in `[0, 1]`.
+    fn norm(&self, v: f64) -> f64 {
+        if self.log {
+            (v.ln() - self.min.ln()) / (self.max.ln() - self.min.ln())
+        } else {
+            (v - self.min) / (self.max - self.min)
+        }
+    }
+
+    /// Tick positions: "nice" 1/2/5·10ᵏ steps for linear axes, powers of
+    /// ten (or a subset) for log axes.
+    fn ticks(&self) -> Vec<f64> {
+        if self.log {
+            let lo = self.min.log10().floor() as i32;
+            let hi = self.max.log10().ceil() as i32;
+            let mut t: Vec<f64> = (lo..=hi)
+                .map(|e| 10f64.powi(e))
+                .filter(|&v| v >= self.min * 0.999 && v <= self.max * 1.001)
+                .collect();
+            if t.len() < 2 {
+                t = vec![self.min, self.max];
+            }
+            t
+        } else {
+            let span = self.max - self.min;
+            let raw_step = span / 5.0;
+            let mag = 10f64.powf(raw_step.log10().floor());
+            let norm = raw_step / mag;
+            let step = if norm < 1.5 {
+                mag
+            } else if norm < 3.5 {
+                2.0 * mag
+            } else if norm < 7.5 {
+                5.0 * mag
+            } else {
+                10.0 * mag
+            };
+            let first = (self.min / step).ceil() * step;
+            let mut t = Vec::new();
+            let mut v = first;
+            while v <= self.max + step * 1e-9 {
+                // Snap -0.0 and tiny float drift to clean values.
+                t.push(if v.abs() < step * 1e-9 { 0.0 } else { v });
+                v += step;
+            }
+            t
+        }
+    }
+}
+
+/// Formats a tick value compactly (`0.25`, `12`, `1e6`).
+fn fmt_tick(v: f64) -> String {
+    let a = v.abs();
+    if v == 0.0 {
+        "0".to_owned()
+    } else if !(1e-3..1e5).contains(&a) {
+        format!("{v:.0e}")
+    } else if (v - v.round()).abs() < 1e-9 {
+        format!("{v:.0}")
+    } else {
+        let s = format!("{v:.3}");
+        s.trim_end_matches('0').trim_end_matches('.').to_owned()
+    }
+}
+
+/// Escapes the five XML special characters.
+fn xml_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// The drawable plot area in px: (x0, y0, width, height), y grows down.
+fn plot_area() -> (f64, f64, f64, f64) {
+    let (l, r, t, b) = MARGIN;
+    (l, t, WIDTH - l - r, HEIGHT - t - b)
+}
+
+/// Shared document prologue: background, title, axis labels.
+fn svg_header(title: &str, x_label: &str, y_label: &str) -> String {
+    let (px, py, pw, ph) = plot_area();
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{HEIGHT}\" \
+         viewBox=\"0 0 {WIDTH} {HEIGHT}\" font-family=\"sans-serif\" font-size=\"11\">"
+    );
+    let _ = writeln!(
+        s,
+        "<rect width=\"{WIDTH}\" height=\"{HEIGHT}\" fill=\"white\"/>"
+    );
+    let _ = writeln!(
+        s,
+        "<text x=\"{:.1}\" y=\"20\" text-anchor=\"middle\" font-size=\"13\" font-weight=\"bold\">{}</text>",
+        px + pw / 2.0,
+        xml_escape(title)
+    );
+    let _ = writeln!(
+        s,
+        "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>",
+        px + pw / 2.0,
+        HEIGHT - 10.0,
+        xml_escape(x_label)
+    );
+    let _ = writeln!(
+        s,
+        "<text x=\"14\" y=\"{:.1}\" text-anchor=\"middle\" transform=\"rotate(-90 14 {:.1})\">{}</text>",
+        py + ph / 2.0,
+        py + ph / 2.0,
+        xml_escape(y_label)
+    );
+    s
+}
+
+/// Axis lines, ticks, grid and tick labels for both axes.
+fn draw_axes(s: &mut String, xs: &Scale, ys: &Scale) {
+    let (px, py, pw, ph) = plot_area();
+    // Frame.
+    let _ = writeln!(
+        s,
+        "<rect x=\"{px:.1}\" y=\"{py:.1}\" width=\"{pw:.1}\" height=\"{ph:.1}\" \
+         fill=\"none\" stroke=\"#333\" stroke-width=\"1\"/>"
+    );
+    for t in xs.ticks() {
+        let x = px + xs.norm(t) * pw;
+        let _ = writeln!(
+            s,
+            "<line x1=\"{x:.1}\" y1=\"{py:.1}\" x2=\"{x:.1}\" y2=\"{:.1}\" stroke=\"#ddd\"/>",
+            py + ph
+        );
+        let _ = writeln!(
+            s,
+            "<text x=\"{x:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>",
+            py + ph + 16.0,
+            fmt_tick(t)
+        );
+    }
+    for t in ys.ticks() {
+        let y = py + (1.0 - ys.norm(t)) * ph;
+        let _ = writeln!(
+            s,
+            "<line x1=\"{px:.1}\" y1=\"{y:.1}\" x2=\"{:.1}\" y2=\"{y:.1}\" stroke=\"#ddd\"/>",
+            px + pw
+        );
+        let _ = writeln!(
+            s,
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{}</text>",
+            px - 6.0,
+            y + 4.0,
+            fmt_tick(t)
+        );
+    }
+}
+
+/// Legend swatches in the top-right corner of the plot area.
+fn draw_legend<'a>(s: &mut String, labels: impl Iterator<Item = &'a str>) {
+    let (px, py, pw, _) = plot_area();
+    for (i, label) in labels.enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let y = py + 14.0 + i as f64 * 16.0;
+        let x = px + pw - 130.0;
+        let _ = writeln!(
+            s,
+            "<rect x=\"{x:.1}\" y=\"{:.1}\" width=\"10\" height=\"10\" fill=\"{color}\"/>",
+            y - 9.0
+        );
+        let _ = writeln!(
+            s,
+            "<text x=\"{:.1}\" y=\"{y:.1}\">{}</text>",
+            x + 14.0,
+            xml_escape(label)
+        );
+    }
+}
+
+impl LinePlot {
+    /// Renders the plot as an SVG document.
+    ///
+    /// # Panics
+    ///
+    /// Panics when there are no points, on non-finite coordinates, or on
+    /// non-positive values under a log scale.
+    pub fn to_svg(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
+        assert!(!pts.is_empty(), "line plot with no points");
+        for &(x, y) in &pts {
+            assert!(
+                x.is_finite() && y.is_finite(),
+                "non-finite point ({x}, {y})"
+            );
+        }
+        let xmin = pts.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+        let xmax = pts.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+        let ymin = pts.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let ymax = pts.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        let xs = Scale::new(xmin, xmax, self.log_x);
+        // Pad the y range 5% so curves do not hug the frame.
+        let ys = if self.log_y {
+            Scale::new(ymin, ymax, true)
+        } else {
+            let pad = (ymax - ymin).max(1e-12) * 0.05;
+            Scale::new(ymin - pad, ymax + pad, false)
+        };
+
+        let (px, py, pw, ph) = plot_area();
+        let mut s = svg_header(&self.title, &self.x_label, &self.y_label);
+        draw_axes(&mut s, &xs, &ys);
+        for (i, series) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let coords: Vec<String> = series
+                .points
+                .iter()
+                .map(|&(x, y)| {
+                    format!(
+                        "{:.1},{:.1}",
+                        px + xs.norm(x) * pw,
+                        py + (1.0 - ys.norm(y)) * ph
+                    )
+                })
+                .collect();
+            let _ = writeln!(
+                s,
+                "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.8\"/>",
+                coords.join(" ")
+            );
+            for c in &coords {
+                let (cx, cy) = c.split_once(',').expect("coord pair");
+                let _ = writeln!(
+                    s,
+                    "<circle cx=\"{cx}\" cy=\"{cy}\" r=\"2.6\" fill=\"{color}\"/>"
+                );
+            }
+        }
+        draw_legend(&mut s, self.series.iter().map(|se| se.label.as_str()));
+        s.push_str("</svg>\n");
+        s
+    }
+}
+
+impl BarChart {
+    /// Renders the chart as an SVG document.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input, series/category length mismatches,
+    /// negative values, or non-positive values under a log scale.
+    pub fn to_svg(&self) -> String {
+        assert!(!self.categories.is_empty(), "bar chart with no categories");
+        assert!(!self.series.is_empty(), "bar chart with no series");
+        for (label, vals) in &self.series {
+            assert_eq!(
+                vals.len(),
+                self.categories.len(),
+                "series {label:?} length mismatch"
+            );
+            for &v in vals {
+                assert!(v.is_finite() && v >= 0.0, "bad bar value {v} in {label:?}");
+                if self.log_y {
+                    assert!(v > 0.0, "log scale needs positive values ({label:?})");
+                }
+            }
+        }
+        assert!(
+            !(self.stacked && self.log_y),
+            "stacked bars cannot use a log scale"
+        );
+
+        // Y range: 0 (or min value for log) to the max bar/stack height.
+        let ymax = if self.stacked {
+            (0..self.categories.len())
+                .map(|c| self.series.iter().map(|(_, v)| v[c]).sum::<f64>())
+                .fold(f64::NEG_INFINITY, f64::max)
+        } else {
+            self.series
+                .iter()
+                .flat_map(|(_, v)| v.iter().copied())
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        let ys = if self.log_y {
+            let ymin = self
+                .series
+                .iter()
+                .flat_map(|(_, v)| v.iter().copied())
+                .fold(f64::INFINITY, f64::min);
+            Scale::new(ymin / 2.0, ymax * 1.5, true)
+        } else {
+            Scale::new(0.0, ymax * 1.05, false)
+        };
+
+        let (px, py, pw, ph) = plot_area();
+        let mut s = svg_header(&self.title, "", &self.y_label);
+        // Y grid only; categories label the x axis directly.
+        for t in ys.ticks() {
+            let y = py + (1.0 - ys.norm(t)) * ph;
+            let _ = writeln!(
+                s,
+                "<line x1=\"{px:.1}\" y1=\"{y:.1}\" x2=\"{:.1}\" y2=\"{y:.1}\" stroke=\"#ddd\"/>",
+                px + pw
+            );
+            let _ = writeln!(
+                s,
+                "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{}</text>",
+                px - 6.0,
+                y + 4.0,
+                fmt_tick(t)
+            );
+        }
+        let _ = writeln!(
+            s,
+            "<rect x=\"{px:.1}\" y=\"{py:.1}\" width=\"{pw:.1}\" height=\"{ph:.1}\" \
+             fill=\"none\" stroke=\"#333\" stroke-width=\"1\"/>"
+        );
+
+        let ncat = self.categories.len() as f64;
+        let slot = pw / ncat; // horizontal room per category
+        let baseline = |v: f64| py + (1.0 - ys.norm(v)) * ph;
+        let floor = if self.log_y { ys.min } else { 0.0 };
+        for (ci, cat) in self.categories.iter().enumerate() {
+            let x0 = px + ci as f64 * slot;
+            if self.stacked {
+                let bar_w = slot * 0.6;
+                let bx = x0 + (slot - bar_w) / 2.0;
+                let mut acc = 0.0;
+                for (si, (_, vals)) in self.series.iter().enumerate() {
+                    let v = vals[ci];
+                    if v <= 0.0 {
+                        continue;
+                    }
+                    let y_top = baseline(acc + v);
+                    let y_bot = baseline(acc);
+                    let _ = writeln!(
+                        s,
+                        "<rect x=\"{bx:.1}\" y=\"{y_top:.1}\" width=\"{bar_w:.1}\" \
+                         height=\"{:.1}\" fill=\"{}\"/>",
+                        y_bot - y_top,
+                        PALETTE[si % PALETTE.len()]
+                    );
+                    acc += v;
+                }
+            } else {
+                let nser = self.series.len() as f64;
+                let bar_w = slot * 0.8 / nser;
+                for (si, (_, vals)) in self.series.iter().enumerate() {
+                    let v = vals[ci].max(floor);
+                    let bx = x0 + slot * 0.1 + si as f64 * bar_w;
+                    let y_top = baseline(v);
+                    let y_bot = baseline(floor);
+                    let _ = writeln!(
+                        s,
+                        "<rect x=\"{bx:.1}\" y=\"{y_top:.1}\" width=\"{:.1}\" \
+                         height=\"{:.1}\" fill=\"{}\"/>",
+                        bar_w.max(1.0),
+                        (y_bot - y_top).max(0.0),
+                        PALETTE[si % PALETTE.len()]
+                    );
+                }
+            }
+            // Category label, rotated when crowded.
+            let lx = x0 + slot / 2.0;
+            let ly = py + ph + 16.0;
+            if ncat > 6.0 {
+                let _ = writeln!(
+                    s,
+                    "<text x=\"{lx:.1}\" y=\"{ly:.1}\" text-anchor=\"end\" \
+                     transform=\"rotate(-35 {lx:.1} {ly:.1})\" font-size=\"9\">{}</text>",
+                    xml_escape(cat)
+                );
+            } else {
+                let _ = writeln!(
+                    s,
+                    "<text x=\"{lx:.1}\" y=\"{ly:.1}\" text-anchor=\"middle\">{}</text>",
+                    xml_escape(cat)
+                );
+            }
+        }
+        draw_legend(&mut s, self.series.iter().map(|(l, _)| l.as_str()));
+        s.push_str("</svg>\n");
+        s
+    }
+}
+
+/// Writes an SVG document to `path`, creating parent directories.
+pub fn write_svg(path: &Path, svg: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, svg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_ticks_are_nice() {
+        let s = Scale::new(0.0, 1.0, false);
+        assert_eq!(s.ticks(), vec![0.0, 0.2, 0.4, 0.6000000000000001, 0.8, 1.0]);
+        let s = Scale::new(0.0, 437.0, false);
+        let t = s.ticks();
+        assert_eq!(t.first(), Some(&0.0));
+        assert!(t.windows(2).all(|w| (w[1] - w[0] - 100.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn log_ticks_are_powers_of_ten() {
+        let s = Scale::new(3.0, 20_000.0, true);
+        assert_eq!(s.ticks(), vec![10.0, 100.0, 1000.0, 10_000.0]);
+    }
+
+    #[test]
+    fn degenerate_range_is_widened() {
+        let s = Scale::new(5.0, 5.0, false);
+        assert!(s.norm(5.0) > 0.4 && s.norm(5.0) < 0.6);
+        let s = Scale::new(5.0, 5.0, true);
+        assert!((s.norm(5.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn norm_maps_endpoints() {
+        let s = Scale::new(2.0, 10.0, false);
+        assert_eq!(s.norm(2.0), 0.0);
+        assert_eq!(s.norm(10.0), 1.0);
+        let s = Scale::new(1.0, 100.0, true);
+        assert!((s.norm(10.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(fmt_tick(0.0), "0");
+        assert_eq!(fmt_tick(0.25), "0.25");
+        assert_eq!(fmt_tick(12.0), "12");
+        assert_eq!(fmt_tick(1_000_000.0), "1e6");
+        assert_eq!(fmt_tick(0.0001), "1e-4");
+    }
+
+    #[test]
+    fn xml_escaping() {
+        assert_eq!(xml_escape("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&apos;");
+    }
+
+    fn sample_lineplot() -> LinePlot {
+        LinePlot {
+            title: "Fig. 7 <shape>".into(),
+            x_label: "|E|".into(),
+            y_label: "seconds".into(),
+            log_x: true,
+            log_y: true,
+            series: vec![
+                Series::new(
+                    "Filtering",
+                    vec![(100.0, 0.01), (1000.0, 0.1), (10_000.0, 1.0)],
+                ),
+                Series::new(
+                    "Search",
+                    vec![(100.0, 0.05), (1000.0, 0.4), (10_000.0, 4.0)],
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn line_plot_svg_structure() {
+        let svg = sample_lineplot().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        // Title is escaped.
+        assert!(svg.contains("Fig. 7 &lt;shape&gt;"));
+        // Legend entries present.
+        assert!(svg.contains(">Filtering</text>"));
+        assert!(svg.contains(">Search</text>"));
+        // Tags balance.
+        assert_eq!(svg.matches("<svg").count(), svg.matches("</svg>").count());
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+
+    #[test]
+    fn line_plot_points_stay_inside_canvas() {
+        let svg = sample_lineplot().to_svg();
+        for part in svg.split("cx=\"").skip(1) {
+            let v: f64 = part.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=WIDTH).contains(&v), "cx {v} outside canvas");
+        }
+        for part in svg.split("cy=\"").skip(1) {
+            let v: f64 = part.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=HEIGHT).contains(&v), "cy {v} outside canvas");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no points")]
+    fn empty_line_plot_panics() {
+        LinePlot::default().to_svg();
+    }
+
+    fn sample_barchart(stacked: bool) -> BarChart {
+        BarChart {
+            title: "runtimes".into(),
+            y_label: "seconds".into(),
+            categories: vec!["Enron".into(), "Crime".into(), "Hosts".into()],
+            series: vec![
+                ("Train".into(), vec![1.0, 0.5, 0.7]),
+                ("Inference".into(), vec![2.0, 0.2, 1.1]),
+            ],
+            stacked,
+            log_y: false,
+        }
+    }
+
+    #[test]
+    fn grouped_bars_render_one_rect_per_value() {
+        let svg = sample_barchart(false).to_svg();
+        // 2 series × 3 categories + background + frame.
+        assert_eq!(svg.matches("<rect").count(), 6 + 2 + 2); // + 2 legend swatches
+        assert!(svg.contains(">Enron</text>"));
+    }
+
+    #[test]
+    fn stacked_bars_render_and_stack() {
+        let svg = sample_barchart(true).to_svg();
+        assert_eq!(svg.matches("<rect").count(), 6 + 2 + 2);
+    }
+
+    #[test]
+    fn stacked_heights_add_up() {
+        // One category, two segments 1.0 and 3.0: segment heights must be
+        // in ratio 1:3.
+        let chart = BarChart {
+            title: String::new(),
+            y_label: String::new(),
+            categories: vec!["x".into()],
+            series: vec![("a".into(), vec![1.0]), ("b".into(), vec![3.0])],
+            stacked: true,
+            log_y: false,
+        };
+        let svg = chart.to_svg();
+        let heights: Vec<f64> = svg
+            .lines()
+            .filter(|l| l.contains(PALETTE[0]) || l.contains(PALETTE[1]))
+            .filter(|l| l.starts_with("<rect") && !l.contains("width=\"10\"")) // skip legend swatches
+            .map(|l| {
+                let h = l.split("height=\"").nth(1).unwrap();
+                h.split('"').next().unwrap().parse().unwrap()
+            })
+            .collect();
+        assert_eq!(heights.len(), 2);
+        let ratio = heights[1] / heights[0];
+        assert!((ratio - 3.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn bar_chart_validates_lengths() {
+        BarChart {
+            categories: vec!["a".into(), "b".into()],
+            series: vec![("s".into(), vec![1.0])],
+            ..BarChart::default()
+        }
+        .to_svg();
+    }
+
+    #[test]
+    #[should_panic(expected = "stacked bars cannot use a log scale")]
+    fn stacked_log_rejected() {
+        BarChart {
+            categories: vec!["a".into()],
+            series: vec![("s".into(), vec![1.0])],
+            stacked: true,
+            log_y: true,
+            ..BarChart::default()
+        }
+        .to_svg();
+    }
+
+    #[test]
+    fn log_bars_render() {
+        let chart = BarChart {
+            title: "log".into(),
+            y_label: "s".into(),
+            categories: vec!["a".into(), "b".into()],
+            series: vec![("m".into(), vec![0.001, 10.0])],
+            stacked: false,
+            log_y: true,
+        };
+        let svg = chart.to_svg();
+        assert!(svg.matches("<rect").count() >= 4);
+    }
+
+    #[test]
+    fn write_svg_round_trip() {
+        let dir = std::env::temp_dir().join("marioh_plot_test");
+        let path = dir.join("nested/out.svg");
+        let svg = sample_lineplot().to_svg();
+        write_svg(&path, &svg).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), svg);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

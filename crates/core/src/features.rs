@@ -1,0 +1,337 @@
+//! Clique feature representations (Sect. III-D).
+//!
+//! Three feature modes share one extraction entry point:
+//!
+//! * [`FeatureMode::Multiplicity`] — MARIOH's multiplicity-aware features:
+//!   weighted node degrees; per-edge multiplicity, MHH and MHH/ω; clique
+//!   size, cut ratio and maximality. Node/edge features are aggregated to
+//!   5 statistics (sum, mean, min, max, std) each.
+//! * [`FeatureMode::Count`] — multiplicity-*blind* structural features in
+//!   the spirit of SHyRe-Count; used by the MARIOH-M ablation and the
+//!   SHyRe-Count baseline.
+//! * [`FeatureMode::Motif`] — Count plus per-edge motif statistics
+//!   (triangle and square counts), for SHyRe-Motif.
+
+use marioh_hypergraph::{clique::is_maximal, NodeId, ProjectedGraph};
+
+use crate::mhh::mhh;
+
+/// Which clique feature representation to extract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureMode {
+    /// MARIOH's multiplicity-aware features (23 dims).
+    Multiplicity,
+    /// Structural count features without multiplicity (13 dims).
+    Count,
+    /// Count features plus triangle/square motif statistics (18 dims).
+    Motif,
+}
+
+impl FeatureMode {
+    /// Dimensionality of the feature vector for this mode.
+    pub fn dim(self) -> usize {
+        match self {
+            FeatureMode::Multiplicity => 23,
+            FeatureMode::Count => 13,
+            FeatureMode::Motif => 18,
+        }
+    }
+}
+
+/// Five aggregate statistics: sum, mean, min, max, population std.
+fn agg5(values: &[f64], out: &mut Vec<f64>) {
+    if values.is_empty() {
+        out.extend_from_slice(&[0.0; 5]);
+        return;
+    }
+    let n = values.len() as f64;
+    let sum: f64 = values.iter().sum();
+    let mean = sum / n;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut var = 0.0;
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+        let d = v - mean;
+        var += d * d;
+    }
+    out.push(sum);
+    out.push(mean);
+    out.push(min);
+    out.push(max);
+    out.push((var / n).sqrt());
+}
+
+/// Extracts the feature vector of `clique` against graph `g`.
+///
+/// `clique` must be sorted, duplicate-free and form a clique in `g`
+/// (debug-asserted). The returned vector has length [`FeatureMode::dim`].
+pub fn extract(mode: FeatureMode, g: &ProjectedGraph, clique: &[NodeId]) -> Vec<f64> {
+    debug_assert!(clique.len() >= 2, "feature extraction needs |Q| >= 2");
+    debug_assert!(clique.windows(2).all(|w| w[0] < w[1]), "clique not sorted");
+    debug_assert!(g.is_clique(clique), "candidate is not a clique");
+    let mut out = Vec::with_capacity(mode.dim());
+    match mode {
+        FeatureMode::Multiplicity => extract_multiplicity(g, clique, &mut out),
+        FeatureMode::Count => extract_count(g, clique, &mut out),
+        FeatureMode::Motif => {
+            extract_count(g, clique, &mut out);
+            extract_motif(g, clique, &mut out);
+        }
+    }
+    debug_assert_eq!(out.len(), mode.dim());
+    out
+}
+
+fn extract_multiplicity(g: &ProjectedGraph, clique: &[NodeId], out: &mut Vec<f64>) {
+    // Node-level: weighted degree.
+    let node_feats: Vec<f64> = clique
+        .iter()
+        .map(|&u| g.weighted_degree(u) as f64)
+        .collect();
+    agg5(&node_feats, out);
+
+    // Edge-level: ω, MHH, MHH/ω.
+    let mut weights = Vec::new();
+    let mut mhhs = Vec::new();
+    let mut portions = Vec::new();
+    let mut internal_weight = 0u64;
+    for (i, &u) in clique.iter().enumerate() {
+        for &v in &clique[i + 1..] {
+            let w = g.weight(u, v);
+            debug_assert!(w > 0);
+            let m = mhh(g, u, v) as f64;
+            weights.push(f64::from(w));
+            mhhs.push(m);
+            portions.push(m / f64::from(w));
+            internal_weight += u64::from(w);
+        }
+    }
+    agg5(&weights, out);
+    agg5(&mhhs, out);
+    agg5(&portions, out);
+
+    // Clique-level: size, cut ratio, maximality.
+    out.push(clique.len() as f64);
+    let incident: u64 = clique.iter().map(|&u| g.weighted_degree(u)).sum();
+    let cut_ratio = if incident == 0 {
+        0.0
+    } else {
+        // Internal weight counted from both endpoints' perspectives.
+        (2 * internal_weight) as f64 / incident as f64
+    };
+    out.push(cut_ratio);
+    out.push(f64::from(is_maximal(g, clique)));
+}
+
+fn extract_count(g: &ProjectedGraph, clique: &[NodeId], out: &mut Vec<f64>) {
+    // Node-level: unweighted degree.
+    let node_feats: Vec<f64> = clique.iter().map(|&u| g.degree(u) as f64).collect();
+    agg5(&node_feats, out);
+
+    // Edge-level: embeddedness (common-neighbour count).
+    let mut embed = Vec::new();
+    for (i, &u) in clique.iter().enumerate() {
+        for &v in &clique[i + 1..] {
+            embed.push(g.common_neighbors(u, v).len() as f64);
+        }
+    }
+    agg5(&embed, out);
+
+    // Clique-level: size, unweighted cut ratio, maximality.
+    out.push(clique.len() as f64);
+    let internal = clique.len() * (clique.len() - 1) / 2;
+    let incident: usize = clique.iter().map(|&u| g.degree(u)).sum();
+    out.push(if incident == 0 {
+        0.0
+    } else {
+        (2 * internal) as f64 / incident as f64
+    });
+    out.push(f64::from(is_maximal(g, clique)));
+}
+
+/// Square-motif counts per clique edge: paths `u–a–b–v` with
+/// `a, b ∉ {u, v}` and `{a,b}` an edge — the number of 4-cycles through
+/// the pair.
+fn extract_motif(g: &ProjectedGraph, clique: &[NodeId], out: &mut Vec<f64>) {
+    let mut squares = Vec::new();
+    for (i, &u) in clique.iter().enumerate() {
+        for &v in &clique[i + 1..] {
+            let mut count = 0usize;
+            for (a, _) in g.neighbors(u) {
+                if a == v {
+                    continue;
+                }
+                for (b, _) in g.neighbors(a) {
+                    if b == u || b == v {
+                        continue;
+                    }
+                    if g.has_edge(b, v) {
+                        count += 1;
+                    }
+                }
+            }
+            squares.push(count as f64);
+        }
+    }
+    agg5(&squares, out);
+}
+
+/// Human-readable names for each dimension of a feature mode, used by the
+/// feature-importance experiment (online-appendix reproduction).
+pub fn feature_names(mode: FeatureMode) -> Vec<String> {
+    let agg = ["sum", "mean", "min", "max", "std"];
+    let mut names = Vec::with_capacity(mode.dim());
+    let block = |prefix: &str, names: &mut Vec<String>| {
+        for a in agg {
+            names.push(format!("{prefix}_{a}"));
+        }
+    };
+    match mode {
+        FeatureMode::Multiplicity => {
+            block("weighted_degree", &mut names);
+            block("edge_multiplicity", &mut names);
+            block("edge_mhh", &mut names);
+            block("edge_mhh_portion", &mut names);
+            names.push("clique_size".into());
+            names.push("cut_ratio".into());
+            names.push("is_maximal".into());
+        }
+        FeatureMode::Count => {
+            block("degree", &mut names);
+            block("embeddedness", &mut names);
+            names.push("clique_size".into());
+            names.push("cut_ratio".into());
+            names.push("is_maximal".into());
+        }
+        FeatureMode::Motif => {
+            names = feature_names(FeatureMode::Count);
+            block("square_count", &mut names);
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marioh_hypergraph::{hyperedge::edge, projection::project, Hypergraph};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn sample_graph() -> ProjectedGraph {
+        let mut h = Hypergraph::new(0);
+        h.add_edge_with_multiplicity(edge(&[0, 1, 2]), 2);
+        h.add_edge(edge(&[1, 2, 3]));
+        h.add_edge(edge(&[0, 1]));
+        project(&h)
+    }
+
+    #[test]
+    fn dimensions_match_mode() {
+        let g = sample_graph();
+        let clique = [n(0), n(1), n(2)];
+        for mode in [
+            FeatureMode::Multiplicity,
+            FeatureMode::Count,
+            FeatureMode::Motif,
+        ] {
+            let f = extract(mode, &g, &clique);
+            assert_eq!(f.len(), mode.dim());
+            assert_eq!(feature_names(mode).len(), mode.dim());
+            assert!(f.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn agg5_statistics() {
+        let mut out = Vec::new();
+        agg5(&[1.0, 2.0, 3.0], &mut out);
+        assert_eq!(out[0], 6.0); // sum
+        assert_eq!(out[1], 2.0); // mean
+        assert_eq!(out[2], 1.0); // min
+        assert_eq!(out[3], 3.0); // max
+        assert!((out[4] - (2.0f64 / 3.0).sqrt()).abs() < 1e-12); // std
+
+        let mut empty = Vec::new();
+        agg5(&[], &mut empty);
+        assert_eq!(empty, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn multiplicity_features_hand_checked() {
+        let g = sample_graph();
+        // Clique {0,1}: ω_{0,1} = 3 (2 from {0,1,2} + 1 from {0,1}).
+        let f = extract(FeatureMode::Multiplicity, &g, &[n(0), n(1)]);
+        // Edge weights block starts at index 5 (after 5 node aggregates):
+        // sum = mean = min = max = 3, std = 0.
+        assert_eq!(f[5], 3.0);
+        assert_eq!(f[6], 3.0);
+        assert_eq!(f[9], 0.0);
+        // MHH(0,1): common neighbour 2 with min(ω02, ω12) = min(2,3) = 2.
+        assert_eq!(f[10], 2.0);
+        // Portion = 2/3.
+        assert!((f[15] - 2.0 / 3.0).abs() < 1e-12);
+        // Clique size.
+        assert_eq!(f[20], 2.0);
+        // Not maximal ({0,1} extends to {0,1,2}).
+        assert_eq!(f[22], 0.0);
+    }
+
+    #[test]
+    fn maximality_flag() {
+        let g = sample_graph();
+        let f = extract(FeatureMode::Multiplicity, &g, &[n(0), n(1), n(2)]);
+        assert_eq!(f[22], 1.0);
+    }
+
+    #[test]
+    fn cut_ratio_bounded() {
+        let g = sample_graph();
+        for clique in [
+            vec![n(0), n(1)],
+            vec![n(0), n(1), n(2)],
+            vec![n(1), n(2), n(3)],
+        ] {
+            let f = extract(FeatureMode::Multiplicity, &g, &clique);
+            assert!(f[21] > 0.0 && f[21] <= 1.0, "cut ratio {}", f[21]);
+        }
+    }
+
+    #[test]
+    fn motif_square_counts() {
+        // 4-cycle 0-1-2-3-0 plus chord making {0,1} part of a square
+        // 0-3-2-1.
+        let mut g = ProjectedGraph::new(4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            g.add_edge_weight(n(u), n(v), 1);
+        }
+        let mut out = Vec::new();
+        extract_motif(&g, &[n(0), n(1)], &mut out);
+        // Exactly one square through edge (0,1): path 0-3-2-1.
+        assert_eq!(out[0], 1.0); // sum over the single edge
+    }
+
+    #[test]
+    fn count_features_ignore_weights() {
+        // Same topology, different weights ⇒ identical Count features.
+        let mut g1 = ProjectedGraph::new(3);
+        let mut g2 = ProjectedGraph::new(3);
+        for (u, v) in [(0, 1), (1, 2), (0, 2)] {
+            g1.add_edge_weight(n(u), n(v), 1);
+            g2.add_edge_weight(n(u), n(v), 7);
+        }
+        let c = [n(0), n(1), n(2)];
+        assert_eq!(
+            extract(FeatureMode::Count, &g1, &c),
+            extract(FeatureMode::Count, &g2, &c)
+        );
+        assert_ne!(
+            extract(FeatureMode::Multiplicity, &g1, &c),
+            extract(FeatureMode::Multiplicity, &g2, &c)
+        );
+    }
+}

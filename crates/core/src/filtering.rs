@@ -1,0 +1,154 @@
+//! Theoretically-guaranteed filtering (Algorithm 2).
+//!
+//! For every edge of the input graph, a positive residual multiplicity
+//! `r_{u,v} = ω_{u,v} − MHH(u,v)` certifies `r_{u,v}` copies of the
+//! size-2 hyperedge `{u, v}` (Lemma 2). Those copies are moved into the
+//! reconstruction and their weight removed from the graph, shrinking the
+//! search space for the clique-candidate phase.
+
+use crate::mhh::residual_multiplicity;
+use marioh_hypergraph::{Hyperedge, Hypergraph, ProjectedGraph};
+
+/// Statistics reported by [`filtering`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FilterStats {
+    /// Number of distinct node pairs certified as size-2 hyperedges.
+    pub pairs_identified: usize,
+    /// Total multiplicity moved into the reconstruction.
+    pub multiplicity_extracted: u64,
+    /// Edges fully removed from the graph (weight reached zero).
+    pub edges_removed: usize,
+}
+
+/// Runs Algorithm 2: extracts provable size-2 hyperedges from `g` into
+/// `reconstruction` and returns the intermediate graph `G'` plus stats.
+///
+/// As in the paper, every `MHH` value is computed against the *input*
+/// weights `ω`; only the certified pair's own weight is then reduced, so
+/// the result does not depend on edge iteration order.
+pub fn filtering(
+    g: &ProjectedGraph,
+    reconstruction: &mut Hypergraph,
+) -> (ProjectedGraph, FilterStats) {
+    reconstruction.ensure_nodes(g.num_nodes());
+    let mut out = g.clone();
+    let mut stats = FilterStats::default();
+    for (u, v, _w) in g.sorted_edge_list() {
+        let r = residual_multiplicity(g, u, v);
+        if r > 0 {
+            let e = Hyperedge::new([u, v]).expect("two distinct endpoints");
+            reconstruction.add_edge_with_multiplicity(e, r);
+            stats.pairs_identified += 1;
+            stats.multiplicity_extracted += u64::from(r);
+            out.decrement_edge(u, v, r);
+            if !out.has_edge(u, v) {
+                stats.edges_removed += 1;
+            }
+        }
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marioh_hypergraph::{hyperedge::edge, projection::project, NodeId};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn isolated_pair_is_fully_extracted() {
+        let mut h = Hypergraph::new(0);
+        h.add_edge_with_multiplicity(edge(&[0, 1]), 3);
+        let g = project(&h);
+        let mut rec = Hypergraph::new(0);
+        let (g2, stats) = filtering(&g, &mut rec);
+        assert_eq!(rec.multiplicity(&edge(&[0, 1])), 3);
+        assert!(g2.is_edgeless());
+        assert_eq!(
+            stats,
+            FilterStats {
+                pairs_identified: 1,
+                multiplicity_extracted: 3,
+                edges_removed: 1
+            }
+        );
+    }
+
+    #[test]
+    fn triangle_is_untouched() {
+        // A single size-3 hyperedge gives each edge MHH = ω, so nothing is
+        // extracted.
+        let mut h = Hypergraph::new(0);
+        h.add_edge(edge(&[0, 1, 2]));
+        let g = project(&h);
+        let mut rec = Hypergraph::new(0);
+        let (g2, stats) = filtering(&g, &mut rec);
+        assert_eq!(rec.unique_edge_count(), 0);
+        assert_eq!(g2.num_edges(), 3);
+        assert_eq!(stats.pairs_identified, 0);
+    }
+
+    #[test]
+    fn mixed_case_extracts_only_residual() {
+        // {0,1,2} + {0,1}: residual of (0,1) is 1; other edges untouched.
+        let mut h = Hypergraph::new(0);
+        h.add_edge(edge(&[0, 1, 2]));
+        h.add_edge(edge(&[0, 1]));
+        let g = project(&h);
+        let mut rec = Hypergraph::new(0);
+        let (g2, _) = filtering(&g, &mut rec);
+        assert_eq!(rec.multiplicity(&edge(&[0, 1])), 1);
+        assert_eq!(g2.weight(n(0), n(1)), 1);
+        assert_eq!(g2.weight(n(0), n(2)), 1);
+        g2.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn extraction_is_sound_on_random_hypergraphs() {
+        // Lemma 2 soundness: extracted multiplicity never exceeds the true
+        // number of size-2 hyperedges on that pair.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..40 {
+            let n_nodes = rng.gen_range(4..12u32);
+            let mut h = Hypergraph::new(n_nodes);
+            for _ in 0..rng.gen_range(3..15) {
+                let size = rng.gen_range(2..=4usize.min(n_nodes as usize));
+                let mut nodes: Vec<u32> = (0..n_nodes).collect();
+                for i in (1..nodes.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    nodes.swap(i, j);
+                }
+                h.add_edge_with_multiplicity(edge(&nodes[..size]), rng.gen_range(1..3));
+            }
+            let g = project(&h);
+            let mut rec = Hypergraph::new(0);
+            let (g2, _) = filtering(&g, &mut rec);
+            g2.check_invariants().unwrap();
+            for (e, m) in rec.iter() {
+                assert_eq!(e.len(), 2, "filtering only emits pairs");
+                let true_pairs = h.multiplicity(e);
+                assert!(m <= true_pairs, "extracted {m} > true {true_pairs} for {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn weight_conservation() {
+        // Removed weight equals extracted multiplicity.
+        let mut h = Hypergraph::new(0);
+        h.add_edge_with_multiplicity(edge(&[0, 1]), 4);
+        h.add_edge(edge(&[0, 1, 2]));
+        h.add_edge_with_multiplicity(edge(&[3, 4]), 2);
+        let g = project(&h);
+        let mut rec = Hypergraph::new(0);
+        let (g2, stats) = filtering(&g, &mut rec);
+        assert_eq!(
+            g.total_weight() - g2.total_weight(),
+            stats.multiplicity_extracted
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! MARIOH: multiplicity-aware supervised hypergraph reconstruction
+//! (Lee, Lee & Shin, ICDE 2025).
+//!
+//! Given the weighted projected graph `G` of an unknown hypergraph and a
+//! *source* hypergraph from the same domain for supervision, MARIOH
+//! reconstructs the hyperedge multiset by
+//!
+//! 1. [`filtering`] — provably extracting size-2 hyperedges whose residual
+//!    multiplicity is positive (Algorithm 2, Lemmas 1–2),
+//! 2. scoring clique candidates with a classifier over
+//!    multiplicity-aware [`features`] (Sect. III-D),
+//! 3. a bidirectional greedy [`search`] over maximal cliques *and*
+//!    sub-cliques of unpromising cliques (Algorithm 3),
+//! 4. an adaptive-threshold outer loop (Algorithm 1) in [`reconstruct`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use marioh_core::{Marioh, MariohConfig, TrainingConfig};
+//! use marioh_hypergraph::{hyperedge::edge, projection::project, Hypergraph};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // A toy source hypergraph for supervision...
+//! let mut source = Hypergraph::new(0);
+//! source.add_edge(edge(&[0, 1, 2]));
+//! source.add_edge(edge(&[2, 3]));
+//! source.add_edge(edge(&[3, 4, 5]));
+//!
+//! // ...and a target projected graph to reconstruct.
+//! let mut target = Hypergraph::new(0);
+//! target.add_edge(edge(&[0, 1, 2]));
+//! target.add_edge(edge(&[4, 5]));
+//! let g = project(&target);
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let model = Marioh::train(&source, &TrainingConfig::default(), &mut rng);
+//! let reconstructed = model.reconstruct(&g, &MariohConfig::default(), &mut rng);
+//! assert!(reconstructed.unique_edge_count() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod features;
+pub mod filtering;
+pub mod mhh;
+pub mod model;
+pub mod parallel;
+pub mod persistence;
+pub mod reconstruct;
+pub mod search;
+pub mod training;
+pub mod variants;
+
+pub use features::FeatureMode;
+pub use model::{CliqueScorer, TrainedModel};
+pub use reconstruct::{Marioh, MariohConfig};
+pub use training::TrainingConfig;
+pub use variants::Variant;

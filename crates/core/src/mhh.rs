@@ -1,0 +1,140 @@
+//! The maximum number of higher-order hyperedges (MHH) and residual edge
+//! multiplicity (Eq. 1, Lemmas 1–2 of the paper).
+
+use marioh_hypergraph::{NodeId, ProjectedGraph};
+
+/// `MHH(u, v) = Σ_{z ∈ N(u) ∩ N(v)} min(ω_{u,z}, ω_{v,z})` — an upper
+/// bound on the number of hyperedges of size ≥ 3 containing both `u` and
+/// `v` (Lemma 1).
+///
+/// Rationale: every size-≥3 hyperedge containing `u` and `v` also contains
+/// some third node `z`, and contributes 1 to both `ω_{u,z}` and
+/// `ω_{v,z}`; summing the pairwise minima over common neighbours therefore
+/// bounds the count from above.
+pub fn mhh(g: &ProjectedGraph, u: NodeId, v: NodeId) -> u64 {
+    let (small, large) = if g.degree(u) <= g.degree(v) {
+        (u, v)
+    } else {
+        (v, u)
+    };
+    let mut total = 0u64;
+    for (z, w_small) in g.neighbors(small) {
+        if z == large {
+            continue;
+        }
+        let w_large = g.weight(large, z);
+        if w_large > 0 {
+            total += u64::from(w_small.min(w_large));
+        }
+    }
+    total
+}
+
+/// Residual edge multiplicity `r_{u,v} = ω_{u,v} − MHH(u, v)`, clamped at
+/// zero.
+///
+/// By Lemma 2 this is a lower bound on the number of hyperedges that
+/// consist of exactly `{u, v}`, so a positive residual certifies `r`
+/// copies of the size-2 hyperedge.
+pub fn residual_multiplicity(g: &ProjectedGraph, u: NodeId, v: NodeId) -> u32 {
+    let w = u64::from(g.weight(u, v));
+    let bound = mhh(g, u, v);
+    u32::try_from(w.saturating_sub(bound)).expect("residual exceeds u32")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marioh_hypergraph::{hyperedge::edge, projection::project, Hypergraph};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn isolated_pair_has_zero_mhh() {
+        let mut h = Hypergraph::new(0);
+        h.add_edge_with_multiplicity(edge(&[0, 1]), 3);
+        let g = project(&h);
+        assert_eq!(mhh(&g, n(0), n(1)), 0);
+        assert_eq!(residual_multiplicity(&g, n(0), n(1)), 3);
+    }
+
+    #[test]
+    fn triangle_hyperedge_mhh_covers_weight() {
+        // One size-3 hyperedge: each edge has ω = 1 and MHH = 1
+        // (via the third node), so residual = 0 — correctly not a size-2
+        // hyperedge.
+        let mut h = Hypergraph::new(0);
+        h.add_edge(edge(&[0, 1, 2]));
+        let g = project(&h);
+        assert_eq!(mhh(&g, n(0), n(1)), 1);
+        assert_eq!(residual_multiplicity(&g, n(0), n(1)), 0);
+    }
+
+    #[test]
+    fn mixed_case_from_figure_1() {
+        // Hyperedges: {0,1,2} and {0,1} — edge (0,1) has ω = 2, MHH = 1,
+        // residual = 1: exactly one provable size-2 hyperedge.
+        let mut h = Hypergraph::new(0);
+        h.add_edge(edge(&[0, 1, 2]));
+        h.add_edge(edge(&[0, 1]));
+        let g = project(&h);
+        assert_eq!(g.weight(n(0), n(1)), 2);
+        assert_eq!(mhh(&g, n(0), n(1)), 1);
+        assert_eq!(residual_multiplicity(&g, n(0), n(1)), 1);
+    }
+
+    #[test]
+    fn mhh_is_an_upper_bound_on_random_hypergraphs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let n_nodes = rng.gen_range(4..10u32);
+            let mut h = Hypergraph::new(n_nodes);
+            for _ in 0..rng.gen_range(2..12) {
+                let size = rng.gen_range(2..=4usize.min(n_nodes as usize));
+                let mut nodes: Vec<u32> = (0..n_nodes).collect();
+                for i in (1..nodes.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    nodes.swap(i, j);
+                }
+                h.add_edge_with_multiplicity(edge(&nodes[..size]), rng.gen_range(1..3));
+            }
+            let g = project(&h);
+            for (u, v, _w) in g.sorted_edge_list() {
+                // Count true higher-order hyperedges containing both.
+                let true_hh: u64 = h
+                    .iter()
+                    .filter(|(e, _)| e.len() >= 3 && e.contains(u) && e.contains(v))
+                    .map(|(_, m)| u64::from(m))
+                    .sum();
+                assert!(
+                    mhh(&g, u, v) >= true_hh,
+                    "MHH violated Lemma 1 for ({u}, {v})"
+                );
+                // Lemma 2: residual is a lower bound on true size-2 count.
+                let true_pair: u64 = h
+                    .iter()
+                    .filter(|(e, _)| e.len() == 2 && e.contains(u) && e.contains(v))
+                    .map(|(_, m)| u64::from(m))
+                    .sum();
+                assert!(
+                    u64::from(residual_multiplicity(&g, u, v)) <= true_pair,
+                    "residual violated Lemma 2 for ({u}, {v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mhh_symmetric() {
+        let mut h = Hypergraph::new(0);
+        h.add_edge(edge(&[0, 1, 2, 3]));
+        h.add_edge_with_multiplicity(edge(&[1, 2, 3]), 2);
+        let g = project(&h);
+        for (u, v, _) in g.sorted_edge_list() {
+            assert_eq!(mhh(&g, u, v), mhh(&g, v, u));
+        }
+    }
+}

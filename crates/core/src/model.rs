@@ -1,0 +1,79 @@
+//! The trained multiplicity-aware classifier and its scoring interface.
+
+use crate::features::{extract, FeatureMode};
+use marioh_hypergraph::{NodeId, ProjectedGraph};
+use marioh_ml::{Mlp, StandardScaler};
+
+/// Anything that can score a clique's likelihood of being a hyperedge.
+///
+/// The reconstruction loop is generic over this trait so tests can inject
+/// oracles and the ablation variants can swap feature modes. Scoring is
+/// pure (no interior mutability), so the trait requires [`Sync`]: the
+/// search loop fans scoring out across threads when
+/// [`crate::MariohConfig::threads`] is above 1.
+pub trait CliqueScorer: Sync {
+    /// Predicted probability (in `[0, 1]`) that `clique` is a hyperedge of
+    /// the original hypergraph, judged against the current graph `g`.
+    fn score(&self, g: &ProjectedGraph, clique: &[NodeId]) -> f64;
+}
+
+/// A trained classifier `M`: an MLP over scaled clique features.
+#[derive(Debug, Clone)]
+pub struct TrainedModel {
+    pub(crate) mlp: Mlp,
+    pub(crate) scaler: StandardScaler,
+    pub(crate) mode: FeatureMode,
+}
+
+impl TrainedModel {
+    /// Assembles a model from its parts (used by [`crate::training`]).
+    pub fn new(mlp: Mlp, scaler: StandardScaler, mode: FeatureMode) -> Self {
+        assert_eq!(mlp.input_dim(), mode.dim(), "MLP/feature dim mismatch");
+        assert_eq!(scaler.dim(), mode.dim(), "scaler/feature dim mismatch");
+        TrainedModel { mlp, scaler, mode }
+    }
+
+    /// The feature representation this model was trained on.
+    pub fn feature_mode(&self) -> FeatureMode {
+        self.mode
+    }
+}
+
+impl CliqueScorer for TrainedModel {
+    fn score(&self, g: &ProjectedGraph, clique: &[NodeId]) -> f64 {
+        let mut feats = extract(self.mode, g, clique);
+        self.scaler.transform_in_place(&mut feats);
+        self.mlp.predict(&feats)
+    }
+}
+
+/// A scorer backed by a closure — test/diagnostic helper.
+pub struct FnScorer<F: Fn(&ProjectedGraph, &[NodeId]) -> f64 + Sync>(pub F);
+
+impl<F: Fn(&ProjectedGraph, &[NodeId]) -> f64 + Sync> CliqueScorer for FnScorer<F> {
+    fn score(&self, g: &ProjectedGraph, clique: &[NodeId]) -> f64 {
+        (self.0)(g, clique)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn fn_scorer_delegates() {
+        let s = FnScorer(|_g: &ProjectedGraph, c: &[NodeId]| c.len() as f64 / 10.0);
+        let g = ProjectedGraph::new(3);
+        assert_eq!(s.score(&g, &[NodeId(0), NodeId(1)]), 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "MLP/feature dim mismatch")]
+    fn new_validates_dimensions() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new(4, &[], &mut rng);
+        let scaler = StandardScaler::fit(&[vec![0.0; 23]]);
+        TrainedModel::new(mlp, scaler, FeatureMode::Multiplicity);
+    }
+}

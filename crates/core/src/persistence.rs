@@ -1,0 +1,123 @@
+//! Saving and loading trained MARIOH models.
+//!
+//! A trained model is the classifier weights, the feature scaler and the
+//! feature mode — enough to reconstruct any same-domain projected graph
+//! later or on another machine (the transfer setting of Table V without
+//! retraining). Plain-text format, no external serialisation crates.
+
+use crate::features::FeatureMode;
+use crate::model::TrainedModel;
+use marioh_ml::{Mlp, StandardScaler};
+use std::io::{BufRead, BufReader, BufWriter, Error, ErrorKind, Read, Write};
+use std::path::Path;
+
+fn mode_tag(mode: FeatureMode) -> &'static str {
+    match mode {
+        FeatureMode::Multiplicity => "multiplicity",
+        FeatureMode::Count => "count",
+        FeatureMode::Motif => "motif",
+    }
+}
+
+fn parse_mode(tag: &str) -> Option<FeatureMode> {
+    match tag {
+        "multiplicity" => Some(FeatureMode::Multiplicity),
+        "count" => Some(FeatureMode::Count),
+        "motif" => Some(FeatureMode::Motif),
+        _ => None,
+    }
+}
+
+impl TrainedModel {
+    /// Writes the model (feature mode, scaler, MLP) to a writer.
+    pub fn write_to<W: Write>(&self, writer: W) -> std::io::Result<()> {
+        let mut out = BufWriter::new(writer);
+        writeln!(out, "marioh-model v1 {}", mode_tag(self.mode))?;
+        self.scaler.write_to(&mut out)?;
+        self.mlp.write_to(&mut out)?;
+        out.flush()
+    }
+
+    /// Reads a model written by [`TrainedModel::write_to`].
+    pub fn read_from<R: Read>(reader: R) -> std::io::Result<Self> {
+        let mut input = BufReader::new(reader);
+        let mut header = String::new();
+        input.read_line(&mut header)?;
+        let bad = |msg: &str| Error::new(ErrorKind::InvalidData, msg.to_owned());
+        let tag = header
+            .trim()
+            .strip_prefix("marioh-model v1 ")
+            .ok_or_else(|| bad("not a marioh model file"))?;
+        let mode = parse_mode(tag).ok_or_else(|| bad("unknown feature mode"))?;
+        let scaler = StandardScaler::read_from_buf(&mut input)?;
+        let mlp = Mlp::read_from_buf(&mut input)?;
+        if mlp.input_dim() != mode.dim() || scaler.dim() != mode.dim() {
+            return Err(bad("model dimensions inconsistent with feature mode"));
+        }
+        Ok(TrainedModel::new(mlp, scaler, mode))
+    }
+
+    /// Saves the model to a file path.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        self.write_to(std::fs::File::create(path)?)
+    }
+
+    /// Loads a model from a file path.
+    pub fn load<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        Self::read_from(std::fs::File::open(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CliqueScorer;
+    use crate::training::{train_classifier, TrainingConfig};
+    use marioh_hypergraph::{hyperedge::edge, projection::project, Hypergraph, NodeId};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn trained() -> (TrainedModel, Hypergraph) {
+        let mut h = Hypergraph::new(0);
+        for b in 0..15u32 {
+            h.add_edge(edge(&[b * 3, b * 3 + 1, b * 3 + 2]));
+            h.add_edge(edge(&[b * 3, b * 3 + 1]));
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        (
+            train_classifier(&h, &TrainingConfig::default(), &mut rng),
+            h,
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_scores() {
+        let (model, h) = trained();
+        let g = project(&h);
+        let mut buf = Vec::new();
+        model.write_to(&mut buf).unwrap();
+        let back = TrainedModel::read_from(buf.as_slice()).unwrap();
+        assert_eq!(back.feature_mode(), model.feature_mode());
+        for clique in [
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            vec![NodeId(0), NodeId(1)],
+        ] {
+            assert_eq!(model.score(&g, &clique), back.score(&g, &clique));
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (model, _) = trained();
+        let path = std::env::temp_dir().join("marioh-model-test.txt");
+        model.save(&path).unwrap();
+        let back = TrainedModel::load(&path).unwrap();
+        assert_eq!(back.feature_mode(), FeatureMode::Multiplicity);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_corrupt_files() {
+        assert!(TrainedModel::read_from("garbage".as_bytes()).is_err());
+        assert!(TrainedModel::read_from("marioh-model v1 nonsense\n".as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,318 @@
+//! The MARIOH outer loop (Algorithm 1) and the high-level API.
+
+use crate::filtering::{filtering, FilterStats};
+use crate::model::{CliqueScorer, TrainedModel};
+use crate::search::{bidirectional_search_threaded, SearchStats};
+use crate::training::{train_classifier, TrainingConfig};
+use marioh_hypergraph::{Hypergraph, ProjectedGraph};
+use rand::Rng;
+
+/// Hyperparameters of the reconstruction loop (Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct MariohConfig {
+    /// Initial classification threshold `θ_init` (Fig. 4 explores
+    /// 0.5–1.0; robust across the range).
+    pub theta_init: f64,
+    /// Negative-prediction processing ratio `r` in percent (Fig. 4
+    /// explores 5–100).
+    pub neg_ratio: f64,
+    /// Threshold adjust ratio `α` (paper default 1/20).
+    pub alpha: f64,
+    /// Run the theoretically-guaranteed filtering step (disable for the
+    /// MARIOH-F ablation).
+    pub use_filtering: bool,
+    /// Run Phase 2 of the bidirectional search (disable for MARIOH-B).
+    pub use_bidirectional: bool,
+    /// Safety cap on outer-loop iterations; the loop provably terminates
+    /// once `θ` reaches 0 (sigmoid scores are strictly positive), so this
+    /// only guards against a pathological scorer.
+    pub max_iterations: usize,
+    /// Worker threads for clique enumeration and scoring inside each
+    /// search round (1 = serial). Results are identical for any value;
+    /// only wall-clock time changes.
+    pub threads: usize,
+}
+
+impl Default for MariohConfig {
+    fn default() -> Self {
+        MariohConfig {
+            theta_init: 0.9,
+            neg_ratio: 20.0,
+            alpha: 1.0 / 20.0,
+            use_filtering: true,
+            use_bidirectional: true,
+            max_iterations: 10_000,
+            threads: 1,
+        }
+    }
+}
+
+/// Per-run diagnostics: stage timings (Fig. 6) and counters.
+#[derive(Debug, Clone, Default)]
+pub struct ReconstructionReport {
+    /// Filtering-stage statistics (`None` when filtering is disabled).
+    pub filter_stats: Option<FilterStats>,
+    /// Wall-clock seconds spent in the filtering stage.
+    pub filtering_secs: f64,
+    /// Wall-clock seconds spent in bidirectional-search rounds.
+    pub search_secs: f64,
+    /// One entry per outer-loop round.
+    pub rounds: Vec<SearchStats>,
+}
+
+/// Reconstructs a hypergraph from `g` with an arbitrary scorer
+/// (Algorithm 1). Returns the reconstruction and a diagnostic report.
+pub fn reconstruct_with_report<R: Rng + ?Sized>(
+    g: &ProjectedGraph,
+    scorer: &dyn CliqueScorer,
+    cfg: &MariohConfig,
+    rng: &mut R,
+) -> (Hypergraph, ReconstructionReport) {
+    let mut report = ReconstructionReport::default();
+    let mut reconstruction = Hypergraph::new(g.num_nodes());
+
+    let mut work = if cfg.use_filtering {
+        let t0 = std::time::Instant::now();
+        let (g2, stats) = filtering(g, &mut reconstruction);
+        report.filtering_secs = t0.elapsed().as_secs_f64();
+        report.filter_stats = Some(stats);
+        g2
+    } else {
+        g.clone()
+    };
+
+    let mut theta = cfg.theta_init;
+    let t0 = std::time::Instant::now();
+    let mut stall_rounds = 0usize;
+    while !work.is_edgeless() && report.rounds.len() < cfg.max_iterations {
+        let stats = bidirectional_search_threaded(
+            &mut work,
+            scorer,
+            theta,
+            cfg.neg_ratio,
+            &mut reconstruction,
+            cfg.use_bidirectional,
+            cfg.threads,
+            rng,
+        );
+        let committed = stats.committed_phase1 + stats.committed_phase2;
+        report.rounds.push(stats);
+        // θ = 0 accepts every positively-scored clique, so a zero-commit
+        // round *at* θ = 0 means the scorer is returning non-positive
+        // scores; bail out rather than loop forever (the safety cap would
+        // catch it anyway). Zero-commit rounds at θ > 0 are normal — the
+        // threshold just has not decayed enough yet.
+        if committed == 0 && theta == 0.0 {
+            stall_rounds += 1;
+            if stall_rounds >= 2 {
+                break;
+            }
+        } else if committed > 0 {
+            stall_rounds = 0;
+        }
+        theta = (theta - cfg.alpha * cfg.theta_init).max(0.0);
+    }
+    report.search_secs = t0.elapsed().as_secs_f64();
+    (reconstruction, report)
+}
+
+/// [`reconstruct_with_report`] without the diagnostics.
+pub fn reconstruct<R: Rng + ?Sized>(
+    g: &ProjectedGraph,
+    scorer: &dyn CliqueScorer,
+    cfg: &MariohConfig,
+    rng: &mut R,
+) -> Hypergraph {
+    reconstruct_with_report(g, scorer, cfg, rng).0
+}
+
+/// The high-level MARIOH API: a trained model ready to reconstruct
+/// projected graphs from its domain.
+#[derive(Debug, Clone)]
+pub struct Marioh {
+    model: TrainedModel,
+}
+
+impl Marioh {
+    /// Trains MARIOH's classifier on a source hypergraph (Problem 1's
+    /// supervision). The source projection is computed internally.
+    pub fn train<R: Rng + ?Sized>(source: &Hypergraph, cfg: &TrainingConfig, rng: &mut R) -> Self {
+        Marioh {
+            model: train_classifier(source, cfg, rng),
+        }
+    }
+
+    /// Wraps an already-trained model (e.g. for transfer experiments).
+    pub fn from_model(model: TrainedModel) -> Self {
+        Marioh { model }
+    }
+
+    /// The underlying classifier.
+    pub fn model(&self) -> &TrainedModel {
+        &self.model
+    }
+
+    /// Reconstructs the hypergraph of a target projected graph.
+    pub fn reconstruct<R: Rng + ?Sized>(
+        &self,
+        g: &ProjectedGraph,
+        cfg: &MariohConfig,
+        rng: &mut R,
+    ) -> Hypergraph {
+        reconstruct(g, &self.model, cfg, rng)
+    }
+
+    /// Reconstruction plus per-stage diagnostics (Fig. 6 timings).
+    pub fn reconstruct_with_report<R: Rng + ?Sized>(
+        &self,
+        g: &ProjectedGraph,
+        cfg: &MariohConfig,
+        rng: &mut R,
+    ) -> (Hypergraph, ReconstructionReport) {
+        reconstruct_with_report(g, &self.model, cfg, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FnScorer;
+    use marioh_hypergraph::metrics::{jaccard, multi_jaccard};
+    use marioh_hypergraph::{hyperedge::edge, projection::project, NodeId};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Oracle scorer: 1 for true hyperedges of `truth`, small otherwise.
+    fn oracle(truth: &Hypergraph) -> impl CliqueScorer + '_ {
+        FnScorer(move |_: &ProjectedGraph, c: &[NodeId]| {
+            let e = marioh_hypergraph::Hyperedge::new(c.iter().copied()).unwrap();
+            if truth.contains(&e) {
+                0.99
+            } else {
+                0.01
+            }
+        })
+    }
+
+    #[test]
+    fn perfect_scorer_recovers_simple_hypergraph() {
+        let mut h = Hypergraph::new(0);
+        h.add_edge(edge(&[0, 1, 2]));
+        h.add_edge(edge(&[2, 3, 4]));
+        h.add_edge(edge(&[5, 6]));
+        let g = project(&h);
+        let mut rng = StdRng::seed_from_u64(0);
+        let rec = reconstruct(&g, &oracle(&h), &MariohConfig::default(), &mut rng);
+        assert_eq!(jaccard(&h, &rec), 1.0);
+        assert_eq!(multi_jaccard(&h, &rec), 1.0);
+    }
+
+    #[test]
+    fn recovers_multiplicity_via_filtering() {
+        // {0,1} x3 alongside a triangle: filtering should certify the
+        // pair's residual copies and the loop the rest.
+        let mut h = Hypergraph::new(0);
+        h.add_edge_with_multiplicity(edge(&[0, 1]), 3);
+        h.add_edge(edge(&[2, 3, 4]));
+        let g = project(&h);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (rec, report) =
+            reconstruct_with_report(&g, &oracle(&h), &MariohConfig::default(), &mut rng);
+        assert_eq!(multi_jaccard(&h, &rec), 1.0);
+        let fs = report.filter_stats.unwrap();
+        assert_eq!(fs.multiplicity_extracted, 3);
+    }
+
+    #[test]
+    fn terminates_even_with_hostile_scorer() {
+        // Scorer that returns 0 for everything: θ decays to 0; scores are
+        // not > 0, so nothing is ever committed — the stall detector must
+        // end the loop.
+        let mut h = Hypergraph::new(0);
+        h.add_edge(edge(&[0, 1, 2]));
+        let g = project(&h);
+        let scorer = FnScorer(|_: &ProjectedGraph, _: &[NodeId]| 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = MariohConfig {
+            max_iterations: 500,
+            ..MariohConfig::default()
+        };
+        let (rec, report) = reconstruct_with_report(&g, &scorer, &cfg, &mut rng);
+        assert!(report.rounds.len() < 500);
+        assert_eq!(rec.unique_edge_count(), 0);
+    }
+
+    #[test]
+    fn graph_is_always_emptied_with_positive_scorer() {
+        // Any strictly positive scorer empties the graph: once θ = 0 every
+        // maximal clique is committed each round.
+        let mut h = Hypergraph::new(0);
+        h.add_edge_with_multiplicity(edge(&[0, 1, 2, 3]), 2);
+        h.add_edge(edge(&[1, 2]));
+        h.add_edge(edge(&[3, 4]));
+        let g = project(&h);
+        let scorer = FnScorer(|_: &ProjectedGraph, _: &[NodeId]| 0.001);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (rec, _) = reconstruct_with_report(&g, &scorer, &MariohConfig::default(), &mut rng);
+        // Total projected weight of reconstruction equals the input's.
+        assert_eq!(project(&rec).total_weight(), g.total_weight());
+    }
+
+    #[test]
+    fn ablation_flags_change_behaviour() {
+        let mut h = Hypergraph::new(0);
+        h.add_edge_with_multiplicity(edge(&[0, 1]), 2);
+        let g = project(&h);
+        let scorer = FnScorer(|_: &ProjectedGraph, _: &[NodeId]| 0.99);
+        let mut rng = StdRng::seed_from_u64(4);
+        let no_filter = MariohConfig {
+            use_filtering: false,
+            ..MariohConfig::default()
+        };
+        let (_, report) = reconstruct_with_report(&g, &scorer, &no_filter, &mut rng);
+        assert!(report.filter_stats.is_none());
+        let (_, report) = reconstruct_with_report(&g, &scorer, &MariohConfig::default(), &mut rng);
+        assert!(report.filter_stats.is_some());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_reconstruction() {
+        let mut h = Hypergraph::new(0);
+        for b in 0..8u32 {
+            let base = b * 4;
+            h.add_edge(edge(&[base, base + 1, base + 2]));
+            h.add_edge(edge(&[base + 1, base + 2, base + 3]));
+            h.add_edge_with_multiplicity(edge(&[base, base + 3]), 2);
+        }
+        let g = project(&h);
+        let run = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(9);
+            let cfg = MariohConfig {
+                threads,
+                ..MariohConfig::default()
+            };
+            reconstruct(&g, &oracle(&h), &cfg, &mut rng)
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(4));
+    }
+
+    #[test]
+    fn end_to_end_trained_pipeline() {
+        // Train on one half of a structured hypergraph, reconstruct the
+        // other half's projection, and expect a meaningful Jaccard.
+        let mut source = Hypergraph::new(0);
+        let mut target = Hypergraph::new(0);
+        for b in 0..30u32 {
+            let base = b * 3;
+            let hg = if b % 2 == 0 { &mut source } else { &mut target };
+            hg.add_edge(edge(&[base, base + 1, base + 2]));
+            hg.add_edge(edge(&[base, base + 1]));
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = Marioh::train(&source, &TrainingConfig::default(), &mut rng);
+        let g = project(&target);
+        let rec = model.reconstruct(&g, &MariohConfig::default(), &mut rng);
+        let j = jaccard(&target, &rec);
+        assert!(j > 0.5, "trained MARIOH scored only {j}");
+    }
+}

@@ -1,0 +1,338 @@
+//! Bidirectional search over clique candidates (Algorithm 3).
+//!
+//! One invocation = one round of the outer loop: enumerate the maximal
+//! cliques of the intermediate graph, commit the high-scoring ones
+//! (Phase 1), then probe random sub-cliques of the lowest-scoring r%
+//! (Phase 2). Committing a clique decrements all its edge weights by one,
+//! so later candidates may no longer exist — exactly the behaviour shown
+//! in Fig. 3 (clique (B) disappearing after (A) is taken).
+
+use crate::model::CliqueScorer;
+use crate::parallel::score_cliques;
+use marioh_hypergraph::clique::sample_k_subset;
+use marioh_hypergraph::parallel::maximal_cliques_parallel;
+use marioh_hypergraph::{Hyperedge, Hypergraph, NodeId, ProjectedGraph};
+use rand::Rng;
+
+/// Statistics reported by one [`bidirectional_search`] round.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Maximal cliques enumerated this round.
+    pub cliques_enumerated: usize,
+    /// Hyperedges committed in Phase 1 (most promising cliques).
+    pub committed_phase1: usize,
+    /// Sub-cliques sampled in Phase 2.
+    pub subcliques_sampled: usize,
+    /// Hyperedges committed in Phase 2 (promising sub-cliques).
+    pub committed_phase2: usize,
+}
+
+/// Commits `clique` as a hyperedge if all its edges are still present:
+/// adds one copy to `reconstruction` and decrements every constituent
+/// edge. Returns whether the commit happened.
+fn try_commit(g: &mut ProjectedGraph, clique: &[NodeId], reconstruction: &mut Hypergraph) -> bool {
+    if !g.is_clique(clique) {
+        return false;
+    }
+    let e = Hyperedge::new(clique.iter().copied()).expect("clique has >= 2 nodes");
+    reconstruction.add_edge(e);
+    for (i, &u) in clique.iter().enumerate() {
+        for &v in &clique[i + 1..] {
+            g.decrement_edge(u, v, 1);
+        }
+    }
+    true
+}
+
+/// Runs one bidirectional-search round (Algorithm 3).
+///
+/// * `theta` — classification threshold for "promising".
+/// * `neg_ratio` — the `r` parameter in percent (0–100): the share of
+///   non-promising cliques whose sub-cliques are probed.
+/// * `phase2` — set `false` to reproduce the MARIOH-B ablation (skip the
+///   least-promising phase entirely).
+pub fn bidirectional_search<R: Rng + ?Sized>(
+    g: &mut ProjectedGraph,
+    scorer: &dyn CliqueScorer,
+    theta: f64,
+    neg_ratio: f64,
+    reconstruction: &mut Hypergraph,
+    phase2: bool,
+    rng: &mut R,
+) -> SearchStats {
+    bidirectional_search_threaded(g, scorer, theta, neg_ratio, reconstruction, phase2, 1, rng)
+}
+
+/// [`bidirectional_search`] with explicit parallelism: clique enumeration
+/// and clique scoring fan out over `threads` threads. Results are
+/// identical to the serial round for any thread count (both stages are
+/// pure; the commit order stays deterministic).
+#[allow(clippy::too_many_arguments)] // mirrors Algorithm 3's parameter list
+pub fn bidirectional_search_threaded<R: Rng + ?Sized>(
+    g: &mut ProjectedGraph,
+    scorer: &dyn CliqueScorer,
+    theta: f64,
+    neg_ratio: f64,
+    reconstruction: &mut Hypergraph,
+    phase2: bool,
+    threads: usize,
+    rng: &mut R,
+) -> SearchStats {
+    let mut stats = SearchStats::default();
+    let cliques = maximal_cliques_parallel(g, threads);
+    stats.cliques_enumerated = cliques.len();
+    if cliques.is_empty() {
+        return stats;
+    }
+
+    // Score all maximal cliques once (deterministic order: the enumerator
+    // returns cliques sorted).
+    let scores = score_cliques(scorer, g, &cliques, threads);
+    let mut scored: Vec<(f64, &Vec<NodeId>)> = scores.into_iter().zip(cliques.iter()).collect();
+
+    // Partition: positives (score > θ) descending, rest ascending.
+    let mut positives: Vec<(f64, &Vec<NodeId>)> = Vec::new();
+    let mut negatives: Vec<(f64, &Vec<NodeId>)> = Vec::new();
+    for item in scored.drain(..) {
+        if item.0 > theta {
+            positives.push(item);
+        } else {
+            negatives.push(item);
+        }
+    }
+    positives.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN score").then(a.1.cmp(b.1)));
+
+    // --- Phase 1: most promising cliques ---
+    for (_, clique) in &positives {
+        if try_commit(g, clique, reconstruction) {
+            stats.committed_phase1 += 1;
+        }
+    }
+
+    if !phase2 {
+        return stats;
+    }
+
+    // --- Phase 2: least promising cliques ---
+    negatives.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN score").then(a.1.cmp(b.1)));
+    let take = ((neg_ratio / 100.0) * negatives.len() as f64).ceil() as usize;
+    // Sample first (sequential: the RNG stream must not depend on thread
+    // count), then score the surviving candidates as one batch.
+    let mut candidates: Vec<Vec<NodeId>> = Vec::new();
+    for (_, clique) in negatives.iter().take(take) {
+        // One random k-subset per size k ∈ {2, …, |Q|−1}.
+        for k in 2..clique.len() {
+            let sub = sample_k_subset(rng, clique, k);
+            stats.subcliques_sampled += 1;
+            if g.is_clique(&sub) {
+                candidates.push(sub);
+            }
+            // else: an earlier commit removed one of its edges
+        }
+    }
+    let sub_scores = score_cliques(scorer, g, &candidates, threads);
+    let mut sub_scored: Vec<(f64, Vec<NodeId>)> = sub_scores
+        .into_iter()
+        .zip(candidates)
+        .filter(|&(s, _)| s > theta)
+        .collect();
+    sub_scored.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .expect("NaN score")
+            .then(a.1.cmp(&b.1))
+    });
+    for (_, sub) in &sub_scored {
+        if try_commit(g, sub, reconstruction) {
+            stats.committed_phase2 += 1;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FnScorer;
+    use marioh_hypergraph::{hyperedge::edge, projection::project};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn commits_high_scoring_maximal_clique() {
+        let mut h = Hypergraph::new(0);
+        h.add_edge(edge(&[0, 1, 2]));
+        let mut g = project(&h);
+        let scorer = FnScorer(|_: &ProjectedGraph, _: &[NodeId]| 0.99);
+        let mut rec = Hypergraph::new(0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let stats = bidirectional_search(&mut g, &scorer, 0.5, 20.0, &mut rec, true, &mut rng);
+        assert_eq!(stats.committed_phase1, 1);
+        assert!(rec.contains(&edge(&[0, 1, 2])));
+        assert!(g.is_edgeless());
+    }
+
+    #[test]
+    fn overlapping_clique_disappears_after_commit() {
+        // Figure 3 scenario: once {5,6,7}-analogue is taken, the second
+        // clique loses a shared edge and cannot be committed this round.
+        let mut g = ProjectedGraph::new(4);
+        // Two triangles {0,1,2} and {1,2,3} sharing edge (1,2), all ω = 1.
+        for (u, v) in [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)] {
+            g.add_edge_weight(n(u), n(v), 1);
+        }
+        // Score {0,1,2} above {1,2,3}.
+        let scorer = FnScorer(
+            |_: &ProjectedGraph, c: &[NodeId]| {
+                if c.contains(&NodeId(0)) {
+                    0.9
+                } else {
+                    0.8
+                }
+            },
+        );
+        let mut rec = Hypergraph::new(0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let stats = bidirectional_search(&mut g, &scorer, 0.5, 100.0, &mut rec, true, &mut rng);
+        assert_eq!(stats.committed_phase1, 1);
+        assert!(rec.contains(&edge(&[0, 1, 2])));
+        assert!(!rec.contains(&edge(&[1, 2, 3])));
+        // Edges (1,3), (2,3) survive for later rounds.
+        assert!(g.has_edge(n(1), n(3)));
+        assert!(g.has_edge(n(2), n(3)));
+    }
+
+    #[test]
+    fn phase2_recovers_subclique_of_unpromising_clique() {
+        // A triangle scored low as a whole, but whose 2-subsets score
+        // high: phase 2 should commit sub-cliques.
+        let mut g = ProjectedGraph::new(3);
+        for (u, v) in [(0, 1), (0, 2), (1, 2)] {
+            g.add_edge_weight(n(u), n(v), 1);
+        }
+        let scorer = FnScorer(
+            |_: &ProjectedGraph, c: &[NodeId]| {
+                if c.len() == 3 {
+                    0.1
+                } else {
+                    0.9
+                }
+            },
+        );
+        let mut rec = Hypergraph::new(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let stats = bidirectional_search(&mut g, &scorer, 0.5, 100.0, &mut rec, true, &mut rng);
+        assert_eq!(stats.committed_phase1, 0);
+        assert_eq!(stats.committed_phase2, 1);
+        assert_eq!(rec.total_edge_count(), 1);
+        let (e, _) = rec.iter().next().unwrap();
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn phase2_disabled_for_variant_b() {
+        let mut g = ProjectedGraph::new(3);
+        for (u, v) in [(0, 1), (0, 2), (1, 2)] {
+            g.add_edge_weight(n(u), n(v), 1);
+        }
+        let scorer = FnScorer(|_: &ProjectedGraph, _: &[NodeId]| 0.1);
+        let mut rec = Hypergraph::new(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let stats = bidirectional_search(&mut g, &scorer, 0.5, 100.0, &mut rec, false, &mut rng);
+        assert_eq!(stats.subcliques_sampled, 0);
+        assert_eq!(rec.total_edge_count(), 0);
+        assert_eq!(g.num_edges(), 3); // untouched
+    }
+
+    #[test]
+    fn neg_ratio_limits_probed_cliques() {
+        // Ten disjoint low-scoring triangles; r = 10% probes only one.
+        let mut g = ProjectedGraph::new(30);
+        for t in 0..10u32 {
+            let b = 3 * t;
+            for (u, v) in [(b, b + 1), (b, b + 2), (b + 1, b + 2)] {
+                g.add_edge_weight(n(u), n(v), 1);
+            }
+        }
+        let scorer = FnScorer(
+            |_: &ProjectedGraph, c: &[NodeId]| {
+                if c.len() == 3 {
+                    0.1
+                } else {
+                    0.0
+                }
+            },
+        );
+        let mut rec = Hypergraph::new(0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let stats = bidirectional_search(&mut g, &scorer, 0.5, 10.0, &mut rec, true, &mut rng);
+        // One clique probed, one sub-clique per k ∈ {2}.
+        assert_eq!(stats.subcliques_sampled, 1);
+    }
+
+    #[test]
+    fn threaded_round_matches_serial_exactly() {
+        use rand::Rng as _;
+        // A messy random graph plus a score depending on clique content:
+        // the threaded round must produce the same commits, stats and
+        // final graph as the serial one.
+        let scorer = FnScorer(|g: &ProjectedGraph, c: &[NodeId]| {
+            let w: u32 = c
+                .iter()
+                .enumerate()
+                .flat_map(|(i, &u)| c[i + 1..].iter().map(move |&v| g.weight(u, v)))
+                .sum();
+            f64::from(w) / (1.0 + f64::from(w))
+        });
+        let mut seed_rng = StdRng::seed_from_u64(77);
+        for _ in 0..5 {
+            let n = seed_rng.gen_range(6..25u32);
+            let mut proto = ProjectedGraph::new(n);
+            for u in 0..n {
+                for v in u + 1..n {
+                    if seed_rng.gen_bool(0.35) {
+                        proto.add_edge_weight(NodeId(u), NodeId(v), seed_rng.gen_range(1..4));
+                    }
+                }
+            }
+            let run = |threads: usize| {
+                let mut g = proto.clone();
+                let mut rec = Hypergraph::new(n);
+                let mut rng = StdRng::seed_from_u64(5);
+                let stats = bidirectional_search_threaded(
+                    &mut g, &scorer, 0.5, 50.0, &mut rec, true, threads, &mut rng,
+                );
+                (g, rec, stats)
+            };
+            let (g1, rec1, stats1) = run(1);
+            for threads in [2, 4] {
+                let (gt, rect, statst) = run(threads);
+                assert_eq!(stats1, statst, "stats differ at {threads} threads");
+                assert_eq!(rec1, rect, "reconstruction differs at {threads} threads");
+                assert_eq!(
+                    g1.sorted_edge_list(),
+                    gt.sorted_edge_list(),
+                    "residual graph differs at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threshold_accepts_everything() {
+        let mut g = ProjectedGraph::new(4);
+        for (u, v) in [(0, 1), (2, 3)] {
+            g.add_edge_weight(n(u), n(v), 2);
+        }
+        // Sigmoid-like scorer: always positive.
+        let scorer = FnScorer(|_: &ProjectedGraph, _: &[NodeId]| 1e-6);
+        let mut rec = Hypergraph::new(0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let stats = bidirectional_search(&mut g, &scorer, 0.0, 20.0, &mut rec, true, &mut rng);
+        assert_eq!(stats.committed_phase1, 2);
+        // One unit of weight removed per edge per commit.
+        assert_eq!(g.total_weight(), 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! The MARIOH ablation variants of Tables II–III.
+//!
+//! * **MARIOH** — the full method.
+//! * **MARIOH-M** — multiplicity-aware features replaced by the
+//!   multiplicity-blind count features (tests the classifier's features).
+//! * **MARIOH-F** — the theoretically-guaranteed filtering step disabled
+//!   (size-2 hyperedges must be found by the classifier).
+//! * **MARIOH-B** — Phase 2 of the bidirectional search disabled
+//!   (sub-cliques of unpromising cliques are never probed).
+
+use crate::features::FeatureMode;
+use crate::reconstruct::MariohConfig;
+use crate::training::TrainingConfig;
+
+/// The four configurations evaluated in the ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Full MARIOH.
+    Full,
+    /// Without multiplicity-aware features (count features instead).
+    NoMultiplicityFeatures,
+    /// Without the filtering preprocessing step.
+    NoFiltering,
+    /// Without the bidirectional (Phase 2) search.
+    NoBidirectional,
+}
+
+impl Variant {
+    /// All variants, in the paper's table order
+    /// (MARIOH-M, MARIOH-F, MARIOH-B, MARIOH).
+    pub fn all() -> [Variant; 4] {
+        [
+            Variant::NoMultiplicityFeatures,
+            Variant::NoFiltering,
+            Variant::NoBidirectional,
+            Variant::Full,
+        ]
+    }
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Full => "MARIOH",
+            Variant::NoMultiplicityFeatures => "MARIOH-M",
+            Variant::NoFiltering => "MARIOH-F",
+            Variant::NoBidirectional => "MARIOH-B",
+        }
+    }
+
+    /// Training configuration for this variant, derived from a base
+    /// configuration.
+    pub fn training_config(self, base: &TrainingConfig) -> TrainingConfig {
+        let mut cfg = base.clone();
+        cfg.feature_mode = match self {
+            Variant::NoMultiplicityFeatures => FeatureMode::Count,
+            _ => FeatureMode::Multiplicity,
+        };
+        cfg
+    }
+
+    /// Reconstruction configuration for this variant, derived from a base
+    /// configuration.
+    pub fn marioh_config(self, base: &MariohConfig) -> MariohConfig {
+        let mut cfg = base.clone();
+        match self {
+            Variant::NoFiltering => cfg.use_filtering = false,
+            Variant::NoBidirectional => cfg.use_bidirectional = false,
+            _ => {}
+        }
+        cfg
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_configs_toggle_the_right_knobs() {
+        let base_t = TrainingConfig::default();
+        let base_m = MariohConfig::default();
+
+        let full = Variant::Full;
+        assert_eq!(
+            full.training_config(&base_t).feature_mode,
+            FeatureMode::Multiplicity
+        );
+        assert!(full.marioh_config(&base_m).use_filtering);
+        assert!(full.marioh_config(&base_m).use_bidirectional);
+
+        let m = Variant::NoMultiplicityFeatures;
+        assert_eq!(m.training_config(&base_t).feature_mode, FeatureMode::Count);
+        assert!(m.marioh_config(&base_m).use_filtering);
+
+        let f = Variant::NoFiltering;
+        assert!(!f.marioh_config(&base_m).use_filtering);
+        assert!(f.marioh_config(&base_m).use_bidirectional);
+
+        let b = Variant::NoBidirectional;
+        assert!(b.marioh_config(&base_m).use_filtering);
+        assert!(!b.marioh_config(&base_m).use_bidirectional);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Variant::Full.to_string(), "MARIOH");
+        assert_eq!(Variant::NoMultiplicityFeatures.to_string(), "MARIOH-M");
+        assert_eq!(Variant::NoFiltering.to_string(), "MARIOH-F");
+        assert_eq!(Variant::NoBidirectional.to_string(), "MARIOH-B");
+        assert_eq!(Variant::all().len(), 4);
+    }
+}

@@ -1,0 +1,132 @@
+//! Email-network generator (Eu stand-in).
+//!
+//! Email hypergraphs (sender + recipient sets) have hub-centred structure:
+//! each sender repeatedly mails overlapping subsets of a stable contact
+//! circle. The result — many *distinct* hyperedges over the same small
+//! node sets — produces high edge multiplicity (Table I: avg ω 4.62) with
+//! modest hyperedge multiplicity (1.26), the regime that separates Eu
+//! from both contact and co-authorship data.
+
+use super::{powerlaw_weight, sample_multiplicity, sample_size, weighted_index};
+use marioh_hypergraph::{Hyperedge, Hypergraph, NodeId};
+use rand::Rng;
+
+/// Parameters of the email generator.
+#[derive(Debug, Clone)]
+pub struct EmailParams {
+    /// Number of nodes (accounts).
+    pub num_nodes: u32,
+    /// Target number of unique hyperedges (distinct sender+recipients
+    /// sets).
+    pub num_hyperedges: usize,
+    /// Mean hyperedge multiplicity (repeated identical emails).
+    pub mean_multiplicity: f64,
+    /// Size of each account's contact circle.
+    pub circle_size: usize,
+    /// Email size distribution (sender + recipients) as `(size, weight)`.
+    pub size_dist: Vec<(usize, f64)>,
+}
+
+impl Default for EmailParams {
+    fn default() -> Self {
+        EmailParams {
+            num_nodes: 891,
+            num_hyperedges: 3_400,
+            mean_multiplicity: 1.26,
+            circle_size: 12,
+            size_dist: vec![(2, 0.35), (3, 0.3), (4, 0.2), (5, 0.1), (6, 0.05)],
+        }
+    }
+}
+
+/// Generates an email hypergraph.
+pub fn generate<R: Rng + ?Sized>(params: &EmailParams, rng: &mut R) -> Hypergraph {
+    let n = params.num_nodes as usize;
+    // Hub activity is heavy-tailed.
+    let activity: Vec<f64> = (0..n).map(|_| powerlaw_weight(rng, 2.1)).collect();
+    let total_activity: f64 = activity.iter().sum();
+    // Fixed contact circle per account (preferentially popular accounts).
+    let circles: Vec<Vec<u32>> = (0..n)
+        .map(|u| {
+            let mut circle = Vec::with_capacity(params.circle_size);
+            let mut draws = 0;
+            while circle.len() < params.circle_size && draws < 40 * params.circle_size {
+                draws += 1;
+                let v = weighted_index(rng, &activity, total_activity) as u32;
+                if v as usize != u && !circle.contains(&v) {
+                    circle.push(v);
+                }
+            }
+            circle
+        })
+        .collect();
+
+    let mut h = Hypergraph::new(params.num_nodes);
+    let mut attempts = 0usize;
+    let max_attempts = 80 * params.num_hyperedges.max(1);
+    while h.unique_edge_count() < params.num_hyperedges && attempts < max_attempts {
+        attempts += 1;
+        let sender = weighted_index(rng, &activity, total_activity);
+        let circle = &circles[sender];
+        if circle.is_empty() {
+            continue;
+        }
+        let size = sample_size(rng, &params.size_dist).min(circle.len() + 1);
+        if size < 2 {
+            continue;
+        }
+        let mut nodes: Vec<u32> = vec![sender as u32];
+        let mut draws = 0;
+        while nodes.len() < size && draws < 40 * size {
+            draws += 1;
+            let v = circle[rng.gen_range(0..circle.len())];
+            if !nodes.contains(&v) {
+                nodes.push(v);
+            }
+        }
+        if nodes.len() < 2 {
+            continue;
+        }
+        nodes.sort_unstable();
+        let edge = Hyperedge::new(nodes.iter().copied().map(NodeId)).expect(">= 2 nodes");
+        if h.contains(&edge) {
+            continue;
+        }
+        let m = sample_multiplicity(rng, params.mean_multiplicity);
+        h.add_edge_with_multiplicity(edge, m);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marioh_hypergraph::projection::project;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn edge_multiplicity_exceeds_hyperedge_multiplicity() {
+        let params = EmailParams::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let h = generate(&params, &mut rng);
+        let g = project(&h);
+        // The defining regime: ω average well above M_H average.
+        assert!(
+            g.avg_weight() > 1.8 * h.avg_multiplicity(),
+            "avg ω {} vs avg M {}",
+            g.avg_weight(),
+            h.avg_multiplicity()
+        );
+    }
+
+    #[test]
+    fn hits_unique_target() {
+        let params = EmailParams {
+            num_hyperedges: 800,
+            ..EmailParams::default()
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let h = generate(&params, &mut rng);
+        assert!(h.unique_edge_count() >= 780, "{}", h.unique_edge_count());
+    }
+}

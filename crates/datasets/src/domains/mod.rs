@@ -1,0 +1,142 @@
+//! Per-domain hypergraph generators and shared sampling helpers.
+
+pub mod affiliation;
+pub mod coauthorship;
+pub mod contact;
+pub mod email;
+
+use rand::Rng;
+
+/// Samples a hyperedge multiplicity from a geometric distribution with the
+/// given mean (≥ 1): `P(m) = (1 − p) p^{m−1}`, `mean = 1 / (1 − p)`.
+///
+/// This matches the empirical shape of recurring group interactions
+/// (most groups meet once, a few meet very often) while hitting the
+/// Table I average exactly in expectation.
+pub fn sample_multiplicity<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u32 {
+    if mean <= 1.0 {
+        return 1;
+    }
+    let p = 1.0 - 1.0 / mean;
+    let mut m = 1u32;
+    while rng.gen_range(0.0..1.0f64) < p && m < 100_000 {
+        m += 1;
+    }
+    m
+}
+
+/// Samples an index in `0..weights.len()` proportionally to `weights`.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or sums to 0.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64], total: f64) -> usize {
+    assert!(!weights.is_empty() && total > 0.0, "bad weight vector");
+    let mut target = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+/// Draws a power-law-ish positive weight `x^(-1/(γ−1))` with `x ~ U(ε,1)`,
+/// the standard inverse-CDF transform for Pareto tails.
+pub fn powerlaw_weight<R: Rng + ?Sized>(rng: &mut R, gamma: f64) -> f64 {
+    let x: f64 = rng.gen_range(1e-4..1.0);
+    x.powf(-1.0 / (gamma - 1.0))
+}
+
+/// Samples a hyperedge size from a discrete distribution given as
+/// `(size, weight)` pairs.
+pub fn sample_size<R: Rng + ?Sized>(rng: &mut R, dist: &[(usize, f64)]) -> usize {
+    let total: f64 = dist.iter().map(|&(_, w)| w).sum();
+    let weights: Vec<f64> = dist.iter().map(|&(_, w)| w).collect();
+    dist[weighted_index(rng, &weights, total)].0
+}
+
+/// Samples `k` distinct elements from `pool` by repeated draws with the
+/// provided sampler (rejecting duplicates); returns sorted node ids.
+pub fn sample_distinct<R, F>(rng: &mut R, k: usize, mut draw: F) -> Vec<u32>
+where
+    R: Rng + ?Sized,
+    F: FnMut(&mut R) -> u32,
+{
+    let mut out: Vec<u32> = Vec::with_capacity(k);
+    let mut attempts = 0usize;
+    while out.len() < k && attempts < 100 * k.max(1) {
+        attempts += 1;
+        let v = draw(rng);
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn multiplicity_mean_is_calibrated() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for mean in [1.0, 2.0, 6.9, 17.0] {
+            let n = 20_000;
+            let sum: u64 = (0..n)
+                .map(|_| u64::from(sample_multiplicity(&mut rng, mean)))
+                .sum();
+            let empirical = sum as f64 / n as f64;
+            assert!(
+                (empirical - mean).abs() / mean < 0.05,
+                "mean {mean}: got {empirical}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..4000 {
+            counts[weighted_index(&mut rng, &weights, 4.0)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 2);
+    }
+
+    #[test]
+    fn powerlaw_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..10_000)
+            .map(|_| powerlaw_weight(&mut rng, 2.2))
+            .collect();
+        let max = samples.iter().cloned().fold(0.0, f64::max);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!(max > 20.0 * mean, "tail not heavy: max {max} mean {mean}");
+        assert!(samples.iter().all(|&v| v >= 1.0));
+    }
+
+    #[test]
+    fn sample_size_only_returns_listed_sizes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dist = [(2usize, 0.5), (3, 0.5)];
+        for _ in 0..100 {
+            let s = sample_size(&mut rng, &dist);
+            assert!(s == 2 || s == 3);
+        }
+    }
+
+    #[test]
+    fn sample_distinct_gives_sorted_unique() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = sample_distinct(&mut rng, 5, |r| r.gen_range(0..20u32));
+        assert_eq!(s.len(), 5);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,107 @@
+//! The HyperCL generator (Lee, Choe & Shin, WWW 2021).
+//!
+//! Given a node-degree sequence and a hyperedge-size sequence, each
+//! hyperedge samples its nodes with probability proportional to degree —
+//! the hypergraph analogue of the Chung–Lu model. The paper uses HyperCL
+//! with DBLP statistics to build the growing inputs of its scalability
+//! study (Fig. 7); [`dblp_like`] reproduces that setup at a chosen scale.
+
+use crate::domains::{powerlaw_weight, sample_size, weighted_index};
+use marioh_hypergraph::{Hyperedge, Hypergraph, NodeId};
+use rand::Rng;
+
+/// Generates a hypergraph with the given per-node weights (degrees) and
+/// hyperedge sizes.
+///
+/// Sizes that exceed the number of nodes are clamped; hyperedges that
+/// fail to collect two distinct nodes are skipped (can only happen with
+/// degenerate weight vectors).
+pub fn hypercl<R: Rng + ?Sized>(weights: &[f64], sizes: &[usize], rng: &mut R) -> Hypergraph {
+    let n = weights.len();
+    let total: f64 = weights.iter().sum();
+    let mut h = Hypergraph::new(n as u32);
+    if n < 2 || total <= 0.0 {
+        return h;
+    }
+    for &size in sizes {
+        let size = size.clamp(2, n);
+        let mut nodes: Vec<u32> = Vec::with_capacity(size);
+        let mut draws = 0usize;
+        while nodes.len() < size && draws < 60 * size {
+            draws += 1;
+            let v = weighted_index(rng, weights, total) as u32;
+            if !nodes.contains(&v) {
+                nodes.push(v);
+            }
+        }
+        if nodes.len() < 2 {
+            continue;
+        }
+        nodes.sort_unstable();
+        let edge = Hyperedge::new(nodes.into_iter().map(NodeId)).expect(">= 2 nodes");
+        h.add_edge(edge);
+    }
+    h
+}
+
+/// DBLP-shaped inputs for the Fig. 7 scalability sweep: power-law node
+/// weights (γ = 2.3) over `scale × 2000` nodes and `scale × 1100`
+/// hyperedges with DBLP's small-team size mix.
+pub fn dblp_like<R: Rng + ?Sized>(scale: f64, rng: &mut R) -> Hypergraph {
+    let n = ((2_000.0 * scale) as usize).max(10);
+    let m = ((1_100.0 * scale) as usize).max(5);
+    let weights: Vec<f64> = (0..n).map(|_| powerlaw_weight(rng, 2.3)).collect();
+    let dist = [(2usize, 0.4), (3, 0.3), (4, 0.17), (5, 0.09), (6, 0.04)];
+    let sizes: Vec<usize> = (0..m).map(|_| sample_size(rng, &dist)).collect();
+    hypercl(&weights, &sizes, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn respects_size_sequence() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let weights = vec![1.0; 50];
+        let sizes = vec![2, 3, 4, 5];
+        let h = hypercl(&weights, &sizes, &mut rng);
+        assert_eq!(h.total_edge_count(), 4);
+        let mut produced: Vec<usize> = h.iter().map(|(e, _)| e.len()).collect();
+        produced.sort_unstable();
+        assert_eq!(produced, sizes);
+    }
+
+    #[test]
+    fn high_weight_nodes_get_high_degree() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut weights = vec![1.0; 100];
+        weights[0] = 500.0;
+        let sizes = vec![3; 200];
+        let h = hypercl(&weights, &sizes, &mut rng);
+        let degrees = h.node_degrees();
+        let others_max = degrees[1..].iter().copied().max().unwrap_or(0);
+        assert!(
+            degrees[0] > 2 * others_max,
+            "hub degree {} vs max other {}",
+            degrees[0],
+            others_max
+        );
+    }
+
+    #[test]
+    fn dblp_like_scales_linearly() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let small = dblp_like(0.5, &mut rng);
+        let large = dblp_like(2.0, &mut rng);
+        assert!(large.total_edge_count() > 3 * small.total_edge_count());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(hypercl(&[], &[3], &mut rng).total_edge_count(), 0);
+        assert_eq!(hypercl(&[1.0], &[2], &mut rng).total_edge_count(), 0);
+    }
+}

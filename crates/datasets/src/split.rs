@@ -1,0 +1,99 @@
+//! Source/target splitting (the supervised problem setting, Sect. II-B).
+//!
+//! The paper halves each dataset's hyperedges — by timestamp where
+//! available, randomly otherwise — into the source hypergraph (training)
+//! and target hypergraph (evaluation). Our generators carry no real
+//! timestamps, so events are split randomly; each *copy* of a repeated
+//! hyperedge is assigned independently, exactly like timestamped events
+//! would be.
+
+use marioh_hypergraph::Hypergraph;
+use rand::Rng;
+
+/// Splits the hyperedge *events* (multiset elements) of `h` into two
+/// hypergraphs; each event lands in the first output with probability
+/// `fraction`.
+pub fn split_events<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    fraction: f64,
+    rng: &mut R,
+) -> (Hypergraph, Hypergraph) {
+    assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+    let mut a = Hypergraph::new(h.num_nodes());
+    let mut b = Hypergraph::new(h.num_nodes());
+    for e in h.sorted_edges() {
+        let m = h.multiplicity(e);
+        let mut to_a = 0u32;
+        for _ in 0..m {
+            if rng.gen_range(0.0..1.0f64) < fraction {
+                to_a += 1;
+            }
+        }
+        if to_a > 0 {
+            a.add_edge_with_multiplicity(e.clone(), to_a);
+        }
+        if m - to_a > 0 {
+            b.add_edge_with_multiplicity(e.clone(), m - to_a);
+        }
+    }
+    (a, b)
+}
+
+/// Convenience: the paper's 50/50 source/target split.
+pub fn split_source_target<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    rng: &mut R,
+) -> (Hypergraph, Hypergraph) {
+    split_events(h, 0.5, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marioh_hypergraph::hyperedge::edge;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn sample() -> Hypergraph {
+        let mut h = Hypergraph::new(0);
+        for b in 0..50u32 {
+            h.add_edge_with_multiplicity(edge(&[b * 2, b * 2 + 1]), 1 + b % 3);
+        }
+        h
+    }
+
+    #[test]
+    fn split_conserves_events() {
+        let h = sample();
+        let mut rng = StdRng::seed_from_u64(0);
+        let (a, b) = split_source_target(&h, &mut rng);
+        assert_eq!(
+            a.total_edge_count() + b.total_edge_count(),
+            h.total_edge_count()
+        );
+        // Every event belongs to the original hypergraph.
+        for (e, m) in a.iter() {
+            assert!(h.multiplicity(e) >= m);
+        }
+    }
+
+    #[test]
+    fn split_is_roughly_half() {
+        let h = sample();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (a, _) = split_source_target(&h, &mut rng);
+        let frac = a.total_edge_count() as f64 / h.total_edge_count() as f64;
+        assert!((frac - 0.5).abs() < 0.15, "fraction {frac}");
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let h = sample();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (a, b) = split_events(&h, 1.0, &mut rng);
+        assert_eq!(a.total_edge_count(), h.total_edge_count());
+        assert_eq!(b.total_edge_count(), 0);
+        let (a, b) = split_events(&h, 0.0, &mut rng);
+        assert_eq!(a.total_edge_count(), 0);
+        assert_eq!(b.total_edge_count(), h.total_edge_count());
+    }
+}

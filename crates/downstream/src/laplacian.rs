@@ -1,0 +1,216 @@
+//! Normalised Laplacian operators for graphs and hypergraphs.
+//!
+//! Both are exposed as *shifted* operators `M = 2I − L` whose top
+//! eigenvectors are the Laplacian's bottom eigenvectors — the form block
+//! power iteration wants. Eigenvalues of a normalised Laplacian lie in
+//! `[0, 2]`, so `M` is positive semi-definite.
+
+use marioh_hypergraph::{Hypergraph, ProjectedGraph};
+
+/// Shifted normalised graph Laplacian `M = 2I − (I − D^{-1/2} W D^{-1/2})
+/// = I + D^{-1/2} W D^{-1/2}` as a sparse matvec.
+///
+/// Isolated nodes get `M x = x` (their Laplacian row is taken as the
+/// identity row, the usual convention).
+pub struct GraphLaplacianOp {
+    /// CSR-ish adjacency: per node, `(neighbor, weight)`.
+    adj: Vec<Vec<(usize, f64)>>,
+    inv_sqrt_deg: Vec<f64>,
+}
+
+impl GraphLaplacianOp {
+    /// Builds the operator from a weighted projected graph.
+    pub fn new(g: &ProjectedGraph) -> Self {
+        let n = g.num_nodes() as usize;
+        let mut adj = vec![Vec::new(); n];
+        for (u, v, w) in g.edges() {
+            adj[u.index()].push((v.index(), f64::from(w)));
+            adj[v.index()].push((u.index(), f64::from(w)));
+        }
+        // Deterministic order regardless of hash-map iteration.
+        for nbrs in adj.iter_mut() {
+            nbrs.sort_unstable_by_key(|&(v, _)| v);
+        }
+        let inv_sqrt_deg = (0..n)
+            .map(|u| {
+                let d = g.weighted_degree(marioh_hypergraph::NodeId(u as u32)) as f64;
+                if d > 0.0 {
+                    1.0 / d.sqrt()
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        GraphLaplacianOp { adj, inv_sqrt_deg }
+    }
+
+    /// Dimension of the operator.
+    pub fn dim(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// `y = (I + D^{-1/2} W D^{-1/2}) x`.
+    pub fn apply_shifted(&self, x: &[f64], y: &mut [f64]) {
+        for (u, out) in y.iter_mut().enumerate() {
+            let mut acc = x[u]; // the I x term (isolated nodes: M = I)
+            let su = self.inv_sqrt_deg[u];
+            if su > 0.0 {
+                let mut s = 0.0;
+                for &(v, w) in &self.adj[u] {
+                    s += w * self.inv_sqrt_deg[v] * x[v];
+                }
+                acc += su * s;
+            }
+            *out = acc;
+        }
+    }
+}
+
+/// Shifted normalised hypergraph Laplacian (Zhou, Huang & Schölkopf,
+/// NeurIPS 2006): `Δ = I − D_v^{-1/2} H W D_e^{-1} Hᵀ D_v^{-1/2}`,
+/// exposed as `M = 2I − Δ` via incidence lists.
+///
+/// Hyperedge weights `W` are the multiplicities, `D_e` the hyperedge
+/// sizes, `D_v` the weighted node degrees `Σ_{e ∋ v} M(e)`.
+pub struct HypergraphLaplacianOp {
+    /// Per hyperedge: member node indices.
+    incidence: Vec<Vec<usize>>,
+    /// Per hyperedge: `M(e) / |e|`.
+    edge_scale: Vec<f64>,
+    inv_sqrt_deg: Vec<f64>,
+    n: usize,
+}
+
+impl HypergraphLaplacianOp {
+    /// Builds the operator from a hypergraph.
+    pub fn new(h: &Hypergraph) -> Self {
+        let n = h.num_nodes() as usize;
+        let edges = h.sorted_edges();
+        let incidence: Vec<Vec<usize>> = edges
+            .iter()
+            .map(|e| e.nodes().iter().map(|v| v.index()).collect())
+            .collect();
+        let edge_scale: Vec<f64> = edges
+            .iter()
+            .map(|e| f64::from(h.multiplicity(e)) / e.len() as f64)
+            .collect();
+        let deg = h.weighted_node_degrees();
+        let inv_sqrt_deg = deg
+            .iter()
+            .map(|&d| if d > 0 { 1.0 / (d as f64).sqrt() } else { 0.0 })
+            .collect();
+        HypergraphLaplacianOp {
+            incidence,
+            edge_scale,
+            inv_sqrt_deg,
+            n,
+        }
+    }
+
+    /// Dimension of the operator.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// `y = (I + D_v^{-1/2} H W D_e^{-1} Hᵀ D_v^{-1/2}) x`.
+    pub fn apply_shifted(&self, x: &[f64], y: &mut [f64]) {
+        y.copy_from_slice(x);
+        for (e, nodes) in self.incidence.iter().enumerate() {
+            // s = Σ_{v ∈ e} x[v] / sqrt(d_v)
+            let s: f64 = nodes.iter().map(|&v| self.inv_sqrt_deg[v] * x[v]).sum();
+            let scaled = self.edge_scale[e] * s;
+            for &v in nodes {
+                y[v] += self.inv_sqrt_deg[v] * scaled;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marioh_hypergraph::{hyperedge::edge, projection::project, NodeId};
+
+    #[test]
+    fn graph_operator_constant_vector_is_top_eigenvector() {
+        // For D^{-1/2} W D^{-1/2}, the vector D^{1/2} 1 has eigenvalue 1,
+        // so under M = I + ... it has eigenvalue 2.
+        let mut g = ProjectedGraph::new(3);
+        g.add_edge_weight(NodeId(0), NodeId(1), 1);
+        g.add_edge_weight(NodeId(1), NodeId(2), 1);
+        g.add_edge_weight(NodeId(0), NodeId(2), 1);
+        let op = GraphLaplacianOp::new(&g);
+        // All degrees = 2, so D^{1/2} 1 ∝ 1.
+        let x = vec![1.0; 3];
+        let mut y = vec![0.0; 3];
+        op.apply_shifted(&x, &mut y);
+        for v in y {
+            assert!((v - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn graph_operator_isolated_node_is_identity() {
+        let mut g = ProjectedGraph::new(3);
+        g.add_edge_weight(NodeId(0), NodeId(1), 2);
+        let op = GraphLaplacianOp::new(&g);
+        let x = vec![0.0, 0.0, 5.0];
+        let mut y = vec![0.0; 3];
+        op.apply_shifted(&x, &mut y);
+        assert_eq!(y[2], 5.0);
+    }
+
+    #[test]
+    fn hypergraph_operator_degree_scaled_constant_eigenvector() {
+        // For the Zhou Laplacian, D^{1/2} 1 is the eigenvector with
+        // Δ-eigenvalue 0 → M-eigenvalue 2.
+        let mut h = Hypergraph::new(0);
+        h.add_edge(edge(&[0, 1, 2]));
+        h.add_edge_with_multiplicity(edge(&[1, 2]), 2);
+        let op = HypergraphLaplacianOp::new(&h);
+        let deg = h.weighted_node_degrees();
+        let x: Vec<f64> = deg.iter().map(|&d| (d as f64).sqrt()).collect();
+        let mut y = vec![0.0; x.len()];
+        op.apply_shifted(&x, &mut y);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((b - 2.0 * a).abs() < 1e-10, "{b} vs 2*{a}");
+        }
+    }
+
+    #[test]
+    fn operators_are_symmetric() {
+        // xᵀ M y == yᵀ M x on random vectors.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut h = Hypergraph::new(0);
+        h.add_edge(edge(&[0, 1, 2, 3]));
+        h.add_edge(edge(&[2, 3, 4]));
+        let g = project(&h);
+        let gop = GraphLaplacianOp::new(&g);
+        let hop = HypergraphLaplacianOp::new(&h);
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 5;
+        for _ in 0..10 {
+            let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let y: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut mx = vec![0.0; n];
+            let mut my = vec![0.0; n];
+            for (op_apply, tag) in [
+                (
+                    &|a: &[f64], b: &mut [f64]| gop.apply_shifted(a, b) as (),
+                    "graph",
+                ),
+                (
+                    &|a: &[f64], b: &mut [f64]| hop.apply_shifted(a, b) as (),
+                    "hyper",
+                ),
+            ] as [(&dyn Fn(&[f64], &mut [f64]), &str); 2]
+            {
+                op_apply(&x, &mut mx);
+                op_apply(&y, &mut my);
+                let xmy: f64 = x.iter().zip(&my).map(|(a, b)| a * b).sum();
+                let ymx: f64 = y.iter().zip(&mx).map(|(a, b)| a * b).sum();
+                assert!((xmy - ymx).abs() < 1e-10, "{tag} not symmetric");
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Downstream tasks over (reconstructed) hypergraphs: the applicability
+//! study of Sect. IV-D (Tables VII, VIII, IX).
+//!
+//! * [`laplacian`] — normalised graph and hypergraph (Zhou et al. 2006)
+//!   Laplacian operators,
+//! * [`embedding`] — spectral node embeddings via block power iteration,
+//! * [`gcn`] — the paper's two-layer GCN link encoder, trained GAE-style
+//!   (Table IX),
+//! * [`clustering`] — spectral clustering + NMI (Table VII),
+//! * [`classification`] — one-vs-rest node classification over spectral
+//!   embeddings, micro/macro F1 (Table VIII),
+//! * [`linkpred`] — link prediction with hyperedge-aware features and
+//!   AUC (Table IX).
+
+#![warn(missing_docs)]
+
+pub mod classification;
+pub mod clustering;
+pub mod embedding;
+pub mod gcn;
+pub mod laplacian;
+pub mod linkpred;
+
+pub use classification::classify_nodes;
+pub use clustering::{cluster_graph, cluster_hypergraph};
+pub use gcn::{GcnConfig, GcnEncoder};
+pub use linkpred::{link_prediction_auc, link_prediction_auc_with, LinkEncoder, LinkPredInput};

@@ -1,0 +1,409 @@
+//! Link prediction with hyperedge-aware features (Table IX).
+//!
+//! Protocol (Sect. IV-D): every distinct edge of the projected graph is a
+//! positive, paired with an equal number of sampled non-edges; 90/10
+//! train/test split; test edges are removed from the graph before any
+//! feature or embedding computation, and — in hypergraph settings — every
+//! hyperedge containing a test pair is excluded (shared membership would
+//! trivially leak the link).
+//!
+//! Features: Jaccard index, Adamic–Adar, preferential attachment,
+//! resource allocation, degree statistics and the edge weight (graph
+//! features); hyperedge Jaccard and hyperedge-size statistics (hypergraph
+//! extras, footnotes 1–2 of the paper); and pooled node embeddings from a
+//! shared encoder. The default encoder is the paper's two-layer GCN
+//! trained GAE-style on the training pairs ([`LinkEncoder::Gcn`]);
+//! spectral Laplacian embeddings remain available as a cheaper ablation
+//! ([`LinkEncoder::Spectral`]). The encoder is identical across all table
+//! rows, so the method comparison is carried by the hand-crafted
+//! features either way.
+
+use crate::embedding::{row_normalize, spectral_embedding};
+use crate::gcn::{GcnConfig, GcnEncoder};
+use crate::laplacian::GraphLaplacianOp;
+use marioh_hypergraph::fxhash::{FxHashMap, FxHashSet};
+use marioh_hypergraph::{Hypergraph, NodeId, ProjectedGraph};
+use marioh_linalg::DenseMatrix;
+use marioh_ml::metrics::auc;
+use marioh_ml::{LogisticRegression, StandardScaler, TrainConfig};
+use rand::Rng;
+
+/// Embedding dimensionality for the pooled link embeddings.
+const EMBED_DIM: usize = 8;
+/// Orthogonal-iteration steps for the embedding.
+const EMBED_ITERS: usize = 60;
+/// Cap on positive pairs (large graphs are subsampled for tractability;
+/// the cap is applied identically to every method row).
+const MAX_POSITIVES: usize = 20_000;
+
+/// Which shared encoder produces the pooled link embeddings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LinkEncoder {
+    /// The paper's two-layer GCN with one-hot inputs, trained GAE-style
+    /// on the training pairs (Sect. IV-D).
+    #[default]
+    Gcn,
+    /// Bottom-k Laplacian eigenvectors via block power iteration — the
+    /// cheaper encoder kept as an ablation of the GCN choice.
+    Spectral,
+}
+
+/// Input of one link-prediction run.
+pub struct LinkPredInput<'a> {
+    /// The projected graph (defines positives/negatives and the graph
+    /// features).
+    pub graph: &'a ProjectedGraph,
+    /// Optional hypergraph (ground truth or reconstruction) contributing
+    /// the hyperedge features.
+    pub hypergraph: Option<&'a Hypergraph>,
+}
+
+/// Per-node hyperedge index over the (test-filtered) hypergraph.
+struct HyperIndex {
+    edges_of: FxHashMap<u32, Vec<usize>>,
+    sizes: Vec<usize>,
+}
+
+impl HyperIndex {
+    fn new(h: &Hypergraph, exclude_pairs: &FxHashSet<(u32, u32)>) -> Self {
+        let mut edges_of: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
+        let mut sizes = Vec::new();
+        'edges: for e in h.sorted_edges() {
+            // Exclude hyperedges containing any test pair.
+            for (u, v) in e.pairs() {
+                if exclude_pairs.contains(&(u.0, v.0)) {
+                    continue 'edges;
+                }
+            }
+            let id = sizes.len();
+            sizes.push(e.len());
+            for n in e.nodes() {
+                edges_of.entry(n.0).or_default().push(id);
+            }
+        }
+        HyperIndex { edges_of, sizes }
+    }
+
+    fn hyperedge_jaccard(&self, u: u32, v: u32) -> f64 {
+        let eu = self.edges_of.get(&u).map(Vec::as_slice).unwrap_or(&[]);
+        let ev = self.edges_of.get(&v).map(Vec::as_slice).unwrap_or(&[]);
+        if eu.is_empty() && ev.is_empty() {
+            return 0.0;
+        }
+        let (mut i, mut j, mut inter) = (0, 0, 0usize);
+        while i < eu.len() && j < ev.len() {
+            match eu[i].cmp(&ev[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let union = eu.len() + ev.len() - inter;
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    /// Mean size of hyperedges containing `u` (0 when none).
+    fn mean_size(&self, u: u32) -> f64 {
+        match self.edges_of.get(&u) {
+            None => 0.0,
+            Some(ids) if ids.is_empty() => 0.0,
+            Some(ids) => ids.iter().map(|&i| self.sizes[i] as f64).sum::<f64>() / ids.len() as f64,
+        }
+    }
+}
+
+fn pair_key(u: NodeId, v: NodeId) -> (u32, u32) {
+    if u.0 <= v.0 {
+        (u.0, v.0)
+    } else {
+        (v.0, u.0)
+    }
+}
+
+/// Graph features of a candidate pair on the training graph.
+fn graph_features(g: &ProjectedGraph, u: NodeId, v: NodeId, out: &mut Vec<f64>) {
+    let common = g.common_neighbors(u, v);
+    let du = g.degree(u) as f64;
+    let dv = g.degree(v) as f64;
+    let union = du + dv - common.len() as f64;
+    // Jaccard index.
+    out.push(if union > 0.0 {
+        common.len() as f64 / union
+    } else {
+        0.0
+    });
+    // Adamic–Adar and resource allocation.
+    let mut aa = 0.0;
+    let mut ra = 0.0;
+    for &z in &common {
+        let dz = g.degree(z) as f64;
+        if dz > 1.0 {
+            aa += 1.0 / dz.ln();
+        }
+        if dz > 0.0 {
+            ra += 1.0 / dz;
+        }
+    }
+    out.push(aa);
+    out.push(ra);
+    // Preferential attachment.
+    out.push(du * dv);
+    // Degree statistics.
+    out.push((du + dv) / 2.0);
+    out.push(du.min(dv));
+    out.push(du.max(dv));
+    // Edge weight (0 for non-edges and removed test edges).
+    out.push(f64::from(g.weight(u, v)));
+}
+
+/// Pooled link embedding: concat of element-wise min and max of the two
+/// node embeddings.
+fn pooled_embedding(emb: &DenseMatrix, u: NodeId, v: NodeId, out: &mut Vec<f64>) {
+    let eu = emb.row(u.index());
+    let ev = emb.row(v.index());
+    for (a, b) in eu.iter().zip(ev) {
+        out.push(a.min(*b));
+    }
+    for (a, b) in eu.iter().zip(ev) {
+        out.push(a.max(*b));
+    }
+}
+
+/// Runs one link-prediction experiment with the default (GCN) encoder
+/// and returns the test AUC.
+pub fn link_prediction_auc<R: Rng + ?Sized>(input: &LinkPredInput<'_>, rng: &mut R) -> f64 {
+    link_prediction_auc_with(input, LinkEncoder::default(), rng)
+}
+
+/// Runs one link-prediction experiment with an explicit encoder choice
+/// and returns the test AUC.
+pub fn link_prediction_auc_with<R: Rng + ?Sized>(
+    input: &LinkPredInput<'_>,
+    encoder: LinkEncoder,
+    rng: &mut R,
+) -> f64 {
+    let g = input.graph;
+    let n = g.num_nodes();
+    // --- positives / negatives ---
+    let mut positives = g.sorted_edge_list();
+    if positives.len() > MAX_POSITIVES {
+        for i in (1..positives.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            positives.swap(i, j);
+        }
+        positives.truncate(MAX_POSITIVES);
+        positives.sort_unstable_by_key(|&(a, b, _)| (a, b));
+    }
+    let mut pairs: Vec<((NodeId, NodeId), u8)> =
+        positives.iter().map(|&(u, v, _)| ((u, v), 1u8)).collect();
+    let mut seen: FxHashSet<(u32, u32)> =
+        positives.iter().map(|&(u, v, _)| pair_key(u, v)).collect();
+    let n_pos = pairs.len();
+    let mut attempts = 0usize;
+    while pairs.len() < 2 * n_pos && attempts < 200 * n_pos.max(1) {
+        attempts += 1;
+        let u = NodeId(rng.gen_range(0..n));
+        let v = NodeId(rng.gen_range(0..n));
+        if u == v || g.has_edge(u, v) || !seen.insert(pair_key(u, v)) {
+            continue;
+        }
+        pairs.push(((u, v), 0));
+    }
+
+    // --- 90/10 split ---
+    for i in (1..pairs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        pairs.swap(i, j);
+    }
+    let n_test = (pairs.len() / 10).max(1);
+    let (test, train) = pairs.split_at(n_test);
+
+    // --- training graph: test edges removed ---
+    let mut g_train = g.clone();
+    let mut test_pairs: FxHashSet<(u32, u32)> = FxHashSet::default();
+    for &((u, v), label) in test {
+        test_pairs.insert(pair_key(u, v));
+        if label == 1 {
+            g_train.remove_edge(u, v);
+        }
+    }
+
+    // --- hyperedge index with leaking hyperedges excluded ---
+    let hyper = input.hypergraph.map(|h| HyperIndex::new(h, &test_pairs));
+
+    // --- shared encoder on the training graph ---
+    let mut emb = match encoder {
+        LinkEncoder::Spectral => {
+            let op = GraphLaplacianOp::new(&g_train);
+            spectral_embedding(
+                n as usize,
+                EMBED_DIM.min(n as usize),
+                EMBED_ITERS,
+                &mut |x, y| op.apply_shifted(x, y),
+                rng,
+            )
+        }
+        LinkEncoder::Gcn => {
+            let edges: Vec<(u32, u32, f64)> = g_train
+                .sorted_edge_list()
+                .into_iter()
+                .map(|(u, v, w)| (u.0, v.0, f64::from(w)))
+                .collect();
+            let adj = marioh_linalg::normalized_adjacency(n as usize, &edges);
+            let gcn_pairs: Vec<(u32, u32)> = train.iter().map(|&((u, v), _)| (u.0, v.0)).collect();
+            let gcn_labels: Vec<f64> = train.iter().map(|&(_, l)| f64::from(l)).collect();
+            let cfg = GcnConfig {
+                output_dim: EMBED_DIM,
+                ..GcnConfig::default()
+            };
+            let (_, z) = GcnEncoder::train(&adj, &gcn_pairs, &gcn_labels, &cfg, rng);
+            z
+        }
+    };
+    row_normalize(&mut emb);
+
+    // --- feature extraction ---
+    let featurize = |u: NodeId, v: NodeId| -> Vec<f64> {
+        let mut f = Vec::with_capacity(8 + 3 + 2 * EMBED_DIM);
+        graph_features(&g_train, u, v, &mut f);
+        if let Some(h) = &hyper {
+            f.push(h.hyperedge_jaccard(u.0, v.0));
+            let (su, sv) = (h.mean_size(u.0), h.mean_size(v.0));
+            f.push(su.min(sv));
+            f.push(su.max(sv));
+        }
+        pooled_embedding(&emb, u, v, &mut f);
+        f
+    };
+    let train_x: Vec<Vec<f64>> = train.iter().map(|&((u, v), _)| featurize(u, v)).collect();
+    let train_y: Vec<f64> = train.iter().map(|&(_, l)| f64::from(l)).collect();
+    let test_x: Vec<Vec<f64>> = test.iter().map(|&((u, v), _)| featurize(u, v)).collect();
+    let test_y: Vec<u8> = test.iter().map(|&(_, l)| l).collect();
+
+    let scaler = StandardScaler::fit(&train_x);
+    let train_x = scaler.transform_batch(&train_x);
+    let test_x = scaler.transform_batch(&test_x);
+
+    let mut lr = LogisticRegression::new(train_x[0].len(), rng);
+    let cfg = TrainConfig {
+        epochs: 40,
+        ..TrainConfig::default()
+    };
+    lr.train(&train_x, &train_y, &cfg, rng);
+    let scores = lr.predict_batch(&test_x);
+    auc(&scores, &test_y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marioh_hypergraph::{hyperedge::edge, projection::project};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn community_hypergraph() -> Hypergraph {
+        let mut h = Hypergraph::new(0);
+        for c in 0..10u32 {
+            let b = c * 5;
+            h.add_edge(edge(&[b, b + 1, b + 2]));
+            h.add_edge(edge(&[b + 1, b + 2, b + 3]));
+            h.add_edge(edge(&[b + 2, b + 3, b + 4]));
+            h.add_edge(edge(&[b, b + 4]));
+        }
+        h
+    }
+
+    #[test]
+    fn auc_beats_chance_on_structured_graph() {
+        let h = community_hypergraph();
+        let g = project(&h);
+        let mut rng = StdRng::seed_from_u64(0);
+        let score = link_prediction_auc(
+            &LinkPredInput {
+                graph: &g,
+                hypergraph: None,
+            },
+            &mut rng,
+        );
+        assert!(score > 0.6, "graph-only AUC {score}");
+    }
+
+    #[test]
+    fn hypergraph_features_run_and_stay_valid() {
+        let h = community_hypergraph();
+        let g = project(&h);
+        let mut rng = StdRng::seed_from_u64(1);
+        let score = link_prediction_auc(
+            &LinkPredInput {
+                graph: &g,
+                hypergraph: Some(&h),
+            },
+            &mut rng,
+        );
+        assert!((0.0..=1.0).contains(&score));
+        assert!(score > 0.6, "hypergraph AUC {score}");
+    }
+
+    #[test]
+    fn hyper_index_excludes_leaking_hyperedges() {
+        let mut h = Hypergraph::new(0);
+        h.add_edge(edge(&[0, 1, 2]));
+        h.add_edge(edge(&[3, 4]));
+        let mut excl = FxHashSet::default();
+        excl.insert((0u32, 1u32));
+        let idx = HyperIndex::new(&h, &excl);
+        // {0,1,2} contains the excluded pair: dropped entirely.
+        assert_eq!(idx.edges_of.get(&2), None);
+        assert!(idx.edges_of.contains_key(&3));
+        assert_eq!(idx.mean_size(3), 2.0);
+        assert_eq!(idx.hyperedge_jaccard(3, 4), 1.0);
+        assert_eq!(idx.hyperedge_jaccard(0, 1), 0.0);
+    }
+
+    #[test]
+    fn both_encoders_beat_chance() {
+        let h = community_hypergraph();
+        let g = project(&h);
+        for encoder in [LinkEncoder::Gcn, LinkEncoder::Spectral] {
+            let mut rng = StdRng::seed_from_u64(3);
+            let score = link_prediction_auc_with(
+                &LinkPredInput {
+                    graph: &g,
+                    hypergraph: Some(&h),
+                },
+                encoder,
+                &mut rng,
+            );
+            assert!(score > 0.6, "{encoder:?} AUC {score}");
+        }
+    }
+
+    #[test]
+    fn default_encoder_is_gcn() {
+        assert_eq!(LinkEncoder::default(), LinkEncoder::Gcn);
+    }
+
+    #[test]
+    fn graph_features_hand_checked() {
+        // Triangle 0-1-2 plus pendant 3 on node 2.
+        let mut g = ProjectedGraph::new(4);
+        for (u, v, w) in [(0, 1, 2), (1, 2, 1), (0, 2, 1), (2, 3, 1)] {
+            g.add_edge_weight(NodeId(u), NodeId(v), w);
+        }
+        let mut f = Vec::new();
+        graph_features(&g, NodeId(0), NodeId(1), &mut f);
+        // Common neighbour: {2} (degree 3). Jaccard = 1/(2+2-1) = 1/3.
+        assert!((f[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((f[1] - 1.0 / 3.0f64.ln()).abs() < 1e-12); // AA
+        assert!((f[2] - 1.0 / 3.0).abs() < 1e-12); // RA
+        assert_eq!(f[3], 4.0); // PA
+        assert_eq!(f[7], 2.0); // edge weight
+    }
+}

@@ -1,0 +1,396 @@
+//! Hypergraph connectivity analytics: s-connected components and core
+//! decomposition.
+//!
+//! The paper motivates reconstruction by "enabling the use of
+//! hypergraph-based tools" (Sect. I). This module provides the two
+//! workhorse structural tools a downstream user reaches for first:
+//!
+//! * **s-connectivity** (Aksoy et al., *EPJ Data Science* 2020): two
+//!   hyperedges are s-adjacent when they share at least `s` nodes;
+//!   s-connected components of a hypergraph are the components of that
+//!   relation. `s = 1` is plain connectivity; larger `s` reveals the
+//!   robustly-overlapping cores that pairwise projections blur.
+//! * **core decomposition** (the strong hypergraph k-core): peel nodes of
+//!   minimum degree, where removing a node destroys every hyperedge it
+//!   participates in. The resulting core number of a node is the largest
+//!   `k` such that the node survives in a sub-hypergraph where every node
+//!   has at least `k` *intact* incident hyperedges.
+//!
+//! Multiplicity does not affect either notion (a repeated hyperedge adds
+//! no connectivity), so both operate on unique hyperedges.
+
+use crate::hypergraph::Hypergraph;
+use crate::node::NodeId;
+
+/// Disjoint-set union with path halving and union by size.
+struct Dsu {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+    }
+}
+
+/// Groups the *unique* hyperedges of `h` into s-connected components.
+///
+/// Returns components as vectors of indices into `h.sorted_edges()`
+/// (a stable, deterministic edge order), each component sorted, and the
+/// components sorted by their smallest member. Hyperedges smaller than
+/// `s` cannot be s-adjacent to anything and form singleton components.
+///
+/// # Panics
+///
+/// Panics when `s == 0` (every pair of edges would be adjacent).
+pub fn s_edge_components(h: &Hypergraph, s: usize) -> Vec<Vec<usize>> {
+    assert!(s >= 1, "s-connectivity needs s >= 1");
+    let edges = h.sorted_edges();
+    let m = edges.len();
+    let mut dsu = Dsu::new(m);
+
+    if s == 1 {
+        // Sharing one node: union all edges incident to each node — linear.
+        let mut first_edge_of: Vec<Option<u32>> = vec![None; h.num_nodes() as usize];
+        for (i, e) in edges.iter().enumerate() {
+            for n in e.nodes() {
+                match first_edge_of[n.index()] {
+                    Some(j) => dsu.union(j, i as u32),
+                    None => first_edge_of[n.index()] = Some(i as u32),
+                }
+            }
+        }
+    } else {
+        // Count shared nodes per co-incident edge pair via each node's
+        // incidence list. Cost O(Σ_v d(v)²) — the standard approach; fine
+        // for analytic use on the bundled datasets.
+        let mut incident: Vec<Vec<u32>> = vec![Vec::new(); h.num_nodes() as usize];
+        for (i, e) in edges.iter().enumerate() {
+            for n in e.nodes() {
+                incident[n.index()].push(i as u32);
+            }
+        }
+        use crate::fxhash::FxHashMap;
+        let mut shared: FxHashMap<(u32, u32), usize> = FxHashMap::default();
+        for inc in &incident {
+            for (a, &i) in inc.iter().enumerate() {
+                for &j in &inc[a + 1..] {
+                    let key = (i.min(j), i.max(j));
+                    let count = shared.entry(key).or_insert(0);
+                    *count += 1;
+                    if *count == s {
+                        dsu.union(i, j);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut groups: std::collections::BTreeMap<u32, Vec<usize>> = std::collections::BTreeMap::new();
+    for i in 0..m as u32 {
+        groups.entry(dsu.find(i)).or_default().push(i as usize);
+    }
+    let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+    out.sort_by_key(|g| g[0]);
+    out
+}
+
+/// Groups the covered nodes of `h` into s-connected components: two nodes
+/// are in the same component when some chain of s-adjacent hyperedges
+/// links them. Nodes covered only by hyperedges smaller than `s` sit in
+/// per-hyperedge components; isolated nodes are omitted.
+pub fn s_node_components(h: &Hypergraph, s: usize) -> Vec<Vec<NodeId>> {
+    let edges = h.sorted_edges();
+    let comps = s_edge_components(h, s);
+    let mut out = Vec::with_capacity(comps.len());
+    for comp in comps {
+        let mut nodes: Vec<NodeId> = comp
+            .iter()
+            .flat_map(|&i| edges[i].nodes().iter().copied())
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        out.push(nodes);
+    }
+    // Distinct edge components can share no node only for s >= 2; for
+    // consistency merge node-overlapping groups (s >= 2 edges can still
+    // share < s nodes and thus sit in different edge components).
+    out.sort();
+    merge_overlapping(out)
+}
+
+/// Merges node groups until they are pairwise disjoint.
+fn merge_overlapping(mut groups: Vec<Vec<NodeId>>) -> Vec<Vec<NodeId>> {
+    loop {
+        let mut merged_any = false;
+        let mut result: Vec<Vec<NodeId>> = Vec::with_capacity(groups.len());
+        'next: for g in groups {
+            for r in result.iter_mut() {
+                // Sorted-merge intersection test.
+                let (mut i, mut j) = (0, 0);
+                while i < g.len() && j < r.len() {
+                    match g[i].cmp(&r[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            r.extend_from_slice(&g);
+                            r.sort_unstable();
+                            r.dedup();
+                            merged_any = true;
+                            continue 'next;
+                        }
+                    }
+                }
+            }
+            result.push(g);
+        }
+        groups = result;
+        if !merged_any {
+            groups.sort();
+            return groups;
+        }
+    }
+}
+
+/// The strong-core decomposition of a hypergraph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreDecomposition {
+    /// Core number per node (0 for nodes in no hyperedge).
+    pub node_core: Vec<u32>,
+    /// The largest core number.
+    pub max_core: u32,
+}
+
+impl CoreDecomposition {
+    /// Nodes whose core number is at least `k`, ascending.
+    pub fn core_nodes(&self, k: u32) -> Vec<NodeId> {
+        self.node_core
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c >= k)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+}
+
+/// Computes the strong hypergraph core decomposition by min-degree
+/// peeling: removing a node destroys every hyperedge containing it, and
+/// a node's core number is the peeling threshold in force when it is
+/// removed (the exact hypergraph analogue of Matula–Beck graph cores).
+pub fn core_decomposition(h: &Hypergraph) -> CoreDecomposition {
+    let edges = h.sorted_edges();
+    let n = h.num_nodes() as usize;
+    let mut incident: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, e) in edges.iter().enumerate() {
+        for nd in e.nodes() {
+            incident[nd.index()].push(i as u32);
+        }
+    }
+    let mut degree: Vec<usize> = incident.iter().map(Vec::len).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_deg + 1];
+    for (v, &d) in degree.iter().enumerate() {
+        buckets[d].push(v as u32);
+    }
+    let mut edge_alive = vec![true; edges.len()];
+    let mut removed = vec![false; n];
+    let mut node_core = vec![0u32; n];
+    let mut current_k = 0u32;
+    let mut cursor = 0usize;
+    let mut processed = 0usize;
+    while processed < n {
+        while cursor < buckets.len() && buckets[cursor].is_empty() {
+            cursor += 1;
+        }
+        let Some(v) = buckets[cursor].pop() else {
+            break;
+        };
+        if removed[v as usize] || degree[v as usize] != cursor {
+            continue; // stale bucket entry
+        }
+        removed[v as usize] = true;
+        processed += 1;
+        current_k = current_k.max(cursor as u32);
+        node_core[v as usize] = current_k;
+        for &ei in &incident[v as usize] {
+            if !edge_alive[ei as usize] {
+                continue;
+            }
+            edge_alive[ei as usize] = false;
+            for u in edges[ei as usize].nodes() {
+                let ui = u.index();
+                if !removed[ui] {
+                    let d = degree[ui];
+                    degree[ui] = d - 1;
+                    buckets[d - 1].push(u.0);
+                    cursor = cursor.min(d - 1);
+                }
+            }
+        }
+    }
+    let max_core = node_core.iter().copied().max().unwrap_or(0);
+    CoreDecomposition {
+        node_core,
+        max_core,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyperedge::edge;
+
+    fn h_from(edges: &[&[u32]]) -> Hypergraph {
+        let mut h = Hypergraph::new(0);
+        for e in edges {
+            h.add_edge(edge(e));
+        }
+        h
+    }
+
+    #[test]
+    fn one_components_equal_plain_connectivity() {
+        // Two chains of overlapping hyperedges plus an isolated pair.
+        let h = h_from(&[&[0, 1, 2], &[2, 3], &[5, 6], &[6, 7, 8], &[10, 11]]);
+        let comps = s_node_components(&h, 1);
+        assert_eq!(
+            comps,
+            vec![
+                vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+                vec![NodeId(5), NodeId(6), NodeId(7), NodeId(8)],
+                vec![NodeId(10), NodeId(11)],
+            ]
+        );
+    }
+
+    #[test]
+    fn two_components_require_two_shared_nodes() {
+        // Edges A={0,1,2}, B={1,2,3} share two nodes (2-adjacent);
+        // C={3,4,5} shares only node 3 with B.
+        let h = h_from(&[&[0, 1, 2], &[1, 2, 3], &[3, 4, 5]]);
+        let c1 = s_edge_components(&h, 1);
+        assert_eq!(c1.len(), 1);
+        let c2 = s_edge_components(&h, 2);
+        assert_eq!(c2.len(), 2);
+        assert_eq!(c2[0], vec![0, 1]); // A-B joined
+        assert_eq!(c2[1], vec![2]); // C alone
+    }
+
+    #[test]
+    fn components_refine_as_s_grows() {
+        let h = h_from(&[
+            &[0, 1, 2, 3],
+            &[2, 3, 4, 5],
+            &[4, 5, 6],
+            &[6, 7],
+            &[0, 9],
+        ]);
+        let mut prev = s_edge_components(&h, 1).len();
+        for s in 2..=4 {
+            let cur = s_edge_components(&h, s).len();
+            assert!(cur >= prev, "components must not merge as s grows");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "s >= 1")]
+    fn zero_s_rejected() {
+        let h = h_from(&[&[0, 1]]);
+        s_edge_components(&h, 0);
+    }
+
+    #[test]
+    fn graph_case_matches_classic_core_numbers() {
+        // K4 on {0,1,2,3} as six pairwise edges, plus pendant 4-0.
+        let h = h_from(&[
+            &[0, 1],
+            &[0, 2],
+            &[0, 3],
+            &[1, 2],
+            &[1, 3],
+            &[2, 3],
+            &[0, 4],
+        ]);
+        let cd = core_decomposition(&h);
+        assert_eq!(cd.max_core, 3);
+        assert_eq!(&cd.node_core[0..4], &[3, 3, 3, 3]);
+        assert_eq!(cd.node_core[4], 1);
+        assert_eq!(
+            cd.core_nodes(3),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn strong_core_destroys_whole_hyperedges() {
+        // Triangle of 3-edges: {0,1,2}, {2,3,4}, {4,5,0} — every node has
+        // degree ≤ 2; removing any node kills whole edges, cascading.
+        let h = h_from(&[&[0, 1, 2], &[2, 3, 4], &[4, 5, 0]]);
+        let cd = core_decomposition(&h);
+        // Nodes 1, 3, 5 have degree 1 -> the 1-peel destroys everything.
+        assert_eq!(cd.max_core, 1);
+        assert!(cd.node_core.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn dense_overlap_yields_higher_core() {
+        // Four 3-edges all containing {0,1}: deg(0)=deg(1)=4, others 1..2.
+        let h = h_from(&[&[0, 1, 2], &[0, 1, 3], &[0, 1, 4], &[0, 1, 5], &[2, 3]]);
+        let cd = core_decomposition(&h);
+        // Peeling at k=1 removes 4,5 (degree 1)... their edges die, which
+        // drags 0,1 down; the decomposition is still well-defined and
+        // bounded by the max degree.
+        assert!(cd.max_core >= 1);
+        assert!(cd.node_core[0] >= cd.node_core[2]);
+    }
+
+    #[test]
+    fn empty_and_isolated_nodes_have_core_zero() {
+        let mut h = Hypergraph::new(5);
+        h.add_edge(edge(&[0, 1]));
+        let cd = core_decomposition(&h);
+        assert_eq!(cd.node_core[3], 0);
+        assert_eq!(cd.node_core[4], 0);
+        let empty = Hypergraph::new(3);
+        let cd = core_decomposition(&empty);
+        assert_eq!(cd.max_core, 0);
+        assert!(cd.core_nodes(1).is_empty());
+    }
+
+    #[test]
+    fn multiplicity_does_not_change_connectivity_or_cores() {
+        let mut a = Hypergraph::new(0);
+        a.add_edge(edge(&[0, 1, 2]));
+        a.add_edge(edge(&[2, 3]));
+        let mut b = a.clone();
+        b.add_edge_with_multiplicity(edge(&[0, 1, 2]), 5);
+        assert_eq!(s_node_components(&a, 1), s_node_components(&b, 1));
+        assert_eq!(core_decomposition(&a), core_decomposition(&b));
+    }
+}

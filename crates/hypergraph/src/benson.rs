@@ -1,0 +1,267 @@
+//! The Benson simplex dataset format.
+//!
+//! The paper's real datasets (Enron, P.School, H.School, DBLP, Eu, …)
+//! are distributed in Austin Benson's simplicial-data layout
+//! (<https://www.cs.cornell.edu/~arb/data/>): a dataset `name` consists
+//! of three parallel text files,
+//!
+//! * `name-nverts.txt` — one integer per simplex: its vertex count,
+//! * `name-simplices.txt` — the concatenated vertex ids (1-based) of all
+//!   simplices, in order,
+//! * `name-times.txt` — one integer timestamp per simplex (optional for
+//!   this crate's purposes).
+//!
+//! This module converts between that layout and [`Hypergraph`], so the
+//! reproduction pipeline can run on the *actual* public datasets when
+//! they are available locally instead of the calibrated stand-ins.
+//! Repeated simplices become hyperedge multiplicity; vertex ids are
+//! shifted to 0-based `NodeId`s; simplices with fewer than two distinct
+//! vertices (self-contacts) are skipped, matching the paper's
+//! preliminaries (`|e| ≥ 2`).
+
+use crate::error::HypergraphError;
+use crate::hyperedge::Hyperedge;
+use crate::hypergraph::Hypergraph;
+use crate::node::NodeId;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// A timestamped hyperedge multiset as loaded from Benson files: the
+/// hypergraph plus, when a times file was supplied, one timestamp per
+/// simplex in file order (only simplices that became hyperedges are
+/// kept, so the two stay parallel).
+#[derive(Debug, Clone)]
+pub struct BensonDataset {
+    /// The hypergraph (repeats folded into multiplicity).
+    pub hypergraph: Hypergraph,
+    /// Per-kept-simplex `(timestamp, hyperedge)` pairs in file order;
+    /// empty when no times file was given.
+    pub timestamped: Vec<(i64, Hyperedge)>,
+}
+
+/// Parses every whitespace-separated integer in `reader`.
+fn read_ints<R: Read, T: std::str::FromStr>(
+    reader: R,
+    what: &str,
+) -> Result<Vec<T>, HypergraphError> {
+    let mut out = Vec::new();
+    let mut input = BufReader::new(reader);
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        for tok in line.split_ascii_whitespace() {
+            let v: T = tok.parse().map_err(|_| HypergraphError::Parse {
+                line: lineno,
+                message: format!("bad {what} value {tok:?}"),
+            })?;
+            out.push(v);
+        }
+    }
+    Ok(out)
+}
+
+/// Reads a Benson dataset from open readers. `times` is optional.
+pub fn read_benson<R1: Read, R2: Read, R3: Read>(
+    nverts: R1,
+    simplices: R2,
+    times: Option<R3>,
+) -> Result<BensonDataset, HypergraphError> {
+    let nverts: Vec<usize> = read_ints(nverts, "nverts")?;
+    let vertices: Vec<u64> = read_ints(simplices, "simplex vertex")?;
+    let times: Option<Vec<i64>> = match times {
+        Some(r) => Some(read_ints(r, "timestamp")?),
+        None => None,
+    };
+    let total: usize = nverts.iter().sum();
+    if total != vertices.len() {
+        return Err(HypergraphError::InvalidEdge(format!(
+            "nverts sums to {total} but simplices file has {} vertices",
+            vertices.len()
+        )));
+    }
+    if let Some(t) = &times {
+        if t.len() != nverts.len() {
+            return Err(HypergraphError::InvalidEdge(format!(
+                "times file has {} entries for {} simplices",
+                t.len(),
+                nverts.len()
+            )));
+        }
+    }
+
+    let mut h = Hypergraph::new(0);
+    let mut timestamped = Vec::new();
+    let mut offset = 0usize;
+    for (i, &k) in nverts.iter().enumerate() {
+        let span = &vertices[offset..offset + k];
+        offset += k;
+        // Benson ids are 1-based; reject 0 explicitly rather than wrap.
+        let mut nodes = Vec::with_capacity(k);
+        for &v in span {
+            if v == 0 || v > u64::from(u32::MAX) {
+                return Err(HypergraphError::InvalidEdge(format!(
+                    "vertex id {v} outside 1..=u32::MAX in simplex {i}"
+                )));
+            }
+            nodes.push(NodeId((v - 1) as u32));
+        }
+        // Hyperedge::new sorts, dedups, and returns None below 2 distinct
+        // nodes (self-contact simplices are dropped, as in the paper).
+        let Some(e) = Hyperedge::new(nodes.into_iter()) else {
+            continue;
+        };
+        h.ensure_nodes(e.nodes().last().map(|n| n.0 + 1).unwrap_or(0));
+        h.add_edge(e.clone());
+        if let Some(t) = &times {
+            timestamped.push((t[i], e));
+        }
+    }
+    Ok(BensonDataset {
+        hypergraph: h,
+        timestamped,
+    })
+}
+
+/// Loads `<stem>-nverts.txt` + `<stem>-simplices.txt` (+
+/// `<stem>-times.txt` when present) relative to `stem`.
+pub fn load_benson<P: AsRef<Path>>(stem: P) -> Result<BensonDataset, HypergraphError> {
+    let stem = stem.as_ref();
+    let path = |suffix: &str| {
+        let mut name = stem
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        name.push_str(suffix);
+        stem.with_file_name(name)
+    };
+    let nverts = std::fs::File::open(path("-nverts.txt"))?;
+    let simplices = std::fs::File::open(path("-simplices.txt"))?;
+    let times = std::fs::File::open(path("-times.txt")).ok();
+    read_benson(nverts, simplices, times)
+}
+
+/// Writes `h` in the Benson layout to the three writers (timestamps are
+/// written as 0..#simplices in hyperedge order — the format requires the
+/// file, downstream splitting only needs a total order). Each hyperedge
+/// is emitted `multiplicity` times, so a read-back reproduces the
+/// multiset exactly.
+pub fn write_benson<W1: Write, W2: Write, W3: Write>(
+    h: &Hypergraph,
+    nverts: W1,
+    simplices: W2,
+    times: W3,
+) -> Result<(), HypergraphError> {
+    let mut nv = BufWriter::new(nverts);
+    let mut sx = BufWriter::new(simplices);
+    let mut tm = BufWriter::new(times);
+    let mut stamp = 0u64;
+    for e in h.sorted_edges() {
+        for _ in 0..h.multiplicity(e) {
+            writeln!(nv, "{}", e.len())?;
+            for n in e.nodes() {
+                writeln!(sx, "{}", n.0 + 1)?;
+            }
+            writeln!(tm, "{stamp}")?;
+            stamp += 1;
+        }
+    }
+    nv.flush()?;
+    sx.flush()?;
+    tm.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyperedge::edge;
+    use crate::metrics::multi_jaccard;
+
+    #[test]
+    fn reads_a_hand_written_dataset() {
+        let nverts = "3\n2\n3\n";
+        let simplices = "1\n2\n3\n4\n5\n1\n2\n3\n";
+        let times = "10\n20\n30\n";
+        let data = read_benson(
+            nverts.as_bytes(),
+            simplices.as_bytes(),
+            Some(times.as_bytes()),
+        )
+        .unwrap();
+        let h = &data.hypergraph;
+        // {1,2,3} appears twice -> multiplicity 2 of 0-based {0,1,2}.
+        assert_eq!(h.unique_edge_count(), 2);
+        assert_eq!(h.multiplicity(&edge(&[0, 1, 2])), 2);
+        assert_eq!(h.multiplicity(&edge(&[3, 4])), 1);
+        assert_eq!(data.timestamped.len(), 3);
+        assert_eq!(data.timestamped[0].0, 10);
+        assert_eq!(data.timestamped[2].1, edge(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn times_are_optional() {
+        let data = read_benson(
+            "2\n".as_bytes(),
+            "7\n9\n".as_bytes(),
+            None::<&[u8]>,
+        )
+        .unwrap();
+        assert!(data.timestamped.is_empty());
+        assert_eq!(data.hypergraph.multiplicity(&edge(&[6, 8])), 1);
+    }
+
+    #[test]
+    fn degenerate_simplices_are_skipped() {
+        // A 1-vertex simplex and a self-repeated pair {5,5}: both dropped.
+        let data = read_benson(
+            "1\n2\n2\n".as_bytes(),
+            "3\n5\n5\n1\n2\n".as_bytes(),
+            None::<&[u8]>,
+        )
+        .unwrap();
+        assert_eq!(data.hypergraph.unique_edge_count(), 1);
+        assert!(data.hypergraph.contains(&edge(&[0, 1])));
+    }
+
+    #[test]
+    fn rejects_inconsistent_counts() {
+        let err = read_benson("3\n".as_bytes(), "1\n2\n".as_bytes(), None::<&[u8]>);
+        assert!(err.is_err());
+        let err = read_benson(
+            "2\n".as_bytes(),
+            "1\n2\n".as_bytes(),
+            Some("5\n6\n".as_bytes()),
+        );
+        assert!(err.is_err(), "times length must equal simplex count");
+    }
+
+    #[test]
+    fn rejects_zero_and_garbage_ids() {
+        assert!(read_benson("2\n".as_bytes(), "0\n1\n".as_bytes(), None::<&[u8]>).is_err());
+        assert!(read_benson("2\n".as_bytes(), "a\n1\n".as_bytes(), None::<&[u8]>).is_err());
+        assert!(read_benson("x\n".as_bytes(), "1\n2\n".as_bytes(), None::<&[u8]>).is_err());
+    }
+
+    #[test]
+    fn round_trip_preserves_the_multiset() {
+        let mut h = Hypergraph::new(6);
+        h.add_edge_with_multiplicity(edge(&[0, 1, 2]), 3);
+        h.add_edge(edge(&[2, 5]));
+        h.add_edge(edge(&[1, 3, 4, 5]));
+        let (mut nv, mut sx, mut tm) = (Vec::new(), Vec::new(), Vec::new());
+        write_benson(&h, &mut nv, &mut sx, &mut tm).unwrap();
+        let back = read_benson(nv.as_slice(), sx.as_slice(), Some(tm.as_slice())).unwrap();
+        assert!((multi_jaccard(&h, &back.hypergraph) - 1.0).abs() < 1e-12);
+        // 3 + 1 + 1 events, timestamps strictly increasing.
+        assert_eq!(back.timestamped.len(), 5);
+        assert!(back
+            .timestamped
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0));
+    }
+}

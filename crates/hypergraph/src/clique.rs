@@ -1,0 +1,460 @@
+//! Maximal-clique enumeration (Bron–Kerbosch) and clique sampling.
+//!
+//! All clique-candidate generation in this workspace — MARIOH's
+//! bidirectional search as well as the clique-based baselines — goes
+//! through this module, mirroring the paper's note that "the same maximal
+//! clique detection algorithm was used across all methods".
+
+use crate::graph::ProjectedGraph;
+use crate::node::NodeId;
+use rand::Rng;
+
+/// Sorted adjacency snapshot used during enumeration.
+///
+/// [`ProjectedGraph`] stores hash maps (optimised for mutation); the
+/// enumerator wants sorted slices for merge-style intersections, so we
+/// snapshot once per call.
+pub(crate) struct Snapshot {
+    adj: Vec<Vec<u32>>,
+}
+
+impl Snapshot {
+    pub(crate) fn new(g: &ProjectedGraph) -> Self {
+        let adj = (0..g.num_nodes())
+            .map(|u| {
+                let mut nbrs: Vec<u32> = g.neighbors(NodeId(u)).map(|(v, _)| v.0).collect();
+                nbrs.sort_unstable();
+                nbrs
+            })
+            .collect();
+        Snapshot { adj }
+    }
+
+    #[inline]
+    pub(crate) fn neighbors(&self, u: u32) -> &[u32] {
+        &self.adj[u as usize]
+    }
+}
+
+/// Intersection of a sorted slice with the sorted neighbour list of `u`.
+fn intersect_sorted(set: &[u32], nbrs: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(set.len().min(nbrs.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < set.len() && j < nbrs.len() {
+        match set[i].cmp(&nbrs[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(set[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Size of the intersection of two sorted slices, without allocating.
+fn intersection_size(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Computes a degeneracy ordering of the graph's nodes (bucket queue,
+/// O(V + E)). Returns the ordering; the graph's degeneracy is the maximum
+/// "remaining degree" encountered.
+pub fn degeneracy_ordering(g: &ProjectedGraph) -> Vec<NodeId> {
+    let n = g.num_nodes() as usize;
+    let mut degree: Vec<usize> = (0..n).map(|u| g.degree(NodeId(u as u32))).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_deg + 1];
+    for (u, &d) in degree.iter().enumerate() {
+        buckets[d].push(u as u32);
+    }
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut cursor = 0usize;
+    while order.len() < n {
+        // Find the lowest non-empty bucket at or after `cursor` (degrees
+        // only decrease by one per removal, so cursor never backtracks by
+        // more than one).
+        while cursor < buckets.len() && buckets[cursor].is_empty() {
+            cursor += 1;
+        }
+        let Some(u) = buckets[cursor].pop() else {
+            break;
+        };
+        if removed[u as usize] || degree[u as usize] != cursor {
+            continue; // stale bucket entry
+        }
+        removed[u as usize] = true;
+        order.push(NodeId(u));
+        for (v, _) in g.neighbors(NodeId(u)) {
+            let vi = v.index();
+            if !removed[vi] {
+                let d = degree[vi];
+                degree[vi] = d - 1;
+                buckets[d - 1].push(v.0);
+                cursor = cursor.min(d - 1);
+            }
+        }
+    }
+    order
+}
+
+/// Enumerates all maximal cliques of `g` (size ≥ 2), each returned as a
+/// sorted node vector. Deterministic output order (sorted at the end).
+///
+/// Implementation: Bron–Kerbosch with pivoting over a degeneracy-ordered
+/// outer loop (Eppstein–Löffler–Strash), the standard
+/// output-sensitive-in-practice variant.
+pub fn maximal_cliques(g: &ProjectedGraph) -> Vec<Vec<NodeId>> {
+    maximal_cliques_capped(g, usize::MAX).0
+}
+
+/// Like [`maximal_cliques`], but stops after `cap` cliques have been
+/// emitted. Returns `(cliques, truncated)`.
+///
+/// The cap is the harness's defence against pathological inputs (the paper
+/// reports OOT/OOM entries for some baselines); MARIOH itself never needs
+/// it on the bundled datasets.
+pub fn maximal_cliques_capped(g: &ProjectedGraph, cap: usize) -> (Vec<Vec<NodeId>>, bool) {
+    let snap = Snapshot::new(g);
+    let order = degeneracy_ordering(g);
+    let mut rank = vec![0u32; g.num_nodes() as usize];
+    for (i, u) in order.iter().enumerate() {
+        rank[u.index()] = i as u32;
+    }
+    let mut out: Vec<Vec<u32>> = Vec::new();
+    let mut truncated = false;
+    'outer: for &u in &order {
+        let nbrs = snap.neighbors(u.0);
+        let mut p: Vec<u32> = Vec::new();
+        let mut x: Vec<u32> = Vec::new();
+        for &v in nbrs {
+            if rank[v as usize] > rank[u.index()] {
+                p.push(v);
+            } else {
+                x.push(v);
+            }
+        }
+        let mut r = vec![u.0];
+        if bk_pivot(&snap, &mut r, p, x, &mut out, cap) {
+            truncated = true;
+            break 'outer;
+        }
+    }
+    // Isolated edges / larger cliques are all covered; filter size-1
+    // artifacts (isolated nodes are never pushed because r starts with one
+    // node and we only emit when |R| >= 2).
+    out.sort_unstable();
+    (
+        out.into_iter()
+            .map(|c| c.into_iter().map(NodeId).collect())
+            .collect(),
+        truncated,
+    )
+}
+
+/// Recursive Bron–Kerbosch step with pivoting. Returns `true` when the cap
+/// was hit.
+pub(crate) fn bk_pivot(
+    snap: &Snapshot,
+    r: &mut Vec<u32>,
+    p: Vec<u32>,
+    mut x: Vec<u32>,
+    out: &mut Vec<Vec<u32>>,
+    cap: usize,
+) -> bool {
+    if p.is_empty() && x.is_empty() {
+        if r.len() >= 2 {
+            let mut clique = r.clone();
+            clique.sort_unstable();
+            out.push(clique);
+            if out.len() >= cap {
+                return true;
+            }
+        }
+        return false;
+    }
+    // Pivot: the vertex of P ∪ X with the most neighbours in P.
+    let pivot = p
+        .iter()
+        .chain(x.iter())
+        .copied()
+        .max_by_key(|&v| intersection_size(&p, snap.neighbors(v)))
+        .expect("P ∪ X non-empty");
+    let pivot_nbrs = snap.neighbors(pivot);
+    let candidates: Vec<u32> = p
+        .iter()
+        .copied()
+        .filter(|&v| pivot_nbrs.binary_search(&v).is_err())
+        .collect();
+    let mut p = p;
+    for v in candidates {
+        let v_nbrs = snap.neighbors(v);
+        let new_p = intersect_sorted(&p, v_nbrs);
+        let new_x = intersect_sorted(&x, v_nbrs);
+        r.push(v);
+        if bk_pivot(snap, r, new_p, new_x, out, cap) {
+            return true;
+        }
+        r.pop();
+        // Move v from P to X.
+        if let Ok(idx) = p.binary_search(&v) {
+            p.remove(idx);
+        }
+        let ins = x.binary_search(&v).unwrap_err();
+        x.insert(ins, v);
+    }
+    false
+}
+
+/// Whether `clique` (sorted, distinct) is maximal in `g`.
+pub fn is_maximal(g: &ProjectedGraph, clique: &[NodeId]) -> bool {
+    let Some(&first) = clique.first() else {
+        return false;
+    };
+    // A clique is maximal iff no common neighbour of all members exists.
+    // Scan the smallest member's neighbourhood.
+    let anchor = clique
+        .iter()
+        .copied()
+        .min_by_key(|&u| g.degree(u))
+        .unwrap_or(first);
+    for (cand, _) in g.neighbors(anchor) {
+        if clique.binary_search(&cand).is_ok() {
+            continue;
+        }
+        if clique.iter().all(|&u| u == cand || g.has_edge(u, cand)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Uniformly samples a `k`-subset of `nodes` (Floyd's algorithm), returned
+/// sorted.
+///
+/// # Panics
+///
+/// Panics if `k > nodes.len()`.
+pub fn sample_k_subset<R: Rng + ?Sized>(rng: &mut R, nodes: &[NodeId], k: usize) -> Vec<NodeId> {
+    assert!(k <= nodes.len(), "k-subset larger than ground set");
+    // Floyd's sampling: O(k) expected inserts.
+    let n = nodes.len();
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    for j in n - k..n {
+        let t = rng.gen_range(0..=j);
+        if chosen.contains(&t) {
+            chosen.push(j);
+        } else {
+            chosen.push(t);
+        }
+    }
+    let mut out: Vec<NodeId> = chosen.into_iter().map(|i| nodes[i]).collect();
+    out.sort_unstable();
+    debug_assert!(out.windows(2).all(|w| w[0] < w[1]));
+    out
+}
+
+/// Calls `f(u, v, w)` for every triangle `u < v < w` of `g`.
+///
+/// Used by the simplicial-closure property and the motif features.
+pub fn for_each_triangle<F: FnMut(NodeId, NodeId, NodeId)>(g: &ProjectedGraph, mut f: F) {
+    let snap = Snapshot::new(g);
+    for u in 0..g.num_nodes() {
+        let nu = snap.neighbors(u);
+        for &v in nu.iter().filter(|&&v| v > u) {
+            let nv = snap.neighbors(v);
+            // w > v keeps each triangle counted once.
+            let (mut i, mut j) = (0, 0);
+            while i < nu.len() && j < nv.len() {
+                match nu[i].cmp(&nv[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        if nu[i] > v {
+                            f(NodeId(u), NodeId(v), NodeId(nu[i]));
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn graph_from_edges(num: u32, edges: &[(u32, u32)]) -> ProjectedGraph {
+        let mut g = ProjectedGraph::new(num);
+        for &(u, v) in edges {
+            g.add_edge_weight(n(u), n(v), 1);
+        }
+        g
+    }
+
+    #[test]
+    fn triangle_is_one_clique() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let cliques = maximal_cliques(&g);
+        assert_eq!(cliques, vec![vec![n(0), n(1), n(2)]]);
+    }
+
+    #[test]
+    fn path_gives_edges() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let cliques = maximal_cliques(&g);
+        assert_eq!(
+            cliques,
+            vec![vec![n(0), n(1)], vec![n(1), n(2)], vec![n(2), n(3)]]
+        );
+    }
+
+    #[test]
+    fn two_triangles_sharing_an_edge() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)]);
+        let cliques = maximal_cliques(&g);
+        assert_eq!(
+            cliques,
+            vec![vec![n(0), n(1), n(2)], vec![n(1), n(2), n(3)]]
+        );
+    }
+
+    #[test]
+    fn complete_graph_single_clique() {
+        let mut edges = Vec::new();
+        for u in 0..6u32 {
+            for v in u + 1..6 {
+                edges.push((u, v));
+            }
+        }
+        let g = graph_from_edges(6, &edges);
+        let cliques = maximal_cliques(&g);
+        assert_eq!(cliques.len(), 1);
+        assert_eq!(cliques[0].len(), 6);
+    }
+
+    #[test]
+    fn empty_graph_has_no_cliques() {
+        let g = ProjectedGraph::new(5);
+        assert!(maximal_cliques(&g).is_empty());
+    }
+
+    /// Brute-force reference enumerator for cross-checking.
+    fn brute_force_maximal(g: &ProjectedGraph) -> Vec<Vec<NodeId>> {
+        let n = g.num_nodes();
+        let mut all: Vec<Vec<NodeId>> = Vec::new();
+        for mask in 1u32..(1 << n) {
+            let nodes: Vec<NodeId> = (0..n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(NodeId)
+                .collect();
+            if nodes.len() >= 2 && g.is_clique(&nodes) {
+                all.push(nodes);
+            }
+        }
+        let mut maximal: Vec<Vec<NodeId>> = all
+            .iter()
+            .filter(|c| {
+                !all.iter()
+                    .any(|d| d.len() > c.len() && c.iter().all(|x| d.contains(x)))
+            })
+            .cloned()
+            .collect();
+        maximal.sort_unstable();
+        maximal
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..30 {
+            let n = rng.gen_range(2..10u32);
+            let mut g = ProjectedGraph::new(n);
+            for u in 0..n {
+                for v in u + 1..n {
+                    if rng.gen_bool(0.45) {
+                        g.add_edge_weight(NodeId(u), NodeId(v), 1);
+                    }
+                }
+            }
+            assert_eq!(maximal_cliques(&g), brute_force_maximal(&g));
+        }
+    }
+
+    #[test]
+    fn cap_truncates() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let (cliques, truncated) = maximal_cliques_capped(&g, 2);
+        assert!(truncated);
+        assert_eq!(cliques.len(), 2);
+        let (_, full) = maximal_cliques_capped(&g, 100);
+        assert!(!full);
+    }
+
+    #[test]
+    fn degeneracy_ordering_covers_all_nodes() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let order = degeneracy_ordering(&g);
+        assert_eq!(order.len(), 5);
+        let mut seen: Vec<u32> = order.iter().map(|n| n.0).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn maximality_check() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)]);
+        assert!(is_maximal(&g, &[n(0), n(1), n(2)]));
+        assert!(!is_maximal(&g, &[n(1), n(2)])); // extends to both triangles
+        assert!(!is_maximal(&g, &[n(0), n(1)]));
+    }
+
+    #[test]
+    fn subset_sampling_is_uniformish_and_sorted() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let nodes: Vec<NodeId> = (0..6).map(NodeId).collect();
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..6000 {
+            let s = sample_k_subset(&mut rng, &nodes, 2);
+            assert_eq!(s.len(), 2);
+            assert!(s[0] < s[1]);
+            *counts.entry((s[0].0, s[1].0)).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 15); // all C(6,2) pairs occur
+        for (_, c) in counts {
+            assert!(c > 200, "pair frequency suspiciously low: {c}");
+        }
+    }
+
+    #[test]
+    fn triangle_enumeration() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let mut tris = Vec::new();
+        for_each_triangle(&g, |a, b, c| tris.push((a.0, b.0, c.0)));
+        tris.sort_unstable();
+        assert_eq!(tris, vec![(0, 1, 2), (1, 2, 3)]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for the hypergraph substrate.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by the hypergraph substrate (mostly I/O parsing).
+#[derive(Debug)]
+pub enum HypergraphError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line in a text-format file.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A structurally invalid edge (e.g. fewer than two distinct nodes).
+    InvalidEdge(String),
+}
+
+impl fmt::Display for HypergraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HypergraphError::Io(e) => write!(f, "I/O error: {e}"),
+            HypergraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            HypergraphError::InvalidEdge(msg) => write!(f, "invalid edge: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HypergraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HypergraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for HypergraphError {
+    fn from(e: io::Error) -> Self {
+        HypergraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = HypergraphError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 3: bad token");
+        let e = HypergraphError::InvalidEdge("too small".into());
+        assert!(e.to_string().contains("too small"));
+    }
+
+    #[test]
+    fn io_error_round_trip() {
+        let io_err = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e: HypergraphError = io_err.into();
+        assert!(e.to_string().contains("gone"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,125 @@
+//! A minimal FxHash-style hasher.
+//!
+//! Reconstruction is dominated by hash-map operations keyed by small
+//! integers and short integer slices, for which the standard library's
+//! SipHash is needlessly slow. This is the classic Firefox/rustc "Fx" mix
+//! (multiply by a large odd constant, rotate, xor), re-implemented here in
+//! ~40 lines instead of pulling a crate from outside the dependency
+//! allow-list.
+//!
+//! The hasher is *not* DoS-resistant; all keys in this workspace are
+//! internally generated, never attacker-controlled.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant used by the Fx mix (64-bit golden-ratio odd).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic [`Hasher`] for small integer-like keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Consume 8-byte chunks, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// [`std::hash::BuildHasher`] producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with the Fx hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(value: T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_hashers() {
+        assert_eq!(hash_one(42u32), hash_one(42u32));
+        assert_eq!(hash_one((3u32, 7u32)), hash_one((3u32, 7u32)));
+    }
+
+    #[test]
+    fn distinguishes_small_keys() {
+        // Not a collision-resistance proof, just a smoke test that the mix
+        // actually mixes.
+        let hashes: std::collections::HashSet<u64> = (0u32..1000).map(hash_one).collect();
+        assert_eq!(hashes.len(), 1000);
+    }
+
+    #[test]
+    fn byte_stream_tail_is_hashed() {
+        assert_ne!(hash_one([1u8, 2, 3]), hash_one([1u8, 2, 4]));
+        assert_ne!(
+            hash_one([1u8, 2, 3, 4, 5, 6, 7, 8, 9]),
+            hash_one([1u8, 2, 3, 4, 5, 6, 7, 8, 10])
+        );
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut map: FxHashMap<u32, u32> = FxHashMap::default();
+        map.insert(1, 2);
+        assert_eq!(map.get(&1), Some(&2));
+        let mut set: FxHashSet<u32> = FxHashSet::default();
+        set.insert(9);
+        assert!(set.contains(&9));
+    }
+}

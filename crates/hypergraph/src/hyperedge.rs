@@ -1,0 +1,174 @@
+//! Canonical hyperedge representation.
+
+use crate::node::NodeId;
+use std::fmt;
+
+/// A hyperedge: a set of at least two distinct nodes, stored sorted.
+///
+/// The canonical (sorted, deduplicated) form makes hyperedges directly
+/// usable as hash-map keys, which is how the hyperedge *multiset* of a
+/// [`crate::Hypergraph`] is represented. The inner storage is a boxed slice
+/// (two words instead of three; hyperedges are never mutated after
+/// construction).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Hyperedge {
+    nodes: Box<[NodeId]>,
+}
+
+impl Hyperedge {
+    /// Builds a hyperedge from arbitrary node ids.
+    ///
+    /// Duplicates are removed and nodes are sorted. Returns `None` when
+    /// fewer than two distinct nodes remain (the paper requires |e| ≥ 2).
+    pub fn new<I: IntoIterator<Item = NodeId>>(nodes: I) -> Option<Self> {
+        let mut v: Vec<NodeId> = nodes.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        if v.len() < 2 {
+            return None;
+        }
+        Some(Hyperedge {
+            nodes: v.into_boxed_slice(),
+        })
+    }
+
+    /// Builds a hyperedge from a slice that is already sorted and
+    /// duplicate-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds only) if the invariant does not hold or the
+    /// slice has fewer than two nodes. Use [`Hyperedge::new`] for untrusted
+    /// input.
+    pub fn from_sorted(nodes: Vec<NodeId>) -> Self {
+        debug_assert!(nodes.len() >= 2, "hyperedge must have at least 2 nodes");
+        debug_assert!(
+            nodes.windows(2).all(|w| w[0] < w[1]),
+            "nodes must be strictly sorted"
+        );
+        Hyperedge {
+            nodes: nodes.into_boxed_slice(),
+        }
+    }
+
+    /// The nodes of the hyperedge, in ascending order.
+    #[inline]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Hyperedges always contain ≥ 2 nodes, so this is always `false`;
+    /// provided for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `node` belongs to this hyperedge (binary search).
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.binary_search(&node).is_ok()
+    }
+
+    /// Whether `other` is a subset of this hyperedge.
+    pub fn is_superset_of(&self, other: &Hyperedge) -> bool {
+        if other.len() > self.len() {
+            return false;
+        }
+        other.nodes.iter().all(|&n| self.contains(n))
+    }
+
+    /// Iterates over the `len * (len-1) / 2` unordered node pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        let nodes = &self.nodes;
+        (0..nodes.len()).flat_map(move |i| (i + 1..nodes.len()).map(move |j| (nodes[i], nodes[j])))
+    }
+}
+
+impl fmt::Display for Hyperedge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Convenience: build a hyperedge from raw `u32` ids in tests and examples.
+///
+/// # Panics
+///
+/// Panics when fewer than two distinct nodes are given.
+pub fn edge(ids: &[u32]) -> Hyperedge {
+    Hyperedge::new(ids.iter().map(|&i| NodeId(i))).expect("edge! needs >= 2 distinct nodes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let e = Hyperedge::new([NodeId(3), NodeId(1), NodeId(3), NodeId(2)]).unwrap();
+        assert_eq!(e.nodes(), &[NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(e.len(), 3);
+    }
+
+    #[test]
+    fn rejects_singletons_and_empty() {
+        assert!(Hyperedge::new([]).is_none());
+        assert!(Hyperedge::new([NodeId(5)]).is_none());
+        assert!(Hyperedge::new([NodeId(5), NodeId(5)]).is_none());
+    }
+
+    #[test]
+    fn canonical_forms_compare_equal() {
+        let a = Hyperedge::new([NodeId(2), NodeId(9), NodeId(4)]).unwrap();
+        let b = Hyperedge::new([NodeId(9), NodeId(4), NodeId(2)]).unwrap();
+        assert_eq!(a, b);
+        use std::hash::{BuildHasher, RandomState};
+        let s = RandomState::new();
+        assert_eq!(s.hash_one(&a), s.hash_one(&b));
+    }
+
+    #[test]
+    fn contains_and_superset() {
+        let e = edge(&[1, 2, 3, 4]);
+        assert!(e.contains(NodeId(3)));
+        assert!(!e.contains(NodeId(7)));
+        assert!(e.is_superset_of(&edge(&[2, 4])));
+        assert!(!e.is_superset_of(&edge(&[2, 5])));
+        assert!(!edge(&[1, 2]).is_superset_of(&e));
+    }
+
+    #[test]
+    fn pairs_enumerates_all_unordered_pairs() {
+        let e = edge(&[1, 2, 3]);
+        let pairs: Vec<_> = e.pairs().collect();
+        assert_eq!(
+            pairs,
+            vec![
+                (NodeId(1), NodeId(2)),
+                (NodeId(1), NodeId(3)),
+                (NodeId(2), NodeId(3)),
+            ]
+        );
+        let big = edge(&[0, 1, 2, 3, 4]);
+        assert_eq!(big.pairs().count(), 10);
+    }
+
+    #[test]
+    fn display_is_set_like() {
+        assert_eq!(edge(&[3, 1]).to_string(), "{1, 3}");
+    }
+}

@@ -1,0 +1,307 @@
+//! The multiset hypergraph `H = (V, E*, M)`.
+
+use crate::fxhash::FxHashMap;
+use crate::hyperedge::Hyperedge;
+use crate::node::NodeId;
+
+/// A hypergraph over nodes `0..num_nodes()`, with a *multiset* of
+/// hyperedges.
+///
+/// Following Sect. II-A of the paper, the multiset `E*` is represented as
+/// the set of unique hyperedges `E` plus a multiplicity function
+/// `M : E → ℕ` (stored as one hash map from canonical hyperedge to count).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Hypergraph {
+    num_nodes: u32,
+    edges: FxHashMap<Hyperedge, u32>,
+    /// Total multiplicity, i.e. |E*| = Σ_e M(e). Maintained incrementally.
+    total_multiplicity: u64,
+}
+
+impl Hypergraph {
+    /// Creates an empty hypergraph over `num_nodes` nodes.
+    pub fn new(num_nodes: u32) -> Self {
+        Hypergraph {
+            num_nodes,
+            edges: FxHashMap::default(),
+            total_multiplicity: 0,
+        }
+    }
+
+    /// The size of the node universe `|V|` (including isolated nodes).
+    #[inline]
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Grows the node universe to at least `n` nodes.
+    pub fn ensure_nodes(&mut self, n: u32) {
+        self.num_nodes = self.num_nodes.max(n);
+    }
+
+    /// Adds `count` copies of `edge` to the multiset.
+    ///
+    /// Nodes outside the current universe grow it automatically.
+    pub fn add_edge_with_multiplicity(&mut self, edge: Hyperedge, count: u32) {
+        if count == 0 {
+            return;
+        }
+        if let Some(&max) = edge.nodes().last() {
+            self.ensure_nodes(max.0 + 1);
+        }
+        self.total_multiplicity += u64::from(count);
+        *self.edges.entry(edge).or_insert(0) += count;
+    }
+
+    /// Adds a single copy of `edge`.
+    pub fn add_edge(&mut self, edge: Hyperedge) {
+        self.add_edge_with_multiplicity(edge, 1);
+    }
+
+    /// Removes up to `count` copies of `edge`, returning how many were
+    /// actually removed.
+    pub fn remove_edge(&mut self, edge: &Hyperedge, count: u32) -> u32 {
+        match self.edges.get_mut(edge) {
+            None => 0,
+            Some(m) => {
+                let removed = count.min(*m);
+                *m -= removed;
+                if *m == 0 {
+                    self.edges.remove(edge);
+                }
+                self.total_multiplicity -= u64::from(removed);
+                removed
+            }
+        }
+    }
+
+    /// Multiplicity `M(e)`; zero when `e` is absent.
+    #[inline]
+    pub fn multiplicity(&self, edge: &Hyperedge) -> u32 {
+        self.edges.get(edge).copied().unwrap_or(0)
+    }
+
+    /// Whether `e` occurs at least once.
+    #[inline]
+    pub fn contains(&self, edge: &Hyperedge) -> bool {
+        self.edges.contains_key(edge)
+    }
+
+    /// Number of *unique* hyperedges `|E|`.
+    #[inline]
+    pub fn unique_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total multiset size `|E*| = Σ_e M(e)`.
+    #[inline]
+    pub fn total_edge_count(&self) -> u64 {
+        self.total_multiplicity
+    }
+
+    /// Average hyperedge multiplicity `|E*| / |E|` (0 when empty).
+    pub fn avg_multiplicity(&self) -> f64 {
+        if self.edges.is_empty() {
+            0.0
+        } else {
+            self.total_multiplicity as f64 / self.edges.len() as f64
+        }
+    }
+
+    /// Iterates over `(hyperedge, multiplicity)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Hyperedge, u32)> {
+        self.edges.iter().map(|(e, &m)| (e, m))
+    }
+
+    /// Iterates over unique hyperedges in a *sorted, deterministic* order.
+    ///
+    /// Use this whenever downstream behaviour must not depend on hash-map
+    /// iteration order (e.g. sampling with a seeded RNG).
+    pub fn sorted_edges(&self) -> Vec<&Hyperedge> {
+        let mut v: Vec<&Hyperedge> = self.edges.keys().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Node degrees counting unique hyperedges (index = node id).
+    pub fn node_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_nodes as usize];
+        for e in self.edges.keys() {
+            for n in e.nodes() {
+                deg[n.index()] += 1;
+            }
+        }
+        deg
+    }
+
+    /// Node degrees counting multiplicity (index = node id).
+    pub fn weighted_node_degrees(&self) -> Vec<u64> {
+        let mut deg = vec![0u64; self.num_nodes as usize];
+        for (e, m) in self.iter() {
+            for n in e.nodes() {
+                deg[n.index()] += u64::from(m);
+            }
+        }
+        deg
+    }
+
+    /// Nodes covered by at least one hyperedge, ascending.
+    pub fn covered_nodes(&self) -> Vec<NodeId> {
+        let deg = self.node_degrees();
+        (0..self.num_nodes)
+            .filter(|&i| deg[i as usize] > 0)
+            .map(NodeId)
+            .collect()
+    }
+
+    /// Returns a copy with every hyperedge multiplicity reduced to 1
+    /// (the paper's "multiplicity-reduced" evaluation setting).
+    ///
+    /// Note this does *not* reduce edge multiplicities in the projection:
+    /// distinct hyperedges still overlap on node pairs.
+    pub fn reduce_multiplicity(&self) -> Hypergraph {
+        let edges: FxHashMap<Hyperedge, u32> = self.edges.keys().map(|e| (e.clone(), 1)).collect();
+        let total = edges.len() as u64;
+        Hypergraph {
+            num_nodes: self.num_nodes,
+            edges,
+            total_multiplicity: total,
+        }
+    }
+
+    /// The sub-hypergraph induced by `nodes`: hyperedges fully contained in
+    /// the given node set (multiplicities preserved).
+    pub fn induced_by(&self, nodes: &[NodeId]) -> Hypergraph {
+        let set: crate::fxhash::FxHashSet<NodeId> = nodes.iter().copied().collect();
+        let mut out = Hypergraph::new(self.num_nodes);
+        for (e, m) in self.iter() {
+            if e.nodes().iter().all(|n| set.contains(n)) {
+                out.add_edge_with_multiplicity(e.clone(), m);
+            }
+        }
+        out
+    }
+
+    /// Sum of hyperedge sizes over the multiset, `Σ_e M(e)·|e|`.
+    pub fn total_size(&self) -> u64 {
+        self.iter()
+            .map(|(e, m)| u64::from(m) * e.len() as u64)
+            .sum()
+    }
+
+    /// Average size of *unique* hyperedges (0 when empty).
+    pub fn avg_edge_size(&self) -> f64 {
+        if self.edges.is_empty() {
+            return 0.0;
+        }
+        let sum: usize = self.edges.keys().map(Hyperedge::len).sum();
+        sum as f64 / self.edges.len() as f64
+    }
+}
+
+impl FromIterator<Hyperedge> for Hypergraph {
+    fn from_iter<T: IntoIterator<Item = Hyperedge>>(iter: T) -> Self {
+        let mut h = Hypergraph::new(0);
+        for e in iter {
+            h.add_edge(e);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyperedge::edge;
+
+    fn sample() -> Hypergraph {
+        let mut h = Hypergraph::new(0);
+        h.add_edge_with_multiplicity(edge(&[0, 1, 2]), 2);
+        h.add_edge(edge(&[1, 2]));
+        h.add_edge(edge(&[3, 4]));
+        h
+    }
+
+    #[test]
+    fn counts_and_multiplicities() {
+        let h = sample();
+        assert_eq!(h.num_nodes(), 5);
+        assert_eq!(h.unique_edge_count(), 3);
+        assert_eq!(h.total_edge_count(), 4);
+        assert_eq!(h.multiplicity(&edge(&[0, 1, 2])), 2);
+        assert_eq!(h.multiplicity(&edge(&[1, 2])), 1);
+        assert_eq!(h.multiplicity(&edge(&[0, 4])), 0);
+        assert!((h.avg_multiplicity() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adding_same_edge_accumulates() {
+        let mut h = Hypergraph::new(0);
+        h.add_edge(edge(&[0, 1]));
+        h.add_edge(edge(&[1, 0]));
+        assert_eq!(h.unique_edge_count(), 1);
+        assert_eq!(h.multiplicity(&edge(&[0, 1])), 2);
+    }
+
+    #[test]
+    fn remove_edge_clamps_and_cleans_up() {
+        let mut h = sample();
+        assert_eq!(h.remove_edge(&edge(&[0, 1, 2]), 5), 2);
+        assert!(!h.contains(&edge(&[0, 1, 2])));
+        assert_eq!(h.total_edge_count(), 2);
+        assert_eq!(h.remove_edge(&edge(&[0, 1, 2]), 1), 0);
+    }
+
+    #[test]
+    fn degrees() {
+        let h = sample();
+        assert_eq!(h.node_degrees(), vec![1, 2, 2, 1, 1]);
+        assert_eq!(h.weighted_node_degrees(), vec![2, 3, 3, 1, 1]);
+        assert_eq!(
+            h.covered_nodes(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
+    }
+
+    #[test]
+    fn reduce_multiplicity_keeps_unique_edges() {
+        let r = sample().reduce_multiplicity();
+        assert_eq!(r.unique_edge_count(), 3);
+        assert_eq!(r.total_edge_count(), 3);
+        assert_eq!(r.multiplicity(&edge(&[0, 1, 2])), 1);
+    }
+
+    #[test]
+    fn induced_subhypergraph() {
+        let h = sample();
+        let sub = h.induced_by(&[NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(sub.unique_edge_count(), 2);
+        assert_eq!(sub.multiplicity(&edge(&[0, 1, 2])), 2);
+        assert!(!sub.contains(&edge(&[3, 4])));
+    }
+
+    #[test]
+    fn sizes() {
+        let h = sample();
+        assert_eq!(h.total_size(), 2 * 3 + 2 + 2);
+        assert!((h.avg_edge_size() - (3 + 2 + 2) as f64 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorted_edges_is_deterministic() {
+        let h = sample();
+        let e1: Vec<String> = h.sorted_edges().iter().map(|e| e.to_string()).collect();
+        let e2: Vec<String> = h.sorted_edges().iter().map(|e| e.to_string()).collect();
+        assert_eq!(e1, e2);
+        assert_eq!(e1.len(), 3);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let h: Hypergraph = vec![edge(&[0, 1]), edge(&[0, 1]), edge(&[2, 3])]
+            .into_iter()
+            .collect();
+        assert_eq!(h.multiplicity(&edge(&[0, 1])), 2);
+        assert_eq!(h.unique_edge_count(), 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! Reconstruction-accuracy metrics (Sect. II-B).
+
+use crate::fxhash::FxHashSet;
+use crate::hyperedge::Hyperedge;
+use crate::hypergraph::Hypergraph;
+
+/// Jaccard similarity between the *unique* hyperedge sets of two
+/// hypergraphs: `|E ∩ Ê| / |E ∪ Ê|`.
+///
+/// Two empty hypergraphs are defined to have similarity 1.
+pub fn jaccard(a: &Hypergraph, b: &Hypergraph) -> f64 {
+    let (small, large) = if a.unique_edge_count() <= b.unique_edge_count() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    let inter = small.iter().filter(|(e, _)| large.contains(e)).count();
+    let union = a.unique_edge_count() + b.unique_edge_count() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Multi-Jaccard similarity (da Fontoura Costa's multiset extension):
+/// `Σ_e min(M_a(e), M_b(e)) / Σ_e max(M_a(e), M_b(e))` over the union of
+/// unique hyperedges.
+///
+/// Two empty hypergraphs are defined to have similarity 1.
+pub fn multi_jaccard(a: &Hypergraph, b: &Hypergraph) -> f64 {
+    let mut min_sum: u64 = 0;
+    let mut max_sum: u64 = 0;
+    let mut seen: FxHashSet<&Hyperedge> = FxHashSet::default();
+    for (e, ma) in a.iter() {
+        let mb = b.multiplicity(e);
+        min_sum += u64::from(ma.min(mb));
+        max_sum += u64::from(ma.max(mb));
+        seen.insert(e);
+    }
+    for (e, mb) in b.iter() {
+        if !seen.contains(e) {
+            max_sum += u64::from(mb);
+        }
+    }
+    if max_sum == 0 {
+        1.0
+    } else {
+        min_sum as f64 / max_sum as f64
+    }
+}
+
+/// Precision / recall / F1 over unique hyperedges (ground truth `gt`,
+/// prediction `pred`). Not used in the paper's headline tables but handy
+/// for error analysis and tests.
+pub fn precision_recall_f1(gt: &Hypergraph, pred: &Hypergraph) -> (f64, f64, f64) {
+    let tp = pred.iter().filter(|(e, _)| gt.contains(e)).count() as f64;
+    let p = if pred.unique_edge_count() == 0 {
+        0.0
+    } else {
+        tp / pred.unique_edge_count() as f64
+    };
+    let r = if gt.unique_edge_count() == 0 {
+        0.0
+    } else {
+        tp / gt.unique_edge_count() as f64
+    };
+    let f1 = if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    };
+    (p, r, f1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyperedge::edge;
+
+    fn hg(edges: &[(&[u32], u32)]) -> Hypergraph {
+        let mut h = Hypergraph::new(0);
+        for (e, m) in edges {
+            h.add_edge_with_multiplicity(edge(e), *m);
+        }
+        h
+    }
+
+    #[test]
+    fn identical_hypergraphs_score_one() {
+        let h = hg(&[(&[0, 1, 2], 2), (&[3, 4], 1)]);
+        assert_eq!(jaccard(&h, &h), 1.0);
+        assert_eq!(multi_jaccard(&h, &h), 1.0);
+    }
+
+    #[test]
+    fn disjoint_hypergraphs_score_zero() {
+        let a = hg(&[(&[0, 1], 1)]);
+        let b = hg(&[(&[2, 3], 1)]);
+        assert_eq!(jaccard(&a, &b), 0.0);
+        assert_eq!(multi_jaccard(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn jaccard_ignores_multiplicity() {
+        let a = hg(&[(&[0, 1], 5), (&[1, 2], 1)]);
+        let b = hg(&[(&[0, 1], 1), (&[1, 2], 9)]);
+        assert_eq!(jaccard(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn multi_jaccard_counts_multiplicity() {
+        // a: {0,1}x2; b: {0,1}x1 -> min 1, max 2.
+        let a = hg(&[(&[0, 1], 2)]);
+        let b = hg(&[(&[0, 1], 1)]);
+        assert!((multi_jaccard(&a, &b) - 0.5).abs() < 1e-12);
+        // Asymmetric union: extra edge only in b.
+        let c = hg(&[(&[0, 1], 2), (&[2, 3], 1)]);
+        // min = 1 (for {0,1}), max = 2 + 1 = 3.
+        assert!((multi_jaccard(&b, &c) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_jaccard_is_symmetric() {
+        let a = hg(&[(&[0, 1], 2), (&[1, 2, 3], 1)]);
+        let b = hg(&[(&[0, 1], 1), (&[4, 5], 3)]);
+        assert!((multi_jaccard(&a, &b) - multi_jaccard(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let gt = hg(&[(&[0, 1, 2], 1), (&[2, 3], 1), (&[4, 5], 1)]);
+        let pred = hg(&[(&[0, 1, 2], 1), (&[2, 3], 1), (&[6, 7], 1)]);
+        assert!((jaccard(&gt, &pred) - 2.0 / 4.0).abs() < 1e-12);
+        let (p, r, f1) = precision_recall_f1(&gt, &pred);
+        assert!((p - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r - 2.0 / 3.0).abs() < 1e-12);
+        assert!((f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let e = Hypergraph::new(0);
+        let h = hg(&[(&[0, 1], 1)]);
+        assert_eq!(jaccard(&e, &e), 1.0);
+        assert_eq!(multi_jaccard(&e, &e), 1.0);
+        assert_eq!(jaccard(&e, &h), 0.0);
+        assert_eq!(multi_jaccard(&e, &h), 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Node identifiers and string interning.
+
+use crate::fxhash::FxHashMap;
+use std::fmt;
+
+/// A compact node identifier.
+///
+/// Nodes of a hypergraph (and of its projected graph) are dense integers
+/// `0..n`; `NodeId` is a `u32` newtype so that hyperedges and adjacency
+/// structures stay small (perf-book: smaller integers for indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Maps external string labels (author names, host names, …) to dense
+/// [`NodeId`]s and back.
+///
+/// Used by the I/O layer and the case-study examples; the algorithms
+/// themselves only ever see dense ids.
+#[derive(Debug, Default, Clone)]
+pub struct NodeInterner {
+    by_label: FxHashMap<String, NodeId>,
+    labels: Vec<String>,
+}
+
+impl NodeInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `label`, allocating a fresh one if unseen.
+    pub fn intern(&mut self, label: &str) -> NodeId {
+        if let Some(&id) = self.by_label.get(label) {
+            return id;
+        }
+        let id = NodeId(
+            u32::try_from(self.labels.len()).expect("more than u32::MAX distinct node labels"),
+        );
+        self.by_label.insert(label.to_owned(), id);
+        self.labels.push(label.to_owned());
+        id
+    }
+
+    /// Returns the id previously assigned to `label`, if any.
+    pub fn get(&self, label: &str) -> Option<NodeId> {
+        self.by_label.get(label).copied()
+    }
+
+    /// Returns the label of `id`, if `id` was produced by this interner.
+    pub fn label(&self, id: NodeId) -> Option<&str> {
+        self.labels.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether no labels have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut interner = NodeInterner::new();
+        let a = interner.intern("alice");
+        let b = interner.intern("bob");
+        assert_ne!(a, b);
+        assert_eq!(interner.intern("alice"), a);
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn label_round_trip() {
+        let mut interner = NodeInterner::new();
+        let a = interner.intern("alice");
+        assert_eq!(interner.label(a), Some("alice"));
+        assert_eq!(interner.get("alice"), Some(a));
+        assert_eq!(interner.get("carol"), None);
+        assert_eq!(interner.label(NodeId(99)), None);
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut interner = NodeInterner::new();
+        for i in 0..100u32 {
+            assert_eq!(interner.intern(&format!("n{i}")), NodeId(i));
+        }
+    }
+}

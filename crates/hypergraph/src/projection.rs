@@ -1,0 +1,69 @@
+//! Clique expansion: hypergraph → weighted projected graph.
+
+use crate::graph::ProjectedGraph;
+use crate::hypergraph::Hypergraph;
+
+/// Projects a hypergraph onto its weighted pairwise graph.
+///
+/// Following Sect. II-A: `ω_{u,v} = Σ_{e ∈ E*} 1({u,v} ⊆ e)`, i.e. the
+/// number of hyperedges — *counting hyperedge multiplicity* — that contain
+/// both endpoints. This is the input representation that every
+/// reconstruction method in this workspace consumes.
+pub fn project(h: &Hypergraph) -> ProjectedGraph {
+    let mut g = ProjectedGraph::new(h.num_nodes());
+    for (e, m) in h.iter() {
+        for (u, v) in e.pairs() {
+            g.add_edge_weight(u, v, m);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyperedge::edge;
+    use crate::node::NodeId;
+
+    #[test]
+    fn weights_count_hyperedge_multiplicity() {
+        let mut h = Hypergraph::new(0);
+        h.add_edge_with_multiplicity(edge(&[0, 1, 2]), 2);
+        h.add_edge(edge(&[1, 2]));
+        let g = project(&h);
+        assert_eq!(g.weight(NodeId(0), NodeId(1)), 2);
+        assert_eq!(g.weight(NodeId(0), NodeId(2)), 2);
+        assert_eq!(g.weight(NodeId(1), NodeId(2)), 3);
+        assert_eq!(g.num_edges(), 3);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn overlapping_hyperedges_accumulate() {
+        let mut h = Hypergraph::new(0);
+        h.add_edge(edge(&[0, 1, 2, 3]));
+        h.add_edge(edge(&[0, 1]));
+        h.add_edge(edge(&[0, 1, 2]));
+        let g = project(&h);
+        assert_eq!(g.weight(NodeId(0), NodeId(1)), 3);
+        assert_eq!(g.weight(NodeId(2), NodeId(3)), 1);
+    }
+
+    #[test]
+    fn empty_hypergraph_projects_to_edgeless_graph() {
+        let h = Hypergraph::new(7);
+        let g = project(&h);
+        assert_eq!(g.num_nodes(), 7);
+        assert!(g.is_edgeless());
+    }
+
+    #[test]
+    fn projection_weight_identity() {
+        // Total projected weight equals Σ_e M(e) * C(|e|, 2).
+        let mut h = Hypergraph::new(0);
+        h.add_edge_with_multiplicity(edge(&[0, 1, 2, 3]), 3); // 3 * 6 = 18
+        h.add_edge(edge(&[4, 5])); // 1
+        let g = project(&h);
+        assert_eq!(g.total_weight(), 19);
+    }
+}

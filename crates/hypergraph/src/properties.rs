@@ -1,0 +1,453 @@
+//! The 12 structural properties of Table IV, plus comparison statistics.
+//!
+//! Scalar properties: number of nodes, number of hyperedges, average node
+//! degree, average hyperedge size, simplicial closure ratio, hypergraph
+//! density, hypergraph overlapness. Distributional properties: node
+//! degrees, node-pair degrees, node-triple degrees, hyperedge homogeneity,
+//! singular values of the incidence matrix.
+//!
+//! Property deltas follow the paper: normalised difference
+//! `|x − y| / max(x, y)` for scalars, two-sample Kolmogorov–Smirnov
+//! D-statistic for distributions.
+
+use crate::clique::for_each_triangle;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::hypergraph::Hypergraph;
+use crate::projection::project;
+use marioh_linalg::top_singular_values_operator;
+use rand::Rng;
+
+/// The seven scalar structural properties.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarProperties {
+    /// Number of nodes covered by at least one hyperedge.
+    pub num_nodes: f64,
+    /// Number of unique hyperedges.
+    pub num_hyperedges: f64,
+    /// Mean number of unique hyperedges per covered node.
+    pub avg_node_degree: f64,
+    /// Mean size of unique hyperedges.
+    pub avg_hyperedge_size: f64,
+    /// Fraction of triangles of the projection covered by one hyperedge.
+    pub simplicial_closure_ratio: f64,
+    /// Unique hyperedges per covered node.
+    pub density: f64,
+    /// Overlapness: `Σ_e |e| / |covered nodes|` (Lee et al., WWW 2021).
+    pub overlapness: f64,
+}
+
+impl ScalarProperties {
+    /// The properties as `(name, value)` pairs, in Table IV order.
+    pub fn named(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("Number of Nodes", self.num_nodes),
+            ("Number of Hyperedges", self.num_hyperedges),
+            ("Average Node Degree", self.avg_node_degree),
+            ("Average Hyperedge Size", self.avg_hyperedge_size),
+            ("Simplicial Closure Ratio", self.simplicial_closure_ratio),
+            ("Hypergraph Density", self.density),
+            ("Hypergraph Overlapness", self.overlapness),
+        ]
+    }
+}
+
+/// The five distributional structural properties, as raw samples.
+#[derive(Debug, Clone)]
+pub struct DistributionalProperties {
+    /// Per covered node: number of unique hyperedges containing it.
+    pub node_degrees: Vec<f64>,
+    /// Per covered node pair: number of unique hyperedges containing both.
+    pub node_pair_degrees: Vec<f64>,
+    /// Per covered node triple: number of unique hyperedges containing all
+    /// three (sampled when the triple space is large).
+    pub node_triple_degrees: Vec<f64>,
+    /// Per unique hyperedge: mean pair co-degree among its node pairs.
+    pub hyperedge_homogeneity: Vec<f64>,
+    /// Top singular values of the node × hyperedge incidence matrix.
+    pub singular_values: Vec<f64>,
+}
+
+impl DistributionalProperties {
+    /// The distributions as `(name, samples)` pairs, in Table IV order.
+    pub fn named(&self) -> Vec<(&'static str, &[f64])> {
+        vec![
+            ("Node Degree", self.node_degrees.as_slice()),
+            ("Node-Pair Degree", self.node_pair_degrees.as_slice()),
+            ("Node-Triple Degree", self.node_triple_degrees.as_slice()),
+            (
+                "Hyperedge Homogeneity",
+                self.hyperedge_homogeneity.as_slice(),
+            ),
+            ("Singular Values", self.singular_values.as_slice()),
+        ]
+    }
+}
+
+/// Computes the scalar properties of `h`.
+pub fn scalar_properties(h: &Hypergraph) -> ScalarProperties {
+    let degrees = h.node_degrees();
+    let covered = degrees.iter().filter(|&&d| d > 0).count();
+    let unique = h.unique_edge_count();
+    let degree_sum: u64 = degrees.iter().map(|&d| u64::from(d)).sum();
+    let size_sum: u64 = h.iter().map(|(e, _)| e.len() as u64).sum();
+
+    let avg_node_degree = if covered == 0 {
+        0.0
+    } else {
+        degree_sum as f64 / covered as f64
+    };
+    let avg_hyperedge_size = if unique == 0 {
+        0.0
+    } else {
+        size_sum as f64 / unique as f64
+    };
+    let density = if covered == 0 {
+        0.0
+    } else {
+        unique as f64 / covered as f64
+    };
+    let overlapness = if covered == 0 {
+        0.0
+    } else {
+        size_sum as f64 / covered as f64
+    };
+
+    ScalarProperties {
+        num_nodes: covered as f64,
+        num_hyperedges: unique as f64,
+        avg_node_degree,
+        avg_hyperedge_size,
+        simplicial_closure_ratio: simplicial_closure_ratio(h),
+        density,
+        overlapness,
+    }
+}
+
+/// Fraction of triangles of the projected graph whose three nodes co-occur
+/// in at least one hyperedge. 0 when the projection is triangle-free.
+pub fn simplicial_closure_ratio(h: &Hypergraph) -> f64 {
+    // Triples covered by a hyperedge.
+    let mut covered: FxHashSet<(u32, u32, u32)> = FxHashSet::default();
+    for (e, _) in h.iter() {
+        let n = e.nodes();
+        for i in 0..n.len() {
+            for j in i + 1..n.len() {
+                for k in j + 1..n.len() {
+                    covered.insert((n[i].0, n[j].0, n[k].0));
+                }
+            }
+        }
+    }
+    let g = project(h);
+    let mut total = 0u64;
+    let mut closed = 0u64;
+    for_each_triangle(&g, |a, b, c| {
+        total += 1;
+        if covered.contains(&(a.0, b.0, c.0)) {
+            closed += 1;
+        }
+    });
+    if total == 0 {
+        0.0
+    } else {
+        closed as f64 / total as f64
+    }
+}
+
+/// Budget above which node-triple degrees are sampled per hyperedge
+/// instead of enumerated exhaustively.
+const TRIPLE_BUDGET: usize = 2_000_000;
+
+/// Number of singular values retained for the singular-value distribution.
+const NUM_SINGULAR_VALUES: usize = 20;
+
+/// Computes the distributional properties of `h`.
+///
+/// `rng` drives triple sampling (only when the triple space exceeds an
+/// internal budget) and the Lanczos start vector.
+pub fn distributional_properties<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    rng: &mut R,
+) -> DistributionalProperties {
+    let node_degrees: Vec<f64> = h
+        .node_degrees()
+        .into_iter()
+        .filter(|&d| d > 0)
+        .map(f64::from)
+        .collect();
+
+    // Pair degrees over unique hyperedges.
+    let mut pair_deg: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+    for (e, _) in h.iter() {
+        for (u, v) in e.pairs() {
+            *pair_deg.entry((u.0, v.0)).or_insert(0) += 1;
+        }
+    }
+
+    // Homogeneity: per hyperedge, mean pair degree among its pairs.
+    let mut homogeneity: Vec<f64> = Vec::with_capacity(h.unique_edge_count());
+    for (e, _) in h.iter() {
+        let mut sum = 0u64;
+        let mut cnt = 0u64;
+        for (u, v) in e.pairs() {
+            sum += u64::from(pair_deg[&(u.0, v.0)]);
+            cnt += 1;
+        }
+        if cnt > 0 {
+            homogeneity.push(sum as f64 / cnt as f64);
+        }
+    }
+
+    // Triple degrees, sampled when the full enumeration is too large.
+    let total_triples: usize = h
+        .iter()
+        .map(|(e, _)| {
+            let n = e.len();
+            n * (n - 1) * (n - 2) / 6
+        })
+        .sum();
+    let mut triple_deg: FxHashMap<(u32, u32, u32), u32> = FxHashMap::default();
+    if total_triples <= TRIPLE_BUDGET {
+        for (e, _) in h.iter() {
+            let n = e.nodes();
+            for i in 0..n.len() {
+                for j in i + 1..n.len() {
+                    for k in j + 1..n.len() {
+                        *triple_deg.entry((n[i].0, n[j].0, n[k].0)).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+    } else {
+        // Uniformly sample a bounded number of triples per hyperedge; the
+        // resulting distribution is an unbiased sample of the same
+        // population.
+        let per_edge = (TRIPLE_BUDGET / h.unique_edge_count().max(1)).max(1);
+        for e in h.sorted_edges() {
+            let n = e.nodes();
+            if n.len() < 3 {
+                continue;
+            }
+            for _ in 0..per_edge {
+                let s = crate::clique::sample_k_subset(rng, n, 3);
+                *triple_deg.entry((s[0].0, s[1].0, s[2].0)).or_insert(0) += 1;
+            }
+        }
+    }
+
+    DistributionalProperties {
+        node_degrees,
+        node_pair_degrees: pair_deg.values().map(|&v| f64::from(v)).collect(),
+        node_triple_degrees: triple_deg.values().map(|&v| f64::from(v)).collect(),
+        hyperedge_homogeneity: homogeneity,
+        singular_values: incidence_singular_values(h, NUM_SINGULAR_VALUES, rng),
+    }
+}
+
+/// Top-`k` singular values of the (unique-hyperedge) incidence matrix,
+/// computed via Lanczos on the implicit Gram operator.
+pub fn incidence_singular_values<R: Rng + ?Sized>(
+    h: &Hypergraph,
+    k: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    let edges = h.sorted_edges();
+    let rows = h.num_nodes() as usize;
+    let cols = edges.len();
+    if rows == 0 || cols == 0 {
+        return Vec::new();
+    }
+    // CSR-ish: per hyperedge the list of node indices.
+    let incidence: Vec<Vec<usize>> = edges
+        .iter()
+        .map(|e| e.nodes().iter().map(|n| n.index()).collect())
+        .collect();
+    let mut apply = |x: &[f64], y: &mut [f64]| {
+        // y[node] = Σ_{e ∋ node} x[e]
+        y.fill(0.0);
+        for (j, nodes) in incidence.iter().enumerate() {
+            let xj = x[j];
+            if xj != 0.0 {
+                for &i in nodes {
+                    y[i] += xj;
+                }
+            }
+        }
+    };
+    let mut apply_t = |x: &[f64], y: &mut [f64]| {
+        // y[e] = Σ_{node ∈ e} x[node]
+        for (j, nodes) in incidence.iter().enumerate() {
+            y[j] = nodes.iter().map(|&i| x[i]).sum();
+        }
+    };
+    top_singular_values_operator(
+        rows,
+        cols,
+        k.min(rows).min(cols),
+        &mut apply,
+        &mut apply_t,
+        rng,
+    )
+}
+
+/// Normalised scalar difference `|x − y| / max(x, y)`; 0 when both are 0.
+pub fn normalized_difference(x: f64, y: f64) -> f64 {
+    let m = x.max(y);
+    if m == 0.0 {
+        0.0
+    } else {
+        (x - y).abs() / m
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov D-statistic: the maximum absolute
+/// difference between the empirical CDFs of `a` and `b`.
+///
+/// Defined as 0 when both samples are empty and 1 when exactly one is.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return 1.0,
+        _ => {}
+    }
+    let mut xs: Vec<f64> = a.to_vec();
+    let mut ys: Vec<f64> = b.to_vec();
+    xs.sort_by(|p, q| p.partial_cmp(q).expect("NaN sample"));
+    ys.sort_by(|p, q| p.partial_cmp(q).expect("NaN sample"));
+    let (mut i, mut j) = (0usize, 0usize);
+    let (na, nb) = (xs.len() as f64, ys.len() as f64);
+    let mut d: f64 = 0.0;
+    while i < xs.len() && j < ys.len() {
+        let t = xs[i].min(ys[j]);
+        while i < xs.len() && xs[i] <= t {
+            i += 1;
+        }
+        while j < ys.len() && ys[j] <= t {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    d.max(1.0 - i as f64 / na).max(1.0 - j as f64 / nb).min(1.0)
+}
+
+/// Storage comparison (paper appendix): integer slots needed to store the
+/// hypergraph (`Σ_e |e| + 1` per unique hyperedge for its multiplicity)
+/// versus its weighted projection (`3` per edge: endpoints + weight).
+pub fn storage_costs(h: &Hypergraph) -> (u64, u64) {
+    let hyper: u64 = h.iter().map(|(e, _)| e.len() as u64 + 1).sum();
+    let g = project(h);
+    let graph = 3 * g.num_edges() as u64;
+    (hyper, graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyperedge::edge;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn sample() -> Hypergraph {
+        let mut h = Hypergraph::new(0);
+        h.add_edge_with_multiplicity(edge(&[0, 1, 2]), 2);
+        h.add_edge(edge(&[1, 2, 3]));
+        h.add_edge(edge(&[3, 4]));
+        h
+    }
+
+    #[test]
+    fn scalar_properties_hand_checked() {
+        let p = scalar_properties(&sample());
+        assert_eq!(p.num_nodes, 5.0);
+        assert_eq!(p.num_hyperedges, 3.0);
+        // degrees: 0:1, 1:2, 2:2, 3:2, 4:1 => 8/5
+        assert!((p.avg_node_degree - 8.0 / 5.0).abs() < 1e-12);
+        assert!((p.avg_hyperedge_size - 8.0 / 3.0).abs() < 1e-12);
+        assert!((p.density - 3.0 / 5.0).abs() < 1e-12);
+        assert!((p.overlapness - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simplicial_closure_all_triangles_from_hyperedges() {
+        // All projection triangles come from the two size-3 hyperedges.
+        assert_eq!(simplicial_closure_ratio(&sample()), 1.0);
+
+        // Triangle formed by three pairwise edges: open.
+        let mut h = Hypergraph::new(0);
+        h.add_edge(edge(&[0, 1]));
+        h.add_edge(edge(&[1, 2]));
+        h.add_edge(edge(&[0, 2]));
+        assert_eq!(simplicial_closure_ratio(&h), 0.0);
+    }
+
+    #[test]
+    fn distributions_hand_checked() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = distributional_properties(&sample(), &mut rng);
+        let mut nd = d.node_degrees.clone();
+        nd.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(nd, vec![1.0, 1.0, 2.0, 2.0, 2.0]);
+        // Pairs: {0,1}:1 {0,2}:1 {1,2}:2 {1,3}:1 {2,3}:1 {3,4}:1
+        let mut pd = d.node_pair_degrees.clone();
+        pd.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(pd, vec![1.0, 1.0, 1.0, 1.0, 1.0, 2.0]);
+        // Triples: (0,1,2):1, (1,2,3):1
+        assert_eq!(d.node_triple_degrees, vec![1.0, 1.0]);
+        // Homogeneity: {0,1,2} -> (1+1+2)/3, {1,2,3} -> (2+1+1)/3, {3,4} -> 1
+        let mut hom = d.hyperedge_homogeneity.clone();
+        hom.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((hom[0] - 1.0).abs() < 1e-12);
+        assert!((hom[1] - 4.0 / 3.0).abs() < 1e-12);
+        assert!((hom[2] - 4.0 / 3.0).abs() < 1e-12);
+        assert!(!d.singular_values.is_empty());
+    }
+
+    #[test]
+    fn singular_values_of_known_incidence() {
+        // Single hyperedge {0,1}: incidence is [1,1]^T, singular value √2.
+        let mut h = Hypergraph::new(0);
+        h.add_edge(edge(&[0, 1]));
+        let mut rng = StdRng::seed_from_u64(1);
+        let sv = incidence_singular_values(&h, 5, &mut rng);
+        assert_eq!(sv.len(), 1);
+        assert!((sv[0] - 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalized_difference_properties() {
+        assert_eq!(normalized_difference(0.0, 0.0), 0.0);
+        assert_eq!(normalized_difference(2.0, 2.0), 0.0);
+        assert!((normalized_difference(1.0, 2.0) - 0.5).abs() < 1e-12);
+        assert_eq!(normalized_difference(0.0, 5.0), 1.0);
+        // Symmetry.
+        assert_eq!(
+            normalized_difference(3.0, 7.0),
+            normalized_difference(7.0, 3.0)
+        );
+    }
+
+    #[test]
+    fn ks_statistic_cases() {
+        assert_eq!(ks_statistic(&[], &[]), 0.0);
+        assert_eq!(ks_statistic(&[1.0], &[]), 1.0);
+        assert_eq!(ks_statistic(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        // Disjoint supports: D = 1.
+        assert_eq!(ks_statistic(&[0.0, 0.1], &[5.0, 6.0]), 1.0);
+        // Half-overlap: a = {0,1}, b = {1,2}; CDF gap peaks at 0.5.
+        let d = ks_statistic(&[0.0, 1.0], &[1.0, 2.0]);
+        assert!((d - 0.5).abs() < 1e-12);
+        // Symmetry.
+        let a = [0.5, 1.0, 1.5, 9.0];
+        let b = [0.2, 1.1, 7.0];
+        assert!((ks_statistic(&a, &b) - ks_statistic(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn storage_costs_hand_checked() {
+        let h = sample();
+        // hyper: (3+1) + (3+1) + (2+1) = 11
+        // projection edges: {0,1},{0,2},{1,2},{1,3},{2,3},{3,4} = 6 -> 18
+        let (hyper, graph) = storage_costs(&h);
+        assert_eq!(hyper, 11);
+        assert_eq!(graph, 18);
+    }
+}

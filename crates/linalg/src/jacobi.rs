@@ -1,0 +1,188 @@
+//! Cyclic Jacobi eigen-decomposition for dense symmetric matrices.
+//!
+//! Robust and simple; O(n³) per sweep, fine for the ≤ few-hundred-node
+//! Laplacians used by spectral clustering (Tables VII–VIII). For larger
+//! implicit operators use [`crate::lanczos`].
+
+use crate::dense::DenseMatrix;
+
+/// Eigen-decomposition of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues in *ascending* order.
+    pub values: Vec<f64>,
+    /// `values.len()` eigenvectors; `vectors.row(i)` pairs with
+    /// `values[i]` (row-major for cache-friendly row access).
+    pub vectors: DenseMatrix,
+}
+
+/// Computes all eigenvalues/eigenvectors of symmetric `a` by the cyclic
+/// Jacobi method.
+///
+/// # Panics
+///
+/// Panics if `a` is not square. Symmetry is debug-asserted.
+pub fn jacobi_eigen(a: &DenseMatrix) -> EigenDecomposition {
+    assert_eq!(a.rows(), a.cols(), "jacobi_eigen needs a square matrix");
+    debug_assert!(a.is_symmetric(1e-9), "jacobi_eigen needs symmetry");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = DenseMatrix::identity(n);
+
+    let max_sweeps = 64;
+    for _ in 0..max_sweeps {
+        // Off-diagonal Frobenius mass; stop when negligible.
+        let mut off = 0.0;
+        for p in 0..n {
+            for q in p + 1..n {
+                off += m.get(p, q) * m.get(p, q);
+            }
+        }
+        if off.sqrt() < 1e-12 * (1.0 + m.frobenius_norm()) {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m.get(p, q);
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                // Stable tangent of the rotation angle.
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                // Apply the rotation G(p, q, θ) on both sides of m.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                // Accumulate eigenvectors (rows of v are the vectors-to-be,
+                // so rotate rows p and q).
+                for k in 0..n {
+                    let vpk = v.get(p, k);
+                    let vqk = v.get(q, k);
+                    v.set(p, k, c * vpk - s * vqk);
+                    v.set(q, k, s * vpk + c * vqk);
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        m.get(i, i)
+            .partial_cmp(&m.get(j, j))
+            .expect("NaN eigenvalue")
+    });
+    let values: Vec<f64> = order.iter().map(|&i| m.get(i, i)).collect();
+    let mut vectors = DenseMatrix::zeros(n, n);
+    for (dst, &src) in order.iter().enumerate() {
+        vectors.row_mut(dst).copy_from_slice(v.row(src));
+    }
+    EigenDecomposition { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::{dot, norm2};
+
+    fn reconstruct(e: &EigenDecomposition) -> DenseMatrix {
+        let n = e.values.len();
+        let mut m = DenseMatrix::zeros(n, n);
+        for (k, &lambda) in e.values.iter().enumerate() {
+            let v = e.vectors.row(k);
+            for i in 0..n {
+                for j in 0..n {
+                    m.set(i, j, m.get(i, j) + lambda * v[i] * v[j]);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = DenseMatrix::from_rows(&[
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ]);
+        let e = jacobi_eigen(&a);
+        assert!((e.values[0] - 1.0).abs() < 1e-10);
+        assert!((e.values[1] - 2.0).abs() < 1e-10);
+        assert!((e.values[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn two_by_two_known_answer() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let e = jacobi_eigen(&a);
+        assert!((e.values[0] - 1.0).abs() < 1e-10);
+        assert!((e.values[1] - 3.0).abs() < 1e-10);
+        // Eigenvector for 1 is ∝ (1, -1).
+        let v = e.vectors.row(0);
+        assert!((v[0] + v[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reconstructs_random_symmetric_matrices() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [2usize, 5, 10, 20] {
+            let mut a = DenseMatrix::zeros(n, n);
+            for i in 0..n {
+                for j in i..n {
+                    let v = rng.gen_range(-1.0..1.0);
+                    a.set(i, j, v);
+                    a.set(j, i, v);
+                }
+            }
+            let e = jacobi_eigen(&a);
+            let r = reconstruct(&e);
+            let mut err = 0.0f64;
+            for i in 0..n {
+                for j in 0..n {
+                    err = err.max((a.get(i, j) - r.get(i, j)).abs());
+                }
+            }
+            assert!(err < 1e-8, "reconstruction error {err} at n={n}");
+            // Eigenvectors orthonormal.
+            for i in 0..n {
+                assert!((norm2(e.vectors.row(i)) - 1.0).abs() < 1e-8);
+                for j in i + 1..n {
+                    assert!(dot(e.vectors.row(i), e.vectors.row(j)).abs() < 1e-8);
+                }
+            }
+            // Ascending order.
+            assert!(e.values.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        }
+    }
+
+    #[test]
+    fn graph_laplacian_has_zero_eigenvalue() {
+        // Path graph P3 Laplacian.
+        let a = DenseMatrix::from_rows(&[
+            vec![1.0, -1.0, 0.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![0.0, -1.0, 1.0],
+        ]);
+        let e = jacobi_eigen(&a);
+        assert!(e.values[0].abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        assert!((e.values[2] - 3.0).abs() < 1e-10);
+    }
+}

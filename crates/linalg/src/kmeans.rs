@@ -1,0 +1,188 @@
+//! k-means clustering with k-means++ initialisation (Lloyd's algorithm).
+
+use crate::dense::DenseMatrix;
+use rand::Rng;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster assignment per row of the input.
+    pub assignments: Vec<usize>,
+    /// `k × d` centroid matrix.
+    pub centroids: DenseMatrix,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Clusters the rows of `points` into `k` clusters.
+///
+/// k-means++ seeding followed by Lloyd iterations until assignment
+/// convergence or `max_iters`. Empty clusters are reseeded from the point
+/// farthest from its centroid.
+///
+/// # Panics
+///
+/// Panics when `k == 0` or `points` has no rows.
+pub fn kmeans<R: Rng + ?Sized>(
+    points: &DenseMatrix,
+    k: usize,
+    max_iters: usize,
+    rng: &mut R,
+) -> KMeansResult {
+    let n = points.rows();
+    let d = points.cols();
+    assert!(k > 0, "k must be positive");
+    assert!(n > 0, "no points to cluster");
+    let k = k.min(n);
+
+    // --- k-means++ seeding ---
+    let mut centroids = DenseMatrix::zeros(k, d);
+    let first = rng.gen_range(0..n);
+    centroids.row_mut(0).copy_from_slice(points.row(first));
+    let mut min_d2: Vec<f64> = (0..n)
+        .map(|i| sq_dist(points.row(i), centroids.row(0)))
+        .collect();
+    for c in 1..k {
+        let total: f64 = min_d2.iter().sum();
+        let choice = if total <= f64::EPSILON {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut pick = n - 1;
+            for (i, &w) in min_d2.iter().enumerate() {
+                if target < w {
+                    pick = i;
+                    break;
+                }
+                target -= w;
+            }
+            pick
+        };
+        centroids.row_mut(c).copy_from_slice(points.row(choice));
+        for (i, slot) in min_d2.iter_mut().enumerate() {
+            let dd = sq_dist(points.row(i), centroids.row(c));
+            if dd < *slot {
+                *slot = dd;
+            }
+        }
+    }
+
+    // --- Lloyd iterations ---
+    let mut assignments = vec![0usize; n];
+    for _ in 0..max_iters {
+        let mut changed = false;
+        for (i, slot) in assignments.iter_mut().enumerate() {
+            let p = points.row(i);
+            let (best, _) = (0..k)
+                .map(|c| (c, sq_dist(p, centroids.row(c))))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN distance"))
+                .expect("k >= 1");
+            if *slot != best {
+                *slot = best;
+                changed = true;
+            }
+        }
+        // Recompute centroids.
+        let mut sums = DenseMatrix::zeros(k, d);
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            counts[assignments[i]] += 1;
+            let row = points.row(i);
+            let s = sums.row_mut(assignments[i]);
+            for (sv, &pv) in s.iter_mut().zip(row) {
+                *sv += pv;
+            }
+        }
+        for (c, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                // Reseed from the worst-fit point.
+                let worst = (0..n)
+                    .max_by(|&a, &b| {
+                        sq_dist(points.row(a), centroids.row(assignments[a]))
+                            .partial_cmp(&sq_dist(points.row(b), centroids.row(assignments[b])))
+                            .expect("NaN distance")
+                    })
+                    .expect("n >= 1");
+                centroids.row_mut(c).copy_from_slice(points.row(worst));
+                changed = true;
+            } else {
+                let inv = 1.0 / count as f64;
+                let s: Vec<f64> = sums.row(c).iter().map(|v| v * inv).collect();
+                centroids.row_mut(c).copy_from_slice(&s);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let inertia = (0..n)
+        .map(|i| sq_dist(points.row(i), centroids.row(assignments[i])))
+        .sum();
+    KMeansResult {
+        assignments,
+        centroids,
+        inertia,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn separates_two_obvious_blobs() {
+        let mut rows = Vec::new();
+        for i in 0..10 {
+            rows.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+        }
+        for i in 0..10 {
+            rows.push(vec![10.0 + 0.01 * i as f64, 10.0]);
+        }
+        let points = DenseMatrix::from_rows(&rows);
+        let mut rng = StdRng::seed_from_u64(0);
+        let res = kmeans(&points, 2, 100, &mut rng);
+        let first = res.assignments[0];
+        assert!(res.assignments[..10].iter().all(|&a| a == first));
+        assert!(res.assignments[10..].iter().all(|&a| a != first));
+        assert!(res.inertia < 1.0);
+    }
+
+    #[test]
+    fn k_one_centroid_is_mean() {
+        let points = DenseMatrix::from_rows(&[vec![0.0], vec![2.0], vec![4.0]]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let res = kmeans(&points, 1, 50, &mut rng);
+        assert!((res.centroids.get(0, 0) - 2.0).abs() < 1e-9);
+        assert_eq!(res.assignments, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let points = DenseMatrix::from_rows(&[vec![0.0], vec![5.0]]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let res = kmeans(&points, 10, 50, &mut rng);
+        // Two points, two clusters, zero inertia.
+        assert!(res.inertia < 1e-12);
+        assert_ne!(res.assignments[0], res.assignments[1]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut rows = Vec::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        use rand::Rng;
+        for _ in 0..50 {
+            rows.push(vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]);
+        }
+        let points = DenseMatrix::from_rows(&rows);
+        let a = kmeans(&points, 4, 100, &mut StdRng::seed_from_u64(7)).assignments;
+        let b = kmeans(&points, 4, 100, &mut StdRng::seed_from_u64(7)).assignments;
+        assert_eq!(a, b);
+    }
+}

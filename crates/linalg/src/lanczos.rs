@@ -1,0 +1,216 @@
+//! Lanczos iteration for extremal eigenvalues of large symmetric
+//! operators, and top singular values of implicit rectangular matrices.
+
+use crate::dense::{axpy, dot, normalize, DenseMatrix};
+use crate::jacobi::jacobi_eigen;
+use rand::Rng;
+
+/// Approximates the `k` largest eigenvalues of a symmetric linear operator
+/// `apply: x ↦ Ax` of dimension `n`, using Lanczos with full
+/// reorthogonalisation (cheap at the Krylov sizes we need, and immune to
+/// ghost eigenvalues).
+///
+/// Returns eigenvalues in *descending* order; fewer than `k` may be
+/// returned if the Krylov space exhausts (e.g. low-rank operators).
+pub fn lanczos_extremal_eigs<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    apply: &mut dyn FnMut(&[f64], &mut [f64]),
+    rng: &mut R,
+) -> Vec<f64> {
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    // Krylov dimension: a small multiple of k converges well in practice.
+    let m = (3 * k + 10).min(n);
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut alphas: Vec<f64> = Vec::with_capacity(m);
+    let mut betas: Vec<f64> = Vec::with_capacity(m);
+
+    let mut q = vec![0.0; n];
+    for v in q.iter_mut() {
+        *v = rng.gen_range(-1.0..1.0);
+    }
+    normalize(&mut q);
+    let mut w = vec![0.0; n];
+
+    for _ in 0..m {
+        apply(&q, &mut w);
+        let alpha = dot(&q, &w);
+        alphas.push(alpha);
+        // w ← w − α q − β q_prev, then full reorthogonalisation.
+        axpy(-alpha, &q, &mut w);
+        basis.push(std::mem::take(&mut q));
+        for b in &basis {
+            let proj = dot(b, &w);
+            axpy(-proj, b, &mut w);
+        }
+        let beta = normalize(&mut w);
+        if beta < 1e-12 {
+            break; // Krylov space exhausted.
+        }
+        betas.push(beta);
+        q = std::mem::replace(&mut w, vec![0.0; n]);
+    }
+
+    // Eigenvalues of the tridiagonal via the dense Jacobi solver (the
+    // tridiagonal is tiny).
+    let steps = alphas.len();
+    let mut t = DenseMatrix::zeros(steps, steps);
+    for (i, &a) in alphas.iter().enumerate() {
+        t.set(i, i, a);
+    }
+    for (i, &b) in betas.iter().enumerate().take(steps.saturating_sub(1)) {
+        t.set(i, i + 1, b);
+        t.set(i + 1, i, b);
+    }
+    let mut eigs = jacobi_eigen(&t).values;
+    eigs.reverse(); // descending
+    eigs.truncate(k);
+    eigs
+}
+
+/// Top-`k` singular values of an implicit `rows × cols` matrix given its
+/// forward and transpose matvecs, via Lanczos on the Gram operator
+/// `x ↦ Aᵀ(Ax)` (or `AAᵀ`, whichever side is smaller).
+pub fn top_singular_values_operator<R: Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    k: usize,
+    apply: &mut dyn FnMut(&[f64], &mut [f64]),
+    apply_t: &mut dyn FnMut(&[f64], &mut [f64]),
+    rng: &mut R,
+) -> Vec<f64> {
+    let (dim, small_is_cols) = if cols <= rows {
+        (cols, true)
+    } else {
+        (rows, false)
+    };
+    if dim == 0 || k == 0 {
+        return Vec::new();
+    }
+    let mut tmp = vec![0.0; if small_is_cols { rows } else { cols }];
+    let mut gram = |x: &[f64], y: &mut [f64]| {
+        if small_is_cols {
+            apply(x, &mut tmp); // tmp = A x       (rows)
+            apply_t(&tmp, y); // y = Aᵀ tmp        (cols)
+        } else {
+            apply_t(x, &mut tmp); // tmp = Aᵀ x    (cols)
+            apply(&tmp, y); // y = A tmp           (rows)
+        }
+    };
+    lanczos_extremal_eigs(dim, k, &mut gram, rng)
+        .into_iter()
+        .map(|lambda| lambda.max(0.0).sqrt())
+        .collect()
+}
+
+/// Top-`k` singular values of a dense matrix (convenience wrapper used by
+/// the structural-property code and tests).
+pub fn top_singular_values<R: Rng + ?Sized>(a: &DenseMatrix, k: usize, rng: &mut R) -> Vec<f64> {
+    let (r, c) = (a.rows(), a.cols());
+    top_singular_values_operator(
+        r,
+        c,
+        k,
+        &mut |x, y| a.matvec_into(x, y),
+        &mut |x, y| a.transpose_matvec_into(x, y),
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn diagonal_operator_eigenvalues() {
+        let diag = [9.0, 7.0, 5.0, 3.0, 1.0];
+        let mut rng = StdRng::seed_from_u64(1);
+        let eigs = lanczos_extremal_eigs(
+            5,
+            3,
+            &mut |x, y| {
+                for i in 0..5 {
+                    y[i] = diag[i] * x[i];
+                }
+            },
+            &mut rng,
+        );
+        assert_eq!(eigs.len(), 3);
+        assert!((eigs[0] - 9.0).abs() < 1e-8, "{eigs:?}");
+        assert!((eigs[1] - 7.0).abs() < 1e-8, "{eigs:?}");
+        assert!((eigs[2] - 5.0).abs() < 1e-8, "{eigs:?}");
+    }
+
+    #[test]
+    fn singular_values_of_diagonal_rect() {
+        // 3x2 matrix [[3,0],[0,4],[0,0]] has singular values {4, 3}.
+        let a = DenseMatrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 4.0], vec![0.0, 0.0]]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let sv = top_singular_values(&a, 2, &mut rng);
+        assert!((sv[0] - 4.0).abs() < 1e-8, "{sv:?}");
+        assert!((sv[1] - 3.0).abs() < 1e-8, "{sv:?}");
+    }
+
+    #[test]
+    fn matches_jacobi_on_random_spd() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 30;
+        // SPD matrix A = B Bᵀ.
+        let mut b = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                b.set(i, j, rng.gen_range(-1.0..1.0));
+            }
+        }
+        let a = b.matmul(&b.transpose());
+        let exact = {
+            let mut v = jacobi_eigen(&a).values;
+            v.reverse();
+            v
+        };
+        let approx = lanczos_extremal_eigs(n, 4, &mut |x, y| a.matvec_into(x, y), &mut rng);
+        for i in 0..4 {
+            assert!(
+                (approx[i] - exact[i]).abs() < 1e-6 * exact[0].max(1.0),
+                "eig {i}: lanczos {} vs jacobi {}",
+                approx[i],
+                exact[i]
+            );
+        }
+    }
+
+    #[test]
+    fn low_rank_operator_terminates_early() {
+        // Rank-1 operator x ↦ u (uᵀ x).
+        let u = [1.0, 2.0, 3.0, 4.0];
+        let mut rng = StdRng::seed_from_u64(4);
+        let eigs = lanczos_extremal_eigs(
+            4,
+            4,
+            &mut |x, y| {
+                let s: f64 = u.iter().zip(x).map(|(a, b)| a * b).sum();
+                for (yi, &ui) in y.iter_mut().zip(&u) {
+                    *yi = ui * s;
+                }
+            },
+            &mut rng,
+        );
+        let expected: f64 = u.iter().map(|v| v * v).sum();
+        assert!((eigs[0] - expected).abs() < 1e-8);
+        // Remaining returned eigenvalues (if any) are ~0.
+        for &e in &eigs[1..] {
+            assert!(e.abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(lanczos_extremal_eigs(0, 3, &mut |_x, _y| {}, &mut rng).is_empty());
+        assert!(lanczos_extremal_eigs(5, 0, &mut |_x, _y| {}, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! Minimal dense linear algebra for the MARIOH reproduction.
+//!
+//! The paper's evaluation needs three numeric kernels that are not worth an
+//! external dependency at this scale:
+//!
+//! * symmetric eigen-decomposition (spectral clustering / embeddings,
+//!   Tables VII–VIII) — cyclic Jacobi for dense matrices,
+//! * extremal eigenvalues of large implicit operators (singular values of
+//!   the incidence matrix, Table IV) — Lanczos with full
+//!   reorthogonalisation,
+//! * k-means++ (spectral clustering).
+//!
+//! Everything is `f64`, row-major, and allocation-conscious per the Rust
+//! perf-book guidance (workhorse buffers, `Vec::with_capacity`).
+
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod jacobi;
+pub mod kmeans;
+pub mod lanczos;
+pub mod sparse;
+
+pub use dense::DenseMatrix;
+pub use jacobi::{jacobi_eigen, EigenDecomposition};
+pub use kmeans::{kmeans, KMeansResult};
+pub use lanczos::{lanczos_extremal_eigs, top_singular_values, top_singular_values_operator};
+pub use sparse::{normalized_adjacency, CsrMatrix};

@@ -1,0 +1,366 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! The GCN encoder (Table IX) multiplies by the symmetrically normalised
+//! adjacency matrix `Â = D̂^{-1/2}(A + I)D̂^{-1/2}` on every forward and
+//! backward pass. The projected graphs here have |E| ≪ |V|², so a dense
+//! representation would waste both memory and matvec time; CSR keeps the
+//! per-multiply cost at O(nnz).
+
+use crate::dense::DenseMatrix;
+
+/// A CSR `f64` sparse matrix.
+///
+/// Rows are stored contiguously: the entries of row `r` live at
+/// `indptr[r]..indptr[r+1]` in `indices` (column ids, strictly increasing
+/// within a row) and `values`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from (row, col, value) triplets.
+    ///
+    /// Duplicate (row, col) entries are summed; entries that sum to exactly
+    /// zero are kept (callers that care can prune them — keeping the
+    /// behaviour simple avoids surprises with explicitly-stored zeros).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any triplet lies outside `rows × cols`.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(u32, u32, f64)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!(
+                (r as usize) < rows && (c as usize) < cols,
+                "triplet ({r}, {c}) outside {rows}x{cols} matrix"
+            );
+        }
+        let mut sorted: Vec<(u32, u32, f64)> = triplets.to_vec();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+        indptr.push(0);
+        let mut cur_row = 0u32;
+        for &(r, c, v) in &sorted {
+            while cur_row < r {
+                indptr.push(indices.len());
+                cur_row += 1;
+            }
+            if let (Some(&last_c), true) = (indices.last(), indptr.last() != Some(&indices.len())) {
+                if last_c == c {
+                    // Duplicate within this row: accumulate.
+                    *values.last_mut().expect("values nonempty") += v;
+                    continue;
+                }
+            }
+            indices.push(c);
+            values.push(v);
+        }
+        while (cur_row as usize) < rows {
+            indptr.push(indices.len());
+            cur_row += 1;
+        }
+        debug_assert_eq!(indptr.len(), rows + 1);
+        CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The stored entries of row `r` as `(column, value)` pairs.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let span = self.indptr[r]..self.indptr[r + 1];
+        self.indices[span.clone()]
+            .iter()
+            .copied()
+            .zip(self.values[span].iter().copied())
+    }
+
+    /// `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec input dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec output dimension mismatch");
+        for (r, out) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (c, v) in self.row(r) {
+                acc += v * x[c as usize];
+            }
+            *out = acc;
+        }
+    }
+
+    /// Dense product `A X` for a row-major dense `X` (`cols × k`).
+    ///
+    /// This is the GCN propagation step; the loop order (row of A outer,
+    /// sparse entries inner, embedding dimension innermost) keeps the dense
+    /// rows streaming through cache.
+    pub fn matmul_dense(&self, x: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(x.rows(), self.cols, "matmul dimension mismatch");
+        let k = x.cols();
+        let mut out = DenseMatrix::zeros(self.rows, k);
+        for r in 0..self.rows {
+            // Accumulate into a stack row then write once.
+            let out_row = out.row_mut(r);
+            for (c, v) in self.row(r) {
+                let x_row = x.row(c as usize);
+                for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                    *o += v * xv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Materialises the matrix densely (tests and small problems only).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                out.set(r, c as usize, v);
+            }
+        }
+        out
+    }
+
+    /// Whether the matrix equals its transpose (structure and values).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                let mirrored = self.get(c as usize, r as u32);
+                if (mirrored - v).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The stored value at `(r, c)`, or 0.0 when absent (binary search
+    /// within the row).
+    pub fn get(&self, r: usize, c: u32) -> f64 {
+        let span = self.indptr[r]..self.indptr[r + 1];
+        match self.indices[span.clone()].binary_search(&c) {
+            Ok(i) => self.values[span.start + i],
+            Err(_) => 0.0,
+        }
+    }
+}
+
+/// Builds the symmetrically normalised adjacency with self-loops,
+/// `Â = D̂^{-1/2}(A + I)D̂^{-1/2}`, from an undirected weighted edge list
+/// (`u`, `v`, weight) over `n` nodes — the propagation operator of Kipf &
+/// Welling's GCN.
+///
+/// Each undirected edge should appear once; both orientations and the
+/// self-loops are inserted here. Isolated nodes receive a self-loop of
+/// weight 1 (their degree is then 1, so the row stays stochastic).
+///
+/// # Panics
+///
+/// Panics if an endpoint is `>= n` or a weight is not finite and positive.
+pub fn normalized_adjacency(n: usize, edges: &[(u32, u32, f64)]) -> CsrMatrix {
+    let mut degree = vec![1.0f64; n]; // self-loop contributes 1 to every D̂
+    for &(u, v, w) in edges {
+        assert!(
+            (u as usize) < n && (v as usize) < n,
+            "edge endpoint out of range"
+        );
+        assert!(
+            w.is_finite() && w > 0.0,
+            "edge weight must be finite and positive"
+        );
+        degree[u as usize] += w;
+        degree[v as usize] += w;
+    }
+    let inv_sqrt: Vec<f64> = degree.iter().map(|&d| 1.0 / d.sqrt()).collect();
+    let mut triplets = Vec::with_capacity(2 * edges.len() + n);
+    for (i, &inv) in inv_sqrt.iter().enumerate() {
+        triplets.push((i as u32, i as u32, inv * inv));
+    }
+    for &(u, v, w) in edges {
+        let norm = w * inv_sqrt[u as usize] * inv_sqrt[v as usize];
+        triplets.push((u, v, norm));
+        triplets.push((v, u, norm));
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_triplets_builds_expected_structure() {
+        let m = CsrMatrix::from_triplets(3, 3, &[(0, 1, 2.0), (2, 0, -1.0), (0, 0, 1.0)]);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(2, 0), -1.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        let row0: Vec<(u32, f64)> = m.row(0).collect();
+        assert_eq!(row0, vec![(0, 1.0), (1, 2.0)]);
+        let row1: Vec<(u32, f64)> = m.row(1).collect();
+        assert!(row1.is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.5), (0, 1, 2.5), (1, 0, 1.0)]);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 1), 4.0);
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let m = CsrMatrix::from_triplets(4, 4, &[]);
+        assert_eq!(m.nnz(), 0);
+        let mut y = vec![9.0; 4];
+        m.matvec_into(&[1.0, 2.0, 3.0, 4.0], &mut y);
+        assert_eq!(y, vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_out_of_range_triplets() {
+        CsrMatrix::from_triplets(2, 2, &[(0, 2, 1.0)]);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let triplets = [
+            (0u32, 0u32, 1.0),
+            (0, 2, 3.0),
+            (1, 1, -2.0),
+            (2, 0, 0.5),
+            (2, 2, 4.0),
+        ];
+        let m = CsrMatrix::from_triplets(3, 3, &triplets);
+        let d = m.to_dense();
+        let x = [1.0, -1.0, 2.0];
+        let mut ys = vec![0.0; 3];
+        let mut yd = vec![0.0; 3];
+        m.matvec_into(&x, &mut ys);
+        d.matvec_into(&x, &mut yd);
+        assert_eq!(ys, yd);
+    }
+
+    #[test]
+    fn matmul_dense_matches_dense_matmul() {
+        let m =
+            CsrMatrix::from_triplets(3, 2, &[(0, 0, 2.0), (1, 1, 3.0), (2, 0, 1.0), (2, 1, -1.0)]);
+        let x = DenseMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let got = m.matmul_dense(&x);
+        let want = m.to_dense().matmul(&x);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rectangular_shapes_are_respected() {
+        let m = CsrMatrix::from_triplets(2, 5, &[(1, 4, 7.0)]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 5);
+        let mut y = vec![0.0; 2];
+        m.matvec_into(&[0.0, 0.0, 0.0, 0.0, 1.0], &mut y);
+        assert_eq!(y, vec![0.0, 7.0]);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let sym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 3.0), (1, 0, 3.0)]);
+        assert!(sym.is_symmetric(1e-12));
+        let asym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 3.0)]);
+        assert!(!asym.is_symmetric(1e-12));
+        let rect = CsrMatrix::from_triplets(2, 3, &[]);
+        assert!(!rect.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn normalized_adjacency_of_single_edge() {
+        // Two nodes, one unit edge: D̂ = diag(2, 2).
+        let a = normalized_adjacency(2, &[(0, 1, 1.0)]);
+        assert!(a.is_symmetric(1e-12));
+        assert!((a.get(0, 0) - 0.5).abs() < 1e-12);
+        assert!((a.get(0, 1) - 0.5).abs() < 1e-12);
+        assert!((a.get(1, 1) - 0.5).abs() < 1e-12);
+        // Rows sum to 1 for this regular graph.
+        let s: f64 = a.row(0).map(|(_, v)| v).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_adjacency_isolated_node_keeps_self_loop() {
+        let a = normalized_adjacency(3, &[(0, 1, 2.0)]);
+        assert_eq!(a.get(2, 2), 1.0);
+        assert_eq!(a.row(2).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn normalized_adjacency_rejects_bad_weight() {
+        normalized_adjacency(2, &[(0, 1, 0.0)]);
+    }
+
+    #[test]
+    fn normalized_adjacency_spectral_radius_at_most_one() {
+        // Â is similar to a stochastic-like operator; its spectral radius
+        // is ≤ 1. Check via power iteration on a small random graph.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 12;
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in u + 1..n as u32 {
+                if rng.gen_bool(0.3) {
+                    edges.push((u, v, rng.gen_range(0.5..3.0)));
+                }
+            }
+        }
+        let a = normalized_adjacency(n, &edges);
+        let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut y = vec![0.0; n];
+        for _ in 0..200 {
+            a.matvec_into(&x, &mut y);
+            let norm: f64 = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!(norm.is_finite());
+            for (xi, yi) in x.iter_mut().zip(&y) {
+                *xi = yi / norm.max(1e-300);
+            }
+        }
+        a.matvec_into(&x, &mut y);
+        let lambda: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!(lambda <= 1.0 + 1e-9, "spectral radius estimate {lambda}");
+    }
+}

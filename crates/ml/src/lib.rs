@@ -1,0 +1,26 @@
+//! From-scratch learning substrate for the MARIOH reproduction.
+//!
+//! The paper's classifier `M` is "a simple MLP" (Sect. III-D); the
+//! downstream evaluation needs logistic regression, feature scaling and
+//! the usual metrics (AUC, micro/macro F1, NMI). None of that warrants an
+//! ML framework dependency, so this crate implements:
+//!
+//! * [`Mlp`] — fully-connected net, ReLU hidden layers, sigmoid output,
+//!   Adam + binary cross-entropy,
+//! * [`LogisticRegression`] — the same machinery with zero hidden layers,
+//! * [`StandardScaler`] — per-feature standardisation,
+//! * [`metrics`] — AUC, F1, NMI, accuracy.
+//!
+//! All training is deterministic given the caller-provided RNG.
+
+#![warn(missing_docs)]
+
+pub mod logistic;
+pub mod metrics;
+pub mod mlp;
+pub mod optim;
+pub mod scaler;
+
+pub use logistic::LogisticRegression;
+pub use mlp::{Mlp, TrainConfig, TrainStats};
+pub use scaler::StandardScaler;

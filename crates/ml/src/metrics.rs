@@ -1,0 +1,210 @@
+//! Evaluation metrics: AUC, micro/macro F1, NMI, accuracy.
+
+use std::collections::HashMap;
+
+/// Area under the ROC curve via the rank statistic
+/// (Mann–Whitney U), with proper tie handling through midranks.
+///
+/// `labels` are 0/1; returns 0.5 when either class is absent.
+pub fn auc(scores: &[f64], labels: &[u8]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let pos = labels.iter().filter(|&&l| l == 1).count();
+    let neg = labels.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+    // Midranks for ties.
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            if labels[k] == 1 {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (pos * (pos + 1)) as f64 / 2.0;
+    u / (pos as f64 * neg as f64)
+}
+
+/// Classification accuracy of hard predictions.
+pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let correct = pred.iter().zip(truth).filter(|(a, b)| a == b).count();
+    correct as f64 / pred.len() as f64
+}
+
+/// Micro-averaged F1 (equals accuracy for single-label multi-class).
+pub fn f1_micro(pred: &[usize], truth: &[usize]) -> f64 {
+    accuracy(pred, truth)
+}
+
+/// Macro-averaged F1: per-class F1 averaged over the classes present in
+/// the ground truth.
+pub fn f1_macro(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let classes: std::collections::BTreeSet<usize> = truth.iter().copied().collect();
+    let mut sum = 0.0;
+    for &c in &classes {
+        let tp = pred
+            .iter()
+            .zip(truth)
+            .filter(|(&p, &t)| p == c && t == c)
+            .count() as f64;
+        let fp = pred
+            .iter()
+            .zip(truth)
+            .filter(|(&p, &t)| p == c && t != c)
+            .count() as f64;
+        let fn_ = pred
+            .iter()
+            .zip(truth)
+            .filter(|(&p, &t)| p != c && t == c)
+            .count() as f64;
+        let precision = if tp + fp == 0.0 { 0.0 } else { tp / (tp + fp) };
+        let recall = if tp + fn_ == 0.0 {
+            0.0
+        } else {
+            tp / (tp + fn_)
+        };
+        sum += if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+    }
+    sum / classes.len() as f64
+}
+
+/// Normalised mutual information between two labelings, with the
+/// arithmetic-mean normalisation `NMI = 2 I(A;B) / (H(A) + H(B))`.
+///
+/// Returns 1 when both partitions are identical (including the degenerate
+/// single-cluster case) and 0 when either entropy is 0 but the partitions
+/// differ.
+pub fn nmi(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must align");
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut count_a: HashMap<usize, f64> = HashMap::new();
+    let mut count_b: HashMap<usize, f64> = HashMap::new();
+    let mut joint: HashMap<(usize, usize), f64> = HashMap::new();
+    for (&x, &y) in a.iter().zip(b) {
+        *count_a.entry(x).or_insert(0.0) += 1.0;
+        *count_b.entry(y).or_insert(0.0) += 1.0;
+        *joint.entry((x, y)).or_insert(0.0) += 1.0;
+    }
+    let nf = n as f64;
+    let h = |counts: &HashMap<usize, f64>| -> f64 {
+        counts
+            .values()
+            .map(|&c| {
+                let p = c / nf;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let ha = h(&count_a);
+    let hb = h(&count_b);
+    let mut mi = 0.0;
+    for (&(x, y), &c) in &joint {
+        let pxy = c / nf;
+        let px = count_a[&x] / nf;
+        let py = count_b[&y] / nf;
+        mi += pxy * (pxy / (px * py)).ln();
+    }
+    if ha + hb == 0.0 {
+        // Both single-cluster: identical partitions.
+        return 1.0;
+    }
+    (2.0 * mi / (ha + hb)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [0, 0, 1, 1];
+        assert!((auc(&scores, &labels) - 1.0).abs() < 1e-12);
+        let inv = [1, 1, 0, 0];
+        assert!((auc(&scores, &inv) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        // All scores tied: AUC = 0.5 by midrank convention.
+        let scores = [0.5; 10];
+        let labels = [0, 1, 0, 1, 0, 1, 0, 1, 0, 1];
+        assert!((auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_handles_partial_order() {
+        // One inversion out of four pos-neg pairs -> 0.75.
+        let scores = [0.1, 0.6, 0.4, 0.9];
+        let labels = [0, 0, 1, 1];
+        assert!((auc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_degenerate_classes() {
+        assert_eq!(auc(&[0.3, 0.4], &[1, 1]), 0.5);
+        assert_eq!(auc(&[0.3, 0.4], &[0, 0]), 0.5);
+    }
+
+    #[test]
+    fn f1_scores() {
+        let truth = [0, 0, 1, 1, 2, 2];
+        let pred = [0, 0, 1, 2, 2, 2];
+        assert!((f1_micro(&pred, &truth) - 5.0 / 6.0).abs() < 1e-12);
+        // class 0: P=1, R=1, F1=1
+        // class 1: P=1, R=0.5, F1=2/3
+        // class 2: P=2/3, R=1, F1=0.8
+        let expected = (1.0 + 2.0 / 3.0 + 0.8) / 3.0;
+        assert!((f1_macro(&pred, &truth) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_identical_and_independent() {
+        let a = [0, 0, 1, 1, 2, 2];
+        assert!((nmi(&a, &a) - 1.0).abs() < 1e-12);
+        // Relabeled partitions are still identical.
+        let b = [5, 5, 9, 9, 7, 7];
+        assert!((nmi(&a, &b) - 1.0).abs() < 1e-12);
+        // One cluster vs. fine clusters: MI = 0.
+        let ones = [0; 6];
+        assert!(nmi(&a, &ones).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_is_symmetric() {
+        let a = [0, 0, 1, 1, 2, 2, 0, 1];
+        let b = [0, 1, 1, 1, 2, 0, 0, 2];
+        assert!((nmi(&a, &b) - nmi(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 4]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Thin entry point for the `marioh` CLI; see [`marioh::cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!(
+            "usage: marioh <generate|project|split|stats|train|reconstruct|eval> [--flags]\n\
+             see `marioh::cli` docs for the full flag reference"
+        );
+        std::process::exit(2);
+    };
+    let result =
+        marioh::cli::Flags::parse(rest).and_then(|flags| marioh::cli::run(command, &flags));
+    match result {
+        Ok(output) => println!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! The `marioh` command-line tool.
+//!
+//! End-to-end reconstruction from the shell, using the text formats of
+//! [`marioh_hypergraph::io`] and the model format of
+//! [`marioh_core::persistence`]:
+//!
+//! ```text
+//! marioh generate    --dataset hosts --out h.txt [--scale s]
+//! marioh import-benson --stem path/to/email-Enron --out h.txt [--reduced]
+//! marioh project     --hypergraph h.txt --out g.txt
+//! marioh split       --hypergraph h.txt --source src.txt --target tgt.txt [--seed n]
+//! marioh stats       --hypergraph h.txt
+//! marioh train       --source src.txt --model model.txt [--features multiplicity|count|motif] [--fraction f] [--seed n]
+//! marioh reconstruct --graph g.txt --model model.txt --out rec.txt [--threads 4]
+//!                    [--theta t] [--ratio r] [--alpha a] [--no-filtering] [--no-bidirectional] [--seed n]
+//! marioh eval        --truth tgt.txt --pred rec.txt
+//! ```
+//!
+//! The logic lives here (unit-testable); `src/bin/marioh.rs` is a thin
+//! wrapper.
+
+use marioh_core::features::FeatureMode;
+use marioh_core::model::TrainedModel;
+use marioh_core::reconstruct::reconstruct;
+use marioh_core::training::{train_classifier, TrainingConfig};
+use marioh_core::MariohConfig;
+use marioh_datasets::split::split_source_target;
+use marioh_datasets::{DatasetStats, PaperDataset};
+use marioh_hypergraph::io;
+use marioh_hypergraph::metrics::{jaccard, multi_jaccard, precision_recall_f1};
+use rand::{rngs::StdRng, SeedableRng};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A CLI failure: message for the user, non-zero exit implied.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<marioh_hypergraph::HypergraphError> for CliError {
+    fn from(e: marioh_hypergraph::HypergraphError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// Parsed flags: `--key value` pairs plus boolean switches.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    /// Parses `--key value` / `--switch` style arguments.
+    pub fn parse(args: &[String]) -> Result<Flags, CliError> {
+        let mut flags = Flags::default();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(CliError(format!("unexpected positional argument {arg:?}")));
+            };
+            // Boolean switches take no value.
+            if matches!(name, "no-filtering" | "no-bidirectional" | "reduced") {
+                flags.switches.push(name.to_owned());
+                i += 1;
+                continue;
+            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| CliError(format!("flag --{name} needs a value")))?;
+            flags.values.insert(name.to_owned(), value.clone());
+            i += 2;
+        }
+        Ok(flags)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| CliError(format!("missing required flag --{key}")))
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("invalid value for --{key}: {v:?}"))),
+        }
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn dataset_by_name(name: &str) -> Result<PaperDataset, CliError> {
+    let all = [
+        PaperDataset::Enron,
+        PaperDataset::PSchool,
+        PaperDataset::HSchool,
+        PaperDataset::Crime,
+        PaperDataset::Hosts,
+        PaperDataset::Directors,
+        PaperDataset::Foursquare,
+        PaperDataset::Dblp,
+        PaperDataset::Eu,
+        PaperDataset::MagTopCs,
+        PaperDataset::MagHistory,
+        PaperDataset::MagGeology,
+    ];
+    all.into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            CliError(format!(
+                "unknown dataset {name:?}; known: {}",
+                all.map(|d| d.name()).join(", ")
+            ))
+        })
+}
+
+/// Runs one subcommand; returns the text to print on success.
+pub fn run(command: &str, flags: &Flags) -> Result<String, CliError> {
+    match command {
+        "generate" => {
+            let ds = dataset_by_name(flags.require("dataset")?)?;
+            let scale = flags.get_parsed("scale", ds.default_scale())?;
+            let data = ds.generate_scaled(scale);
+            let h = if flags.switch("reduced") {
+                data.hypergraph.reduce_multiplicity()
+            } else {
+                data.hypergraph
+            };
+            io::save_hypergraph(&h, flags.require("out")?)?;
+            Ok(format!(
+                "wrote {} ({} unique hyperedges, {} events) to {}",
+                data.name,
+                h.unique_edge_count(),
+                h.total_edge_count(),
+                flags.require("out")?
+            ))
+        }
+        "import-benson" => {
+            let data = marioh_hypergraph::benson::load_benson(flags.require("stem")?)?;
+            let h = if flags.switch("reduced") {
+                data.hypergraph.reduce_multiplicity()
+            } else {
+                data.hypergraph
+            };
+            io::save_hypergraph(&h, flags.require("out")?)?;
+            Ok(format!(
+                "imported {} unique hyperedges ({} events{}) to {}",
+                h.unique_edge_count(),
+                h.total_edge_count(),
+                if data.timestamped.is_empty() {
+                    String::new()
+                } else {
+                    format!(", {} timestamps", data.timestamped.len())
+                },
+                flags.require("out")?
+            ))
+        }
+        "project" => {
+            let h = io::load_hypergraph(flags.require("hypergraph")?)?;
+            let g = marioh_hypergraph::projection::project(&h);
+            io::save_graph(&g, flags.require("out")?)?;
+            Ok(format!(
+                "projected {} hyperedges to {} weighted edges",
+                h.unique_edge_count(),
+                g.num_edges()
+            ))
+        }
+        "split" => {
+            let h = io::load_hypergraph(flags.require("hypergraph")?)?;
+            let seed = flags.get_parsed("seed", 0u64)?;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (source, target) = split_source_target(&h, &mut rng);
+            io::save_hypergraph(&source, flags.require("source")?)?;
+            io::save_hypergraph(&target, flags.require("target")?)?;
+            Ok(format!(
+                "split {} events into source {} / target {}",
+                h.total_edge_count(),
+                source.total_edge_count(),
+                target.total_edge_count()
+            ))
+        }
+        "stats" => {
+            let h = io::load_hypergraph(flags.require("hypergraph")?)?;
+            let s = DatasetStats::compute(flags.get("name").unwrap_or("hypergraph"), &h);
+            let mut out = String::new();
+            writeln!(out, "{}", DatasetStats::header()).expect("infallible");
+            writeln!(out, "{}", s.row()).expect("infallible");
+            Ok(out)
+        }
+        "train" => {
+            let source = io::load_hypergraph(flags.require("source")?)?;
+            let mode = match flags.get("features").unwrap_or("multiplicity") {
+                "multiplicity" => FeatureMode::Multiplicity,
+                "count" => FeatureMode::Count,
+                "motif" => FeatureMode::Motif,
+                other => return Err(CliError(format!("unknown feature mode {other:?}"))),
+            };
+            let cfg = TrainingConfig {
+                feature_mode: mode,
+                supervision_fraction: flags.get_parsed("fraction", 1.0)?,
+                ..TrainingConfig::default()
+            };
+            let seed = flags.get_parsed("seed", 0u64)?;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let model = train_classifier(&source, &cfg, &mut rng);
+            model.save(flags.require("model")?)?;
+            Ok(format!(
+                "trained a {mode:?} classifier on {} hyperedges; saved to {}",
+                source.unique_edge_count(),
+                flags.require("model")?
+            ))
+        }
+        "reconstruct" => {
+            let g = io::load_graph(flags.require("graph")?)?;
+            let model = TrainedModel::load(flags.require("model")?)?;
+            let cfg = MariohConfig {
+                theta_init: flags.get_parsed("theta", 0.9)?,
+                neg_ratio: flags.get_parsed("ratio", 20.0)?,
+                alpha: flags.get_parsed("alpha", 1.0 / 20.0)?,
+                use_filtering: !flags.switch("no-filtering"),
+                use_bidirectional: !flags.switch("no-bidirectional"),
+                threads: flags.get_parsed("threads", 1usize)?,
+                ..MariohConfig::default()
+            };
+            let seed = flags.get_parsed("seed", 0u64)?;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rec = reconstruct(&g, &model, &cfg, &mut rng);
+            io::save_hypergraph(&rec, flags.require("out")?)?;
+            Ok(format!(
+                "reconstructed {} unique hyperedges ({} events) from {} edges",
+                rec.unique_edge_count(),
+                rec.total_edge_count(),
+                g.num_edges()
+            ))
+        }
+        "eval" => {
+            let truth = io::load_hypergraph(flags.require("truth")?)?;
+            let pred = io::load_hypergraph(flags.require("pred")?)?;
+            let (p, r, f1) = precision_recall_f1(&truth, &pred);
+            Ok(format!(
+                "Jaccard {:.4}\nmulti-Jaccard {:.4}\nprecision {p:.4} recall {r:.4} F1 {f1:.4}",
+                jaccard(&truth, &pred),
+                multi_jaccard(&truth, &pred),
+            ))
+        }
+        other => Err(CliError(format!(
+            "unknown command {other:?}; commands: generate import-benson project split stats train reconstruct eval"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[(&str, &str)], switches: &[&str]) -> Flags {
+        let mut args: Vec<String> = Vec::new();
+        for (k, v) in pairs {
+            args.push(format!("--{k}"));
+            args.push((*v).to_owned());
+        }
+        for s in switches {
+            args.push(format!("--{s}"));
+        }
+        Flags::parse(&args).expect("valid flags")
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("marioh-cli-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let f = Flags::parse(&[
+            "--a".into(),
+            "1".into(),
+            "--no-filtering".into(),
+            "--b".into(),
+            "x".into(),
+        ])
+        .unwrap();
+        assert_eq!(f.require("a").unwrap(), "1");
+        assert_eq!(f.get("b"), Some("x"));
+        assert!(f.switch("no-filtering"));
+        assert!(!f.switch("no-bidirectional"));
+        assert!(f.require("missing").is_err());
+        assert!(Flags::parse(&["oops".into()]).is_err());
+        assert!(Flags::parse(&["--dangling".into()]).is_err());
+    }
+
+    #[test]
+    fn full_pipeline_through_the_cli() {
+        let h_path = tmp("h.txt");
+        let src = tmp("src.txt");
+        let tgt = tmp("tgt.txt");
+        let g_path = tmp("g.txt");
+        let model = tmp("model.txt");
+        let rec = tmp("rec.txt");
+
+        run(
+            "generate",
+            &flags(&[("dataset", "Hosts"), ("out", &h_path)], &["reduced"]),
+        )
+        .unwrap();
+        run(
+            "split",
+            &flags(
+                &[
+                    ("hypergraph", &h_path),
+                    ("source", &src),
+                    ("target", &tgt),
+                    ("seed", "1"),
+                ],
+                &[],
+            ),
+        )
+        .unwrap();
+        run(
+            "project",
+            &flags(&[("hypergraph", &tgt), ("out", &g_path)], &[]),
+        )
+        .unwrap();
+        run(
+            "train",
+            &flags(&[("source", &src), ("model", &model), ("seed", "1")], &[]),
+        )
+        .unwrap();
+        run(
+            "reconstruct",
+            &flags(
+                &[
+                    ("graph", &g_path),
+                    ("model", &model),
+                    ("out", &rec),
+                    ("seed", "1"),
+                ],
+                &[],
+            ),
+        )
+        .unwrap();
+        let report = run("eval", &flags(&[("truth", &tgt), ("pred", &rec)], &[])).unwrap();
+        // Hosts is the easy regime: expect high similarity.
+        let jline = report.lines().next().unwrap();
+        let j: f64 = jline.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(j > 0.8, "CLI pipeline Jaccard {j}");
+    }
+
+    #[test]
+    fn import_benson_round_trip() {
+        // Write a tiny Benson triple, import it, and check the counts.
+        let dir = std::env::temp_dir().join("marioh-cli-benson");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let stem = dir.join("toy").to_string_lossy().into_owned();
+        std::fs::write(dir.join("toy-nverts.txt"), "3\n2\n3\n").unwrap();
+        std::fs::write(dir.join("toy-simplices.txt"), "1\n2\n3\n4\n5\n1\n2\n3\n").unwrap();
+        std::fs::write(dir.join("toy-times.txt"), "1\n2\n3\n").unwrap();
+        let out = tmp("benson.txt");
+        let report = run(
+            "import-benson",
+            &flags(
+                &[("stem", &stem), ("out", &out)],
+                &[],
+            ),
+        )
+        .unwrap();
+        assert!(report.contains("2 unique hyperedges"), "{report}");
+        assert!(report.contains("3 events"), "{report}");
+        let h = io::load_hypergraph(&out).unwrap();
+        assert_eq!(h.total_edge_count(), 3);
+        // --reduced folds the duplicate away.
+        let report = run(
+            "import-benson",
+            &flags(
+                &[("stem", &stem), ("out", &out)],
+                &["reduced"],
+            ),
+        )
+        .unwrap();
+        assert!(report.contains("2 events"), "{report}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_and_errors() {
+        let h_path = tmp("h2.txt");
+        run(
+            "generate",
+            &flags(
+                &[("dataset", "crime"), ("out", &h_path), ("scale", "0.5")],
+                &[],
+            ),
+        )
+        .unwrap();
+        let out = run("stats", &flags(&[("hypergraph", &h_path)], &[])).unwrap();
+        assert!(out.contains("|E_H|"));
+
+        assert!(run("bogus", &Flags::default()).is_err());
+        assert!(run(
+            "generate",
+            &flags(&[("dataset", "nope"), ("out", "/tmp/x")], &[])
+        )
+        .is_err());
+        assert!(run("eval", &Flags::default()).is_err());
+        assert!(run(
+            "train",
+            &flags(
+                &[
+                    ("source", &h_path),
+                    ("model", &tmp("m.txt")),
+                    ("features", "bad")
+                ],
+                &[]
+            )
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! # MARIOH — Multiplicity-Aware Hypergraph Reconstruction
+//!
+//! A from-scratch Rust reproduction of *MARIOH: Multiplicity-Aware
+//! Hypergraph Reconstruction* (Lee, Lee & Shin, ICDE 2025,
+//! arXiv:2504.00522): recover a hypergraph from its weighted projected
+//! graph by exploiting edge multiplicity.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`hypergraph`] — hypergraphs, weighted projections, maximal cliques,
+//!   metrics, structural properties, I/O,
+//! * [`core`] — the MARIOH algorithm (filtering, multiplicity-aware
+//!   classifier, bidirectional search) and its ablation variants,
+//! * [`baselines`] — the eight comparison methods of the paper,
+//! * [`datasets`] — domain-calibrated synthetic stand-ins for the paper's
+//!   datasets, plus the HyperCL generator,
+//! * [`downstream`] — node clustering, node classification and link
+//!   prediction over (reconstructed) hypergraphs,
+//! * [`linalg`], [`ml`] — the numeric and learning substrates.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use marioh::core::{Marioh, MariohConfig, TrainingConfig};
+//! use marioh::hypergraph::{metrics::jaccard, projection::project};
+//! use marioh::datasets::{split::split_source_target, PaperDataset};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! // A small synthetic stand-in for the paper's Crime dataset.
+//! let data = PaperDataset::Crime.generate_default();
+//! let (source, target) = split_source_target(&data.hypergraph, &mut rng);
+//!
+//! let model = Marioh::train(&source, &TrainingConfig::default(), &mut rng);
+//! let reconstruction = model.reconstruct(&project(&target), &MariohConfig::default(), &mut rng);
+//! assert!(jaccard(&target, &reconstruction) > 0.5);
+//! ```
+
+pub mod cli;
+
+pub use marioh_baselines as baselines;
+pub use marioh_core as core;
+pub use marioh_datasets as datasets;
+pub use marioh_downstream as downstream;
+pub use marioh_hypergraph as hypergraph;
+pub use marioh_linalg as linalg;
+pub use marioh_ml as ml;

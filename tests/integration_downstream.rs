@@ -1,0 +1,93 @@
+//! Cross-crate integration tests for the downstream tasks on registry
+//! datasets — the applicability claims of Sect. IV-D at test scale.
+
+use marioh::core::{Marioh, MariohConfig, TrainingConfig};
+use marioh::datasets::split::split_source_target;
+use marioh::datasets::PaperDataset;
+use marioh::downstream::{cluster_graph, cluster_hypergraph, link_prediction_auc, LinkPredInput};
+use marioh::hypergraph::projection::project;
+use marioh::ml::metrics::nmi;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Hypergraph-aware clustering of a contact dataset should match or beat
+/// projected-graph clustering against the planted communities.
+#[test]
+fn hypergraph_clustering_at_least_matches_graph_clustering() {
+    let data = PaperDataset::PSchool.generate_scaled(0.15);
+    let labels_all = data.labels.expect("P.School carries labels");
+    let h = data.hypergraph.reduce_multiplicity();
+    let covered = h.covered_nodes();
+    let labels: Vec<usize> = covered.iter().map(|n| labels_all[n.index()]).collect();
+    let k = {
+        let mut d = labels.clone();
+        d.sort_unstable();
+        d.dedup();
+        d.len()
+    };
+    let restrict =
+        |assign: Vec<usize>| -> Vec<usize> { covered.iter().map(|n| assign[n.index()]).collect() };
+    let g = project(&h);
+    // k-means initialisation makes single runs noisy: compare the best of
+    // three seeds per input, as one would in practice.
+    let best = |f: &dyn Fn(&mut StdRng) -> Vec<usize>| -> f64 {
+        (0..3)
+            .map(|seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                nmi(&restrict(f(&mut rng)), &labels)
+            })
+            .fold(0.0, f64::max)
+    };
+    let nmi_graph = best(&|rng| cluster_graph(&g, k, rng));
+    let nmi_hyper = best(&|rng| cluster_hypergraph(&h, k, rng));
+    assert!(
+        nmi_hyper + 0.1 >= nmi_graph,
+        "hypergraph NMI {nmi_hyper} far below graph NMI {nmi_graph}"
+    );
+    assert!(
+        nmi_hyper > 0.3,
+        "hypergraph clustering uninformative: {nmi_hyper}"
+    );
+}
+
+/// Link prediction with a MARIOH reconstruction stays within a few points
+/// of using the ground-truth hypergraph (the Table IX claim).
+#[test]
+fn reconstruction_link_prediction_close_to_ground_truth() {
+    let data = PaperDataset::Eu.generate_scaled(0.12);
+    let reduced = data.hypergraph.reduce_multiplicity();
+    let mut rng = StdRng::seed_from_u64(1);
+    let (source, target) = split_source_target(&reduced, &mut rng);
+    let g = project(&target);
+    let model = Marioh::train(&source, &TrainingConfig::default(), &mut rng);
+    let rec = model.reconstruct(&g, &MariohConfig::default(), &mut rng);
+
+    let auc_of = |hg: Option<&marioh::hypergraph::Hypergraph>, seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        link_prediction_auc(
+            &LinkPredInput {
+                graph: &g,
+                hypergraph: hg,
+            },
+            &mut rng,
+        )
+    };
+    let auc_rec = auc_of(Some(&rec), 7);
+    let auc_truth = auc_of(Some(&target), 7);
+    assert!(auc_rec > 0.6, "reconstruction AUC {auc_rec}");
+    assert!(
+        (auc_rec - auc_truth).abs() < 0.12,
+        "reconstruction AUC {auc_rec} far from ground truth {auc_truth}"
+    );
+}
+
+/// Clustering is deterministic given the seed (no hidden global RNG).
+#[test]
+fn clustering_is_deterministic() {
+    let data = PaperDataset::HSchool.generate_scaled(0.1);
+    let h = data.hypergraph.reduce_multiplicity();
+    let run = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        cluster_hypergraph(&h, 4, &mut rng)
+    };
+    assert_eq!(run(3), run(3));
+}

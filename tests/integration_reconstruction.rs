@@ -1,0 +1,114 @@
+//! Cross-crate integration tests: the full train → project → reconstruct
+//! → evaluate pipeline over registry datasets.
+
+use marioh::baselines::{MariohMethod, ReconstructionMethod};
+use marioh::core::{Marioh, MariohConfig, TrainingConfig, Variant};
+use marioh::datasets::split::split_source_target;
+use marioh::datasets::PaperDataset;
+use marioh::hypergraph::metrics::{jaccard, multi_jaccard};
+use marioh::hypergraph::projection::project;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Affiliation data is the easy regime: the full pipeline should recover
+/// it almost perfectly, like the paper's ≈100 entries.
+#[test]
+fn marioh_recovers_affiliation_datasets() {
+    for ds in [PaperDataset::Crime, PaperDataset::Directors] {
+        let data = ds.generate_default();
+        let reduced = data.hypergraph.reduce_multiplicity();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (source, target) = split_source_target(&reduced, &mut rng);
+        let model = Marioh::train(&source, &TrainingConfig::default(), &mut rng);
+        let rec = model.reconstruct(&project(&target), &MariohConfig::default(), &mut rng);
+        let j = jaccard(&target, &rec);
+        assert!(j > 0.85, "{}: Jaccard {j}", data.name);
+    }
+}
+
+/// The multiplicity-preserved setting on a repeated-group dataset: the
+/// reconstruction must carry multiplicities, and multi-Jaccard must be
+/// meaningfully positive.
+#[test]
+fn multiplicity_preserved_reconstruction_carries_multiplicity() {
+    let data = PaperDataset::Enron.generate_scaled(0.4);
+    let mut rng = StdRng::seed_from_u64(2);
+    let (source, target) = split_source_target(&data.hypergraph, &mut rng);
+    let model = Marioh::train(&source, &TrainingConfig::default(), &mut rng);
+    let rec = model.reconstruct(&project(&target), &MariohConfig::default(), &mut rng);
+    assert!(
+        rec.iter().any(|(_, m)| m > 1),
+        "no hyperedge with multiplicity > 1 reconstructed"
+    );
+    let mj = multi_jaccard(&target, &rec);
+    assert!(mj > 0.05, "multi-Jaccard {mj}");
+}
+
+/// Weight conservation: MARIOH's loop always empties the graph, so the
+/// reconstruction's projection carries exactly the input weight.
+#[test]
+fn reconstruction_projection_conserves_weight() {
+    let data = PaperDataset::Eu.generate_scaled(0.2);
+    let mut rng = StdRng::seed_from_u64(3);
+    let (source, target) = split_source_target(&data.hypergraph, &mut rng);
+    let g = project(&target);
+    let model = Marioh::train(&source, &TrainingConfig::default(), &mut rng);
+    let rec = model.reconstruct(&g, &MariohConfig::default(), &mut rng);
+    assert_eq!(project(&rec).total_weight(), g.total_weight());
+}
+
+/// Every ablation variant runs end-to-end and produces a sane
+/// reconstruction.
+#[test]
+fn all_variants_run_end_to_end() {
+    let data = PaperDataset::Hosts.generate_default();
+    let reduced = data.hypergraph.reduce_multiplicity();
+    let mut rng = StdRng::seed_from_u64(4);
+    let (source, target) = split_source_target(&reduced, &mut rng);
+    let g = project(&target);
+    for variant in Variant::all() {
+        let mut vrng = StdRng::seed_from_u64(10 + variant as u64);
+        let method = MariohMethod::train(
+            variant,
+            &source,
+            &TrainingConfig::default(),
+            &MariohConfig::default(),
+            &mut vrng,
+        );
+        let rec = method.reconstruct(&g, &mut vrng);
+        let j = jaccard(&target, &rec);
+        assert!(
+            j > 0.5,
+            "{} scored only {j} on the easy Hosts dataset",
+            variant.name()
+        );
+    }
+}
+
+/// Reconstruction is deterministic given the seed.
+#[test]
+fn pipeline_is_deterministic() {
+    let data = PaperDataset::Crime.generate_default();
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (source, target) = split_source_target(&data.hypergraph, &mut rng);
+        let model = Marioh::train(&source, &TrainingConfig::default(), &mut rng);
+        let rec = model.reconstruct(&project(&target), &MariohConfig::default(), &mut rng);
+        (jaccard(&target, &rec), rec.total_edge_count())
+    };
+    assert_eq!(run(), run());
+}
+
+/// Transfer: a model trained on one co-authorship dataset reconstructs
+/// another co-authorship dataset far better than chance.
+#[test]
+fn transfer_across_coauthorship_datasets() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let dblp = PaperDataset::Dblp.generate_scaled(1.0 / 64.0);
+    let mag = PaperDataset::MagHistory.generate_scaled(1.0 / 16.0);
+    let (train_half, _) = split_source_target(&dblp.hypergraph.reduce_multiplicity(), &mut rng);
+    let (_, eval_half) = split_source_target(&mag.hypergraph.reduce_multiplicity(), &mut rng);
+    let model = Marioh::train(&train_half, &TrainingConfig::default(), &mut rng);
+    let rec = model.reconstruct(&project(&eval_half), &MariohConfig::default(), &mut rng);
+    let j = jaccard(&eval_half, &rec);
+    assert!(j > 0.5, "transfer Jaccard {j}");
+}

@@ -1,0 +1,71 @@
+//! Property-based tests for the h-motif census and its canonicalisation.
+
+use marioh::hypergraph::hyperedge::Hyperedge;
+use marioh::hypergraph::motifs::{canonical_pattern, motif_census, profile_distance};
+use marioh::hypergraph::{Hypergraph, NodeId};
+use proptest::prelude::*;
+
+fn arb_hypergraph(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = Hypergraph> {
+    proptest::collection::vec(proptest::collection::vec(0..max_nodes, 2..5), 3..=max_edges)
+        .prop_map(move |edges| {
+            let mut h = Hypergraph::new(max_nodes);
+            for nodes in edges {
+                if let Some(e) = Hyperedge::new(nodes.into_iter().map(NodeId)) {
+                    h.add_edge(e);
+                }
+            }
+            h
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Canonicalisation is idempotent over the whole 7-bit pattern space.
+    #[test]
+    fn canonicalisation_is_idempotent(p in 0u8..128) {
+        let c = canonical_pattern(p);
+        prop_assert_eq!(canonical_pattern(c), c);
+        prop_assert!(c <= p);
+    }
+
+    /// The census never counts more triples than C(m, 3), and the
+    /// profile is a probability vector.
+    #[test]
+    fn census_bounds(h in arb_hypergraph(12, 10)) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        use rand::SeedableRng;
+        let census = motif_census(&h, 1_000_000, &mut rng);
+        let m = h.unique_edge_count() as u64;
+        let max_triples = m * m.saturating_sub(1) * m.saturating_sub(2) / 6;
+        prop_assert!(census.triples <= max_triples);
+        if census.triples > 0 {
+            let total: f64 = census.profile().iter().map(|(_, v)| v).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+        // Distance to self is exactly zero (deterministic full census).
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(0);
+        let census2 = motif_census(&h, 1_000_000, &mut rng2);
+        prop_assert_eq!(profile_distance(&census, &census2), 0.0);
+    }
+
+    /// Relabelling nodes must not change the census (pattern counts are
+    /// label-invariant).
+    #[test]
+    fn census_is_label_invariant(h in arb_hypergraph(10, 8), offset in 1u32..50) {
+        let mut relabeled = Hypergraph::new(h.num_nodes() + offset);
+        for (e, m) in h.iter() {
+            let nodes: Vec<NodeId> = e.nodes().iter().map(|n| NodeId(n.0 + offset)).collect();
+            relabeled.add_edge_with_multiplicity(
+                Hyperedge::new(nodes).expect("same arity"),
+                m,
+            );
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        use rand::SeedableRng;
+        let a = motif_census(&h, 1_000_000, &mut rng);
+        let b = motif_census(&relabeled, 1_000_000, &mut rng);
+        prop_assert_eq!(a.triples, b.triples);
+        prop_assert_eq!(a.sorted_counts(), b.sorted_counts());
+    }
+}
