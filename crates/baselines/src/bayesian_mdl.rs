@@ -109,12 +109,9 @@ impl CoverState {
     }
 }
 
-impl ReconstructionMethod for BayesianMdl {
-    fn name(&self) -> &str {
-        "Bayesian-MDL"
-    }
-
-    fn reconstruct(&self, g: &ProjectedGraph, rng: &mut dyn RngCore) -> Hypergraph {
+impl BayesianMdl {
+    /// The MCMC cover search (inference body of the trait impl).
+    fn run(&self, g: &ProjectedGraph, rng: &mut dyn RngCore) -> Hypergraph {
         let mut h = Hypergraph::new(g.num_nodes());
         if g.is_edgeless() {
             return h;
@@ -200,6 +197,20 @@ impl ReconstructionMethod for BayesianMdl {
     }
 }
 
+impl ReconstructionMethod for BayesianMdl {
+    fn name(&self) -> &str {
+        "Bayesian-MDL"
+    }
+
+    fn reconstruct(
+        &self,
+        g: &ProjectedGraph,
+        rng: &mut dyn RngCore,
+    ) -> Result<Hypergraph, marioh_core::MariohError> {
+        Ok(self.run(g, rng))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,7 +225,7 @@ mod tests {
         h.add_edge(edge(&[0, 1, 2, 3]));
         let g = project(&h);
         let mut rng = StdRng::seed_from_u64(0);
-        let rec = BayesianMdl::default().reconstruct(&g, &mut rng);
+        let rec = BayesianMdl::default().reconstruct(&g, &mut rng).unwrap();
         assert!(rec.contains(&edge(&[0, 1, 2, 3])));
         assert_eq!(rec.unique_edge_count(), 1);
     }
@@ -227,7 +238,7 @@ mod tests {
         h.add_edge(edge(&[5, 6]));
         let g = project(&h);
         let mut rng = StdRng::seed_from_u64(1);
-        let rec = BayesianMdl::default().reconstruct(&g, &mut rng);
+        let rec = BayesianMdl::default().reconstruct(&g, &mut rng).unwrap();
         for (u, v, _) in g.sorted_edge_list() {
             assert!(
                 rec.iter().any(|(e, _)| e.contains(u) && e.contains(v)),
@@ -240,7 +251,7 @@ mod tests {
     fn empty_graph_gives_empty_hypergraph() {
         let g = ProjectedGraph::new(4);
         let mut rng = StdRng::seed_from_u64(2);
-        let rec = BayesianMdl::default().reconstruct(&g, &mut rng);
+        let rec = BayesianMdl::default().reconstruct(&g, &mut rng).unwrap();
         assert_eq!(rec.unique_edge_count(), 0);
     }
 
@@ -253,7 +264,7 @@ mod tests {
         }
         let g = project(&h);
         let mut rng = StdRng::seed_from_u64(3);
-        let rec = BayesianMdl::default().reconstruct(&g, &mut rng);
+        let rec = BayesianMdl::default().reconstruct(&g, &mut rng).unwrap();
         assert_eq!(marioh_hypergraph::metrics::jaccard(&h, &rec), 1.0);
     }
 }

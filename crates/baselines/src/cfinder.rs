@@ -34,7 +34,7 @@ impl CFinder {
     /// `source` between its 0.1 and 0.5 quantiles; each candidate is
     /// scored by reconstructing the *source* projection and the best
     /// Jaccard wins.
-    pub fn select_k(source: &Hypergraph, rng: &mut dyn RngCore) -> Self {
+    pub fn select_k(source: &Hypergraph, _rng: &mut dyn RngCore) -> Self {
         let mut sizes: Vec<usize> = source.sorted_edges().iter().map(|e| e.len()).collect();
         if sizes.is_empty() {
             return CFinder::new(3);
@@ -45,7 +45,7 @@ impl CFinder {
         let g = project(source);
         let mut best = (f64::NEG_INFINITY, lo);
         for k in lo..=hi {
-            let rec = CFinder::new(k).reconstruct(&g, rng);
+            let rec = CFinder::new(k).run(&g);
             let score = jaccard(source, &rec);
             if score > best.0 {
                 best = (score, k);
@@ -108,12 +108,9 @@ fn overlap_at_least(a: &[NodeId], b: &[NodeId], threshold: usize) -> bool {
     n >= threshold
 }
 
-impl ReconstructionMethod for CFinder {
-    fn name(&self) -> &str {
-        "CFinder"
-    }
-
-    fn reconstruct(&self, g: &ProjectedGraph, _rng: &mut dyn RngCore) -> Hypergraph {
+impl CFinder {
+    /// The clique-percolation pass (inference body of the trait impl).
+    fn run(&self, g: &ProjectedGraph) -> Hypergraph {
         let cliques: Vec<Vec<NodeId>> = maximal_cliques(g)
             .into_iter()
             .filter(|c| c.len() >= self.k)
@@ -149,6 +146,20 @@ impl ReconstructionMethod for CFinder {
     }
 }
 
+impl ReconstructionMethod for CFinder {
+    fn name(&self) -> &str {
+        "CFinder"
+    }
+
+    fn reconstruct(
+        &self,
+        g: &ProjectedGraph,
+        _rng: &mut dyn RngCore,
+    ) -> Result<Hypergraph, marioh_core::MariohError> {
+        Ok(self.run(g))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,7 +173,7 @@ mod tests {
         h.add_edge(edge(&[3, 4, 5]));
         let g = project(&h);
         let mut rng = StdRng::seed_from_u64(0);
-        let rec = CFinder::new(3).reconstruct(&g, &mut rng);
+        let rec = CFinder::new(3).reconstruct(&g, &mut rng).unwrap();
         assert_eq!(jaccard(&h, &rec), 1.0);
     }
 
@@ -175,7 +186,7 @@ mod tests {
             g.add_edge_weight(NodeId(u), NodeId(v), 1);
         }
         let mut rng = StdRng::seed_from_u64(1);
-        let rec = CFinder::new(3).reconstruct(&g, &mut rng);
+        let rec = CFinder::new(3).reconstruct(&g, &mut rng).unwrap();
         assert!(rec.contains(&edge(&[0, 1, 2, 3])));
         assert_eq!(rec.unique_edge_count(), 1);
     }
@@ -187,7 +198,7 @@ mod tests {
         h.add_edge(edge(&[2, 3, 4]));
         let g = project(&h);
         let mut rng = StdRng::seed_from_u64(2);
-        let rec = CFinder::new(3).reconstruct(&g, &mut rng);
+        let rec = CFinder::new(3).reconstruct(&g, &mut rng).unwrap();
         assert!(!rec.contains(&edge(&[0, 1])));
         assert!(rec.contains(&edge(&[2, 3, 4])));
     }

@@ -26,7 +26,11 @@ impl ReconstructionMethod for CliqueCovering {
         "CliqueCovering"
     }
 
-    fn reconstruct(&self, g: &ProjectedGraph, _rng: &mut dyn RngCore) -> Hypergraph {
+    fn reconstruct(
+        &self,
+        g: &ProjectedGraph,
+        _rng: &mut dyn RngCore,
+    ) -> Result<Hypergraph, marioh_core::MariohError> {
         let mut h = Hypergraph::new(g.num_nodes());
         let mut covered: FxHashSet<(u32, u32)> = FxHashSet::default();
         // Deterministic edge order.
@@ -67,7 +71,7 @@ impl ReconstructionMethod for CliqueCovering {
                 h.add_edge(e);
             }
         }
-        h
+        Ok(h)
     }
 }
 
@@ -86,7 +90,7 @@ mod tests {
         h.add_edge(edge(&[5, 6]));
         let g = project(&h);
         let mut rng = StdRng::seed_from_u64(0);
-        let rec = CliqueCovering.reconstruct(&g, &mut rng);
+        let rec = CliqueCovering.reconstruct(&g, &mut rng).unwrap();
         // Every projected edge appears inside some reconstructed
         // hyperedge.
         for (u, v, _) in g.sorted_edge_list() {
@@ -102,7 +106,7 @@ mod tests {
         h.add_edge(edge(&[4, 5]));
         let g = project(&h);
         let mut rng = StdRng::seed_from_u64(0);
-        let rec = CliqueCovering.reconstruct(&g, &mut rng);
+        let rec = CliqueCovering.reconstruct(&g, &mut rng).unwrap();
         assert_eq!(marioh_hypergraph::metrics::jaccard(&h, &rec), 1.0);
     }
 
@@ -114,8 +118,8 @@ mod tests {
         }
         let g = project(&h);
         let mut rng = StdRng::seed_from_u64(0);
-        let a = CliqueCovering.reconstruct(&g, &mut rng);
-        let b = CliqueCovering.reconstruct(&g, &mut rng);
+        let a = CliqueCovering.reconstruct(&g, &mut rng).unwrap();
+        let b = CliqueCovering.reconstruct(&g, &mut rng).unwrap();
         assert_eq!(marioh_hypergraph::metrics::jaccard(&a, &b), 1.0);
     }
 }

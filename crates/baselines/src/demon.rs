@@ -94,12 +94,10 @@ fn label_propagation(
     out
 }
 
-impl ReconstructionMethod for Demon {
-    fn name(&self) -> &str {
-        "Demon"
-    }
-
-    fn reconstruct(&self, g: &ProjectedGraph, rng: &mut dyn RngCore) -> Hypergraph {
+impl Demon {
+    /// Ego-net label propagation plus merging (inference body of the
+    /// trait impl).
+    fn run(&self, g: &ProjectedGraph, rng: &mut dyn RngCore) -> Hypergraph {
         let mut pool: Vec<Vec<NodeId>> = Vec::new();
         for u in g.non_isolated_nodes() {
             let ego: Vec<NodeId> = g.sorted_neighbors(u);
@@ -145,6 +143,20 @@ impl ReconstructionMethod for Demon {
     }
 }
 
+impl ReconstructionMethod for Demon {
+    fn name(&self) -> &str {
+        "Demon"
+    }
+
+    fn reconstruct(
+        &self,
+        g: &ProjectedGraph,
+        rng: &mut dyn RngCore,
+    ) -> Result<Hypergraph, marioh_core::MariohError> {
+        Ok(self.run(g, rng))
+    }
+}
+
 fn intersection_size(a: &[NodeId], b: &[NodeId]) -> usize {
     let (mut i, mut j, mut n) = (0, 0, 0);
     while i < a.len() && j < b.len() {
@@ -176,7 +188,7 @@ mod tests {
         h.add_edge(edge(&[3, 4, 5]));
         let g = project(&h);
         let mut rng = StdRng::seed_from_u64(0);
-        let rec = Demon::default().reconstruct(&g, &mut rng);
+        let rec = Demon::default().reconstruct(&g, &mut rng).unwrap();
         assert!(rec.contains(&edge(&[0, 1, 2])));
         assert!(rec.contains(&edge(&[3, 4, 5])));
     }
@@ -191,7 +203,7 @@ mod tests {
             min_community_size: 3,
             ..Demon::default()
         };
-        let rec = demon.reconstruct(&g, &mut rng);
+        let rec = demon.reconstruct(&g, &mut rng).unwrap();
         assert_eq!(rec.unique_edge_count(), 0);
     }
 

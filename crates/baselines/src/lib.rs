@@ -1,7 +1,9 @@
 //! Baseline hypergraph-reconstruction methods (Sect. IV-A of the MARIOH
 //! paper).
 //!
-//! Three families, all sharing the [`ReconstructionMethod`] interface:
+//! Three families, all implementing the core
+//! [`Reconstructor`](marioh_core::Reconstructor) trait (re-exported here,
+//! also under its historical name [`ReconstructionMethod`]):
 //!
 //! * overlapping community detection — [`demon`], [`cfinder`],
 //! * clique decomposition — [`max_clique`], [`clique_covering`],
@@ -27,5 +29,5 @@ pub use cfinder::CFinder;
 pub use clique_covering::CliqueCovering;
 pub use demon::Demon;
 pub use max_clique::MaxClique;
-pub use method::{MariohMethod, ReconstructionMethod};
+pub use method::{ReconstructionMethod, Reconstructor};
 pub use shyre::{ShyreSupervised, ShyreUnsup};

@@ -20,7 +20,11 @@ impl ReconstructionMethod for MaxClique {
         "MaxClique"
     }
 
-    fn reconstruct(&self, g: &ProjectedGraph, _rng: &mut dyn RngCore) -> Hypergraph {
+    fn reconstruct(
+        &self,
+        g: &ProjectedGraph,
+        _rng: &mut dyn RngCore,
+    ) -> Result<Hypergraph, marioh_core::MariohError> {
         let mut h = Hypergraph::new(g.num_nodes());
         for clique in maximal_cliques(g) {
             let e = Hyperedge::new(clique).expect("maximal cliques have >= 2 nodes");
@@ -28,7 +32,7 @@ impl ReconstructionMethod for MaxClique {
                 h.add_edge(e);
             }
         }
-        h
+        Ok(h)
     }
 }
 
@@ -46,7 +50,7 @@ mod tests {
         h.add_edge(edge(&[3, 4]));
         let g = project(&h);
         let mut rng = StdRng::seed_from_u64(0);
-        let rec = MaxClique.reconstruct(&g, &mut rng);
+        let rec = MaxClique.reconstruct(&g, &mut rng).unwrap();
         assert_eq!(marioh_hypergraph::metrics::jaccard(&h, &rec), 1.0);
     }
 
@@ -59,7 +63,7 @@ mod tests {
         h.add_edge(edge(&[0, 1]));
         let g = project(&h);
         let mut rng = StdRng::seed_from_u64(0);
-        let rec = MaxClique.reconstruct(&g, &mut rng);
+        let rec = MaxClique.reconstruct(&g, &mut rng).unwrap();
         assert!(rec.contains(&edge(&[0, 1, 2])));
         assert!(!rec.contains(&edge(&[0, 1]))); // the nested pair is missed
     }

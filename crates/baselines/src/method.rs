@@ -1,86 +1,32 @@
-//! The common interface every reconstruction method implements, plus the
-//! MARIOH adapter used by the experiment harness.
+//! Re-export of the common reconstruction interface.
+//!
+//! The trait lives in [`marioh_core::pipeline`] since the unified-API
+//! redesign — MARIOH itself, every ablation variant, and all baselines
+//! implement it, so the experiment harness, CLI, and examples share one
+//! method zoo. This module re-exports it under both the new name
+//! ([`Reconstructor`]) and the historical one
+//! ([`ReconstructionMethod`]) for backward compatibility.
+//!
+//! The former `MariohMethod` adapter is gone: [`marioh_core::Marioh`]
+//! implements the trait directly (train one through
+//! [`marioh_core::Pipeline::builder`] with a
+//! [`marioh_core::Variant`]).
 
-use marioh_core::{Marioh, MariohConfig, TrainingConfig, Variant};
-use marioh_hypergraph::{Hypergraph, ProjectedGraph};
-use rand::RngCore;
-
-/// A hypergraph-reconstruction method: consumes a (weighted) projected
-/// graph, produces a hypergraph.
-///
-/// Supervised methods capture their training state at construction time;
-/// `reconstruct` is inference only. The RNG parameter makes every
-/// stochastic method reproducible under the harness's per-(dataset, seed)
-/// seeding.
-pub trait ReconstructionMethod {
-    /// Display name used in the tables (e.g. `"SHyRe-Count"`).
-    fn name(&self) -> &str;
-
-    /// Reconstructs a hypergraph from the projected graph `g`.
-    fn reconstruct(&self, g: &ProjectedGraph, rng: &mut dyn RngCore) -> Hypergraph;
-}
-
-/// MARIOH (or one of its ablation variants) behind the
-/// [`ReconstructionMethod`] interface.
-pub struct MariohMethod {
-    model: Marioh,
-    config: MariohConfig,
-    name: String,
-}
-
-impl MariohMethod {
-    /// Trains the given variant on `source` with base configurations.
-    pub fn train(
-        variant: Variant,
-        source: &Hypergraph,
-        base_training: &TrainingConfig,
-        base_config: &MariohConfig,
-        rng: &mut dyn RngCore,
-    ) -> Self {
-        let tcfg = variant.training_config(base_training);
-        let model = Marioh::train(source, &tcfg, rng);
-        MariohMethod {
-            model,
-            config: variant.marioh_config(base_config),
-            name: variant.name().to_owned(),
-        }
-    }
-
-    /// Wraps an already-trained model (transfer experiments).
-    pub fn from_trained(model: Marioh, config: MariohConfig, name: impl Into<String>) -> Self {
-        MariohMethod {
-            model,
-            config,
-            name: name.into(),
-        }
-    }
-
-    /// The underlying trained model.
-    pub fn model(&self) -> &Marioh {
-        &self.model
-    }
-}
-
-impl ReconstructionMethod for MariohMethod {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn reconstruct(&self, g: &ProjectedGraph, rng: &mut dyn RngCore) -> Hypergraph {
-        self.model.reconstruct(g, &self.config, rng)
-    }
-}
+pub use marioh_core::pipeline::Reconstructor;
+pub use marioh_core::pipeline::Reconstructor as ReconstructionMethod;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use marioh_core::{Pipeline, Variant};
     use marioh_hypergraph::hyperedge::edge;
     use marioh_hypergraph::metrics::jaccard;
     use marioh_hypergraph::projection::project;
+    use marioh_hypergraph::Hypergraph;
     use rand::{rngs::StdRng, SeedableRng};
 
     #[test]
-    fn marioh_method_round_trip() {
+    fn marioh_joins_the_method_zoo_through_the_core_trait() {
         let mut source = Hypergraph::new(0);
         let mut target = Hypergraph::new(0);
         for b in 0..20u32 {
@@ -89,15 +35,16 @@ mod tests {
             hg.add_edge(edge(&[base, base + 1, base + 2]));
         }
         let mut rng = StdRng::seed_from_u64(0);
-        let method = MariohMethod::train(
-            Variant::Full,
-            &source,
-            &TrainingConfig::default(),
-            &MariohConfig::default(),
-            &mut rng,
-        );
-        assert_eq!(method.name(), "MARIOH");
-        let rec = method.reconstruct(&project(&target), &mut rng);
+        let method = Pipeline::builder()
+            .variant(Variant::Full)
+            .build()
+            .expect("defaults are valid")
+            .train(&source, &mut rng)
+            .expect("non-empty source");
+        assert_eq!(ReconstructionMethod::name(&method), "MARIOH");
+        let rec = method
+            .reconstruct(&project(&target), &mut rng)
+            .expect("not cancelled");
         assert!(jaccard(&target, &rec) > 0.5);
     }
 }

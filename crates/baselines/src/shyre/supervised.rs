@@ -83,7 +83,11 @@ impl ReconstructionMethod for ShyreSupervised {
         self.flavor.method_name()
     }
 
-    fn reconstruct(&self, g: &ProjectedGraph, rng: &mut dyn RngCore) -> Hypergraph {
+    fn reconstruct(
+        &self,
+        g: &ProjectedGraph,
+        rng: &mut dyn RngCore,
+    ) -> Result<Hypergraph, marioh_core::MariohError> {
         let mut h = Hypergraph::new(g.num_nodes());
         let mut seen: FxHashSet<Hyperedge> = FxHashSet::default();
         for clique in maximal_cliques(g) {
@@ -107,7 +111,7 @@ impl ReconstructionMethod for ShyreSupervised {
                 }
             }
         }
-        h
+        Ok(h)
     }
 }
 
@@ -136,7 +140,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let model = ShyreSupervised::train(ShyreFlavor::Count, &source, &mut rng);
         assert_eq!(model.name(), "SHyRe-Count");
-        let rec = model.reconstruct(&project(&target), &mut rng);
+        let rec = model.reconstruct(&project(&target), &mut rng).unwrap();
         let j = jaccard(&target, &rec);
         assert!(j > 0.4, "SHyRe-Count scored only {j}");
     }
@@ -147,7 +151,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let model = ShyreSupervised::train(ShyreFlavor::Motif, &source, &mut rng);
         assert_eq!(model.name(), "SHyRe-Motif");
-        let rec = model.reconstruct(&project(&source), &mut rng);
+        let rec = model.reconstruct(&project(&source), &mut rng).unwrap();
         assert!(rec.unique_edge_count() > 0);
     }
 
@@ -167,7 +171,7 @@ mod tests {
         let source = chained_triangles(10, 0);
         let mut rng = StdRng::seed_from_u64(3);
         let model = ShyreSupervised::train(ShyreFlavor::Count, &source, &mut rng);
-        let rec = model.reconstruct(&project(&source), &mut rng);
+        let rec = model.reconstruct(&project(&source), &mut rng).unwrap();
         for (_, m) in rec.iter() {
             assert_eq!(m, 1);
         }

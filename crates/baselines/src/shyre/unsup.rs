@@ -41,7 +41,11 @@ impl ReconstructionMethod for ShyreUnsup {
         "SHyRe-Unsup"
     }
 
-    fn reconstruct(&self, g: &ProjectedGraph, _rng: &mut dyn RngCore) -> Hypergraph {
+    fn reconstruct(
+        &self,
+        g: &ProjectedGraph,
+        _rng: &mut dyn RngCore,
+    ) -> Result<Hypergraph, marioh_core::MariohError> {
         let mut h = Hypergraph::new(g.num_nodes());
         let mut work = g.clone();
         let mut cliques = maximal_cliques(&work);
@@ -85,7 +89,7 @@ impl ReconstructionMethod for ShyreUnsup {
                 cliques = maximal_cliques(&work);
             }
         }
-        h
+        Ok(h)
     }
 }
 
@@ -103,7 +107,7 @@ mod tests {
         h.add_edge_with_multiplicity(edge(&[0, 1, 2]), 3);
         let g = project(&h);
         let mut rng = StdRng::seed_from_u64(0);
-        let rec = ShyreUnsup.reconstruct(&g, &mut rng);
+        let rec = ShyreUnsup.reconstruct(&g, &mut rng).unwrap();
         assert_eq!(multi_jaccard(&h, &rec), 1.0);
     }
 
@@ -115,7 +119,7 @@ mod tests {
         h.add_edge(edge(&[4, 5]));
         let g = project(&h);
         let mut rng = StdRng::seed_from_u64(1);
-        let rec = ShyreUnsup.reconstruct(&g, &mut rng);
+        let rec = ShyreUnsup.reconstruct(&g, &mut rng).unwrap();
         // Conservation: reconstructed projection weight equals input's.
         assert_eq!(project(&rec).total_weight(), g.total_weight());
     }
@@ -127,7 +131,7 @@ mod tests {
         h.add_edge(edge(&[0, 1, 2, 3]));
         let g = project(&h);
         let mut rng = StdRng::seed_from_u64(2);
-        let rec = ShyreUnsup.reconstruct(&g, &mut rng);
+        let rec = ShyreUnsup.reconstruct(&g, &mut rng).unwrap();
         assert_eq!(jaccard(&h, &rec), 1.0);
     }
 
@@ -140,7 +144,7 @@ mod tests {
         h.add_edge(edge(&[0, 1]));
         let g = project(&h);
         let mut rng = StdRng::seed_from_u64(3);
-        let rec = ShyreUnsup.reconstruct(&g, &mut rng);
+        let rec = ShyreUnsup.reconstruct(&g, &mut rng).unwrap();
         assert_eq!(jaccard(&h, &rec), 1.0);
     }
 }

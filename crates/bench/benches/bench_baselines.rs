@@ -2,6 +2,7 @@
 //! (the Fig. 5 shape at micro scale).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use marioh_baselines::ReconstructionMethod as _;
 use marioh_bench::runner::{build_method, cell_rng};
 use marioh_datasets::split::split_source_target;
 use marioh_datasets::PaperDataset;

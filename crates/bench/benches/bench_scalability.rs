@@ -26,7 +26,7 @@ fn bench_scalability(c: &mut Criterion) {
             |b, g| {
                 b.iter(|| {
                     let mut rng = StdRng::seed_from_u64(1);
-                    std::hint::black_box(model.reconstruct(g, &cfg, &mut rng))
+                    std::hint::black_box(model.reconstruct_with(g, &cfg, &mut rng))
                 });
             },
         );

@@ -10,6 +10,7 @@ use super::fig2::ego_subhypergraph;
 use super::ExperimentEnv;
 use crate::runner::{build_method, cell_rng};
 use crate::table::Table;
+use marioh_baselines::ReconstructionMethod as _;
 use marioh_datasets::split::split_source_target;
 use marioh_datasets::PaperDataset;
 use marioh_hypergraph::metrics::{jaccard, multi_jaccard};
@@ -57,8 +58,8 @@ pub fn run(env: &ExperimentEnv) -> Table {
             let Some(m) = build_method(method, &source, &mut rng) else {
                 continue;
             };
-            let rec_full = m.reconstruct(&g_full, &mut rng);
-            let rec_ego = m.reconstruct(&g_ego, &mut rng);
+            let rec_full = m.reconstruct(&g_full, &mut rng).expect("not cancelled");
+            let rec_ego = m.reconstruct(&g_ego, &mut rng).expect("not cancelled");
             let ego_multi = multi_jaccard(&ego, &rec_ego);
             t.add_row(vec![
                 data.name.to_owned(),

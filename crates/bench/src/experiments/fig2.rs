@@ -4,6 +4,7 @@
 use super::ExperimentEnv;
 use crate::runner::{build_method, cell_rng};
 use crate::table::Table;
+use marioh_baselines::ReconstructionMethod as _;
 use marioh_datasets::split::split_source_target;
 use marioh_datasets::PaperDataset;
 use marioh_hypergraph::metrics::{jaccard, multi_jaccard};
@@ -68,7 +69,7 @@ pub fn run(env: &ExperimentEnv) -> Table {
         let Some(m) = build_method(method, &source, &mut rng) else {
             continue;
         };
-        let rec = m.reconstruct(&g, &mut rng);
+        let rec = m.reconstruct(&g, &mut rng).expect("not cancelled");
         t.add_row(vec![
             method.to_owned(),
             format!("{:.3}", jaccard(&sub, &rec)),

@@ -5,8 +5,8 @@ use super::{ExperimentEnv, Setting};
 use crate::plot::{write_svg, LinePlot, Series};
 use crate::runner::cell_rng;
 use crate::table::Table;
-use marioh_baselines::{MariohMethod, ReconstructionMethod};
-use marioh_core::{MariohConfig, TrainingConfig, Variant};
+use marioh_baselines::ReconstructionMethod;
+use marioh_core::{MariohConfig, Pipeline, Variant};
 use marioh_datasets::split::split_source_target;
 use marioh_datasets::PaperDataset;
 use marioh_hypergraph::metrics::{jaccard, multi_jaccard};
@@ -30,14 +30,16 @@ fn score(env: &ExperimentEnv, d: PaperDataset, cfg: &MariohConfig, setting: Sett
     let mut split_rng = cell_rng(data.name, "split", 0);
     let (source, target) = split_source_target(&effective, &mut split_rng);
     let mut rng = cell_rng(data.name, "fig4", 0);
-    let method = MariohMethod::train(
-        Variant::Full,
-        &source,
-        &TrainingConfig::default(),
-        cfg,
-        &mut rng,
-    );
-    let rec = method.reconstruct(&project(&target), &mut rng);
+    let method = Pipeline::builder()
+        .variant(Variant::Full)
+        .build()
+        .expect("paper defaults are valid")
+        .train(&source, &mut rng)
+        .expect("split sources are non-empty")
+        .with_config(cfg.clone()); // the sweep's raw config, unvalidated on purpose
+    let rec = method
+        .reconstruct(&project(&target), &mut rng)
+        .expect("not cancelled");
     match setting {
         Setting::MultiplicityReduced => jaccard(&target, &rec),
         Setting::MultiplicityPreserved => multi_jaccard(&target, &rec),

@@ -36,6 +36,10 @@ pub fn run(env: &ExperimentEnv, datasets: &[PaperDataset], svg_dir: Option<&Path
             match run_budgeted(m, &project(&target), rng, env.cfg.budget) {
                 RunOutcome::Done(_, secs) => times.push(train_secs + secs),
                 RunOutcome::OutOfTime => oot += 1,
+                RunOutcome::Failed(e) => {
+                    eprintln!("[fig5] {method} failed: {e}");
+                    oot += 1;
+                }
             }
         }
         let avg = if times.is_empty() {

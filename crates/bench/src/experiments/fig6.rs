@@ -58,7 +58,7 @@ pub fn run(env: &ExperimentEnv, datasets: &[PaperDataset], svg_dir: Option<&Path
         let shyre = ShyreSupervised::train(ShyreFlavor::Count, &source, &mut rng);
         let shyre_train = t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
-        let _ = shyre.reconstruct(&g, &mut rng);
+        let _ = shyre.reconstruct(&g, &mut rng).expect("not cancelled");
         let shyre_inf = t0.elapsed().as_secs_f64();
 
         t.add_row(vec![

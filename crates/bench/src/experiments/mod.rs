@@ -85,6 +85,7 @@ pub fn accuracy_cell(
                 Setting::MultiplicityPreserved => multi_jaccard(&target, &rec),
             }),
             RunOutcome::OutOfTime => {}
+            RunOutcome::Failed(e) => eprintln!("[harness] {method} failed: {e}"),
         }
     }
     scores

@@ -2,10 +2,9 @@
 //! the source hyperedges, against fully-supervised baselines.
 
 use super::ExperimentEnv;
-use crate::runner::{build_method, cell_rng, format_cell, run_budgeted, RunOutcome};
+use crate::runner::{build_method, cell_rng, format_cell, run_budgeted, BuiltMethod, RunOutcome};
 use crate::table::Table;
-use marioh_baselines::{MariohMethod, ReconstructionMethod};
-use marioh_core::{MariohConfig, TrainingConfig, Variant};
+use marioh_core::{CancelToken, Pipeline, Variant};
 use marioh_datasets::split::split_source_target;
 use marioh_datasets::PaperDataset;
 use marioh_hypergraph::metrics::jaccard;
@@ -68,18 +67,17 @@ pub fn run(env: &ExperimentEnv) -> Table {
                     continue;
                 }
                 let mut rng = cell_rng(d.name, &label, seed);
-                let tcfg = TrainingConfig {
-                    supervision_fraction: frac,
-                    ..TrainingConfig::default()
-                };
-                let method = MariohMethod::train(
-                    Variant::Full,
-                    &source,
-                    &tcfg,
-                    &MariohConfig::default(),
-                    &mut rng,
-                );
-                let boxed: Box<dyn ReconstructionMethod + Send> = Box::new(method);
+                let cancel = CancelToken::new();
+                let method = Pipeline::builder()
+                    .variant(Variant::Full)
+                    .supervision_fraction(frac)
+                    .name(label.clone())
+                    .cancel_token(cancel.clone())
+                    .build()
+                    .expect("supervision fractions are in (0, 1]")
+                    .train(&source, &mut rng)
+                    .expect("checked non-empty above");
+                let boxed = BuiltMethod::new(Box::new(method), cancel);
                 if let RunOutcome::Done(rec, _) =
                     run_budgeted(boxed, &project(&target), rng, env.cfg.budget)
                 {

@@ -54,6 +54,10 @@ fn build_instance_from(
             match run_budgeted(m, &g, rng, env.cfg.budget) {
                 RunOutcome::Done(rec, _) => Some(rec),
                 RunOutcome::OutOfTime => None,
+                RunOutcome::Failed(e) => {
+                    eprintln!("[table7] {method} failed: {e}");
+                    None
+                }
             }
         });
         reconstructions.push((method.to_owned(), rec));

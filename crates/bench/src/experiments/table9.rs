@@ -42,6 +42,10 @@ pub fn run(env: &ExperimentEnv, datasets: &[PaperDataset]) -> Table {
                 match run_budgeted(m, &g, rng, env.cfg.budget) {
                     RunOutcome::Done(rec, _) => Some(rec),
                     RunOutcome::OutOfTime => None,
+                    RunOutcome::Failed(e) => {
+                        eprintln!("[table9] {method} failed: {e}");
+                        None
+                    }
                 }
             });
             recs.push(rec);

@@ -3,9 +3,9 @@
 
 use marioh_baselines::shyre::{ShyreFlavor, ShyreSupervised, ShyreUnsup};
 use marioh_baselines::{
-    BayesianMdl, CFinder, CliqueCovering, Demon, MariohMethod, MaxClique, ReconstructionMethod,
+    BayesianMdl, CFinder, CliqueCovering, Demon, MaxClique, ReconstructionMethod,
 };
-use marioh_core::{MariohConfig, TrainingConfig, Variant};
+use marioh_core::{CancelToken, Pipeline, Variant};
 use marioh_hypergraph::{Hypergraph, ProjectedGraph};
 use rand::{rngs::StdRng, SeedableRng};
 use std::sync::mpsc;
@@ -71,18 +71,65 @@ pub const TABLE3_METHODS: [&str; 6] = [
     "MARIOH",
 ];
 
+/// A harness-ready method: the boxed [`ReconstructionMethod`] plus the
+/// [`CancelToken`] its pipeline polls, so [`run_budgeted`] can stop an
+/// abandoned worker on timeout instead of leaking a CPU-bound thread.
+/// Baselines never poll the token (they are fast and infallible), but
+/// MARIOH rounds stop at the next boundary after it fires.
+pub struct BuiltMethod {
+    method: Box<dyn ReconstructionMethod + Send>,
+    cancel: CancelToken,
+}
+
+impl BuiltMethod {
+    /// Pairs a method with the token its internals poll.
+    pub fn new(method: Box<dyn ReconstructionMethod + Send>, cancel: CancelToken) -> Self {
+        BuiltMethod { method, cancel }
+    }
+
+    /// Wraps a method with no cancellation support (the token is fresh
+    /// and nothing polls it; timeouts fall back to thread abandonment).
+    pub fn untracked(method: Box<dyn ReconstructionMethod + Send>) -> Self {
+        BuiltMethod::new(method, CancelToken::new())
+    }
+
+    /// The token [`run_budgeted`] fires on timeout.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+}
+
+impl ReconstructionMethod for BuiltMethod {
+    fn name(&self) -> &str {
+        self.method.name()
+    }
+
+    fn reconstruct(
+        &self,
+        g: &ProjectedGraph,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<Hypergraph, marioh_core::MariohError> {
+        self.method.reconstruct(g, rng)
+    }
+}
+
 /// Builds a method by name, training supervised methods on `source`.
 ///
 /// Returns `None` for unknown names. The RNG drives training; pass a
 /// fresh [`cell_rng`] per cell.
-pub fn build_method(
-    name: &str,
-    source: &Hypergraph,
-    rng: &mut StdRng,
-) -> Option<Box<dyn ReconstructionMethod + Send>> {
-    let base_t = TrainingConfig::default();
-    let base_m = MariohConfig::default();
-    Some(match name {
+pub fn build_method(name: &str, source: &Hypergraph, rng: &mut StdRng) -> Option<BuiltMethod> {
+    let cancel = CancelToken::new();
+    // Every MARIOH configuration goes through the validated pipeline.
+    let marioh = |variant: Variant, cancel: &CancelToken, rng: &mut StdRng| {
+        Pipeline::builder()
+            .variant(variant)
+            .cancel_token(cancel.clone())
+            .build()
+            .expect("paper defaults are valid")
+            .train(source, rng)
+            .expect("harness sources are non-empty")
+    };
+    let method: Box<dyn ReconstructionMethod + Send> = match name {
         "CFinder" => Box::new(CFinder::select_k(source, rng)),
         "Demon" => Box::new(Demon::default()),
         "MaxClique" => Box::new(MaxClique),
@@ -91,36 +138,13 @@ pub fn build_method(
         "SHyRe-Unsup" => Box::new(ShyreUnsup),
         "SHyRe-Count" => Box::new(ShyreSupervised::train(ShyreFlavor::Count, source, rng)),
         "SHyRe-Motif" => Box::new(ShyreSupervised::train(ShyreFlavor::Motif, source, rng)),
-        "MARIOH" => Box::new(MariohMethod::train(
-            Variant::Full,
-            source,
-            &base_t,
-            &base_m,
-            rng,
-        )),
-        "MARIOH-M" => Box::new(MariohMethod::train(
-            Variant::NoMultiplicityFeatures,
-            source,
-            &base_t,
-            &base_m,
-            rng,
-        )),
-        "MARIOH-F" => Box::new(MariohMethod::train(
-            Variant::NoFiltering,
-            source,
-            &base_t,
-            &base_m,
-            rng,
-        )),
-        "MARIOH-B" => Box::new(MariohMethod::train(
-            Variant::NoBidirectional,
-            source,
-            &base_t,
-            &base_m,
-            rng,
-        )),
+        "MARIOH" => Box::new(marioh(Variant::Full, &cancel, rng)),
+        "MARIOH-M" => Box::new(marioh(Variant::NoMultiplicityFeatures, &cancel, rng)),
+        "MARIOH-F" => Box::new(marioh(Variant::NoFiltering, &cancel, rng)),
+        "MARIOH-B" => Box::new(marioh(Variant::NoBidirectional, &cancel, rng)),
         _ => return None,
-    })
+    };
+    Some(BuiltMethod::new(method, cancel))
 }
 
 /// Outcome of one budgeted run.
@@ -130,29 +154,37 @@ pub enum RunOutcome {
     Done(Hypergraph, f64),
     /// Out of time (the paper's "OOT").
     OutOfTime,
+    /// The method returned an error other than the timeout cancellation.
+    Failed(String),
 }
 
-/// Runs `method.reconstruct` under the wall-clock budget. The run happens
-/// on a worker thread; on timeout the worker is abandoned (it finishes in
-/// the background) and `OutOfTime` is reported, mirroring the paper's OOT
-/// bookkeeping.
+/// Runs `method.reconstruct` under the wall-clock budget on a worker
+/// thread. On timeout the method's [`CancelToken`] is fired — a
+/// cancellation-aware method (MARIOH) stops at its next round boundary
+/// instead of running to completion in the background — and `OutOfTime`
+/// is reported, mirroring the paper's OOT bookkeeping.
 pub fn run_budgeted(
-    method: Box<dyn ReconstructionMethod + Send>,
+    method: BuiltMethod,
     g: &ProjectedGraph,
     mut rng: StdRng,
     budget: Duration,
 ) -> RunOutcome {
     let g = g.clone();
+    let cancel = method.cancel_token().clone();
     let (tx, rx) = mpsc::channel();
     std::thread::spawn(move || {
         let t0 = Instant::now();
-        let rec = method.reconstruct(&g, &mut rng);
+        let result = method.reconstruct(&g, &mut rng);
         let secs = t0.elapsed().as_secs_f64();
-        let _ = tx.send((rec, secs));
+        let _ = tx.send((result, secs));
     });
     match rx.recv_timeout(budget) {
-        Ok((rec, secs)) => RunOutcome::Done(rec, secs),
-        Err(_) => RunOutcome::OutOfTime,
+        Ok((Ok(rec), secs)) => RunOutcome::Done(rec, secs),
+        Ok((Err(e), _)) => RunOutcome::Failed(e.to_string()),
+        Err(_) => {
+            cancel.cancel();
+            RunOutcome::OutOfTime
+        }
     }
 }
 
@@ -225,7 +257,7 @@ mod tests {
                 assert!(rec.unique_edge_count() > 0);
                 assert!(secs < 30.0);
             }
-            RunOutcome::OutOfTime => panic!("MaxClique timed out on a toy graph"),
+            other => panic!("MaxClique should finish on a toy graph, got {other:?}"),
         }
     }
 
@@ -236,17 +268,106 @@ mod tests {
             fn name(&self) -> &str {
                 "Sleeper"
             }
-            fn reconstruct(&self, g: &ProjectedGraph, _rng: &mut dyn rand::RngCore) -> Hypergraph {
+            fn reconstruct(
+                &self,
+                g: &ProjectedGraph,
+                _rng: &mut dyn rand::RngCore,
+            ) -> Result<Hypergraph, marioh_core::MariohError> {
                 std::thread::sleep(Duration::from_secs(5));
-                Hypergraph::new(g.num_nodes())
+                Ok(Hypergraph::new(g.num_nodes()))
             }
         }
         let g = ProjectedGraph::new(2);
         let rng = cell_rng("t", "Sleeper", 0);
-        match run_budgeted(Box::new(Sleeper), &g, rng, Duration::from_millis(50)) {
+        match run_budgeted(
+            BuiltMethod::untracked(Box::new(Sleeper)),
+            &g,
+            rng,
+            Duration::from_millis(50),
+        ) {
             RunOutcome::OutOfTime => {}
-            RunOutcome::Done(..) => panic!("sleeper should time out"),
+            other => panic!("sleeper should time out, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn budgeted_run_reports_method_errors() {
+        struct Cancelled;
+        impl ReconstructionMethod for Cancelled {
+            fn name(&self) -> &str {
+                "Cancelled"
+            }
+            fn reconstruct(
+                &self,
+                _g: &ProjectedGraph,
+                _rng: &mut dyn rand::RngCore,
+            ) -> Result<Hypergraph, marioh_core::MariohError> {
+                Err(marioh_core::MariohError::Cancelled)
+            }
+        }
+        let g = ProjectedGraph::new(2);
+        let rng = cell_rng("t", "Cancelled", 0);
+        match run_budgeted(
+            BuiltMethod::untracked(Box::new(Cancelled)),
+            &g,
+            rng,
+            Duration::from_secs(5),
+        ) {
+            RunOutcome::Failed(msg) => assert!(msg.contains("cancelled"), "{msg}"),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_fires_the_method_cancel_token() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        /// Spins until its token fires, then records that it exited.
+        struct Spinner {
+            cancel: CancelToken,
+            exited: Arc<AtomicBool>,
+        }
+        impl ReconstructionMethod for Spinner {
+            fn name(&self) -> &str {
+                "Spinner"
+            }
+            fn reconstruct(
+                &self,
+                _g: &ProjectedGraph,
+                _rng: &mut dyn rand::RngCore,
+            ) -> Result<Hypergraph, marioh_core::MariohError> {
+                while !self.cancel.is_cancelled() {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                self.exited.store(true, Ordering::SeqCst);
+                Err(marioh_core::MariohError::Cancelled)
+            }
+        }
+
+        let cancel = CancelToken::new();
+        let exited = Arc::new(AtomicBool::new(false));
+        let spinner = Spinner {
+            cancel: cancel.clone(),
+            exited: Arc::clone(&exited),
+        };
+        let g = ProjectedGraph::new(2);
+        let rng = cell_rng("t", "Spinner", 0);
+        let m = BuiltMethod::new(Box::new(spinner), cancel);
+        match run_budgeted(m, &g, rng, Duration::from_millis(30)) {
+            RunOutcome::OutOfTime => {}
+            other => panic!("spinner should time out, got {other:?}"),
+        }
+        // The abandoned worker observes the fired token and exits instead
+        // of spinning forever.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while !exited.load(Ordering::SeqCst) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            exited.load(Ordering::SeqCst),
+            "worker kept running after timeout"
+        );
     }
 
     #[test]

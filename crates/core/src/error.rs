@@ -1,0 +1,121 @@
+//! The crate-wide error type of the reconstruction pipeline.
+
+use marioh_hypergraph::HypergraphError;
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong across the MARIOH pipeline: invalid
+/// configuration, I/O, malformed model files, substrate errors, and
+/// cooperative cancellation.
+///
+/// `Display` renders the bare, user-facing message (no variant prefix),
+/// so frontends can print `error: {e}` directly.
+#[derive(Debug)]
+pub enum MariohError {
+    /// An invalid hyperparameter, flag, or usage error. The message is
+    /// the complete user-facing text.
+    Config(String),
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// A malformed trained-model file.
+    ModelFormat(String),
+    /// An error from the hypergraph substrate (parsing, invalid edges).
+    Hypergraph(HypergraphError),
+    /// The run was cancelled through a [`crate::CancelToken`].
+    Cancelled,
+}
+
+impl MariohError {
+    /// Shorthand for a [`MariohError::Config`] with a formatted message.
+    pub fn config(msg: impl Into<String>) -> Self {
+        MariohError::Config(msg.into())
+    }
+
+    /// Maps an I/O error from the model reader: data-level corruption
+    /// becomes [`MariohError::ModelFormat`], transport-level failures stay
+    /// [`MariohError::Io`].
+    pub fn from_model_io(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::InvalidData {
+            MariohError::ModelFormat(e.to_string())
+        } else {
+            MariohError::Io(e)
+        }
+    }
+}
+
+impl fmt::Display for MariohError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MariohError::Config(msg) => f.write_str(msg),
+            MariohError::Io(e) => write!(f, "{e}"),
+            MariohError::ModelFormat(msg) => f.write_str(msg),
+            MariohError::Hypergraph(e) => write!(f, "{e}"),
+            MariohError::Cancelled => f.write_str("reconstruction cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for MariohError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MariohError::Io(e) => Some(e),
+            MariohError::Hypergraph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for MariohError {
+    fn from(e: io::Error) -> Self {
+        MariohError::Io(e)
+    }
+}
+
+impl From<HypergraphError> for MariohError {
+    fn from(e: HypergraphError) -> Self {
+        MariohError::Hypergraph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_the_bare_message() {
+        assert_eq!(
+            MariohError::config("theta_init must be in (0, 1]").to_string(),
+            "theta_init must be in (0, 1]"
+        );
+        assert_eq!(
+            MariohError::Cancelled.to_string(),
+            "reconstruction cancelled"
+        );
+        let io_err = io::Error::new(io::ErrorKind::NotFound, "gone");
+        assert_eq!(MariohError::from(io_err).to_string(), "gone");
+    }
+
+    #[test]
+    fn conversions_preserve_messages() {
+        let he = HypergraphError::InvalidEdge("too small".into());
+        let text = he.to_string();
+        let me: MariohError = he.into();
+        assert_eq!(me.to_string(), text);
+        use std::error::Error as _;
+        assert!(me.source().is_some());
+    }
+
+    #[test]
+    fn model_io_mapping_distinguishes_corruption_from_transport() {
+        let corrupt = io::Error::new(io::ErrorKind::InvalidData, "not a marioh model file");
+        assert!(matches!(
+            MariohError::from_model_io(corrupt),
+            MariohError::ModelFormat(_)
+        ));
+        let transport = io::Error::new(io::ErrorKind::NotFound, "missing");
+        assert!(matches!(
+            MariohError::from_model_io(transport),
+            MariohError::Io(_)
+        ));
+    }
+}

@@ -15,8 +15,13 @@
 //!
 //! # Quickstart
 //!
+//! Every frontend goes through the same validated [`Pipeline`]: build it
+//! once (hyperparameters are checked at [`PipelineBuilder::build`], not
+//! at run time), train on the supervision hypergraph, and reconstruct
+//! through the [`Reconstructor`] trait shared with every baseline.
+//!
 //! ```
-//! use marioh_core::{Marioh, MariohConfig, TrainingConfig};
+//! use marioh_core::{FeatureMode, Pipeline, Reconstructor};
 //! use marioh_hypergraph::{hyperedge::edge, projection::project, Hypergraph};
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
@@ -32,27 +37,59 @@
 //! target.add_edge(edge(&[4, 5]));
 //! let g = project(&target);
 //!
+//! let pipeline = Pipeline::builder()
+//!     .features(FeatureMode::Multiplicity)
+//!     .theta_init(0.9)
+//!     .threads(1)
+//!     .build()?; // Err(MariohError::Config(..)) on invalid hyperparameters
+//!
 //! let mut rng = StdRng::seed_from_u64(7);
-//! let model = Marioh::train(&source, &TrainingConfig::default(), &mut rng);
-//! let reconstructed = model.reconstruct(&g, &MariohConfig::default(), &mut rng);
+//! let model = pipeline.train(&source, &mut rng)?;
+//! let reconstructed = model.reconstruct(&g, &mut rng)?;
 //! assert!(reconstructed.unique_edge_count() > 0);
+//! # Ok::<(), marioh_core::MariohError>(())
 //! ```
+//!
+//! Long runs are observable and cancellable — attach a
+//! [`ProgressObserver`] and a [`CancelToken`] to the builder:
+//!
+//! ```
+//! use marioh_core::{CancelToken, Pipeline};
+//!
+//! let cancel = CancelToken::new();
+//! let pipeline = Pipeline::builder()
+//!     .cancel_token(cancel.clone())
+//!     .build()?;
+//! // ... from any thread, at any time:
+//! cancel.cancel(); // the run returns Err(MariohError::Cancelled)
+//! # Ok::<(), marioh_core::MariohError>(())
+//! ```
+//!
+//! The pre-pipeline entry points ([`Marioh::train`],
+//! [`reconstruct::reconstruct_with_report`]) remain for tests and
+//! sweeps that juggle raw configs.
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod features;
 pub mod filtering;
 pub mod mhh;
 pub mod model;
 pub mod parallel;
 pub mod persistence;
+pub mod pipeline;
+pub mod progress;
 pub mod reconstruct;
 pub mod search;
 pub mod training;
 pub mod variants;
 
+pub use error::MariohError;
 pub use features::FeatureMode;
 pub use model::{CliqueScorer, TrainedModel};
-pub use reconstruct::{Marioh, MariohConfig};
+pub use pipeline::{Pipeline, PipelineBuilder, Reconstructor};
+pub use progress::{CancelToken, NoopObserver, ProgressObserver};
+pub use reconstruct::{Marioh, MariohConfig, ReconstructionReport};
 pub use training::TrainingConfig;
 pub use variants::Variant;

@@ -1,0 +1,113 @@
+//! Progress observation and cooperative cancellation for long runs.
+//!
+//! The outer loop (Algorithm 1) can run for minutes on the paper's larger
+//! datasets. [`ProgressObserver`] lets a frontend watch it live —
+//! filtering completion, per-round search statistics, commits — and
+//! [`CancelToken`] lets it abort cleanly: the loop checks the token at
+//! every round boundary and the search checks it between phases, so a
+//! cancelled run terminates within one search round and returns
+//! [`crate::MariohError::Cancelled`] without handing back a partial
+//! reconstruction.
+
+use crate::filtering::FilterStats;
+use crate::reconstruct::ReconstructionReport;
+use crate::search::SearchStats;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Callbacks fired by [`crate::reconstruct::reconstruct_observed`] as the
+/// run progresses. All methods have empty defaults; implement only what
+/// you need. Observers must be `Send + Sync` because trained models (and
+/// the pipelines that carry observers) are shared across worker threads
+/// by the experiment harness.
+pub trait ProgressObserver: Send + Sync {
+    /// Filtering (Algorithm 2) finished: its statistics and wall-clock
+    /// seconds. Not called when filtering is disabled.
+    fn on_filtering_done(&self, stats: &FilterStats, secs: f64) {
+        let _ = (stats, secs);
+    }
+
+    /// One search round (Algorithm 3) finished: 1-based round index, the
+    /// threshold `θ` the round ran at, and its statistics.
+    fn on_round(&self, round: usize, theta: f64, stats: &SearchStats) {
+        let _ = (round, theta, stats);
+    }
+
+    /// A round committed hyperedges: 1-based round index, hyperedges
+    /// committed this round, and the cumulative total committed by the
+    /// search so far (excluding filtering). Skipped for zero-commit
+    /// rounds.
+    fn on_commit(&self, round: usize, committed: usize, total_committed: usize) {
+        let _ = (round, committed, total_committed);
+    }
+
+    /// The run completed (not called on cancellation): the final report,
+    /// including stage timings.
+    fn on_done(&self, report: &ReconstructionReport) {
+        let _ = report;
+    }
+}
+
+/// The do-nothing observer used when no observer is attached.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl ProgressObserver for NoopObserver {}
+
+/// A cooperative cancellation flag, cheap to clone and share across
+/// threads. Cancel from anywhere with [`CancelToken::cancel`]; the
+/// reconstruction loop polls it at round boundaries.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_starts_clear_and_cancels_across_clones() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_cancelled());
+        t.cancel(); // idempotent
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn token_is_visible_across_threads() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        std::thread::spawn(move || u.cancel()).join().unwrap();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn default_observer_methods_are_callable() {
+        let o = NoopObserver;
+        o.on_filtering_done(&FilterStats::default(), 0.0);
+        o.on_round(1, 0.9, &SearchStats::default());
+        o.on_commit(1, 2, 2);
+        o.on_done(&ReconstructionReport::default());
+    }
+}

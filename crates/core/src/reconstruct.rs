@@ -1,11 +1,15 @@
 //! The MARIOH outer loop (Algorithm 1) and the high-level API.
 
+use crate::error::MariohError;
 use crate::filtering::{filtering, FilterStats};
 use crate::model::{CliqueScorer, TrainedModel};
+use crate::pipeline::Reconstructor;
+use crate::progress::{CancelToken, NoopObserver, ProgressObserver};
 use crate::search::{bidirectional_search_threaded, SearchStats};
 use crate::training::{train_classifier, TrainingConfig};
 use marioh_hypergraph::{Hypergraph, ProjectedGraph};
-use rand::Rng;
+use rand::{Rng, RngCore};
+use std::sync::Arc;
 
 /// Hyperparameters of the reconstruction loop (Algorithm 1).
 #[derive(Debug, Clone)]
@@ -61,20 +65,39 @@ pub struct ReconstructionReport {
 }
 
 /// Reconstructs a hypergraph from `g` with an arbitrary scorer
-/// (Algorithm 1). Returns the reconstruction and a diagnostic report.
-pub fn reconstruct_with_report<R: Rng + ?Sized>(
+/// (Algorithm 1), reporting progress to `observer` and polling `cancel`
+/// at every round boundary. Returns the reconstruction and a diagnostic
+/// report.
+///
+/// This is the observable, cancellable primitive underneath every
+/// frontend; [`reconstruct_with_report`] and [`reconstruct`] are the
+/// no-observer conveniences, and the [`Reconstructor`] trait routes here
+/// with the observer and token carried by the [`Marioh`] handle.
+///
+/// # Errors
+///
+/// Returns [`MariohError::Cancelled`] as soon as `cancel` fires —
+/// before filtering, at a round boundary, or between the two phases of a
+/// round — discarding all partial state. No other error is produced.
+pub fn reconstruct_observed<R: Rng + ?Sized>(
     g: &ProjectedGraph,
     scorer: &dyn CliqueScorer,
     cfg: &MariohConfig,
+    observer: &dyn ProgressObserver,
+    cancel: &CancelToken,
     rng: &mut R,
-) -> (Hypergraph, ReconstructionReport) {
+) -> Result<(Hypergraph, ReconstructionReport), MariohError> {
     let mut report = ReconstructionReport::default();
     let mut reconstruction = Hypergraph::new(g.num_nodes());
 
+    if cancel.is_cancelled() {
+        return Err(MariohError::Cancelled);
+    }
     let mut work = if cfg.use_filtering {
         let t0 = std::time::Instant::now();
         let (g2, stats) = filtering(g, &mut reconstruction);
         report.filtering_secs = t0.elapsed().as_secs_f64();
+        observer.on_filtering_done(&stats, report.filtering_secs);
         report.filter_stats = Some(stats);
         g2
     } else {
@@ -84,6 +107,7 @@ pub fn reconstruct_with_report<R: Rng + ?Sized>(
     let mut theta = cfg.theta_init;
     let t0 = std::time::Instant::now();
     let mut stall_rounds = 0usize;
+    let mut total_committed = 0usize;
     while !work.is_edgeless() && report.rounds.len() < cfg.max_iterations {
         let stats = bidirectional_search_threaded(
             &mut work,
@@ -93,9 +117,16 @@ pub fn reconstruct_with_report<R: Rng + ?Sized>(
             &mut reconstruction,
             cfg.use_bidirectional,
             cfg.threads,
+            cancel,
             rng,
-        );
+        )?;
         let committed = stats.committed_phase1 + stats.committed_phase2;
+        let round = report.rounds.len() + 1;
+        observer.on_round(round, theta, &stats);
+        if committed > 0 {
+            total_committed += committed;
+            observer.on_commit(round, committed, total_committed);
+        }
         report.rounds.push(stats);
         // θ = 0 accepts every positively-scored clique, so a zero-commit
         // round *at* θ = 0 means the scorer is returning non-positive
@@ -113,7 +144,19 @@ pub fn reconstruct_with_report<R: Rng + ?Sized>(
         theta = (theta - cfg.alpha * cfg.theta_init).max(0.0);
     }
     report.search_secs = t0.elapsed().as_secs_f64();
-    (reconstruction, report)
+    observer.on_done(&report);
+    Ok((reconstruction, report))
+}
+
+/// [`reconstruct_observed`] with no observer and no cancellation.
+pub fn reconstruct_with_report<R: Rng + ?Sized>(
+    g: &ProjectedGraph,
+    scorer: &dyn CliqueScorer,
+    cfg: &MariohConfig,
+    rng: &mut R,
+) -> (Hypergraph, ReconstructionReport) {
+    reconstruct_observed(g, scorer, cfg, &NoopObserver, &CancelToken::new(), rng)
+        .expect("fresh cancel token: an unobserved run cannot fail")
 }
 
 /// [`reconstruct_with_report`] without the diagnostics.
@@ -128,23 +171,82 @@ pub fn reconstruct<R: Rng + ?Sized>(
 
 /// The high-level MARIOH API: a trained model ready to reconstruct
 /// projected graphs from its domain.
-#[derive(Debug, Clone)]
+///
+/// A `Marioh` carries everything one run needs — the classifier, its
+/// [`MariohConfig`], a display name, a [`ProgressObserver`] and a
+/// [`CancelToken`] — so it implements [`Reconstructor`] directly and
+/// plugs into the same method zoo as the baselines. Build one through
+/// [`crate::Pipeline`] (validated hyperparameters) or [`Marioh::train`]
+/// (defaults).
+#[derive(Clone)]
 pub struct Marioh {
     model: TrainedModel,
+    config: MariohConfig,
+    name: String,
+    observer: Arc<dyn ProgressObserver>,
+    cancel: CancelToken,
+}
+
+impl std::fmt::Debug for Marioh {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Marioh")
+            .field("name", &self.name)
+            .field("model", &self.model)
+            .field("config", &self.config)
+            .field("cancelled", &self.cancel.is_cancelled())
+            .finish_non_exhaustive() // the observer has no Debug
+    }
 }
 
 impl Marioh {
     /// Trains MARIOH's classifier on a source hypergraph (Problem 1's
-    /// supervision). The source projection is computed internally.
+    /// supervision) with the default reconstruction configuration. The
+    /// source projection is computed internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` has no hyperedges. [`crate::Pipeline::train`]
+    /// is the non-panicking, validated front door.
     pub fn train<R: Rng + ?Sized>(source: &Hypergraph, cfg: &TrainingConfig, rng: &mut R) -> Self {
+        Marioh::from_model(train_classifier(source, cfg, rng))
+    }
+
+    /// Wraps an already-trained model (e.g. for transfer experiments)
+    /// with the default reconstruction configuration.
+    pub fn from_model(model: TrainedModel) -> Self {
         Marioh {
-            model: train_classifier(source, cfg, rng),
+            model,
+            config: MariohConfig::default(),
+            name: "MARIOH".to_owned(),
+            observer: Arc::new(NoopObserver),
+            cancel: CancelToken::new(),
         }
     }
 
-    /// Wraps an already-trained model (e.g. for transfer experiments).
-    pub fn from_model(model: TrainedModel) -> Self {
-        Marioh { model }
+    /// Replaces the reconstruction configuration carried by this handle
+    /// (used by [`Reconstructor::reconstruct`]). Unvalidated — the
+    /// validated path is [`crate::Pipeline::builder`].
+    pub fn with_config(mut self, config: MariohConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the display name (e.g. an ablation variant's).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Attaches a progress observer to every run through this handle.
+    pub fn with_observer(mut self, observer: Arc<dyn ProgressObserver>) -> Self {
+        self.observer = observer;
+        self
+    }
+
+    /// Attaches a cancellation token to every run through this handle.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// The underlying classifier.
@@ -152,8 +254,14 @@ impl Marioh {
         &self.model
     }
 
-    /// Reconstructs the hypergraph of a target projected graph.
-    pub fn reconstruct<R: Rng + ?Sized>(
+    /// The reconstruction configuration carried by this handle.
+    pub fn config(&self) -> &MariohConfig {
+        &self.config
+    }
+
+    /// Reconstructs with an explicit configuration, ignoring the carried
+    /// one (hyperparameter sweeps).
+    pub fn reconstruct_with<R: Rng + ?Sized>(
         &self,
         g: &ProjectedGraph,
         cfg: &MariohConfig,
@@ -162,7 +270,8 @@ impl Marioh {
         reconstruct(g, &self.model, cfg, rng)
     }
 
-    /// Reconstruction plus per-stage diagnostics (Fig. 6 timings).
+    /// Reconstruction with an explicit configuration plus per-stage
+    /// diagnostics (Fig. 6 timings).
     pub fn reconstruct_with_report<R: Rng + ?Sized>(
         &self,
         g: &ProjectedGraph,
@@ -170,6 +279,42 @@ impl Marioh {
         rng: &mut R,
     ) -> (Hypergraph, ReconstructionReport) {
         reconstruct_with_report(g, &self.model, cfg, rng)
+    }
+
+    /// The full observable run: carried configuration, observer, and
+    /// cancellation token, returning the diagnostics alongside the
+    /// reconstruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MariohError::Cancelled`] if the carried token fires.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        g: &ProjectedGraph,
+        rng: &mut R,
+    ) -> Result<(Hypergraph, ReconstructionReport), MariohError> {
+        reconstruct_observed(
+            g,
+            &self.model,
+            &self.config,
+            self.observer.as_ref(),
+            &self.cancel,
+            rng,
+        )
+    }
+}
+
+impl Reconstructor for Marioh {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn reconstruct(
+        &self,
+        g: &ProjectedGraph,
+        rng: &mut dyn RngCore,
+    ) -> Result<Hypergraph, MariohError> {
+        self.run(g, rng).map(|(h, _)| h)
     }
 }
 
@@ -311,8 +456,110 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let model = Marioh::train(&source, &TrainingConfig::default(), &mut rng);
         let g = project(&target);
-        let rec = model.reconstruct(&g, &MariohConfig::default(), &mut rng);
+        let rec = model
+            .reconstruct(&g, &mut rng)
+            .expect("fresh handle is never cancelled");
         let j = jaccard(&target, &rec);
         assert!(j > 0.5, "trained MARIOH scored only {j}");
+    }
+
+    #[test]
+    fn observer_sees_filtering_rounds_and_commits() {
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Recorder(Mutex<Vec<String>>);
+        impl ProgressObserver for Recorder {
+            fn on_filtering_done(&self, stats: &FilterStats, _secs: f64) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .push(format!("filter:{}", stats.multiplicity_extracted));
+            }
+            fn on_round(&self, round: usize, theta: f64, stats: &SearchStats) {
+                self.0.lock().unwrap().push(format!(
+                    "round:{round}:{theta:.3}:{}",
+                    stats.committed_phase1 + stats.committed_phase2
+                ));
+            }
+            fn on_commit(&self, round: usize, committed: usize, total: usize) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .push(format!("commit:{round}:{committed}:{total}"));
+            }
+            fn on_done(&self, report: &ReconstructionReport) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .push(format!("done:{}", report.rounds.len()));
+            }
+        }
+
+        let mut h = Hypergraph::new(0);
+        h.add_edge_with_multiplicity(edge(&[0, 1]), 3);
+        h.add_edge(edge(&[2, 3, 4]));
+        let g = project(&h);
+        let run = || {
+            let recorder = Recorder::default();
+            let mut rng = StdRng::seed_from_u64(1);
+            let (_, report) = reconstruct_observed(
+                &g,
+                &oracle(&h),
+                &MariohConfig::default(),
+                &recorder,
+                &CancelToken::new(),
+                &mut rng,
+            )
+            .expect("not cancelled");
+            (recorder.0.into_inner().unwrap(), report)
+        };
+        let (events, report) = run();
+        assert_eq!(events.first().unwrap(), "filter:3");
+        assert!(events.iter().any(|e| e.starts_with("commit:")));
+        assert_eq!(
+            events.last().unwrap(),
+            &format!("done:{}", report.rounds.len())
+        );
+        // Every search round is observed, in order.
+        let rounds: Vec<&String> = events.iter().filter(|e| e.starts_with("round:")).collect();
+        assert_eq!(rounds.len(), report.rounds.len());
+        // The event sequence is deterministic under a fixed seed.
+        assert_eq!(events, run().0);
+    }
+
+    #[test]
+    fn cancelled_run_returns_cancelled_without_partial_state() {
+        let mut h = Hypergraph::new(0);
+        h.add_edge(edge(&[0, 1, 2]));
+        let g = project(&h);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let mut rng = StdRng::seed_from_u64(2);
+        let err = reconstruct_observed(
+            &g,
+            &oracle(&h),
+            &MariohConfig::default(),
+            &NoopObserver,
+            &cancel,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, MariohError::Cancelled));
+    }
+
+    #[test]
+    fn marioh_handle_cancels_through_the_trait() {
+        let mut h = Hypergraph::new(0);
+        for b in 0..10u32 {
+            h.add_edge(edge(&[b * 3, b * 3 + 1, b * 3 + 2]));
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let cancel = CancelToken::new();
+        let model =
+            Marioh::train(&h, &TrainingConfig::default(), &mut rng).with_cancel(cancel.clone());
+        cancel.cancel();
+        let err = model.reconstruct(&project(&h), &mut rng).unwrap_err();
+        assert!(matches!(err, MariohError::Cancelled));
     }
 }

@@ -7,8 +7,10 @@
 //! so later candidates may no longer exist — exactly the behaviour shown
 //! in Fig. 3 (clique (B) disappearing after (A) is taken).
 
+use crate::error::MariohError;
 use crate::model::CliqueScorer;
 use crate::parallel::score_cliques;
+use crate::progress::CancelToken;
 use marioh_hypergraph::clique::sample_k_subset;
 use marioh_hypergraph::parallel::maximal_cliques_parallel;
 use marioh_hypergraph::{Hyperedge, Hypergraph, NodeId, ProjectedGraph};
@@ -60,13 +62,31 @@ pub fn bidirectional_search<R: Rng + ?Sized>(
     phase2: bool,
     rng: &mut R,
 ) -> SearchStats {
-    bidirectional_search_threaded(g, scorer, theta, neg_ratio, reconstruction, phase2, 1, rng)
+    bidirectional_search_threaded(
+        g,
+        scorer,
+        theta,
+        neg_ratio,
+        reconstruction,
+        phase2,
+        1,
+        &CancelToken::new(),
+        rng,
+    )
+    .expect("fresh cancel token: a round cannot be cancelled")
 }
 
-/// [`bidirectional_search`] with explicit parallelism: clique enumeration
-/// and clique scoring fan out over `threads` threads. Results are
-/// identical to the serial round for any thread count (both stages are
-/// pure; the commit order stays deterministic).
+/// [`bidirectional_search`] with explicit parallelism and cooperative
+/// cancellation: clique enumeration and clique scoring fan out over
+/// `threads` threads, and `cancel` is polled at the entry and between the
+/// two phases. Results are identical to the serial round for any thread
+/// count (both stages are pure; the commit order stays deterministic).
+///
+/// # Errors
+///
+/// Returns [`MariohError::Cancelled`] if `cancel` fires. `g` and
+/// `reconstruction` may then hold partially committed state — callers
+/// owning the run (the outer loop) discard both on cancellation.
 #[allow(clippy::too_many_arguments)] // mirrors Algorithm 3's parameter list
 pub fn bidirectional_search_threaded<R: Rng + ?Sized>(
     g: &mut ProjectedGraph,
@@ -76,13 +96,17 @@ pub fn bidirectional_search_threaded<R: Rng + ?Sized>(
     reconstruction: &mut Hypergraph,
     phase2: bool,
     threads: usize,
+    cancel: &CancelToken,
     rng: &mut R,
-) -> SearchStats {
+) -> Result<SearchStats, MariohError> {
+    if cancel.is_cancelled() {
+        return Err(MariohError::Cancelled);
+    }
     let mut stats = SearchStats::default();
     let cliques = maximal_cliques_parallel(g, threads);
     stats.cliques_enumerated = cliques.len();
     if cliques.is_empty() {
-        return stats;
+        return Ok(stats);
     }
 
     // Score all maximal cliques once (deterministic order: the enumerator
@@ -110,7 +134,10 @@ pub fn bidirectional_search_threaded<R: Rng + ?Sized>(
     }
 
     if !phase2 {
-        return stats;
+        return Ok(stats);
+    }
+    if cancel.is_cancelled() {
+        return Err(MariohError::Cancelled);
     }
 
     // --- Phase 2: least promising cliques ---
@@ -146,7 +173,7 @@ pub fn bidirectional_search_threaded<R: Rng + ?Sized>(
             stats.committed_phase2 += 1;
         }
     }
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -302,8 +329,17 @@ mod tests {
                 let mut rec = Hypergraph::new(n);
                 let mut rng = StdRng::seed_from_u64(5);
                 let stats = bidirectional_search_threaded(
-                    &mut g, &scorer, 0.5, 50.0, &mut rec, true, threads, &mut rng,
-                );
+                    &mut g,
+                    &scorer,
+                    0.5,
+                    50.0,
+                    &mut rec,
+                    true,
+                    threads,
+                    &CancelToken::new(),
+                    &mut rng,
+                )
+                .expect("not cancelled");
                 (g, rec, stats)
             };
             let (g1, rec1, stats1) = run(1);
@@ -318,6 +354,25 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn pre_cancelled_round_commits_nothing() {
+        let mut h = Hypergraph::new(0);
+        h.add_edge(edge(&[0, 1, 2]));
+        let mut g = project(&h);
+        let scorer = FnScorer(|_: &ProjectedGraph, _: &[NodeId]| 0.99);
+        let mut rec = Hypergraph::new(0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let err = bidirectional_search_threaded(
+            &mut g, &scorer, 0.5, 20.0, &mut rec, true, 1, &cancel, &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, MariohError::Cancelled));
+        assert_eq!(rec.total_edge_count(), 0);
+        assert_eq!(g.num_edges(), 3); // untouched
     }
 
     #[test]

@@ -303,13 +303,7 @@ mod tests {
 
     #[test]
     fn components_refine_as_s_grows() {
-        let h = h_from(&[
-            &[0, 1, 2, 3],
-            &[2, 3, 4, 5],
-            &[4, 5, 6],
-            &[6, 7],
-            &[0, 9],
-        ]);
+        let h = h_from(&[&[0, 1, 2, 3], &[2, 3, 4, 5], &[4, 5, 6], &[6, 7], &[0, 9]]);
         let mut prev = s_edge_components(&h, 1).len();
         for s in 2..=4 {
             let cur = s_edge_components(&h, s).len();

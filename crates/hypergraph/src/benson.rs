@@ -112,7 +112,7 @@ pub fn read_benson<R1: Read, R2: Read, R3: Read>(
         }
         // Hyperedge::new sorts, dedups, and returns None below 2 distinct
         // nodes (self-contact simplices are dropped, as in the paper).
-        let Some(e) = Hyperedge::new(nodes.into_iter()) else {
+        let Some(e) = Hyperedge::new(nodes) else {
             continue;
         };
         h.ensure_nodes(e.nodes().last().map(|n| n.0 + 1).unwrap_or(0));
@@ -205,12 +205,7 @@ mod tests {
 
     #[test]
     fn times_are_optional() {
-        let data = read_benson(
-            "2\n".as_bytes(),
-            "7\n9\n".as_bytes(),
-            None::<&[u8]>,
-        )
-        .unwrap();
+        let data = read_benson("2\n".as_bytes(), "7\n9\n".as_bytes(), None::<&[u8]>).unwrap();
         assert!(data.timestamped.is_empty());
         assert_eq!(data.hypergraph.multiplicity(&edge(&[6, 8])), 1);
     }
@@ -259,9 +254,6 @@ mod tests {
         assert!((multi_jaccard(&h, &back.hypergraph) - 1.0).abs() < 1e-12);
         // 3 + 1 + 1 events, timestamps strictly increasing.
         assert_eq!(back.timestamped.len(), 5);
-        assert!(back
-            .timestamped
-            .windows(2)
-            .all(|w| w[0].0 < w[1].0));
+        assert!(back.timestamped.windows(2).all(|w| w[0].0 < w[1].0));
     }
 }

@@ -10,7 +10,7 @@
 //! cargo run --release --example analytics
 //! ```
 
-use marioh::core::{Marioh, MariohConfig, TrainingConfig};
+use marioh::core::{Marioh, Reconstructor as _, TrainingConfig};
 use marioh::datasets::split::split_source_target;
 use marioh::datasets::PaperDataset;
 use marioh::hypergraph::analytics::{core_decomposition, s_edge_components};
@@ -60,7 +60,7 @@ fn main() {
     );
 
     let model = Marioh::train(&source, &TrainingConfig::default(), &mut rng);
-    let rec = model.reconstruct(&g, &MariohConfig::default(), &mut rng);
+    let rec = model.reconstruct(&g, &mut rng).expect("not cancelled");
 
     summarize("ground truth H", &target);
     summarize("MARIOH reconstruction", &rec);

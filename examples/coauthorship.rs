@@ -8,7 +8,7 @@
 
 use marioh::baselines::shyre::{ShyreFlavor, ShyreSupervised};
 use marioh::baselines::ReconstructionMethod;
-use marioh::core::{Marioh, MariohConfig, TrainingConfig};
+use marioh::core::{Marioh, TrainingConfig};
 use marioh::datasets::split::split_source_target;
 use marioh::datasets::PaperDataset;
 use marioh::hypergraph::metrics::{jaccard, multi_jaccard};
@@ -84,9 +84,9 @@ fn main() {
     let g = project(&sub);
 
     let marioh = Marioh::train(&source, &TrainingConfig::default(), &mut rng);
-    let rec_marioh = marioh.reconstruct(&g, &MariohConfig::default(), &mut rng);
+    let rec_marioh = marioh.reconstruct(&g, &mut rng).expect("not cancelled");
     let shyre = ShyreSupervised::train(ShyreFlavor::Count, &source, &mut rng);
-    let rec_shyre = shyre.reconstruct(&g, &mut rng);
+    let rec_shyre = shyre.reconstruct(&g, &mut rng).expect("not cancelled");
 
     describe("SHyRe-Count", &sub, &rec_shyre);
     describe("MARIOH", &sub, &rec_marioh);

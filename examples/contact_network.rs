@@ -7,8 +7,8 @@
 //! ```
 
 use marioh::baselines::shyre::ShyreUnsup;
-use marioh::baselines::{MariohMethod, ReconstructionMethod};
-use marioh::core::{MariohConfig, TrainingConfig, Variant};
+use marioh::baselines::ReconstructionMethod;
+use marioh::core::{Pipeline, Variant};
 use marioh::datasets::split::split_source_target;
 use marioh::datasets::PaperDataset;
 use marioh::hypergraph::metrics::multi_jaccard;
@@ -37,7 +37,7 @@ fn main() {
     );
 
     // The unsupervised multiplicity-aware baseline...
-    let rec = ShyreUnsup.reconstruct(&g, &mut rng);
+    let rec = ShyreUnsup.reconstruct(&g, &mut rng).expect("not cancelled");
     println!(
         "{:<10} multi-Jaccard {:.4}",
         "SHyRe-Unsup",
@@ -47,14 +47,13 @@ fn main() {
     // ...against MARIOH and each ablation variant.
     for variant in Variant::all() {
         let mut vrng = StdRng::seed_from_u64(7 + variant as u64);
-        let method = MariohMethod::train(
-            variant,
-            &source,
-            &TrainingConfig::default(),
-            &MariohConfig::default(),
-            &mut vrng,
-        );
-        let rec = method.reconstruct(&g, &mut vrng);
+        let method = Pipeline::builder()
+            .variant(variant)
+            .build()
+            .expect("variant defaults are valid")
+            .train(&source, &mut vrng)
+            .expect("non-empty source");
+        let rec = method.reconstruct(&g, &mut vrng).expect("not cancelled");
         println!(
             "{:<10} multi-Jaccard {:.4}",
             variant.name(),

@@ -6,7 +6,7 @@
 //! cargo run --release --example downstream_tasks
 //! ```
 
-use marioh::core::{Marioh, MariohConfig, TrainingConfig};
+use marioh::core::{Marioh, Reconstructor as _, TrainingConfig};
 use marioh::datasets::split::split_source_target;
 use marioh::datasets::PaperDataset;
 use marioh::downstream::{cluster_graph, cluster_hypergraph, link_prediction_auc, LinkPredInput};
@@ -24,7 +24,7 @@ fn main() {
 
     // Reconstruct the target.
     let model = Marioh::train(&source, &TrainingConfig::default(), &mut rng);
-    let rec = model.reconstruct(&g, &MariohConfig::default(), &mut rng);
+    let rec = model.reconstruct(&g, &mut rng).expect("not cancelled");
     println!(
         "reconstructed {} hyperedges from {} projected edges\n",
         rec.unique_edge_count(),

@@ -36,7 +36,7 @@ fn main() {
             threads,
             ..MariohConfig::default()
         };
-        model.reconstruct(&g, &cfg, &mut rng)
+        model.reconstruct_with(&g, &cfg, &mut rng)
     };
     let rec = reconstruct_with(1);
     let rec4 = reconstruct_with(4);

@@ -6,7 +6,7 @@
 //! cargo run --release --example transfer
 //! ```
 
-use marioh::core::{Marioh, MariohConfig, TrainingConfig};
+use marioh::core::{Marioh, Reconstructor as _, TrainingConfig};
 use marioh::datasets::split::split_source_target;
 use marioh::datasets::PaperDataset;
 use marioh::hypergraph::metrics::jaccard;
@@ -34,7 +34,7 @@ fn main() {
         let mut split_rng = StdRng::seed_from_u64(99);
         let (_, target) = split_source_target(&reduced, &mut split_rng);
         let g = project(&target);
-        let rec = model.reconstruct(&g, &MariohConfig::default(), &mut rng);
+        let rec = model.reconstruct(&g, &mut rng).expect("not cancelled");
         println!(
             "P.School-trained model on {:<9} Jaccard {:.4}  ({} / {} hyperedges recovered)",
             data.name,

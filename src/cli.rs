@@ -12,18 +12,31 @@
 //! marioh stats       --hypergraph h.txt
 //! marioh train       --source src.txt --model model.txt [--features multiplicity|count|motif] [--fraction f] [--seed n]
 //! marioh reconstruct --graph g.txt --model model.txt --out rec.txt [--threads 4]
-//!                    [--theta t] [--ratio r] [--alpha a] [--no-filtering] [--no-bidirectional] [--seed n]
+//!                    [--theta t] [--ratio r] [--alpha a] [--no-filtering] [--no-bidirectional]
+//!                    [--seed n] [--verbose]
 //! marioh eval        --truth tgt.txt --pred rec.txt
 //! ```
+//!
+//! `train` and `reconstruct` are thin shells over the
+//! [`marioh_core::Pipeline`] builder — the same validated entry point the
+//! experiment harness uses. Hyperparameters are checked up front
+//! (`--theta 1.5` is rejected before any work happens), duplicate flags
+//! are an error rather than silently last-wins, and `--verbose` streams
+//! the pipeline's [`marioh_core::ProgressObserver`] events (per-round θ,
+//! commit counts, stage timings) to stderr while results go to stdout.
+//!
+//! Errors are [`MariohError`] end to end; `main` prints them as
+//! `error: {message}` and exits non-zero. The historical [`CliError`]
+//! name remains as an alias.
 //!
 //! The logic lives here (unit-testable); `src/bin/marioh.rs` is a thin
 //! wrapper.
 
 use marioh_core::features::FeatureMode;
-use marioh_core::model::TrainedModel;
-use marioh_core::reconstruct::reconstruct;
-use marioh_core::training::{train_classifier, TrainingConfig};
-use marioh_core::MariohConfig;
+use marioh_core::filtering::FilterStats;
+use marioh_core::reconstruct::ReconstructionReport;
+use marioh_core::search::SearchStats;
+use marioh_core::{MariohError, Pipeline, ProgressObserver, Reconstructor as _};
 use marioh_datasets::split::split_source_target;
 use marioh_datasets::{DatasetStats, PaperDataset};
 use marioh_hypergraph::io;
@@ -31,28 +44,45 @@ use marioh_hypergraph::metrics::{jaccard, multi_jaccard, precision_recall_f1};
 use rand::{rngs::StdRng, SeedableRng};
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
-/// A CLI failure: message for the user, non-zero exit implied.
-#[derive(Debug)]
-pub struct CliError(pub String);
+/// Historical name of the CLI error type; every command now speaks
+/// [`MariohError`] directly.
+pub use marioh_core::MariohError as CliError;
 
-impl std::fmt::Display for CliError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+/// The `--verbose` observer: streams pipeline progress to stderr so
+/// stdout stays machine-readable.
+struct VerboseProgress;
+
+impl ProgressObserver for VerboseProgress {
+    fn on_filtering_done(&self, stats: &FilterStats, secs: f64) {
+        eprintln!(
+            "[filtering] {} pairs certified, {} events extracted, {} edges removed ({secs:.3}s)",
+            stats.pairs_identified, stats.multiplicity_extracted, stats.edges_removed
+        );
     }
-}
 
-impl std::error::Error for CliError {}
-
-impl From<marioh_hypergraph::HypergraphError> for CliError {
-    fn from(e: marioh_hypergraph::HypergraphError) -> Self {
-        CliError(e.to_string())
+    fn on_round(&self, round: usize, theta: f64, stats: &SearchStats) {
+        eprintln!(
+            "[round {round}] θ={theta:.3} cliques={} committed={}+{} subcliques={}",
+            stats.cliques_enumerated,
+            stats.committed_phase1,
+            stats.committed_phase2,
+            stats.subcliques_sampled
+        );
     }
-}
 
-impl From<std::io::Error> for CliError {
-    fn from(e: std::io::Error) -> Self {
-        CliError(e.to_string())
+    fn on_commit(&self, round: usize, committed: usize, total_committed: usize) {
+        eprintln!("[round {round}] +{committed} hyperedges ({total_committed} total from search)");
+    }
+
+    fn on_done(&self, report: &ReconstructionReport) {
+        eprintln!(
+            "[done] filtering {:.3}s, search {:.3}s over {} rounds",
+            report.filtering_secs,
+            report.search_secs,
+            report.rounds.len()
+        );
     }
 }
 
@@ -64,47 +94,62 @@ pub struct Flags {
 }
 
 impl Flags {
-    /// Parses `--key value` / `--switch` style arguments.
-    pub fn parse(args: &[String]) -> Result<Flags, CliError> {
+    /// Parses `--key value` / `--switch` style arguments. Passing the
+    /// same flag twice is an error, not silent last-wins.
+    pub fn parse(args: &[String]) -> Result<Flags, MariohError> {
         let mut flags = Flags::default();
         let mut i = 0;
         while i < args.len() {
             let arg = &args[i];
             let Some(name) = arg.strip_prefix("--") else {
-                return Err(CliError(format!("unexpected positional argument {arg:?}")));
+                return Err(MariohError::Config(format!(
+                    "unexpected positional argument {arg:?}"
+                )));
             };
             // Boolean switches take no value.
-            if matches!(name, "no-filtering" | "no-bidirectional" | "reduced") {
+            if matches!(
+                name,
+                "no-filtering" | "no-bidirectional" | "reduced" | "verbose"
+            ) {
+                if flags.switch(name) {
+                    return Err(MariohError::Config(format!("duplicate flag --{name}")));
+                }
                 flags.switches.push(name.to_owned());
                 i += 1;
                 continue;
             }
             let value = args
                 .get(i + 1)
-                .ok_or_else(|| CliError(format!("flag --{name} needs a value")))?;
-            flags.values.insert(name.to_owned(), value.clone());
+                .ok_or_else(|| MariohError::Config(format!("flag --{name} needs a value")))?;
+            if flags
+                .values
+                .insert(name.to_owned(), value.clone())
+                .is_some()
+            {
+                return Err(MariohError::Config(format!("duplicate flag --{name}")));
+            }
             i += 2;
         }
         Ok(flags)
     }
 
-    fn require(&self, key: &str) -> Result<&str, CliError> {
+    fn require(&self, key: &str) -> Result<&str, MariohError> {
         self.values
             .get(key)
             .map(String::as_str)
-            .ok_or_else(|| CliError(format!("missing required flag --{key}")))
+            .ok_or_else(|| MariohError::Config(format!("missing required flag --{key}")))
     }
 
     fn get(&self, key: &str) -> Option<&str> {
         self.values.get(key).map(String::as_str)
     }
 
-    fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, MariohError> {
         match self.values.get(key) {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| CliError(format!("invalid value for --{key}: {v:?}"))),
+                .map_err(|_| MariohError::Config(format!("invalid value for --{key}: {v:?}"))),
         }
     }
 
@@ -113,7 +158,7 @@ impl Flags {
     }
 }
 
-fn dataset_by_name(name: &str) -> Result<PaperDataset, CliError> {
+fn dataset_by_name(name: &str) -> Result<PaperDataset, MariohError> {
     let all = [
         PaperDataset::Enron,
         PaperDataset::PSchool,
@@ -131,7 +176,7 @@ fn dataset_by_name(name: &str) -> Result<PaperDataset, CliError> {
     all.into_iter()
         .find(|d| d.name().eq_ignore_ascii_case(name))
         .ok_or_else(|| {
-            CliError(format!(
+            MariohError::Config(format!(
                 "unknown dataset {name:?}; known: {}",
                 all.map(|d| d.name()).join(", ")
             ))
@@ -139,7 +184,7 @@ fn dataset_by_name(name: &str) -> Result<PaperDataset, CliError> {
 }
 
 /// Runs one subcommand; returns the text to print on success.
-pub fn run(command: &str, flags: &Flags) -> Result<String, CliError> {
+pub fn run(command: &str, flags: &Flags) -> Result<String, MariohError> {
     match command {
         "generate" => {
             let ds = dataset_by_name(flags.require("dataset")?)?;
@@ -217,17 +262,16 @@ pub fn run(command: &str, flags: &Flags) -> Result<String, CliError> {
                 "multiplicity" => FeatureMode::Multiplicity,
                 "count" => FeatureMode::Count,
                 "motif" => FeatureMode::Motif,
-                other => return Err(CliError(format!("unknown feature mode {other:?}"))),
+                other => return Err(MariohError::Config(format!("unknown feature mode {other:?}"))),
             };
-            let cfg = TrainingConfig {
-                feature_mode: mode,
-                supervision_fraction: flags.get_parsed("fraction", 1.0)?,
-                ..TrainingConfig::default()
-            };
+            let pipeline = Pipeline::builder()
+                .features(mode)
+                .supervision_fraction(flags.get_parsed("fraction", 1.0)?)
+                .build()?;
             let seed = flags.get_parsed("seed", 0u64)?;
             let mut rng = StdRng::seed_from_u64(seed);
-            let model = train_classifier(&source, &cfg, &mut rng);
-            model.save(flags.require("model")?)?;
+            let model = pipeline.train(&source, &mut rng)?;
+            model.model().save(flags.require("model")?)?;
             Ok(format!(
                 "trained a {mode:?} classifier on {} hyperedges; saved to {}",
                 source.unique_edge_count(),
@@ -235,20 +279,23 @@ pub fn run(command: &str, flags: &Flags) -> Result<String, CliError> {
             ))
         }
         "reconstruct" => {
+            // Validate hyperparameters before touching any file.
+            let mut builder = Pipeline::builder()
+                .theta_init(flags.get_parsed("theta", 0.9)?)
+                .neg_ratio(flags.get_parsed("ratio", 20.0)?)
+                .alpha(flags.get_parsed("alpha", 1.0 / 20.0)?)
+                .filtering(!flags.switch("no-filtering"))
+                .bidirectional(!flags.switch("no-bidirectional"))
+                .threads(flags.get_parsed("threads", 1usize)?);
+            if flags.switch("verbose") {
+                builder = builder.observer(Arc::new(VerboseProgress));
+            }
+            let pipeline = builder.build()?;
             let g = io::load_graph(flags.require("graph")?)?;
-            let model = TrainedModel::load(flags.require("model")?)?;
-            let cfg = MariohConfig {
-                theta_init: flags.get_parsed("theta", 0.9)?,
-                neg_ratio: flags.get_parsed("ratio", 20.0)?,
-                alpha: flags.get_parsed("alpha", 1.0 / 20.0)?,
-                use_filtering: !flags.switch("no-filtering"),
-                use_bidirectional: !flags.switch("no-bidirectional"),
-                threads: flags.get_parsed("threads", 1usize)?,
-                ..MariohConfig::default()
-            };
+            let model = pipeline.load_model(flags.require("model")?)?;
             let seed = flags.get_parsed("seed", 0u64)?;
             let mut rng = StdRng::seed_from_u64(seed);
-            let rec = reconstruct(&g, &model, &cfg, &mut rng);
+            let rec = model.reconstruct(&g, &mut rng)?;
             io::save_hypergraph(&rec, flags.require("out")?)?;
             Ok(format!(
                 "reconstructed {} unique hyperedges ({} events) from {} edges",
@@ -267,7 +314,7 @@ pub fn run(command: &str, flags: &Flags) -> Result<String, CliError> {
                 multi_jaccard(&truth, &pred),
             ))
         }
-        other => Err(CliError(format!(
+        other => Err(MariohError::Config(format!(
             "unknown command {other:?}; commands: generate import-benson project split stats train reconstruct eval"
         ))),
     }
@@ -312,6 +359,134 @@ mod tests {
         assert!(f.require("missing").is_err());
         assert!(Flags::parse(&["oops".into()]).is_err());
         assert!(Flags::parse(&["--dangling".into()]).is_err());
+    }
+
+    #[test]
+    fn duplicate_flags_are_rejected() {
+        let err =
+            Flags::parse(&["--seed".into(), "1".into(), "--seed".into(), "2".into()]).unwrap_err();
+        assert!(matches!(&err, MariohError::Config(m) if m == "duplicate flag --seed"));
+        let err = Flags::parse(&["--verbose".into(), "--verbose".into()]).unwrap_err();
+        assert!(matches!(&err, MariohError::Config(m) if m == "duplicate flag --verbose"));
+    }
+
+    #[test]
+    fn reconstruct_rejects_invalid_hyperparameters_up_front() {
+        // The builder catches --theta 1.5 before touching any file.
+        let h_path = tmp("h_invalid.txt");
+        let g_path = tmp("g_invalid.txt");
+        let model = tmp("m_invalid.txt");
+        run(
+            "generate",
+            &flags(&[("dataset", "Hosts"), ("out", &h_path)], &["reduced"]),
+        )
+        .unwrap();
+        run(
+            "project",
+            &flags(&[("hypergraph", &h_path), ("out", &g_path)], &[]),
+        )
+        .unwrap();
+        run(
+            "train",
+            &flags(&[("source", &h_path), ("model", &model)], &[]),
+        )
+        .unwrap();
+        let err = run(
+            "reconstruct",
+            &flags(
+                &[
+                    ("graph", &g_path),
+                    ("model", &model),
+                    ("out", &tmp("r_invalid.txt")),
+                    ("theta", "1.5"),
+                ],
+                &[],
+            ),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, MariohError::Config(m) if m.contains("theta_init")),
+            "{err}"
+        );
+        // --ratio 0 and --threads 0 are also builder-validated.
+        for (key, value, needle) in [("ratio", "0", "neg_ratio"), ("threads", "0", "threads")] {
+            let err = run(
+                "reconstruct",
+                &flags(
+                    &[
+                        ("graph", &g_path),
+                        ("model", &model),
+                        ("out", &tmp("r_invalid.txt")),
+                        (key, value),
+                    ],
+                    &[],
+                ),
+            )
+            .unwrap_err();
+            assert!(
+                matches!(&err, MariohError::Config(m) if m.contains(needle)),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn verbose_reconstruct_runs_end_to_end() {
+        let h_path = tmp("h_verbose.txt");
+        let g_path = tmp("g_verbose.txt");
+        let model = tmp("m_verbose.txt");
+        let rec = tmp("r_verbose.txt");
+        run(
+            "generate",
+            &flags(&[("dataset", "Hosts"), ("out", &h_path)], &["reduced"]),
+        )
+        .unwrap();
+        run(
+            "project",
+            &flags(&[("hypergraph", &h_path), ("out", &g_path)], &[]),
+        )
+        .unwrap();
+        run(
+            "train",
+            &flags(&[("source", &h_path), ("model", &model)], &[]),
+        )
+        .unwrap();
+        let report = run(
+            "reconstruct",
+            &flags(
+                &[("graph", &g_path), ("model", &model), ("out", &rec)],
+                &["verbose"],
+            ),
+        )
+        .unwrap();
+        assert!(report.starts_with("reconstructed"), "{report}");
+    }
+
+    #[test]
+    fn corrupt_model_surfaces_as_model_format_error() {
+        let bad = tmp("bad_model.txt");
+        std::fs::write(&bad, "garbage").unwrap();
+        let g_path = tmp("g_corrupt.txt");
+        let h_path = tmp("h_corrupt.txt");
+        run(
+            "generate",
+            &flags(&[("dataset", "Hosts"), ("out", &h_path)], &["reduced"]),
+        )
+        .unwrap();
+        run(
+            "project",
+            &flags(&[("hypergraph", &h_path), ("out", &g_path)], &[]),
+        )
+        .unwrap();
+        let err = run(
+            "reconstruct",
+            &flags(
+                &[("graph", &g_path), ("model", &bad), ("out", &tmp("r.txt"))],
+                &[],
+            ),
+        )
+        .unwrap_err();
+        assert!(matches!(err, MariohError::ModelFormat(_)), "{err}");
     }
 
     #[test]
@@ -383,10 +558,7 @@ mod tests {
         let out = tmp("benson.txt");
         let report = run(
             "import-benson",
-            &flags(
-                &[("stem", &stem), ("out", &out)],
-                &[],
-            ),
+            &flags(&[("stem", &stem), ("out", &out)], &[]),
         )
         .unwrap();
         assert!(report.contains("2 unique hyperedges"), "{report}");
@@ -396,10 +568,7 @@ mod tests {
         // --reduced folds the duplicate away.
         let report = run(
             "import-benson",
-            &flags(
-                &[("stem", &stem), ("out", &out)],
-                &["reduced"],
-            ),
+            &flags(&[("stem", &stem), ("out", &out)], &["reduced"]),
         )
         .unwrap();
         assert!(report.contains("2 events"), "{report}");

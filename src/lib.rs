@@ -20,8 +20,14 @@
 //!
 //! ## Quickstart
 //!
+//! Everything — the CLI, the experiment harness, the baselines — goes
+//! through one validated entry point: [`core::Pipeline`] builds a
+//! configuration (rejecting invalid hyperparameters at build time), and
+//! the resulting model implements [`core::Reconstructor`], the trait
+//! shared by every method in [`baselines`].
+//!
 //! ```
-//! use marioh::core::{Marioh, MariohConfig, TrainingConfig};
+//! use marioh::core::{Pipeline, Reconstructor};
 //! use marioh::hypergraph::{metrics::jaccard, projection::project};
 //! use marioh::datasets::{split::split_source_target, PaperDataset};
 //! use rand::{rngs::StdRng, SeedableRng};
@@ -31,9 +37,11 @@
 //! let data = PaperDataset::Crime.generate_default();
 //! let (source, target) = split_source_target(&data.hypergraph, &mut rng);
 //!
-//! let model = Marioh::train(&source, &TrainingConfig::default(), &mut rng);
-//! let reconstruction = model.reconstruct(&project(&target), &MariohConfig::default(), &mut rng);
+//! let pipeline = Pipeline::builder().theta_init(0.9).build()?;
+//! let model = pipeline.train(&source, &mut rng)?;
+//! let reconstruction = model.reconstruct(&project(&target), &mut rng)?;
 //! assert!(jaccard(&target, &reconstruction) > 0.5);
+//! # Ok::<(), marioh::core::MariohError>(())
 //! ```
 
 pub mod cli;

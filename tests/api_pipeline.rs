@@ -1,0 +1,254 @@
+//! Integration tests of the unified reconstruction API: builder
+//! validation, cooperative cancellation, and observer semantics as seen
+//! through the `marioh` facade — the same surface the CLI and the
+//! experiment harness consume.
+
+use marioh::core::{
+    CancelToken, FeatureMode, MariohError, Pipeline, ProgressObserver, ReconstructionReport,
+    Reconstructor,
+};
+use marioh::hypergraph::hyperedge::edge;
+use marioh::hypergraph::projection::project;
+use marioh::hypergraph::Hypergraph;
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Mutex;
+
+/// A structured source/target pair large enough for several search
+/// rounds.
+fn toy_pair() -> (Hypergraph, Hypergraph) {
+    let mut source = Hypergraph::new(0);
+    let mut target = Hypergraph::new(0);
+    for b in 0..24u32 {
+        let base = b * 3;
+        let hg = if b % 2 == 0 { &mut source } else { &mut target };
+        hg.add_edge(edge(&[base, base + 1, base + 2]));
+        hg.add_edge(edge(&[base, base + 1]));
+    }
+    (source, target)
+}
+
+type BuildCase = (Box<dyn Fn() -> Result<Pipeline, MariohError>>, &'static str);
+
+#[test]
+fn builder_rejects_every_documented_invalid_hyperparameter() {
+    let cases: Vec<BuildCase> = vec![
+        (
+            Box::new(|| Pipeline::builder().theta_init(0.0).build()),
+            "theta_init",
+        ),
+        (
+            Box::new(|| Pipeline::builder().theta_init(-0.4).build()),
+            "theta_init",
+        ),
+        (
+            Box::new(|| Pipeline::builder().theta_init(1.01).build()),
+            "theta_init",
+        ),
+        (
+            Box::new(|| Pipeline::builder().neg_ratio(0.0).build()),
+            "neg_ratio",
+        ),
+        (
+            Box::new(|| Pipeline::builder().neg_ratio(101.0).build()),
+            "neg_ratio",
+        ),
+        (
+            Box::new(|| Pipeline::builder().neg_ratio(f64::NAN).build()),
+            "neg_ratio",
+        ),
+        (Box::new(|| Pipeline::builder().alpha(0.0).build()), "alpha"),
+        (
+            Box::new(|| Pipeline::builder().alpha(-1.0).build()),
+            "alpha",
+        ),
+        (
+            Box::new(|| Pipeline::builder().alpha(f64::INFINITY).build()),
+            "alpha",
+        ),
+        (
+            Box::new(|| Pipeline::builder().threads(0).build()),
+            "threads",
+        ),
+        (
+            Box::new(|| Pipeline::builder().max_iterations(0).build()),
+            "max_iterations",
+        ),
+        (
+            Box::new(|| Pipeline::builder().supervision_fraction(1.5).build()),
+            "supervision_fraction",
+        ),
+        (
+            Box::new(|| Pipeline::builder().negative_ratio(0.0).build()),
+            "negative_ratio",
+        ),
+        (
+            Box::new(|| Pipeline::builder().hidden_layers(vec![0]).build()),
+            "hidden_layers",
+        ),
+    ];
+    for (build, needle) in cases {
+        match build() {
+            Err(MariohError::Config(msg)) => {
+                assert!(
+                    msg.contains(needle),
+                    "message {msg:?} does not name {needle}"
+                )
+            }
+            other => panic!("expected Config error naming {needle}, got {other:?}"),
+        }
+    }
+    // The paper's defaults and the domain boundaries are accepted.
+    assert!(Pipeline::builder().build().is_ok());
+    assert!(Pipeline::builder()
+        .features(FeatureMode::Count)
+        .theta_init(1.0)
+        .neg_ratio(100.0)
+        .alpha(1.0)
+        .threads(4)
+        .build()
+        .is_ok());
+}
+
+#[test]
+fn pre_cancelled_token_fails_fast() {
+    let (source, target) = toy_pair();
+    let cancel = CancelToken::new();
+    let pipeline = Pipeline::builder()
+        .cancel_token(cancel.clone())
+        .build()
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = pipeline.train(&source, &mut rng).unwrap();
+    cancel.cancel();
+    let err = model.reconstruct(&project(&target), &mut rng).unwrap_err();
+    assert!(matches!(err, MariohError::Cancelled), "{err}");
+}
+
+/// Cancelling *during* the run (from the first round callback, i.e. the
+/// position of a watchdog thread) aborts within one search round: no
+/// later rounds are observed, and the error is `Cancelled`.
+#[test]
+fn mid_search_cancellation_terminates_within_one_round() {
+    struct CancelAfterFirstRound {
+        cancel: CancelToken,
+        rounds_seen: Mutex<usize>,
+    }
+    impl ProgressObserver for CancelAfterFirstRound {
+        fn on_round(&self, _round: usize, _theta: f64, _stats: &marioh::core::search::SearchStats) {
+            *self.rounds_seen.lock().unwrap() += 1;
+            self.cancel.cancel();
+        }
+    }
+
+    let (source, target) = toy_pair();
+    let cancel = CancelToken::new();
+    let observer = std::sync::Arc::new(CancelAfterFirstRound {
+        cancel: cancel.clone(),
+        rounds_seen: Mutex::new(0),
+    });
+    let pipeline = Pipeline::builder()
+        .cancel_token(cancel)
+        .observer(observer.clone())
+        // θ_init = 1.0 with slow decay: sigmoid scores are < 1, so round 1
+        // commits nothing and the graph stays full — an uncancelled run
+        // would need many decay rounds to drain it.
+        .theta_init(1.0)
+        .alpha(0.01)
+        .build()
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = pipeline.train(&source, &mut rng).unwrap();
+    let err = model.reconstruct(&project(&target), &mut rng).unwrap_err();
+    assert!(matches!(err, MariohError::Cancelled), "{err}");
+    // The cancel fired in round 1's callback; the abort happened at the
+    // next boundary, so exactly one round was ever observed.
+    assert_eq!(*observer.rounds_seen.lock().unwrap(), 1);
+}
+
+/// The observer event stream on a toy graph is identical across runs
+/// with the same seed — observers are a pure view of the loop.
+#[test]
+fn observer_event_sequence_is_deterministic_under_a_fixed_seed() {
+    #[derive(Default)]
+    struct Recorder(Mutex<Vec<String>>);
+    impl ProgressObserver for Recorder {
+        fn on_filtering_done(&self, stats: &marioh::core::filtering::FilterStats, _secs: f64) {
+            self.0.lock().unwrap().push(format!(
+                "filter pairs={} events={}",
+                stats.pairs_identified, stats.multiplicity_extracted
+            ));
+        }
+        fn on_round(&self, round: usize, theta: f64, stats: &marioh::core::search::SearchStats) {
+            self.0.lock().unwrap().push(format!(
+                "round {round} theta={theta:.4} committed={}",
+                stats.committed_phase1 + stats.committed_phase2
+            ));
+        }
+        fn on_commit(&self, round: usize, committed: usize, total: usize) {
+            self.0
+                .lock()
+                .unwrap()
+                .push(format!("commit {round} +{committed} ={total}"));
+        }
+        fn on_done(&self, report: &ReconstructionReport) {
+            self.0
+                .lock()
+                .unwrap()
+                .push(format!("done rounds={}", report.rounds.len()));
+        }
+    }
+
+    let (source, target) = toy_pair();
+    let run = || {
+        let recorder = std::sync::Arc::new(Recorder::default());
+        let pipeline = Pipeline::builder()
+            .observer(recorder.clone())
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = pipeline.train(&source, &mut rng).unwrap();
+        let rec = model.reconstruct(&project(&target), &mut rng).unwrap();
+        let events = recorder.0.lock().unwrap().clone();
+        (events, rec)
+    };
+    let (events_a, rec_a) = run();
+    let (events_b, rec_b) = run();
+    assert_eq!(events_a, events_b);
+    assert_eq!(rec_a, rec_b);
+    assert!(events_a.first().unwrap().starts_with("filter"));
+    assert!(events_a.last().unwrap().starts_with("done"));
+    assert!(events_a.iter().any(|e| e.starts_with("commit")));
+}
+
+/// A cancelled pipeline is reusable: clearing nothing, the same trained
+/// model keeps failing, while a fresh un-cancelled pipeline around the
+/// same classifier succeeds — tokens are per-pipeline state, not global.
+#[test]
+fn cancellation_is_scoped_to_the_pipeline_handle() {
+    let (source, target) = toy_pair();
+    let cancel = CancelToken::new();
+    let cancelled_pipeline = Pipeline::builder()
+        .cancel_token(cancel.clone())
+        .build()
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let model = cancelled_pipeline.train(&source, &mut rng).unwrap();
+    cancel.cancel();
+    assert!(model.reconstruct(&project(&target), &mut rng).is_err());
+
+    // Same classifier, fresh pipeline: runs fine.
+    let fresh = Pipeline::builder()
+        .build()
+        .unwrap()
+        .with_model(model.model().clone());
+    let rec = fresh.reconstruct(&project(&target), &mut rng).unwrap();
+    assert!(rec.unique_edge_count() > 0);
+}
+
+/// `CliError` stayed as a name: it is the same type the core emits, so
+/// frontends can match on either path.
+#[test]
+fn cli_error_alias_is_the_core_error() {
+    let e: marioh::cli::CliError = MariohError::Cancelled;
+    assert_eq!(e.to_string(), "reconstruction cancelled");
+}

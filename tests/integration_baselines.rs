@@ -1,10 +1,13 @@
 //! Cross-crate integration tests for the baseline methods: every method
-//! produces structurally valid output on real registry datasets.
+//! produces structurally valid output on real registry datasets, and the
+//! whole zoo satisfies a shared [`ReconstructionMethod`] conformance
+//! contract.
 
 use marioh::baselines::shyre::{ShyreFlavor, ShyreSupervised, ShyreUnsup};
 use marioh::baselines::{
     BayesianMdl, CFinder, CliqueCovering, Demon, MaxClique, ReconstructionMethod,
 };
+use marioh::core::{Pipeline, Variant};
 use marioh::datasets::split::split_source_target;
 use marioh::datasets::PaperDataset;
 use marioh::hypergraph::metrics::jaccard;
@@ -31,12 +34,80 @@ fn assert_edges_are_cliques(rec: &Hypergraph, g: &ProjectedGraph, name: &str) {
     }
 }
 
+/// The shared conformance contract of the core trait: a stable non-empty
+/// name, infallible success on ordinary graphs, determinism under a
+/// fixed seed, and output confined to the input's node set. (Clique-ness
+/// of every hyperedge is NOT part of the contract — community methods
+/// like Demon legitimately merge beyond cliques.)
+fn assert_conformance(method: &dyn ReconstructionMethod, g: &ProjectedGraph, seed: u64) {
+    let name = method.name();
+    assert!(!name.is_empty(), "method with empty name");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rec = method
+        .reconstruct(g, &mut rng)
+        .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+    for (e, _) in rec.iter() {
+        for u in e.nodes() {
+            assert!(
+                u.0 < g.num_nodes(),
+                "{name} invented node {u} beyond the input's {} nodes",
+                g.num_nodes()
+            );
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let again = method
+        .reconstruct(g, &mut rng)
+        .unwrap_or_else(|e| panic!("{name} failed on rerun: {e}"));
+    assert_eq!(rec, again, "{name} is not deterministic under a fixed seed");
+}
+
+#[test]
+fn every_method_satisfies_the_conformance_contract() {
+    let (source, _, g) = fixture();
+    let mut rng = StdRng::seed_from_u64(7);
+    let methods: Vec<Box<dyn ReconstructionMethod>> = vec![
+        Box::new(MaxClique),
+        Box::new(CliqueCovering),
+        Box::new(BayesianMdl::default()),
+        Box::new(ShyreUnsup),
+        Box::new(Demon::default()),
+        Box::new(CFinder::new(3)),
+        Box::new(ShyreSupervised::train(
+            ShyreFlavor::Count,
+            &source,
+            &mut rng,
+        )),
+        Box::new(ShyreSupervised::train(
+            ShyreFlavor::Motif,
+            &source,
+            &mut rng,
+        )),
+        Box::new(
+            Pipeline::builder()
+                .variant(Variant::Full)
+                .build()
+                .expect("defaults are valid")
+                .train(&source, &mut rng)
+                .expect("non-empty source"),
+        ),
+    ];
+    for (i, m) in methods.iter().enumerate() {
+        assert_conformance(m.as_ref(), &g, 100 + i as u64);
+    }
+    // Names are unique across the zoo.
+    let mut names: Vec<&str> = methods.iter().map(|m| m.name()).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), methods.len(), "duplicate method names");
+}
+
 #[test]
 fn clique_decomposition_methods_produce_valid_cliques() {
     let (_, _, g) = fixture();
     let mut rng = StdRng::seed_from_u64(1);
     for method in [&MaxClique as &dyn ReconstructionMethod, &CliqueCovering] {
-        let rec = method.reconstruct(&g, &mut rng);
+        let rec = method.reconstruct(&g, &mut rng).unwrap();
         assert!(rec.unique_edge_count() > 0, "{}", method.name());
         assert_edges_are_cliques(&rec, &g, method.name());
     }
@@ -51,7 +122,7 @@ fn cover_methods_cover_every_edge() {
         &BayesianMdl::default(),
         &ShyreUnsup,
     ] {
-        let rec = method.reconstruct(&g, &mut rng);
+        let rec = method.reconstruct(&g, &mut rng).unwrap();
         for (u, v, _) in g.sorted_edge_list() {
             assert!(
                 rec.iter().any(|(e, _)| e.contains(u) && e.contains(v)),
@@ -67,9 +138,12 @@ fn supervised_shyre_beats_community_methods_on_hosts() {
     let (source, target, g) = fixture();
     let mut rng = StdRng::seed_from_u64(3);
     let shyre = ShyreSupervised::train(ShyreFlavor::Count, &source, &mut rng);
-    let j_shyre = jaccard(&target, &shyre.reconstruct(&g, &mut rng));
-    let j_cfinder = jaccard(&target, &CFinder::new(3).reconstruct(&g, &mut rng));
-    let j_demon = jaccard(&target, &Demon::default().reconstruct(&g, &mut rng));
+    let j_shyre = jaccard(&target, &shyre.reconstruct(&g, &mut rng).unwrap());
+    let j_cfinder = jaccard(&target, &CFinder::new(3).reconstruct(&g, &mut rng).unwrap());
+    let j_demon = jaccard(
+        &target,
+        &Demon::default().reconstruct(&g, &mut rng).unwrap(),
+    );
     assert!(
         j_shyre >= j_cfinder && j_shyre >= j_demon,
         "SHyRe {j_shyre} vs CFinder {j_cfinder} / Demon {j_demon}"
@@ -80,7 +154,7 @@ fn supervised_shyre_beats_community_methods_on_hosts() {
 fn shyre_unsup_preserves_total_weight() {
     let (_, _, g) = fixture();
     let mut rng = StdRng::seed_from_u64(4);
-    let rec = ShyreUnsup.reconstruct(&g, &mut rng);
+    let rec = ShyreUnsup.reconstruct(&g, &mut rng).unwrap();
     assert_eq!(project(&rec).total_weight(), g.total_weight());
 }
 
@@ -97,7 +171,7 @@ fn all_baselines_handle_an_empty_graph() {
         Box::new(CFinder::new(3)),
     ];
     for m in methods {
-        let rec = m.reconstruct(&g, &mut rng);
+        let rec = m.reconstruct(&g, &mut rng).unwrap();
         assert_eq!(rec.unique_edge_count(), 0, "{}", m.name());
     }
 }
@@ -107,7 +181,7 @@ fn motif_flavor_runs_on_registry_data() {
     let (source, target, g) = fixture();
     let mut rng = StdRng::seed_from_u64(6);
     let shyre = ShyreSupervised::train(ShyreFlavor::Motif, &source, &mut rng);
-    let rec = shyre.reconstruct(&g, &mut rng);
+    let rec = shyre.reconstruct(&g, &mut rng).unwrap();
     assert!(jaccard(&target, &rec) > 0.3);
     assert_edges_are_cliques(&rec, &g, "SHyRe-Motif");
 }

@@ -1,7 +1,7 @@
 //! Cross-crate integration tests for the downstream tasks on registry
 //! datasets — the applicability claims of Sect. IV-D at test scale.
 
-use marioh::core::{Marioh, MariohConfig, TrainingConfig};
+use marioh::core::{Marioh, Reconstructor as _, TrainingConfig};
 use marioh::datasets::split::split_source_target;
 use marioh::datasets::PaperDataset;
 use marioh::downstream::{cluster_graph, cluster_hypergraph, link_prediction_auc, LinkPredInput};
@@ -59,7 +59,7 @@ fn reconstruction_link_prediction_close_to_ground_truth() {
     let (source, target) = split_source_target(&reduced, &mut rng);
     let g = project(&target);
     let model = Marioh::train(&source, &TrainingConfig::default(), &mut rng);
-    let rec = model.reconstruct(&g, &MariohConfig::default(), &mut rng);
+    let rec = model.reconstruct(&g, &mut rng).unwrap();
 
     let auc_of = |hg: Option<&marioh::hypergraph::Hypergraph>, seed: u64| {
         let mut rng = StdRng::seed_from_u64(seed);

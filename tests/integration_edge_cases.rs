@@ -25,7 +25,7 @@ fn minimal_hypergraph_pipeline() {
     let model = Marioh::train(&source, &TC::default(), &mut rng);
     let mut target = Hypergraph::new(0);
     target.add_edge(edge(&[0, 1]));
-    let rec = model.reconstruct(&project(&target), &MariohConfig::default(), &mut rng);
+    let rec = model.reconstruct(&project(&target), &mut rng).unwrap();
     assert!(rec.contains(&edge(&[0, 1])));
 }
 
@@ -121,7 +121,7 @@ fn cfinder_k_selection_on_pairs_only() {
     let mut rng = StdRng::seed_from_u64(4);
     let cf = CFinder::select_k(&source, &mut rng);
     assert_eq!(cf.k, 2);
-    let rec = cf.reconstruct(&project(&source), &mut rng);
+    let rec = cf.reconstruct(&project(&source), &mut rng).unwrap();
     assert_eq!(rec.unique_edge_count(), 10);
 }
 
@@ -138,7 +138,7 @@ fn shyre_out_of_distribution_inference() {
     // Target has big cliques the model never saw.
     let mut big = Hypergraph::new(0);
     big.add_edge(edge(&[0, 1, 2, 3, 4, 5, 6]));
-    let rec = model.reconstruct(&project(&big), &mut rng);
+    let rec = model.reconstruct(&project(&big), &mut rng).unwrap();
     // No panic; output may be empty or partial.
     assert!(rec.unique_edge_count() <= 64);
 }

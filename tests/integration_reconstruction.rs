@@ -1,13 +1,17 @@
 //! Cross-crate integration tests: the full train → project → reconstruct
-//! → evaluate pipeline over registry datasets.
+//! → evaluate pipeline over registry datasets, all through the unified
+//! [`Pipeline`] / [`Reconstructor`] API.
 
-use marioh::baselines::{MariohMethod, ReconstructionMethod};
-use marioh::core::{Marioh, MariohConfig, TrainingConfig, Variant};
+use marioh::core::{Pipeline, Reconstructor, Variant};
 use marioh::datasets::split::split_source_target;
 use marioh::datasets::PaperDataset;
 use marioh::hypergraph::metrics::{jaccard, multi_jaccard};
 use marioh::hypergraph::projection::project;
 use rand::{rngs::StdRng, SeedableRng};
+
+fn default_pipeline() -> Pipeline {
+    Pipeline::builder().build().expect("defaults are valid")
+}
 
 /// Affiliation data is the easy regime: the full pipeline should recover
 /// it almost perfectly, like the paper's ≈100 entries.
@@ -18,8 +22,8 @@ fn marioh_recovers_affiliation_datasets() {
         let reduced = data.hypergraph.reduce_multiplicity();
         let mut rng = StdRng::seed_from_u64(1);
         let (source, target) = split_source_target(&reduced, &mut rng);
-        let model = Marioh::train(&source, &TrainingConfig::default(), &mut rng);
-        let rec = model.reconstruct(&project(&target), &MariohConfig::default(), &mut rng);
+        let model = default_pipeline().train(&source, &mut rng).unwrap();
+        let rec = model.reconstruct(&project(&target), &mut rng).unwrap();
         let j = jaccard(&target, &rec);
         assert!(j > 0.85, "{}: Jaccard {j}", data.name);
     }
@@ -33,8 +37,8 @@ fn multiplicity_preserved_reconstruction_carries_multiplicity() {
     let data = PaperDataset::Enron.generate_scaled(0.4);
     let mut rng = StdRng::seed_from_u64(2);
     let (source, target) = split_source_target(&data.hypergraph, &mut rng);
-    let model = Marioh::train(&source, &TrainingConfig::default(), &mut rng);
-    let rec = model.reconstruct(&project(&target), &MariohConfig::default(), &mut rng);
+    let model = default_pipeline().train(&source, &mut rng).unwrap();
+    let rec = model.reconstruct(&project(&target), &mut rng).unwrap();
     assert!(
         rec.iter().any(|(_, m)| m > 1),
         "no hyperedge with multiplicity > 1 reconstructed"
@@ -51,13 +55,13 @@ fn reconstruction_projection_conserves_weight() {
     let mut rng = StdRng::seed_from_u64(3);
     let (source, target) = split_source_target(&data.hypergraph, &mut rng);
     let g = project(&target);
-    let model = Marioh::train(&source, &TrainingConfig::default(), &mut rng);
-    let rec = model.reconstruct(&g, &MariohConfig::default(), &mut rng);
+    let model = default_pipeline().train(&source, &mut rng).unwrap();
+    let rec = model.reconstruct(&g, &mut rng).unwrap();
     assert_eq!(project(&rec).total_weight(), g.total_weight());
 }
 
-/// Every ablation variant runs end-to-end and produces a sane
-/// reconstruction.
+/// Every ablation variant runs end-to-end through the pipeline builder
+/// and produces a sane reconstruction.
 #[test]
 fn all_variants_run_end_to_end() {
     let data = PaperDataset::Hosts.generate_default();
@@ -67,14 +71,14 @@ fn all_variants_run_end_to_end() {
     let g = project(&target);
     for variant in Variant::all() {
         let mut vrng = StdRng::seed_from_u64(10 + variant as u64);
-        let method = MariohMethod::train(
-            variant,
-            &source,
-            &TrainingConfig::default(),
-            &MariohConfig::default(),
-            &mut vrng,
-        );
-        let rec = method.reconstruct(&g, &mut vrng);
+        let method = Pipeline::builder()
+            .variant(variant)
+            .build()
+            .expect("variant defaults are valid")
+            .train(&source, &mut vrng)
+            .expect("non-empty source");
+        assert_eq!(method.name(), variant.name());
+        let rec = method.reconstruct(&g, &mut vrng).unwrap();
         let j = jaccard(&target, &rec);
         assert!(
             j > 0.5,
@@ -91,8 +95,8 @@ fn pipeline_is_deterministic() {
     let run = || {
         let mut rng = StdRng::seed_from_u64(5);
         let (source, target) = split_source_target(&data.hypergraph, &mut rng);
-        let model = Marioh::train(&source, &TrainingConfig::default(), &mut rng);
-        let rec = model.reconstruct(&project(&target), &MariohConfig::default(), &mut rng);
+        let model = default_pipeline().train(&source, &mut rng).unwrap();
+        let rec = model.reconstruct(&project(&target), &mut rng).unwrap();
         (jaccard(&target, &rec), rec.total_edge_count())
     };
     assert_eq!(run(), run());
@@ -107,8 +111,8 @@ fn transfer_across_coauthorship_datasets() {
     let mag = PaperDataset::MagHistory.generate_scaled(1.0 / 16.0);
     let (train_half, _) = split_source_target(&dblp.hypergraph.reduce_multiplicity(), &mut rng);
     let (_, eval_half) = split_source_target(&mag.hypergraph.reduce_multiplicity(), &mut rng);
-    let model = Marioh::train(&train_half, &TrainingConfig::default(), &mut rng);
-    let rec = model.reconstruct(&project(&eval_half), &MariohConfig::default(), &mut rng);
+    let model = default_pipeline().train(&train_half, &mut rng).unwrap();
+    let rec = model.reconstruct(&project(&eval_half), &mut rng).unwrap();
     let j = jaccard(&eval_half, &rec);
     assert!(j > 0.5, "transfer Jaccard {j}");
 }

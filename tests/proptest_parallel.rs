@@ -5,6 +5,7 @@
 use marioh::core::model::FnScorer;
 use marioh::core::parallel::score_cliques;
 use marioh::core::search::{bidirectional_search, bidirectional_search_threaded};
+use marioh::core::CancelToken;
 use marioh::hypergraph::clique::maximal_cliques;
 use marioh::hypergraph::parallel::maximal_cliques_parallel;
 use marioh::hypergraph::{Hypergraph, NodeId, ProjectedGraph};
@@ -82,8 +83,17 @@ proptest! {
             let mut rec = Hypergraph::new(g.num_nodes());
             let mut rng = StdRng::seed_from_u64(3);
             let stats = bidirectional_search_threaded(
-                &mut work, &scorer, 0.3, 60.0, &mut rec, true, t, &mut rng,
-            );
+                &mut work,
+                &scorer,
+                0.3,
+                60.0,
+                &mut rec,
+                true,
+                t,
+                &CancelToken::new(),
+                &mut rng,
+            )
+            .expect("not cancelled");
             (work, rec, stats)
         };
         let (g1, rec1, stats1) = run_serial();
