@@ -1,0 +1,66 @@
+//! Criterion bench: job-service throughput — concurrent submissions of
+//! tiny reconstructions pushed through the HTTP API, the bounded queue,
+//! and the worker pool. Jobs/sec = batch size ÷ reported mean time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use marioh_server::{client, Json, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Submits one tiny job (Crime at 1/10 scale: ~11 hyperedges) and
+/// returns its id.
+fn submit_tiny(addr: SocketAddr, seed: usize) -> u64 {
+    let body = format!(r#"{{"dataset": "Crime", "scale": 0.1, "seed": {seed}}}"#);
+    let response = client::post(addr, "/jobs", &body).expect("submit");
+    assert_eq!(response.status, 201, "{}", response.body);
+    response
+        .json()
+        .expect("valid JSON")
+        .get("id")
+        .and_then(Json::as_u64)
+        .expect("id")
+}
+
+fn drain(addr: SocketAddr, ids: &[u64]) {
+    for id in ids {
+        loop {
+            let view = client::get(addr, &format!("/jobs/{id}"))
+                .expect("poll")
+                .json()
+                .expect("valid JSON");
+            let status = view.get("status").and_then(Json::as_str).expect("status");
+            assert_ne!(status, "failed", "{view:?}");
+            if status == "done" {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+fn bench_server_throughput(c: &mut Criterion) {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 4,
+        queue_cap: 256,
+    })
+    .expect("server");
+    let addr = server.local_addr();
+
+    let mut group = c.benchmark_group("server_jobs_per_sec");
+    for batch in [4usize, 16] {
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| {
+                let ids: Vec<u64> = (0..batch).map(|seed| submit_tiny(addr, seed)).collect();
+                drain(addr, &ids);
+                ids.len()
+            });
+        });
+    }
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_server_throughput);
+criterion_main!(benches);

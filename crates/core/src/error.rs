@@ -41,6 +41,23 @@ impl MariohError {
             MariohError::Io(e)
         }
     }
+
+    /// The process exit code the CLI uses for this error:
+    ///
+    /// | variant | code | |
+    /// |---|---|---|
+    /// | [`MariohError::Config`] | 2 | invalid flags or hyperparameters |
+    /// | [`MariohError::Io`] (incl. substrate-wrapped I/O) | 3 | file or network I/O failure |
+    /// | [`MariohError::Cancelled`] | 130 | interrupted, after `128 + SIGINT` convention |
+    /// | everything else | 1 | generic runtime failure |
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            MariohError::Config(_) => 2,
+            MariohError::Io(_) | MariohError::Hypergraph(HypergraphError::Io(_)) => 3,
+            MariohError::Cancelled => 130,
+            MariohError::ModelFormat(_) | MariohError::Hypergraph(_) => 1,
+        }
+    }
 }
 
 impl fmt::Display for MariohError {
@@ -103,6 +120,25 @@ mod tests {
         assert_eq!(me.to_string(), text);
         use std::error::Error as _;
         assert!(me.source().is_some());
+    }
+
+    #[test]
+    fn exit_codes_distinguish_config_io_and_cancellation() {
+        assert_eq!(MariohError::config("bad flag").exit_code(), 2);
+        assert_eq!(
+            MariohError::from(io::Error::new(io::ErrorKind::NotFound, "gone")).exit_code(),
+            3
+        );
+        assert_eq!(MariohError::Cancelled.exit_code(), 130);
+        assert_eq!(MariohError::ModelFormat("corrupt".into()).exit_code(), 1);
+        assert_eq!(
+            MariohError::from(HypergraphError::InvalidEdge("e".into())).exit_code(),
+            1
+        );
+        // I/O failures wrapped by the hypergraph substrate (file loads in
+        // the CLI) still count as I/O.
+        let wrapped = HypergraphError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert_eq!(MariohError::from(wrapped).exit_code(), 3);
     }
 
     #[test]

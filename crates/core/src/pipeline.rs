@@ -35,7 +35,7 @@ use crate::features::FeatureMode;
 use crate::model::TrainedModel;
 use crate::progress::{CancelToken, NoopObserver, ProgressObserver};
 use crate::reconstruct::{Marioh, MariohConfig};
-use crate::training::{train_classifier, TrainingConfig};
+use crate::training::{train_classifier_cancellable, TrainingConfig};
 use crate::variants::Variant;
 use marioh_hypergraph::{Hypergraph, ProjectedGraph};
 use rand::{Rng, RngCore};
@@ -131,7 +131,10 @@ impl Pipeline {
     ///
     /// # Errors
     ///
-    /// [`MariohError::Config`] if `source` has no hyperedges.
+    /// [`MariohError::Config`] if `source` has no hyperedges;
+    /// [`MariohError::Cancelled`] if the pipeline's [`CancelToken`] fires
+    /// during training (polled between stages and at every optimiser
+    /// epoch, so even train-dominated runs abort promptly).
     pub fn train<R: Rng + ?Sized>(
         &self,
         source: &Hypergraph,
@@ -142,7 +145,8 @@ impl Pipeline {
                 "cannot train on an empty source hypergraph",
             ));
         }
-        Ok(self.with_model(train_classifier(source, &self.training, rng)))
+        let model = train_classifier_cancellable(source, &self.training, rng, &self.cancel)?;
+        Ok(self.with_model(model))
     }
 
     /// Wraps an already-trained classifier (transfer experiments, loaded
@@ -466,6 +470,24 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let err = p.train(&Hypergraph::new(4), &mut rng).unwrap_err();
         assert!(matches!(err, MariohError::Config(_)));
+    }
+
+    #[test]
+    fn train_observes_the_pipeline_cancel_token() {
+        use crate::progress::CancelToken;
+        let cancel = CancelToken::new();
+        let p = Pipeline::builder()
+            .cancel_token(cancel.clone())
+            .build()
+            .unwrap();
+        let mut source = Hypergraph::new(0);
+        for b in 0..12u32 {
+            source.add_edge(edge(&[b * 3, b * 3 + 1, b * 3 + 2]));
+        }
+        cancel.cancel();
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = p.train(&source, &mut rng).unwrap_err();
+        assert!(matches!(err, MariohError::Cancelled), "{err}");
     }
 
     #[test]

@@ -46,6 +46,15 @@ pub trait ProgressObserver: Send + Sync {
     fn on_done(&self, report: &ReconstructionReport) {
         let _ = report;
     }
+
+    /// The run failed with `msg` (not called on cancellation). Fired by
+    /// frontends that drive work on background threads — the job server's
+    /// workers, the `--verbose` CLI — so failures surface through the
+    /// same observer channel as progress, without downcasting the error.
+    /// Default-implemented, so existing observers stay source-compatible.
+    fn on_error(&self, msg: &str) {
+        let _ = msg;
+    }
 }
 
 /// The do-nothing observer used when no observer is attached.
@@ -109,5 +118,19 @@ mod tests {
         o.on_round(1, 0.9, &SearchStats::default());
         o.on_commit(1, 2, 2);
         o.on_done(&ReconstructionReport::default());
+        o.on_error("worker failed");
+    }
+
+    #[test]
+    fn on_error_default_keeps_existing_implementors_source_compatible() {
+        // An observer written before `on_error` existed — implementing
+        // only the original hooks — must still compile and be usable as
+        // a trait object.
+        struct Legacy;
+        impl ProgressObserver for Legacy {
+            fn on_round(&self, _round: usize, _theta: f64, _stats: &SearchStats) {}
+        }
+        let o: &dyn ProgressObserver = &Legacy;
+        o.on_error("ignored by default");
     }
 }

@@ -7,8 +7,10 @@
 //! first, then random sub-cliques of maximal cliques until the requested
 //! negative:positive ratio is met.
 
+use crate::error::MariohError;
 use crate::features::{extract, FeatureMode};
 use crate::model::TrainedModel;
+use crate::progress::CancelToken;
 use marioh_hypergraph::clique::{maximal_cliques, sample_k_subset};
 use marioh_hypergraph::fxhash::FxHashSet;
 use marioh_hypergraph::projection::project;
@@ -150,10 +152,33 @@ pub fn train_classifier<R: Rng + ?Sized>(
     cfg: &TrainingConfig,
     rng: &mut R,
 ) -> TrainedModel {
+    train_classifier_cancellable(source, cfg, rng, &CancelToken::new())
+        .expect("a fresh token never fires")
+}
+
+/// Like [`train_classifier`], but observes `cancel` between stages and
+/// at every optimiser epoch, so a long training run aborts promptly
+/// instead of holding its thread to completion — the entry point the job
+/// server (through [`crate::Pipeline::train`]) relies on. Runs whose
+/// token never fires are bit-identical to [`train_classifier`]: the
+/// cancellation polls draw no randomness.
+///
+/// # Errors
+///
+/// [`MariohError::Cancelled`] once `cancel` fires; no model is returned.
+pub fn train_classifier_cancellable<R: Rng + ?Sized>(
+    source: &Hypergraph,
+    cfg: &TrainingConfig,
+    rng: &mut R,
+    cancel: &CancelToken,
+) -> Result<TrainedModel, MariohError> {
     assert!(
         source.unique_edge_count() > 0,
         "cannot train on an empty source hypergraph"
     );
+    if cancel.is_cancelled() {
+        return Err(MariohError::Cancelled);
+    }
     let reduced;
     let effective: &Hypergraph = if cfg.supervision_fraction < 1.0 {
         reduced = subsample_supervision(source, cfg.supervision_fraction, rng);
@@ -161,12 +186,22 @@ pub fn train_classifier<R: Rng + ?Sized>(
     } else {
         source
     };
+    // Negative sampling enumerates maximal cliques — the other slow
+    // stage besides the optimiser — so poll around it too.
     let set = build_training_set(effective, cfg, rng);
+    if cancel.is_cancelled() {
+        return Err(MariohError::Cancelled);
+    }
     let scaler = StandardScaler::fit(&set.features);
     let scaled = scaler.transform_batch(&set.features);
     let mut mlp = Mlp::new(cfg.feature_mode.dim(), &cfg.hidden, rng);
-    mlp.train(&scaled, &set.labels, &cfg.optimizer, rng);
-    TrainedModel::new(mlp, scaler, cfg.feature_mode)
+    mlp.train_with_stop(&scaled, &set.labels, &cfg.optimizer, rng, &mut || {
+        cancel.is_cancelled()
+    });
+    if cancel.is_cancelled() {
+        return Err(MariohError::Cancelled);
+    }
+    Ok(TrainedModel::new(mlp, scaler, cfg.feature_mode))
 }
 
 #[cfg(test)]

@@ -67,6 +67,45 @@ impl PaperDataset {
         PaperDataset::MagTopCs,
     ];
 
+    /// Every registered dataset: Table I plus the MAG transfer targets.
+    pub const ALL: [PaperDataset; 12] = [
+        PaperDataset::Enron,
+        PaperDataset::PSchool,
+        PaperDataset::HSchool,
+        PaperDataset::Crime,
+        PaperDataset::Hosts,
+        PaperDataset::Directors,
+        PaperDataset::Foursquare,
+        PaperDataset::Dblp,
+        PaperDataset::Eu,
+        PaperDataset::MagTopCs,
+        PaperDataset::MagHistory,
+        PaperDataset::MagGeology,
+    ];
+
+    /// Looks a dataset up by its display name, case-insensitively
+    /// (`"hosts"` → [`PaperDataset::Hosts`]). The shared resolver behind
+    /// both the CLI's `--dataset` flag and the server's `"dataset"` job
+    /// field.
+    pub fn by_name(name: &str) -> Option<PaperDataset> {
+        PaperDataset::ALL
+            .into_iter()
+            .find(|d| d.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Like [`PaperDataset::by_name`], but unknown names produce the
+    /// canonical user-facing message listing every known dataset — the
+    /// single wording shared by the CLI's `--dataset` flag and the
+    /// server's 400 responses.
+    pub fn resolve(name: &str) -> Result<PaperDataset, String> {
+        PaperDataset::by_name(name).ok_or_else(|| {
+            format!(
+                "unknown dataset {name:?}; known: {}",
+                PaperDataset::ALL.map(|d| d.name()).join(", ")
+            )
+        })
+    }
+
     /// Display name matching the paper's tables.
     pub fn name(self) -> &'static str {
         match self {
@@ -354,6 +393,21 @@ mod tests {
         let small = PaperDataset::Foursquare.generate_scaled(0.25);
         let full = PaperDataset::Foursquare.generate_scaled(1.0);
         assert!(full.hypergraph.unique_edge_count() > 3 * small.hypergraph.unique_edge_count());
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive_and_total_over_all() {
+        for d in PaperDataset::ALL {
+            assert_eq!(PaperDataset::by_name(d.name()), Some(d));
+            assert_eq!(PaperDataset::by_name(&d.name().to_lowercase()), Some(d));
+        }
+        assert_eq!(PaperDataset::by_name("no-such-dataset"), None);
+        assert_eq!(PaperDataset::resolve("hosts"), Ok(PaperDataset::Hosts));
+        let err = PaperDataset::resolve("atlantis").unwrap_err();
+        assert!(
+            err.contains("unknown dataset \"atlantis\"") && err.contains("Enron"),
+            "{err}"
+        );
     }
 
     #[test]

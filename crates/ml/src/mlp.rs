@@ -152,6 +152,22 @@ impl Mlp {
         cfg: &TrainConfig,
         rng: &mut R,
     ) -> TrainStats {
+        self.train_with_stop(xs, ys, cfg, rng, &mut || false)
+    }
+
+    /// Like [`Mlp::train`], but polls `stop` at every epoch boundary and
+    /// abandons training early (returning stats for the epochs that ran)
+    /// once it reports `true` — the hook long-running services use for
+    /// cooperative cancellation. `stop` draws no randomness, so a run
+    /// whose hook never fires is bit-identical to [`Mlp::train`].
+    pub fn train_with_stop<R: Rng + ?Sized>(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        cfg: &TrainConfig,
+        rng: &mut R,
+        stop: &mut dyn FnMut() -> bool,
+    ) -> TrainStats {
         assert!(!xs.is_empty(), "empty training set");
         assert_eq!(xs.len(), ys.len(), "features/labels length mismatch");
         assert_eq!(xs[0].len(), self.input_dim(), "feature dimension mismatch");
@@ -165,6 +181,9 @@ impl Mlp {
         let mut final_loss = 0.0;
 
         for _epoch in 0..cfg.epochs {
+            if stop() {
+                break;
+            }
             // Fisher–Yates shuffle.
             for i in (1..n).rev() {
                 let j = rng.gen_range(0..=i);
@@ -282,6 +301,35 @@ impl Mlp {
 mod tests {
     use super::*;
     use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn train_with_stop_halts_at_an_epoch_boundary_and_never_fires_for_train() {
+        let xs: Vec<Vec<f64>> = (0..16).map(|i| vec![f64::from(i % 2)]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
+        let cfg = TrainConfig {
+            epochs: 50,
+            ..TrainConfig::default()
+        };
+        // Stop after 3 epochs: the hook is polled once per epoch.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mlp = Mlp::new(1, &[4], &mut rng);
+        let mut polls = 0u32;
+        mlp.train_with_stop(&xs, &ys, &cfg, &mut rng, &mut || {
+            polls += 1;
+            polls > 3
+        });
+        assert_eq!(polls, 4, "stopped after the third epoch");
+
+        // A never-firing hook is bit-identical to plain train().
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut a = Mlp::new(1, &[4], &mut rng_a);
+        let stats_a = a.train(&xs, &ys, &cfg, &mut rng_a);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let mut b = Mlp::new(1, &[4], &mut rng_b);
+        let stats_b = b.train_with_stop(&xs, &ys, &cfg, &mut rng_b, &mut || false);
+        assert_eq!(stats_a.final_loss, stats_b.final_loss);
+        assert_eq!(a.predict(&xs[0]), b.predict(&xs[0]));
+    }
 
     #[test]
     fn sigmoid_is_stable_and_correct() {

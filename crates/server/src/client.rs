@@ -1,0 +1,127 @@
+//! A tiny std-only blocking HTTP client, just enough to talk to
+//! [`crate::Server`] from integration tests, benches, and examples —
+//! the offline counterpart of a `curl` one-liner.
+
+use crate::json::Json;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Socket timeout for every client operation.
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A decoded HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// The status code from the status line.
+    pub status: u16,
+    /// The response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// Parses the body as JSON.
+    ///
+    /// # Errors
+    ///
+    /// The JSON parser's message when the body is not valid JSON.
+    pub fn json(&self) -> Result<Json, String> {
+        Json::parse(&self.body)
+    }
+}
+
+/// Performs one request (`Connection: close`; one request per
+/// connection) and decodes the response.
+///
+/// # Errors
+///
+/// Transport failures, or `InvalidData` when the peer's response is not
+/// parseable HTTP.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(TIMEOUT))?;
+    stream.set_write_timeout(Some(TIMEOUT))?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8(raw)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response is not UTF-8"))?;
+    let (head, payload) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "response has no header end"))?;
+    let status = head
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed status line in {head:?}"),
+            )
+        })?;
+    Ok(HttpResponse {
+        status,
+        body: payload.to_owned(),
+    })
+}
+
+/// `GET path`.
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<HttpResponse> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST path` with a JSON body.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> io::Result<HttpResponse> {
+    request(addr, "POST", path, Some(body))
+}
+
+/// `DELETE path`.
+pub fn delete(addr: SocketAddr, path: &str) -> io::Result<HttpResponse> {
+    request(addr, "DELETE", path, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerConfig};
+
+    #[test]
+    fn client_speaks_to_a_live_server() {
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            queue_cap: 4,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+
+        let health = get(addr, "/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        assert_eq!(
+            health.json().unwrap().get("status").unwrap().as_str(),
+            Some("ok")
+        );
+
+        let missing = get(addr, "/jobs/12345").unwrap();
+        assert_eq!(missing.status, 404);
+
+        let bad = post(addr, "/jobs", "{").unwrap();
+        assert_eq!(bad.status, 400);
+
+        server.shutdown();
+        // After shutdown the port stops answering.
+        assert!(get(addr, "/healthz").is_err());
+    }
+}

@@ -1,0 +1,958 @@
+//! Job specifications, the bounded FIFO queue, and the in-memory store.
+//!
+//! A [`JobSpec`] describes one reconstruction: its input (a registry
+//! dataset or an uploaded edge list), the MARIOH variant, a seed, and
+//! hyperparameter overrides that are validated through the same
+//! [`Pipeline::builder`] every other frontend uses — an invalid
+//! `theta_init` is rejected at submission with the builder's own message,
+//! never after a worker has picked the job up.
+//!
+//! The [`JobManager`] owns the lifecycle: `Queued → Running →
+//! Done | Failed | Cancelled`. Submission is bounded (a full queue is
+//! backpressure, not memory growth), workers block on a condvar, and
+//! cancellation is cooperative through each job's [`CancelToken`].
+
+use crate::json::Json;
+use marioh_core::{CancelToken, MariohError, Pipeline, PipelineBuilder, Variant};
+use marioh_datasets::PaperDataset;
+use marioh_hypergraph::{io as hio, Hypergraph};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Cap on the per-job [`JobSpec::throttle_ms`] pacing knob.
+pub const MAX_THROTTLE_MS: u64 = 60_000;
+
+/// What a job reconstructs.
+#[derive(Debug, Clone)]
+pub enum JobInput {
+    /// A registry dataset, generated at its fixed per-dataset seed.
+    Dataset {
+        /// Which calibrated dataset to generate.
+        dataset: PaperDataset,
+        /// Generation scale (`None` = the dataset's default scale).
+        scale: Option<f64>,
+    },
+    /// An uploaded hypergraph, parsed from the text edge-list format of
+    /// [`marioh_hypergraph::io`] at submission time.
+    Edges(Hypergraph),
+}
+
+/// Hyperparameter overrides; `None` keeps the builder's default.
+#[derive(Debug, Clone, Default)]
+pub struct JobParams {
+    /// Initial classification threshold `θ_init`.
+    pub theta_init: Option<f64>,
+    /// Negative-prediction processing ratio `r` in percent.
+    pub neg_ratio: Option<f64>,
+    /// Threshold adjust ratio `α`.
+    pub alpha: Option<f64>,
+    /// Worker threads inside one reconstruction.
+    pub threads: Option<usize>,
+    /// Outer-loop round cap.
+    pub max_iterations: Option<usize>,
+    /// Fraction of source hyperedges used as supervision.
+    pub supervision_fraction: Option<f64>,
+    /// Negatives sampled per positive during training.
+    pub negative_ratio: Option<f64>,
+    /// Toggles the provable filtering step.
+    pub filtering: Option<bool>,
+    /// Toggles Phase 2 of the bidirectional search.
+    pub bidirectional: Option<bool>,
+}
+
+/// One reconstruction job as accepted by `POST /jobs`.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The input hypergraph source.
+    pub input: JobInput,
+    /// The MARIOH variant to run.
+    pub variant: Variant,
+    /// Seed driving the split/train/reconstruct RNG.
+    pub seed: u64,
+    /// Pacing knob for load tests and demos: the worker sleeps this many
+    /// milliseconds (cancellable) before starting, and again after each
+    /// search round, so tiny jobs occupy workers for an observable time.
+    pub throttle_ms: u64,
+    /// Hyperparameter overrides.
+    pub params: JobParams,
+}
+
+fn expect_num(key: &str, v: &Json) -> Result<f64, String> {
+    v.as_f64()
+        .ok_or_else(|| format!("hyperparameter {key:?} must be a number"))
+}
+
+fn expect_uint(key: &str, v: &Json) -> Result<u64, String> {
+    v.as_u64()
+        .ok_or_else(|| format!("hyperparameter {key:?} must be a non-negative integer"))
+}
+
+fn expect_bool(key: &str, v: &Json) -> Result<bool, String> {
+    v.as_bool()
+        .ok_or_else(|| format!("hyperparameter {key:?} must be a boolean"))
+}
+
+fn check_unique(kind: &str, pairs: &[(String, Json)]) -> Result<(), String> {
+    for (i, (key, _)) in pairs.iter().enumerate() {
+        if pairs[..i].iter().any(|(k, _)| k == key) {
+            return Err(format!("duplicate {kind} {key:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Resolves a method name (`"MARIOH"`, `"marioh-f"`, …) to its variant.
+pub fn variant_by_name(name: &str) -> Option<Variant> {
+    Variant::all()
+        .into_iter()
+        .find(|v| v.name().eq_ignore_ascii_case(name))
+        .or((name.eq_ignore_ascii_case("full")).then_some(Variant::Full))
+}
+
+impl JobParams {
+    /// Parses the `"params"` object, rejecting duplicate and unknown
+    /// hyperparameters. Values are range-checked later by
+    /// [`JobSpec::validate`], so invalid domains carry the pipeline
+    /// builder's own message.
+    pub fn from_json(v: &Json) -> Result<JobParams, String> {
+        let pairs = v
+            .as_object()
+            .ok_or_else(|| "\"params\" must be an object".to_owned())?;
+        check_unique("hyperparameter", pairs)?;
+        let mut params = JobParams::default();
+        for (key, value) in pairs {
+            match key.as_str() {
+                "theta_init" => params.theta_init = Some(expect_num(key, value)?),
+                "neg_ratio" => params.neg_ratio = Some(expect_num(key, value)?),
+                "alpha" => params.alpha = Some(expect_num(key, value)?),
+                "threads" => params.threads = Some(expect_uint(key, value)? as usize),
+                "max_iterations" => params.max_iterations = Some(expect_uint(key, value)? as usize),
+                "supervision_fraction" => {
+                    params.supervision_fraction = Some(expect_num(key, value)?)
+                }
+                "negative_ratio" => params.negative_ratio = Some(expect_num(key, value)?),
+                "filtering" => params.filtering = Some(expect_bool(key, value)?),
+                "bidirectional" => params.bidirectional = Some(expect_bool(key, value)?),
+                other => {
+                    return Err(format!(
+                        "unknown hyperparameter {other:?}; known: theta_init, neg_ratio, alpha, \
+                         threads, max_iterations, supervision_fraction, negative_ratio, \
+                         filtering, bidirectional"
+                    ))
+                }
+            }
+        }
+        Ok(params)
+    }
+}
+
+impl JobSpec {
+    /// Parses a `POST /jobs` body. Every message this returns is the 400
+    /// response body; hyperparameter *domain* errors are deferred to
+    /// [`JobSpec::validate`] so they carry the builder's wording.
+    pub fn from_json(body: &Json) -> Result<JobSpec, String> {
+        let pairs = body
+            .as_object()
+            .ok_or_else(|| "request body must be a JSON object".to_owned())?;
+        check_unique("field", pairs)?;
+
+        let mut dataset: Option<PaperDataset> = None;
+        let mut scale: Option<f64> = None;
+        let mut edges: Option<Hypergraph> = None;
+        let mut variant = Variant::Full;
+        let mut seed = 0u64;
+        let mut throttle_ms = 0u64;
+        let mut params = JobParams::default();
+        for (key, value) in pairs {
+            match key.as_str() {
+                "dataset" => {
+                    let name = value
+                        .as_str()
+                        .ok_or_else(|| "\"dataset\" must be a string".to_owned())?;
+                    dataset = Some(PaperDataset::resolve(name)?);
+                }
+                "scale" => {
+                    let v = value
+                        .as_f64()
+                        .filter(|v| *v > 0.0)
+                        .ok_or_else(|| "\"scale\" must be a positive number".to_owned())?;
+                    scale = Some(v);
+                }
+                "edges" => {
+                    let text = value
+                        .as_str()
+                        .ok_or_else(|| "\"edges\" must be a string in the hypergraph text format (one `<multiplicity> <node> <node> [...]` record per line)".to_owned())?;
+                    let h = hio::read_hypergraph(text.as_bytes())
+                        .map_err(|e| format!("invalid edge list: {e}"))?;
+                    edges = Some(h);
+                }
+                "method" => {
+                    let name = value
+                        .as_str()
+                        .ok_or_else(|| "\"method\" must be a string".to_owned())?;
+                    variant = variant_by_name(name).ok_or_else(|| {
+                        format!(
+                            "unknown method {name:?}; known: {}",
+                            Variant::all().map(|v| v.name()).join(", ")
+                        )
+                    })?;
+                }
+                "seed" => {
+                    seed = value
+                        .as_u64()
+                        .ok_or_else(|| "\"seed\" must be a non-negative integer".to_owned())?;
+                }
+                "throttle_ms" => {
+                    throttle_ms = value
+                        .as_u64()
+                        .filter(|v| *v <= MAX_THROTTLE_MS)
+                        .ok_or_else(|| {
+                            format!("\"throttle_ms\" must be an integer in [0, {MAX_THROTTLE_MS}]")
+                        })?;
+                }
+                "params" => params = JobParams::from_json(value)?,
+                other => {
+                    return Err(format!(
+                        "unknown field {other:?}; known: dataset, scale, edges, method, seed, \
+                         throttle_ms, params"
+                    ))
+                }
+            }
+        }
+
+        let input = match (dataset, edges) {
+            (Some(dataset), None) => JobInput::Dataset { dataset, scale },
+            (None, Some(h)) => JobInput::Edges(h),
+            (Some(_), Some(_)) => {
+                return Err("provide either \"dataset\" or \"edges\", not both".to_owned())
+            }
+            (None, None) => return Err("provide \"dataset\" or \"edges\"".to_owned()),
+        };
+        if scale.is_some() && matches!(input, JobInput::Edges(_)) {
+            return Err("\"scale\" only applies to registry datasets".to_owned());
+        }
+        Ok(JobSpec {
+            input,
+            variant,
+            seed,
+            throttle_ms,
+            params,
+        })
+    }
+
+    /// Applies variant and overrides to a pipeline builder.
+    pub fn apply(&self, builder: PipelineBuilder) -> PipelineBuilder {
+        let p = &self.params;
+        let mut b = builder.variant(self.variant);
+        if let Some(v) = p.theta_init {
+            b = b.theta_init(v);
+        }
+        if let Some(v) = p.neg_ratio {
+            b = b.neg_ratio(v);
+        }
+        if let Some(v) = p.alpha {
+            b = b.alpha(v);
+        }
+        if let Some(v) = p.threads {
+            b = b.threads(v);
+        }
+        if let Some(v) = p.max_iterations {
+            b = b.max_iterations(v);
+        }
+        if let Some(v) = p.supervision_fraction {
+            b = b.supervision_fraction(v);
+        }
+        if let Some(v) = p.negative_ratio {
+            b = b.negative_ratio(v);
+        }
+        if let Some(v) = p.filtering {
+            b = b.filtering(v);
+        }
+        if let Some(v) = p.bidirectional {
+            b = b.bidirectional(v);
+        }
+        b
+    }
+
+    /// Runs the pipeline builder's validation over the overrides.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the [`MariohError::Config`] the builder produces — the
+    /// HTTP layer forwards its message verbatim as the 400 body.
+    pub fn validate(&self) -> Result<(), MariohError> {
+        self.apply(Pipeline::builder()).build().map(|_| ())
+    }
+}
+
+/// The lifecycle states of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted, waiting in the FIFO queue.
+    Queued,
+    /// Picked up by a worker.
+    Running,
+    /// Finished successfully; the result is available.
+    Done,
+    /// Finished with an error (see the job's `error`).
+    Failed,
+    /// Cancelled, by `DELETE /jobs/:id` or server shutdown.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// The lower-case wire name used in JSON responses.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+            JobStatus::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the job can no longer change state.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled
+        )
+    }
+}
+
+impl std::fmt::Display for JobStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A successful reconstruction.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The reconstructed hypergraph.
+    pub reconstruction: Hypergraph,
+    /// Jaccard similarity against the held-out target half.
+    pub jaccard: f64,
+}
+
+/// A point-in-time snapshot of one job, as served by `GET /jobs/:id`.
+#[derive(Debug, Clone)]
+pub struct JobView {
+    /// Job id.
+    pub id: u64,
+    /// Current lifecycle state.
+    pub status: JobStatus,
+    /// Search rounds completed so far.
+    pub rounds: usize,
+    /// Hyperedges committed by the search so far.
+    pub committed: usize,
+    /// Failure message, present for failed jobs.
+    pub error: Option<String>,
+}
+
+/// Aggregate counters served by `GET /stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Jobs waiting in the queue.
+    pub queue_depth: usize,
+    /// Jobs currently held by workers.
+    pub running: usize,
+    /// Size of the worker pool.
+    pub workers: usize,
+    /// Queue capacity.
+    pub queue_cap: usize,
+    /// Jobs accepted since startup.
+    pub submitted: u64,
+    /// Jobs that reached a terminal state since startup.
+    pub finished: u64,
+}
+
+/// Why a submission was rejected.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// Invalid specification; the message is the 400 response body.
+    Invalid(String),
+    /// The queue is at capacity; the client should retry later (503).
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Invalid(msg) => f.write_str(msg),
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "job queue is full (capacity {capacity}); retry later")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Terminal job records retained for polling before the oldest are
+/// evicted — the queue capacity bounds queued work, this bounds the
+/// store itself, so a long-lived server's memory does not grow without
+/// limit. Evicted ids answer 404, like unknown ones.
+const MAX_RETAINED_JOBS: usize = 1024;
+
+struct JobRecord {
+    /// Taken (not cloned) by the worker that dispatches the job.
+    spec: Option<JobSpec>,
+    status: JobStatus,
+    rounds: usize,
+    committed: usize,
+    error: Option<String>,
+    /// Shared, not cloned, on reads: results can be large hypergraphs
+    /// and [`JobManager::result`] runs under the store lock.
+    result: Option<Arc<JobResult>>,
+    cancel: CancelToken,
+}
+
+struct State {
+    next_id: u64,
+    queue: VecDeque<u64>,
+    jobs: HashMap<u64, JobRecord>,
+    /// Terminal job ids in completion order, for retention eviction.
+    terminal_order: VecDeque<u64>,
+    shutdown: bool,
+    running: usize,
+    submitted: u64,
+    finished: u64,
+}
+
+impl State {
+    /// Counts a job that just reached a terminal state and evicts the
+    /// oldest terminal records beyond the retention cap.
+    fn note_terminal(&mut self, id: u64, retain: usize) {
+        self.finished += 1;
+        self.terminal_order.push_back(id);
+        while self.terminal_order.len() > retain {
+            if let Some(evicted) = self.terminal_order.pop_front() {
+                self.jobs.remove(&evicted);
+            }
+        }
+    }
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work_ready: Condvar,
+    queue_cap: usize,
+    workers: usize,
+    retain: usize,
+}
+
+/// The concurrent job queue and store. Cheap to clone; all clones share
+/// one store.
+#[derive(Clone)]
+pub struct JobManager {
+    shared: Arc<Shared>,
+}
+
+/// A job handed to a worker by [`JobManager::take_next`].
+pub struct DispatchedJob {
+    /// Job id, for progress reports and [`JobManager::finish`].
+    pub id: u64,
+    /// The specification (ownership moves to the worker).
+    pub spec: JobSpec,
+    /// The token `DELETE /jobs/:id` and shutdown fire.
+    pub cancel: CancelToken,
+}
+
+impl JobManager {
+    /// A manager with the given queue capacity, reporting `workers` in
+    /// its stats (the worker pool itself lives in the server). Retains
+    /// the [`MAX_RETAINED_JOBS`] most recent terminal records.
+    pub fn new(queue_cap: usize, workers: usize) -> JobManager {
+        JobManager::with_retention(queue_cap, workers, MAX_RETAINED_JOBS)
+    }
+
+    fn with_retention(queue_cap: usize, workers: usize, retain: usize) -> JobManager {
+        JobManager {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    next_id: 1,
+                    queue: VecDeque::new(),
+                    jobs: HashMap::new(),
+                    terminal_order: VecDeque::new(),
+                    shutdown: false,
+                    running: 0,
+                    submitted: 0,
+                    finished: 0,
+                }),
+                work_ready: Condvar::new(),
+                queue_cap,
+                workers,
+                retain,
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.shared.state.lock().expect("job store lock poisoned")
+    }
+
+    /// Validates and enqueues a job, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Invalid`] with the pipeline builder's message for
+    /// bad hyperparameters (or when shutting down);
+    /// [`SubmitError::QueueFull`] when the queue is at capacity.
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
+        spec.validate()
+            .map_err(|e| SubmitError::Invalid(e.to_string()))?;
+        let mut state = self.lock();
+        if state.shutdown {
+            return Err(SubmitError::Invalid(
+                "server is shutting down; not accepting jobs".to_owned(),
+            ));
+        }
+        if state.queue.len() >= self.shared.queue_cap {
+            return Err(SubmitError::QueueFull {
+                capacity: self.shared.queue_cap,
+            });
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        state.jobs.insert(
+            id,
+            JobRecord {
+                spec: Some(spec),
+                status: JobStatus::Queued,
+                rounds: 0,
+                committed: 0,
+                error: None,
+                result: None,
+                cancel: CancelToken::new(),
+            },
+        );
+        state.queue.push_back(id);
+        state.submitted += 1;
+        self.shared.work_ready.notify_one();
+        Ok(id)
+    }
+
+    /// Blocks until a job is available (FIFO) or the manager shuts down
+    /// (`None`). Marks the job `Running`.
+    pub fn take_next(&self) -> Option<DispatchedJob> {
+        let mut state = self.lock();
+        loop {
+            if state.shutdown {
+                return None;
+            }
+            if let Some(id) = state.queue.pop_front() {
+                state.running += 1;
+                let record = state.jobs.get_mut(&id).expect("queued job exists");
+                record.status = JobStatus::Running;
+                let spec = record.spec.take().expect("spec taken once");
+                let cancel = record.cancel.clone();
+                return Some(DispatchedJob { id, spec, cancel });
+            }
+            state = self
+                .shared
+                .work_ready
+                .wait(state)
+                .expect("job store lock poisoned");
+        }
+    }
+
+    /// Records a finished job. A job already cancelled through
+    /// [`JobManager::cancel`] stays `Cancelled` regardless of `outcome`.
+    pub fn finish(&self, id: u64, outcome: Result<JobResult, MariohError>) {
+        let mut state = self.lock();
+        state.running = state.running.saturating_sub(1);
+        let Some(record) = state.jobs.get_mut(&id) else {
+            return;
+        };
+        if record.status.is_terminal() {
+            return; // cancelled mid-run; the DELETE already counted it
+        }
+        match outcome {
+            Ok(result) => {
+                record.status = JobStatus::Done;
+                record.result = Some(Arc::new(result));
+            }
+            Err(MariohError::Cancelled) => record.status = JobStatus::Cancelled,
+            Err(e) => {
+                record.status = JobStatus::Failed;
+                // The worker's `on_error` observer usually got here
+                // first; keep its message rather than overwriting.
+                record.error.get_or_insert_with(|| e.to_string());
+            }
+        }
+        state.note_terminal(id, self.shared.retain);
+    }
+
+    /// Cancels a job: de-queues it if still queued, fires its token if
+    /// running. Terminal jobs are left unchanged. Returns the resulting
+    /// status, or `None` for unknown ids.
+    pub fn cancel(&self, id: u64) -> Option<JobStatus> {
+        let mut state = self.lock();
+        let record = state.jobs.get(&id)?;
+        if record.status.is_terminal() {
+            return Some(record.status);
+        }
+        if record.status == JobStatus::Queued {
+            state.queue.retain(|q| *q != id);
+        }
+        let record = state.jobs.get_mut(&id).expect("checked above");
+        record.cancel.cancel();
+        record.status = JobStatus::Cancelled;
+        // A cancelled-while-queued spec (possibly a multi-MB uploaded
+        // hypergraph) would otherwise sit in the retained record.
+        record.spec = None;
+        state.note_terminal(id, self.shared.retain);
+        Some(JobStatus::Cancelled)
+    }
+
+    /// A snapshot of one job, or `None` for unknown ids.
+    pub fn view(&self, id: u64) -> Option<JobView> {
+        let state = self.lock();
+        let record = state.jobs.get(&id)?;
+        Some(JobView {
+            id,
+            status: record.status,
+            rounds: record.rounds,
+            committed: record.committed,
+            error: record.error.clone(),
+        })
+    }
+
+    /// The job's status and (for done jobs) a shared handle to its
+    /// result. An `Arc` clone, so large reconstructions are never copied
+    /// under the store lock.
+    pub fn result(&self, id: u64) -> Option<(JobStatus, Option<Arc<JobResult>>)> {
+        let state = self.lock();
+        let record = state.jobs.get(&id)?;
+        Some((record.status, record.result.clone()))
+    }
+
+    /// Records a completed search round for `id`.
+    pub fn record_round(&self, id: u64, round: usize) {
+        if let Some(record) = self.lock().jobs.get_mut(&id) {
+            record.rounds = record.rounds.max(round);
+        }
+    }
+
+    /// Records the cumulative commit total for `id`.
+    pub fn record_commit(&self, id: u64, total_committed: usize) {
+        if let Some(record) = self.lock().jobs.get_mut(&id) {
+            record.committed = total_committed;
+        }
+    }
+
+    /// Records a worker-side failure message for `id`.
+    pub fn record_error(&self, id: u64, msg: &str) {
+        if let Some(record) = self.lock().jobs.get_mut(&id) {
+            record.error = Some(msg.to_owned());
+        }
+    }
+
+    /// Aggregate queue/worker counters.
+    pub fn stats(&self) -> ServerStats {
+        let state = self.lock();
+        ServerStats {
+            queue_depth: state.queue.len(),
+            running: state.running,
+            workers: self.shared.workers,
+            queue_cap: self.shared.queue_cap,
+            submitted: state.submitted,
+            finished: state.finished,
+        }
+    }
+
+    /// Stops accepting and dispatching work: cancels every queued job,
+    /// fires the tokens of running jobs, and wakes all blocked
+    /// [`JobManager::take_next`] calls.
+    pub fn shutdown(&self) {
+        let mut state = self.lock();
+        state.shutdown = true;
+        while let Some(id) = state.queue.pop_front() {
+            let record = state.jobs.get_mut(&id).expect("queued job exists");
+            record.cancel.cancel();
+            record.status = JobStatus::Cancelled;
+            record.spec = None;
+            state.note_terminal(id, self.shared.retain);
+        }
+        for record in state.jobs.values() {
+            if record.status == JobStatus::Running {
+                record.cancel.cancel();
+            }
+        }
+        self.shared.work_ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marioh_hypergraph::hyperedge::edge;
+
+    fn tiny_spec() -> JobSpec {
+        JobSpec::from_json(&Json::parse(r#"{"dataset": "Hosts"}"#).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn spec_parses_dataset_method_seed_and_params() {
+        let body = Json::parse(
+            r#"{"dataset": "hosts", "method": "MARIOH-F", "seed": 9,
+                "throttle_ms": 5, "scale": 0.5,
+                "params": {"theta_init": 0.8, "threads": 2, "filtering": false}}"#,
+        )
+        .unwrap();
+        let spec = JobSpec::from_json(&body).unwrap();
+        assert!(matches!(
+            spec.input,
+            JobInput::Dataset {
+                dataset: PaperDataset::Hosts,
+                scale: Some(s)
+            } if s == 0.5
+        ));
+        assert_eq!(spec.variant, Variant::NoFiltering);
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.throttle_ms, 5);
+        assert_eq!(spec.params.theta_init, Some(0.8));
+        assert_eq!(spec.params.threads, Some(2));
+        assert_eq!(spec.params.filtering, Some(false));
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn spec_accepts_uploaded_edges() {
+        let mut h = marioh_hypergraph::Hypergraph::new(0);
+        h.add_edge_with_multiplicity(edge(&[0, 1, 2]), 2);
+        h.add_edge(edge(&[1, 3]));
+        let mut text = Vec::new();
+        hio::write_hypergraph(&h, &mut text).unwrap();
+        let body = Json::Obj(vec![(
+            "edges".to_owned(),
+            Json::str(String::from_utf8(text).unwrap()),
+        )]);
+        let spec = JobSpec::from_json(&body).unwrap();
+        match spec.input {
+            JobInput::Edges(parsed) => {
+                assert_eq!(parsed.unique_edge_count(), 2);
+                assert_eq!(parsed.total_edge_count(), 3);
+            }
+            other => panic!("expected edges input, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spec_rejections_name_the_offence() {
+        for (body, needle) in [
+            (r#"[]"#, "must be a JSON object"),
+            (r#"{}"#, "provide \"dataset\" or \"edges\""),
+            (r#"{"dataset": "nope"}"#, "unknown dataset"),
+            (r#"{"dataset": "Hosts", "edges": "1 0 1"}"#, "not both"),
+            (
+                r#"{"dataset": "Hosts", "dataset": "Crime"}"#,
+                "duplicate field \"dataset\"",
+            ),
+            (
+                r#"{"dataset": "Hosts", "bogus": 1}"#,
+                "unknown field \"bogus\"",
+            ),
+            (
+                r#"{"dataset": "Hosts", "method": "pagerank"}"#,
+                "unknown method",
+            ),
+            (r#"{"dataset": "Hosts", "seed": -1}"#, "\"seed\""),
+            (r#"{"dataset": "Hosts", "scale": 0}"#, "\"scale\""),
+            (
+                r#"{"dataset": "Hosts", "throttle_ms": 999999}"#,
+                "throttle_ms",
+            ),
+            (r#"{"edges": "not numbers"}"#, "invalid edge list"),
+            (
+                r#"{"edges": "1 0 1", "scale": 2}"#,
+                "only applies to registry datasets",
+            ),
+            (
+                r#"{"dataset": "Hosts", "params": {"theta_init": 0.9, "theta_init": 0.8}}"#,
+                "duplicate hyperparameter \"theta_init\"",
+            ),
+            (
+                r#"{"dataset": "Hosts", "params": {"volume": 11}}"#,
+                "unknown hyperparameter",
+            ),
+            (
+                r#"{"dataset": "Hosts", "params": {"threads": 1.5}}"#,
+                "non-negative integer",
+            ),
+            (
+                r#"{"dataset": "Hosts", "params": {"filtering": 1}}"#,
+                "must be a boolean",
+            ),
+        ] {
+            let err = JobSpec::from_json(&Json::parse(body).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{body} -> {err}");
+        }
+    }
+
+    #[test]
+    fn validate_produces_the_builder_message_verbatim() {
+        let body = Json::parse(r#"{"dataset": "Hosts", "params": {"theta_init": 1.5}}"#).unwrap();
+        let spec = JobSpec::from_json(&body).unwrap();
+        let got = spec.validate().unwrap_err().to_string();
+        let expected = Pipeline::builder()
+            .theta_init(1.5)
+            .build()
+            .unwrap_err()
+            .to_string();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn lifecycle_queued_running_done() {
+        let m = JobManager::new(4, 1);
+        let id = m.submit(tiny_spec()).unwrap();
+        assert_eq!(m.view(id).unwrap().status, JobStatus::Queued);
+        assert_eq!(m.stats().queue_depth, 1);
+
+        let job = m.take_next().unwrap();
+        assert_eq!(job.id, id);
+        assert_eq!(m.view(id).unwrap().status, JobStatus::Running);
+        assert_eq!(m.stats().running, 1);
+
+        m.record_round(id, 3);
+        m.record_commit(id, 17);
+        let mut h = marioh_hypergraph::Hypergraph::new(0);
+        h.add_edge(edge(&[0, 1]));
+        m.finish(
+            id,
+            Ok(JobResult {
+                reconstruction: h,
+                jaccard: 1.0,
+            }),
+        );
+        let view = m.view(id).unwrap();
+        assert_eq!(view.status, JobStatus::Done);
+        assert_eq!(view.rounds, 3);
+        assert_eq!(view.committed, 17);
+        let stats = m.stats();
+        assert_eq!((stats.running, stats.finished, stats.submitted), (0, 1, 1));
+        assert!(m.result(id).unwrap().1.is_some());
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_at_submit_with_builder_message() {
+        let m = JobManager::new(4, 1);
+        let body = Json::parse(r#"{"dataset": "Hosts", "params": {"theta_init": 1.5}}"#).unwrap();
+        let err = m.submit(JobSpec::from_json(&body).unwrap()).unwrap_err();
+        let expected = Pipeline::builder()
+            .theta_init(1.5)
+            .build()
+            .unwrap_err()
+            .to_string();
+        assert!(
+            matches!(&err, SubmitError::Invalid(m) if *m == expected),
+            "{err}"
+        );
+        assert_eq!(m.stats().submitted, 0);
+    }
+
+    #[test]
+    fn queue_capacity_is_enforced() {
+        let m = JobManager::new(2, 1);
+        m.submit(tiny_spec()).unwrap();
+        m.submit(tiny_spec()).unwrap();
+        let err = m.submit(tiny_spec()).unwrap_err();
+        assert!(
+            matches!(err, SubmitError::QueueFull { capacity: 2 }),
+            "{err}"
+        );
+        // Draining one slot re-opens the queue.
+        let job = m.take_next().unwrap();
+        m.submit(tiny_spec()).unwrap();
+        m.finish(job.id, Err(MariohError::config("boom")));
+        assert_eq!(m.view(job.id).unwrap().status, JobStatus::Failed);
+    }
+
+    #[test]
+    fn cancel_dequeues_queued_jobs_and_fires_running_tokens() {
+        let m = JobManager::new(8, 1);
+        let queued = m.submit(tiny_spec()).unwrap();
+        assert_eq!(m.cancel(queued), Some(JobStatus::Cancelled));
+        assert_eq!(m.stats().queue_depth, 0);
+        // The queue no longer hands it out.
+        let running = m.submit(tiny_spec()).unwrap();
+        let job = m.take_next().unwrap();
+        assert_eq!(job.id, running);
+        assert!(!job.cancel.is_cancelled());
+        assert_eq!(m.cancel(running), Some(JobStatus::Cancelled));
+        assert!(job.cancel.is_cancelled());
+        // The worker's report afterwards cannot resurrect the job...
+        m.finish(running, Err(MariohError::Cancelled));
+        assert_eq!(m.view(running).unwrap().status, JobStatus::Cancelled);
+        // ...and it was counted terminal exactly once.
+        assert_eq!(m.stats().finished, 2);
+        // Cancelling a terminal or unknown job is a no-op.
+        assert_eq!(m.cancel(running), Some(JobStatus::Cancelled));
+        assert_eq!(m.stats().finished, 2);
+        assert_eq!(m.cancel(999), None);
+    }
+
+    #[test]
+    fn terminal_records_are_evicted_beyond_the_retention_cap() {
+        let m = JobManager::with_retention(4, 1, 3);
+        let ids: Vec<u64> = (0..5)
+            .map(|_| {
+                let id = m.submit(tiny_spec()).unwrap();
+                let job = m.take_next().unwrap();
+                assert_eq!(job.id, id);
+                m.finish(id, Err(MariohError::config("boom")));
+                id
+            })
+            .collect();
+        // Only the three most recent terminal records remain; evicted
+        // ids behave exactly like unknown ones.
+        for old in &ids[..2] {
+            assert!(m.view(*old).is_none());
+            assert!(m.result(*old).is_none());
+            assert_eq!(m.cancel(*old), None);
+        }
+        for recent in &ids[2..] {
+            assert_eq!(m.view(*recent).unwrap().status, JobStatus::Failed);
+        }
+        // Counters are history, not store size: eviction leaves them.
+        assert_eq!(m.stats().finished, 5);
+    }
+
+    #[test]
+    fn shutdown_wakes_blocked_workers_and_cancels_queued_jobs() {
+        let m = JobManager::new(8, 1);
+        let waiter = {
+            let m = m.clone();
+            std::thread::spawn(move || m.take_next().map(|j| j.id))
+        };
+        let id = m.submit(tiny_spec()).unwrap();
+        // The waiter takes the only job; give it a moment.
+        while m.stats().running == 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(waiter.join().unwrap(), Some(id));
+
+        let queued = m.submit(tiny_spec()).unwrap();
+        let blocked = {
+            let m = m.clone();
+            std::thread::spawn(move || m.take_next().map(|j| j.id))
+        };
+        // `queued` may be taken by `blocked` before shutdown; either way
+        // the thread must return promptly after shutdown.
+        m.shutdown();
+        let taken = blocked.join().unwrap();
+        if taken.is_none() {
+            assert_eq!(m.view(queued).unwrap().status, JobStatus::Cancelled);
+        }
+        assert!(matches!(
+            m.submit(tiny_spec()),
+            Err(SubmitError::Invalid(msg)) if msg.contains("shutting down")
+        ));
+    }
+}

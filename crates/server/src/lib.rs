@@ -1,0 +1,81 @@
+//! `marioh-server`: a concurrent reconstruction service.
+//!
+//! Reconstruction is a long-running batch job — the paper's scalability
+//! study (Fig. 7) runs minutes per dataset — so the serving shape is a
+//! submit/poll/cancel job API rather than a blocking request/response.
+//! This crate turns the validated [`marioh_core::Pipeline`] into exactly
+//! that: jobs enter a bounded FIFO [`job::JobManager`], a pool of worker
+//! threads drains it, and a dependency-free HTTP/1.1 front
+//! (`std::net::TcpListener`; the build environment is offline) exposes
+//! the lifecycle.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  client ──HTTP──▶ accept loop ──▶ router ──▶ JobManager (bounded FIFO + store)
+//!                                                 ▲   │ take_next()
+//!                                    progress via │   ▼
+//!                                    ProgressObserver  worker pool ──▶ Pipeline
+//!                                    + CancelToken     (split → train → reconstruct)
+//! ```
+//!
+//! # Endpoints
+//!
+//! | method & path | purpose | success | failures |
+//! |---|---|---|---|
+//! | `POST /jobs` | submit a job | 201 `{id, status}` | 400 invalid spec, 503 queue full |
+//! | `GET /jobs/:id` | status + progress | 200 `{id, status, progress, error?}` | 404 |
+//! | `GET /jobs/:id/result` | reconstructed hyperedges | 200 `{id, jaccard, edges}` | 404, 409 not done |
+//! | `DELETE /jobs/:id` | cancel (queued or running) | 200 `{id, status}` | 404 |
+//! | `GET /healthz` | liveness | 200 `{status: "ok"}` | — |
+//! | `GET /stats` | queue depth, busy workers, totals | 200 | — |
+//!
+//! A job body names a registry dataset or uploads an edge list, picks a
+//! method variant, and overrides hyperparameters — which are validated
+//! through [`marioh_core::Pipeline::builder`] *at submission*, so an
+//! invalid `theta_init` is a 400 carrying the builder's own message:
+//!
+//! ```json
+//! {"dataset": "Hosts", "method": "MARIOH", "seed": 7,
+//!  "params": {"theta_init": 0.9, "threads": 2}}
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use marioh_server::{client, Server, ServerConfig};
+//!
+//! let server = Server::start(ServerConfig::default())?; // 127.0.0.1, ephemeral port
+//! let addr = server.local_addr();
+//! let accepted = client::post(addr, "/jobs", r#"{"dataset": "Hosts", "seed": 1}"#)?;
+//! assert_eq!(accepted.status, 201);
+//! let id = accepted.json().unwrap().get("id").unwrap().as_u64().unwrap();
+//! // Poll GET /jobs/{id} until terminal, then fetch /jobs/{id}/result …
+//! let status = client::get(addr, &format!("/jobs/{id}"))?;
+//! assert_eq!(status.status, 200);
+//! server.shutdown(); // cancels in-flight jobs cooperatively
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Cancellation is cooperative end to end: `DELETE /jobs/:id` fires the
+//! job's [`marioh_core::CancelToken`], which training polls at every
+//! optimiser epoch and the reconstruction loop at every round boundary —
+//! a running job terminates within one epoch or one search round of
+//! whatever stage it is in. [`Server::shutdown`] does the same for every
+//! in-flight job.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod job;
+pub mod json;
+pub mod server;
+mod worker;
+
+pub use job::{
+    JobInput, JobManager, JobParams, JobResult, JobSpec, JobStatus, JobView, ServerStats,
+    SubmitError,
+};
+pub use json::Json;
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,461 @@
+//! The HTTP front of the job service: socket handling, routing, and
+//! graceful shutdown.
+//!
+//! One short-lived thread per connection (requests are small and answered
+//! from the in-memory store; the heavy lifting happens on the worker
+//! pool), a non-blocking accept loop so shutdown never hangs in
+//! `accept(2)`, and `Connection: close` semantics throughout.
+
+use crate::http::{error_body, read_request, write_response, Request};
+use crate::job::{JobManager, JobSpec, JobStatus, SubmitError};
+use crate::json::Json;
+use crate::worker::spawn_workers;
+use marioh_core::MariohError;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the accept loop sleeps between polls when idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// Per-connection socket read/write timeout.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Configuration of [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads executing reconstruction jobs.
+    pub workers: usize,
+    /// Capacity of the job queue (further submissions get 503).
+    pub queue_cap: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_cap: 64,
+        }
+    }
+}
+
+/// A running reconstruction service.
+///
+/// Dropping the handle leaks the background threads; call
+/// [`Server::shutdown`] for a graceful stop that cancels in-flight jobs.
+pub struct Server {
+    addr: SocketAddr,
+    manager: JobManager,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and the accept loop, and returns.
+    ///
+    /// # Errors
+    ///
+    /// [`MariohError::Config`] for a zero worker count or queue capacity,
+    /// [`MariohError::Io`] when the address cannot be bound.
+    pub fn start(config: ServerConfig) -> Result<Server, MariohError> {
+        if config.workers == 0 {
+            return Err(MariohError::config("workers must be >= 1 (got 0)"));
+        }
+        if config.queue_cap == 0 {
+            return Err(MariohError::config("queue capacity must be >= 1 (got 0)"));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let manager = JobManager::new(config.queue_cap, config.workers);
+        let worker_threads = spawn_workers(&manager, config.workers);
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let manager = manager.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("marioh-accept".to_owned())
+                .spawn(move || accept_loop(listener, manager, stop))
+                .expect("spawn accept thread")
+        };
+        Ok(Server {
+            addr,
+            manager,
+            stop,
+            accept_thread: Some(accept_thread),
+            worker_threads,
+        })
+    }
+
+    /// The bound address (the actual port when configured with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared job manager (stats, direct submission in benches).
+    pub fn manager(&self) -> &JobManager {
+        &self.manager
+    }
+
+    /// Graceful shutdown: stop accepting connections, cancel every queued
+    /// and running job, and join the worker pool. Running jobs observe
+    /// their [`marioh_core::CancelToken`] at the next training epoch or
+    /// search-round boundary, so shutdown completes within one such step
+    /// of each in-flight job.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.manager.shutdown();
+        for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Concurrent connection cap: beyond it, new connections get an
+/// immediate 503 instead of a thread — one client opening sockets cannot
+/// pin unbounded threads or body buffers.
+const MAX_CONNECTIONS: usize = 64;
+
+/// Decrements the live-connection count when a handler thread ends,
+/// however it ends.
+struct ConnectionSlot(Arc<AtomicUsize>);
+
+impl Drop for ConnectionSlot {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn accept_loop(listener: TcpListener, manager: JobManager, stop: Arc<AtomicBool>) {
+    let live = Arc::new(AtomicUsize::new(0));
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                if live.fetch_add(1, Ordering::SeqCst) >= MAX_CONNECTIONS {
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    let _ = stream.set_nonblocking(false);
+                    let _ = write_response(
+                        &mut stream,
+                        503,
+                        &error_body("too many open connections; retry later"),
+                    );
+                    continue;
+                }
+                let slot = ConnectionSlot(Arc::clone(&live));
+                let manager = manager.clone();
+                // Detached: connections are short-lived (Connection:
+                // close + socket timeouts), so shutdown does not wait on
+                // them.
+                let spawned = std::thread::Builder::new()
+                    .name("marioh-conn".to_owned())
+                    .spawn(move || {
+                        let _slot = slot;
+                        handle_connection(stream, &manager);
+                    });
+                drop(spawned); // on spawn failure the slot frees with the closure
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, manager: &JobManager) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_nonblocking(false);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let (status, body) = match read_request(&mut reader) {
+        Ok(Some(request)) => route(&request, manager),
+        Ok(None) => return, // client connected and left
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => (400, error_body(e.to_string())),
+        Err(_) => return, // transport error; nothing sensible to send
+    };
+    let _ = write_response(&mut writer, status, &body);
+}
+
+/// Splits `/jobs/17/result` into its non-empty segments.
+fn segments(path: &str) -> Vec<&str> {
+    path.split('/').filter(|s| !s.is_empty()).collect()
+}
+
+fn route(request: &Request, manager: &JobManager) -> (u16, Json) {
+    let method = request.method.as_str();
+    match (method, segments(&request.path).as_slice()) {
+        ("GET", ["healthz"]) => (200, Json::Obj(vec![("status".into(), Json::str("ok"))])),
+        ("GET", ["stats"]) => (200, stats_body(manager)),
+        ("POST", ["jobs"]) => submit(request, manager),
+        ("GET", ["jobs", id]) => with_job_id(id, |id| match manager.view(id) {
+            Some(view) => (200, view_body(&view)),
+            None => not_found(id),
+        }),
+        ("GET", ["jobs", id, "result"]) => with_job_id(id, |id| job_result(id, manager)),
+        ("DELETE", ["jobs", id]) => with_job_id(id, |id| match manager.cancel(id) {
+            Some(status) => (
+                200,
+                Json::Obj(vec![
+                    ("id".into(), Json::num(id as f64)),
+                    ("status".into(), Json::str(status.as_str())),
+                ]),
+            ),
+            None => not_found(id),
+        }),
+        (_, ["healthz" | "stats"]) | (_, ["jobs", ..]) => (
+            405,
+            error_body(format!("method {method} not allowed on {}", request.path)),
+        ),
+        _ => (404, error_body(format!("no such route {}", request.path))),
+    }
+}
+
+fn not_found(id: u64) -> (u16, Json) {
+    (404, error_body(format!("no such job {id}")))
+}
+
+fn with_job_id(raw: &str, f: impl FnOnce(u64) -> (u16, Json)) -> (u16, Json) {
+    match raw.parse::<u64>() {
+        Ok(id) => f(id),
+        Err(_) => (400, error_body(format!("invalid job id {raw:?}"))),
+    }
+}
+
+fn submit(request: &Request, manager: &JobManager) -> (u16, Json) {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(t) => t,
+        Err(_) => return (400, error_body("request body is not valid UTF-8")),
+    };
+    let body = match Json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return (400, error_body(format!("invalid JSON body: {e}"))),
+    };
+    let spec = match JobSpec::from_json(&body) {
+        Ok(spec) => spec,
+        Err(msg) => return (400, error_body(msg)),
+    };
+    match manager.submit(spec) {
+        Ok(id) => (
+            201,
+            Json::Obj(vec![
+                ("id".into(), Json::num(id as f64)),
+                ("status".into(), Json::str(JobStatus::Queued.as_str())),
+            ]),
+        ),
+        Err(SubmitError::Invalid(msg)) => (400, error_body(msg)),
+        Err(e @ SubmitError::QueueFull { .. }) => (503, error_body(e.to_string())),
+    }
+}
+
+fn job_result(id: u64, manager: &JobManager) -> (u16, Json) {
+    let Some((status, result)) = manager.result(id) else {
+        return not_found(id);
+    };
+    match (status, result) {
+        (JobStatus::Done, Some(result)) => {
+            let edges: Vec<Json> = result
+                .reconstruction
+                .sorted_edges()
+                .into_iter()
+                .map(|e| {
+                    Json::Obj(vec![
+                        (
+                            "nodes".into(),
+                            Json::Arr(e.nodes().iter().map(|n| Json::num(n.0 as f64)).collect()),
+                        ),
+                        (
+                            "multiplicity".into(),
+                            Json::num(result.reconstruction.multiplicity(e) as f64),
+                        ),
+                    ])
+                })
+                .collect();
+            (
+                200,
+                Json::Obj(vec![
+                    ("id".into(), Json::num(id as f64)),
+                    ("jaccard".into(), Json::num(result.jaccard)),
+                    ("edges".into(), Json::Arr(edges)),
+                ]),
+            )
+        }
+        (status, _) => (
+            409,
+            error_body(format!(
+                "job {id} is {status}; results exist only for done jobs"
+            )),
+        ),
+    }
+}
+
+fn view_body(view: &crate::job::JobView) -> Json {
+    let mut pairs = vec![
+        ("id".into(), Json::num(view.id as f64)),
+        ("status".into(), Json::str(view.status.as_str())),
+        (
+            "progress".into(),
+            Json::Obj(vec![
+                ("rounds".into(), Json::num(view.rounds as f64)),
+                ("committed".into(), Json::num(view.committed as f64)),
+            ]),
+        ),
+    ];
+    if let Some(error) = &view.error {
+        pairs.push(("error".into(), Json::str(error.clone())));
+    }
+    Json::Obj(pairs)
+}
+
+fn stats_body(manager: &JobManager) -> Json {
+    let s = manager.stats();
+    Json::Obj(vec![
+        ("queue_depth".into(), Json::num(s.queue_depth as f64)),
+        ("running".into(), Json::num(s.running as f64)),
+        ("workers".into(), Json::num(s.workers as f64)),
+        ("queue_cap".into(), Json::num(s.queue_cap as f64)),
+        ("jobs_submitted".into(), Json::num(s.submitted as f64)),
+        ("jobs_finished".into(), Json::num(s.finished as f64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_rejects_zero_workers_and_zero_queue() {
+        for config in [
+            ServerConfig {
+                workers: 0,
+                ..ServerConfig::default()
+            },
+            ServerConfig {
+                queue_cap: 0,
+                ..ServerConfig::default()
+            },
+        ] {
+            assert!(matches!(Server::start(config), Err(MariohError::Config(_))));
+        }
+    }
+
+    #[test]
+    fn start_reports_bind_failures_as_io() {
+        match Server::start(ServerConfig {
+            addr: "256.0.0.1:99999".to_owned(),
+            ..ServerConfig::default()
+        }) {
+            Err(MariohError::Io(_)) => {}
+            Err(other) => panic!("expected Io error, got {other}"),
+            Ok(_) => panic!("bind to an invalid address succeeded"),
+        }
+    }
+
+    #[test]
+    fn connection_cap_answers_503_and_recovers_when_slots_free() {
+        use std::time::{Duration, Instant};
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            queue_cap: 4,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        // Saturate the cap with idle connections that never send a byte.
+        let idle: Vec<std::net::TcpStream> = (0..MAX_CONNECTIONS)
+            .map(|_| std::net::TcpStream::connect(addr).expect("connect"))
+            .collect();
+        // Once the accept loop has admitted them all, further requests
+        // are turned away instead of getting a new thread: a 503 when
+        // the refusal arrives intact, or a reset when the kernel drops
+        // the socket's unread request data first.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match crate::client::get(addr, "/healthz") {
+                Ok(response) if response.status == 503 => {
+                    assert!(response.body.contains("too many open connections"));
+                    break;
+                }
+                Ok(_) => {}
+                Err(_) => break,
+            }
+            assert!(Instant::now() < deadline, "connection cap never engaged");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Dropping the idle connections frees their slots.
+        drop(idle);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if crate::client::get(addr, "/healthz").expect("probe").status == 200 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "server never recovered");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn routing_table_without_sockets() {
+        let manager = JobManager::new(4, 1);
+        let req = |method: &str, path: &str, body: &[u8]| Request {
+            method: method.into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: body.to_vec(),
+        };
+        assert_eq!(route(&req("GET", "/healthz", b""), &manager).0, 200);
+        assert_eq!(route(&req("GET", "/stats", b""), &manager).0, 200);
+        assert_eq!(route(&req("GET", "/nope", b""), &manager).0, 404);
+        assert_eq!(route(&req("PUT", "/jobs", b""), &manager).0, 405);
+        assert_eq!(route(&req("POST", "/healthz", b""), &manager).0, 405);
+        assert_eq!(route(&req("GET", "/jobs/7", b""), &manager).0, 404);
+        assert_eq!(route(&req("GET", "/jobs/x", b""), &manager).0, 400);
+        assert_eq!(route(&req("DELETE", "/jobs/7", b""), &manager).0, 404);
+        assert_eq!(route(&req("GET", "/jobs/7/result", b""), &manager).0, 404);
+        assert_eq!(route(&req("POST", "/jobs", b"not json"), &manager).0, 400);
+        assert_eq!(route(&req("POST", "/jobs", b"{}"), &manager).0, 400);
+
+        let (status, body) = route(&req("POST", "/jobs", br#"{"dataset": "Hosts"}"#), &manager);
+        assert_eq!(status, 201);
+        let id = body.get("id").unwrap().as_u64().unwrap();
+        assert_eq!(
+            route(&req("GET", &format!("/jobs/{id}"), b""), &manager).0,
+            200
+        );
+        // Still queued (no workers running): the result is a 409.
+        assert_eq!(
+            route(&req("GET", &format!("/jobs/{id}/result"), b""), &manager).0,
+            409
+        );
+        // Queue capacity 4: the fifth submission is a 503.
+        for _ in 0..3 {
+            assert_eq!(
+                route(&req("POST", "/jobs", br#"{"dataset": "Hosts"}"#), &manager).0,
+                201
+            );
+        }
+        assert_eq!(
+            route(&req("POST", "/jobs", br#"{"dataset": "Hosts"}"#), &manager).0,
+            503
+        );
+        // Cancel the queued job through the route.
+        let (status, body) = route(&req("DELETE", &format!("/jobs/{id}"), b""), &manager);
+        assert_eq!(status, 200);
+        assert_eq!(body.get("status").unwrap().as_str(), Some("cancelled"));
+    }
+}

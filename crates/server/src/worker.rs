@@ -1,0 +1,225 @@
+//! The worker pool: each worker blocks on the job queue, builds the
+//! job's pipeline through [`Pipeline::builder`], and reports progress
+//! back into the job store through a [`ProgressObserver`] adapter.
+//!
+//! Every job runs split → train → reconstruct off one `StdRng` seeded
+//! with the job's seed, so a job's result is bit-identical to a direct
+//! [`Pipeline`] run with the same inputs — the integration tests rely on
+//! this.
+
+use crate::job::{DispatchedJob, JobInput, JobManager, JobResult, JobSpec};
+use marioh_core::search::SearchStats;
+use marioh_core::{CancelToken, MariohError, Pipeline, ProgressObserver, Reconstructor as _};
+use marioh_datasets::split::split_source_target;
+use marioh_hypergraph::metrics::jaccard;
+use marioh_hypergraph::projection::project;
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Granularity of cancellable sleeps.
+const SLEEP_SLICE: Duration = Duration::from_millis(10);
+
+/// Sleeps for `ms` milliseconds in small slices, returning early (and
+/// reporting whether it did) once `cancel` fires.
+fn cancellable_sleep(ms: u64, cancel: &CancelToken) -> bool {
+    let deadline = std::time::Instant::now() + Duration::from_millis(ms);
+    while std::time::Instant::now() < deadline {
+        if cancel.is_cancelled() {
+            return false;
+        }
+        std::thread::sleep(SLEEP_SLICE.min(deadline - std::time::Instant::now()));
+    }
+    !cancel.is_cancelled()
+}
+
+/// Streams pipeline progress into the job store, and applies the job's
+/// `throttle_ms` pacing after each round.
+struct JobObserver {
+    manager: JobManager,
+    id: u64,
+    throttle_ms: u64,
+    cancel: CancelToken,
+}
+
+impl ProgressObserver for JobObserver {
+    fn on_round(&self, round: usize, _theta: f64, _stats: &SearchStats) {
+        self.manager.record_round(self.id, round);
+        if self.throttle_ms > 0 {
+            cancellable_sleep(self.throttle_ms, &self.cancel);
+        }
+    }
+
+    fn on_commit(&self, _round: usize, _committed: usize, total_committed: usize) {
+        self.manager.record_commit(self.id, total_committed);
+    }
+
+    fn on_error(&self, msg: &str) {
+        self.manager.record_error(self.id, msg);
+    }
+}
+
+/// Runs one job to completion (or cancellation).
+fn execute(
+    spec: JobSpec,
+    observer: Arc<dyn ProgressObserver>,
+    cancel: CancelToken,
+) -> Result<JobResult, MariohError> {
+    if spec.throttle_ms > 0 && !cancellable_sleep(spec.throttle_ms, &cancel) {
+        return Err(MariohError::Cancelled);
+    }
+    let builder = spec
+        .apply(Pipeline::builder())
+        .observer(observer)
+        .cancel_token(cancel.clone());
+    let hypergraph = match spec.input {
+        JobInput::Dataset { dataset, scale } => {
+            dataset
+                .generate_scaled(scale.unwrap_or_else(|| dataset.default_scale()))
+                .hypergraph
+        }
+        JobInput::Edges(h) => h,
+    };
+    if cancel.is_cancelled() {
+        return Err(MariohError::Cancelled);
+    }
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let (source, target) = split_source_target(&hypergraph, &mut rng);
+    let pipeline = builder.build()?; // validated at submission; cannot fail here
+    let model = pipeline.train(&source, &mut rng)?;
+    if cancel.is_cancelled() {
+        return Err(MariohError::Cancelled);
+    }
+    let reconstruction = model.reconstruct(&project(&target), &mut rng)?;
+    let similarity = jaccard(&target, &reconstruction);
+    Ok(JobResult {
+        reconstruction,
+        jaccard: similarity,
+    })
+}
+
+fn run_worker(manager: JobManager) {
+    while let Some(DispatchedJob { id, spec, cancel }) = manager.take_next() {
+        let observer: Arc<dyn ProgressObserver> = Arc::new(JobObserver {
+            manager: manager.clone(),
+            id,
+            throttle_ms: spec.throttle_ms,
+            cancel: cancel.clone(),
+        });
+        let outcome = execute(spec, Arc::clone(&observer), cancel);
+        if let Err(e) = &outcome {
+            if !matches!(e, MariohError::Cancelled) {
+                observer.on_error(&e.to_string());
+            }
+        }
+        manager.finish(id, outcome);
+    }
+}
+
+/// Spawns `n` worker threads draining `manager`'s queue. The threads
+/// exit when [`JobManager::shutdown`] fires.
+pub(crate) fn spawn_workers(manager: &JobManager, n: usize) -> Vec<JoinHandle<()>> {
+    (0..n)
+        .map(|i| {
+            let manager = manager.clone();
+            std::thread::Builder::new()
+                .name(format!("marioh-worker-{i}"))
+                .spawn(move || run_worker(manager))
+                .expect("spawn worker thread")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobStatus;
+    use crate::json::Json;
+
+    fn spec(body: &str) -> JobSpec {
+        JobSpec::from_json(&Json::parse(body).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn a_worker_pool_drains_jobs_to_done() {
+        let manager = JobManager::new(16, 2);
+        let workers = spawn_workers(&manager, 2);
+        let ids: Vec<u64> = (0..3)
+            .map(|seed| {
+                manager
+                    .submit(spec(&format!(r#"{{"dataset": "Hosts", "seed": {seed}}}"#)))
+                    .unwrap()
+            })
+            .collect();
+        for id in &ids {
+            while !manager.view(*id).unwrap().status.is_terminal() {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let view = manager.view(*id).unwrap();
+            assert_eq!(view.status, JobStatus::Done, "job {id}: {view:?}");
+            let (_, result) = manager.result(*id).unwrap();
+            let result = result.expect("done jobs carry a result");
+            assert!(result.reconstruction.unique_edge_count() > 0);
+            assert!(result.jaccard > 0.5, "jaccard {}", result.jaccard);
+        }
+        manager.shutdown();
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn throttled_job_cancels_during_its_start_delay() {
+        let manager = JobManager::new(4, 1);
+        let workers = spawn_workers(&manager, 1);
+        let id = manager
+            .submit(spec(r#"{"dataset": "Hosts", "throttle_ms": 60000}"#))
+            .unwrap();
+        while manager.view(id).unwrap().status != JobStatus::Running {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let t0 = std::time::Instant::now();
+        assert_eq!(manager.cancel(id), Some(JobStatus::Cancelled));
+        // The worker frees its slot promptly, long before the 60 s delay.
+        while manager.stats().running > 0 {
+            assert!(t0.elapsed() < Duration::from_secs(10), "worker still busy");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(manager.view(id).unwrap().status, JobStatus::Cancelled);
+        manager.shutdown();
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_source_fails_and_surfaces_through_on_error() {
+        let manager = JobManager::new(4, 1);
+        let workers = spawn_workers(&manager, 1);
+        // A 1-event upload: any seed whose 50/50 split sends that event
+        // to the target side leaves the source empty, so training fails.
+        let mut h = marioh_hypergraph::Hypergraph::new(0);
+        h.add_edge(marioh_hypergraph::hyperedge::edge(&[0, 1]));
+        let seed = (0..64)
+            .find(|s| {
+                let mut rng = StdRng::seed_from_u64(*s);
+                split_source_target(&h, &mut rng).0.unique_edge_count() == 0
+            })
+            .expect("some seed empties a 1-event source");
+        let id = manager
+            .submit(spec(&format!(r#"{{"edges": "1 0 1", "seed": {seed}}}"#)))
+            .unwrap();
+        while !manager.view(id).unwrap().status.is_terminal() {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let view = manager.view(id).unwrap();
+        assert_eq!(view.status, JobStatus::Failed);
+        let msg = view.error.expect("failed jobs carry an error");
+        assert!(msg.contains("empty source"), "{msg}");
+        manager.shutdown();
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+}

@@ -4,8 +4,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
         eprintln!(
-            "usage: marioh <generate|project|split|stats|train|reconstruct|eval> [--flags]\n\
-             see `marioh::cli` docs for the full flag reference"
+            "usage: marioh <generate|project|split|stats|train|reconstruct|eval|serve> [--flags]\n\
+             see `marioh::cli` docs for the full flag reference\n\
+             exit codes: 0 ok, 2 invalid flags or hyperparameters, 3 I/O failure,\n\
+             130 cancelled, 1 other runtime failure"
         );
         std::process::exit(2);
     };
@@ -15,7 +17,7 @@ fn main() {
         Ok(output) => println!("{output}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code());
         }
     }
 }

@@ -15,6 +15,7 @@
 //!                    [--theta t] [--ratio r] [--alpha a] [--no-filtering] [--no-bidirectional]
 //!                    [--seed n] [--verbose]
 //! marioh eval        --truth tgt.txt --pred rec.txt
+//! marioh serve       [--addr 127.0.0.1:7878] [--workers n] [--queue-cap n]
 //! ```
 //!
 //! `train` and `reconstruct` are thin shells over the
@@ -25,9 +26,14 @@
 //! the pipeline's [`marioh_core::ProgressObserver`] events (per-round θ,
 //! commit counts, stage timings) to stderr while results go to stdout.
 //!
+//! `serve` turns the same pipeline into a long-running job service (see
+//! [`marioh_server`]): it prints the bound address to stderr and serves
+//! until the process is killed.
+//!
 //! Errors are [`MariohError`] end to end; `main` prints them as
-//! `error: {message}` and exits non-zero. The historical [`CliError`]
-//! name remains as an alias.
+//! `error: {message}` and exits with [`MariohError::exit_code`]:
+//! 2 for configuration errors, 3 for I/O failures, 130 for cancellation,
+//! 1 otherwise. The historical [`CliError`] name remains as an alias.
 //!
 //! The logic lives here (unit-testable); `src/bin/marioh.rs` is a thin
 //! wrapper.
@@ -41,6 +47,7 @@ use marioh_datasets::split::split_source_target;
 use marioh_datasets::{DatasetStats, PaperDataset};
 use marioh_hypergraph::io;
 use marioh_hypergraph::metrics::{jaccard, multi_jaccard, precision_recall_f1};
+use marioh_server::{Server, ServerConfig};
 use rand::{rngs::StdRng, SeedableRng};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -84,6 +91,10 @@ impl ProgressObserver for VerboseProgress {
             report.rounds.len()
         );
     }
+
+    fn on_error(&self, msg: &str) {
+        eprintln!("[error] {msg}");
+    }
 }
 
 /// Parsed flags: `--key value` pairs plus boolean switches.
@@ -109,7 +120,7 @@ impl Flags {
             // Boolean switches take no value.
             if matches!(
                 name,
-                "no-filtering" | "no-bidirectional" | "reduced" | "verbose"
+                "no-filtering" | "no-bidirectional" | "reduced" | "verbose" | "smoke"
             ) {
                 if flags.switch(name) {
                     return Err(MariohError::Config(format!("duplicate flag --{name}")));
@@ -159,28 +170,22 @@ impl Flags {
 }
 
 fn dataset_by_name(name: &str) -> Result<PaperDataset, MariohError> {
-    let all = [
-        PaperDataset::Enron,
-        PaperDataset::PSchool,
-        PaperDataset::HSchool,
-        PaperDataset::Crime,
-        PaperDataset::Hosts,
-        PaperDataset::Directors,
-        PaperDataset::Foursquare,
-        PaperDataset::Dblp,
-        PaperDataset::Eu,
-        PaperDataset::MagTopCs,
-        PaperDataset::MagHistory,
-        PaperDataset::MagGeology,
-    ];
-    all.into_iter()
-        .find(|d| d.name().eq_ignore_ascii_case(name))
-        .ok_or_else(|| {
-            MariohError::Config(format!(
-                "unknown dataset {name:?}; known: {}",
-                all.map(|d| d.name()).join(", ")
-            ))
-        })
+    PaperDataset::resolve(name).map_err(MariohError::Config)
+}
+
+/// Builds the `serve` configuration from flags. Worker count defaults to
+/// the machine's parallelism (capped at 8); zero values are rejected by
+/// [`Server::start`].
+fn serve_config(flags: &Flags) -> Result<ServerConfig, MariohError> {
+    let default_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(8);
+    Ok(ServerConfig {
+        addr: flags.get("addr").unwrap_or("127.0.0.1:7878").to_owned(),
+        workers: flags.get_parsed("workers", default_workers)?,
+        queue_cap: flags.get_parsed("queue-cap", 64usize)?,
+    })
 }
 
 /// Runs one subcommand; returns the text to print on success.
@@ -304,6 +309,24 @@ pub fn run(command: &str, flags: &Flags) -> Result<String, MariohError> {
                 g.num_edges()
             ))
         }
+        "serve" => {
+            let server = Server::start(serve_config(flags)?)?;
+            let addr = server.local_addr();
+            let stats = server.manager().stats();
+            eprintln!(
+                "marioh-server listening on http://{addr} ({} workers, queue capacity {})",
+                stats.workers, stats.queue_cap
+            );
+            // `--smoke` boots and immediately shuts down gracefully —
+            // deployment checks and the test suite use it.
+            if flags.switch("smoke") {
+                server.shutdown();
+                return Ok(format!("serve smoke test passed on {addr}"));
+            }
+            loop {
+                std::thread::park(); // serve until the process is killed
+            }
+        }
         "eval" => {
             let truth = io::load_hypergraph(flags.require("truth")?)?;
             let pred = io::load_hypergraph(flags.require("pred")?)?;
@@ -315,7 +338,7 @@ pub fn run(command: &str, flags: &Flags) -> Result<String, MariohError> {
             ))
         }
         other => Err(MariohError::Config(format!(
-            "unknown command {other:?}; commands: generate import-benson project split stats train reconstruct eval"
+            "unknown command {other:?}; commands: generate import-benson project split stats train reconstruct eval serve"
         ))),
     }
 }
@@ -573,6 +596,38 @@ mod tests {
         .unwrap();
         assert!(report.contains("2 events"), "{report}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_smoke_boots_and_shuts_down() {
+        let report = run(
+            "serve",
+            &flags(
+                &[
+                    ("addr", "127.0.0.1:0"),
+                    ("workers", "2"),
+                    ("queue-cap", "4"),
+                ],
+                &["smoke"],
+            ),
+        )
+        .unwrap();
+        assert!(report.contains("smoke test passed"), "{report}");
+    }
+
+    #[test]
+    fn serve_rejects_invalid_configuration() {
+        for (key, value, needle) in [
+            ("workers", "0", "workers"),
+            ("workers", "many", "--workers"),
+            ("queue-cap", "0", "queue capacity"),
+        ] {
+            let err = run("serve", &flags(&[(key, value)], &["smoke"])).unwrap_err();
+            assert!(err.to_string().contains(needle), "{key}={value}: {err}");
+        }
+        // An unbindable address surfaces as the I/O variant (exit 3).
+        let err = run("serve", &flags(&[("addr", "not-an-address")], &["smoke"])).unwrap_err();
+        assert!(matches!(err, MariohError::Io(_)), "{err}");
     }
 
     #[test]

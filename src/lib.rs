@@ -53,3 +53,4 @@ pub use marioh_downstream as downstream;
 pub use marioh_hypergraph as hypergraph;
 pub use marioh_linalg as linalg;
 pub use marioh_ml as ml;
+pub use marioh_server as server;
