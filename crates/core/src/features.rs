@@ -12,9 +12,11 @@
 //! * [`FeatureMode::Motif`] — Count plus per-edge motif statistics
 //!   (triangle and square counts), for SHyRe-Motif.
 
-use marioh_hypergraph::{clique::is_maximal, NodeId, ProjectedGraph};
+use marioh_hypergraph::clique::{is_maximal, is_maximal_view};
+use marioh_hypergraph::{GraphView, NodeId, ProjectedGraph};
 
 use crate::mhh::mhh;
+use crate::round::RoundContext;
 
 /// Which clique feature representation to extract.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,10 +40,11 @@ impl FeatureMode {
     }
 }
 
-/// Five aggregate statistics: sum, mean, min, max, population std.
-fn agg5(values: &[f64], out: &mut Vec<f64>) {
+/// Five aggregate statistics written into `out[0..5]`: sum, mean, min,
+/// max, population std.
+fn agg5_into(values: &[f64], out: &mut [f64]) {
     if values.is_empty() {
-        out.extend_from_slice(&[0.0; 5]);
+        out[..5].fill(0.0);
         return;
     }
     let n = values.len() as f64;
@@ -56,11 +59,18 @@ fn agg5(values: &[f64], out: &mut Vec<f64>) {
         let d = v - mean;
         var += d * d;
     }
-    out.push(sum);
-    out.push(mean);
-    out.push(min);
-    out.push(max);
-    out.push((var / n).sqrt());
+    out[0] = sum;
+    out[1] = mean;
+    out[2] = min;
+    out[3] = max;
+    out[4] = (var / n).sqrt();
+}
+
+/// [`agg5_into`] appended to a growing vector.
+fn agg5(values: &[f64], out: &mut Vec<f64>) {
+    let start = out.len();
+    out.resize(start + 5, 0.0);
+    agg5_into(values, &mut out[start..]);
 }
 
 /// Extracts the feature vector of `clique` against graph `g`.
@@ -82,6 +92,159 @@ pub fn extract(mode: FeatureMode, g: &ProjectedGraph, clique: &[NodeId]) -> Vec<
     }
     debug_assert_eq!(out.len(), mode.dim());
     out
+}
+
+/// Reusable buffers for [`extract_into`]: the per-clique node and edge
+/// value lists that [`extract`] allocates fresh every call. A batch
+/// scorer creates one scratch per `score_batch` call and reuses it for
+/// every clique in the batch, so extraction itself allocates nothing.
+#[derive(Debug, Default)]
+pub struct FeatureScratch {
+    node: Vec<f64>,
+    edge_a: Vec<f64>,
+    edge_b: Vec<f64>,
+    edge_c: Vec<f64>,
+}
+
+/// [`extract`] against a round-frozen [`RoundContext`], writing the
+/// feature vector into `out` (length must equal [`FeatureMode::dim`])
+/// without allocating: edge weights and MHH values come from the CSR
+/// view and the per-round memo, intermediate lists live in `scratch`.
+///
+/// Produces bit-identical values to [`extract`] on the graph the context
+/// was frozen from (property-tested): every input quantity is an exact
+/// integer on both paths, and the aggregation order is the same.
+///
+/// # Panics
+///
+/// Panics if `out.len() != mode.dim()`.
+pub fn extract_into(
+    mode: FeatureMode,
+    round: &RoundContext<'_>,
+    clique: &[NodeId],
+    scratch: &mut FeatureScratch,
+    out: &mut [f64],
+) {
+    assert_eq!(out.len(), mode.dim(), "output slice/feature dim mismatch");
+    debug_assert!(clique.len() >= 2, "feature extraction needs |Q| >= 2");
+    debug_assert!(clique.windows(2).all(|w| w[0] < w[1]), "clique not sorted");
+    debug_assert!(round.view().is_clique(clique), "candidate is not a clique");
+    match mode {
+        FeatureMode::Multiplicity => extract_multiplicity_view(round, clique, scratch, out),
+        FeatureMode::Count => extract_count_view(round.view(), clique, scratch, out),
+        FeatureMode::Motif => {
+            extract_count_view(round.view(), clique, scratch, &mut out[..13]);
+            extract_motif_view(round.view(), clique, scratch, &mut out[13..]);
+        }
+    }
+}
+
+fn extract_multiplicity_view(
+    round: &RoundContext<'_>,
+    clique: &[NodeId],
+    scratch: &mut FeatureScratch,
+    out: &mut [f64],
+) {
+    let view = round.view();
+    let cache = round.mhh_cache();
+
+    // Node-level: weighted degree.
+    scratch.node.clear();
+    scratch
+        .node
+        .extend(clique.iter().map(|&u| view.weighted_degree(u) as f64));
+    agg5_into(&scratch.node, &mut out[0..5]);
+
+    // Edge-level: ω, MHH, MHH/ω — one slot lookup serves all three.
+    scratch.edge_a.clear();
+    scratch.edge_b.clear();
+    scratch.edge_c.clear();
+    let mut internal_weight = 0u64;
+    for (i, &u) in clique.iter().enumerate() {
+        for &v in &clique[i + 1..] {
+            let slot = view.slot(u, v).expect("clique pair is an edge");
+            let w = view.weight_at(slot);
+            debug_assert!(w > 0);
+            let m = cache.at(slot) as f64;
+            scratch.edge_a.push(f64::from(w));
+            scratch.edge_b.push(m);
+            scratch.edge_c.push(m / f64::from(w));
+            internal_weight += u64::from(w);
+        }
+    }
+    agg5_into(&scratch.edge_a, &mut out[5..10]);
+    agg5_into(&scratch.edge_b, &mut out[10..15]);
+    agg5_into(&scratch.edge_c, &mut out[15..20]);
+
+    // Clique-level: size, cut ratio, maximality.
+    out[20] = clique.len() as f64;
+    let incident: u64 = clique.iter().map(|&u| view.weighted_degree(u)).sum();
+    out[21] = if incident == 0 {
+        0.0
+    } else {
+        (2 * internal_weight) as f64 / incident as f64
+    };
+    out[22] = f64::from(is_maximal_view(view, clique));
+}
+
+fn extract_count_view(
+    view: &GraphView,
+    clique: &[NodeId],
+    scratch: &mut FeatureScratch,
+    out: &mut [f64],
+) {
+    scratch.node.clear();
+    scratch
+        .node
+        .extend(clique.iter().map(|&u| view.degree(u) as f64));
+    agg5_into(&scratch.node, &mut out[0..5]);
+
+    scratch.edge_a.clear();
+    for (i, &u) in clique.iter().enumerate() {
+        for &v in &clique[i + 1..] {
+            scratch.edge_a.push(view.common_neighbor_count(u, v) as f64);
+        }
+    }
+    agg5_into(&scratch.edge_a, &mut out[5..10]);
+
+    out[10] = clique.len() as f64;
+    let internal = clique.len() * (clique.len() - 1) / 2;
+    let incident: usize = clique.iter().map(|&u| view.degree(u)).sum();
+    out[11] = if incident == 0 {
+        0.0
+    } else {
+        (2 * internal) as f64 / incident as f64
+    };
+    out[12] = f64::from(is_maximal_view(view, clique));
+}
+
+fn extract_motif_view(
+    view: &GraphView,
+    clique: &[NodeId],
+    scratch: &mut FeatureScratch,
+    out: &mut [f64],
+) {
+    scratch.edge_b.clear();
+    for (i, &u) in clique.iter().enumerate() {
+        for &v in &clique[i + 1..] {
+            let mut count = 0usize;
+            for &a in view.neighbors(u) {
+                if a == v.0 {
+                    continue;
+                }
+                for &b in view.neighbors(NodeId(a)) {
+                    if b == u.0 || b == v.0 {
+                        continue;
+                    }
+                    if view.has_edge(NodeId(b), v) {
+                        count += 1;
+                    }
+                }
+            }
+            scratch.edge_b.push(count as f64);
+        }
+    }
+    agg5_into(&scratch.edge_b, &mut out[0..5]);
 }
 
 fn extract_multiplicity(g: &ProjectedGraph, clique: &[NodeId], out: &mut Vec<f64>) {
@@ -130,11 +293,12 @@ fn extract_count(g: &ProjectedGraph, clique: &[NodeId], out: &mut Vec<f64>) {
     let node_feats: Vec<f64> = clique.iter().map(|&u| g.degree(u) as f64).collect();
     agg5(&node_feats, out);
 
-    // Edge-level: embeddedness (common-neighbour count).
+    // Edge-level: embeddedness (common-neighbour count; probe-counted,
+    // no allocation or sort).
     let mut embed = Vec::new();
     for (i, &u) in clique.iter().enumerate() {
         for &v in &clique[i + 1..] {
-            embed.push(g.common_neighbors(u, v).len() as f64);
+            embed.push(g.common_neighbor_count(u, v) as f64);
         }
     }
     agg5(&embed, out);
@@ -313,6 +477,41 @@ mod tests {
         extract_motif(&g, &[n(0), n(1)], &mut out);
         // Exactly one square through edge (0,1): path 0-3-2-1.
         assert_eq!(out[0], 1.0); // sum over the single edge
+    }
+
+    #[test]
+    fn extract_into_is_bit_identical_to_extract() {
+        use crate::round::RoundContext;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..15 {
+            let n_nodes = rng.gen_range(4..12u32);
+            let mut h = Hypergraph::new(n_nodes);
+            for _ in 0..rng.gen_range(3..15) {
+                let size = rng.gen_range(2..=4usize.min(n_nodes as usize));
+                let mut nodes: Vec<u32> = (0..n_nodes).collect();
+                for i in (1..nodes.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    nodes.swap(i, j);
+                }
+                h.add_edge_with_multiplicity(edge(&nodes[..size]), rng.gen_range(1..3));
+            }
+            let g = project(&h);
+            let round = RoundContext::new(&g);
+            let mut scratch = FeatureScratch::default();
+            for clique in marioh_hypergraph::clique::maximal_cliques(&g) {
+                for mode in [
+                    FeatureMode::Multiplicity,
+                    FeatureMode::Count,
+                    FeatureMode::Motif,
+                ] {
+                    let reference = extract(mode, &g, &clique);
+                    let mut out = vec![0.0; mode.dim()];
+                    extract_into(mode, &round, &clique, &mut scratch, &mut out);
+                    assert_eq!(out, reference, "mode {mode:?} clique {clique:?}");
+                }
+            }
+        }
     }
 
     #[test]

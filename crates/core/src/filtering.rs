@@ -6,7 +6,7 @@
 //! reconstruction and their weight removed from the graph, shrinking the
 //! search space for the clique-candidate phase.
 
-use crate::mhh::residual_multiplicity;
+use crate::round::RoundContext;
 use marioh_hypergraph::{Hyperedge, Hypergraph, ProjectedGraph};
 
 /// Statistics reported by [`filtering`].
@@ -30,11 +30,31 @@ pub fn filtering(
     g: &ProjectedGraph,
     reconstruction: &mut Hypergraph,
 ) -> (ProjectedGraph, FilterStats) {
+    filtering_threaded(g, reconstruction, 1)
+}
+
+/// [`filtering`] with the per-edge MHH bounds computed through a
+/// round-frozen view and its [`crate::mhh::MhhCache`] (built on up to
+/// `threads` workers) instead of per-edge hash probes. The result is
+/// identical for any thread count: every residual is an exact integer on
+/// either path, and the certified pairs are visited in the same sorted
+/// edge order.
+pub fn filtering_threaded(
+    g: &ProjectedGraph,
+    reconstruction: &mut Hypergraph,
+    threads: usize,
+) -> (ProjectedGraph, FilterStats) {
     reconstruction.ensure_nodes(g.num_nodes());
     let mut out = g.clone();
     let mut stats = FilterStats::default();
-    for (u, v, _w) in g.sorted_edge_list() {
-        let r = residual_multiplicity(g, u, v);
+    let round = RoundContext::with_threads(g, threads);
+    let (view, cache) = (round.view(), round.mhh_cache());
+    for (u, v, w) in view.edges() {
+        // Residual multiplicity r_{u,v} = ω − MHH, clamped at zero
+        // (Lemma 2), straight from the per-round memo.
+        let slot = view.slot(u, v).expect("iterated edge exists");
+        let r = u32::try_from(u64::from(w).saturating_sub(cache.at(slot)))
+            .expect("residual exceeds u32");
         if r > 0 {
             let e = Hyperedge::new([u, v]).expect("two distinct endpoints");
             reconstruction.add_edge_with_multiplicity(e, r);
@@ -132,6 +152,35 @@ mod tests {
                 assert_eq!(e.len(), 2, "filtering only emits pairs");
                 let true_pairs = h.multiplicity(e);
                 assert!(m <= true_pairs, "extracted {m} > true {true_pairs} for {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_filtering_matches_serial_exactly() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..15 {
+            let n_nodes = rng.gen_range(4..14u32);
+            let mut h = Hypergraph::new(n_nodes);
+            for _ in 0..rng.gen_range(3..18) {
+                let size = rng.gen_range(2..=4usize.min(n_nodes as usize));
+                let mut nodes: Vec<u32> = (0..n_nodes).collect();
+                for i in (1..nodes.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    nodes.swap(i, j);
+                }
+                h.add_edge_with_multiplicity(edge(&nodes[..size]), rng.gen_range(1..4));
+            }
+            let g = project(&h);
+            let mut rec1 = Hypergraph::new(0);
+            let (g1, stats1) = filtering(&g, &mut rec1);
+            for threads in [2, 4] {
+                let mut rec = Hypergraph::new(0);
+                let (gt, stats) = filtering_threaded(&g, &mut rec, threads);
+                assert_eq!(stats, stats1);
+                assert_eq!(rec, rec1);
+                assert_eq!(gt.sorted_edge_list(), g1.sorted_edge_list());
             }
         }
     }

@@ -68,6 +68,22 @@
 //! The pre-pipeline entry points ([`Marioh::train`],
 //! [`reconstruct::reconstruct_with_report`]) remain for tests and
 //! sweeps that juggle raw configs.
+//!
+//! # The round-frozen invariant
+//!
+//! The working graph is mutated **only between** enumeration/scoring
+//! passes. Within one pass — enumerate the maximal cliques, extract
+//! features, score — every read sees the same edge weights, so each pass
+//! freezes the graph once into a [`RoundContext`]: an immutable CSR
+//! [`marioh_hypergraph::GraphView`] plus a lazily-built per-round
+//! [`mhh::MhhCache`] that computes each edge's MHH at most once no
+//! matter how many overlapping cliques share it. Commits (which
+//! decrement edge weights) happen strictly after a pass's context is
+//! dropped; the sub-clique pass of [`search`] then freezes a fresh
+//! context. The context borrows the graph, so the compiler enforces the
+//! freeze. All scoring paths — serial, threaded, and batched
+//! ([`CliqueScorer::score_batch`]) — are bit-identical by construction
+//! and by test.
 
 #![warn(missing_docs)]
 
@@ -81,6 +97,7 @@ pub mod persistence;
 pub mod pipeline;
 pub mod progress;
 pub mod reconstruct;
+pub mod round;
 pub mod search;
 pub mod training;
 pub mod variants;
@@ -91,5 +108,6 @@ pub use model::{CliqueScorer, TrainedModel};
 pub use pipeline::{Pipeline, PipelineBuilder, Reconstructor};
 pub use progress::{CancelToken, NoopObserver, ProgressObserver};
 pub use reconstruct::{Marioh, MariohConfig, ReconstructionReport};
+pub use round::RoundContext;
 pub use training::TrainingConfig;
 pub use variants::Variant;

@@ -1,7 +1,19 @@
 //! The maximum number of higher-order hyperedges (MHH) and residual edge
 //! multiplicity (Eq. 1, Lemmas 1–2 of the paper).
+//!
+//! Two computation paths produce identical values:
+//!
+//! * [`mhh`] — hash probes against the mutable [`ProjectedGraph`];
+//!   `O(min-degree)` probes per pair. Used by one-off queries.
+//! * [`mhh_view`] / [`MhhCache`] — sorted-merge intersection over a
+//!   round-frozen [`GraphView`]. The cache computes every edge's MHH at
+//!   most once per round, which is what makes clique scoring cheap:
+//!   overlapping cliques share most of their pairs.
+//!
+//! Both are exact integer sums over the same set of common neighbours,
+//! so they agree bit-for-bit (property-tested).
 
-use marioh_hypergraph::{NodeId, ProjectedGraph};
+use marioh_hypergraph::{GraphView, NodeId, ProjectedGraph};
 
 /// `MHH(u, v) = Σ_{z ∈ N(u) ∩ N(v)} min(ω_{u,z}, ω_{v,z})` — an upper
 /// bound on the number of hyperedges of size ≥ 3 containing both `u` and
@@ -40,6 +52,122 @@ pub fn residual_multiplicity(g: &ProjectedGraph, u: NodeId, v: NodeId) -> u32 {
     let w = u64::from(g.weight(u, v));
     let bound = mhh(g, u, v);
     u32::try_from(w.saturating_sub(bound)).expect("residual exceeds u32")
+}
+
+/// [`mhh`] computed against a round-frozen [`GraphView`] by sorted-merge
+/// intersection of the two adjacency slices — no hashing, no allocation.
+/// Identical value to [`mhh`] on the source graph: both sum
+/// `min(ω_{u,z}, ω_{v,z})` over exactly `N(u) ∩ N(v)` (which can contain
+/// neither `u` nor `v`), and integer addition is order-independent.
+pub fn mhh_view(view: &GraphView, u: NodeId, v: NodeId) -> u64 {
+    let (nu, wu) = view.neighbor_entries(u);
+    let (nv, wv) = view.neighbor_entries(v);
+    let (mut i, mut j) = (0, 0);
+    let mut total = 0u64;
+    while i < nu.len() && j < nv.len() {
+        match nu[i].cmp(&nv[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                total += u64::from(wu[i].min(wv[j]));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    total
+}
+
+/// Per-round MHH memo: one `u64` per directed adjacency slot of a
+/// [`GraphView`], filled for the canonical direction `u < v`.
+///
+/// Built once per scoring pass (optionally in parallel), so every edge's
+/// MHH is computed exactly once per round no matter how many overlapping
+/// cliques contain it. Lookups are a binary search in the smaller
+/// endpoint's slice ([`GraphView::slot`]) — or free when the caller
+/// already holds the slot from a weight lookup.
+#[derive(Debug, Clone)]
+pub struct MhhCache {
+    vals: Vec<u64>,
+}
+
+impl MhhCache {
+    /// Computes the MHH of every edge of `view` on up to `threads`
+    /// workers. Work is partitioned into contiguous node ranges balanced
+    /// by adjacency-slot count; each worker writes only its own slice, so
+    /// results are identical for any thread count.
+    pub fn build(view: &GraphView, threads: usize) -> MhhCache {
+        let n = view.num_nodes() as usize;
+        let slots = view.num_slots();
+        let mut vals = vec![0u64; slots];
+
+        // Fills canonical (u < v) slots for nodes in [lo, hi); `base` is
+        // the global slot index where this chunk starts.
+        let fill = |lo: usize, hi: usize, chunk: &mut [u64], base: usize| {
+            let mut cursor = base;
+            for u in lo..hi {
+                let id = NodeId(u as u32);
+                for &v in view.neighbors(id) {
+                    if v > u as u32 {
+                        chunk[cursor - base] = mhh_view(view, id, NodeId(v));
+                    }
+                    cursor += 1;
+                }
+            }
+        };
+
+        let threads = threads.max(1).min(n.max(1));
+        if threads <= 1 || slots < 4096 {
+            fill(0, n, &mut vals, 0);
+            return MhhCache { vals };
+        }
+
+        // Cut node space where the cumulative slot count crosses each
+        // worker's share, then hand each worker its disjoint sub-slice.
+        let mut bounds = vec![0usize]; // node-space boundaries
+        let mut slot_bounds = vec![0usize];
+        let per = slots.div_ceil(threads);
+        let mut acc = 0usize;
+        for u in 0..n {
+            acc += view.degree(NodeId(u as u32));
+            if acc >= per * bounds.len() && u + 1 < n {
+                bounds.push(u + 1);
+                slot_bounds.push(acc);
+            }
+        }
+        bounds.push(n);
+        slot_bounds.push(slots);
+
+        std::thread::scope(|scope| {
+            let mut rest: &mut [u64] = &mut vals;
+            let mut consumed = 0usize;
+            for w in 0..bounds.len() - 1 {
+                let (lo, hi) = (bounds[w], bounds[w + 1]);
+                let (base, end) = (slot_bounds[w], slot_bounds[w + 1]);
+                let (chunk, tail) = rest.split_at_mut(end - consumed);
+                rest = tail;
+                consumed = end;
+                let fill = &fill;
+                scope.spawn(move || fill(lo, hi, chunk, base));
+            }
+        });
+        MhhCache { vals }
+    }
+
+    /// The cached MHH of edge `{u, v}`, or `None` when the pair is not an
+    /// edge of the frozen view. `view` must be the view this cache was
+    /// built from.
+    pub fn get(&self, view: &GraphView, u: NodeId, v: NodeId) -> Option<u64> {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        view.slot(a, b).map(|s| self.vals[s])
+    }
+
+    /// The cached MHH at a canonical (`u < v`) directed slot returned by
+    /// [`GraphView::slot`].
+    #[inline]
+    pub fn at(&self, slot: usize) -> u64 {
+        self.vals[slot]
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +252,39 @@ mod tests {
                     "residual violated Lemma 2 for ({u}, {v})"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn view_and_cache_agree_with_hash_mhh_on_random_hypergraphs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for round in 0..30 {
+            let n_nodes = rng.gen_range(4..16u32);
+            let mut h = Hypergraph::new(n_nodes);
+            for _ in 0..rng.gen_range(2..20) {
+                let size = rng.gen_range(2..=5usize.min(n_nodes as usize));
+                let mut nodes: Vec<u32> = (0..n_nodes).collect();
+                for i in (1..nodes.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    nodes.swap(i, j);
+                }
+                h.add_edge_with_multiplicity(edge(&nodes[..size]), rng.gen_range(1..4));
+            }
+            let g = project(&h);
+            let view = marioh_hypergraph::GraphView::freeze(&g);
+            let threads = 1 + round % 4;
+            let cache = MhhCache::build(&view, threads);
+            for (u, v, _) in g.sorted_edge_list() {
+                let reference = mhh(&g, u, v);
+                assert_eq!(mhh_view(&view, u, v), reference);
+                assert_eq!(mhh_view(&view, v, u), reference);
+                assert_eq!(cache.get(&view, u, v), Some(reference));
+                assert_eq!(cache.get(&view, v, u), Some(reference));
+                let slot = view.slot(u, v).unwrap();
+                assert_eq!(cache.at(slot), reference);
+            }
+            assert_eq!(cache.get(&view, n(0), n(0)), None);
         }
     }
 

@@ -1,6 +1,7 @@
 //! The trained multiplicity-aware classifier and its scoring interface.
 
-use crate::features::{extract, FeatureMode};
+use crate::features::{extract, extract_into, FeatureMode, FeatureScratch};
+use crate::round::RoundContext;
 use marioh_hypergraph::{NodeId, ProjectedGraph};
 use marioh_ml::{Mlp, StandardScaler};
 
@@ -15,6 +16,24 @@ pub trait CliqueScorer: Sync {
     /// Predicted probability (in `[0, 1]`) that `clique` is a hyperedge of
     /// the original hypergraph, judged against the current graph `g`.
     fn score(&self, g: &ProjectedGraph, clique: &[NodeId]) -> f64;
+
+    /// Scores a batch of cliques against one round-frozen context,
+    /// writing `out[i] = score of cliques[i]`. The default falls back to
+    /// per-clique [`CliqueScorer::score`] against the context's source
+    /// graph; [`TrainedModel`] overrides it with the zero-alloc
+    /// view/memo/batched-MLP path. Implementations must be bit-identical
+    /// to the per-clique path — the search loop relies on that to keep
+    /// results independent of batching and thread count.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `cliques.len() != out.len()`.
+    fn score_batch(&self, round: &RoundContext<'_>, cliques: &[Vec<NodeId>], out: &mut [f64]) {
+        debug_assert_eq!(cliques.len(), out.len());
+        for (c, o) in cliques.iter().zip(out.iter_mut()) {
+            *o = self.score(round.graph(), c);
+        }
+    }
 }
 
 /// A trained classifier `M`: an MLP over scaled clique features.
@@ -45,6 +64,26 @@ impl CliqueScorer for TrainedModel {
         self.scaler.transform_in_place(&mut feats);
         self.mlp.predict(&feats)
     }
+
+    fn score_batch(&self, round: &RoundContext<'_>, cliques: &[Vec<NodeId>], out: &mut [f64]) {
+        assert_eq!(cliques.len(), out.len(), "cliques/out length mismatch");
+        let dim = self.mode.dim();
+        // All buffers are allocated once per batch call and reused
+        // across tiles; the tiles keep the transient feature matrix
+        // small no matter how many cliques the serial path hands over.
+        let mut scratch = FeatureScratch::default();
+        let mut mlp_scratch = marioh_ml::MlpScratch::default();
+        const TILE: usize = 256;
+        let mut rows = vec![0.0; dim * cliques.len().min(TILE)];
+        for (tile, outs) in cliques.chunks(TILE).zip(out.chunks_mut(TILE)) {
+            let rows = &mut rows[..dim * tile.len()];
+            for (c, row) in tile.iter().zip(rows.chunks_exact_mut(dim)) {
+                extract_into(self.mode, round, c, &mut scratch, row);
+                self.scaler.transform_in_place(row);
+            }
+            self.mlp.predict_rows_with(rows, outs, &mut mlp_scratch);
+        }
+    }
 }
 
 /// A scorer backed by a closure — test/diagnostic helper.
@@ -66,6 +105,42 @@ mod tests {
         let s = FnScorer(|_g: &ProjectedGraph, c: &[NodeId]| c.len() as f64 / 10.0);
         let g = ProjectedGraph::new(3);
         assert_eq!(s.score(&g, &[NodeId(0), NodeId(1)]), 0.2);
+    }
+
+    #[test]
+    fn trained_model_batch_matches_per_clique_bitwise() {
+        use crate::round::RoundContext;
+        use crate::training::{train_classifier, TrainingConfig};
+        use marioh_hypergraph::{clique::maximal_cliques, hyperedge::edge, projection::project};
+
+        let mut h = marioh_hypergraph::Hypergraph::new(0);
+        for b in 0..12u32 {
+            let base = b * 3;
+            h.add_edge(edge(&[base, base + 1, base + 2]));
+            h.add_edge(edge(&[base, base + 1]));
+            if b % 3 == 0 {
+                h.add_edge(edge(&[base, base + 3]));
+            }
+        }
+        for mode in [
+            FeatureMode::Multiplicity,
+            FeatureMode::Count,
+            FeatureMode::Motif,
+        ] {
+            let mut rng = StdRng::seed_from_u64(41);
+            let cfg = TrainingConfig {
+                feature_mode: mode,
+                ..TrainingConfig::default()
+            };
+            let model = train_classifier(&h, &cfg, &mut rng);
+            let g = project(&h);
+            let cliques = maximal_cliques(&g);
+            let reference: Vec<f64> = cliques.iter().map(|c| model.score(&g, c)).collect();
+            let round = RoundContext::new(&g);
+            let mut out = vec![0.0; cliques.len()];
+            model.score_batch(&round, &cliques, &mut out);
+            assert_eq!(out, reference, "mode {mode:?}");
+        }
     }
 
     #[test]

@@ -1,41 +1,93 @@
 //! Parallel clique scoring.
 //!
-//! Scoring a round's maximal cliques (feature extraction + one MLP
-//! forward pass each) is the other large slice of bidirectional-search
-//! runtime next to clique enumeration, and it is pure: every score reads
-//! the same frozen graph. Workers therefore just split the clique slice;
-//! results land at their original indices, so the output is identical to
-//! the serial map for any thread count.
+//! Scoring a round's cliques (feature extraction + one MLP forward pass
+//! each) is the other large slice of bidirectional-search runtime next to
+//! clique enumeration, and it is pure: every score reads the same
+//! round-frozen [`RoundContext`]. Workers pull fixed-size blocks of the
+//! clique slice from a shared atomic counter — large cliques cluster at
+//! the front of the sorted enumeration, so static chunking leaves the
+//! first worker with most of the work — and write scores straight into
+//! their block's slot of the output, so the result is identical to the
+//! serial map for any thread count.
 
 use crate::model::CliqueScorer;
+use crate::round::RoundContext;
 use marioh_hypergraph::{NodeId, ProjectedGraph};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Below this many cliques the spawn overhead outweighs the win.
 const PARALLEL_THRESHOLD: usize = 64;
 
-/// Scores every clique in `cliques` against `g`, fanning the work out
-/// over `threads` threads (`<= 1` or small batches run serially).
-/// `out[i]` is the score of `cliques[i]`.
+/// Cliques claimed per steal: small enough that a block of the large
+/// front-of-list cliques cannot dominate a worker, large enough that the
+/// batched scorer amortises its per-block buffers.
+const STEAL_BLOCK: usize = 32;
+
+/// Scores every clique in `cliques` against a context frozen from `g`.
+/// `out[i]` is the score of `cliques[i]`; results are identical for any
+/// `threads`.
+///
+/// Convenience wrapper: callers inside the search loop hold a
+/// [`RoundContext`] already and use [`score_cliques_round`] directly,
+/// sharing the frozen view (and MHH memo) with enumeration.
 pub fn score_cliques(
     scorer: &dyn CliqueScorer,
     g: &ProjectedGraph,
     cliques: &[Vec<NodeId>],
     threads: usize,
 ) -> Vec<f64> {
-    if threads <= 1 || cliques.len() < PARALLEL_THRESHOLD {
-        return cliques.iter().map(|c| scorer.score(g, c)).collect();
-    }
+    let round = RoundContext::with_threads(g, threads);
+    score_cliques_round(scorer, &round, cliques, threads)
+}
+
+/// [`score_cliques`] against an existing round-frozen context.
+///
+/// Serial (or small) batches make one [`CliqueScorer::score_batch`] call;
+/// parallel runs steal [`STEAL_BLOCK`]-sized blocks off an atomic
+/// counter. Each block's output slot is handed to exactly one worker, so
+/// scores land at their original indices without any post-hoc merge.
+pub fn score_cliques_round(
+    scorer: &dyn CliqueScorer,
+    round: &RoundContext<'_>,
+    cliques: &[Vec<NodeId>],
+    threads: usize,
+) -> Vec<f64> {
     let mut scores = vec![0.0; cliques.len()];
-    let chunk = cliques.len().div_ceil(threads);
-    std::thread::scope(|s| {
-        for (cs, ss) in cliques.chunks(chunk).zip(scores.chunks_mut(chunk)) {
-            s.spawn(move || {
-                for (c, out) in cs.iter().zip(ss.iter_mut()) {
-                    *out = scorer.score(g, c);
-                }
-            });
-        }
-    });
+    if cliques.is_empty() {
+        return scores;
+    }
+    if threads <= 1 || cliques.len() < PARALLEL_THRESHOLD {
+        scorer.score_batch(round, cliques, &mut scores);
+        return scores;
+    }
+
+    let num_blocks = cliques.len().div_ceil(STEAL_BLOCK);
+    {
+        // Every block's output slice sits in one slot; a worker that wins
+        // block `i` on the counter takes slot `i` exactly once, so the
+        // mutex is touched once per block and never contended for long.
+        let slots: Mutex<Vec<Option<&mut [f64]>>> =
+            Mutex::new(scores.chunks_mut(STEAL_BLOCK).map(Some).collect());
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads.min(num_blocks) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= num_blocks {
+                        break;
+                    }
+                    let out = slots
+                        .lock()
+                        .expect("score worker panicked while holding the slot lock")[i]
+                        .take()
+                        .expect("each block is claimed exactly once");
+                    let lo = i * STEAL_BLOCK;
+                    scorer.score_batch(round, &cliques[lo..lo + out.len()], out);
+                });
+            }
+        });
+    }
     scores
 }
 
@@ -63,6 +115,27 @@ mod tests {
             .collect();
         let serial = score_cliques(&scorer, &g, &cliques, 1);
         for threads in [2, 4, 16] {
+            assert_eq!(score_cliques(&scorer, &g, &cliques, threads), serial);
+        }
+    }
+
+    #[test]
+    fn work_stealing_keeps_output_order_with_uneven_cliques() {
+        // Clique sizes shrink along the list, mimicking the sorted
+        // enumeration where the heavy cliques cluster at the front. The
+        // index-dependent scorer catches any block landing at the wrong
+        // output offset.
+        let g = ring_graph(64);
+        let scorer =
+            FnScorer(|_: &ProjectedGraph, c: &[NodeId]| c.len() as f64 * 1e3 + f64::from(c[0].0));
+        let cliques: Vec<Vec<NodeId>> = (0..700u32)
+            .map(|i| {
+                let len = if i < 30 { 20 } else { 2 };
+                (0..len).map(|k| NodeId((i + k) % 64)).collect()
+            })
+            .collect();
+        let serial = score_cliques(&scorer, &g, &cliques, 1);
+        for threads in [2, 3, 8] {
             assert_eq!(score_cliques(&scorer, &g, &cliques, threads), serial);
         }
     }

@@ -1,7 +1,7 @@
 //! The MARIOH outer loop (Algorithm 1) and the high-level API.
 
 use crate::error::MariohError;
-use crate::filtering::{filtering, FilterStats};
+use crate::filtering::{filtering_threaded, FilterStats};
 use crate::model::{CliqueScorer, TrainedModel};
 use crate::pipeline::Reconstructor;
 use crate::progress::{CancelToken, NoopObserver, ProgressObserver};
@@ -95,7 +95,7 @@ pub fn reconstruct_observed<R: Rng + ?Sized>(
     }
     let mut work = if cfg.use_filtering {
         let t0 = std::time::Instant::now();
-        let (g2, stats) = filtering(g, &mut reconstruction);
+        let (g2, stats) = filtering_threaded(g, &mut reconstruction, cfg.threads);
         report.filtering_secs = t0.elapsed().as_secs_f64();
         observer.on_filtering_done(&stats, report.filtering_secs);
         report.filter_stats = Some(stats);

@@ -1,0 +1,91 @@
+//! The round-frozen scoring context shared by one enumeration/scoring
+//! pass.
+//!
+//! # The round-frozen invariant
+//!
+//! The bidirectional search mutates the working graph only *between*
+//! passes: it enumerates and scores against one consistent set of
+//! weights, then commits (decrementing edges), then freezes again for the
+//! sub-clique pass. [`RoundContext`] reifies that window: it snapshots
+//! the graph into a CSR [`GraphView`] once, and lazily attaches the
+//! per-round [`MhhCache`] so each edge's MHH is computed at most once per
+//! pass regardless of how many overlapping cliques share it.
+//!
+//! Everything inside a context is immutable, so any number of scoring
+//! workers can share one `&RoundContext`.
+
+use crate::mhh::MhhCache;
+use marioh_hypergraph::{GraphView, ProjectedGraph};
+use std::sync::OnceLock;
+
+/// One scoring pass's frozen state: the source graph, its CSR view, and
+/// a lazily-built MHH memo.
+///
+/// The borrow of the source graph statically enforces the freeze: while a
+/// context is alive the graph cannot be mutated, so the view and cache
+/// can never go stale.
+pub struct RoundContext<'g> {
+    g: &'g ProjectedGraph,
+    view: GraphView,
+    threads: usize,
+    mhh: OnceLock<MhhCache>,
+}
+
+impl<'g> RoundContext<'g> {
+    /// Freezes `g` for one pass (single-threaded cache construction).
+    pub fn new(g: &'g ProjectedGraph) -> Self {
+        RoundContext::with_threads(g, 1)
+    }
+
+    /// Freezes `g`, remembering `threads` for the MHH-cache build.
+    pub fn with_threads(g: &'g ProjectedGraph, threads: usize) -> Self {
+        RoundContext {
+            g,
+            view: GraphView::freeze(g),
+            threads: threads.max(1),
+            mhh: OnceLock::new(),
+        }
+    }
+
+    /// The source graph (for scorers that predate the view path).
+    #[inline]
+    pub fn graph(&self) -> &ProjectedGraph {
+        self.g
+    }
+
+    /// The frozen CSR view.
+    #[inline]
+    pub fn view(&self) -> &GraphView {
+        &self.view
+    }
+
+    /// The per-round MHH memo, built on first request. Scorers that never
+    /// need MHH (count/motif features, test oracles) never pay for it.
+    pub fn mhh_cache(&self) -> &MhhCache {
+        self.mhh
+            .get_or_init(|| MhhCache::build(&self.view, self.threads))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marioh_hypergraph::NodeId;
+
+    #[test]
+    fn context_freezes_view_and_builds_cache_lazily() {
+        let mut g = ProjectedGraph::new(3);
+        g.add_edge_weight(NodeId(0), NodeId(1), 2);
+        g.add_edge_weight(NodeId(1), NodeId(2), 1);
+        g.add_edge_weight(NodeId(0), NodeId(2), 1);
+        let ctx = RoundContext::with_threads(&g, 4);
+        assert_eq!(ctx.view().num_edges(), g.num_edges());
+        assert_eq!(
+            ctx.mhh_cache().get(ctx.view(), NodeId(0), NodeId(1)),
+            Some(crate::mhh::mhh(&g, NodeId(0), NodeId(1)))
+        );
+        // Second call returns the same memo (OnceLock).
+        let first = ctx.mhh_cache() as *const MhhCache;
+        assert_eq!(first, ctx.mhh_cache() as *const MhhCache);
+    }
+}

@@ -6,13 +6,19 @@
 //! (Phase 2). Committing a clique decrements all its edge weights by one,
 //! so later candidates may no longer exist — exactly the behaviour shown
 //! in Fig. 3 (clique (B) disappearing after (A) is taken).
+//!
+//! Each of the two scoring passes freezes the working graph into one
+//! [`RoundContext`] (CSR view + lazy MHH memo) shared by enumeration and
+//! scoring; commits — the only mutation — happen strictly between
+//! passes, after the context is dropped.
 
 use crate::error::MariohError;
 use crate::model::CliqueScorer;
-use crate::parallel::score_cliques;
+use crate::parallel::score_cliques_round;
 use crate::progress::CancelToken;
+use crate::round::RoundContext;
 use marioh_hypergraph::clique::sample_k_subset;
-use marioh_hypergraph::parallel::maximal_cliques_parallel;
+use marioh_hypergraph::parallel::maximal_cliques_view;
 use marioh_hypergraph::{Hyperedge, Hypergraph, NodeId, ProjectedGraph};
 use rand::Rng;
 
@@ -103,15 +109,19 @@ pub fn bidirectional_search_threaded<R: Rng + ?Sized>(
         return Err(MariohError::Cancelled);
     }
     let mut stats = SearchStats::default();
-    let cliques = maximal_cliques_parallel(g, threads);
+    // Freeze the graph once for the whole enumeration + scoring pass:
+    // both read the same CSR view (and the scorer the same MHH memo),
+    // and the borrow keeps commits out until the context is dropped.
+    let (cliques, scores) = {
+        let round = RoundContext::with_threads(g, threads);
+        let cliques = maximal_cliques_view(round.view(), threads);
+        let scores = score_cliques_round(scorer, &round, &cliques, threads);
+        (cliques, scores)
+    };
     stats.cliques_enumerated = cliques.len();
     if cliques.is_empty() {
         return Ok(stats);
     }
-
-    // Score all maximal cliques once (deterministic order: the enumerator
-    // returns cliques sorted).
-    let scores = score_cliques(scorer, g, &cliques, threads);
     let mut scored: Vec<(f64, &Vec<NodeId>)> = scores.into_iter().zip(cliques.iter()).collect();
 
     // Partition: positives (score > θ) descending, rest ascending.
@@ -157,7 +167,14 @@ pub fn bidirectional_search_threaded<R: Rng + ?Sized>(
             // else: an earlier commit removed one of its edges
         }
     }
-    let sub_scores = score_cliques(scorer, g, &candidates, threads);
+    // Phase-1 commits mutated the graph, so the sub-clique pass gets its
+    // own frozen context.
+    let sub_scores = if candidates.is_empty() {
+        Vec::new()
+    } else {
+        let round = RoundContext::with_threads(g, threads);
+        score_cliques_round(scorer, &round, &candidates, threads)
+    };
     let mut sub_scored: Vec<(f64, Vec<NodeId>)> = sub_scores
         .into_iter()
         .zip(candidates)

@@ -7,33 +7,23 @@
 
 use crate::graph::ProjectedGraph;
 use crate::node::NodeId;
+use crate::view::GraphView;
 use rand::Rng;
 
-/// Sorted adjacency snapshot used during enumeration.
-///
-/// [`ProjectedGraph`] stores hash maps (optimised for mutation); the
-/// enumerator wants sorted slices for merge-style intersections, so we
-/// snapshot once per call.
-pub(crate) struct Snapshot {
-    adj: Vec<Vec<u32>>,
-}
-
-impl Snapshot {
-    pub(crate) fn new(g: &ProjectedGraph) -> Self {
-        let adj = (0..g.num_nodes())
-            .map(|u| {
-                let mut nbrs: Vec<u32> = g.neighbors(NodeId(u)).map(|(v, _)| v.0).collect();
-                nbrs.sort_unstable();
-                nbrs
-            })
-            .collect();
-        Snapshot { adj }
+/// Splits the neighbourhood of root `u` into the Bron–Kerbosch `(P, X)`
+/// sets by degeneracy rank: later-ranked neighbours are candidates,
+/// earlier-ranked ones exclusions.
+pub(crate) fn root_split(view: &GraphView, rank: &[u32], u: NodeId) -> (Vec<u32>, Vec<u32>) {
+    let mut p: Vec<u32> = Vec::new();
+    let mut x: Vec<u32> = Vec::new();
+    for &v in view.neighbors(u) {
+        if rank[v as usize] > rank[u.index()] {
+            p.push(v);
+        } else {
+            x.push(v);
+        }
     }
-
-    #[inline]
-    pub(crate) fn neighbors(&self, u: u32) -> &[u32] {
-        &self.adj[u as usize]
-    }
+    (p, x)
 }
 
 /// Intersection of a sorted slice with the sorted neighbour list of `u`.
@@ -113,6 +103,47 @@ pub fn degeneracy_ordering(g: &ProjectedGraph) -> Vec<NodeId> {
     order
 }
 
+/// [`degeneracy_ordering`] computed from a frozen [`GraphView`] — no hash
+/// traffic. The ordering may differ from the hash-map variant's (ties
+/// break by neighbour iteration order), but any degeneracy ordering
+/// yields the same maximal-clique *set*, and enumeration output is sorted
+/// before being returned.
+pub fn degeneracy_ordering_view(view: &GraphView) -> Vec<NodeId> {
+    let n = view.num_nodes() as usize;
+    let mut degree: Vec<usize> = (0..n).map(|u| view.degree(NodeId(u as u32))).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_deg + 1];
+    for (u, &d) in degree.iter().enumerate() {
+        buckets[d].push(u as u32);
+    }
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut cursor = 0usize;
+    while order.len() < n {
+        while cursor < buckets.len() && buckets[cursor].is_empty() {
+            cursor += 1;
+        }
+        let Some(u) = buckets[cursor].pop() else {
+            break;
+        };
+        if removed[u as usize] || degree[u as usize] != cursor {
+            continue; // stale bucket entry
+        }
+        removed[u as usize] = true;
+        order.push(NodeId(u));
+        for &v in view.neighbors(NodeId(u)) {
+            let vi = v as usize;
+            if !removed[vi] {
+                let d = degree[vi];
+                degree[vi] = d - 1;
+                buckets[d - 1].push(v);
+                cursor = cursor.min(d - 1);
+            }
+        }
+    }
+    order
+}
+
 /// Enumerates all maximal cliques of `g` (size ≥ 2), each returned as a
 /// sorted node vector. Deterministic output order (sorted at the end).
 ///
@@ -130,7 +161,10 @@ pub fn maximal_cliques(g: &ProjectedGraph) -> Vec<Vec<NodeId>> {
 /// reports OOT/OOM entries for some baselines); MARIOH itself never needs
 /// it on the bundled datasets.
 pub fn maximal_cliques_capped(g: &ProjectedGraph, cap: usize) -> (Vec<Vec<NodeId>>, bool) {
-    let snap = Snapshot::new(g);
+    // The ordering is still computed from the hash-map graph so that the
+    // emission order — and therefore which cliques survive a finite
+    // `cap` — is unchanged from earlier releases.
+    let view = GraphView::freeze(g);
     let order = degeneracy_ordering(g);
     let mut rank = vec![0u32; g.num_nodes() as usize];
     for (i, u) in order.iter().enumerate() {
@@ -138,21 +172,12 @@ pub fn maximal_cliques_capped(g: &ProjectedGraph, cap: usize) -> (Vec<Vec<NodeId
     }
     let mut out: Vec<Vec<u32>> = Vec::new();
     let mut truncated = false;
-    'outer: for &u in &order {
-        let nbrs = snap.neighbors(u.0);
-        let mut p: Vec<u32> = Vec::new();
-        let mut x: Vec<u32> = Vec::new();
-        for &v in nbrs {
-            if rank[v as usize] > rank[u.index()] {
-                p.push(v);
-            } else {
-                x.push(v);
-            }
-        }
+    for &u in &order {
+        let (p, x) = root_split(&view, &rank, u);
         let mut r = vec![u.0];
-        if bk_pivot(&snap, &mut r, p, x, &mut out, cap) {
+        if bk_pivot(&view, &mut r, p, x, &mut out, cap) {
             truncated = true;
-            break 'outer;
+            break;
         }
     }
     // Isolated edges / larger cliques are all covered; filter size-1
@@ -170,7 +195,7 @@ pub fn maximal_cliques_capped(g: &ProjectedGraph, cap: usize) -> (Vec<Vec<NodeId
 /// Recursive Bron–Kerbosch step with pivoting. Returns `true` when the cap
 /// was hit.
 pub(crate) fn bk_pivot(
-    snap: &Snapshot,
+    view: &GraphView,
     r: &mut Vec<u32>,
     p: Vec<u32>,
     mut x: Vec<u32>,
@@ -193,9 +218,9 @@ pub(crate) fn bk_pivot(
         .iter()
         .chain(x.iter())
         .copied()
-        .max_by_key(|&v| intersection_size(&p, snap.neighbors(v)))
+        .max_by_key(|&v| intersection_size(&p, view.neighbors(NodeId(v))))
         .expect("P ∪ X non-empty");
-    let pivot_nbrs = snap.neighbors(pivot);
+    let pivot_nbrs = view.neighbors(NodeId(pivot));
     let candidates: Vec<u32> = p
         .iter()
         .copied()
@@ -203,11 +228,11 @@ pub(crate) fn bk_pivot(
         .collect();
     let mut p = p;
     for v in candidates {
-        let v_nbrs = snap.neighbors(v);
+        let v_nbrs = view.neighbors(NodeId(v));
         let new_p = intersect_sorted(&p, v_nbrs);
         let new_x = intersect_sorted(&x, v_nbrs);
         r.push(v);
-        if bk_pivot(snap, r, new_p, new_x, out, cap) {
+        if bk_pivot(view, r, new_p, new_x, out, cap) {
             return true;
         }
         r.pop();
@@ -244,6 +269,32 @@ pub fn is_maximal(g: &ProjectedGraph, clique: &[NodeId]) -> bool {
     true
 }
 
+/// [`is_maximal`] against a frozen [`GraphView`]. Returns exactly the
+/// same answer as the hash-map variant on the source graph: the anchor is
+/// the same (first member of minimum degree, and degrees agree), and
+/// maximality is an existence check, so neighbour iteration order cannot
+/// change the result.
+pub fn is_maximal_view(view: &GraphView, clique: &[NodeId]) -> bool {
+    let Some(&first) = clique.first() else {
+        return false;
+    };
+    let anchor = clique
+        .iter()
+        .copied()
+        .min_by_key(|&u| view.degree(u))
+        .unwrap_or(first);
+    for &cand in view.neighbors(anchor) {
+        let cand = NodeId(cand);
+        if clique.binary_search(&cand).is_ok() {
+            continue;
+        }
+        if clique.iter().all(|&u| u == cand || view.has_edge(u, cand)) {
+            return false;
+        }
+    }
+    true
+}
+
 /// Uniformly samples a `k`-subset of `nodes` (Floyd's algorithm), returned
 /// sorted.
 ///
@@ -273,11 +324,11 @@ pub fn sample_k_subset<R: Rng + ?Sized>(rng: &mut R, nodes: &[NodeId], k: usize)
 ///
 /// Used by the simplicial-closure property and the motif features.
 pub fn for_each_triangle<F: FnMut(NodeId, NodeId, NodeId)>(g: &ProjectedGraph, mut f: F) {
-    let snap = Snapshot::new(g);
+    let view = GraphView::freeze(g);
     for u in 0..g.num_nodes() {
-        let nu = snap.neighbors(u);
+        let nu = view.neighbors(NodeId(u));
         for &v in nu.iter().filter(|&&v| v > u) {
-            let nv = snap.neighbors(v);
+            let nv = view.neighbors(NodeId(v));
             // w > v keeps each triangle counted once.
             let (mut i, mut j) = (0, 0);
             while i < nu.len() && j < nv.len() {
@@ -429,6 +480,67 @@ mod tests {
         assert!(is_maximal(&g, &[n(0), n(1), n(2)]));
         assert!(!is_maximal(&g, &[n(1), n(2)])); // extends to both triangles
         assert!(!is_maximal(&g, &[n(0), n(1)]));
+    }
+
+    #[test]
+    fn view_maximality_matches_graph_on_random_cliques() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..20 {
+            let nodes = rng.gen_range(3..14u32);
+            let mut g = ProjectedGraph::new(nodes);
+            for u in 0..nodes {
+                for v in u + 1..nodes {
+                    if rng.gen_bool(0.5) {
+                        g.add_edge_weight(n(u), n(v), 1);
+                    }
+                }
+            }
+            let view = GraphView::freeze(&g);
+            for clique in maximal_cliques(&g) {
+                assert!(is_maximal_view(&view, &clique));
+                for k in 2..clique.len() {
+                    let sub = &clique[..k];
+                    assert_eq!(is_maximal_view(&view, sub), is_maximal(&g, sub));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn view_ordering_is_a_valid_degeneracy_ordering() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..10 {
+            let nodes = rng.gen_range(2..20u32);
+            let mut g = ProjectedGraph::new(nodes);
+            for u in 0..nodes {
+                for v in u + 1..nodes {
+                    if rng.gen_bool(0.4) {
+                        g.add_edge_weight(n(u), n(v), 1);
+                    }
+                }
+            }
+            let view = GraphView::freeze(&g);
+            let order = degeneracy_ordering_view(&view);
+            assert_eq!(order.len(), nodes as usize);
+            let mut seen: Vec<u32> = order.iter().map(|u| u.0).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..nodes).collect::<Vec<_>>());
+            // Degeneracy (max remaining degree along the ordering) must
+            // match the hash-graph ordering's — both are optimal.
+            let degeneracy = |order: &[NodeId]| {
+                let mut removed = vec![false; nodes as usize];
+                let mut worst = 0usize;
+                for &u in order {
+                    let remaining = g.neighbors(u).filter(|(v, _)| !removed[v.index()]).count();
+                    worst = worst.max(remaining);
+                    removed[u.index()] = true;
+                }
+                worst
+            };
+            assert_eq!(degeneracy(&order), degeneracy(&degeneracy_ordering(&g)));
+        }
     }
 
     #[test]

@@ -173,6 +173,20 @@ impl ProjectedGraph {
         true
     }
 
+    /// Size of `N(u) ∩ N(v)`: probes the larger adjacency set with each
+    /// member of the smaller one, allocating nothing.
+    pub fn common_neighbor_count(&self, u: NodeId, v: NodeId) -> usize {
+        let (small, large) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[small.index()]
+            .keys()
+            .filter(|&&z| self.adj[large.index()].contains_key(&z))
+            .count()
+    }
+
     /// Common neighbours of `u` and `v`, ascending (iterates the smaller
     /// adjacency set).
     pub fn common_neighbors(&self, u: NodeId, v: NodeId) -> Vec<NodeId> {
@@ -351,6 +365,9 @@ mod tests {
         g.add_edge_weight(n(1), n(3), 1);
         assert_eq!(g.common_neighbors(n(0), n(1)), vec![n(2), n(3)]);
         assert_eq!(g.common_neighbors(n(2), n(3)), vec![n(0), n(1)]);
+        assert_eq!(g.common_neighbor_count(n(0), n(1)), 2);
+        assert_eq!(g.common_neighbor_count(n(2), n(3)), 2);
+        assert_eq!(g.common_neighbor_count(n(0), n(3)), 1);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! * [`ProjectedGraph`] — its weighted clique expansion `G = (V, E_G, ω)`,
 //! * [`projection::project`] — the expansion itself,
 //! * [`clique`] — maximal-clique enumeration shared by every method,
+//! * [`view`] — round-frozen CSR snapshots shared by enumeration,
+//!   feature extraction and scoring within one pass,
 //! * [`metrics`] — Jaccard / multi-Jaccard reconstruction accuracy,
 //! * [`properties`] — the 12 structural properties of Table IV,
 //! * [`io`] — plain-text persistence.
@@ -42,9 +44,11 @@ pub mod node;
 pub mod parallel;
 pub mod projection;
 pub mod properties;
+pub mod view;
 
 pub use error::HypergraphError;
 pub use graph::ProjectedGraph;
 pub use hyperedge::Hyperedge;
 pub use hypergraph::Hypergraph;
 pub use node::{NodeId, NodeInterner};
+pub use view::GraphView;

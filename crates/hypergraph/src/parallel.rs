@@ -10,72 +10,83 @@
 //!
 //! Scoped `std::thread` is all this needs — no crossbeam dependency.
 
-use crate::clique::{bk_pivot, degeneracy_ordering, maximal_cliques, Snapshot};
+use crate::clique::{bk_pivot, degeneracy_ordering_view, root_split};
 use crate::graph::ProjectedGraph;
 use crate::node::NodeId;
+use crate::view::GraphView;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Enumerates all maximal cliques of `g` (size ≥ 2) on `threads` worker
 /// threads. Output is identical (including order) to
-/// [`maximal_cliques`]; `threads <= 1` delegates to the serial
-/// implementation.
+/// [`crate::clique::maximal_cliques`] for any thread count.
+///
+/// Callers that already hold a round-frozen [`GraphView`] should use
+/// [`maximal_cliques_view`] instead and skip the snapshot rebuild.
 pub fn maximal_cliques_parallel(g: &ProjectedGraph, threads: usize) -> Vec<Vec<NodeId>> {
-    if threads <= 1 {
-        return maximal_cliques(g);
-    }
-    let snap = Snapshot::new(g);
-    let order = degeneracy_ordering(g);
+    maximal_cliques_view(&GraphView::freeze(g), threads)
+}
+
+/// Enumerates all maximal cliques (size ≥ 2) of a frozen [`GraphView`],
+/// fanning root subproblems out over `threads` workers (`<= 1` runs
+/// serially). The view is the *only* structure consulted — no hash-map
+/// graph, no duplicate snapshot or ordering construction — so the search
+/// loop shares one view between enumeration and scoring.
+///
+/// Output is sorted, hence identical for any thread count and equal to
+/// [`crate::clique::maximal_cliques`] on the source graph.
+pub fn maximal_cliques_view(view: &GraphView, threads: usize) -> Vec<Vec<NodeId>> {
+    let order = degeneracy_ordering_view(view);
     if order.is_empty() {
         return Vec::new();
     }
-    let mut rank = vec![0u32; g.num_nodes() as usize];
+    let mut rank = vec![0u32; view.num_nodes() as usize];
     for (i, u) in order.iter().enumerate() {
         rank[u.index()] = i as u32;
     }
 
-    let next = AtomicUsize::new(0);
-    let mut shards: Vec<Vec<Vec<u32>>> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let snap = &snap;
-                let order = &order;
-                let rank = &rank;
-                let next = &next;
-                scope.spawn(move || {
-                    let mut out: Vec<Vec<u32>> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&u) = order.get(i) else {
-                            break;
-                        };
-                        let nbrs = snap.neighbors(u.0);
-                        let mut p: Vec<u32> = Vec::new();
-                        let mut x: Vec<u32> = Vec::new();
-                        for &v in nbrs {
-                            if rank[v as usize] > rank[u.index()] {
-                                p.push(v);
-                            } else {
-                                x.push(v);
-                            }
+    let mut all: Vec<Vec<u32>> = Vec::new();
+    if threads <= 1 {
+        for &u in &order {
+            let (p, x) = root_split(view, &rank, u);
+            let mut r = vec![u.0];
+            bk_pivot(view, &mut r, p, x, &mut all, usize::MAX);
+        }
+    } else {
+        // Workers pull root vertices from a shared atomic counter (hub
+        // vertices make static chunking lopsided).
+        let next = AtomicUsize::new(0);
+        let mut shards: Vec<Vec<Vec<u32>>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let order = &order;
+                    let rank = &rank;
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut out: Vec<Vec<u32>> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&u) = order.get(i) else {
+                                break;
+                            };
+                            let (p, x) = root_split(view, rank, u);
+                            let mut r = vec![u.0];
+                            bk_pivot(view, &mut r, p, x, &mut out, usize::MAX);
                         }
-                        let mut r = vec![u.0];
-                        bk_pivot(snap, &mut r, p, x, &mut out, usize::MAX);
-                    }
-                    out
+                        out
+                    })
                 })
-            })
-            .collect();
-        shards = handles
-            .into_iter()
-            .map(|h| h.join().expect("clique worker panicked"))
-            .collect();
-    });
-
-    let total: usize = shards.iter().map(Vec::len).sum();
-    let mut all: Vec<Vec<u32>> = Vec::with_capacity(total);
-    for shard in shards {
-        all.extend(shard);
+                .collect();
+            shards = handles
+                .into_iter()
+                .map(|h| h.join().expect("clique worker panicked"))
+                .collect();
+        });
+        let total: usize = shards.iter().map(Vec::len).sum();
+        all.reserve(total);
+        for shard in shards {
+            all.extend(shard);
+        }
     }
     all.sort_unstable();
     all.into_iter()
@@ -86,6 +97,7 @@ pub fn maximal_cliques_parallel(g: &ProjectedGraph, threads: usize) -> Vec<Vec<N
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clique::maximal_cliques;
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn random_graph(rng: &mut StdRng, n: u32, p: f64) -> ProjectedGraph {
@@ -124,6 +136,20 @@ mod tests {
         let g = random_graph(&mut rng, 20, 0.3);
         assert_eq!(maximal_cliques_parallel(&g, 1), maximal_cliques(&g));
         assert_eq!(maximal_cliques_parallel(&g, 0), maximal_cliques(&g));
+    }
+
+    #[test]
+    fn prebuilt_view_matches_graph_enumeration() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..8 {
+            let n = rng.gen_range(2..30u32);
+            let g = random_graph(&mut rng, n, 0.35);
+            let view = GraphView::freeze(&g);
+            let serial = maximal_cliques(&g);
+            for threads in [1, 2, 4] {
+                assert_eq!(maximal_cliques_view(&view, threads), serial);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! A round-frozen CSR snapshot of a [`ProjectedGraph`].
+//!
+//! [`ProjectedGraph`] stores one hash map per node because the
+//! reconstruction loop *mutates* it (commits decrement edge weights).
+//! Inside one enumeration/scoring pass, however, the graph is frozen:
+//! every clique probe, MHH merge and feature read sees the same weights.
+//! [`GraphView`] exploits that window with a compressed-sparse-row
+//! layout — one offset array plus sorted `(neighbour, weight)` slices —
+//! so hot-path queries become merges and binary searches over contiguous
+//! memory instead of per-edge hash lookups.
+//!
+//! The freeze contract: a view is only valid as long as the graph it was
+//! built from is not mutated. The search loop therefore builds one view
+//! per scoring pass (mutation happens strictly *between* passes) and
+//! drops it before committing.
+
+use crate::graph::ProjectedGraph;
+use crate::node::NodeId;
+
+/// An immutable CSR snapshot of a [`ProjectedGraph`].
+///
+/// Per node `u`, `neighbors(u)` and `neighbor_weights(u)` are parallel
+/// slices sorted by neighbour id. Every accessor returns exactly the same
+/// value as its [`ProjectedGraph`] counterpart on the graph the view was
+/// frozen from (property-tested), so the two representations are
+/// interchangeable for read-only code.
+#[derive(Debug, Clone)]
+pub struct GraphView {
+    /// `offsets[u]..offsets[u + 1]` indexes `u`'s slice of `nbrs`/`weights`.
+    offsets: Vec<usize>,
+    nbrs: Vec<u32>,
+    weights: Vec<u32>,
+    weighted_degree: Vec<u64>,
+    num_edges: usize,
+    total_weight: u64,
+}
+
+impl GraphView {
+    /// Snapshots `g` into CSR form. O(V + E log d) for the per-node sort.
+    pub fn freeze(g: &ProjectedGraph) -> Self {
+        let n = g.num_nodes() as usize;
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut slots = 0usize;
+        for u in 0..n {
+            slots += g.degree(NodeId(u as u32));
+            offsets.push(slots);
+        }
+        let mut nbrs = vec![0u32; slots];
+        let mut weights = vec![0u32; slots];
+        let mut weighted_degree = Vec::with_capacity(n);
+        let mut row: Vec<(u32, u32)> = Vec::new();
+        for (u, &start) in offsets.iter().take(n).enumerate() {
+            let id = NodeId(u as u32);
+            row.clear();
+            row.extend(g.neighbors(id).map(|(v, w)| (v.0, w)));
+            row.sort_unstable_by_key(|&(v, _)| v);
+            for (i, &(v, w)) in row.iter().enumerate() {
+                nbrs[start + i] = v;
+                weights[start + i] = w;
+            }
+            weighted_degree.push(g.weighted_degree(id));
+        }
+        GraphView {
+            offsets,
+            nbrs,
+            weights,
+            weighted_degree,
+            num_edges: g.num_edges(),
+            total_weight: g.total_weight(),
+        }
+    }
+
+    /// Number of nodes in the universe (including isolated ones).
+    #[inline]
+    pub fn num_nodes(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of edges with positive weight.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Sum of all edge weights over unordered pairs.
+    #[inline]
+    pub fn total_weight(&self) -> u64 {
+        self.total_weight
+    }
+
+    /// Number of directed adjacency slots (`2 × num_edges`); the length
+    /// of any per-slot side array such as an MHH cache.
+    #[inline]
+    pub fn num_slots(&self) -> usize {
+        self.nbrs.len()
+    }
+
+    /// Number of neighbours of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.offsets[u.index() + 1] - self.offsets[u.index()]
+    }
+
+    /// Weighted degree `Σ_{v ∈ N(u)} ω_{u,v}`.
+    #[inline]
+    pub fn weighted_degree(&self, u: NodeId) -> u64 {
+        self.weighted_degree[u.index()]
+    }
+
+    /// Neighbour ids of `u`, ascending.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[u32] {
+        &self.nbrs[self.offsets[u.index()]..self.offsets[u.index() + 1]]
+    }
+
+    /// Weights parallel to [`GraphView::neighbors`].
+    #[inline]
+    pub fn neighbor_weights(&self, u: NodeId) -> &[u32] {
+        &self.weights[self.offsets[u.index()]..self.offsets[u.index() + 1]]
+    }
+
+    /// Sorted neighbour ids and their weights as parallel slices.
+    #[inline]
+    pub fn neighbor_entries(&self, u: NodeId) -> (&[u32], &[u32]) {
+        let range = self.offsets[u.index()]..self.offsets[u.index() + 1];
+        (&self.nbrs[range.clone()], &self.weights[range])
+    }
+
+    /// Global slot index of the directed adjacency entry `(u, v)`, if the
+    /// edge exists. Slots index [`GraphView::weight_at`] and per-slot side
+    /// arrays.
+    #[inline]
+    pub fn slot(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        let start = self.offsets[u.index()];
+        let nbrs = &self.nbrs[start..self.offsets[u.index() + 1]];
+        nbrs.binary_search(&v.0).ok().map(|i| start + i)
+    }
+
+    /// Weight stored at a directed slot returned by [`GraphView::slot`].
+    #[inline]
+    pub fn weight_at(&self, slot: usize) -> u32 {
+        self.weights[slot]
+    }
+
+    /// Weight `ω_{u,v}`; zero when the edge is absent.
+    #[inline]
+    pub fn weight(&self, u: NodeId, v: NodeId) -> u32 {
+        self.slot(u, v).map_or(0, |s| self.weights[s])
+    }
+
+    /// Whether `{u, v}` is an edge.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.slot(u, v).is_some()
+    }
+
+    /// Whether every pair of distinct nodes in `nodes` is an edge.
+    ///
+    /// `nodes` must not contain duplicates.
+    pub fn is_clique(&self, nodes: &[NodeId]) -> bool {
+        for (i, &u) in nodes.iter().enumerate() {
+            for &v in &nodes[i + 1..] {
+                if !self.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Size of `N(u) ∩ N(v)` by sorted merge — no allocation.
+    pub fn common_neighbor_count(&self, u: NodeId, v: NodeId) -> usize {
+        let a = self.neighbors(u);
+        let b = self.neighbors(v);
+        let (mut i, mut j, mut count) = (0, 0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Iterates over all edges `(u, v, ω)` with `u < v` in ascending
+    /// `(u, v)` order — the same order as
+    /// [`ProjectedGraph::sorted_edge_list`], without materialising it.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, u32)> + '_ {
+        (0..self.num_nodes()).flat_map(move |u| {
+            let id = NodeId(u);
+            let (nbrs, weights) = self.neighbor_entries(id);
+            nbrs.iter()
+                .zip(weights)
+                .filter(move |&(&v, _)| u < v)
+                .map(move |(&v, &w)| (id, NodeId(v), w))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn random_graph(rng: &mut StdRng, nodes: u32, p: f64) -> ProjectedGraph {
+        let mut g = ProjectedGraph::new(nodes);
+        for u in 0..nodes {
+            for v in u + 1..nodes {
+                if rng.gen_bool(p) {
+                    g.add_edge_weight(NodeId(u), NodeId(v), rng.gen_range(1..6));
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn view_matches_graph_on_every_accessor() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..25 {
+            let nodes = rng.gen_range(1..30u32);
+            let p = rng.gen_range(0.05..0.7);
+            let g = random_graph(&mut rng, nodes, p);
+            let view = GraphView::freeze(&g);
+
+            assert_eq!(view.num_nodes(), g.num_nodes());
+            assert_eq!(view.num_edges(), g.num_edges());
+            assert_eq!(view.total_weight(), g.total_weight());
+            assert_eq!(view.num_slots(), 2 * g.num_edges());
+            assert_eq!(view.edges().collect::<Vec<_>>(), g.sorted_edge_list());
+
+            for u in (0..nodes).map(NodeId) {
+                assert_eq!(view.degree(u), g.degree(u));
+                assert_eq!(view.weighted_degree(u), g.weighted_degree(u));
+                let sorted: Vec<u32> = g.sorted_neighbors(u).iter().map(|v| v.0).collect();
+                assert_eq!(view.neighbors(u), &sorted[..]);
+                let (ids, ws) = view.neighbor_entries(u);
+                assert_eq!(ids, view.neighbors(u));
+                assert_eq!(ws, view.neighbor_weights(u));
+                for v in (0..nodes).map(NodeId) {
+                    assert_eq!(view.weight(u, v), g.weight(u, v));
+                    assert_eq!(view.has_edge(u, v), g.has_edge(u, v));
+                    if u < v {
+                        assert_eq!(
+                            view.common_neighbor_count(u, v),
+                            g.common_neighbors(u, v).len()
+                        );
+                        assert_eq!(
+                            view.common_neighbor_count(u, v),
+                            g.common_neighbor_count(u, v)
+                        );
+                    }
+                }
+            }
+
+            // Random subsets agree on cliqueness.
+            for _ in 0..10 {
+                let k = rng.gen_range(1..=4.min(nodes as usize));
+                let mut subset: Vec<NodeId> = (0..nodes).map(NodeId).collect();
+                for i in (1..subset.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    subset.swap(i, j);
+                }
+                let mut subset: Vec<NodeId> = subset.into_iter().take(k).collect();
+                subset.sort_unstable();
+                assert_eq!(view.is_clique(&subset), g.is_clique(&subset));
+            }
+        }
+    }
+
+    #[test]
+    fn slot_round_trips_weights() {
+        let mut g = ProjectedGraph::new(4);
+        g.add_edge_weight(n(0), n(2), 5);
+        g.add_edge_weight(n(0), n(1), 3);
+        let view = GraphView::freeze(&g);
+        let s = view.slot(n(0), n(2)).unwrap();
+        assert_eq!(view.weight_at(s), 5);
+        assert_eq!(view.slot(n(0), n(3)), None);
+        assert_eq!(view.neighbors(n(0)), &[1, 2]);
+        assert_eq!(view.neighbor_weights(n(0)), &[3, 5]);
+    }
+
+    #[test]
+    fn empty_graph_view() {
+        let view = GraphView::freeze(&ProjectedGraph::new(3));
+        assert_eq!(view.num_nodes(), 3);
+        assert_eq!(view.num_edges(), 0);
+        assert_eq!(view.num_slots(), 0);
+        assert!(view.edges().next().is_none());
+        assert_eq!(view.common_neighbor_count(n(0), n(1)), 0);
+    }
+}

@@ -22,5 +22,5 @@ pub mod optim;
 pub mod scaler;
 
 pub use logistic::LogisticRegression;
-pub use mlp::{Mlp, TrainConfig, TrainStats};
+pub use mlp::{Mlp, MlpScratch, TrainConfig, TrainStats};
 pub use scaler::StandardScaler;

@@ -85,6 +85,15 @@ pub struct Mlp {
     layers: Vec<Layer>,
 }
 
+/// Reusable activation buffers for [`Mlp::predict_with`] /
+/// [`Mlp::predict_rows`]. One scratch amortises the two per-call `Vec`
+/// allocations of [`Mlp::predict`] over an entire batch.
+#[derive(Debug, Default)]
+pub struct MlpScratch {
+    cur: Vec<f64>,
+    next: Vec<f64>,
+}
+
 /// Numerically stable sigmoid.
 #[inline]
 pub fn sigmoid(z: f64) -> f64 {
@@ -119,25 +128,62 @@ impl Mlp {
 
     /// Predicted probability that `x` is a positive example.
     pub fn predict(&self, x: &[f64]) -> f64 {
+        self.predict_with(x, &mut MlpScratch::default())
+    }
+
+    /// [`Mlp::predict`] with caller-provided activation buffers —
+    /// bit-identical arithmetic, zero allocation once the scratch has
+    /// grown to the widest layer.
+    pub fn predict_with(&self, x: &[f64], scratch: &mut MlpScratch) -> f64 {
         assert_eq!(x.len(), self.input_dim(), "feature dimension mismatch");
-        let mut cur = x.to_vec();
-        let mut next = Vec::new();
+        scratch.cur.clear();
+        scratch.cur.extend_from_slice(x);
         for (i, layer) in self.layers.iter().enumerate() {
-            layer.forward(&cur, &mut next);
+            layer.forward(&scratch.cur, &mut scratch.next);
             let is_last = i + 1 == self.layers.len();
             if !is_last {
-                for v in next.iter_mut() {
+                for v in scratch.next.iter_mut() {
                     *v = v.max(0.0); // ReLU
                 }
             }
-            std::mem::swap(&mut cur, &mut next);
+            std::mem::swap(&mut scratch.cur, &mut scratch.next);
         }
-        sigmoid(cur[0])
+        sigmoid(scratch.cur[0])
     }
 
     /// Batch prediction.
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        let mut scratch = MlpScratch::default();
+        xs.iter()
+            .map(|x| self.predict_with(x, &mut scratch))
+            .collect()
+    }
+
+    /// Forwards a whole batch stored as contiguous rows of `input_dim`
+    /// values, writing one probability per row into `out`. Shares one
+    /// scratch across the batch, so the only allocations are the
+    /// scratch's one-time growth. Row `i` gets exactly
+    /// `self.predict(&flat[i*d..(i+1)*d])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len() != out.len() * input_dim`.
+    pub fn predict_rows(&self, flat: &[f64], out: &mut [f64]) {
+        self.predict_rows_with(flat, out, &mut MlpScratch::default());
+    }
+
+    /// [`Mlp::predict_rows`] with caller-provided buffers, so multi-tile
+    /// callers reuse one scratch across every tile.
+    pub fn predict_rows_with(&self, flat: &[f64], out: &mut [f64], scratch: &mut MlpScratch) {
+        let dim = self.input_dim();
+        assert_eq!(
+            flat.len(),
+            out.len() * dim,
+            "flat batch length/row count mismatch"
+        );
+        for (row, o) in flat.chunks_exact(dim).zip(out.iter_mut()) {
+            *o = self.predict_with(row, scratch);
+        }
     }
 
     /// Trains with Adam on BCE loss. `ys` must be 0.0 / 1.0 labels.
@@ -387,6 +433,39 @@ mod tests {
             "XOR accuracy {}",
             stats.train_accuracy
         );
+    }
+
+    #[test]
+    fn scratch_and_batch_paths_match_predict_bitwise() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mlp = Mlp::new(6, &[16, 8], &mut rng);
+        use rand::Rng;
+        let xs: Vec<Vec<f64>> = (0..40)
+            .map(|_| (0..6).map(|_| rng.gen_range(-5.0..5.0)).collect())
+            .collect();
+        let reference: Vec<f64> = xs.iter().map(|x| mlp.predict(x)).collect();
+
+        let mut scratch = MlpScratch::default();
+        let with_scratch: Vec<f64> = xs
+            .iter()
+            .map(|x| mlp.predict_with(x, &mut scratch))
+            .collect();
+        assert_eq!(with_scratch, reference);
+        assert_eq!(mlp.predict_batch(&xs), reference);
+
+        let flat: Vec<f64> = xs.iter().flatten().copied().collect();
+        let mut out = vec![0.0; xs.len()];
+        mlp.predict_rows(&flat, &mut out);
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    #[should_panic(expected = "flat batch length/row count mismatch")]
+    fn predict_rows_rejects_ragged_batches() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mlp = Mlp::new(3, &[], &mut rng);
+        let mut out = vec![0.0; 2];
+        mlp.predict_rows(&[0.0; 5], &mut out);
     }
 
     #[test]
