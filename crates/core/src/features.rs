@@ -38,6 +38,26 @@ impl FeatureMode {
             FeatureMode::Motif => 18,
         }
     }
+
+    /// Stable lower-case tag used by serialised model files and the
+    /// artifact store ([`FeatureMode::from_tag`] inverts it).
+    pub fn tag(self) -> &'static str {
+        match self {
+            FeatureMode::Multiplicity => "multiplicity",
+            FeatureMode::Count => "count",
+            FeatureMode::Motif => "motif",
+        }
+    }
+
+    /// Parses a tag produced by [`FeatureMode::tag`].
+    pub fn from_tag(tag: &str) -> Option<FeatureMode> {
+        match tag {
+            "multiplicity" => Some(FeatureMode::Multiplicity),
+            "count" => Some(FeatureMode::Count),
+            "motif" => Some(FeatureMode::Motif),
+            _ => None,
+        }
+    }
 }
 
 /// Five aggregate statistics written into `out[0..5]`: sum, mean, min,

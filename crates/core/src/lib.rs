@@ -105,6 +105,7 @@ pub mod variants;
 pub use error::MariohError;
 pub use features::FeatureMode;
 pub use model::{CliqueScorer, TrainedModel};
+pub use persistence::{SavedModel, MODEL_FORMAT_VERSION};
 pub use pipeline::{Pipeline, PipelineBuilder, Reconstructor};
 pub use progress::{CancelToken, NoopObserver, ProgressObserver};
 pub use reconstruct::{Marioh, MariohConfig, ReconstructionReport};

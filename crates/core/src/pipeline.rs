@@ -145,7 +145,9 @@ impl Pipeline {
                 "cannot train on an empty source hypergraph",
             ));
         }
+        let t0 = std::time::Instant::now();
         let model = train_classifier_cancellable(source, &self.training, rng, &self.cancel)?;
+        self.observer.on_training_done(t0.elapsed().as_secs_f64());
         Ok(self.with_model(model))
     }
 
@@ -168,8 +170,7 @@ impl Pipeline {
     /// [`MariohError::ModelFormat`] for corrupt or mismatched model
     /// files, [`MariohError::Io`] for transport failures.
     pub fn load_model<P: AsRef<Path>>(&self, path: P) -> Result<Marioh, MariohError> {
-        let model = TrainedModel::load(path).map_err(MariohError::from_model_io)?;
-        Ok(self.with_model(model))
+        Ok(self.with_model(TrainedModel::load(path)?))
     }
 }
 

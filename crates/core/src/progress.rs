@@ -47,6 +47,15 @@ pub trait ProgressObserver: Send + Sync {
         let _ = report;
     }
 
+    /// Classifier training finished: wall-clock seconds spent. Fired by
+    /// [`crate::Pipeline::train`] only — a pipeline handed an
+    /// already-trained model ([`crate::Pipeline::with_model`], the
+    /// server's model-reuse jobs) never emits it, which is how frontends
+    /// can assert that training was actually skipped.
+    fn on_training_done(&self, secs: f64) {
+        let _ = secs;
+    }
+
     /// The run failed with `msg` (not called on cancellation). Fired by
     /// frontends that drive work on background threads — the job server's
     /// workers, the `--verbose` CLI — so failures surface through the
@@ -118,6 +127,7 @@ mod tests {
         o.on_round(1, 0.9, &SearchStats::default());
         o.on_commit(1, 2, 2);
         o.on_done(&ReconstructionReport::default());
+        o.on_training_done(0.5);
         o.on_error("worker failed");
     }
 

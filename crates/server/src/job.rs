@@ -1,355 +1,37 @@
-//! Job specifications, the bounded FIFO queue, and the in-memory store.
+//! The orchestration layer over the persistence stack: the bounded FIFO
+//! queue, worker wakeup, and cancellation tokens.
 //!
-//! A [`JobSpec`] describes one reconstruction: its input (a registry
-//! dataset or an uploaded edge list), the MARIOH variant, a seed, and
-//! hyperparameter overrides that are validated through the same
-//! [`Pipeline::builder`] every other frontend uses — an invalid
-//! `theta_init` is rejected at submission with the builder's own message,
-//! never after a worker has picked the job up.
+//! Job *records* — lifecycle state, progress, results — live in a
+//! [`JobStore`] from `marioh-store` (in-memory by default, disk-backed
+//! under `marioh serve --state-dir`), and completed artifacts live in an
+//! [`ArtifactStore`] keyed by each spec's canonical content hash. The
+//! [`JobManager`] here owns only what dies with the process anyway:
+//! the queue, the condvar workers block on, the per-job [`CancelToken`]s,
+//! and the process-lifetime cache/run counters.
 //!
-//! The [`JobManager`] owns the lifecycle: `Queued → Running →
-//! Done | Failed | Cancelled`. Submission is bounded (a full queue is
-//! backpressure, not memory growth), workers block on a condvar, and
-//! cancellation is cooperative through each job's [`CancelToken`].
+//! Submission consults the artifact cache: a spec whose hash already has
+//! a cached result is recorded `Done` immediately (`cached: true` in its
+//! view) without ever entering the queue — MARIOH is deterministic, so
+//! the cached reconstruction *is* the reconstruction. On a durable
+//! store, jobs that were queued or running when the process died are
+//! re-queued at construction.
 
-use crate::json::Json;
-use marioh_core::{CancelToken, MariohError, Pipeline, PipelineBuilder, Variant};
-use marioh_datasets::PaperDataset;
-use marioh_hypergraph::{io as hio, Hypergraph};
+use marioh_core::progress::CancelToken;
+use marioh_core::{MariohError, SavedModel};
+use marioh_store::{
+    ArtifactStats, ArtifactStore, JobStore, MemoryStore, ModelEntry, SpecHash, Transition,
+    DEFAULT_RETAINED_JOBS,
+};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-/// Cap on the per-job [`JobSpec::throttle_ms`] pacing knob.
-pub const MAX_THROTTLE_MS: u64 = 60_000;
-
-/// What a job reconstructs.
-#[derive(Debug, Clone)]
-pub enum JobInput {
-    /// A registry dataset, generated at its fixed per-dataset seed.
-    Dataset {
-        /// Which calibrated dataset to generate.
-        dataset: PaperDataset,
-        /// Generation scale (`None` = the dataset's default scale).
-        scale: Option<f64>,
-    },
-    /// An uploaded hypergraph, parsed from the text edge-list format of
-    /// [`marioh_hypergraph::io`] at submission time.
-    Edges(Hypergraph),
-}
-
-/// Hyperparameter overrides; `None` keeps the builder's default.
-#[derive(Debug, Clone, Default)]
-pub struct JobParams {
-    /// Initial classification threshold `θ_init`.
-    pub theta_init: Option<f64>,
-    /// Negative-prediction processing ratio `r` in percent.
-    pub neg_ratio: Option<f64>,
-    /// Threshold adjust ratio `α`.
-    pub alpha: Option<f64>,
-    /// Worker threads inside one reconstruction.
-    pub threads: Option<usize>,
-    /// Outer-loop round cap.
-    pub max_iterations: Option<usize>,
-    /// Fraction of source hyperedges used as supervision.
-    pub supervision_fraction: Option<f64>,
-    /// Negatives sampled per positive during training.
-    pub negative_ratio: Option<f64>,
-    /// Toggles the provable filtering step.
-    pub filtering: Option<bool>,
-    /// Toggles Phase 2 of the bidirectional search.
-    pub bidirectional: Option<bool>,
-}
-
-/// One reconstruction job as accepted by `POST /jobs`.
-#[derive(Debug, Clone)]
-pub struct JobSpec {
-    /// The input hypergraph source.
-    pub input: JobInput,
-    /// The MARIOH variant to run.
-    pub variant: Variant,
-    /// Seed driving the split/train/reconstruct RNG.
-    pub seed: u64,
-    /// Pacing knob for load tests and demos: the worker sleeps this many
-    /// milliseconds (cancellable) before starting, and again after each
-    /// search round, so tiny jobs occupy workers for an observable time.
-    pub throttle_ms: u64,
-    /// Hyperparameter overrides.
-    pub params: JobParams,
-}
-
-fn expect_num(key: &str, v: &Json) -> Result<f64, String> {
-    v.as_f64()
-        .ok_or_else(|| format!("hyperparameter {key:?} must be a number"))
-}
-
-fn expect_uint(key: &str, v: &Json) -> Result<u64, String> {
-    v.as_u64()
-        .ok_or_else(|| format!("hyperparameter {key:?} must be a non-negative integer"))
-}
-
-fn expect_bool(key: &str, v: &Json) -> Result<bool, String> {
-    v.as_bool()
-        .ok_or_else(|| format!("hyperparameter {key:?} must be a boolean"))
-}
-
-fn check_unique(kind: &str, pairs: &[(String, Json)]) -> Result<(), String> {
-    for (i, (key, _)) in pairs.iter().enumerate() {
-        if pairs[..i].iter().any(|(k, _)| k == key) {
-            return Err(format!("duplicate {kind} {key:?}"));
-        }
-    }
-    Ok(())
-}
-
-/// Resolves a method name (`"MARIOH"`, `"marioh-f"`, …) to its variant.
-pub fn variant_by_name(name: &str) -> Option<Variant> {
-    Variant::all()
-        .into_iter()
-        .find(|v| v.name().eq_ignore_ascii_case(name))
-        .or((name.eq_ignore_ascii_case("full")).then_some(Variant::Full))
-}
-
-impl JobParams {
-    /// Parses the `"params"` object, rejecting duplicate and unknown
-    /// hyperparameters. Values are range-checked later by
-    /// [`JobSpec::validate`], so invalid domains carry the pipeline
-    /// builder's own message.
-    pub fn from_json(v: &Json) -> Result<JobParams, String> {
-        let pairs = v
-            .as_object()
-            .ok_or_else(|| "\"params\" must be an object".to_owned())?;
-        check_unique("hyperparameter", pairs)?;
-        let mut params = JobParams::default();
-        for (key, value) in pairs {
-            match key.as_str() {
-                "theta_init" => params.theta_init = Some(expect_num(key, value)?),
-                "neg_ratio" => params.neg_ratio = Some(expect_num(key, value)?),
-                "alpha" => params.alpha = Some(expect_num(key, value)?),
-                "threads" => params.threads = Some(expect_uint(key, value)? as usize),
-                "max_iterations" => params.max_iterations = Some(expect_uint(key, value)? as usize),
-                "supervision_fraction" => {
-                    params.supervision_fraction = Some(expect_num(key, value)?)
-                }
-                "negative_ratio" => params.negative_ratio = Some(expect_num(key, value)?),
-                "filtering" => params.filtering = Some(expect_bool(key, value)?),
-                "bidirectional" => params.bidirectional = Some(expect_bool(key, value)?),
-                other => {
-                    return Err(format!(
-                        "unknown hyperparameter {other:?}; known: theta_init, neg_ratio, alpha, \
-                         threads, max_iterations, supervision_fraction, negative_ratio, \
-                         filtering, bidirectional"
-                    ))
-                }
-            }
-        }
-        Ok(params)
-    }
-}
-
-impl JobSpec {
-    /// Parses a `POST /jobs` body. Every message this returns is the 400
-    /// response body; hyperparameter *domain* errors are deferred to
-    /// [`JobSpec::validate`] so they carry the builder's wording.
-    pub fn from_json(body: &Json) -> Result<JobSpec, String> {
-        let pairs = body
-            .as_object()
-            .ok_or_else(|| "request body must be a JSON object".to_owned())?;
-        check_unique("field", pairs)?;
-
-        let mut dataset: Option<PaperDataset> = None;
-        let mut scale: Option<f64> = None;
-        let mut edges: Option<Hypergraph> = None;
-        let mut variant = Variant::Full;
-        let mut seed = 0u64;
-        let mut throttle_ms = 0u64;
-        let mut params = JobParams::default();
-        for (key, value) in pairs {
-            match key.as_str() {
-                "dataset" => {
-                    let name = value
-                        .as_str()
-                        .ok_or_else(|| "\"dataset\" must be a string".to_owned())?;
-                    dataset = Some(PaperDataset::resolve(name)?);
-                }
-                "scale" => {
-                    let v = value
-                        .as_f64()
-                        .filter(|v| *v > 0.0)
-                        .ok_or_else(|| "\"scale\" must be a positive number".to_owned())?;
-                    scale = Some(v);
-                }
-                "edges" => {
-                    let text = value
-                        .as_str()
-                        .ok_or_else(|| "\"edges\" must be a string in the hypergraph text format (one `<multiplicity> <node> <node> [...]` record per line)".to_owned())?;
-                    let h = hio::read_hypergraph(text.as_bytes())
-                        .map_err(|e| format!("invalid edge list: {e}"))?;
-                    edges = Some(h);
-                }
-                "method" => {
-                    let name = value
-                        .as_str()
-                        .ok_or_else(|| "\"method\" must be a string".to_owned())?;
-                    variant = variant_by_name(name).ok_or_else(|| {
-                        format!(
-                            "unknown method {name:?}; known: {}",
-                            Variant::all().map(|v| v.name()).join(", ")
-                        )
-                    })?;
-                }
-                "seed" => {
-                    seed = value
-                        .as_u64()
-                        .ok_or_else(|| "\"seed\" must be a non-negative integer".to_owned())?;
-                }
-                "throttle_ms" => {
-                    throttle_ms = value
-                        .as_u64()
-                        .filter(|v| *v <= MAX_THROTTLE_MS)
-                        .ok_or_else(|| {
-                            format!("\"throttle_ms\" must be an integer in [0, {MAX_THROTTLE_MS}]")
-                        })?;
-                }
-                "params" => params = JobParams::from_json(value)?,
-                other => {
-                    return Err(format!(
-                        "unknown field {other:?}; known: dataset, scale, edges, method, seed, \
-                         throttle_ms, params"
-                    ))
-                }
-            }
-        }
-
-        let input = match (dataset, edges) {
-            (Some(dataset), None) => JobInput::Dataset { dataset, scale },
-            (None, Some(h)) => JobInput::Edges(h),
-            (Some(_), Some(_)) => {
-                return Err("provide either \"dataset\" or \"edges\", not both".to_owned())
-            }
-            (None, None) => return Err("provide \"dataset\" or \"edges\"".to_owned()),
-        };
-        if scale.is_some() && matches!(input, JobInput::Edges(_)) {
-            return Err("\"scale\" only applies to registry datasets".to_owned());
-        }
-        Ok(JobSpec {
-            input,
-            variant,
-            seed,
-            throttle_ms,
-            params,
-        })
-    }
-
-    /// Applies variant and overrides to a pipeline builder.
-    pub fn apply(&self, builder: PipelineBuilder) -> PipelineBuilder {
-        let p = &self.params;
-        let mut b = builder.variant(self.variant);
-        if let Some(v) = p.theta_init {
-            b = b.theta_init(v);
-        }
-        if let Some(v) = p.neg_ratio {
-            b = b.neg_ratio(v);
-        }
-        if let Some(v) = p.alpha {
-            b = b.alpha(v);
-        }
-        if let Some(v) = p.threads {
-            b = b.threads(v);
-        }
-        if let Some(v) = p.max_iterations {
-            b = b.max_iterations(v);
-        }
-        if let Some(v) = p.supervision_fraction {
-            b = b.supervision_fraction(v);
-        }
-        if let Some(v) = p.negative_ratio {
-            b = b.negative_ratio(v);
-        }
-        if let Some(v) = p.filtering {
-            b = b.filtering(v);
-        }
-        if let Some(v) = p.bidirectional {
-            b = b.bidirectional(v);
-        }
-        b
-    }
-
-    /// Runs the pipeline builder's validation over the overrides.
-    ///
-    /// # Errors
-    ///
-    /// Exactly the [`MariohError::Config`] the builder produces — the
-    /// HTTP layer forwards its message verbatim as the 400 body.
-    pub fn validate(&self) -> Result<(), MariohError> {
-        self.apply(Pipeline::builder()).build().map(|_| ())
-    }
-}
-
-/// The lifecycle states of a job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum JobStatus {
-    /// Accepted, waiting in the FIFO queue.
-    Queued,
-    /// Picked up by a worker.
-    Running,
-    /// Finished successfully; the result is available.
-    Done,
-    /// Finished with an error (see the job's `error`).
-    Failed,
-    /// Cancelled, by `DELETE /jobs/:id` or server shutdown.
-    Cancelled,
-}
-
-impl JobStatus {
-    /// The lower-case wire name used in JSON responses.
-    pub fn as_str(self) -> &'static str {
-        match self {
-            JobStatus::Queued => "queued",
-            JobStatus::Running => "running",
-            JobStatus::Done => "done",
-            JobStatus::Failed => "failed",
-            JobStatus::Cancelled => "cancelled",
-        }
-    }
-
-    /// Whether the job can no longer change state.
-    pub fn is_terminal(self) -> bool {
-        matches!(
-            self,
-            JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled
-        )
-    }
-}
-
-impl std::fmt::Display for JobStatus {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.as_str())
-    }
-}
-
-/// A successful reconstruction.
-#[derive(Debug, Clone)]
-pub struct JobResult {
-    /// The reconstructed hypergraph.
-    pub reconstruction: Hypergraph,
-    /// Jaccard similarity against the held-out target half.
-    pub jaccard: f64,
-}
-
-/// A point-in-time snapshot of one job, as served by `GET /jobs/:id`.
-#[derive(Debug, Clone)]
-pub struct JobView {
-    /// Job id.
-    pub id: u64,
-    /// Current lifecycle state.
-    pub status: JobStatus,
-    /// Search rounds completed so far.
-    pub rounds: usize,
-    /// Hyperedges committed by the search so far.
-    pub committed: usize,
-    /// Failure message, present for failed jobs.
-    pub error: Option<String>,
-}
+// The job domain model lives in `marioh-store`; re-export it so server
+// consumers keep their import paths.
+pub use marioh_store::spec::{
+    variant_by_name, JobInput, JobParams, JobResult, JobSpec, JobStatus, JobView, ModelRef,
+    MAX_THROTTLE_MS,
+};
 
 /// Aggregate counters served by `GET /stats`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -362,10 +44,27 @@ pub struct ServerStats {
     pub workers: usize,
     /// Queue capacity.
     pub queue_cap: usize,
-    /// Jobs accepted since startup.
+    /// Jobs accepted (store lifetime — survives restarts on a durable
+    /// store).
     pub submitted: u64,
-    /// Jobs that reached a terminal state since startup.
+    /// Jobs that reached a terminal state (store lifetime).
     pub finished: u64,
+    /// Reconstruction pipelines actually executed by workers since this
+    /// process started — cache hits never increment it.
+    pub pipeline_runs: u64,
+    /// Submissions answered from the artifact cache since this process
+    /// started.
+    pub cache_hits: u64,
+    /// Classifiers trained since this process started (model-reuse jobs
+    /// never increment it; counted through the observer's
+    /// `on_training_done`).
+    pub models_trained: u64,
+    /// Results currently in the artifact cache.
+    pub results_cached: usize,
+    /// Trained models currently in the artifact store.
+    pub models_cached: usize,
+    /// `"memory"` or `"disk"`.
+    pub store: &'static str,
 }
 
 /// Why a submission was rejected.
@@ -393,61 +92,30 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// Terminal job records retained for polling before the oldest are
-/// evicted — the queue capacity bounds queued work, this bounds the
-/// store itself, so a long-lived server's memory does not grow without
-/// limit. Evicted ids answer 404, like unknown ones.
-const MAX_RETAINED_JOBS: usize = 1024;
-
-struct JobRecord {
-    /// Taken (not cloned) by the worker that dispatches the job.
-    spec: Option<JobSpec>,
-    status: JobStatus,
-    rounds: usize,
-    committed: usize,
-    error: Option<String>,
-    /// Shared, not cloned, on reads: results can be large hypergraphs
-    /// and [`JobManager::result`] runs under the store lock.
-    result: Option<Arc<JobResult>>,
-    cancel: CancelToken,
-}
-
-struct State {
-    next_id: u64,
+/// Per-process orchestration state (the store holds everything that
+/// outlives the process).
+struct Orchestration {
     queue: VecDeque<u64>,
-    jobs: HashMap<u64, JobRecord>,
-    /// Terminal job ids in completion order, for retention eviction.
-    terminal_order: VecDeque<u64>,
+    /// Tokens for queued and running jobs; removed at terminal states.
+    tokens: HashMap<u64, CancelToken>,
     shutdown: bool,
     running: usize,
-    submitted: u64,
-    finished: u64,
-}
-
-impl State {
-    /// Counts a job that just reached a terminal state and evicts the
-    /// oldest terminal records beyond the retention cap.
-    fn note_terminal(&mut self, id: u64, retain: usize) {
-        self.finished += 1;
-        self.terminal_order.push_back(id);
-        while self.terminal_order.len() > retain {
-            if let Some(evicted) = self.terminal_order.pop_front() {
-                self.jobs.remove(&evicted);
-            }
-        }
-    }
 }
 
 struct Shared {
-    state: Mutex<State>,
+    orch: Mutex<Orchestration>,
     work_ready: Condvar,
+    store: Arc<dyn JobStore>,
+    artifacts: Arc<dyn ArtifactStore>,
     queue_cap: usize,
     workers: usize,
-    retain: usize,
+    pipeline_runs: AtomicU64,
+    cache_hits: AtomicU64,
+    models_trained: AtomicU64,
 }
 
-/// The concurrent job queue and store. Cheap to clone; all clones share
-/// one store.
+/// The concurrent job queue and orchestration over a pluggable store.
+/// Cheap to clone; all clones share one store.
 #[derive(Clone)]
 pub struct JobManager {
     shared: Arc<Shared>,
@@ -459,80 +127,148 @@ pub struct DispatchedJob {
     pub id: u64,
     /// The specification (ownership moves to the worker).
     pub spec: JobSpec,
+    /// The spec's content hash — the artifact-cache key the worker
+    /// consults before building a pipeline.
+    pub spec_hash: SpecHash,
     /// The token `DELETE /jobs/:id` and shutdown fire.
     pub cancel: CancelToken,
 }
 
 impl JobManager {
-    /// A manager with the given queue capacity, reporting `workers` in
-    /// its stats (the worker pool itself lives in the server). Retains
-    /// the [`MAX_RETAINED_JOBS`] most recent terminal records.
+    /// A manager over a fresh in-memory store with the given queue
+    /// capacity, reporting `workers` in its stats (the worker pool
+    /// itself lives in the server). Retains the
+    /// [`DEFAULT_RETAINED_JOBS`] most recent terminal records.
     pub fn new(queue_cap: usize, workers: usize) -> JobManager {
-        JobManager::with_retention(queue_cap, workers, MAX_RETAINED_JOBS)
+        let store = Arc::new(MemoryStore::new(DEFAULT_RETAINED_JOBS));
+        JobManager::with_stores(queue_cap, workers, store.clone(), store)
     }
 
-    fn with_retention(queue_cap: usize, workers: usize, retain: usize) -> JobManager {
+    /// A manager over explicit stores (the server builds a
+    /// [`marioh_store::DiskStore`] here for `--state-dir`). Jobs the
+    /// store recovered — queued or interrupted mid-run in a previous
+    /// process — are re-queued immediately with fresh cancel tokens.
+    pub fn with_stores(
+        queue_cap: usize,
+        workers: usize,
+        store: Arc<dyn JobStore>,
+        artifacts: Arc<dyn ArtifactStore>,
+    ) -> JobManager {
+        let recovered = store.recover_queued();
+        let mut orch = Orchestration {
+            queue: VecDeque::new(),
+            tokens: HashMap::new(),
+            shutdown: false,
+            running: 0,
+        };
+        for id in recovered {
+            orch.tokens.insert(id, CancelToken::new());
+            orch.queue.push_back(id);
+        }
         JobManager {
             shared: Arc::new(Shared {
-                state: Mutex::new(State {
-                    next_id: 1,
-                    queue: VecDeque::new(),
-                    jobs: HashMap::new(),
-                    terminal_order: VecDeque::new(),
-                    shutdown: false,
-                    running: 0,
-                    submitted: 0,
-                    finished: 0,
-                }),
+                orch: Mutex::new(orch),
                 work_ready: Condvar::new(),
+                store,
+                artifacts,
                 queue_cap,
                 workers,
-                retain,
+                pipeline_runs: AtomicU64::new(0),
+                cache_hits: AtomicU64::new(0),
+                models_trained: AtomicU64::new(0),
             }),
         }
     }
 
-    fn lock(&self) -> MutexGuard<'_, State> {
-        self.shared.state.lock().expect("job store lock poisoned")
+    fn lock(&self) -> MutexGuard<'_, Orchestration> {
+        self.shared.orch.lock().expect("job queue lock poisoned")
     }
 
-    /// Validates and enqueues a job, returning its id.
+    fn store(&self) -> &dyn JobStore {
+        &*self.shared.store
+    }
+
+    /// Validates and enqueues a job, returning its id. A spec whose
+    /// content hash already has a cached result is recorded `Done`
+    /// instantly — no queue slot, no worker, no pipeline.
     ///
     /// # Errors
     ///
     /// [`SubmitError::Invalid`] with the pipeline builder's message for
-    /// bad hyperparameters (or when shutting down);
-    /// [`SubmitError::QueueFull`] when the queue is at capacity.
+    /// bad hyperparameters, an unresolvable `model` reference, or when
+    /// shutting down; [`SubmitError::QueueFull`] when the queue is at
+    /// capacity.
     pub fn submit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
         spec.validate()
             .map_err(|e| SubmitError::Invalid(e.to_string()))?;
-        let mut state = self.lock();
-        if state.shutdown {
-            return Err(SubmitError::Invalid(
-                "server is shutting down; not accepting jobs".to_owned(),
-            ));
+        let hash = spec
+            .content_hash()
+            .map_err(|e| SubmitError::Invalid(e.to_string()))?;
+        // Fail fast on unusable model references: the donor must already
+        // be done (accepting a still-running donor would turn into a
+        // timing-dependent failure at dispatch on multi-worker pools).
+        // The worker still re-resolves at dispatch — the donor can be
+        // evicted, or a recovered job's donor may be gone after restart.
+        match &spec.model {
+            Some(ModelRef::Job(donor)) => match self.store().view(*donor) {
+                None => {
+                    return Err(SubmitError::Invalid(format!(
+                        "model donor job {donor} is unknown (or evicted)"
+                    )));
+                }
+                Some(view) if view.status != JobStatus::Done => {
+                    return Err(SubmitError::Invalid(format!(
+                        "model donor job {donor} is {}; models exist only for done jobs",
+                        view.status
+                    )));
+                }
+                Some(_) => {}
+            },
+            Some(ModelRef::Named(name))
+                if self.shared.artifacts.get_named_model(name).is_none() =>
+            {
+                return Err(SubmitError::Invalid(format!(
+                    "no saved model named {name:?}"
+                )));
+            }
+            _ => {}
         }
-        if state.queue.len() >= self.shared.queue_cap {
+
+        // The cache probe can read (and parse, on a disk store) a large
+        // artifact — do it before touching the orchestration lock that
+        // every worker dispatch and finish contends on.
+        let cached = self.shared.artifacts.get_result(&hash);
+        let shutting_down =
+            || SubmitError::Invalid("server is shutting down; not accepting jobs".to_owned());
+        if let Some(result) = cached {
+            if self.lock().shutdown {
+                return Err(shutting_down());
+            }
+            // Deterministic pipeline + identical spec = identical result.
+            // No queue slot, no token: the record is terminal on arrival.
+            let id = self.store().submit(&spec, &hash);
+            self.store().transition(
+                id,
+                Transition::Done {
+                    result,
+                    cached: true,
+                },
+            );
+            self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(id);
+        }
+        let mut orch = self.lock();
+        if orch.shutdown {
+            return Err(shutting_down());
+        }
+        if orch.queue.len() >= self.shared.queue_cap {
             return Err(SubmitError::QueueFull {
                 capacity: self.shared.queue_cap,
             });
         }
-        let id = state.next_id;
-        state.next_id += 1;
-        state.jobs.insert(
-            id,
-            JobRecord {
-                spec: Some(spec),
-                status: JobStatus::Queued,
-                rounds: 0,
-                committed: 0,
-                error: None,
-                result: None,
-                cancel: CancelToken::new(),
-            },
-        );
-        state.queue.push_back(id);
-        state.submitted += 1;
+        let id = self.store().submit(&spec, &hash);
+        orch.tokens.insert(id, CancelToken::new());
+        orch.queue.push_back(id);
         self.shared.work_ready.notify_one();
         Ok(id)
     }
@@ -540,129 +276,257 @@ impl JobManager {
     /// Blocks until a job is available (FIFO) or the manager shuts down
     /// (`None`). Marks the job `Running`.
     pub fn take_next(&self) -> Option<DispatchedJob> {
-        let mut state = self.lock();
+        let mut orch = self.lock();
         loop {
-            if state.shutdown {
+            if orch.shutdown {
                 return None;
             }
-            if let Some(id) = state.queue.pop_front() {
-                state.running += 1;
-                let record = state.jobs.get_mut(&id).expect("queued job exists");
-                record.status = JobStatus::Running;
-                let spec = record.spec.take().expect("spec taken once");
-                let cancel = record.cancel.clone();
-                return Some(DispatchedJob { id, spec, cancel });
+            if let Some(id) = orch.queue.pop_front() {
+                orch.running += 1;
+                let cancel = orch.tokens.get(&id).cloned().unwrap_or_default();
+                let spec = self.store().start(id).expect("queued job has its spec");
+                let spec_hash = self
+                    .store()
+                    .spec_hash(id)
+                    .expect("submitted job has a hash");
+                return Some(DispatchedJob {
+                    id,
+                    spec,
+                    spec_hash,
+                    cancel,
+                });
             }
-            state = self
+            orch = self
                 .shared
                 .work_ready
-                .wait(state)
-                .expect("job store lock poisoned");
+                .wait(orch)
+                .expect("job queue lock poisoned");
         }
     }
 
     /// Records a finished job. A job already cancelled through
-    /// [`JobManager::cancel`] stays `Cancelled` regardless of `outcome`.
+    /// [`JobManager::cancel`] stays `Cancelled` regardless of `outcome`
+    /// (terminal records are immutable in the store).
     pub fn finish(&self, id: u64, outcome: Result<JobResult, MariohError>) {
-        let mut state = self.lock();
-        state.running = state.running.saturating_sub(1);
-        let Some(record) = state.jobs.get_mut(&id) else {
-            return;
-        };
-        if record.status.is_terminal() {
-            return; // cancelled mid-run; the DELETE already counted it
+        {
+            let mut orch = self.lock();
+            orch.running = orch.running.saturating_sub(1);
+            orch.tokens.remove(&id);
         }
         match outcome {
             Ok(result) => {
-                record.status = JobStatus::Done;
-                record.result = Some(Arc::new(result));
+                let result = Arc::new(result);
+                // Artifact before record: a crash between the two leaves
+                // an orphan artifact, never a done record without its
+                // result. A *failed* artifact write on a durable store
+                // would break that invariant at the next restart (a
+                // replayed done record with nothing to serve), so it
+                // fails the job instead — the pipeline is deterministic
+                // and the client can resubmit once the disk recovers.
+                if let Some(hash) = self.store().spec_hash(id) {
+                    if let Err(e) = self.shared.artifacts.put_result(&hash, &result) {
+                        self.store().transition(
+                            id,
+                            Transition::Failed(format!(
+                                "reconstruction succeeded but its result could not be \
+                                 persisted: {e}; resubmit once storage recovers"
+                            )),
+                        );
+                        return;
+                    }
+                }
+                self.store().transition(
+                    id,
+                    Transition::Done {
+                        result,
+                        cached: false,
+                    },
+                );
             }
-            Err(MariohError::Cancelled) => record.status = JobStatus::Cancelled,
+            Err(MariohError::Cancelled) => {
+                self.store().transition(id, Transition::Cancelled);
+            }
             Err(e) => {
-                record.status = JobStatus::Failed;
-                // The worker's `on_error` observer usually got here
-                // first; keep its message rather than overwriting.
-                record.error.get_or_insert_with(|| e.to_string());
+                self.store()
+                    .transition(id, Transition::Failed(e.to_string()));
             }
         }
-        state.note_terminal(id, self.shared.retain);
+    }
+
+    /// Records a job answered from the artifact cache by a worker that
+    /// found the artifact only after dispatch (e.g. its identical twin
+    /// finished while it sat in the queue).
+    pub fn finish_cached(&self, id: u64, result: Arc<JobResult>) {
+        {
+            let mut orch = self.lock();
+            orch.running = orch.running.saturating_sub(1);
+            orch.tokens.remove(&id);
+        }
+        self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.store().transition(
+            id,
+            Transition::Done {
+                result,
+                cached: true,
+            },
+        );
+    }
+
+    /// The cached result for a spec hash, if any.
+    pub fn cached_result(&self, hash: &SpecHash) -> Option<Arc<JobResult>> {
+        self.shared.artifacts.get_result(hash)
+    }
+
+    /// Resolves a job's `model` reference against the stores.
+    ///
+    /// # Errors
+    ///
+    /// A user-facing message (the job's failure text) when the donor is
+    /// not done or its model is gone.
+    pub fn resolve_model(&self, model: &ModelRef) -> Result<SavedModel, String> {
+        match model {
+            ModelRef::Job(donor) => {
+                let view = self
+                    .store()
+                    .view(*donor)
+                    .ok_or_else(|| format!("model donor job {donor} is unknown (or evicted)"))?;
+                if view.status != JobStatus::Done {
+                    return Err(format!(
+                        "model donor job {donor} is {}; models exist only for done jobs",
+                        view.status
+                    ));
+                }
+                let hash = self
+                    .store()
+                    .spec_hash(*donor)
+                    .ok_or_else(|| format!("model donor job {donor} is unknown (or evicted)"))?;
+                self.shared.artifacts.get_model(&hash).ok_or_else(|| {
+                    format!(
+                        "no stored model for job {donor} (it was answered from cache, \
+                         or the artifact store lost it)"
+                    )
+                })
+            }
+            ModelRef::Named(name) => self
+                .shared
+                .artifacts
+                .get_named_model(name)
+                .ok_or_else(|| format!("no saved model named {name:?}")),
+        }
+    }
+
+    /// Stores the model a job trained, keyed by the job's spec hash, so
+    /// later jobs can reference it as `model: "job:<id>"`. Best-effort:
+    /// an artifact-store failure degrades model reuse, not the job.
+    pub fn store_model(&self, hash: &SpecHash, model: &SavedModel) {
+        let _ = self.shared.artifacts.put_model(hash, model);
+    }
+
+    /// Counts one pipeline actually executed (called by workers, never
+    /// on cache hits).
+    pub fn note_pipeline_run(&self) {
+        self.shared.pipeline_runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one classifier trained (driven by the observer's
+    /// `on_training_done`, so model-reuse jobs — which skip training —
+    /// never count).
+    pub fn note_trained(&self) {
+        self.shared.models_trained.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Cancels a job: de-queues it if still queued, fires its token if
     /// running. Terminal jobs are left unchanged. Returns the resulting
     /// status, or `None` for unknown ids.
     pub fn cancel(&self, id: u64) -> Option<JobStatus> {
-        let mut state = self.lock();
-        let record = state.jobs.get(&id)?;
-        if record.status.is_terminal() {
-            return Some(record.status);
+        let mut orch = self.lock();
+        let view = self.store().view(id)?;
+        if view.status.is_terminal() {
+            return Some(view.status);
         }
-        if record.status == JobStatus::Queued {
-            state.queue.retain(|q| *q != id);
+        orch.queue.retain(|q| *q != id);
+        if let Some(token) = orch.tokens.get(&id) {
+            token.cancel();
         }
-        let record = state.jobs.get_mut(&id).expect("checked above");
-        record.cancel.cancel();
-        record.status = JobStatus::Cancelled;
-        // A cancelled-while-queued spec (possibly a multi-MB uploaded
-        // hypergraph) would otherwise sit in the retained record.
-        record.spec = None;
-        state.note_terminal(id, self.shared.retain);
-        Some(JobStatus::Cancelled)
+        if view.status == JobStatus::Queued {
+            orch.tokens.remove(&id);
+        }
+        // The store arbitrates the race with a finishing worker:
+        // whichever terminal transition lands first wins.
+        self.store().transition(id, Transition::Cancelled)
     }
 
     /// A snapshot of one job, or `None` for unknown ids.
     pub fn view(&self, id: u64) -> Option<JobView> {
-        let state = self.lock();
-        let record = state.jobs.get(&id)?;
-        Some(JobView {
-            id,
-            status: record.status,
-            rounds: record.rounds,
-            committed: record.committed,
-            error: record.error.clone(),
-        })
+        self.store().view(id)
+    }
+
+    /// Snapshots of every retained job, ascending by id (`GET /jobs`).
+    pub fn scan(&self) -> Vec<JobView> {
+        self.store().scan()
+    }
+
+    /// Every stored model (`GET /models`).
+    pub fn list_models(&self) -> Vec<ModelEntry> {
+        self.shared.artifacts.list_models()
     }
 
     /// The job's status and (for done jobs) a shared handle to its
     /// result. An `Arc` clone, so large reconstructions are never copied
     /// under the store lock.
     pub fn result(&self, id: u64) -> Option<(JobStatus, Option<Arc<JobResult>>)> {
-        let state = self.lock();
-        let record = state.jobs.get(&id)?;
-        Some((record.status, record.result.clone()))
+        self.store().result(id)
     }
 
     /// Records a completed search round for `id`.
     pub fn record_round(&self, id: u64, round: usize) {
-        if let Some(record) = self.lock().jobs.get_mut(&id) {
-            record.rounds = record.rounds.max(round);
-        }
+        self.store().transition(
+            id,
+            Transition::Progress {
+                rounds: Some(round),
+                committed: None,
+            },
+        );
     }
 
     /// Records the cumulative commit total for `id`.
     pub fn record_commit(&self, id: u64, total_committed: usize) {
-        if let Some(record) = self.lock().jobs.get_mut(&id) {
-            record.committed = total_committed;
-        }
+        self.store().transition(
+            id,
+            Transition::Progress {
+                rounds: None,
+                committed: Some(total_committed),
+            },
+        );
     }
 
     /// Records a worker-side failure message for `id`.
     pub fn record_error(&self, id: u64, msg: &str) {
-        if let Some(record) = self.lock().jobs.get_mut(&id) {
-            record.error = Some(msg.to_owned());
-        }
+        self.store()
+            .transition(id, Transition::Note(msg.to_owned()));
     }
 
-    /// Aggregate queue/worker counters.
+    /// Aggregate queue/worker/cache counters.
     pub fn stats(&self) -> ServerStats {
-        let state = self.lock();
+        let (queue_depth, running) = {
+            let orch = self.lock();
+            (orch.queue.len(), orch.running)
+        };
+        let counters = self.store().counters();
+        let ArtifactStats { results, models } = self.shared.artifacts.artifact_stats();
         ServerStats {
-            queue_depth: state.queue.len(),
-            running: state.running,
+            queue_depth,
+            running,
             workers: self.shared.workers,
             queue_cap: self.shared.queue_cap,
-            submitted: state.submitted,
-            finished: state.finished,
+            submitted: counters.submitted,
+            finished: counters.finished,
+            pipeline_runs: self.shared.pipeline_runs.load(Ordering::Relaxed),
+            cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
+            models_trained: self.shared.models_trained.load(Ordering::Relaxed),
+            results_cached: results,
+            models_cached: models,
+            store: self.store().kind(),
         }
     }
 
@@ -670,19 +534,16 @@ impl JobManager {
     /// fires the tokens of running jobs, and wakes all blocked
     /// [`JobManager::take_next`] calls.
     pub fn shutdown(&self) {
-        let mut state = self.lock();
-        state.shutdown = true;
-        while let Some(id) = state.queue.pop_front() {
-            let record = state.jobs.get_mut(&id).expect("queued job exists");
-            record.cancel.cancel();
-            record.status = JobStatus::Cancelled;
-            record.spec = None;
-            state.note_terminal(id, self.shared.retain);
-        }
-        for record in state.jobs.values() {
-            if record.status == JobStatus::Running {
-                record.cancel.cancel();
+        let mut orch = self.lock();
+        orch.shutdown = true;
+        while let Some(id) = orch.queue.pop_front() {
+            if let Some(token) = orch.tokens.remove(&id) {
+                token.cancel();
             }
+            self.store().transition(id, Transition::Cancelled);
+        }
+        for token in orch.tokens.values() {
+            token.cancel();
         }
         self.shared.work_ready.notify_all();
     }
@@ -691,121 +552,16 @@ impl JobManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::json::Json;
     use marioh_hypergraph::hyperedge::edge;
 
     fn tiny_spec() -> JobSpec {
         JobSpec::from_json(&Json::parse(r#"{"dataset": "Hosts"}"#).unwrap()).unwrap()
     }
 
-    #[test]
-    fn spec_parses_dataset_method_seed_and_params() {
-        let body = Json::parse(
-            r#"{"dataset": "hosts", "method": "MARIOH-F", "seed": 9,
-                "throttle_ms": 5, "scale": 0.5,
-                "params": {"theta_init": 0.8, "threads": 2, "filtering": false}}"#,
-        )
-        .unwrap();
-        let spec = JobSpec::from_json(&body).unwrap();
-        assert!(matches!(
-            spec.input,
-            JobInput::Dataset {
-                dataset: PaperDataset::Hosts,
-                scale: Some(s)
-            } if s == 0.5
-        ));
-        assert_eq!(spec.variant, Variant::NoFiltering);
-        assert_eq!(spec.seed, 9);
-        assert_eq!(spec.throttle_ms, 5);
-        assert_eq!(spec.params.theta_init, Some(0.8));
-        assert_eq!(spec.params.threads, Some(2));
-        assert_eq!(spec.params.filtering, Some(false));
-        spec.validate().unwrap();
-    }
-
-    #[test]
-    fn spec_accepts_uploaded_edges() {
-        let mut h = marioh_hypergraph::Hypergraph::new(0);
-        h.add_edge_with_multiplicity(edge(&[0, 1, 2]), 2);
-        h.add_edge(edge(&[1, 3]));
-        let mut text = Vec::new();
-        hio::write_hypergraph(&h, &mut text).unwrap();
-        let body = Json::Obj(vec![(
-            "edges".to_owned(),
-            Json::str(String::from_utf8(text).unwrap()),
-        )]);
-        let spec = JobSpec::from_json(&body).unwrap();
-        match spec.input {
-            JobInput::Edges(parsed) => {
-                assert_eq!(parsed.unique_edge_count(), 2);
-                assert_eq!(parsed.total_edge_count(), 3);
-            }
-            other => panic!("expected edges input, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn spec_rejections_name_the_offence() {
-        for (body, needle) in [
-            (r#"[]"#, "must be a JSON object"),
-            (r#"{}"#, "provide \"dataset\" or \"edges\""),
-            (r#"{"dataset": "nope"}"#, "unknown dataset"),
-            (r#"{"dataset": "Hosts", "edges": "1 0 1"}"#, "not both"),
-            (
-                r#"{"dataset": "Hosts", "dataset": "Crime"}"#,
-                "duplicate field \"dataset\"",
-            ),
-            (
-                r#"{"dataset": "Hosts", "bogus": 1}"#,
-                "unknown field \"bogus\"",
-            ),
-            (
-                r#"{"dataset": "Hosts", "method": "pagerank"}"#,
-                "unknown method",
-            ),
-            (r#"{"dataset": "Hosts", "seed": -1}"#, "\"seed\""),
-            (r#"{"dataset": "Hosts", "scale": 0}"#, "\"scale\""),
-            (
-                r#"{"dataset": "Hosts", "throttle_ms": 999999}"#,
-                "throttle_ms",
-            ),
-            (r#"{"edges": "not numbers"}"#, "invalid edge list"),
-            (
-                r#"{"edges": "1 0 1", "scale": 2}"#,
-                "only applies to registry datasets",
-            ),
-            (
-                r#"{"dataset": "Hosts", "params": {"theta_init": 0.9, "theta_init": 0.8}}"#,
-                "duplicate hyperparameter \"theta_init\"",
-            ),
-            (
-                r#"{"dataset": "Hosts", "params": {"volume": 11}}"#,
-                "unknown hyperparameter",
-            ),
-            (
-                r#"{"dataset": "Hosts", "params": {"threads": 1.5}}"#,
-                "non-negative integer",
-            ),
-            (
-                r#"{"dataset": "Hosts", "params": {"filtering": 1}}"#,
-                "must be a boolean",
-            ),
-        ] {
-            let err = JobSpec::from_json(&Json::parse(body).unwrap()).unwrap_err();
-            assert!(err.contains(needle), "{body} -> {err}");
-        }
-    }
-
-    #[test]
-    fn validate_produces_the_builder_message_verbatim() {
-        let body = Json::parse(r#"{"dataset": "Hosts", "params": {"theta_init": 1.5}}"#).unwrap();
-        let spec = JobSpec::from_json(&body).unwrap();
-        let got = spec.validate().unwrap_err().to_string();
-        let expected = Pipeline::builder()
-            .theta_init(1.5)
-            .build()
-            .unwrap_err()
-            .to_string();
-        assert_eq!(got, expected);
+    fn manager_with_retention(queue_cap: usize, workers: usize, retain: usize) -> JobManager {
+        let store = Arc::new(MemoryStore::new(retain));
+        JobManager::with_stores(queue_cap, workers, store.clone(), store)
     }
 
     #[test]
@@ -835,13 +591,79 @@ mod tests {
         assert_eq!(view.status, JobStatus::Done);
         assert_eq!(view.rounds, 3);
         assert_eq!(view.committed, 17);
+        assert!(!view.cached);
         let stats = m.stats();
         assert_eq!((stats.running, stats.finished, stats.submitted), (0, 1, 1));
         assert!(m.result(id).unwrap().1.is_some());
+        assert_eq!(stats.results_cached, 1, "done results enter the cache");
+    }
+
+    #[test]
+    fn identical_resubmission_is_answered_from_the_cache() {
+        let m = JobManager::new(4, 1);
+        let first = m.submit(tiny_spec()).unwrap();
+        let job = m.take_next().unwrap();
+        let mut h = marioh_hypergraph::Hypergraph::new(0);
+        h.add_edge(edge(&[0, 1]));
+        m.finish(
+            job.id,
+            Ok(JobResult {
+                reconstruction: h,
+                jaccard: 0.9,
+            }),
+        );
+        // The identical spec never touches the queue: done instantly,
+        // flagged cached, sharing the stored result.
+        let second = m.submit(tiny_spec()).unwrap();
+        assert_ne!(first, second);
+        let view = m.view(second).unwrap();
+        assert_eq!(view.status, JobStatus::Done);
+        assert!(view.cached);
+        assert_eq!(m.stats().queue_depth, 0);
+        assert_eq!(m.stats().cache_hits, 1);
+        let (_, result) = m.result(second).unwrap();
+        assert_eq!(result.unwrap().jaccard, 0.9);
+        // A semantically different spec misses.
+        let mut other = tiny_spec();
+        other.seed = 7;
+        let third = m.submit(other).unwrap();
+        assert_eq!(m.view(third).unwrap().status, JobStatus::Queued);
+    }
+
+    #[test]
+    fn dangling_model_references_are_rejected_at_submission() {
+        let m = JobManager::new(4, 1);
+        let mut spec = tiny_spec();
+        spec.model = Some(ModelRef::Job(42));
+        let err = m.submit(spec).unwrap_err();
+        assert!(
+            matches!(&err, SubmitError::Invalid(msg) if msg.contains("donor job 42")),
+            "{err}"
+        );
+        let mut spec = tiny_spec();
+        spec.model = Some(ModelRef::Named("nope".to_owned()));
+        let err = m.submit(spec).unwrap_err();
+        assert!(
+            matches!(&err, SubmitError::Invalid(msg) if msg.contains("no saved model")),
+            "{err}"
+        );
+        // A donor that exists but is not done yet is rejected too — on a
+        // multi-worker pool it would otherwise race to a spurious
+        // dispatch-time failure.
+        let queued_donor = m.submit(tiny_spec()).unwrap();
+        let mut spec = tiny_spec();
+        spec.seed = 9;
+        spec.model = Some(ModelRef::Job(queued_donor));
+        let err = m.submit(spec).unwrap_err();
+        assert!(
+            matches!(&err, SubmitError::Invalid(msg) if msg.contains("is queued")),
+            "{err}"
+        );
     }
 
     #[test]
     fn invalid_spec_is_rejected_at_submit_with_builder_message() {
+        use marioh_core::Pipeline;
         let m = JobManager::new(4, 1);
         let body = Json::parse(r#"{"dataset": "Hosts", "params": {"theta_init": 1.5}}"#).unwrap();
         let err = m.submit(JobSpec::from_json(&body).unwrap()).unwrap_err();
@@ -900,7 +722,7 @@ mod tests {
 
     #[test]
     fn terminal_records_are_evicted_beyond_the_retention_cap() {
-        let m = JobManager::with_retention(4, 1, 3);
+        let m = manager_with_retention(4, 1, 3);
         let ids: Vec<u64> = (0..5)
             .map(|_| {
                 let id = m.submit(tiny_spec()).unwrap();
@@ -922,6 +744,7 @@ mod tests {
         }
         // Counters are history, not store size: eviction leaves them.
         assert_eq!(m.stats().finished, 5);
+        assert_eq!(m.scan().len(), 3);
     }
 
     #[test]

@@ -24,11 +24,13 @@
 //! | method & path | purpose | success | failures |
 //! |---|---|---|---|
 //! | `POST /jobs` | submit a job | 201 `{id, status}` | 400 invalid spec, 503 queue full |
-//! | `GET /jobs/:id` | status + progress | 200 `{id, status, progress, error?}` | 404 |
+//! | `GET /jobs` | list retained jobs | 200 `{count, jobs}` | — |
+//! | `GET /jobs/:id` | status + progress | 200 `{id, status, progress, cached?, error?}` | 404 |
 //! | `GET /jobs/:id/result` | reconstructed hyperedges | 200 `{id, jaccard, edges}` | 404, 409 not done |
 //! | `DELETE /jobs/:id` | cancel (queued or running) | 200 `{id, status}` | 404 |
+//! | `GET /models` | list stored trained models | 200 `{count, models}` | — |
 //! | `GET /healthz` | liveness | 200 `{status: "ok"}` | — |
-//! | `GET /stats` | queue depth, busy workers, totals | 200 | — |
+//! | `GET /stats` | queue/worker/cache counters | 200 | — |
 //!
 //! A job body names a registry dataset or uploads an edge list, picks a
 //! method variant, and overrides hyperparameters — which are validated
@@ -39,6 +41,23 @@
 //! {"dataset": "Hosts", "method": "MARIOH", "seed": 7,
 //!  "params": {"theta_init": 0.9, "threads": 2}}
 //! ```
+//!
+//! # Persistence & caching
+//!
+//! Storage is pluggable through [`marioh_store`]: [`job::JobManager`] is
+//! orchestration only (queue, condvar, cancel tokens) over
+//! `Arc<dyn JobStore>` + `Arc<dyn ArtifactStore>`. The default store is
+//! in-memory; [`StorageConfig::state_dir`] (CLI: `marioh serve
+//! --state-dir`) selects the durable [`marioh_store::DiskStore`], whose
+//! record log + snapshot let a restarted server serve pre-crash results
+//! and re-queue interrupted jobs. Results and trained models are cached
+//! content-addressed by each spec's canonical hash
+//! ([`marioh_store::JobSpec::content_hash`]): identical resubmissions
+//! are answered instantly with `cached: true` and no pipeline run, and a
+//! `"model": "job:<id>"` (or saved-model name) parameter skips training,
+//! reproducing its donor bit-for-bit via the stored post-training RNG
+//! state. See `README.md` ("Persistence & caching") for the on-disk
+//! layout and examples.
 //!
 //! # Example
 //!
@@ -69,13 +88,16 @@
 pub mod client;
 pub mod http;
 pub mod job;
-pub mod json;
 pub mod server;
 mod worker;
 
+// The JSON codec moved to `marioh-store` with the rest of the
+// persistence-facing encoding; the server-side path stays valid.
+pub use marioh_store::json;
+
 pub use job::{
-    JobInput, JobManager, JobParams, JobResult, JobSpec, JobStatus, JobView, ServerStats,
+    JobInput, JobManager, JobParams, JobResult, JobSpec, JobStatus, JobView, ModelRef, ServerStats,
     SubmitError,
 };
 pub use json::Json;
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, StorageConfig};

@@ -11,8 +11,10 @@ use crate::job::{JobManager, JobSpec, JobStatus, SubmitError};
 use crate::json::Json;
 use crate::worker::spawn_workers;
 use marioh_core::MariohError;
+use marioh_store::{ArtifactStore, DiskStore, JobStore, MemoryStore, DEFAULT_RETAINED_JOBS};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -44,6 +46,26 @@ impl Default for ServerConfig {
     }
 }
 
+/// Storage configuration of [`Server::start_with_storage`].
+#[derive(Debug, Clone)]
+pub struct StorageConfig {
+    /// Directory of the durable [`DiskStore`]; `None` keeps everything
+    /// in memory (records and cache die with the process).
+    pub state_dir: Option<PathBuf>,
+    /// Terminal job records retained before the oldest are evicted
+    /// (`marioh serve --retain`).
+    pub retain: usize,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig {
+            state_dir: None,
+            retain: DEFAULT_RETAINED_JOBS,
+        }
+    }
+}
+
 /// A running reconstruction service.
 ///
 /// Dropping the handle leaks the background threads; call
@@ -64,17 +86,49 @@ impl Server {
     /// [`MariohError::Config`] for a zero worker count or queue capacity,
     /// [`MariohError::Io`] when the address cannot be bound.
     pub fn start(config: ServerConfig) -> Result<Server, MariohError> {
+        Server::start_with_storage(config, StorageConfig::default())
+    }
+
+    /// Like [`Server::start`], with explicit storage: a `state_dir`
+    /// selects the durable [`DiskStore`] — the server replays its
+    /// record log, serves pre-restart results, and re-queues jobs that
+    /// were interrupted mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Server::start`] returns, plus
+    /// [`MariohError::Config`]/[`MariohError::Io`] when the state dir
+    /// cannot be opened (wrong format version, corrupt records).
+    pub fn start_with_storage(
+        config: ServerConfig,
+        storage: StorageConfig,
+    ) -> Result<Server, MariohError> {
         if config.workers == 0 {
             return Err(MariohError::config("workers must be >= 1 (got 0)"));
         }
         if config.queue_cap == 0 {
             return Err(MariohError::config("queue capacity must be >= 1 (got 0)"));
         }
+        if storage.retain == 0 {
+            return Err(MariohError::config("retention must be >= 1 (got 0)"));
+        }
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
-        let manager = JobManager::new(config.queue_cap, config.workers);
+        let (job_store, artifact_store): (Arc<dyn JobStore>, Arc<dyn ArtifactStore>) =
+            match &storage.state_dir {
+                Some(dir) => {
+                    let store = Arc::new(DiskStore::open(dir, storage.retain)?);
+                    (store.clone(), store)
+                }
+                None => {
+                    let store = Arc::new(MemoryStore::new(storage.retain));
+                    (store.clone(), store)
+                }
+            };
+        let manager =
+            JobManager::with_stores(config.queue_cap, config.workers, job_store, artifact_store);
         let worker_threads = spawn_workers(&manager, config.workers);
         let stop = Arc::new(AtomicBool::new(false));
         let accept_thread = {
@@ -201,6 +255,8 @@ fn route(request: &Request, manager: &JobManager) -> (u16, Json) {
     match (method, segments(&request.path).as_slice()) {
         ("GET", ["healthz"]) => (200, Json::Obj(vec![("status".into(), Json::str("ok"))])),
         ("GET", ["stats"]) => (200, stats_body(manager)),
+        ("GET", ["jobs"]) => (200, jobs_body(manager)),
+        ("GET", ["models"]) => (200, models_body(manager)),
         ("POST", ["jobs"]) => submit(request, manager),
         ("GET", ["jobs", id]) => with_job_id(id, |id| match manager.view(id) {
             Some(view) => (200, view_body(&view)),
@@ -217,7 +273,7 @@ fn route(request: &Request, manager: &JobManager) -> (u16, Json) {
             ),
             None => not_found(id),
         }),
-        (_, ["healthz" | "stats"]) | (_, ["jobs", ..]) => (
+        (_, ["healthz" | "stats" | "models"]) | (_, ["jobs", ..]) => (
             405,
             error_body(format!("method {method} not allowed on {}", request.path)),
         ),
@@ -250,13 +306,20 @@ fn submit(request: &Request, manager: &JobManager) -> (u16, Json) {
         Err(msg) => return (400, error_body(msg)),
     };
     match manager.submit(spec) {
-        Ok(id) => (
-            201,
-            Json::Obj(vec![
+        Ok(id) => {
+            // A cache hit is `done` on arrival; report the real status
+            // (and the marker) so clients need not poll to notice.
+            let view = manager.view(id);
+            let status = view.as_ref().map_or(JobStatus::Queued, |v| v.status);
+            let mut pairs = vec![
                 ("id".into(), Json::num(id as f64)),
-                ("status".into(), Json::str(JobStatus::Queued.as_str())),
-            ]),
-        ),
+                ("status".into(), Json::str(status.as_str())),
+            ];
+            if view.is_some_and(|v| v.cached) {
+                pairs.push(("cached".into(), Json::Bool(true)));
+            }
+            (201, Json::Obj(pairs))
+        }
         Err(SubmitError::Invalid(msg)) => (400, error_body(msg)),
         Err(e @ SubmitError::QueueFull { .. }) => (503, error_body(e.to_string())),
     }
@@ -315,10 +378,43 @@ fn view_body(view: &crate::job::JobView) -> Json {
             ]),
         ),
     ];
+    if view.cached {
+        pairs.push(("cached".into(), Json::Bool(true)));
+    }
     if let Some(error) = &view.error {
         pairs.push(("error".into(), Json::str(error.clone())));
     }
     Json::Obj(pairs)
+}
+
+fn jobs_body(manager: &JobManager) -> Json {
+    let jobs: Vec<Json> = manager.scan().iter().map(view_body).collect();
+    Json::Obj(vec![
+        ("count".into(), Json::num(jobs.len() as f64)),
+        ("jobs".into(), Json::Arr(jobs)),
+    ])
+}
+
+fn models_body(manager: &JobManager) -> Json {
+    let models: Vec<Json> = manager
+        .list_models()
+        .into_iter()
+        .map(|entry| {
+            let mut pairs = Vec::new();
+            if let Some(name) = entry.name {
+                pairs.push(("name".into(), Json::str(name)));
+            }
+            if let Some(hash) = entry.hash {
+                pairs.push(("spec_hash".into(), Json::str(hash.to_hex())));
+            }
+            pairs.push(("mode".into(), Json::str(entry.mode)));
+            Json::Obj(pairs)
+        })
+        .collect();
+    Json::Obj(vec![
+        ("count".into(), Json::num(models.len() as f64)),
+        ("models".into(), Json::Arr(models)),
+    ])
 }
 
 fn stats_body(manager: &JobManager) -> Json {
@@ -330,6 +426,12 @@ fn stats_body(manager: &JobManager) -> Json {
         ("queue_cap".into(), Json::num(s.queue_cap as f64)),
         ("jobs_submitted".into(), Json::num(s.submitted as f64)),
         ("jobs_finished".into(), Json::num(s.finished as f64)),
+        ("pipeline_runs".into(), Json::num(s.pipeline_runs as f64)),
+        ("cache_hits".into(), Json::num(s.cache_hits as f64)),
+        ("models_trained".into(), Json::num(s.models_trained as f64)),
+        ("results_cached".into(), Json::num(s.results_cached as f64)),
+        ("models_cached".into(), Json::num(s.models_cached as f64)),
+        ("store".into(), Json::str(s.store)),
     ])
 }
 

@@ -1,15 +1,28 @@
-//! The worker pool: each worker blocks on the job queue, builds the
-//! job's pipeline through [`Pipeline::builder`], and reports progress
-//! back into the job store through a [`ProgressObserver`] adapter.
+//! The worker pool: each worker blocks on the job queue, consults the
+//! artifact cache, builds the job's pipeline through
+//! [`Pipeline::builder`], and reports progress back into the job store
+//! through a [`ProgressObserver`] adapter.
 //!
 //! Every job runs split → train → reconstruct off one `StdRng` seeded
 //! with the job's seed, so a job's result is bit-identical to a direct
 //! [`Pipeline`] run with the same inputs — the integration tests rely on
-//! this.
+//! this. Two storage-layer shortcuts preserve that identity:
+//!
+//! * **Cache consult.** Before building anything, the worker checks the
+//!   artifact cache under the job's spec hash (a twin job may have
+//!   finished while this one queued); a hit finishes the job instantly
+//!   with `cached: true` and no pipeline run.
+//! * **Model reuse.** A spec with `model: "job:<id>"` (or a saved model
+//!   name) skips training: the stored [`SavedModel`] carries the donor's
+//!   post-training RNG state, which the worker restores after the split
+//!   — so with the same input and seed the reconstruction is
+//!   bit-identical to the donor's, with zero training epochs.
 
 use crate::job::{DispatchedJob, JobInput, JobManager, JobResult, JobSpec};
 use marioh_core::search::SearchStats;
-use marioh_core::{CancelToken, MariohError, Pipeline, ProgressObserver, Reconstructor as _};
+use marioh_core::{
+    CancelToken, MariohError, Pipeline, ProgressObserver, Reconstructor as _, SavedModel,
+};
 use marioh_datasets::split::split_source_target;
 use marioh_hypergraph::metrics::jaccard;
 use marioh_hypergraph::projection::project;
@@ -55,17 +68,27 @@ impl ProgressObserver for JobObserver {
         self.manager.record_commit(self.id, total_committed);
     }
 
+    fn on_training_done(&self, _secs: f64) {
+        // Model-reuse jobs never train, so never reach here — the
+        // `/stats` models_trained counter is exactly the observer's
+        // event count.
+        self.manager.note_trained();
+    }
+
     fn on_error(&self, msg: &str) {
         self.manager.record_error(self.id, msg);
     }
 }
 
-/// Runs one job to completion (or cancellation).
+/// Runs one job to completion (or cancellation). Returns the result and,
+/// when the job trained its own classifier, the model (with the
+/// post-training RNG state) for the artifact store.
 fn execute(
     spec: JobSpec,
+    reuse: Option<SavedModel>,
     observer: Arc<dyn ProgressObserver>,
     cancel: CancelToken,
-) -> Result<JobResult, MariohError> {
+) -> Result<(JobResult, Option<SavedModel>), MariohError> {
     if spec.throttle_ms > 0 && !cancellable_sleep(spec.throttle_ms, &cancel) {
         return Err(MariohError::Cancelled);
     }
@@ -87,32 +110,88 @@ fn execute(
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let (source, target) = split_source_target(&hypergraph, &mut rng);
     let pipeline = builder.build()?; // validated at submission; cannot fail here
-    let model = pipeline.train(&source, &mut rng)?;
+    let (model, trained) = match reuse {
+        Some(saved) => {
+            // Skip training entirely. Restoring the donor's post-training
+            // RNG position makes the reconstruction bit-identical to the
+            // donor's when input and seed match (the observer's
+            // on_training_done never fires on this path).
+            if let Some(state) = saved.rng_state {
+                rng = StdRng::from_state(state);
+            }
+            (pipeline.with_model(saved.model), None)
+        }
+        None => {
+            let model = pipeline.train(&source, &mut rng)?;
+            let saved = SavedModel {
+                model: model.model().clone(),
+                rng_state: Some(rng.state()),
+            };
+            (model, Some(saved))
+        }
+    };
     if cancel.is_cancelled() {
         return Err(MariohError::Cancelled);
     }
     let reconstruction = model.reconstruct(&project(&target), &mut rng)?;
     let similarity = jaccard(&target, &reconstruction);
-    Ok(JobResult {
-        reconstruction,
-        jaccard: similarity,
-    })
+    Ok((
+        JobResult {
+            reconstruction,
+            jaccard: similarity,
+        },
+        trained,
+    ))
 }
 
 fn run_worker(manager: JobManager) {
-    while let Some(DispatchedJob { id, spec, cancel }) = manager.take_next() {
+    while let Some(DispatchedJob {
+        id,
+        spec,
+        spec_hash,
+        cancel,
+    }) = manager.take_next()
+    {
+        // An identical job may have completed while this one queued; its
+        // artifact is this job's answer.
+        if let Some(cached) = manager.cached_result(&spec_hash) {
+            manager.finish_cached(id, cached);
+            continue;
+        }
+        // Resolve model reuse before spending anything on the pipeline.
+        let reuse = match &spec.model {
+            Some(model_ref) => match manager.resolve_model(model_ref) {
+                Ok(saved) => Some(saved),
+                Err(msg) => {
+                    manager.record_error(id, &msg);
+                    manager.finish(id, Err(MariohError::config(msg)));
+                    continue;
+                }
+            },
+            None => None,
+        };
         let observer: Arc<dyn ProgressObserver> = Arc::new(JobObserver {
             manager: manager.clone(),
             id,
             throttle_ms: spec.throttle_ms,
             cancel: cancel.clone(),
         });
-        let outcome = execute(spec, Arc::clone(&observer), cancel);
-        if let Err(e) = &outcome {
-            if !matches!(e, MariohError::Cancelled) {
-                observer.on_error(&e.to_string());
+        manager.note_pipeline_run();
+        let outcome = execute(spec, reuse, Arc::clone(&observer), cancel);
+        let outcome = match outcome {
+            Ok((result, trained)) => {
+                if let Some(saved) = trained {
+                    manager.store_model(&spec_hash, &saved);
+                }
+                Ok(result)
             }
-        }
+            Err(e) => {
+                if !matches!(e, MariohError::Cancelled) {
+                    observer.on_error(&e.to_string());
+                }
+                Err(e)
+            }
+        };
         manager.finish(id, outcome);
     }
 }
@@ -163,6 +242,62 @@ mod tests {
             assert!(result.reconstruction.unique_edge_count() > 0);
             assert!(result.jaccard > 0.5, "jaccard {}", result.jaccard);
         }
+        let stats = manager.stats();
+        assert_eq!(stats.pipeline_runs, 3);
+        assert_eq!(stats.models_trained, 3);
+        assert_eq!(stats.cache_hits, 0);
+        manager.shutdown();
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn model_reuse_skips_training_and_reproduces_the_donor() {
+        let manager = JobManager::new(16, 1);
+        let workers = spawn_workers(&manager, 1);
+        let donor = manager
+            .submit(spec(r#"{"dataset": "Hosts", "seed": 5}"#))
+            .unwrap();
+        while !manager.view(donor).unwrap().status.is_terminal() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(manager.view(donor).unwrap().status, JobStatus::Done);
+        let trained_before = manager.stats().models_trained;
+        assert_eq!(trained_before, 1);
+
+        // Same input and seed, but reusing the donor's model. The result
+        // cache would short-circuit an *identical* spec, but the model
+        // reference changes the hash, so this runs a real pipeline —
+        // without training.
+        let reuser = manager
+            .submit(spec(&format!(
+                r#"{{"dataset": "Hosts", "seed": 5, "model": "job:{donor}"}}"#
+            )))
+            .unwrap();
+        while !manager.view(reuser).unwrap().status.is_terminal() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let view = manager.view(reuser).unwrap();
+        assert_eq!(view.status, JobStatus::Done, "{view:?}");
+        let stats = manager.stats();
+        assert_eq!(
+            stats.models_trained, trained_before,
+            "reuse job must not train (observer saw no on_training_done)"
+        );
+        assert_eq!(stats.pipeline_runs, 2, "reuse still runs a pipeline");
+
+        // Bit-identical reconstruction, thanks to the restored RNG state.
+        let donor_result = manager.result(donor).unwrap().1.unwrap();
+        let reuse_result = manager.result(reuser).unwrap().1.unwrap();
+        assert_eq!(
+            donor_result.jaccard.to_bits(),
+            reuse_result.jaccard.to_bits()
+        );
+        assert_eq!(
+            donor_result.reconstruction.sorted_edges(),
+            reuse_result.reconstruction.sorted_edges()
+        );
         manager.shutdown();
         for w in workers {
             w.join().unwrap();

@@ -1,0 +1,932 @@
+//! The durable store: an append-only record log + snapshot for job
+//! records, and content-addressed artifact files for results and models.
+//!
+//! # Layout (under `--state-dir`)
+//!
+//! ```text
+//! <state-dir>/
+//!   VERSION                         "marioh-store v1"
+//!   jobs.snapshot                   compacted state, rewritten at open
+//!   jobs.log                        record log appended during operation
+//!   artifacts/
+//!     results/<spec-hash>.result    cached reconstructions
+//!     models/<spec-hash>.model      models trained by jobs
+//!     models/named/<name>.model     models saved by name
+//! ```
+//!
+//! Every state change appends one JSON line to `jobs.log` and flushes, so
+//! a killed process loses at most work in flight, never acknowledged
+//! records. On open, the store reads the snapshot, replays the log on top
+//! of it, resets interrupted `Running` jobs to `Queued` (their workers
+//! died with the process), rewrites a fresh snapshot, and truncates the
+//! log — replay cost is proportional to activity since the last open, not
+//! to history.
+//!
+//! Result artifacts are written **before** the `done` record is logged,
+//! so a replayed `done` can always lazily load its result; the reverse
+//! crash order merely leaves an orphan artifact that the next identical
+//! submission reuses.
+//!
+//! Changing [`STORE_FORMAT_VERSION`] is an on-disk format change: add a
+//! migration note to `crates/store/FORMATS.md` (CI and a unit test fail
+//! otherwise).
+
+use crate::hash::SpecHash;
+use crate::json::Json;
+use crate::spec::{JobResult, JobSpec, JobStatus, JobView, Transition};
+use crate::store::{
+    ArtifactStats, ArtifactStore, JobStore, ModelEntry, Record, RecordTable, StoreCounters,
+};
+use marioh_core::{MariohError, SavedModel};
+use marioh_hypergraph::io as hio;
+use std::fs::{self, File};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Version of the on-disk store format, written into `VERSION` and the
+/// snapshot/log headers. Opening a state dir written by a different
+/// version is refused with a clear error instead of misreading it.
+///
+/// Bumping this constant requires a migration note in
+/// `crates/store/FORMATS.md`.
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+fn format_tag() -> String {
+    format!("marioh-store v{STORE_FORMAT_VERSION}")
+}
+
+fn corrupt(msg: impl Into<String>) -> MariohError {
+    MariohError::Config(msg.into())
+}
+
+#[derive(Debug)]
+struct DiskInner {
+    table: RecordTable,
+    log: BufWriter<File>,
+}
+
+/// The durable job + artifact store. One instance owns a state dir;
+/// share it across the job and artifact roles with an `Arc`.
+#[derive(Debug)]
+pub struct DiskStore {
+    root: PathBuf,
+    inner: Mutex<DiskInner>,
+    recovered: Mutex<Vec<u64>>,
+    /// Held (OS-level, advisory, exclusive) for the store's whole
+    /// lifetime; the kernel releases it when the process dies, so a
+    /// `kill -9` never leaves a stale lock behind.
+    _lock: File,
+}
+
+impl DiskStore {
+    /// Opens (creating if absent) the store at `root`, replaying any
+    /// existing snapshot + log, re-queueing interrupted jobs, and
+    /// compacting. The dir is locked exclusively for the store's
+    /// lifetime: open rewrites the snapshot and truncates the log, which
+    /// would corrupt a live writer's record stream, so a second opener
+    /// is refused instead.
+    ///
+    /// # Errors
+    ///
+    /// [`MariohError::Io`] for filesystem failures,
+    /// [`MariohError::Config`] for a state dir written by a different
+    /// format version, with corrupt records, or already locked by
+    /// another process.
+    pub fn open(root: impl Into<PathBuf>, retain: usize) -> Result<DiskStore, MariohError> {
+        let root = root.into();
+        fs::create_dir_all(root.join("artifacts").join("results"))?;
+        fs::create_dir_all(root.join("artifacts").join("models").join("named"))?;
+
+        let lock = File::create(root.join("LOCK"))?;
+        if let Err(e) = lock.try_lock() {
+            return Err(corrupt(format!(
+                "state dir {} is in use by another process ({e}); stop it first \
+                 (the lock is released automatically when that process exits)",
+                root.display()
+            )));
+        }
+
+        let version_path = root.join("VERSION");
+        match fs::read_to_string(&version_path) {
+            Ok(existing) => {
+                if existing.trim() != format_tag() {
+                    return Err(corrupt(format!(
+                        "state dir {} was written by {:?}; this build is {:?} — migrate it first \
+                         (see crates/store/FORMATS.md)",
+                        root.display(),
+                        existing.trim(),
+                        format_tag()
+                    )));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                fs::write(&version_path, format!("{}\n", format_tag()))?;
+            }
+            Err(e) => return Err(MariohError::Io(e)),
+        }
+
+        let mut table = RecordTable::new(retain);
+        let snapshot_path = root.join("jobs.snapshot");
+        if snapshot_path.exists() {
+            read_snapshot(&snapshot_path, &mut table)?;
+        }
+        let log_path = root.join("jobs.log");
+        if log_path.exists() {
+            replay_log(&log_path, &mut table)?;
+        }
+        table.requeue_running();
+        let recovered = table.queued_ids();
+
+        write_snapshot(&snapshot_path, &table)?;
+        // Truncate the replayed log; everything it said is now in the
+        // snapshot.
+        let mut log = BufWriter::new(File::create(&log_path)?);
+        writeln!(log, "{} log", format_tag())?;
+        log.flush()?;
+
+        Ok(DiskStore {
+            root,
+            inner: Mutex::new(DiskInner { table, log }),
+            recovered: Mutex::new(recovered),
+            _lock: lock,
+        })
+    }
+
+    /// The state directory this store owns.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn inner(&self) -> MutexGuard<'_, DiskInner> {
+        self.inner.lock().expect("disk store lock poisoned")
+    }
+
+    fn result_path(&self, hash: &SpecHash) -> PathBuf {
+        self.root
+            .join("artifacts")
+            .join("results")
+            .join(format!("{hash}.result"))
+    }
+
+    fn model_path(&self, hash: &SpecHash) -> PathBuf {
+        self.root
+            .join("artifacts")
+            .join("models")
+            .join(format!("{hash}.model"))
+    }
+
+    fn named_model_path(&self, name: &str) -> PathBuf {
+        self.root
+            .join("artifacts")
+            .join("models")
+            .join("named")
+            .join(format!("{name}.model"))
+    }
+}
+
+/// A tmp path unique to this (process, call): concurrent writers of the
+/// same artifact — two workers finishing identical specs — must not
+/// truncate each other's half-written tmp before the atomic rename.
+fn unique_tmp(path: &Path) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".{}-{n}.tmp", std::process::id()));
+    path.with_file_name(name)
+}
+
+fn append(inner: &mut DiskInner, record: &Json, durable: bool) {
+    // A log write failure must not take the serving path down; the
+    // in-memory state stays authoritative and the next open replays what
+    // did land.
+    let _ = writeln!(inner.log, "{record}");
+    let _ = inner.log.flush();
+    if durable {
+        let _ = inner.log.get_ref().sync_data();
+    }
+}
+
+fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+impl JobStore for DiskStore {
+    fn submit(&self, spec: &JobSpec, hash: &SpecHash) -> u64 {
+        let mut inner = self.inner();
+        let id = inner.table.submit(spec.clone(), *hash);
+        let record = obj(vec![
+            ("t", Json::str("submit")),
+            ("id", Json::num(id as f64)),
+            ("hash", Json::str(hash.to_hex())),
+            ("spec", spec.to_json()),
+        ]);
+        append(&mut inner, &record, true);
+        id
+    }
+
+    fn start(&self, id: u64) -> Option<JobSpec> {
+        let mut inner = self.inner();
+        let spec = inner.table.start(id)?;
+        let record = obj(vec![
+            ("t", Json::str("start")),
+            ("id", Json::num(id as f64)),
+        ]);
+        append(&mut inner, &record, false);
+        Some(spec)
+    }
+
+    fn transition(&self, id: u64, t: Transition) -> Option<JobStatus> {
+        let mut inner = self.inner();
+        let before = inner.table.get(id).map(|r| r.status)?;
+        let record = if before.is_terminal() {
+            None // immutable; nothing to log
+        } else {
+            match &t {
+                Transition::Start => Some((
+                    obj(vec![
+                        ("t", Json::str("start")),
+                        ("id", Json::num(id as f64)),
+                    ]),
+                    false,
+                )),
+                Transition::Progress { rounds, committed } => {
+                    let mut pairs =
+                        vec![("t", Json::str("progress")), ("id", Json::num(id as f64))];
+                    if let Some(rounds) = rounds {
+                        pairs.push(("rounds", Json::num(*rounds as f64)));
+                    }
+                    if let Some(committed) = committed {
+                        pairs.push(("committed", Json::num(*committed as f64)));
+                    }
+                    Some((obj(pairs), false))
+                }
+                Transition::Note(msg) => Some((
+                    obj(vec![
+                        ("t", Json::str("note")),
+                        ("id", Json::num(id as f64)),
+                        ("error", Json::str(msg.clone())),
+                    ]),
+                    false,
+                )),
+                Transition::Done { cached, .. } => Some((
+                    obj(vec![
+                        ("t", Json::str("done")),
+                        ("id", Json::num(id as f64)),
+                        ("cached", Json::Bool(*cached)),
+                    ]),
+                    true,
+                )),
+                Transition::Failed(msg) => Some((
+                    obj(vec![
+                        ("t", Json::str("failed")),
+                        ("id", Json::num(id as f64)),
+                        ("error", Json::str(msg.clone())),
+                    ]),
+                    true,
+                )),
+                Transition::Cancelled => Some((
+                    obj(vec![
+                        ("t", Json::str("cancelled")),
+                        ("id", Json::num(id as f64)),
+                    ]),
+                    true,
+                )),
+            }
+        };
+        let status = inner.table.transition(id, t);
+        if let Some((record, durable)) = record {
+            append(&mut inner, &record, durable);
+        }
+        status
+    }
+
+    fn view(&self, id: u64) -> Option<JobView> {
+        self.inner().table.view(id)
+    }
+
+    fn result(&self, id: u64) -> Option<(JobStatus, Option<Arc<JobResult>>)> {
+        let mut inner = self.inner();
+        let record = inner.table.get(id)?;
+        let (status, hash) = (record.status, record.hash);
+        if status == JobStatus::Done && record.result.is_none() {
+            // Replayed done record: load the artifact lazily, memoize.
+            if let Ok(result) = read_result_file(&self.result_path(&hash)) {
+                let arc = Arc::new(result);
+                if let Some(record) = inner.table.get_mut(id) {
+                    record.result = Some(Arc::clone(&arc));
+                }
+                return Some((status, Some(arc)));
+            }
+            return Some((status, None));
+        }
+        let result = inner.table.get(id).and_then(|r| r.result.clone());
+        Some((status, result))
+    }
+
+    fn spec_hash(&self, id: u64) -> Option<SpecHash> {
+        self.inner().table.get(id).map(|r| r.hash)
+    }
+
+    fn scan(&self) -> Vec<JobView> {
+        self.inner().table.scan()
+    }
+
+    fn counters(&self) -> StoreCounters {
+        self.inner().table.counters()
+    }
+
+    fn recover_queued(&self) -> Vec<u64> {
+        std::mem::take(&mut *self.recovered.lock().expect("recovered lock poisoned"))
+    }
+
+    fn kind(&self) -> &'static str {
+        "disk"
+    }
+}
+
+impl ArtifactStore for DiskStore {
+    fn put_result(&self, hash: &SpecHash, result: &Arc<JobResult>) -> Result<(), MariohError> {
+        let path = self.result_path(hash);
+        if path.exists() {
+            return Ok(()); // identical content by construction
+        }
+        let tmp = unique_tmp(&path);
+        {
+            let mut out = BufWriter::new(File::create(&tmp)?);
+            writeln!(out, "marioh-result v{STORE_FORMAT_VERSION}")?;
+            writeln!(out, "jaccard_bits {}", result.jaccard.to_bits())?;
+            hio::write_hypergraph(&result.reconstruction, &mut out).map_err(MariohError::from)?;
+            out.flush()?;
+        }
+        fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    fn get_result(&self, hash: &SpecHash) -> Option<Arc<JobResult>> {
+        read_result_file(&self.result_path(hash)).ok().map(Arc::new)
+    }
+
+    fn put_model(&self, hash: &SpecHash, model: &SavedModel) -> Result<(), MariohError> {
+        let path = self.model_path(hash);
+        if path.exists() {
+            return Ok(());
+        }
+        let tmp = unique_tmp(&path);
+        model.save(&tmp)?;
+        fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    fn get_model(&self, hash: &SpecHash) -> Option<SavedModel> {
+        SavedModel::load(self.model_path(hash)).ok()
+    }
+
+    fn put_named_model(&self, name: &str, model: &SavedModel) -> Result<(), MariohError> {
+        crate::spec::validate_model_name(name).map_err(MariohError::Config)?;
+        let path = self.named_model_path(name);
+        let tmp = unique_tmp(&path);
+        model.save(&tmp)?;
+        fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    fn get_named_model(&self, name: &str) -> Option<SavedModel> {
+        crate::spec::validate_model_name(name).ok()?;
+        SavedModel::load(self.named_model_path(name)).ok()
+    }
+
+    fn list_models(&self) -> Vec<ModelEntry> {
+        let models_dir = self.root.join("artifacts").join("models");
+        let mut named: Vec<ModelEntry> = list_model_files(&models_dir.join("named"))
+            .into_iter()
+            .map(|(stem, mode)| ModelEntry {
+                name: Some(stem),
+                hash: None,
+                mode,
+            })
+            .collect();
+        named.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut hashed: Vec<ModelEntry> = list_model_files(&models_dir)
+            .into_iter()
+            .filter_map(|(stem, mode)| {
+                SpecHash::from_hex(&stem).map(|h| ModelEntry {
+                    name: None,
+                    hash: Some(h),
+                    mode,
+                })
+            })
+            .collect();
+        hashed.sort_by_key(|e| e.hash);
+        named.extend(hashed);
+        named
+    }
+
+    fn artifact_stats(&self) -> ArtifactStats {
+        let artifacts = self.root.join("artifacts");
+        let count = |dir: &Path, ext: &str| -> usize {
+            fs::read_dir(dir)
+                .map(|entries| {
+                    entries
+                        .filter_map(|e| e.ok())
+                        .filter(|e| e.path().extension().is_some_and(|x| x == ext))
+                        .count()
+                })
+                .unwrap_or(0)
+        };
+        ArtifactStats {
+            results: count(&artifacts.join("results"), "result"),
+            models: count(&artifacts.join("models"), "model")
+                + count(&artifacts.join("models").join("named"), "model"),
+        }
+    }
+}
+
+/// `(file stem, feature-mode tag)` of every `.model` file directly in
+/// `dir` (not recursing into `named/`).
+fn list_model_files(dir: &Path) -> Vec<(String, String)> {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    entries
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
+        .filter_map(|e| {
+            let path = e.path();
+            if path.extension()? != "model" {
+                return None;
+            }
+            let stem = path.file_stem()?.to_str()?.to_owned();
+            let mode = SavedModel::load(&path)
+                .ok()
+                .map(|m| m.model.feature_mode().tag().to_owned())?;
+            Some((stem, mode))
+        })
+        .collect()
+}
+
+fn read_result_file(path: &Path) -> Result<JobResult, MariohError> {
+    let mut input = BufReader::new(File::open(path)?);
+    let mut line = String::new();
+    input.read_line(&mut line)?;
+    let header = line.trim();
+    if header
+        .strip_prefix("marioh-result v")
+        .and_then(|v| v.parse::<u32>().ok())
+        .is_none_or(|v| v == 0 || v > STORE_FORMAT_VERSION)
+    {
+        return Err(corrupt(format!("not a marioh result file: {header:?}")));
+    }
+    line.clear();
+    input.read_line(&mut line)?;
+    let jaccard = line
+        .trim()
+        .strip_prefix("jaccard_bits ")
+        .and_then(|b| b.parse::<u64>().ok())
+        .map(f64::from_bits)
+        .ok_or_else(|| corrupt("malformed jaccard line in result file"))?;
+    let reconstruction = hio::read_hypergraph(input).map_err(MariohError::from)?;
+    Ok(JobResult {
+        reconstruction,
+        jaccard,
+    })
+}
+
+// --- snapshot + replay ---------------------------------------------------
+
+fn get_u64(v: &Json, key: &str) -> Result<u64, MariohError> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| corrupt(format!("store record is missing integer field {key:?}")))
+}
+
+fn get_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, MariohError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| corrupt(format!("store record is missing string field {key:?}")))
+}
+
+fn get_hash(v: &Json) -> Result<SpecHash, MariohError> {
+    SpecHash::from_hex(get_str(v, "hash")?)
+        .ok_or_else(|| corrupt("store record has a malformed spec hash"))
+}
+
+fn get_spec(v: &Json) -> Result<JobSpec, MariohError> {
+    let spec = v
+        .get("spec")
+        .ok_or_else(|| corrupt("store record is missing its spec"))?;
+    JobSpec::from_json(spec).map_err(|e| corrupt(format!("store record has an invalid spec: {e}")))
+}
+
+fn write_snapshot(path: &Path, table: &RecordTable) -> Result<(), MariohError> {
+    let tmp = path.with_extension("snapshot.tmp");
+    {
+        let mut out = BufWriter::new(File::create(&tmp)?);
+        writeln!(out, "{} snapshot", format_tag())?;
+        let counters = table.counters();
+        let meta = obj(vec![
+            ("t", Json::str("meta")),
+            ("submitted", Json::num(counters.submitted as f64)),
+            ("finished", Json::num(counters.finished as f64)),
+        ]);
+        writeln!(out, "{meta}")?;
+        // Terminal records first, in completion order, so replaying the
+        // snapshot reconstructs the eviction order; then live records by
+        // id.
+        let mut ordered: Vec<(u64, &Record)> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for id in table.terminal_ids() {
+            if let Some(record) = table.get(id) {
+                ordered.push((id, record));
+                seen.insert(id);
+            }
+        }
+        let mut live: Vec<(u64, &Record)> = table
+            .iter()
+            .filter(|(id, _)| !seen.contains(*id))
+            .map(|(id, r)| (*id, r))
+            .collect();
+        live.sort_by_key(|(id, _)| *id);
+        ordered.extend(live);
+        for (id, record) in ordered {
+            let mut pairs = vec![
+                ("t", Json::str("job")),
+                ("id", Json::num(id as f64)),
+                ("hash", Json::str(record.hash.to_hex())),
+                ("status", Json::str(record.status.as_str())),
+                ("rounds", Json::num(record.rounds as f64)),
+                ("committed", Json::num(record.committed as f64)),
+                ("cached", Json::Bool(record.cached)),
+            ];
+            if let Some(error) = &record.error {
+                pairs.push(("error", Json::str(error.clone())));
+            }
+            if let Some(spec) = &record.spec {
+                pairs.push(("spec", spec.to_json()));
+            }
+            writeln!(out, "{}", obj(pairs))?;
+        }
+        out.flush()?;
+        out.get_ref().sync_data()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+fn read_snapshot(path: &Path, table: &mut RecordTable) -> Result<(), MariohError> {
+    let mut lines = BufReader::new(File::open(path)?).lines();
+    let header = lines
+        .next()
+        .transpose()?
+        .ok_or_else(|| corrupt("empty store snapshot"))?;
+    let expected = format!("{} snapshot", format_tag());
+    if header.trim() != expected {
+        return Err(corrupt(format!(
+            "snapshot header {header:?} does not match {expected:?} — migrate the state dir first"
+        )));
+    }
+    let mut counters = StoreCounters::default();
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record =
+            Json::parse(&line).map_err(|e| corrupt(format!("corrupt snapshot record: {e}")))?;
+        match get_str(&record, "t")? {
+            "meta" => {
+                counters.submitted = get_u64(&record, "submitted")?;
+                counters.finished = get_u64(&record, "finished")?;
+            }
+            "job" => {
+                let id = get_u64(&record, "id")?;
+                let status = JobStatus::from_str_tag(get_str(&record, "status")?)
+                    .ok_or_else(|| corrupt("snapshot record has an unknown status"))?;
+                let spec = match record.get("spec") {
+                    Some(_) => Some(get_spec(&record)?),
+                    None => None,
+                };
+                table.insert_with_id(
+                    id,
+                    Record {
+                        spec,
+                        hash: get_hash(&record)?,
+                        status,
+                        rounds: get_u64(&record, "rounds")? as usize,
+                        committed: get_u64(&record, "committed")? as usize,
+                        error: record
+                            .get("error")
+                            .and_then(Json::as_str)
+                            .map(str::to_owned),
+                        result: None, // loaded lazily from the artifact store
+                        cached: record
+                            .get("cached")
+                            .and_then(Json::as_bool)
+                            .unwrap_or(false),
+                    },
+                );
+            }
+            other => return Err(corrupt(format!("unknown snapshot record type {other:?}"))),
+        }
+    }
+    // The snapshot's lifetime counters override the per-insert counting
+    // (evicted records are gone from the snapshot but still happened).
+    table.set_counters(counters);
+    Ok(())
+}
+
+fn replay_log(path: &Path, table: &mut RecordTable) -> Result<(), MariohError> {
+    let text = fs::read_to_string(path)?;
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        None => return Ok(()), // brand-new empty log
+        Some((_, header)) => {
+            let expected = format!("{} log", format_tag());
+            if header.trim() != expected {
+                return Err(corrupt(format!(
+                    "log header {header:?} does not match {expected:?} — migrate the state dir first"
+                )));
+            }
+        }
+    }
+    let non_empty: Vec<(usize, &str)> = lines.filter(|(_, l)| !l.trim().is_empty()).collect();
+    let last_index = non_empty.len().saturating_sub(1);
+    for (pos, (lineno, line)) in non_empty.iter().enumerate() {
+        let record = match Json::parse(line) {
+            Ok(r) => r,
+            // A torn final line is the expected debris of a kill;
+            // anything earlier is real corruption.
+            Err(_) if pos == last_index => break,
+            Err(e) => {
+                return Err(corrupt(format!(
+                    "corrupt store log at line {}: {e}",
+                    lineno + 1
+                )))
+            }
+        };
+        apply_log_record(table, &record)?;
+    }
+    Ok(())
+}
+
+fn apply_log_record(table: &mut RecordTable, record: &Json) -> Result<(), MariohError> {
+    let id = get_u64(record, "id")?;
+    match get_str(record, "t")? {
+        "submit" => {
+            table.insert_with_id(id, Record::queued(get_spec(record)?, get_hash(record)?));
+        }
+        "start" => {
+            table.transition(id, Transition::Start);
+        }
+        "progress" => {
+            table.transition(
+                id,
+                Transition::Progress {
+                    rounds: record
+                        .get("rounds")
+                        .and_then(Json::as_u64)
+                        .map(|v| v as usize),
+                    committed: record
+                        .get("committed")
+                        .and_then(Json::as_u64)
+                        .map(|v| v as usize),
+                },
+            );
+        }
+        "note" => {
+            table.transition(id, Transition::Note(get_str(record, "error")?.to_owned()));
+        }
+        "done" => {
+            // The result stays on disk; `DiskStore::result` loads it
+            // lazily by spec hash.
+            let cached = record
+                .get("cached")
+                .and_then(Json::as_bool)
+                .unwrap_or(false);
+            table.mark_done_replayed(id, cached);
+        }
+        "failed" => {
+            table.transition(id, Transition::Failed(get_str(record, "error")?.to_owned()));
+        }
+        "cancelled" => {
+            table.transition(id, Transition::Cancelled);
+        }
+        other => return Err(corrupt(format!("unknown store log record type {other:?}"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use marioh_hypergraph::hyperedge::edge;
+    use std::fs::OpenOptions;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("marioh-disk-store-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec(body: &str) -> (JobSpec, SpecHash) {
+        let s = JobSpec::from_json(&Json::parse(body).unwrap()).unwrap();
+        let h = s.content_hash().unwrap();
+        (s, h)
+    }
+
+    fn result() -> Arc<JobResult> {
+        let mut h = marioh_hypergraph::Hypergraph::new(0);
+        h.add_edge_with_multiplicity(edge(&[0, 1, 2]), 3);
+        h.add_edge(edge(&[1, 4]));
+        Arc::new(JobResult {
+            reconstruction: h,
+            jaccard: 0.8125,
+        })
+    }
+
+    #[test]
+    fn restart_replays_terminal_records_and_requeues_interrupted_jobs() {
+        let dir = tmp_dir("restart");
+        let (done_spec, done_hash) = spec(r#"{"dataset": "Hosts", "seed": 1}"#);
+        let (queued_spec, queued_hash) = spec(r#"{"dataset": "Hosts", "seed": 2}"#);
+        let (running_spec, running_hash) = spec(r#"{"dataset": "Hosts", "seed": 3}"#);
+
+        let (done_id, queued_id, running_id) = {
+            let store = DiskStore::open(&dir, 64).unwrap();
+            assert!(store.recover_queued().is_empty());
+            let done_id = store.submit(&done_spec, &done_hash);
+            let queued_id = store.submit(&queued_spec, &queued_hash);
+            let running_id = store.submit(&running_spec, &running_hash);
+            store.start(done_id).unwrap();
+            store.put_result(&done_hash, &result()).unwrap();
+            store.transition(
+                done_id,
+                Transition::Done {
+                    result: result(),
+                    cached: false,
+                },
+            );
+            store.start(running_id).unwrap();
+            store.transition(
+                running_id,
+                Transition::Progress {
+                    rounds: Some(2),
+                    committed: Some(9),
+                },
+            );
+            (done_id, queued_id, running_id)
+            // dropped without any shutdown ceremony — like a kill
+        };
+
+        let store = DiskStore::open(&dir, 64).unwrap();
+        // Terminal history is served from disk...
+        let view = store.view(done_id).unwrap();
+        assert_eq!(view.status, JobStatus::Done);
+        let (_, loaded) = store.result(done_id).unwrap();
+        let loaded = loaded.expect("replayed result loads lazily");
+        assert_eq!(loaded.jaccard.to_bits(), 0.8125f64.to_bits());
+        assert_eq!(
+            loaded.reconstruction.total_edge_count(),
+            result().reconstruction.total_edge_count()
+        );
+        // ...and interrupted work is back in the queue, in order.
+        assert_eq!(store.recover_queued(), vec![queued_id, running_id]);
+        let requeued = store.view(running_id).unwrap();
+        assert_eq!(requeued.status, JobStatus::Queued);
+        assert_eq!(requeued.rounds, 2, "progress survives the restart");
+        let taken = store.start(running_id).expect("recovered spec is intact");
+        assert_eq!(taken.content_hash().unwrap(), running_hash);
+        assert_eq!(
+            store.counters(),
+            StoreCounters {
+                submitted: 3,
+                finished: 1
+            }
+        );
+    }
+
+    #[test]
+    fn counters_and_eviction_survive_compaction_cycles() {
+        let dir = tmp_dir("compaction");
+        let retain = 2;
+        let mut ids = Vec::new();
+        for round in 0..3u64 {
+            let store = DiskStore::open(&dir, retain).unwrap();
+            for id in store.recover_queued() {
+                store.start(id);
+                store.transition(id, Transition::Failed("interrupted".into()));
+            }
+            let (s, h) = spec(&format!(
+                r#"{{"dataset": "Hosts", "seed": {}}}"#,
+                10 + round
+            ));
+            let id = store.submit(&s, &h);
+            store.start(id);
+            store.transition(id, Transition::Failed("boom".into()));
+            ids.push(id);
+        }
+        let store = DiskStore::open(&dir, retain).unwrap();
+        let counters = store.counters();
+        assert_eq!(counters.submitted, 3);
+        assert_eq!(counters.finished, 3);
+        // Only the `retain` most recent terminal records survive.
+        assert!(store.view(ids[0]).is_none());
+        assert_eq!(store.view(ids[2]).unwrap().status, JobStatus::Failed);
+        assert_eq!(store.scan().len(), retain);
+        // Ids keep ascending across restarts.
+        let (s, h) = spec(r#"{"dataset": "Hosts", "seed": 99}"#);
+        assert!(store.submit(&s, &h) > *ids.last().unwrap());
+    }
+
+    #[test]
+    fn torn_final_log_line_is_tolerated_earlier_corruption_is_not() {
+        let dir = tmp_dir("torn");
+        let (s, h) = spec(r#"{"dataset": "Hosts"}"#);
+        {
+            let store = DiskStore::open(&dir, 8).unwrap();
+            store.submit(&s, &h);
+        }
+        let log = dir.join("jobs.log");
+        // Simulate a crash mid-append: a partial JSON line at the tail.
+        let mut file = OpenOptions::new().append(true).open(&log).unwrap();
+        write!(file, "{{\"t\":\"submit\",\"id\":2,\"ha").unwrap();
+        drop(file);
+        let store = DiskStore::open(&dir, 8).unwrap();
+        assert_eq!(store.recover_queued(), vec![1]);
+        drop(store); // release the dir lock before reopening
+
+        // Corruption in the middle is refused loudly.
+        let mut text = fs::read_to_string(&log).unwrap();
+        text.push_str("not json at all\n");
+        text.push_str(r#"{"t":"cancelled","id":1}"#);
+        text.push('\n');
+        fs::write(&log, text).unwrap();
+        let err = DiskStore::open(&dir, 8).unwrap_err();
+        assert!(err.to_string().contains("corrupt store log"), "{err}");
+    }
+
+    #[test]
+    fn a_second_opener_is_refused_while_the_store_lives() {
+        let dir = tmp_dir("lock");
+        let store = DiskStore::open(&dir, 8).unwrap();
+        // A concurrent open would rewrite the snapshot and truncate the
+        // log out from under the live writer — refused instead.
+        let err = DiskStore::open(&dir, 8).unwrap_err();
+        assert!(err.to_string().contains("in use"), "{err}");
+        // Dropping the store releases the lock.
+        drop(store);
+        DiskStore::open(&dir, 8).unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_is_refused_with_a_migration_pointer() {
+        let dir = tmp_dir("version");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("VERSION"), "marioh-store v999\n").unwrap();
+        let err = DiskStore::open(&dir, 8).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("v999") && msg.contains("FORMATS.md"), "{msg}");
+    }
+
+    #[test]
+    fn artifacts_round_trip_on_disk() {
+        let dir = tmp_dir("artifacts");
+        let store = DiskStore::open(&dir, 8).unwrap();
+        let (s, h) = spec(r#"{"dataset": "Hosts", "seed": 7}"#);
+        let _ = s;
+        assert!(store.get_result(&h).is_none());
+        store.put_result(&h, &result()).unwrap();
+        let back = store.get_result(&h).unwrap();
+        assert_eq!(back.jaccard.to_bits(), 0.8125f64.to_bits());
+        assert_eq!(store.artifact_stats().results, 1);
+
+        let model = {
+            use marioh_core::training::{train_classifier, TrainingConfig};
+            use rand::{rngs::StdRng, SeedableRng};
+            let mut hg = marioh_hypergraph::Hypergraph::new(0);
+            for b in 0..12u32 {
+                hg.add_edge(edge(&[b * 3, b * 3 + 1, b * 3 + 2]));
+                hg.add_edge(edge(&[b * 3, b * 3 + 1]));
+            }
+            let mut rng = StdRng::seed_from_u64(0);
+            SavedModel {
+                model: train_classifier(&hg, &TrainingConfig::default(), &mut rng),
+                rng_state: Some([9, 8, 7, 6]),
+            }
+        };
+        store.put_model(&h, &model).unwrap();
+        assert_eq!(store.get_model(&h).unwrap().rng_state, Some([9, 8, 7, 6]));
+        store.put_named_model("exported", &model).unwrap();
+        assert!(store.put_named_model("../escape", &model).is_err());
+        assert!(store.get_named_model("exported").is_some());
+        let listed = store.list_models();
+        assert_eq!(listed.len(), 2);
+        assert_eq!(listed[0].name.as_deref(), Some("exported"));
+        assert_eq!(listed[1].hash, Some(h));
+        assert_eq!(store.artifact_stats().models, 2);
+    }
+}

@@ -1,0 +1,629 @@
+//! The storage traits and the in-memory implementation.
+//!
+//! [`JobStore`] owns job *records* — their lifecycle state, progress, and
+//! results — while queueing, worker wakeup, and cancellation tokens stay
+//! in the server's orchestration layer. [`ArtifactStore`] is the
+//! content-addressed cache: results and trained models keyed by the
+//! submitting spec's [`SpecHash`], plus named models.
+//!
+//! [`MemoryStore`] implements both — the original `JobManager` store,
+//! extracted. `crate::disk::DiskStore` is the durable sibling with an
+//! identical contract (the shared conformance tests in
+//! `crates/store/tests` run against both).
+
+use crate::hash::SpecHash;
+use crate::spec::{JobResult, JobSpec, JobStatus, JobView, Transition};
+use marioh_core::{MariohError, SavedModel};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Terminal job records retained for polling before the oldest are
+/// evicted — the queue capacity bounds queued work, this bounds the
+/// store itself, so a long-lived server's memory does not grow without
+/// limit. Evicted ids answer 404, like unknown ones. Overridable with
+/// `marioh serve --retain`.
+pub const DEFAULT_RETAINED_JOBS: usize = 1024;
+
+/// Aggregate counters a store keeps across its lifetime (the durable
+/// store reconstructs them on replay).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreCounters {
+    /// Jobs accepted.
+    pub submitted: u64,
+    /// Jobs that reached a terminal state.
+    pub finished: u64,
+}
+
+/// Counts of cached artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArtifactStats {
+    /// Cached job results.
+    pub results: usize,
+    /// Stored trained models (hash-keyed and named).
+    pub models: usize,
+}
+
+/// One stored model, as listed by `GET /models`.
+#[derive(Debug, Clone)]
+pub struct ModelEntry {
+    /// The saved-model name, for named models.
+    pub name: Option<String>,
+    /// The donor spec hash, for job-derived models.
+    pub hash: Option<SpecHash>,
+    /// The model's feature mode tag.
+    pub mode: String,
+}
+
+/// Durable (or not) storage of job records.
+///
+/// Implementations must make terminal records immutable: once a job is
+/// `Done`/`Failed`/`Cancelled`, further [`JobStore::transition`] calls
+/// return the existing status without changing anything, and the
+/// `finished` counter counts each job exactly once. This is what makes
+/// the manager's cancel/finish race benign.
+pub trait JobStore: Send + Sync {
+    /// Persists a new `Queued` record and returns its id (ids ascend).
+    fn submit(&self, spec: &JobSpec, hash: &SpecHash) -> u64;
+
+    /// Marks a queued job `Running` and yields its spec (taken, not
+    /// cloned — specs can hold multi-MB uploaded hypergraphs). `None`
+    /// for unknown ids or jobs not currently queued.
+    fn start(&self, id: u64) -> Option<JobSpec>;
+
+    /// Applies a state change; see [`Transition`] for the semantics.
+    /// Returns the job's status after the call, or `None` for unknown
+    /// (or evicted) ids.
+    fn transition(&self, id: u64, t: Transition) -> Option<JobStatus>;
+
+    /// A snapshot of one job, or `None` for unknown ids.
+    fn view(&self, id: u64) -> Option<JobView>;
+
+    /// The job's status and (for done jobs) a shared handle to its
+    /// result.
+    fn result(&self, id: u64) -> Option<(JobStatus, Option<Arc<JobResult>>)>;
+
+    /// The content hash the job was submitted under.
+    fn spec_hash(&self, id: u64) -> Option<SpecHash>;
+
+    /// Snapshots of every retained job, ascending by id.
+    fn scan(&self) -> Vec<JobView>;
+
+    /// Lifetime counters.
+    fn counters(&self) -> StoreCounters;
+
+    /// Ids of jobs that were queued or running when the store was
+    /// opened and must be re-dispatched (ascending; the durable store
+    /// resets interrupted `Running` jobs to `Queued` on replay). Drained
+    /// once, at manager construction.
+    fn recover_queued(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// `"memory"` or `"disk"`, surfaced in `/stats`.
+    fn kind(&self) -> &'static str;
+}
+
+/// Content-addressed storage of reconstruction results and trained
+/// models.
+///
+/// Keys are [`SpecHash`]es — identical submissions share one slot, so
+/// `put` on an existing key may overwrite (the content is identical by
+/// construction) or keep the original; both are correct.
+pub trait ArtifactStore: Send + Sync {
+    /// Caches a job result under its spec hash.
+    ///
+    /// # Errors
+    ///
+    /// [`MariohError::Io`] when the backing storage fails.
+    fn put_result(&self, hash: &SpecHash, result: &Arc<JobResult>) -> Result<(), MariohError>;
+
+    /// The cached result for a spec hash, if any.
+    fn get_result(&self, hash: &SpecHash) -> Option<Arc<JobResult>>;
+
+    /// Stores the model a job trained, keyed by the job's spec hash.
+    ///
+    /// # Errors
+    ///
+    /// [`MariohError::Io`] when the backing storage fails.
+    fn put_model(&self, hash: &SpecHash, model: &SavedModel) -> Result<(), MariohError>;
+
+    /// The stored model for a spec hash, if any.
+    fn get_model(&self, hash: &SpecHash) -> Option<SavedModel>;
+
+    /// Saves a model under a name (see
+    /// [`crate::spec::validate_model_name`]).
+    ///
+    /// # Errors
+    ///
+    /// [`MariohError::Config`] for invalid names, [`MariohError::Io`]
+    /// when the backing storage fails.
+    fn put_named_model(&self, name: &str, model: &SavedModel) -> Result<(), MariohError>;
+
+    /// The named model, if any.
+    fn get_named_model(&self, name: &str) -> Option<SavedModel>;
+
+    /// Every stored model (named and job-derived), names first, sorted.
+    fn list_models(&self) -> Vec<ModelEntry>;
+
+    /// Counts of cached artifacts.
+    fn artifact_stats(&self) -> ArtifactStats;
+}
+
+/// One job record as the stores keep it.
+#[derive(Debug, Clone)]
+pub(crate) struct Record {
+    /// Taken (not cloned) by [`JobStore::start`]; dropped on
+    /// cancellation.
+    pub spec: Option<JobSpec>,
+    pub hash: SpecHash,
+    pub status: JobStatus,
+    pub rounds: usize,
+    pub committed: usize,
+    pub error: Option<String>,
+    /// Shared, not cloned, on reads. The disk store leaves this `None`
+    /// for replayed `Done` records and loads the artifact lazily.
+    pub result: Option<Arc<JobResult>>,
+    pub cached: bool,
+}
+
+impl Record {
+    pub(crate) fn queued(spec: JobSpec, hash: SpecHash) -> Record {
+        Record {
+            spec: Some(spec),
+            hash,
+            status: JobStatus::Queued,
+            rounds: 0,
+            committed: 0,
+            error: None,
+            result: None,
+            cached: false,
+        }
+    }
+}
+
+/// The record bookkeeping shared by the memory and disk stores: id
+/// allocation, the record map, terminal-order retention, and counters.
+#[derive(Debug)]
+pub(crate) struct RecordTable {
+    next_id: u64,
+    jobs: HashMap<u64, Record>,
+    /// Terminal job ids in completion order, for retention eviction.
+    terminal_order: VecDeque<u64>,
+    submitted: u64,
+    finished: u64,
+    retain: usize,
+}
+
+impl RecordTable {
+    pub(crate) fn new(retain: usize) -> RecordTable {
+        RecordTable {
+            next_id: 1,
+            jobs: HashMap::new(),
+            terminal_order: VecDeque::new(),
+            submitted: 0,
+            finished: 0,
+            retain,
+        }
+    }
+
+    pub(crate) fn submit(&mut self, spec: JobSpec, hash: SpecHash) -> u64 {
+        let id = self.next_id;
+        self.insert_with_id(id, Record::queued(spec, hash));
+        id
+    }
+
+    /// Inserts a record under an explicit id (log replay), keeping
+    /// `next_id` ahead of every id seen.
+    pub(crate) fn insert_with_id(&mut self, id: u64, record: Record) {
+        let terminal = record.status.is_terminal();
+        self.jobs.insert(id, record);
+        self.next_id = self.next_id.max(id + 1);
+        self.submitted += 1;
+        if terminal {
+            self.note_terminal(id);
+        }
+    }
+
+    pub(crate) fn start(&mut self, id: u64) -> Option<JobSpec> {
+        let record = self.jobs.get_mut(&id)?;
+        if record.status != JobStatus::Queued {
+            return None;
+        }
+        record.status = JobStatus::Running;
+        record.spec.take()
+    }
+
+    /// Applies a transition; terminal records are immutable (the call
+    /// reports their status and changes nothing).
+    pub(crate) fn transition(&mut self, id: u64, t: Transition) -> Option<JobStatus> {
+        let record = self.jobs.get_mut(&id)?;
+        if record.status.is_terminal() {
+            return Some(record.status);
+        }
+        match t {
+            Transition::Start => {
+                record.status = JobStatus::Running;
+            }
+            Transition::Progress { rounds, committed } => {
+                if let Some(rounds) = rounds {
+                    record.rounds = record.rounds.max(rounds);
+                }
+                if let Some(committed) = committed {
+                    record.committed = committed;
+                }
+            }
+            Transition::Note(msg) => {
+                record.error = Some(msg);
+            }
+            Transition::Done { result, cached } => {
+                record.status = JobStatus::Done;
+                record.result = Some(result);
+                record.cached = cached;
+                self.note_terminal(id);
+            }
+            Transition::Failed(msg) => {
+                record.status = JobStatus::Failed;
+                // The worker's `on_error` observer usually got here
+                // first; keep its message rather than overwriting.
+                record.error.get_or_insert(msg);
+                self.note_terminal(id);
+            }
+            Transition::Cancelled => {
+                record.status = JobStatus::Cancelled;
+                // A cancelled-while-queued spec (possibly a multi-MB
+                // uploaded hypergraph) would otherwise sit in the
+                // retained record.
+                record.spec = None;
+                self.note_terminal(id);
+            }
+        }
+        self.jobs.get(&id).map(|r| r.status)
+    }
+
+    /// Counts a job that just reached a terminal state and evicts the
+    /// oldest terminal records beyond the retention cap.
+    fn note_terminal(&mut self, id: u64) {
+        self.finished += 1;
+        self.terminal_order.push_back(id);
+        while self.terminal_order.len() > self.retain {
+            if let Some(evicted) = self.terminal_order.pop_front() {
+                self.jobs.remove(&evicted);
+            }
+        }
+    }
+
+    pub(crate) fn view(&self, id: u64) -> Option<JobView> {
+        let record = self.jobs.get(&id)?;
+        Some(JobView {
+            id,
+            status: record.status,
+            rounds: record.rounds,
+            committed: record.committed,
+            error: record.error.clone(),
+            cached: record.cached,
+        })
+    }
+
+    pub(crate) fn get(&self, id: u64) -> Option<&Record> {
+        self.jobs.get(&id)
+    }
+
+    pub(crate) fn get_mut(&mut self, id: u64) -> Option<&mut Record> {
+        self.jobs.get_mut(&id)
+    }
+
+    pub(crate) fn scan(&self) -> Vec<JobView> {
+        let mut ids: Vec<u64> = self.jobs.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter().filter_map(|id| self.view(id)).collect()
+    }
+
+    pub(crate) fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            submitted: self.submitted,
+            finished: self.finished,
+        }
+    }
+
+    /// Terminal ids in completion order (snapshot writing).
+    pub(crate) fn terminal_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.terminal_order.iter().copied()
+    }
+
+    /// Overrides the lifetime counters with a snapshot's authoritative
+    /// values (per-insert counting misses records evicted before the
+    /// snapshot was taken).
+    pub(crate) fn set_counters(&mut self, counters: StoreCounters) {
+        self.submitted = counters.submitted;
+        self.finished = counters.finished;
+    }
+
+    /// Marks a replayed record `Done` without a result in memory — the
+    /// durable store reloads the artifact lazily by spec hash.
+    pub(crate) fn mark_done_replayed(&mut self, id: u64, cached: bool) {
+        let Some(record) = self.jobs.get_mut(&id) else {
+            return;
+        };
+        if record.status.is_terminal() {
+            return;
+        }
+        record.status = JobStatus::Done;
+        record.cached = cached;
+        record.spec = None;
+        self.note_terminal(id);
+    }
+
+    /// All queued ids, ascending (recovery after replay).
+    pub(crate) fn queued_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .jobs
+            .iter()
+            .filter(|(_, r)| r.status == JobStatus::Queued)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Resets interrupted `Running` records to `Queued` (replay: their
+    /// worker died with the process).
+    pub(crate) fn requeue_running(&mut self) {
+        for record in self.jobs.values_mut() {
+            if record.status == JobStatus::Running {
+                record.status = JobStatus::Queued;
+            }
+        }
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (&u64, &Record)> {
+        self.jobs.iter()
+    }
+}
+
+#[derive(Default)]
+struct MemoryArtifacts {
+    results: HashMap<SpecHash, Arc<JobResult>>,
+    models: HashMap<SpecHash, SavedModel>,
+    named: std::collections::BTreeMap<String, SavedModel>,
+}
+
+/// The in-memory store: the original `JobManager` bookkeeping plus an
+/// in-process artifact cache. Everything is lost when the process exits;
+/// use `crate::disk::DiskStore` for durability.
+pub struct MemoryStore {
+    table: Mutex<RecordTable>,
+    artifacts: Mutex<MemoryArtifacts>,
+}
+
+impl MemoryStore {
+    /// A store retaining the given number of terminal records.
+    pub fn new(retain: usize) -> MemoryStore {
+        MemoryStore {
+            table: Mutex::new(RecordTable::new(retain)),
+            artifacts: Mutex::new(MemoryArtifacts::default()),
+        }
+    }
+
+    fn table(&self) -> std::sync::MutexGuard<'_, RecordTable> {
+        self.table.lock().expect("job store lock poisoned")
+    }
+
+    fn artifacts(&self) -> std::sync::MutexGuard<'_, MemoryArtifacts> {
+        self.artifacts.lock().expect("artifact store lock poisoned")
+    }
+}
+
+impl Default for MemoryStore {
+    fn default() -> Self {
+        MemoryStore::new(DEFAULT_RETAINED_JOBS)
+    }
+}
+
+impl JobStore for MemoryStore {
+    fn submit(&self, spec: &JobSpec, hash: &SpecHash) -> u64 {
+        self.table().submit(spec.clone(), *hash)
+    }
+
+    fn start(&self, id: u64) -> Option<JobSpec> {
+        self.table().start(id)
+    }
+
+    fn transition(&self, id: u64, t: Transition) -> Option<JobStatus> {
+        self.table().transition(id, t)
+    }
+
+    fn view(&self, id: u64) -> Option<JobView> {
+        self.table().view(id)
+    }
+
+    fn result(&self, id: u64) -> Option<(JobStatus, Option<Arc<JobResult>>)> {
+        let table = self.table();
+        let record = table.get(id)?;
+        Some((record.status, record.result.clone()))
+    }
+
+    fn spec_hash(&self, id: u64) -> Option<SpecHash> {
+        self.table().get(id).map(|r| r.hash)
+    }
+
+    fn scan(&self) -> Vec<JobView> {
+        self.table().scan()
+    }
+
+    fn counters(&self) -> StoreCounters {
+        self.table().counters()
+    }
+
+    fn kind(&self) -> &'static str {
+        "memory"
+    }
+}
+
+impl ArtifactStore for MemoryStore {
+    fn put_result(&self, hash: &SpecHash, result: &Arc<JobResult>) -> Result<(), MariohError> {
+        self.artifacts()
+            .results
+            .entry(*hash)
+            .or_insert_with(|| Arc::clone(result));
+        Ok(())
+    }
+
+    fn get_result(&self, hash: &SpecHash) -> Option<Arc<JobResult>> {
+        self.artifacts().results.get(hash).cloned()
+    }
+
+    fn put_model(&self, hash: &SpecHash, model: &SavedModel) -> Result<(), MariohError> {
+        self.artifacts()
+            .models
+            .entry(*hash)
+            .or_insert_with(|| model.clone());
+        Ok(())
+    }
+
+    fn get_model(&self, hash: &SpecHash) -> Option<SavedModel> {
+        self.artifacts().models.get(hash).cloned()
+    }
+
+    fn put_named_model(&self, name: &str, model: &SavedModel) -> Result<(), MariohError> {
+        crate::spec::validate_model_name(name).map_err(MariohError::Config)?;
+        self.artifacts()
+            .named
+            .insert(name.to_owned(), model.clone());
+        Ok(())
+    }
+
+    fn get_named_model(&self, name: &str) -> Option<SavedModel> {
+        self.artifacts().named.get(name).cloned()
+    }
+
+    fn list_models(&self) -> Vec<ModelEntry> {
+        let artifacts = self.artifacts();
+        let mut out: Vec<ModelEntry> = artifacts
+            .named
+            .iter()
+            .map(|(name, m)| ModelEntry {
+                name: Some(name.clone()),
+                hash: None,
+                mode: m.model.feature_mode().tag().to_owned(),
+            })
+            .collect();
+        let mut hashed: Vec<(&SpecHash, &SavedModel)> = artifacts.models.iter().collect();
+        hashed.sort_by_key(|(h, _)| **h);
+        out.extend(hashed.into_iter().map(|(h, m)| ModelEntry {
+            name: None,
+            hash: Some(*h),
+            mode: m.model.feature_mode().tag().to_owned(),
+        }));
+        out
+    }
+
+    fn artifact_stats(&self) -> ArtifactStats {
+        let artifacts = self.artifacts();
+        ArtifactStats {
+            results: artifacts.results.len(),
+            models: artifacts.models.len() + artifacts.named.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    fn spec(body: &str) -> JobSpec {
+        JobSpec::from_json(&Json::parse(body).unwrap()).unwrap()
+    }
+
+    fn submit(store: &MemoryStore, body: &str) -> u64 {
+        let s = spec(body);
+        let hash = s.content_hash().unwrap();
+        store.submit(&s, &hash)
+    }
+
+    #[test]
+    fn lifecycle_and_terminal_immutability() {
+        let store = MemoryStore::new(8);
+        let id = submit(&store, r#"{"dataset": "Hosts"}"#);
+        assert_eq!(store.view(id).unwrap().status, JobStatus::Queued);
+        let taken = store.start(id).expect("spec taken once");
+        assert!(matches!(taken.input, crate::spec::JobInput::Dataset { .. }));
+        assert!(store.start(id).is_none(), "spec is taken, not cloned");
+        store.transition(
+            id,
+            Transition::Progress {
+                rounds: Some(3),
+                committed: Some(17),
+            },
+        );
+        store.transition(id, Transition::Cancelled);
+        // A worker's late failure cannot resurrect a cancelled job...
+        let status = store.transition(id, Transition::Failed("late".into()));
+        assert_eq!(status, Some(JobStatus::Cancelled));
+        // ...and the job was counted terminal exactly once.
+        assert_eq!(store.counters().finished, 1);
+        let view = store.view(id).unwrap();
+        assert_eq!((view.rounds, view.committed), (3, 17));
+    }
+
+    #[test]
+    fn retention_evicts_oldest_terminal_records() {
+        let store = MemoryStore::new(3);
+        let ids: Vec<u64> = (0..5)
+            .map(|_| {
+                let id = submit(&store, r#"{"dataset": "Hosts"}"#);
+                store.start(id).unwrap();
+                store.transition(id, Transition::Failed("boom".into()));
+                id
+            })
+            .collect();
+        for old in &ids[..2] {
+            assert!(store.view(*old).is_none());
+            assert!(store.result(*old).is_none());
+        }
+        for recent in &ids[2..] {
+            assert_eq!(store.view(*recent).unwrap().status, JobStatus::Failed);
+        }
+        assert_eq!(store.counters().finished, 5);
+        assert_eq!(store.scan().len(), 3);
+    }
+
+    #[test]
+    fn artifact_cache_stores_results_and_models() {
+        use marioh_hypergraph::hyperedge::edge;
+        let store = MemoryStore::default();
+        let s = spec(r#"{"dataset": "Hosts", "seed": 4}"#);
+        let hash = s.content_hash().unwrap();
+        assert!(store.get_result(&hash).is_none());
+        let mut h = marioh_hypergraph::Hypergraph::new(0);
+        h.add_edge(edge(&[0, 1]));
+        let result = Arc::new(JobResult {
+            reconstruction: h,
+            jaccard: 0.75,
+        });
+        store.put_result(&hash, &result).unwrap();
+        let cached = store.get_result(&hash).unwrap();
+        assert_eq!(cached.jaccard, 0.75);
+        assert_eq!(store.artifact_stats().results, 1);
+        assert!(store.put_named_model("bad/name", &dummy_model()).is_err());
+        store.put_named_model("good-name", &dummy_model()).unwrap();
+        assert!(store.get_named_model("good-name").is_some());
+        assert_eq!(store.artifact_stats().models, 1);
+        let listed = store.list_models();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].name.as_deref(), Some("good-name"));
+    }
+
+    fn dummy_model() -> SavedModel {
+        use marioh_core::training::{train_classifier, TrainingConfig};
+        use marioh_hypergraph::hyperedge::edge;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut h = marioh_hypergraph::Hypergraph::new(0);
+        for b in 0..12u32 {
+            h.add_edge(edge(&[b * 3, b * 3 + 1, b * 3 + 2]));
+            h.add_edge(edge(&[b * 3, b * 3 + 1]));
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        SavedModel::bare(train_classifier(&h, &TrainingConfig::default(), &mut rng))
+    }
+}

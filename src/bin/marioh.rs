@@ -4,15 +4,27 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
         eprintln!(
-            "usage: marioh <generate|project|split|stats|train|reconstruct|eval|serve> [--flags]\n\
+            "usage: marioh <generate|project|split|stats|train|reconstruct|eval|serve|model> [--flags]\n\
              see `marioh::cli` docs for the full flag reference\n\
              exit codes: 0 ok, 2 invalid flags or hyperparameters, 3 I/O failure,\n\
              130 cancelled, 1 other runtime failure"
         );
         std::process::exit(2);
     };
+    // `marioh model export …` / `marioh model import …` fold into one
+    // hyphenated command name for the flag-only dispatcher.
+    let sub = rest.split_first().map(|(s, t)| (s.as_str(), t));
+    let (command, rest) = match (command.as_str(), sub) {
+        ("model", Some(("export", tail))) => ("model-export".to_owned(), tail),
+        ("model", Some(("import", tail))) => ("model-import".to_owned(), tail),
+        ("model", _) => {
+            eprintln!("usage: marioh model <export|import> [--flags]");
+            std::process::exit(2);
+        }
+        _ => (command.clone(), rest),
+    };
     let result =
-        marioh::cli::Flags::parse(rest).and_then(|flags| marioh::cli::run(command, &flags));
+        marioh::cli::Flags::parse(rest).and_then(|flags| marioh::cli::run(&command, &flags));
     match result {
         Ok(output) => println!("{output}"),
         Err(e) => {

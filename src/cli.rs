@@ -16,6 +16,9 @@
 //!                    [--seed n] [--verbose]
 //! marioh eval        --truth tgt.txt --pred rec.txt
 //! marioh serve       [--addr 127.0.0.1:7878] [--workers n] [--queue-cap n]
+//!                    [--state-dir dir] [--retain n]
+//! marioh model export --state-dir dir (--job id | --name name) --out model.txt
+//! marioh model import --state-dir dir --name name --model model.txt
 //! ```
 //!
 //! `train` and `reconstruct` are thin shells over the
@@ -28,7 +31,13 @@
 //!
 //! `serve` turns the same pipeline into a long-running job service (see
 //! [`marioh_server`]): it prints the bound address to stderr and serves
-//! until the process is killed.
+//! until the process is killed. With `--state-dir` the job store and
+//! artifact cache are durable ([`marioh_store::DiskStore`]): a restarted
+//! server serves pre-restart results and resumes its queue. `model
+//! export`/`model import` move trained models between a state dir and
+//! the unified persistence format of [`marioh_core::persistence`] —
+//! exported job models keep their post-training RNG state, so a job
+//! referencing the re-imported model still reproduces its donor.
 //!
 //! Errors are [`MariohError`] end to end; `main` prints them as
 //! `error: {message}` and exits with [`MariohError::exit_code`]:
@@ -47,7 +56,8 @@ use marioh_datasets::split::split_source_target;
 use marioh_datasets::{DatasetStats, PaperDataset};
 use marioh_hypergraph::io;
 use marioh_hypergraph::metrics::{jaccard, multi_jaccard, precision_recall_f1};
-use marioh_server::{Server, ServerConfig};
+use marioh_server::{Server, ServerConfig, StorageConfig};
+use marioh_store::{ArtifactStore as _, DiskStore, JobStore as _};
 use rand::{rngs::StdRng, SeedableRng};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -188,6 +198,26 @@ fn serve_config(flags: &Flags) -> Result<ServerConfig, MariohError> {
     })
 }
 
+/// Builds the `serve` storage configuration: `--state-dir` selects the
+/// durable store, `--retain` bounds retained terminal records.
+fn storage_config(flags: &Flags) -> Result<StorageConfig, MariohError> {
+    let default = StorageConfig::default();
+    Ok(StorageConfig {
+        state_dir: flags.get("state-dir").map(std::path::PathBuf::from),
+        retain: flags.get_parsed("retain", default.retain)?,
+    })
+}
+
+/// Opens the durable store named by `--state-dir` for the `model`
+/// subcommands. The store holds an exclusive OS lock on the dir (open
+/// compacts the record log, which would corrupt a live writer), so
+/// running these against a serving process fails with a clear error —
+/// stop the server first.
+fn open_state_dir(flags: &Flags) -> Result<DiskStore, MariohError> {
+    let dir = flags.require("state-dir")?;
+    DiskStore::open(dir, StorageConfig::default().retain)
+}
+
 /// Runs one subcommand; returns the text to print on success.
 pub fn run(command: &str, flags: &Flags) -> Result<String, MariohError> {
     match command {
@@ -310,12 +340,19 @@ pub fn run(command: &str, flags: &Flags) -> Result<String, MariohError> {
             ))
         }
         "serve" => {
-            let server = Server::start(serve_config(flags)?)?;
+            let server = Server::start_with_storage(serve_config(flags)?, storage_config(flags)?)?;
             let addr = server.local_addr();
             let stats = server.manager().stats();
             eprintln!(
-                "marioh-server listening on http://{addr} ({} workers, queue capacity {})",
-                stats.workers, stats.queue_cap
+                "marioh-server listening on http://{addr} ({} workers, queue capacity {}, {} store{})",
+                stats.workers,
+                stats.queue_cap,
+                stats.store,
+                if stats.queue_depth > 0 {
+                    format!(", {} recovered jobs re-queued", stats.queue_depth)
+                } else {
+                    String::new()
+                }
             );
             // `--smoke` boots and immediately shuts down gracefully —
             // deployment checks and the test suite use it.
@@ -337,8 +374,57 @@ pub fn run(command: &str, flags: &Flags) -> Result<String, MariohError> {
                 multi_jaccard(&truth, &pred),
             ))
         }
+        // `marioh model export` — the binary folds the subcommand in.
+        "model-export" => {
+            let store = open_state_dir(flags)?;
+            let out = flags.require("out")?;
+            let saved = match (flags.get("job"), flags.get("name")) {
+                (Some(job), None) => {
+                    let id: u64 = job.parse().map_err(|_| {
+                        MariohError::Config(format!("invalid value for --job: {job:?}"))
+                    })?;
+                    let hash = store.spec_hash(id).ok_or_else(|| {
+                        MariohError::Config(format!("no job {id} in this state dir (or evicted)"))
+                    })?;
+                    store.get_model(&hash).ok_or_else(|| {
+                        MariohError::Config(format!(
+                            "job {id} has no stored model (not done, answered from cache, \
+                             or trained nothing)"
+                        ))
+                    })?
+                }
+                (None, Some(name)) => store.get_named_model(name).ok_or_else(|| {
+                    MariohError::Config(format!("no saved model named {name:?}"))
+                })?,
+                _ => {
+                    return Err(MariohError::config(
+                        "model export needs exactly one of --job <id> or --name <name>",
+                    ))
+                }
+            };
+            saved.save(out)?;
+            Ok(format!(
+                "exported a {} classifier{} to {out}",
+                saved.model.feature_mode().tag(),
+                if saved.rng_state.is_some() {
+                    " (with donor RNG state)"
+                } else {
+                    ""
+                },
+            ))
+        }
+        "model-import" => {
+            let store = open_state_dir(flags)?;
+            let name = flags.require("name")?;
+            let saved = marioh_core::SavedModel::load(flags.require("model")?)?;
+            store.put_named_model(name, &saved)?;
+            Ok(format!(
+                "imported a {} classifier as {name:?}; jobs can now reference {{\"model\": {name:?}}}",
+                saved.model.feature_mode().tag()
+            ))
+        }
         other => Err(MariohError::Config(format!(
-            "unknown command {other:?}; commands: generate import-benson project split stats train reconstruct eval serve"
+            "unknown command {other:?}; commands: generate import-benson project split stats train reconstruct eval serve model"
         ))),
     }
 }
@@ -613,6 +699,109 @@ mod tests {
         )
         .unwrap();
         assert!(report.contains("smoke test passed"), "{report}");
+    }
+
+    #[test]
+    fn serve_smoke_with_a_state_dir_creates_the_store_layout() {
+        let dir = std::env::temp_dir().join(format!("marioh-cli-state-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let state = dir.to_string_lossy().into_owned();
+        let report = run(
+            "serve",
+            &flags(
+                &[
+                    ("addr", "127.0.0.1:0"),
+                    ("workers", "1"),
+                    ("state-dir", &state),
+                    ("retain", "16"),
+                ],
+                &["smoke"],
+            ),
+        )
+        .unwrap();
+        assert!(report.contains("smoke test passed"), "{report}");
+        assert!(dir.join("VERSION").exists());
+        assert!(dir.join("jobs.snapshot").exists());
+        // A zero retention is rejected like the other zero knobs.
+        let err = run(
+            "serve",
+            &flags(&[("addr", "127.0.0.1:0"), ("retain", "0")], &["smoke"]),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("retention"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn model_import_then_export_round_trips_through_a_state_dir() {
+        let dir = std::env::temp_dir().join(format!("marioh-cli-model-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let state = dir.to_string_lossy().into_owned();
+        // Train a model with the existing `train` command...
+        let h_path = tmp("h_model_cli.txt");
+        let model_path = tmp("m_model_cli.txt");
+        run(
+            "generate",
+            &flags(&[("dataset", "Hosts"), ("out", &h_path)], &["reduced"]),
+        )
+        .unwrap();
+        run(
+            "train",
+            &flags(&[("source", &h_path), ("model", &model_path)], &[]),
+        )
+        .unwrap();
+        // ...import it under a name, export it back, and reload it.
+        let report = run(
+            "model-import",
+            &flags(
+                &[
+                    ("state-dir", &state),
+                    ("name", "hosts-v1"),
+                    ("model", &model_path),
+                ],
+                &[],
+            ),
+        )
+        .unwrap();
+        assert!(report.contains("hosts-v1"), "{report}");
+        let exported = tmp("m_model_cli_back.txt");
+        let report = run(
+            "model-export",
+            &flags(
+                &[
+                    ("state-dir", &state),
+                    ("name", "hosts-v1"),
+                    ("out", &exported),
+                ],
+                &[],
+            ),
+        )
+        .unwrap();
+        assert!(report.contains("exported"), "{report}");
+        let back = marioh_core::TrainedModel::load(&exported).unwrap();
+        assert_eq!(back.feature_mode(), FeatureMode::Multiplicity);
+        // Unknown references are config errors, not panics.
+        assert!(run(
+            "model-export",
+            &flags(
+                &[
+                    ("state-dir", &state),
+                    ("name", "missing"),
+                    ("out", &exported)
+                ],
+                &[]
+            )
+        )
+        .is_err());
+        assert!(run(
+            "model-export",
+            &flags(
+                &[("state-dir", &state), ("job", "999"), ("out", &exported)],
+                &[]
+            )
+        )
+        .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

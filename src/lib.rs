@@ -16,6 +16,9 @@
 //!   datasets, plus the HyperCL generator,
 //! * [`downstream`] — node clustering, node classification and link
 //!   prediction over (reconstructed) hypergraphs,
+//! * [`server`] — the concurrent reconstruction job service,
+//! * [`store`] — the persistence layer: canonical spec hashing, the
+//!   durable job store, and the content-addressed artifact cache,
 //! * [`linalg`], [`ml`] — the numeric and learning substrates.
 //!
 //! ## Quickstart
@@ -54,3 +57,4 @@ pub use marioh_hypergraph as hypergraph;
 pub use marioh_linalg as linalg;
 pub use marioh_ml as ml;
 pub use marioh_server as server;
+pub use marioh_store as store;
