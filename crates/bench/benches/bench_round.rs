@@ -195,6 +195,13 @@ fn main() {
     let mut results = Vec::new();
     for dataset in datasets {
         let t = Instant::now();
+        // Sub-millisecond rounds need many more samples for a stable
+        // median (scheduler noise swamps 5-rep medians there).
+        let big = matches!(
+            dataset,
+            PaperDataset::Dblp | PaperDataset::Eu | PaperDataset::MagTopCs
+        );
+        let reps = if smoke || big { reps } else { reps.max(25) };
         let r = bench_dataset(dataset, reps);
         println!(
             "bench_round/{}: scoring {:.3}ms legacy vs {:.3}ms view ({:.2}x), \

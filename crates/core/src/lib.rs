@@ -84,9 +84,27 @@
 //! freeze. All scoring paths — serial, threaded, and batched
 //! ([`CliqueScorer::score_batch`]) — are bit-identical by construction
 //! and by test.
+//!
+//! # The dirty-closure invariant
+//!
+//! Across rounds, the only mutation is a commit decrementing the edges
+//! inside a committed clique `C`. The run-long
+//! [`engine::SearchEngine`] therefore rebuilds nothing wholesale: it
+//! patches the CSR view and MHH memo in place, re-enumerates maximal
+//! cliques only around endpoints of *removed* edges, and re-scores only
+//! cliques intersecting the **dirty closure** `C ∪ N(C)`. The closure
+//! includes *neighbours* of committed vertices because clique features
+//! read common-neighbourhood structure up to two hops — the square-motif
+//! counts of [`FeatureMode::Motif`] inspect edges *between* neighbours,
+//! so a weight change on `(a, b)` can perturb the score of a clique that
+//! merely neighbours `a`. Everything outside the closure is carried over
+//! bit-for-bit; the engine-parity suite proves the incremental and
+//! rebuild-every-round paths identical for every seed, thread count and
+//! variant.
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod error;
 pub mod features;
 pub mod filtering;
@@ -102,9 +120,10 @@ pub mod search;
 pub mod training;
 pub mod variants;
 
+pub use engine::SearchEngine;
 pub use error::MariohError;
 pub use features::FeatureMode;
-pub use model::{CliqueScorer, TrainedModel};
+pub use model::{CliqueScorer, ScoreLocality, TrainedModel};
 pub use persistence::{SavedModel, MODEL_FORMAT_VERSION};
 pub use pipeline::{Pipeline, PipelineBuilder, Reconstructor};
 pub use progress::{CancelToken, NoopObserver, ProgressObserver};

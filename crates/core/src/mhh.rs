@@ -13,7 +13,8 @@
 //! Both are exact integer sums over the same set of common neighbours,
 //! so they agree bit-for-bit (property-tested).
 
-use marioh_hypergraph::{GraphView, NodeId, ProjectedGraph};
+use marioh_hypergraph::{GraphView, NodeId, ProjectedGraph, WorkerPool};
+use std::sync::Mutex;
 
 /// `MHH(u, v) = Σ_{z ∈ N(u) ∩ N(v)} min(ω_{u,z}, ω_{v,z})` — an upper
 /// bound on the number of hyperedges of size ≥ 3 containing both `u` and
@@ -96,6 +97,12 @@ impl MhhCache {
     /// workers. Work is partitioned into contiguous node ranges balanced
     /// by adjacency-slot count; each worker writes only its own slice, so
     /// results are identical for any thread count.
+    ///
+    /// The cache is sized to the view's full slot *capacity*
+    /// ([`GraphView::num_slots`]), so it stays index-compatible with a
+    /// view whose rows have been compacted by
+    /// [`GraphView::decrement_entry`] — hole slots are simply never
+    /// written or read.
     pub fn build(view: &GraphView, threads: usize) -> MhhCache {
         let n = view.num_nodes() as usize;
         let slots = view.num_slots();
@@ -104,14 +111,13 @@ impl MhhCache {
         // Fills canonical (u < v) slots for nodes in [lo, hi); `base` is
         // the global slot index where this chunk starts.
         let fill = |lo: usize, hi: usize, chunk: &mut [u64], base: usize| {
-            let mut cursor = base;
             for u in lo..hi {
                 let id = NodeId(u as u32);
-                for &v in view.neighbors(id) {
+                let start = view.row_start(id);
+                for (i, &v) in view.neighbors(id).iter().enumerate() {
                     if v > u as u32 {
-                        chunk[cursor - base] = mhh_view(view, id, NodeId(v));
+                        chunk[start + i - base] = mhh_view(view, id, NodeId(v));
                     }
-                    cursor += 1;
                 }
             }
         };
@@ -122,22 +128,7 @@ impl MhhCache {
             return MhhCache { vals };
         }
 
-        // Cut node space where the cumulative slot count crosses each
-        // worker's share, then hand each worker its disjoint sub-slice.
-        let mut bounds = vec![0usize]; // node-space boundaries
-        let mut slot_bounds = vec![0usize];
-        let per = slots.div_ceil(threads);
-        let mut acc = 0usize;
-        for u in 0..n {
-            acc += view.degree(NodeId(u as u32));
-            if acc >= per * bounds.len() && u + 1 < n {
-                bounds.push(u + 1);
-                slot_bounds.push(acc);
-            }
-        }
-        bounds.push(n);
-        slot_bounds.push(slots);
-
+        let (bounds, slot_bounds) = partition_by_capacity(view, threads);
         std::thread::scope(|scope| {
             let mut rest: &mut [u64] = &mut vals;
             let mut consumed = 0usize;
@@ -154,6 +145,88 @@ impl MhhCache {
         MhhCache { vals }
     }
 
+    /// [`MhhCache::build`] fanned out over a caller-owned persistent
+    /// [`WorkerPool`] — the cross-round engine's path, which avoids the
+    /// per-build thread spawns of the scoped variant. Identical values
+    /// for any pool size.
+    pub fn build_pool(view: &GraphView, pool: &WorkerPool) -> MhhCache {
+        let n = view.num_nodes() as usize;
+        let slots = view.num_slots();
+        let workers = pool.threads().min(n.max(1));
+        if workers <= 1 || slots < 4096 {
+            return MhhCache::build(view, 1);
+        }
+        let mut vals = vec![0u64; slots];
+        let (bounds, slot_bounds) = partition_by_capacity(view, workers);
+        /// One worker's unit: node range `lo..hi`, its chunk's first
+        /// global slot, and the disjoint output slice.
+        type Chunk<'a> = (usize, usize, usize, &'a mut [u64]);
+        {
+            // Hand each pool participant its chunk through a one-shot
+            // slot table (same pattern as parallel clique scoring).
+            let mut chunks: Vec<Chunk<'_>> = Vec::new();
+            let mut rest: &mut [u64] = &mut vals;
+            let mut consumed = 0usize;
+            for w in 0..bounds.len() - 1 {
+                let (base, end) = (slot_bounds[w], slot_bounds[w + 1]);
+                let (chunk, tail) = rest.split_at_mut(end - consumed);
+                rest = tail;
+                consumed = end;
+                chunks.push((bounds[w], bounds[w + 1], base, chunk));
+            }
+            let slots_tbl: Mutex<Vec<Option<Chunk<'_>>>> =
+                Mutex::new(chunks.into_iter().map(Some).collect());
+            let num_chunks = bounds.len() - 1;
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            pool.run(&|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= num_chunks {
+                    break;
+                }
+                let (lo, hi, base, chunk) = slots_tbl.lock().expect("mhh chunk table poisoned")[i]
+                    .take()
+                    .expect("each chunk claimed once");
+                for u in lo..hi {
+                    let id = NodeId(u as u32);
+                    let start = view.row_start(id);
+                    for (j, &v) in view.neighbors(id).iter().enumerate() {
+                        if v > u as u32 {
+                            chunk[start + j - base] = mhh_view(view, id, NodeId(v));
+                        }
+                    }
+                }
+            });
+        }
+        MhhCache { vals }
+    }
+
+    /// Recomputes the cached MHH of every edge incident to a vertex of
+    /// `dirty` against the (patched) `view` the cache was built from.
+    ///
+    /// `MHH(u, v)` reads only edges incident to `u` or `v`, so after
+    /// commits change edges among a set of vertices `C`, exactly the
+    /// entries incident to `C` are stale — everything else is carried
+    /// over bit-for-bit (MHH is an exact integer, so "carried over" and
+    /// "recomputed" are indistinguishable). `dirty` must be
+    /// duplicate-free and `dirty_flag` its membership mask.
+    pub fn patch(&mut self, view: &GraphView, dirty: &[NodeId], dirty_flag: &[bool]) {
+        for &u in dirty {
+            let start = view.row_start(u);
+            for (i, &v) in view.neighbors(u).iter().enumerate() {
+                let vid = NodeId(v);
+                if v > u.0 {
+                    // Canonical slot lives in u's (already compacted) row.
+                    self.vals[start + i] = mhh_view(view, u, vid);
+                } else if !dirty_flag[v as usize] {
+                    // Canonical slot lives in v's row; recompute it here
+                    // unless v is itself dirty (its own pass covers it).
+                    let s = view.slot(vid, u).expect("symmetric adjacency");
+                    self.vals[s] = mhh_view(view, vid, u);
+                }
+            }
+        }
+    }
+
     /// The cached MHH of edge `{u, v}`, or `None` when the pair is not an
     /// edge of the frozen view. `view` must be the view this cache was
     /// built from.
@@ -168,6 +241,32 @@ impl MhhCache {
     pub fn at(&self, slot: usize) -> u64 {
         self.vals[slot]
     }
+}
+
+/// Cuts node space where the cumulative slot-capacity count crosses each
+/// worker's share. Returns `(node_bounds, capacity_bounds)`, both with a
+/// leading 0 and trailing end sentinel.
+fn partition_by_capacity(view: &GraphView, workers: usize) -> (Vec<usize>, Vec<usize>) {
+    let n = view.num_nodes() as usize;
+    let slots = view.num_slots();
+    let mut bounds = vec![0usize];
+    let mut slot_bounds = vec![0usize];
+    let per = slots.div_ceil(workers);
+    for u in 0..n {
+        // Capacity consumed through node u = the next row's start.
+        let acc = if u + 1 < n {
+            view.row_start(NodeId(u as u32 + 1))
+        } else {
+            slots
+        };
+        if acc >= per * bounds.len() && u + 1 < n {
+            bounds.push(u + 1);
+            slot_bounds.push(acc);
+        }
+    }
+    bounds.push(n);
+    slot_bounds.push(slots);
+    (bounds, slot_bounds)
 }
 
 #[cfg(test)]
@@ -285,6 +384,80 @@ mod tests {
                 assert_eq!(cache.at(slot), reference);
             }
             assert_eq!(cache.get(&view, n(0), n(0)), None);
+        }
+    }
+
+    #[test]
+    fn pool_build_matches_scoped_build_above_the_parallel_floor() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        // Dense enough that num_slots ≥ 4096, so both variants actually
+        // fan out.
+        let mut rng = StdRng::seed_from_u64(99);
+        let n_nodes = 80u32;
+        let mut g = ProjectedGraph::new(n_nodes);
+        for u in 0..n_nodes {
+            for v in u + 1..n_nodes {
+                if rng.gen_bool(0.7) {
+                    g.add_edge_weight(n(u), n(v), rng.gen_range(1..5));
+                }
+            }
+        }
+        let view = marioh_hypergraph::GraphView::freeze(&g);
+        assert!(view.num_slots() >= 4096, "test graph too small to fan out");
+        let scoped = MhhCache::build(&view, 4);
+        let pool = WorkerPool::new(4);
+        let pooled = MhhCache::build_pool(&view, &pool);
+        for (u, v, _) in g.sorted_edge_list() {
+            let slot = view.slot(u, v).unwrap();
+            assert_eq!(pooled.at(slot), scoped.at(slot));
+            assert_eq!(pooled.at(slot), mhh(&g, u, v));
+        }
+    }
+
+    #[test]
+    fn patched_cache_matches_full_rebuild_after_decrements() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(71);
+        for _ in 0..20 {
+            let n_nodes = rng.gen_range(4..18u32);
+            let mut g = ProjectedGraph::new(n_nodes);
+            for u in 0..n_nodes {
+                for v in u + 1..n_nodes {
+                    if rng.gen_bool(0.45) {
+                        g.add_edge_weight(n(u), n(v), rng.gen_range(1..4));
+                    }
+                }
+            }
+            let mut view = marioh_hypergraph::GraphView::freeze(&g);
+            let mut cache = MhhCache::build(&view, 1);
+            // A batch of decrements touching a few vertices, mirrored
+            // into graph and view; then patch only the touched rows.
+            let mut dirty_flag = vec![false; n_nodes as usize];
+            let mut dirty = Vec::new();
+            for _ in 0..rng.gen_range(1..6) {
+                let u = n(rng.gen_range(0..n_nodes));
+                let v = n(rng.gen_range(0..n_nodes));
+                if u == v || !g.has_edge(u, v) {
+                    continue;
+                }
+                let amount = rng.gen_range(1..3u32);
+                g.decrement_edge(u, v, amount);
+                view.decrement_entry(u, v, amount);
+                for w in [u, v] {
+                    if !dirty_flag[w.index()] {
+                        dirty_flag[w.index()] = true;
+                        dirty.push(w);
+                    }
+                }
+            }
+            cache.patch(&view, &dirty, &dirty_flag);
+            let rebuilt = MhhCache::build(&view, 1);
+            for (u, v, _) in g.sorted_edge_list() {
+                let slot = view.slot(u, v).unwrap();
+                assert_eq!(cache.at(slot), rebuilt.at(slot));
+                assert_eq!(cache.at(slot), mhh(&g, u, v));
+                assert_eq!(cache.get(&view, u, v), Some(mhh(&g, u, v)));
+            }
         }
     }
 

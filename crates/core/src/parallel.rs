@@ -9,20 +9,40 @@
 //! first worker with most of the work — and write scores straight into
 //! their block's slot of the output, so the result is identical to the
 //! serial map for any thread count.
+//!
+//! Fan-out goes through a [`WorkerPool`] (the cross-round engine keeps
+//! one alive for the whole run), and batches whose total work falls below
+//! [`SCORE_PARALLEL_MIN_WORK`] run serially no matter how many threads
+//! were requested: on the small Table-1 datasets the dispatch overhead
+//! measurably exceeded the scoring itself. Results are identical either
+//! way.
 
 use crate::model::CliqueScorer;
 use crate::round::RoundContext;
-use marioh_hypergraph::{NodeId, ProjectedGraph};
+use marioh_hypergraph::{NodeId, ProjectedGraph, WorkerPool};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Below this many cliques the spawn overhead outweighs the win.
-const PARALLEL_THRESHOLD: usize = 64;
+/// Minimum total scoring work (Σ per-clique pair count + size, a proxy
+/// for feature-extraction cost) before fan-out beats the serial path.
+/// Calibrated on the Table-1 round bench: Enron's ~17k-work rounds still
+/// lose to serial at 2–4 threads, DBLP/Eu (≥ 100k) win.
+pub const SCORE_PARALLEL_MIN_WORK: usize = 32 * 1024;
 
 /// Cliques claimed per steal: small enough that a block of the large
 /// front-of-list cliques cannot dominate a worker, large enough that the
 /// batched scorer amortises its per-block buffers.
 const STEAL_BLOCK: usize = 32;
+
+/// The adaptive-fallback work estimate: pairs dominate feature
+/// extraction (per-pair weight/MHH/embeddedness lookups), the linear
+/// term covers per-clique overhead.
+pub(crate) fn score_work(cliques: &[Vec<NodeId>]) -> usize {
+    cliques
+        .iter()
+        .map(|c| c.len() * (c.len() - 1) / 2 + c.len())
+        .sum()
+}
 
 /// Scores every clique in `cliques` against a context frozen from `g`.
 /// `out[i]` is the score of `cliques[i]`; results are identical for any
@@ -43,25 +63,48 @@ pub fn score_cliques(
 
 /// [`score_cliques`] against an existing round-frozen context.
 ///
-/// Serial (or small) batches make one [`CliqueScorer::score_batch`] call;
-/// parallel runs steal [`STEAL_BLOCK`]-sized blocks off an atomic
-/// counter. Each block's output slot is handed to exactly one worker, so
-/// scores land at their original indices without any post-hoc merge.
+/// Serial — or any batch whose [work](SCORE_PARALLEL_MIN_WORK) is too
+/// small to amortise fan-out — makes one [`CliqueScorer::score_batch`]
+/// call; larger parallel runs fan out over a transient [`WorkerPool`].
+/// Callers that keep a pool alive across rounds use
+/// [`score_cliques_pool`] instead.
 pub fn score_cliques_round(
     scorer: &dyn CliqueScorer,
     round: &RoundContext<'_>,
     cliques: &[Vec<NodeId>],
     threads: usize,
 ) -> Vec<f64> {
+    if threads <= 1 || score_work(cliques) < SCORE_PARALLEL_MIN_WORK {
+        let mut scores = vec![0.0; cliques.len()];
+        if !cliques.is_empty() {
+            scorer.score_batch(round, cliques, &mut scores);
+        }
+        return scores;
+    }
+    let pool = WorkerPool::new(threads);
+    score_cliques_pool(scorer, round, cliques, &pool)
+}
+
+/// [`score_cliques_round`] against a caller-owned [`WorkerPool`]: always
+/// fans out when the pool has more than one thread (callers apply their
+/// own work thresholds). Workers steal fixed-size blocks off an atomic
+/// counter; each block's output slot is handed to exactly one
+/// worker, so scores land at their original indices without any post-hoc
+/// merge — bit-identical to the serial map.
+pub fn score_cliques_pool(
+    scorer: &dyn CliqueScorer,
+    round: &RoundContext<'_>,
+    cliques: &[Vec<NodeId>],
+    pool: &WorkerPool,
+) -> Vec<f64> {
     let mut scores = vec![0.0; cliques.len()];
     if cliques.is_empty() {
         return scores;
     }
-    if threads <= 1 || cliques.len() < PARALLEL_THRESHOLD {
+    if pool.threads() <= 1 {
         scorer.score_batch(round, cliques, &mut scores);
         return scores;
     }
-
     let num_blocks = cliques.len().div_ceil(STEAL_BLOCK);
     {
         // Every block's output slice sits in one slot; a worker that wins
@@ -70,22 +113,18 @@ pub fn score_cliques_round(
         let slots: Mutex<Vec<Option<&mut [f64]>>> =
             Mutex::new(scores.chunks_mut(STEAL_BLOCK).map(Some).collect());
         let next = AtomicUsize::new(0);
-        std::thread::scope(|s| {
-            for _ in 0..threads.min(num_blocks) {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= num_blocks {
-                        break;
-                    }
-                    let out = slots
-                        .lock()
-                        .expect("score worker panicked while holding the slot lock")[i]
-                        .take()
-                        .expect("each block is claimed exactly once");
-                    let lo = i * STEAL_BLOCK;
-                    scorer.score_batch(round, &cliques[lo..lo + out.len()], out);
-                });
+        pool.run(&|_| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= num_blocks {
+                break;
             }
+            let out = slots
+                .lock()
+                .expect("score worker panicked while holding the slot lock")[i]
+                .take()
+                .expect("each block is claimed exactly once");
+            let lo = i * STEAL_BLOCK;
+            scorer.score_batch(round, &cliques[lo..lo + out.len()], out);
         });
     }
     scores
@@ -116,6 +155,10 @@ mod tests {
         let serial = score_cliques(&scorer, &g, &cliques, 1);
         for threads in [2, 4, 16] {
             assert_eq!(score_cliques(&scorer, &g, &cliques, threads), serial);
+            // The pool path has no work gate, so it genuinely fans out.
+            let pool = WorkerPool::new(threads);
+            let round = RoundContext::new(&g);
+            assert_eq!(score_cliques_pool(&scorer, &round, &cliques, &pool), serial);
         }
     }
 
@@ -137,6 +180,9 @@ mod tests {
         let serial = score_cliques(&scorer, &g, &cliques, 1);
         for threads in [2, 3, 8] {
             assert_eq!(score_cliques(&scorer, &g, &cliques, threads), serial);
+            let pool = WorkerPool::new(threads);
+            let round = RoundContext::new(&g);
+            assert_eq!(score_cliques_pool(&scorer, &round, &cliques, &pool), serial);
         }
     }
 
@@ -149,9 +195,21 @@ mod tests {
     }
 
     #[test]
+    fn work_estimate_counts_pairs_and_sizes() {
+        let cliques = vec![
+            vec![NodeId(0), NodeId(1)],                       // 1 pair + 2
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)], // 6 pairs + 4
+        ];
+        assert_eq!(score_work(&cliques), 3 + 10);
+    }
+
+    #[test]
     fn empty_input_is_fine() {
         let g = ring_graph(3);
         let scorer = FnScorer(|_: &ProjectedGraph, _: &[NodeId]| 1.0);
         assert!(score_cliques(&scorer, &g, &[], 4).is_empty());
+        let pool = WorkerPool::new(4);
+        let round = RoundContext::new(&g);
+        assert!(score_cliques_pool(&scorer, &round, &[], &pool).is_empty());
     }
 }

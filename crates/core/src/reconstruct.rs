@@ -1,11 +1,12 @@
 //! The MARIOH outer loop (Algorithm 1) and the high-level API.
 
+use crate::engine::SearchEngine;
 use crate::error::MariohError;
 use crate::filtering::{filtering_threaded, FilterStats};
 use crate::model::{CliqueScorer, TrainedModel};
 use crate::pipeline::Reconstructor;
 use crate::progress::{CancelToken, NoopObserver, ProgressObserver};
-use crate::search::{bidirectional_search_threaded, SearchStats};
+use crate::search::SearchStats;
 use crate::training::{train_classifier, TrainingConfig};
 use marioh_hypergraph::{Hypergraph, ProjectedGraph};
 use rand::{Rng, RngCore};
@@ -35,6 +36,13 @@ pub struct MariohConfig {
     /// search round (1 = serial). Results are identical for any value;
     /// only wall-clock time changes.
     pub threads: usize,
+    /// Maintain cliques, scores, the CSR view and the MHH memo
+    /// incrementally across outer-loop rounds (the
+    /// [`crate::engine::SearchEngine`]) instead of
+    /// rebuilding them each round. Results are bit-identical either way
+    /// (enforced by the engine-parity suite); `false` exists for
+    /// benchmarking the rebuild path and for verification.
+    pub incremental: bool,
 }
 
 impl Default for MariohConfig {
@@ -47,6 +55,7 @@ impl Default for MariohConfig {
             use_bidirectional: true,
             max_iterations: 10_000,
             threads: 1,
+            incremental: true,
         }
     }
 }
@@ -62,6 +71,31 @@ pub struct ReconstructionReport {
     pub search_secs: f64,
     /// One entry per outer-loop round.
     pub rounds: Vec<SearchStats>,
+}
+
+impl ReconstructionReport {
+    /// Total cliques whose enumeration and score were carried across
+    /// rounds by the incremental engine (0 for rebuild-every-round runs).
+    pub fn cliques_reused(&self) -> usize {
+        self.rounds.iter().map(|r| r.cliques_reused).sum()
+    }
+
+    /// Total cliques (re-)scored across all rounds.
+    pub fn cliques_rescored(&self) -> usize {
+        self.rounds.iter().map(|r| r.cliques_rescored).sum()
+    }
+
+    /// Share of clique evaluations answered from the previous round's
+    /// state: `reused / (reused + rescored)`, or 0 when nothing ran.
+    pub fn reuse_ratio(&self) -> f64 {
+        let reused = self.cliques_reused();
+        let total = reused + self.cliques_rescored();
+        if total == 0 {
+            0.0
+        } else {
+            reused as f64 / total as f64
+        }
+    }
 }
 
 /// Reconstructs a hypergraph from `g` with an arbitrary scorer
@@ -108,15 +142,23 @@ pub fn reconstruct_observed<R: Rng + ?Sized>(
     let t0 = std::time::Instant::now();
     let mut stall_rounds = 0usize;
     let mut total_committed = 0usize;
+    // One engine for the whole run: the CSR view, MHH memo, worker pool
+    // and previous round's cliques/scores persist across rounds (commits
+    // invalidate only their dirty closure). Bit-identical to rebuilding
+    // per round — `incremental: false` forces the rebuild path.
+    let mut engine = if cfg.incremental {
+        SearchEngine::new(cfg.threads)
+    } else {
+        SearchEngine::full_rebuild(cfg.threads)
+    };
     while !work.is_edgeless() && report.rounds.len() < cfg.max_iterations {
-        let stats = bidirectional_search_threaded(
+        let stats = engine.round(
             &mut work,
             scorer,
             theta,
             cfg.neg_ratio,
             &mut reconstruction,
             cfg.use_bidirectional,
-            cfg.threads,
             cancel,
             rng,
         )?;

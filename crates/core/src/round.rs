@@ -11,24 +11,49 @@
 //! per-round [`MhhCache`] so each edge's MHH is computed at most once per
 //! pass regardless of how many overlapping cliques share it.
 //!
+//! Two ways to build one:
+//!
+//! * [`RoundContext::new`] / [`RoundContext::with_threads`] — freeze the
+//!   graph now, owning the view (one-shot callers: filtering, benches,
+//!   the standalone search round).
+//! * [`RoundContext::with_frozen`] — borrow a view (and optionally an MHH
+//!   memo) that the caller keeps **patched in step with the graph** across
+//!   rounds. This is the cross-round engine's path: the freeze is paid
+//!   once per run, and each round's context is just a pair of borrows.
+//!
 //! Everything inside a context is immutable, so any number of scoring
 //! workers can share one `&RoundContext`.
 
 use crate::mhh::MhhCache;
-use marioh_hypergraph::{GraphView, ProjectedGraph};
+use marioh_hypergraph::{GraphView, ProjectedGraph, WorkerPool};
 use std::sync::OnceLock;
 
+enum ViewSrc<'g> {
+    Owned(GraphView),
+    Shared(&'g GraphView),
+}
+
+enum MhhSrc<'g> {
+    /// Built on first request, from this context's view.
+    Lazy(OnceLock<MhhCache>),
+    /// A caller-maintained memo, already consistent with the view.
+    Shared(&'g MhhCache),
+}
+
 /// One scoring pass's frozen state: the source graph, its CSR view, and
-/// a lazily-built MHH memo.
+/// an MHH memo (lazily built, or borrowed from a cross-round engine).
 ///
 /// The borrow of the source graph statically enforces the freeze: while a
 /// context is alive the graph cannot be mutated, so the view and cache
 /// can never go stale.
 pub struct RoundContext<'g> {
     g: &'g ProjectedGraph,
-    view: GraphView,
+    view: ViewSrc<'g>,
     threads: usize,
-    mhh: OnceLock<MhhCache>,
+    /// A persistent pool for the lazy MHH build (spawns scoped threads
+    /// otherwise). Values are identical either way.
+    pool: Option<&'g WorkerPool>,
+    mhh: MhhSrc<'g>,
 }
 
 impl<'g> RoundContext<'g> {
@@ -41,10 +66,52 @@ impl<'g> RoundContext<'g> {
     pub fn with_threads(g: &'g ProjectedGraph, threads: usize) -> Self {
         RoundContext {
             g,
-            view: GraphView::freeze(g),
+            view: ViewSrc::Owned(GraphView::freeze(g)),
             threads: threads.max(1),
-            mhh: OnceLock::new(),
+            pool: None,
+            mhh: MhhSrc::Lazy(OnceLock::new()),
         }
+    }
+
+    /// Wraps an externally maintained frozen state: `view` must reflect
+    /// `g` exactly (every accessor equal), and `mhh`, when given, must be
+    /// consistent with `view`. The cross-round engine upholds this by
+    /// patching both in step with every commit; a violation is caught by
+    /// the cheap invariant checks here (debug builds check edge/weight
+    /// totals).
+    ///
+    /// With `mhh: None` the memo is still lazily built on first request —
+    /// from the *patched* view, so its values are identical to a fresh
+    /// freeze-and-build. [`RoundContext::take_mhh`] lets the caller keep
+    /// that build for later rounds.
+    pub fn with_frozen(
+        g: &'g ProjectedGraph,
+        view: &'g GraphView,
+        mhh: Option<&'g MhhCache>,
+        threads: usize,
+    ) -> Self {
+        debug_assert_eq!(view.num_nodes(), g.num_nodes());
+        debug_assert_eq!(view.num_edges(), g.num_edges());
+        debug_assert_eq!(view.total_weight(), g.total_weight());
+        RoundContext {
+            g,
+            view: ViewSrc::Shared(view),
+            threads: threads.max(1),
+            pool: None,
+            mhh: match mhh {
+                Some(cache) => MhhSrc::Shared(cache),
+                None => MhhSrc::Lazy(OnceLock::new()),
+            },
+        }
+    }
+
+    /// Routes a lazy MHH build through `pool` instead of spawning scoped
+    /// threads — callers that keep a pool alive across rounds (the
+    /// cross-round engine) attach it so even the one full build a run
+    /// pays never spawns.
+    pub fn with_pool(mut self, pool: &'g WorkerPool) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
     /// The source graph (for scorers that predate the view path).
@@ -56,14 +123,33 @@ impl<'g> RoundContext<'g> {
     /// The frozen CSR view.
     #[inline]
     pub fn view(&self) -> &GraphView {
-        &self.view
+        match &self.view {
+            ViewSrc::Owned(v) => v,
+            ViewSrc::Shared(v) => v,
+        }
     }
 
     /// The per-round MHH memo, built on first request. Scorers that never
     /// need MHH (count/motif features, test oracles) never pay for it.
     pub fn mhh_cache(&self) -> &MhhCache {
-        self.mhh
-            .get_or_init(|| MhhCache::build(&self.view, self.threads))
+        match &self.mhh {
+            MhhSrc::Shared(cache) => cache,
+            MhhSrc::Lazy(lock) => lock.get_or_init(|| match self.pool {
+                Some(pool) if pool.threads() > 1 => MhhCache::build_pool(self.view(), pool),
+                _ => MhhCache::build(self.view(), self.threads),
+            }),
+        }
+    }
+
+    /// Consumes the context, handing back an MHH memo that was lazily
+    /// built during this pass (if any). `None` when the memo was borrowed
+    /// or never requested. The cross-round engine uses this to keep the
+    /// one full build a run ever pays.
+    pub fn take_mhh(self) -> Option<MhhCache> {
+        match self.mhh {
+            MhhSrc::Lazy(lock) => lock.into_inner(),
+            MhhSrc::Shared(_) => None,
+        }
     }
 }
 
@@ -87,5 +173,33 @@ mod tests {
         // Second call returns the same memo (OnceLock).
         let first = ctx.mhh_cache() as *const MhhCache;
         assert_eq!(first, ctx.mhh_cache() as *const MhhCache);
+    }
+
+    #[test]
+    fn borrowed_view_and_cache_are_served_verbatim() {
+        let mut g = ProjectedGraph::new(3);
+        g.add_edge_weight(NodeId(0), NodeId(1), 2);
+        g.add_edge_weight(NodeId(1), NodeId(2), 3);
+        let view = GraphView::freeze(&g);
+        let cache = MhhCache::build(&view, 1);
+        let ctx = RoundContext::with_frozen(&g, &view, Some(&cache), 2);
+        assert!(std::ptr::eq(ctx.view(), &view));
+        assert!(std::ptr::eq(ctx.mhh_cache(), &cache));
+        assert!(ctx.take_mhh().is_none(), "borrowed memo is not handed back");
+    }
+
+    #[test]
+    fn lazily_built_cache_can_be_taken_by_the_caller() {
+        let mut g = ProjectedGraph::new(3);
+        g.add_edge_weight(NodeId(0), NodeId(1), 2);
+        g.add_edge_weight(NodeId(0), NodeId(2), 1);
+        let view = GraphView::freeze(&g);
+        let ctx = RoundContext::with_frozen(&g, &view, None, 1);
+        let never_requested = RoundContext::with_frozen(&g, &view, None, 1);
+        assert!(never_requested.take_mhh().is_none());
+        let expected = ctx.mhh_cache().get(&view, NodeId(0), NodeId(1));
+        assert_eq!(expected, Some(crate::mhh::mhh(&g, NodeId(0), NodeId(1))));
+        let taken = ctx.take_mhh().expect("memo was built in this pass");
+        assert_eq!(taken.get(&view, NodeId(0), NodeId(1)), expected);
     }
 }

@@ -7,23 +7,27 @@
 //! so later candidates may no longer exist — exactly the behaviour shown
 //! in Fig. 3 (clique (B) disappearing after (A) is taken).
 //!
-//! Each of the two scoring passes freezes the working graph into one
-//! [`RoundContext`] (CSR view + lazy MHH memo) shared by enumeration and
-//! scoring; commits — the only mutation — happen strictly between
-//! passes, after the context is dropped.
+//! The round itself is executed by [`crate::engine::SearchEngine`] —
+//! the functions here wrap a *fresh* engine around a single round, which
+//! reproduces the historical freeze-enumerate-score-commit behaviour
+//! exactly. Callers running many rounds (the outer loop) keep one engine
+//! alive instead and get cross-round clique/score reuse for free.
 
+use crate::engine::SearchEngine;
 use crate::error::MariohError;
 use crate::model::CliqueScorer;
-use crate::parallel::score_cliques_round;
 use crate::progress::CancelToken;
-use crate::round::RoundContext;
-use marioh_hypergraph::clique::sample_k_subset;
-use marioh_hypergraph::parallel::maximal_cliques_view;
-use marioh_hypergraph::{Hyperedge, Hypergraph, NodeId, ProjectedGraph};
+use marioh_hypergraph::{Hypergraph, ProjectedGraph};
 use rand::Rng;
 
 /// Statistics reported by one [`bidirectional_search`] round.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Equality (and the derived hash of nothing — there is none) covers the
+/// **algorithmic** fields only: `round_ms` varies run to run, and the
+/// `cliques_reused` / `cliques_rescored` split depends on whether the
+/// engine carried state into the round — neither changes the search's
+/// outcome, and the bit-parity suites compare stats across engine modes.
+#[derive(Debug, Clone, Default)]
 pub struct SearchStats {
     /// Maximal cliques enumerated this round.
     pub cliques_enumerated: usize,
@@ -33,24 +37,25 @@ pub struct SearchStats {
     pub subcliques_sampled: usize,
     /// Hyperedges committed in Phase 2 (promising sub-cliques).
     pub committed_phase2: usize,
+    /// Wall-clock milliseconds this round took (telemetry; not compared).
+    pub round_ms: f64,
+    /// Cliques whose enumeration *and* score were carried over from the
+    /// previous round (telemetry; not compared).
+    pub cliques_reused: usize,
+    /// Cliques (re-)scored this round (telemetry; not compared).
+    pub cliques_rescored: usize,
 }
 
-/// Commits `clique` as a hyperedge if all its edges are still present:
-/// adds one copy to `reconstruction` and decrements every constituent
-/// edge. Returns whether the commit happened.
-fn try_commit(g: &mut ProjectedGraph, clique: &[NodeId], reconstruction: &mut Hypergraph) -> bool {
-    if !g.is_clique(clique) {
-        return false;
+impl PartialEq for SearchStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.cliques_enumerated == other.cliques_enumerated
+            && self.committed_phase1 == other.committed_phase1
+            && self.subcliques_sampled == other.subcliques_sampled
+            && self.committed_phase2 == other.committed_phase2
     }
-    let e = Hyperedge::new(clique.iter().copied()).expect("clique has >= 2 nodes");
-    reconstruction.add_edge(e);
-    for (i, &u) in clique.iter().enumerate() {
-        for &v in &clique[i + 1..] {
-            g.decrement_edge(u, v, 1);
-        }
-    }
-    true
 }
+
+impl Eq for SearchStats {}
 
 /// Runs one bidirectional-search round (Algorithm 3).
 ///
@@ -105,99 +110,24 @@ pub fn bidirectional_search_threaded<R: Rng + ?Sized>(
     cancel: &CancelToken,
     rng: &mut R,
 ) -> Result<SearchStats, MariohError> {
-    if cancel.is_cancelled() {
-        return Err(MariohError::Cancelled);
-    }
-    let mut stats = SearchStats::default();
-    // Freeze the graph once for the whole enumeration + scoring pass:
-    // both read the same CSR view (and the scorer the same MHH memo),
-    // and the borrow keeps commits out until the context is dropped.
-    let (cliques, scores) = {
-        let round = RoundContext::with_threads(g, threads);
-        let cliques = maximal_cliques_view(round.view(), threads);
-        let scores = score_cliques_round(scorer, &round, &cliques, threads);
-        (cliques, scores)
-    };
-    stats.cliques_enumerated = cliques.len();
-    if cliques.is_empty() {
-        return Ok(stats);
-    }
-    let mut scored: Vec<(f64, &Vec<NodeId>)> = scores.into_iter().zip(cliques.iter()).collect();
-
-    // Partition: positives (score > θ) descending, rest ascending.
-    let mut positives: Vec<(f64, &Vec<NodeId>)> = Vec::new();
-    let mut negatives: Vec<(f64, &Vec<NodeId>)> = Vec::new();
-    for item in scored.drain(..) {
-        if item.0 > theta {
-            positives.push(item);
-        } else {
-            negatives.push(item);
-        }
-    }
-    positives.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN score").then(a.1.cmp(b.1)));
-
-    // --- Phase 1: most promising cliques ---
-    for (_, clique) in &positives {
-        if try_commit(g, clique, reconstruction) {
-            stats.committed_phase1 += 1;
-        }
-    }
-
-    if !phase2 {
-        return Ok(stats);
-    }
-    if cancel.is_cancelled() {
-        return Err(MariohError::Cancelled);
-    }
-
-    // --- Phase 2: least promising cliques ---
-    negatives.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN score").then(a.1.cmp(b.1)));
-    let take = ((neg_ratio / 100.0) * negatives.len() as f64).ceil() as usize;
-    // Sample first (sequential: the RNG stream must not depend on thread
-    // count), then score the surviving candidates as one batch.
-    let mut candidates: Vec<Vec<NodeId>> = Vec::new();
-    for (_, clique) in negatives.iter().take(take) {
-        // One random k-subset per size k ∈ {2, …, |Q|−1}.
-        for k in 2..clique.len() {
-            let sub = sample_k_subset(rng, clique, k);
-            stats.subcliques_sampled += 1;
-            if g.is_clique(&sub) {
-                candidates.push(sub);
-            }
-            // else: an earlier commit removed one of its edges
-        }
-    }
-    // Phase-1 commits mutated the graph, so the sub-clique pass gets its
-    // own frozen context.
-    let sub_scores = if candidates.is_empty() {
-        Vec::new()
-    } else {
-        let round = RoundContext::with_threads(g, threads);
-        score_cliques_round(scorer, &round, &candidates, threads)
-    };
-    let mut sub_scored: Vec<(f64, Vec<NodeId>)> = sub_scores
-        .into_iter()
-        .zip(candidates)
-        .filter(|&(s, _)| s > theta)
-        .collect();
-    sub_scored.sort_by(|a, b| {
-        b.0.partial_cmp(&a.0)
-            .expect("NaN score")
-            .then(a.1.cmp(&b.1))
-    });
-    for (_, sub) in &sub_scored {
-        if try_commit(g, sub, reconstruction) {
-            stats.committed_phase2 += 1;
-        }
-    }
-    Ok(stats)
+    let mut engine = SearchEngine::new(threads);
+    engine.round(
+        g,
+        scorer,
+        theta,
+        neg_ratio,
+        reconstruction,
+        phase2,
+        cancel,
+        rng,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::model::FnScorer;
-    use marioh_hypergraph::{hyperedge::edge, projection::project};
+    use marioh_hypergraph::{hyperedge::edge, projection::project, NodeId};
     use rand::{rngs::StdRng, SeedableRng};
 
     fn n(i: u32) -> NodeId {

@@ -42,6 +42,7 @@ pub mod metrics;
 pub mod motifs;
 pub mod node;
 pub mod parallel;
+pub mod pool;
 pub mod projection;
 pub mod properties;
 pub mod view;
@@ -51,4 +52,5 @@ pub use graph::ProjectedGraph;
 pub use hyperedge::Hyperedge;
 pub use hypergraph::Hypergraph;
 pub use node::{NodeId, NodeInterner};
+pub use pool::WorkerPool;
 pub use view::GraphView;

@@ -1,0 +1,373 @@
+//! A persistent scoped worker pool for the reconstruction loop.
+//!
+//! MARIOH's outer loop runs dozens-to-hundreds of search rounds, and
+//! each round used to spawn (and join) a fresh set of OS threads for
+//! clique enumeration and again for clique scoring. On the small
+//! Table-1 datasets the spawn cost alone made multi-threaded rounds
+//! *slower* than serial ones. [`WorkerPool`] fixes the fixed cost:
+//! workers are spawned once per reconstruction run and parked on a
+//! condvar between jobs, so dispatching a round's work costs a mutex
+//! round-trip and a wakeup instead of `threads` thread spawns.
+//!
+//! The pool is *scoped* in the same sense as [`std::thread::scope`]: a
+//! job may borrow data from the caller's stack because [`WorkerPool::run`]
+//! does not return (not even by unwinding) until every worker has
+//! finished the job. Jobs receive their 0-based participant index; the
+//! calling thread always participates as index `0`, so a pool built for
+//! `threads` units of parallelism only keeps `threads - 1` OS threads.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// The job pointer handed to workers. The borrow it was created from is
+/// kept alive by [`WorkerPool::run`] until all workers are done, which is
+/// what makes the lifetime erasure sound.
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (the constraint is in the type) and the
+// pointer is only dereferenced while `run` keeps the referent alive.
+unsafe impl Send for Job {}
+
+struct State {
+    /// The job currently being executed, if any.
+    job: Option<Job>,
+    /// Monotone job counter; workers use it to detect fresh work.
+    seq: u64,
+    /// Workers still executing the current job.
+    running: usize,
+    /// A worker's job closure panicked; re-raised on the caller.
+    panicked: bool,
+    /// The pool is being dropped.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when a new job is published (or on shutdown).
+    start: Condvar,
+    /// Signalled when the last worker finishes the current job.
+    done: Condvar,
+}
+
+/// A fixed-size pool of parked worker threads executing borrowed jobs.
+///
+/// ```
+/// use marioh_hypergraph::WorkerPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = WorkerPool::new(4);
+/// let hits = AtomicUsize::new(0);
+/// pool.run(&|_worker| {
+///     hits.fetch_add(1, Ordering::Relaxed);
+/// });
+/// // Every participant (3 workers + the caller) ran the job once.
+/// assert_eq!(hits.load(Ordering::Relaxed), 4);
+/// ```
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Thread ids of the spawned workers; a re-entrant [`WorkerPool::run`]
+    /// from one of them executes the job inline instead of deadlocking.
+    worker_ids: Vec<std::thread::ThreadId>,
+}
+
+impl WorkerPool {
+    /// Creates a pool providing `threads` units of parallelism:
+    /// `threads - 1` parked OS threads plus the calling thread
+    /// (`threads <= 1` spawns nothing and [`WorkerPool::run`] degrades to
+    /// a plain call).
+    pub fn new(threads: usize) -> WorkerPool {
+        let workers = threads.saturating_sub(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                seq: 0,
+                running: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles: Vec<JoinHandle<()>> = (1..=workers)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, idx))
+            })
+            .collect();
+        let worker_ids = handles.iter().map(|h| h.thread().id()).collect();
+        WorkerPool {
+            shared,
+            handles,
+            worker_ids,
+        }
+    }
+
+    /// Units of parallelism this pool provides (spawned workers + the
+    /// caller).
+    pub fn threads(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Executes `job` once per participant, passing each its 0-based
+    /// index (`0` is the calling thread), and returns when **all**
+    /// participants have finished. Jobs typically pull work items off a
+    /// shared atomic counter, so the index is only needed for
+    /// per-participant output shards.
+    ///
+    /// Re-entrant calls — `run` invoked from inside a job running on one
+    /// of this pool's own workers (e.g. a lazily-built cache inside a
+    /// parallel scoring pass) — execute the job inline on that worker
+    /// instead of deadlocking against the in-flight dispatch. Concurrent
+    /// `run` calls from *different* threads serialize: the second blocks
+    /// until the first job has fully drained before publishing its own.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (as a fresh panic) if the job panicked on any worker
+    /// thread. A panic on the caller's own participation unwinds only
+    /// after every worker finished, so borrowed data stays valid for as
+    /// long as any worker can touch it.
+    pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+        if self.handles.is_empty() || self.worker_ids.contains(&std::thread::current().id()) {
+            job(0);
+            return;
+        }
+        {
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            // Wait out any in-flight job another caller published —
+            // overwriting it would free its borrowed closure while
+            // workers still hold the lifetime-erased pointer.
+            while st.job.is_some() || st.running > 0 {
+                st = self.shared.done.wait(st).expect("pool state poisoned");
+            }
+            // SAFETY: erase the borrow's lifetime. The pointer is
+            // dereferenced only by workers counted in `running`, and
+            // every exit path below (including unwinding, via the
+            // guard) waits for `running == 0` first.
+            let ptr: *const (dyn Fn(usize) + Sync) = job;
+            st.job = Some(Job(unsafe {
+                std::mem::transmute::<
+                    *const (dyn Fn(usize) + Sync),
+                    *const (dyn Fn(usize) + Sync + 'static),
+                >(ptr)
+            }));
+            st.seq += 1;
+            st.running = self.handles.len();
+            st.panicked = false;
+        }
+        self.shared.start.notify_all();
+
+        // If the caller's own participation panics, the guard still
+        // blocks the unwind until the workers are done with the borrow.
+        let guard = WaitGuard {
+            shared: &self.shared,
+        };
+        job(0);
+        std::mem::forget(guard);
+
+        let mut st = self.shared.state.lock().expect("pool state poisoned");
+        while st.running > 0 {
+            st = self.shared.done.wait(st).expect("pool state poisoned");
+        }
+        st.job = None;
+        let panicked = st.panicked;
+        drop(st);
+        // Wake any caller queued behind this job's publication slot.
+        self.shared.done.notify_all();
+        assert!(!panicked, "WorkerPool job panicked on a worker thread");
+    }
+}
+
+/// Blocks unwinding out of [`WorkerPool::run`] until all workers have
+/// finished the in-flight job (they hold the erased borrow).
+struct WaitGuard<'a> {
+    shared: &'a Shared,
+}
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut st) = self.shared.state.lock() {
+            while st.running > 0 {
+                let Ok(next) = self.shared.done.wait(st) else {
+                    return;
+                };
+                st = next;
+            }
+            st.job = None;
+            drop(st);
+            self.shared.done.notify_all();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            st.shutdown = true;
+        }
+        self.shared.start.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, idx: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool state poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.seq != seen {
+                    seen = st.seq;
+                    break st.job.expect("published job");
+                }
+                st = shared.start.wait(st).expect("pool state poisoned");
+            }
+        };
+        // SAFETY: `run` keeps the referent alive until `running` drops
+        // to zero, which only happens after this call returns.
+        let f = unsafe { &*job.0 };
+        let ok = catch_unwind(AssertUnwindSafe(|| f(idx))).is_ok();
+        let mut st = shared.state.lock().expect("pool state poisoned");
+        if !ok {
+            st.panicked = true;
+        }
+        st.running -= 1;
+        if st.running == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_participant_runs_each_job_once() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        for _ in 0..50 {
+            let mut hits = [0usize; 4];
+            let slots: Mutex<Vec<Option<&mut usize>>> =
+                Mutex::new(hits.iter_mut().map(Some).collect());
+            pool.run(&|idx| {
+                let slot = slots.lock().unwrap()[idx].take().expect("index reused");
+                *slot += 1;
+            });
+            drop(slots);
+            assert_eq!(hits, [1, 1, 1, 1]);
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let count = AtomicUsize::new(0);
+        pool.run(&|idx| {
+            assert_eq!(idx, 0);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn jobs_can_borrow_stack_data() {
+        let pool = WorkerPool::new(3);
+        let items: Vec<usize> = (0..1000).collect();
+        let total = AtomicUsize::new(0);
+        let next = AtomicUsize::new(0);
+        pool.run(&|_| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(&v) = items.get(i) else { break };
+            total.fetch_add(v, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 1000 * 999 / 2);
+    }
+
+    #[test]
+    fn pool_survives_many_sequential_jobs() {
+        let pool = WorkerPool::new(2);
+        let count = AtomicUsize::new(0);
+        for _ in 0..500 {
+            pool.run(&|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn concurrent_runs_from_different_threads_serialize() {
+        // The pool is Sync; two threads sharing it must not clobber each
+        // other's published job (the borrow-erasure's soundness depends
+        // on it). Hammer it: every increment must land exactly once.
+        let pool = WorkerPool::new(3);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        let local = AtomicUsize::new(0);
+                        pool.run(&|_| {
+                            local.fetch_add(1, Ordering::Relaxed);
+                        });
+                        assert_eq!(local.load(Ordering::Relaxed), 3);
+                        total.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn reentrant_run_from_a_worker_executes_inline() {
+        // A job that itself dispatches through the pool (the lazy-MHH
+        // shape) must not deadlock: the inner run degrades to an inline
+        // call on that worker.
+        let pool = WorkerPool::new(3);
+        let outer = AtomicUsize::new(0);
+        let inner = AtomicUsize::new(0);
+        pool.run(&|idx| {
+            outer.fetch_add(1, Ordering::Relaxed);
+            if idx == 1 {
+                pool.run(&|inner_idx| {
+                    assert_eq!(inner_idx, 0, "re-entrant job runs inline");
+                    inner.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(outer.load(Ordering::Relaxed), 3);
+        assert_eq!(inner.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn worker_panic_is_reported_on_the_caller() {
+        let pool = WorkerPool::new(2);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|idx| {
+                if idx == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(err.is_err());
+        // The pool remains usable after a job panic.
+        let count = AtomicUsize::new(0);
+        pool.run(&|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+}

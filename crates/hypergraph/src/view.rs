@@ -10,24 +10,39 @@
 //! memory instead of per-edge hash lookups.
 //!
 //! The freeze contract: a view is only valid as long as the graph it was
-//! built from is not mutated. The search loop therefore builds one view
-//! per scoring pass (mutation happens strictly *between* passes) and
-//! drops it before committing.
+//! built from is not mutated — **unless** every mutation is mirrored into
+//! the view through [`GraphView::decrement_entry`]. The search loop
+//! builds one view per scoring pass and drops it before committing; the
+//! cross-round incremental engine instead keeps one view alive for the
+//! whole run and patches it in step with every commit, so the only
+//! full-freeze cost is paid once.
 
 use crate::graph::ProjectedGraph;
 use crate::node::NodeId;
 
-/// An immutable CSR snapshot of a [`ProjectedGraph`].
+/// A CSR snapshot of a [`ProjectedGraph`], patchable in place.
 ///
 /// Per node `u`, `neighbors(u)` and `neighbor_weights(u)` are parallel
 /// slices sorted by neighbour id. Every accessor returns exactly the same
 /// value as its [`ProjectedGraph`] counterpart on the graph the view was
 /// frozen from (property-tested), so the two representations are
 /// interchangeable for read-only code.
+///
+/// Reconstruction commits only ever *decrement* edges, so the view
+/// supports exactly that mutation: [`GraphView::decrement_entry`] mirrors
+/// [`ProjectedGraph::decrement_edge`]. Removing an edge compacts the two
+/// endpoint rows in place (each row keeps its original capacity; the live
+/// prefix length is tracked per row), which means **slot indices of
+/// untouched rows never move** — the property the per-round MHH memo's
+/// incremental patching relies on.
 #[derive(Debug, Clone)]
 pub struct GraphView {
-    /// `offsets[u]..offsets[u + 1]` indexes `u`'s slice of `nbrs`/`weights`.
+    /// `offsets[u]..offsets[u + 1]` is `u`'s *capacity* range in
+    /// `nbrs`/`weights`; the live entries are the first `lens[u]` of it.
     offsets: Vec<usize>,
+    /// Live entries per row (equals the row capacity until an incident
+    /// edge is removed).
+    lens: Vec<usize>,
     nbrs: Vec<u32>,
     weights: Vec<u32>,
     weighted_degree: Vec<u64>,
@@ -49,6 +64,7 @@ impl GraphView {
         let mut nbrs = vec![0u32; slots];
         let mut weights = vec![0u32; slots];
         let mut weighted_degree = Vec::with_capacity(n);
+        let mut lens = Vec::with_capacity(n);
         let mut row: Vec<(u32, u32)> = Vec::new();
         for (u, &start) in offsets.iter().take(n).enumerate() {
             let id = NodeId(u as u32);
@@ -59,10 +75,12 @@ impl GraphView {
                 nbrs[start + i] = v;
                 weights[start + i] = w;
             }
+            lens.push(row.len());
             weighted_degree.push(g.weighted_degree(id));
         }
         GraphView {
             offsets,
+            lens,
             nbrs,
             weights,
             weighted_degree,
@@ -89,17 +107,26 @@ impl GraphView {
         self.total_weight
     }
 
-    /// Number of directed adjacency slots (`2 × num_edges`); the length
-    /// of any per-slot side array such as an MHH cache.
+    /// Capacity of the directed adjacency slot space — the length any
+    /// per-slot side array (such as an MHH cache) must have. Equals
+    /// `2 × num_edges` on a freshly frozen view; removals leave holes, so
+    /// after patching it may exceed the live slot count.
     #[inline]
     pub fn num_slots(&self) -> usize {
         self.nbrs.len()
     }
 
+    /// First slot index of `u`'s row; `u`'s live slots are
+    /// `row_start(u) .. row_start(u) + degree(u)`.
+    #[inline]
+    pub fn row_start(&self, u: NodeId) -> usize {
+        self.offsets[u.index()]
+    }
+
     /// Number of neighbours of `u`.
     #[inline]
     pub fn degree(&self, u: NodeId) -> usize {
-        self.offsets[u.index() + 1] - self.offsets[u.index()]
+        self.lens[u.index()]
     }
 
     /// Weighted degree `Σ_{v ∈ N(u)} ω_{u,v}`.
@@ -111,19 +138,22 @@ impl GraphView {
     /// Neighbour ids of `u`, ascending.
     #[inline]
     pub fn neighbors(&self, u: NodeId) -> &[u32] {
-        &self.nbrs[self.offsets[u.index()]..self.offsets[u.index() + 1]]
+        let start = self.offsets[u.index()];
+        &self.nbrs[start..start + self.lens[u.index()]]
     }
 
     /// Weights parallel to [`GraphView::neighbors`].
     #[inline]
     pub fn neighbor_weights(&self, u: NodeId) -> &[u32] {
-        &self.weights[self.offsets[u.index()]..self.offsets[u.index() + 1]]
+        let start = self.offsets[u.index()];
+        &self.weights[start..start + self.lens[u.index()]]
     }
 
     /// Sorted neighbour ids and their weights as parallel slices.
     #[inline]
     pub fn neighbor_entries(&self, u: NodeId) -> (&[u32], &[u32]) {
-        let range = self.offsets[u.index()]..self.offsets[u.index() + 1];
+        let start = self.offsets[u.index()];
+        let range = start..start + self.lens[u.index()];
         (&self.nbrs[range.clone()], &self.weights[range])
     }
 
@@ -133,7 +163,7 @@ impl GraphView {
     #[inline]
     pub fn slot(&self, u: NodeId, v: NodeId) -> Option<usize> {
         let start = self.offsets[u.index()];
-        let nbrs = &self.nbrs[start..self.offsets[u.index() + 1]];
+        let nbrs = &self.nbrs[start..start + self.lens[u.index()]];
         nbrs.binary_search(&v.0).ok().map(|i| start + i)
     }
 
@@ -200,6 +230,74 @@ impl GraphView {
                 .filter(move |&(&v, _)| u < v)
                 .map(move |(&v, &w)| (id, NodeId(v), w))
         })
+    }
+
+    /// Decrements `ω_{u,v}` by `amount` (clamped), removing the edge when
+    /// the weight reaches zero — the in-place mirror of
+    /// [`ProjectedGraph::decrement_edge`]. Returns the amount actually
+    /// removed.
+    ///
+    /// After mirroring every graph mutation through this method, all
+    /// accessors return exactly what a fresh [`GraphView::freeze`] of the
+    /// mutated graph would (property-tested). A removal compacts only the
+    /// two endpoint rows, so slot indices of edges not incident to `u` or
+    /// `v` are unaffected.
+    pub fn decrement_entry(&mut self, u: NodeId, v: NodeId, amount: u32) -> u32 {
+        let Some(su) = self.slot(u, v) else {
+            return 0;
+        };
+        let sv = self.slot(v, u).expect("symmetric adjacency");
+        let w = self.weights[su];
+        let removed = amount.min(w);
+        if removed == w {
+            self.remove_slot(u, su);
+            self.remove_slot(v, sv);
+            self.num_edges -= 1;
+        } else {
+            self.weights[su] -= removed;
+            self.weights[sv] -= removed;
+        }
+        self.weighted_degree[u.index()] -= u64::from(removed);
+        self.weighted_degree[v.index()] -= u64::from(removed);
+        self.total_weight -= u64::from(removed);
+        removed
+    }
+
+    /// Decrements `ω_{u,v}` by one — the commit fast path, skipping the
+    /// clamp/absence handling of [`GraphView::decrement_entry`]. Returns
+    /// whether the edge was removed (its weight hit zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `{u, v}` is not an edge; callers validate the whole
+    /// clique against the view first.
+    pub fn decrement_unit(&mut self, u: NodeId, v: NodeId) -> bool {
+        let su = self.slot(u, v).expect("decrement_unit on absent edge");
+        let sv = self.slot(v, u).expect("symmetric adjacency");
+        let gone = self.weights[su] == 1;
+        if gone {
+            self.remove_slot(u, su);
+            self.remove_slot(v, sv);
+            self.num_edges -= 1;
+        } else {
+            self.weights[su] -= 1;
+            self.weights[sv] -= 1;
+        }
+        self.weighted_degree[u.index()] -= 1;
+        self.weighted_degree[v.index()] -= 1;
+        self.total_weight -= 1;
+        gone
+    }
+
+    /// Removes the live slot `s` from `u`'s row by shifting the row's
+    /// tail left; the freed capacity slot at the row end becomes a hole.
+    fn remove_slot(&mut self, u: NodeId, s: usize) {
+        let start = self.offsets[u.index()];
+        let end = start + self.lens[u.index()];
+        debug_assert!((start..end).contains(&s));
+        self.nbrs.copy_within(s + 1..end, s);
+        self.weights.copy_within(s + 1..end, s);
+        self.lens[u.index()] -= 1;
     }
 }
 
@@ -299,5 +397,81 @@ mod tests {
         assert_eq!(view.num_slots(), 0);
         assert!(view.edges().next().is_none());
         assert_eq!(view.common_neighbor_count(n(0), n(1)), 0);
+    }
+
+    /// Every accessor of `view` agrees with a fresh freeze of `g`
+    /// (ignoring slot-capacity bookkeeping, which holes are allowed to
+    /// inflate).
+    fn assert_matches_fresh_freeze(view: &GraphView, g: &ProjectedGraph) {
+        let fresh = GraphView::freeze(g);
+        assert_eq!(view.num_nodes(), fresh.num_nodes());
+        assert_eq!(view.num_edges(), fresh.num_edges());
+        assert_eq!(view.total_weight(), fresh.total_weight());
+        assert_eq!(
+            view.edges().collect::<Vec<_>>(),
+            fresh.edges().collect::<Vec<_>>()
+        );
+        for u in (0..view.num_nodes()).map(NodeId) {
+            assert_eq!(view.degree(u), fresh.degree(u));
+            assert_eq!(view.weighted_degree(u), fresh.weighted_degree(u));
+            assert_eq!(view.neighbors(u), fresh.neighbors(u));
+            assert_eq!(view.neighbor_weights(u), fresh.neighbor_weights(u));
+            for v in (0..view.num_nodes()).map(NodeId) {
+                assert_eq!(view.weight(u, v), fresh.weight(u, v));
+                assert_eq!(view.has_edge(u, v), fresh.has_edge(u, v));
+                if u < v {
+                    assert_eq!(
+                        view.common_neighbor_count(u, v),
+                        fresh.common_neighbor_count(u, v)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn patched_view_matches_fresh_freeze_after_random_decrements() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..20 {
+            let nodes = rng.gen_range(2..25u32);
+            let mut g = random_graph(&mut rng, nodes, 0.4);
+            let mut view = GraphView::freeze(&g);
+            for _ in 0..40 {
+                let u = NodeId(rng.gen_range(0..nodes));
+                let v = NodeId(rng.gen_range(0..nodes));
+                if u == v {
+                    continue;
+                }
+                let amount = rng.gen_range(1..4u32);
+                let removed_g = g.decrement_edge(u, v, amount);
+                let removed_v = view.decrement_entry(u, v, amount);
+                assert_eq!(removed_g, removed_v);
+            }
+            assert_matches_fresh_freeze(&view, &g);
+            g.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn removal_keeps_untouched_rows_slot_stable() {
+        // A path 0-1-2-3 plus an edge (0,3): removing (1,2) must not move
+        // the slots of row 0 or row 3.
+        let mut g = ProjectedGraph::new(4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (0, 3)] {
+            g.add_edge_weight(n(u), n(v), 2);
+        }
+        let mut view = GraphView::freeze(&g);
+        let s01 = view.slot(n(0), n(1)).unwrap();
+        let s03 = view.slot(n(0), n(3)).unwrap();
+        let s32 = view.slot(n(3), n(2)).unwrap();
+        assert_eq!(view.decrement_entry(n(1), n(2), 9), 2);
+        assert_eq!(view.slot(n(0), n(1)), Some(s01));
+        assert_eq!(view.slot(n(0), n(3)), Some(s03));
+        assert_eq!(view.slot(n(3), n(2)), Some(s32));
+        assert_eq!(view.slot(n(1), n(2)), None);
+        assert_eq!(view.decrement_entry(n(1), n(2), 1), 0);
+        assert_eq!(view.num_edges(), 3);
+        // Capacity is unchanged; only live lengths shrank.
+        assert_eq!(view.num_slots(), 8);
     }
 }

@@ -59,6 +59,12 @@ pub struct ServerStats {
     /// never increment it; counted through the observer's
     /// `on_training_done`).
     pub models_trained: u64,
+    /// Clique evaluations the incremental search engine answered from
+    /// the previous round's state, summed over every round of every job
+    /// this process ran (streamed in through the progress observer).
+    pub cliques_reused: u64,
+    /// Clique evaluations actually (re-)scored, same scope.
+    pub cliques_rescored: u64,
     /// Results currently in the artifact cache.
     pub results_cached: usize,
     /// Trained models currently in the artifact store.
@@ -112,6 +118,8 @@ struct Shared {
     pipeline_runs: AtomicU64,
     cache_hits: AtomicU64,
     models_trained: AtomicU64,
+    cliques_reused: AtomicU64,
+    cliques_rescored: AtomicU64,
 }
 
 /// The concurrent job queue and orchestration over a pluggable store.
@@ -176,6 +184,8 @@ impl JobManager {
                 pipeline_runs: AtomicU64::new(0),
                 cache_hits: AtomicU64::new(0),
                 models_trained: AtomicU64::new(0),
+                cliques_reused: AtomicU64::new(0),
+                cliques_rescored: AtomicU64::new(0),
             }),
         }
     }
@@ -435,6 +445,17 @@ impl JobManager {
         self.shared.models_trained.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Accumulates one round's engine reuse split (streamed by the
+    /// worker's progress observer; surfaces as the `/stats` reuse ratio).
+    pub fn note_search_reuse(&self, reused: usize, rescored: usize) {
+        self.shared
+            .cliques_reused
+            .fetch_add(reused as u64, Ordering::Relaxed);
+        self.shared
+            .cliques_rescored
+            .fetch_add(rescored as u64, Ordering::Relaxed);
+    }
+
     /// Cancels a job: de-queues it if still queued, fires its token if
     /// running. Terminal jobs are left unchanged. Returns the resulting
     /// status, or `None` for unknown ids.
@@ -524,6 +545,8 @@ impl JobManager {
             pipeline_runs: self.shared.pipeline_runs.load(Ordering::Relaxed),
             cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
             models_trained: self.shared.models_trained.load(Ordering::Relaxed),
+            cliques_reused: self.shared.cliques_reused.load(Ordering::Relaxed),
+            cliques_rescored: self.shared.cliques_rescored.load(Ordering::Relaxed),
             results_cached: results,
             models_cached: models,
             store: self.store().kind(),

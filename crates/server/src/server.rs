@@ -429,6 +429,19 @@ fn stats_body(manager: &JobManager) -> Json {
         ("pipeline_runs".into(), Json::num(s.pipeline_runs as f64)),
         ("cache_hits".into(), Json::num(s.cache_hits as f64)),
         ("models_trained".into(), Json::num(s.models_trained as f64)),
+        ("cliques_reused".into(), Json::num(s.cliques_reused as f64)),
+        (
+            "cliques_rescored".into(),
+            Json::num(s.cliques_rescored as f64),
+        ),
+        (
+            "search_reuse_ratio".into(),
+            Json::num(if s.cliques_reused + s.cliques_rescored == 0 {
+                0.0
+            } else {
+                s.cliques_reused as f64 / (s.cliques_reused + s.cliques_rescored) as f64
+            }),
+        ),
         ("results_cached".into(), Json::num(s.results_cached as f64)),
         ("models_cached".into(), Json::num(s.models_cached as f64)),
         ("store".into(), Json::str(s.store)),

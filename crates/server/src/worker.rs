@@ -57,8 +57,10 @@ struct JobObserver {
 }
 
 impl ProgressObserver for JobObserver {
-    fn on_round(&self, round: usize, _theta: f64, _stats: &SearchStats) {
+    fn on_round(&self, round: usize, _theta: f64, stats: &SearchStats) {
         self.manager.record_round(self.id, round);
+        self.manager
+            .note_search_reuse(stats.cliques_reused, stats.cliques_rescored);
         if self.throttle_ms > 0 {
             cancellable_sleep(self.throttle_ms, &self.cancel);
         }

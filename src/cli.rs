@@ -81,11 +81,15 @@ impl ProgressObserver for VerboseProgress {
 
     fn on_round(&self, round: usize, theta: f64, stats: &SearchStats) {
         eprintln!(
-            "[round {round}] θ={theta:.3} cliques={} committed={}+{} subcliques={}",
+            "[round {round}] θ={theta:.3} cliques={} committed={}+{} subcliques={} \
+             reused={}/{} ({:.1}ms)",
             stats.cliques_enumerated,
             stats.committed_phase1,
             stats.committed_phase2,
-            stats.subcliques_sampled
+            stats.subcliques_sampled,
+            stats.cliques_reused,
+            stats.cliques_reused + stats.cliques_rescored,
+            stats.round_ms
         );
     }
 
@@ -95,10 +99,14 @@ impl ProgressObserver for VerboseProgress {
 
     fn on_done(&self, report: &ReconstructionReport) {
         eprintln!(
-            "[done] filtering {:.3}s, search {:.3}s over {} rounds",
+            "[done] filtering {:.3}s, search {:.3}s over {} rounds \
+             (engine reuse {:.1}%: {} cliques carried, {} rescored)",
             report.filtering_secs,
             report.search_secs,
-            report.rounds.len()
+            report.rounds.len(),
+            report.reuse_ratio() * 100.0,
+            report.cliques_reused(),
+            report.cliques_rescored()
         );
     }
 
