@@ -1,0 +1,269 @@
+//! Sharded-dispatch benchmark: a batch of reconstruction jobs pushed
+//! through the [`marioh_dispatch::Dispatcher`] at 1/2/4 shards versus a
+//! sequential single-process loop over the same
+//! [`marioh_dispatch::execute_job`] calls.
+//!
+//! Shard workers run in-thread (the wire protocol still crosses
+//! loopback TCP frame-for-frame; only the `fork`/`exec` is elided, so
+//! the bench needs no `marioh` binary on disk). Every dispatched
+//! payload is asserted byte-equal to the sequential run's encoded
+//! result before any number is reported — the speedup is never bought
+//! with drift.
+//!
+//! Each job carries a fixed `throttle_ms` pacing delay — the
+//! non-semantic knob (excluded from the spec hash, invisible in the
+//! result) that stands in for the I/O-latency component of real
+//! workloads. The sequential loop pays it once per job; the dispatcher
+//! overlaps it across in-flight jobs. This keeps the measurement about
+//! dispatch concurrency, so it holds even on single-core CI machines
+//! where CPU-bound work cannot speed up at all (the JSON records the
+//! core count alongside the numbers).
+//!
+//! Results land in `BENCH_dispatch.json` at the workspace root.
+//! `MARIOH_BENCH_SMOKE=1` runs a tiny batch once and writes to
+//! `target/BENCH_dispatch.smoke.json`, leaving the committed baseline
+//! untouched.
+
+use marioh_core::search::SearchStats;
+use marioh_core::{CancelToken, NoopObserver, ProgressObserver};
+use marioh_dispatch::{
+    cancellable_sleep, execute_job, DispatchConfig, DispatchEvent, DispatchEvents, DispatchJob,
+    Dispatcher, WorkerCommand,
+};
+use marioh_store::{encode_result, JobSpec, Json};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// The job batch: distinct seeds over one dataset, so spec hashes
+/// spread across shards while the dataset memo amortizes generation.
+fn specs(dataset: &str, scale: f64, jobs: usize, throttle_ms: u64) -> Vec<JobSpec> {
+    (0..jobs)
+        .map(|seed| {
+            let body = format!(
+                r#"{{"dataset": "{dataset}", "scale": {scale}, "seed": {seed},
+                     "throttle_ms": {throttle_ms}}}"#
+            );
+            JobSpec::from_json(&Json::parse(&body).expect("valid JSON")).expect("valid spec")
+        })
+        .collect()
+}
+
+/// The sequential loop's observer: applies the same per-round
+/// `throttle_ms` pacing the serving observers apply, so both sides of
+/// the comparison pay identical per-job latency.
+struct PacedObserver {
+    throttle_ms: u64,
+    cancel: CancelToken,
+}
+
+impl ProgressObserver for PacedObserver {
+    fn on_round(&self, _round: usize, _theta: f64, _stats: &SearchStats) {
+        if self.throttle_ms > 0 {
+            cancellable_sleep(self.throttle_ms, &self.cancel);
+        }
+    }
+}
+
+/// Collects terminal events and lets the driver block until a batch
+/// drains.
+#[derive(Default)]
+struct Sink {
+    state: Mutex<SinkState>,
+    changed: Condvar,
+}
+
+#[derive(Default)]
+struct SinkState {
+    done: HashMap<u64, Vec<u8>>,
+    failed: Vec<(u64, String)>,
+}
+
+impl DispatchEvents for Sink {
+    fn on_batch(&self, events: Vec<DispatchEvent>) {
+        let mut state = self.state.lock().unwrap();
+        for event in events {
+            match event {
+                DispatchEvent::Done { job, payload, .. } => {
+                    state.done.insert(job, payload);
+                }
+                DispatchEvent::Failed { job, message, .. } => state.failed.push((job, message)),
+                _ => {}
+            }
+        }
+        self.changed.notify_all();
+    }
+}
+
+impl Sink {
+    fn await_batch(&self, jobs: usize) -> HashMap<u64, Vec<u8>> {
+        let deadline = Instant::now() + Duration::from_secs(600);
+        let mut state = self.state.lock().unwrap();
+        loop {
+            assert!(state.failed.is_empty(), "jobs failed: {:?}", state.failed);
+            if state.done.len() == jobs {
+                return std::mem::take(&mut state.done);
+            }
+            let now = Instant::now();
+            assert!(
+                now < deadline,
+                "batch stalled at {}/{jobs}",
+                state.done.len()
+            );
+            let (next, _) = self
+                .changed
+                .wait_timeout(state, deadline - now)
+                .expect("sink lock poisoned");
+            state = next;
+        }
+    }
+}
+
+/// Runs the whole batch through a dispatcher at `shards` and returns
+/// (elapsed seconds, payload per job id).
+fn run_sharded(specs: &[JobSpec], shards: usize) -> (f64, HashMap<u64, Vec<u8>>) {
+    let sink = Arc::new(Sink::default());
+    let dispatcher = Dispatcher::start(
+        DispatchConfig::new(shards, WorkerCommand::InThread),
+        Arc::clone(&sink) as Arc<dyn DispatchEvents>,
+    )
+    .expect("dispatcher starts");
+    let t = Instant::now();
+    for (i, spec) in specs.iter().enumerate() {
+        dispatcher
+            .dispatch(DispatchJob {
+                id: i as u64 + 1,
+                spec_hash: *spec.content_hash().expect("hashable").as_bytes(),
+                spec_json: spec.to_json().to_string(),
+                model: None,
+                cancel: CancelToken::new(),
+            })
+            .expect("dispatch");
+    }
+    let payloads = sink.await_batch(specs.len());
+    let secs = t.elapsed().as_secs_f64();
+    dispatcher.shutdown();
+    (secs, payloads)
+}
+
+struct Run {
+    shards: usize,
+    secs: f64,
+    speedup: f64,
+}
+
+fn write_json(
+    dataset: &str,
+    jobs: usize,
+    sequential_secs: f64,
+    runs: &[Run],
+    smoke: bool,
+) -> std::io::Result<std::path::PathBuf> {
+    let mut body = String::new();
+    body.push_str("{\n");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    body.push_str(&format!(
+        "  \"bench\": \"dispatch\",\n  \"dataset\": \"{dataset}\",\n  \"jobs\": {jobs},\n  \"cores\": {cores},\n"
+    ));
+    body.push_str(&format!(
+        "  \"sequential_secs\": {sequential_secs:.4},\n  \"sharded\": [\n"
+    ));
+    for (i, run) in runs.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"shards\": {}, \"secs\": {:.4}, \"speedup_vs_sequential\": {:.3}, \"bit_identical\": true}}{}\n",
+            run.shards,
+            run.secs,
+            run.speedup,
+            if i + 1 == runs.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = if smoke {
+        root.join("target/BENCH_dispatch.smoke.json")
+    } else {
+        root.join("BENCH_dispatch.json")
+    };
+    std::fs::write(&path, body)?;
+    Ok(path.canonicalize().unwrap_or(path))
+}
+
+fn main() {
+    let smoke = std::env::var("MARIOH_BENCH_SMOKE").as_deref() == Ok("1");
+    let (dataset, scale, jobs, throttle_ms, reps) = if smoke {
+        ("Crime", 0.2, 4, 10, 1)
+    } else {
+        ("Hosts", 1.0, 12, 40, 2)
+    };
+    let batch = specs(dataset, scale, jobs, throttle_ms);
+
+    // Warm the dataset memo so no mode pays generation inside its
+    // timed window.
+    execute_job(
+        batch[0].clone(),
+        None,
+        Arc::new(NoopObserver),
+        CancelToken::new(),
+    )
+    .expect("warmup");
+
+    // Sequential single-process baseline: the same executor, one job at
+    // a time, no wire. Best of `reps` to shave scheduler noise.
+    let mut reference: Vec<Vec<u8>> = Vec::new();
+    let mut sequential_secs = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        reference = batch
+            .iter()
+            .map(|spec| {
+                let cancel = CancelToken::new();
+                let observer = Arc::new(PacedObserver {
+                    throttle_ms: spec.throttle_ms,
+                    cancel: cancel.clone(),
+                });
+                let (result, _) =
+                    execute_job(spec.clone(), None, observer, cancel).expect("sequential run");
+                encode_result(&result)
+            })
+            .collect();
+        sequential_secs = sequential_secs.min(t.elapsed().as_secs_f64());
+    }
+
+    let mut runs = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let mut secs = f64::INFINITY;
+        for _ in 0..reps {
+            let (rep_secs, payloads) = run_sharded(&batch, shards);
+            for (i, expected) in reference.iter().enumerate() {
+                let payload = &payloads[&(i as u64 + 1)];
+                assert_eq!(
+                    payload, expected,
+                    "shards={shards}: job {i} payload differs from the sequential run"
+                );
+            }
+            secs = secs.min(rep_secs);
+        }
+        let speedup = sequential_secs / secs.max(1e-12);
+        println!(
+            "bench_dispatch/{dataset}: {jobs} jobs, {shards} shard(s): {secs:.3}s vs {sequential_secs:.3}s sequential ({speedup:.2}x, bit-identical)"
+        );
+        runs.push(Run {
+            shards,
+            secs,
+            speedup,
+        });
+    }
+
+    if !smoke {
+        let at4 = runs.iter().find(|r| r.shards == 4).expect("4-shard run");
+        assert!(
+            at4.speedup >= 1.3,
+            "4 shards must beat the sequential loop by >=1.3x (got {:.2}x)",
+            at4.speedup
+        );
+    }
+    match write_json(dataset, jobs, sequential_secs, &runs, smoke) {
+        Ok(path) => println!("bench_dispatch: wrote {}", path.display()),
+        Err(e) => eprintln!("bench_dispatch: failed to write BENCH_dispatch.json: {e}"),
+    }
+}

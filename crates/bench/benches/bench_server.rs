@@ -43,6 +43,7 @@ fn bench_server_throughput(c: &mut Criterion) {
         addr: "127.0.0.1:0".to_owned(),
         workers: 4,
         queue_cap: 256,
+        ..ServerConfig::default()
     })
     .expect("server");
     let addr = server.local_addr();

@@ -11,12 +11,7 @@ impl CliqueScorer for MhhScorer {
     fn score(&self, _: &ProjectedGraph, _: &[NodeId]) -> f64 {
         0.0
     }
-    fn score_batch(
-        &self,
-        round: &RoundContext<'_>,
-        cliques: &[Vec<NodeId>],
-        out: &mut [f64],
-    ) {
+    fn score_batch(&self, round: &RoundContext<'_>, cliques: &[Vec<NodeId>], out: &mut [f64]) {
         let cache = round.mhh_cache();
         for (c, o) in cliques.iter().zip(out.iter_mut()) {
             let slot = round.view().slot(c[0], c[1]).unwrap();

@@ -1,0 +1,40 @@
+//! `marioh-dispatch`: sharded multi-process job serving over the
+//! `marioh-wire` framed protocol.
+//!
+//! The serving stack's third execution mode (after "run inline" and "in-
+//! process worker pool"): a [`Dispatcher`] hash-partitions jobs by their
+//! canonical spec hash across N stateless shard workers — separate OS
+//! processes speaking [`marioh_wire`] over loopback TCP — merges their
+//! `Result` frames back into the caller's stores, and supervises the
+//! worker fleet (heartbeats, SIGKILL detection, respawn, idempotent
+//! re-dispatch).
+//!
+//! Three properties carry the design:
+//!
+//! * **Determinism.** [`execute_job`] is the single definition of
+//!   running a job, shared with the in-process pool, so a sharded batch
+//!   is bit-identical to a single-process one.
+//! * **Statelessness.** A `Dispatch` frame carries everything a worker
+//!   needs (spec JSON, spec hash, optional model bytes); workers keep
+//!   nothing between jobs. Recovery from a killed worker is therefore
+//!   just re-sending the frame.
+//! * **Content addressing.** Spec hashes key both the partitioning
+//!   (twin jobs land on the same shard) and re-dispatch idempotency (a
+//!   result that already landed is never recomputed).
+//!
+//! The crate deliberately knows nothing about HTTP or the job store:
+//! the server feeds it [`DispatchJob`]s and receives [`DispatchEvent`]
+//! batches through the [`DispatchEvents`] trait, one callback per frame
+//! sweep, so a durable store can absorb a whole sweep in one fsync.
+
+#![warn(missing_docs)]
+
+pub mod dispatcher;
+pub mod exec;
+pub mod shard_worker;
+
+pub use dispatcher::{
+    shard_for, DispatchConfig, DispatchEvent, DispatchEvents, DispatchJob, Dispatcher,
+    WorkerCommand,
+};
+pub use exec::{cancellable_sleep, execute_job};

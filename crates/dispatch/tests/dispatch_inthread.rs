@@ -1,0 +1,240 @@
+//! Dispatcher integration tests with in-thread workers: the full wire
+//! protocol over loopback TCP, minus the child processes (those are
+//! covered by the root `server_shards` e2e suite, which also SIGKILLs
+//! one).
+
+use marioh_core::CancelToken;
+use marioh_dispatch::{
+    execute_job, shard_for, DispatchConfig, DispatchEvent, DispatchEvents, DispatchJob, Dispatcher,
+    WorkerCommand,
+};
+use marioh_store::{decode_result, JobSpec, Json};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+fn spec(body: &str) -> (JobSpec, [u8; 32], String) {
+    let spec = JobSpec::from_json(&Json::parse(body).unwrap()).unwrap();
+    let hash = *spec.content_hash().unwrap().as_bytes();
+    let json = spec.to_json().to_string();
+    (spec, hash, json)
+}
+
+/// Collects event batches and lets tests block until a job concludes.
+#[derive(Default)]
+struct Sink {
+    state: Mutex<SinkState>,
+    changed: Condvar,
+}
+
+#[derive(Default)]
+struct SinkState {
+    done: HashMap<u64, Vec<u8>>,
+    failed: HashMap<u64, (String, bool)>,
+    progress_jobs: Vec<u64>,
+    batches: usize,
+    respawns: usize,
+}
+
+impl DispatchEvents for Sink {
+    fn on_batch(&self, events: Vec<DispatchEvent>) {
+        let mut state = self.state.lock().unwrap();
+        state.batches += 1;
+        for event in events {
+            match event {
+                DispatchEvent::Done { job, payload, .. } => {
+                    state.done.insert(job, payload);
+                }
+                DispatchEvent::Failed {
+                    job,
+                    message,
+                    cancelled,
+                } => {
+                    state.failed.insert(job, (message, cancelled));
+                }
+                DispatchEvent::Progress { job, .. } => state.progress_jobs.push(job),
+                DispatchEvent::ShardRespawned { .. } => state.respawns += 1,
+            }
+        }
+        self.changed.notify_all();
+    }
+}
+
+impl Sink {
+    fn await_terminal(&self, job: u64, timeout: Duration) -> Result<Vec<u8>, (String, bool)> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(payload) = state.done.get(&job) {
+                return Ok(payload.clone());
+            }
+            if let Some(failure) = state.failed.get(&job) {
+                return Err(failure.clone());
+            }
+            let now = Instant::now();
+            assert!(now < deadline, "job {job} did not conclude in {timeout:?}");
+            let (next, _) = self
+                .changed
+                .wait_timeout(state, deadline - now)
+                .expect("sink lock poisoned");
+            state = next;
+        }
+    }
+}
+
+fn start(shards: usize) -> (Dispatcher, Arc<Sink>) {
+    let sink = Arc::new(Sink::default());
+    let config = DispatchConfig::new(shards, WorkerCommand::InThread);
+    let dispatcher = Dispatcher::start(config, Arc::clone(&sink) as Arc<dyn DispatchEvents>)
+        .expect("dispatcher starts");
+    (dispatcher, sink)
+}
+
+#[test]
+fn sharded_results_are_bit_identical_to_direct_execution() {
+    let (dispatcher, sink) = start(2);
+    let jobs: Vec<(u64, JobSpec, [u8; 32], String)> = (0..4)
+        .map(|seed| {
+            let (spec, hash, json) = spec(&format!(r#"{{"dataset": "Hosts", "seed": {seed}}}"#));
+            (seed + 1, spec, hash, json)
+        })
+        .collect();
+    for (id, _, hash, json) in &jobs {
+        dispatcher
+            .dispatch(DispatchJob {
+                id: *id,
+                spec_hash: *hash,
+                spec_json: json.clone(),
+                model: None,
+                cancel: CancelToken::new(),
+            })
+            .unwrap();
+    }
+    for (id, spec, _, _) in jobs {
+        let payload = sink
+            .await_terminal(id, Duration::from_secs(120))
+            .expect("job completes");
+        let over_wire = decode_result(&payload).expect("payload is a valid result encoding");
+        let (direct, _) = execute_job(
+            spec,
+            None,
+            Arc::new(marioh_core::NoopObserver),
+            CancelToken::new(),
+        )
+        .expect("direct run succeeds");
+        assert_eq!(direct.jaccard.to_bits(), over_wire.jaccard.to_bits());
+        assert_eq!(
+            direct.reconstruction.sorted_edges(),
+            over_wire.reconstruction.sorted_edges()
+        );
+        assert_eq!(
+            payload,
+            marioh_store::encode_result(&direct),
+            "wire payload must be the exact artifact encoding"
+        );
+    }
+    assert!(
+        !sink.state.lock().unwrap().progress_jobs.is_empty(),
+        "progress frames should stream while jobs run"
+    );
+    dispatcher.shutdown();
+}
+
+#[test]
+fn twin_specs_land_on_the_same_shard_and_distinct_ones_spread() {
+    let (a, hash_a, _) = spec(r#"{"dataset": "Hosts", "seed": 1}"#);
+    let (b, hash_b, _) = spec(r#"{"dataset": "Hosts", "seed": 1, "throttle_ms": 5}"#);
+    drop((a, b));
+    // throttle_ms is a non-semantic knob: same canonical hash, same shard.
+    assert_eq!(hash_a, hash_b);
+    for shards in [1, 2, 4, 7] {
+        assert_eq!(shard_for(&hash_a, shards), shard_for(&hash_b, shards));
+        assert!(shard_for(&hash_a, shards) < shards);
+    }
+    // Many seeds should not all pile on one shard of four.
+    let hit: std::collections::HashSet<usize> = (0..32)
+        .map(|seed| {
+            let (_, hash, _) = spec(&format!(r#"{{"dataset": "Hosts", "seed": {seed}}}"#));
+            shard_for(&hash, 4)
+        })
+        .collect();
+    assert!(hit.len() > 1, "32 distinct specs all hashed to one shard");
+}
+
+#[test]
+fn cancel_reaches_the_worker_and_comes_back_as_cancelled() {
+    let (dispatcher, sink) = start(1);
+    let cancel = CancelToken::new();
+    let (_, hash, json) = spec(r#"{"dataset": "Hosts", "throttle_ms": 60000}"#);
+    dispatcher
+        .dispatch(DispatchJob {
+            id: 9,
+            spec_hash: hash,
+            spec_json: json,
+            model: None,
+            cancel: cancel.clone(),
+        })
+        .unwrap();
+    // Let the dispatch frame land, then cancel: the supervisor forwards
+    // it as a Cancel frame, the worker aborts the 60 s throttle.
+    std::thread::sleep(Duration::from_millis(100));
+    cancel.cancel();
+    let failure = sink
+        .await_terminal(9, Duration::from_secs(30))
+        .expect_err("cancelled jobs must not complete");
+    assert!(failure.1, "failure must be flagged as a cancellation");
+    dispatcher.shutdown();
+}
+
+#[test]
+fn worker_side_failures_come_back_as_failed_events() {
+    let (dispatcher, sink) = start(1);
+    // A spec that parses but fails in the pipeline: an uploaded
+    // hypergraph whose 50/50 split leaves the source empty.
+    let mut h = marioh_hypergraph::Hypergraph::new(0);
+    h.add_edge(marioh_hypergraph::hyperedge::edge(&[0, 1]));
+    let seed = (0..64)
+        .find(|s| {
+            use rand::{rngs::StdRng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(*s);
+            marioh_datasets::split::split_source_target(&h, &mut rng)
+                .0
+                .unique_edge_count()
+                == 0
+        })
+        .expect("some seed empties a 1-event source");
+    let (_, hash, json) = spec(&format!(r#"{{"edges": "1 0 1", "seed": {seed}}}"#));
+    dispatcher
+        .dispatch(DispatchJob {
+            id: 3,
+            spec_hash: hash,
+            spec_json: json,
+            model: None,
+            cancel: CancelToken::new(),
+        })
+        .unwrap();
+    let (message, cancelled) = sink
+        .await_terminal(3, Duration::from_secs(60))
+        .expect_err("job must fail");
+    assert!(!cancelled);
+    assert!(message.contains("empty source"), "{message}");
+    dispatcher.shutdown();
+}
+
+#[test]
+fn shutdown_is_idempotent_and_rejects_new_work() {
+    let (dispatcher, _sink) = start(2);
+    dispatcher.shutdown();
+    dispatcher.shutdown();
+    let (_, hash, json) = spec(r#"{"dataset": "Hosts"}"#);
+    let err = dispatcher
+        .dispatch(DispatchJob {
+            id: 1,
+            spec_hash: hash,
+            spec_json: json,
+            model: None,
+            cancel: CancelToken::new(),
+        })
+        .unwrap_err();
+    assert!(err.contains("shutting down"));
+}

@@ -23,7 +23,7 @@ use marioh_store::{
     DEFAULT_RETAINED_JOBS,
 };
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 // The job domain model lives in `marioh-store`; re-export it so server
@@ -69,6 +69,12 @@ pub struct ServerStats {
     pub results_cached: usize,
     /// Trained models currently in the artifact store.
     pub models_cached: usize,
+    /// Shard worker processes (`marioh serve --shards`); 0 when the
+    /// in-process worker pool serves jobs.
+    pub shards: usize,
+    /// Shard workers replaced after dying (SIGKILL, crash, heartbeat
+    /// timeout) since this process started.
+    pub shard_restarts: u64,
     /// `"memory"` or `"disk"`.
     pub store: &'static str,
 }
@@ -98,6 +104,28 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Why a batch submission was rejected. Batches are all-or-nothing: on
+/// any error, no job of the batch was accepted.
+#[derive(Debug)]
+pub enum BatchError {
+    /// One or more specs failed validation; each entry is the failing
+    /// spec's index in the submitted array and its message (the per-index
+    /// 400 payload).
+    Invalid(Vec<(usize, String)>),
+    /// A whole-batch rejection: the queue cannot absorb the batch, or
+    /// the server is shutting down.
+    Rejected(SubmitError),
+}
+
+/// A successfully accepted batch.
+#[derive(Debug, Clone)]
+pub struct BatchSubmission {
+    /// The batch id (`GET /batches/:id`).
+    pub batch: u64,
+    /// Per-spec job ids, in submission order.
+    pub ids: Vec<u64>,
+}
+
 /// Per-process orchestration state (the store holds everything that
 /// outlives the process).
 struct Orchestration {
@@ -106,6 +134,11 @@ struct Orchestration {
     tokens: HashMap<u64, CancelToken>,
     shutdown: bool,
     running: usize,
+    /// Batch id → member job ids. Process-lifetime, like the queue: the
+    /// member *jobs* are durable, the grouping is a submission-time
+    /// convenience.
+    batches: HashMap<u64, Vec<u64>>,
+    next_batch: u64,
 }
 
 struct Shared {
@@ -120,6 +153,8 @@ struct Shared {
     models_trained: AtomicU64,
     cliques_reused: AtomicU64,
     cliques_rescored: AtomicU64,
+    shards: AtomicUsize,
+    shard_restarts: AtomicU64,
 }
 
 /// The concurrent job queue and orchestration over a pluggable store.
@@ -168,6 +203,8 @@ impl JobManager {
             tokens: HashMap::new(),
             shutdown: false,
             running: 0,
+            batches: HashMap::new(),
+            next_batch: 1,
         };
         for id in recovered {
             orch.tokens.insert(id, CancelToken::new());
@@ -186,6 +223,8 @@ impl JobManager {
                 models_trained: AtomicU64::new(0),
                 cliques_reused: AtomicU64::new(0),
                 cliques_rescored: AtomicU64::new(0),
+                shards: AtomicUsize::new(0),
+                shard_restarts: AtomicU64::new(0),
             }),
         }
     }
@@ -209,41 +248,7 @@ impl JobManager {
     /// shutting down; [`SubmitError::QueueFull`] when the queue is at
     /// capacity.
     pub fn submit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
-        spec.validate()
-            .map_err(|e| SubmitError::Invalid(e.to_string()))?;
-        let hash = spec
-            .content_hash()
-            .map_err(|e| SubmitError::Invalid(e.to_string()))?;
-        // Fail fast on unusable model references: the donor must already
-        // be done (accepting a still-running donor would turn into a
-        // timing-dependent failure at dispatch on multi-worker pools).
-        // The worker still re-resolves at dispatch — the donor can be
-        // evicted, or a recovered job's donor may be gone after restart.
-        match &spec.model {
-            Some(ModelRef::Job(donor)) => match self.store().view(*donor) {
-                None => {
-                    return Err(SubmitError::Invalid(format!(
-                        "model donor job {donor} is unknown (or evicted)"
-                    )));
-                }
-                Some(view) if view.status != JobStatus::Done => {
-                    return Err(SubmitError::Invalid(format!(
-                        "model donor job {donor} is {}; models exist only for done jobs",
-                        view.status
-                    )));
-                }
-                Some(_) => {}
-            },
-            Some(ModelRef::Named(name))
-                if self.shared.artifacts.get_named_model(name).is_none() =>
-            {
-                return Err(SubmitError::Invalid(format!(
-                    "no saved model named {name:?}"
-                )));
-            }
-            _ => {}
-        }
-
+        let hash = self.validate_spec(&spec)?;
         // The cache probe can read (and parse, on a disk store) a large
         // artifact — do it before touching the orchestration lock that
         // every worker dispatch and finish contends on.
@@ -281,6 +286,138 @@ impl JobManager {
         orch.queue.push_back(id);
         self.shared.work_ready.notify_one();
         Ok(id)
+    }
+
+    /// The validation half of [`JobManager::submit`]: spec validity, the
+    /// content hash, and fail-fast model-reference checks. The donor of
+    /// a `model: "job:<id>"` reference must already be done (accepting a
+    /// still-running donor would turn into a timing-dependent failure at
+    /// dispatch on multi-worker pools); workers still re-resolve at
+    /// dispatch — the donor can be evicted, or a recovered job's donor
+    /// may be gone after restart.
+    fn validate_spec(&self, spec: &JobSpec) -> Result<SpecHash, SubmitError> {
+        spec.validate()
+            .map_err(|e| SubmitError::Invalid(e.to_string()))?;
+        let hash = spec
+            .content_hash()
+            .map_err(|e| SubmitError::Invalid(e.to_string()))?;
+        match &spec.model {
+            Some(ModelRef::Job(donor)) => match self.store().view(*donor) {
+                None => {
+                    return Err(SubmitError::Invalid(format!(
+                        "model donor job {donor} is unknown (or evicted)"
+                    )));
+                }
+                Some(view) if view.status != JobStatus::Done => {
+                    return Err(SubmitError::Invalid(format!(
+                        "model donor job {donor} is {}; models exist only for done jobs",
+                        view.status
+                    )));
+                }
+                Some(_) => {}
+            },
+            Some(ModelRef::Named(name))
+                if self.shared.artifacts.get_named_model(name).is_none() =>
+            {
+                return Err(SubmitError::Invalid(format!(
+                    "no saved model named {name:?}"
+                )));
+            }
+            _ => {}
+        }
+        Ok(hash)
+    }
+
+    /// Atomically submits a batch of specs, returning a batch id and the
+    /// per-spec job ids. All-or-nothing: every spec is validated first
+    /// and any failure rejects the whole batch with per-index messages.
+    /// On a durable store the accepted batch is one log commit (one
+    /// fsync), not one per job. Specs whose results are already cached
+    /// are recorded `Done` on arrival without taking queue slots.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::Invalid`] with per-index messages for invalid
+    /// specs; [`BatchError::Rejected`] when the batch is empty, the
+    /// queue cannot absorb it, or the manager is shutting down.
+    pub fn submit_batch(&self, specs: Vec<JobSpec>) -> Result<BatchSubmission, BatchError> {
+        if specs.is_empty() {
+            return Err(BatchError::Rejected(SubmitError::Invalid(
+                "batch is empty; submit at least one spec".to_owned(),
+            )));
+        }
+        let mut errors: Vec<(usize, String)> = Vec::new();
+        let mut hashes: Vec<SpecHash> = Vec::with_capacity(specs.len());
+        for (index, spec) in specs.iter().enumerate() {
+            match self.validate_spec(spec) {
+                Ok(hash) => hashes.push(hash),
+                Err(SubmitError::Invalid(msg)) => errors.push((index, msg)),
+                Err(e @ SubmitError::QueueFull { .. }) => {
+                    unreachable!("validation never reports {e}")
+                }
+            }
+        }
+        if !errors.is_empty() {
+            return Err(BatchError::Invalid(errors));
+        }
+        // Cache probes before the orchestration lock, like single submit.
+        let cached: Vec<Option<Arc<JobResult>>> = hashes
+            .iter()
+            .map(|hash| self.shared.artifacts.get_result(hash))
+            .collect();
+        let queue_need = cached.iter().filter(|c| c.is_none()).count();
+        let mut orch = self.lock();
+        if orch.shutdown {
+            return Err(BatchError::Rejected(SubmitError::Invalid(
+                "server is shutting down; not accepting jobs".to_owned(),
+            )));
+        }
+        if orch.queue.len() + queue_need > self.shared.queue_cap {
+            return Err(BatchError::Rejected(SubmitError::QueueFull {
+                capacity: self.shared.queue_cap,
+            }));
+        }
+        let items: Vec<(JobSpec, SpecHash)> = specs.into_iter().zip(hashes).collect();
+        let ids = self.store().submit_batch(&items);
+        let mut done: Vec<(u64, Transition)> = Vec::new();
+        for (id, hit) in ids.iter().zip(cached) {
+            match hit {
+                Some(result) => {
+                    self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    done.push((
+                        *id,
+                        Transition::Done {
+                            result,
+                            cached: true,
+                        },
+                    ));
+                }
+                None => {
+                    orch.tokens.insert(*id, CancelToken::new());
+                    orch.queue.push_back(*id);
+                }
+            }
+        }
+        if !done.is_empty() {
+            self.store().transition_batch(done);
+        }
+        let batch = orch.next_batch;
+        orch.next_batch += 1;
+        orch.batches.insert(batch, ids.clone());
+        self.shared.work_ready.notify_all();
+        Ok(BatchSubmission { batch, ids })
+    }
+
+    /// The member jobs of a batch with their current views, in
+    /// submission order (`None` for members already evicted), or `None`
+    /// for unknown batch ids.
+    pub fn batch_view(&self, batch: u64) -> Option<Vec<(u64, Option<JobView>)>> {
+        let ids = self.lock().batches.get(&batch).cloned()?;
+        Some(
+            ids.into_iter()
+                .map(|id| (id, self.store().view(id)))
+                .collect(),
+        )
     }
 
     /// Blocks until a job is available (FIFO) or the manager shuts down
@@ -360,6 +497,64 @@ impl JobManager {
                 self.store()
                     .transition(id, Transition::Failed(e.to_string()));
             }
+        }
+    }
+
+    /// Records a sweep of finished jobs at once — the shard dispatcher's
+    /// batched twin of [`JobManager::finish`]. Artifacts are stored
+    /// first, per job (same crash-ordering invariant as `finish`), then
+    /// every record transition lands in one store commit — on a durable
+    /// store, one fsync for the whole sweep.
+    pub fn finish_batch(&self, outcomes: Vec<(u64, Result<JobResult, MariohError>)>) {
+        if outcomes.is_empty() {
+            return;
+        }
+        {
+            let mut orch = self.lock();
+            for (id, _) in &outcomes {
+                orch.running = orch.running.saturating_sub(1);
+                orch.tokens.remove(id);
+            }
+        }
+        let mut transitions: Vec<(u64, Transition)> = Vec::with_capacity(outcomes.len());
+        for (id, outcome) in outcomes {
+            match outcome {
+                Ok(result) => {
+                    let result = Arc::new(result);
+                    // Artifact before record, exactly like `finish`.
+                    if let Some(hash) = self.store().spec_hash(id) {
+                        if let Err(e) = self.shared.artifacts.put_result(&hash, &result) {
+                            transitions.push((
+                                id,
+                                Transition::Failed(format!(
+                                    "reconstruction succeeded but its result could not be \
+                                     persisted: {e}; resubmit once storage recovers"
+                                )),
+                            ));
+                            continue;
+                        }
+                    }
+                    transitions.push((
+                        id,
+                        Transition::Done {
+                            result,
+                            cached: false,
+                        },
+                    ));
+                }
+                Err(MariohError::Cancelled) => transitions.push((id, Transition::Cancelled)),
+                Err(e) => transitions.push((id, Transition::Failed(e.to_string()))),
+            }
+        }
+        self.store().transition_batch(transitions);
+    }
+
+    /// Applies a sweep of non-terminal record transitions (progress
+    /// counters, error notes) in one store commit. Used by the shard
+    /// dispatcher's event sink; no orchestration state changes.
+    pub fn record_progress_batch(&self, transitions: Vec<(u64, Transition)>) {
+        if !transitions.is_empty() {
+            self.store().transition_batch(transitions);
         }
     }
 
@@ -456,6 +651,18 @@ impl JobManager {
             .fetch_add(rescored as u64, Ordering::Relaxed);
     }
 
+    /// Records that this manager serves through `shards` shard worker
+    /// processes (surfaces in `/stats`).
+    pub fn set_shard_mode(&self, shards: usize) {
+        self.shared.shards.store(shards, Ordering::Relaxed);
+    }
+
+    /// Counts one shard worker replacement (SIGKILL, crash, or heartbeat
+    /// timeout followed by respawn).
+    pub fn note_shard_restart(&self) {
+        self.shared.shard_restarts.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Cancels a job: de-queues it if still queued, fires its token if
     /// running. Terminal jobs are left unchanged. Returns the resulting
     /// status, or `None` for unknown ids.
@@ -549,6 +756,8 @@ impl JobManager {
             cliques_rescored: self.shared.cliques_rescored.load(Ordering::Relaxed),
             results_cached: results,
             models_cached: models,
+            shards: self.shared.shards.load(Ordering::Relaxed),
+            shard_restarts: self.shared.shard_restarts.load(Ordering::Relaxed),
             store: self.store().kind(),
         }
     }
@@ -651,6 +860,71 @@ mod tests {
         other.seed = 7;
         let third = m.submit(other).unwrap();
         assert_eq!(m.view(third).unwrap().status, JobStatus::Queued);
+    }
+
+    #[test]
+    fn batch_submission_is_atomic_with_per_index_errors() {
+        let m = JobManager::new(8, 1);
+        // One invalid spec rejects the whole batch, naming its index.
+        let mut bad = tiny_spec();
+        bad.model = Some(ModelRef::Job(42));
+        match m.submit_batch(vec![tiny_spec(), bad]).unwrap_err() {
+            BatchError::Invalid(errors) => {
+                assert_eq!(errors.len(), 1);
+                assert_eq!(errors[0].0, 1, "the *second* spec is the bad one");
+                assert!(errors[0].1.contains("donor job 42"), "{}", errors[0].1);
+            }
+            other => panic!("expected per-index errors, got {other:?}"),
+        }
+        assert_eq!(m.stats().submitted, 0, "a rejected batch submits nothing");
+        assert!(matches!(
+            m.submit_batch(Vec::new()).unwrap_err(),
+            BatchError::Rejected(SubmitError::Invalid(msg)) if msg.contains("empty")
+        ));
+        // A valid batch lands under one batch id, in order.
+        let mut second = tiny_spec();
+        second.seed = 7;
+        let BatchSubmission { batch, ids } = m.submit_batch(vec![tiny_spec(), second]).unwrap();
+        assert_eq!(ids.len(), 2);
+        let views = m.batch_view(batch).unwrap();
+        assert_eq!(views.iter().map(|(id, _)| *id).collect::<Vec<_>>(), ids);
+        assert!(views
+            .iter()
+            .all(|(_, v)| v.as_ref().unwrap().status == JobStatus::Queued));
+        assert!(m.batch_view(batch + 1).is_none());
+        // The queue guards the batch as a whole: all or nothing.
+        let too_many: Vec<JobSpec> = (10..20)
+            .map(|seed| {
+                let mut spec = tiny_spec();
+                spec.seed = seed;
+                spec
+            })
+            .collect();
+        assert!(matches!(
+            m.submit_batch(too_many).unwrap_err(),
+            BatchError::Rejected(SubmitError::QueueFull { capacity: 8 })
+        ));
+        assert_eq!(m.stats().queue_depth, 2, "rejected batch enqueued nothing");
+        // Cached members are done on arrival and take no queue slot.
+        let job = m.take_next().unwrap();
+        let mut h = marioh_hypergraph::Hypergraph::new(0);
+        h.add_edge(edge(&[0, 1]));
+        m.finish(
+            job.id,
+            Ok(JobResult {
+                reconstruction: h,
+                jaccard: 1.0,
+            }),
+        );
+        let mut fresh = tiny_spec();
+        fresh.seed = 99;
+        let BatchSubmission { batch, .. } = m.submit_batch(vec![tiny_spec(), fresh]).unwrap();
+        let views = m.batch_view(batch).unwrap();
+        let first = views[0].1.as_ref().unwrap();
+        assert_eq!(first.status, JobStatus::Done);
+        assert!(first.cached);
+        assert_eq!(views[1].1.as_ref().unwrap().status, JobStatus::Queued);
+        assert_eq!(m.stats().cache_hits, 1);
     }
 
     #[test]

@@ -19,11 +19,19 @@
 //!                                    + CancelToken     (split → train → reconstruct)
 //! ```
 //!
+//! With [`ServerConfig::shards`] > 0 the worker pool is replaced by a
+//! `marioh-dispatch` router: jobs are hash-partitioned across N
+//! `marioh shard-worker` child processes speaking the `marioh-wire`
+//! framed protocol, with results bit-identical to pooled mode and dead
+//! shards respawned transparently. See `README.md` ("Sharded serving").
+//!
 //! # Endpoints
 //!
 //! | method & path | purpose | success | failures |
 //! |---|---|---|---|
 //! | `POST /jobs` | submit a job | 201 `{id, status}` | 400 invalid spec, 503 queue full |
+//! | `POST /jobs` (array) | submit a batch atomically | 201 `{batch, count, ids}` | 400 per-index errors, 503 queue full |
+//! | `GET /batches/:id` | batch progress rollup | 200 `{batch, …, complete, jobs}` | 404 |
 //! | `GET /jobs` | list retained jobs | 200 `{count, jobs}` | — |
 //! | `GET /jobs/:id` | status + progress | 200 `{id, status, progress, cached?, error?}` | 404 |
 //! | `GET /jobs/:id/result` | reconstructed hyperedges | 200 `{id, jaccard, edges}` | 404, 409 not done |
@@ -89,6 +97,7 @@ pub mod client;
 pub mod http;
 pub mod job;
 pub mod server;
+mod shards;
 mod worker;
 
 // The JSON codec moved to `marioh-store` with the rest of the
@@ -96,8 +105,8 @@ mod worker;
 pub use marioh_store::json;
 
 pub use job::{
-    JobInput, JobManager, JobParams, JobResult, JobSpec, JobStatus, JobView, ModelRef, ServerStats,
-    SubmitError,
+    BatchError, BatchSubmission, JobInput, JobManager, JobParams, JobResult, JobSpec, JobStatus,
+    JobView, ModelRef, ServerStats, SubmitError,
 };
 pub use json::Json;
 pub use server::{Server, ServerConfig, StorageConfig};

@@ -7,10 +7,12 @@
 //! `accept(2)`, and `Connection: close` semantics throughout.
 
 use crate::http::{error_body, read_request, write_response, Request};
-use crate::job::{JobManager, JobSpec, JobStatus, SubmitError};
+use crate::job::{BatchError, BatchSubmission, JobManager, JobSpec, JobStatus, SubmitError};
 use crate::json::Json;
+use crate::shards::{spawn_shard_router, ShardEventSink};
 use crate::worker::spawn_workers;
 use marioh_core::MariohError;
+use marioh_dispatch::{DispatchConfig, Dispatcher, WorkerCommand};
 use marioh_store::{ArtifactStore, DiskStore, JobStore, MemoryStore, DEFAULT_RETAINED_JOBS};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -34,6 +36,19 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Capacity of the job queue (further submissions get 503).
     pub queue_cap: usize,
+    /// Shard worker processes (`marioh serve --shards N`). Zero — the
+    /// default — keeps the in-process worker pool; a positive count
+    /// replaces it with the [`marioh_dispatch::Dispatcher`] driving `N`
+    /// child processes over the wire protocol. Results are bit-identical
+    /// either way (both modes run [`marioh_dispatch::execute_job`]).
+    pub shards: usize,
+    /// Command line of the shard worker (the dispatcher appends
+    /// `--connect ADDR --shard K`). Empty — the default — re-executes
+    /// the current binary with a `shard-worker` subcommand; the special
+    /// value `["in-thread"]` runs shard workers as threads of this
+    /// process (still over loopback TCP), for tests and benches that
+    /// have no `marioh` binary to exec.
+    pub shard_worker: Vec<String>,
 }
 
 impl Default for ServerConfig {
@@ -42,6 +57,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             workers: 2,
             queue_cap: 64,
+            shards: 0,
+            shard_worker: Vec::new(),
         }
     }
 }
@@ -76,6 +93,7 @@ pub struct Server {
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     worker_threads: Vec<JoinHandle<()>>,
+    dispatcher: Option<Arc<Dispatcher>>,
 }
 
 impl Server {
@@ -129,7 +147,33 @@ impl Server {
             };
         let manager =
             JobManager::with_stores(config.queue_cap, config.workers, job_store, artifact_store);
-        let worker_threads = spawn_workers(&manager, config.workers);
+        let (worker_threads, dispatcher) = if config.shards > 0 {
+            manager.set_shard_mode(config.shards);
+            let worker = if config.shard_worker == ["in-thread"] {
+                WorkerCommand::InThread
+            } else if config.shard_worker.is_empty() {
+                let exe = std::env::current_exe()
+                    .map_err(|e| MariohError::config(format!("cannot locate own binary: {e}")))?;
+                WorkerCommand::Process(vec![
+                    exe.to_string_lossy().into_owned(),
+                    "shard-worker".to_owned(),
+                ])
+            } else {
+                WorkerCommand::Process(config.shard_worker.clone())
+            };
+            let sink = Arc::new(ShardEventSink {
+                manager: manager.clone(),
+            });
+            let dispatcher = Arc::new(
+                Dispatcher::start(DispatchConfig::new(config.shards, worker), sink).map_err(
+                    |e| MariohError::config(format!("failed to start shard dispatcher: {e}")),
+                )?,
+            );
+            let router = spawn_shard_router(&manager, Arc::clone(&dispatcher));
+            (vec![router], Some(dispatcher))
+        } else {
+            (spawn_workers(&manager, config.workers), None)
+        };
         let stop = Arc::new(AtomicBool::new(false));
         let accept_thread = {
             let manager = manager.clone();
@@ -145,6 +189,7 @@ impl Server {
             stop,
             accept_thread: Some(accept_thread),
             worker_threads,
+            dispatcher,
         })
     }
 
@@ -168,9 +213,17 @@ impl Server {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        // Wakes the worker pool (or the shard router) out of take_next.
         self.manager.shutdown();
         for t in self.worker_threads.drain(..) {
             let _ = t.join();
+        }
+        // After the router has stopped feeding it: send Goodbye frames,
+        // cancel in-flight jobs, and reap the shard worker processes.
+        // (On a durable store, jobs caught mid-flight re-queue at the
+        // next startup via the usual recovery path.)
+        if let Some(dispatcher) = self.dispatcher.take() {
+            dispatcher.shutdown();
         }
     }
 }
@@ -263,6 +316,10 @@ fn route(request: &Request, manager: &JobManager) -> (u16, Json) {
             None => not_found(id),
         }),
         ("GET", ["jobs", id, "result"]) => with_job_id(id, |id| job_result(id, manager)),
+        ("GET", ["batches", id]) => match id.parse::<u64>() {
+            Ok(batch) => batch_body(batch, manager),
+            Err(_) => (400, error_body(format!("invalid batch id {id:?}"))),
+        },
         ("DELETE", ["jobs", id]) => with_job_id(id, |id| match manager.cancel(id) {
             Some(status) => (
                 200,
@@ -273,7 +330,7 @@ fn route(request: &Request, manager: &JobManager) -> (u16, Json) {
             ),
             None => not_found(id),
         }),
-        (_, ["healthz" | "stats" | "models"]) | (_, ["jobs", ..]) => (
+        (_, ["healthz" | "stats" | "models"]) | (_, ["jobs", ..]) | (_, ["batches", ..]) => (
             405,
             error_body(format!("method {method} not allowed on {}", request.path)),
         ),
@@ -301,6 +358,11 @@ fn submit(request: &Request, manager: &JobManager) -> (u16, Json) {
         Ok(v) => v,
         Err(e) => return (400, error_body(format!("invalid JSON body: {e}"))),
     };
+    // An array body is a batch: all-or-nothing admission, one store
+    // commit, per-index errors on rejection.
+    if let Json::Arr(items) = &body {
+        return submit_batch(items, manager);
+    }
     let spec = match JobSpec::from_json(&body) {
         Ok(spec) => spec,
         Err(msg) => return (400, error_body(msg)),
@@ -323,6 +385,100 @@ fn submit(request: &Request, manager: &JobManager) -> (u16, Json) {
         Err(SubmitError::Invalid(msg)) => (400, error_body(msg)),
         Err(e @ SubmitError::QueueFull { .. }) => (503, error_body(e.to_string())),
     }
+}
+
+/// Renders `(index, message)` pairs as the batch-rejection body.
+fn batch_errors_body(errors: Vec<(usize, String)>) -> Json {
+    let details: Vec<Json> = errors
+        .into_iter()
+        .map(|(index, error)| {
+            Json::Obj(vec![
+                ("index".into(), Json::num(index as f64)),
+                ("error".into(), Json::str(error)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        (
+            "error".into(),
+            Json::str("batch rejected; no job was submitted"),
+        ),
+        ("errors".into(), Json::Arr(details)),
+    ])
+}
+
+fn submit_batch(items: &[Json], manager: &JobManager) -> (u16, Json) {
+    let mut specs = Vec::with_capacity(items.len());
+    let mut errors = Vec::new();
+    for (index, item) in items.iter().enumerate() {
+        match JobSpec::from_json(item) {
+            Ok(spec) => specs.push(spec),
+            Err(msg) => errors.push((index, msg)),
+        }
+    }
+    if !errors.is_empty() {
+        return (400, batch_errors_body(errors));
+    }
+    match manager.submit_batch(specs) {
+        Ok(BatchSubmission { batch, ids }) => (
+            201,
+            Json::Obj(vec![
+                ("batch".into(), Json::num(batch as f64)),
+                ("count".into(), Json::num(ids.len() as f64)),
+                (
+                    "ids".into(),
+                    Json::Arr(ids.into_iter().map(|id| Json::num(id as f64)).collect()),
+                ),
+            ]),
+        ),
+        Err(BatchError::Invalid(errors)) => (400, batch_errors_body(errors)),
+        Err(BatchError::Rejected(SubmitError::Invalid(msg))) => (400, error_body(msg)),
+        Err(BatchError::Rejected(e @ SubmitError::QueueFull { .. })) => {
+            (503, error_body(e.to_string()))
+        }
+    }
+}
+
+fn batch_body(batch: u64, manager: &JobManager) -> (u16, Json) {
+    let Some(members) = manager.batch_view(batch) else {
+        return (404, error_body(format!("no such batch {batch}")));
+    };
+    let (mut done, mut failed, mut cancelled) = (0usize, 0usize, 0usize);
+    let jobs: Vec<Json> = members
+        .iter()
+        .map(|(id, view)| match view {
+            Some(view) => {
+                match view.status {
+                    JobStatus::Done => done += 1,
+                    JobStatus::Failed => failed += 1,
+                    JobStatus::Cancelled => cancelled += 1,
+                    _ => {}
+                }
+                view_body(view)
+            }
+            // Evicted from the retention window: terminal, details gone.
+            None => {
+                done += 1;
+                Json::Obj(vec![
+                    ("id".into(), Json::num(*id as f64)),
+                    ("status".into(), Json::str("evicted")),
+                ])
+            }
+        })
+        .collect();
+    let terminal = done + failed + cancelled;
+    (
+        200,
+        Json::Obj(vec![
+            ("batch".into(), Json::num(batch as f64)),
+            ("count".into(), Json::num(members.len() as f64)),
+            ("done".into(), Json::num(done as f64)),
+            ("failed".into(), Json::num(failed as f64)),
+            ("cancelled".into(), Json::num(cancelled as f64)),
+            ("complete".into(), Json::Bool(terminal == members.len())),
+            ("jobs".into(), Json::Arr(jobs)),
+        ]),
+    )
 }
 
 fn job_result(id: u64, manager: &JobManager) -> (u16, Json) {
@@ -445,6 +601,8 @@ fn stats_body(manager: &JobManager) -> Json {
         ("results_cached".into(), Json::num(s.results_cached as f64)),
         ("models_cached".into(), Json::num(s.models_cached as f64)),
         ("store".into(), Json::str(s.store)),
+        ("shards".into(), Json::num(s.shards as f64)),
+        ("shard_restarts".into(), Json::num(s.shard_restarts as f64)),
     ])
 }
 

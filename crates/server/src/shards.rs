@@ -1,0 +1,189 @@
+//! Sharded serving glue: the bridge between [`marioh_dispatch`] and the
+//! [`JobManager`].
+//!
+//! Two pieces, mirroring the two directions of the wire:
+//!
+//! * [`spawn_shard_router`] replaces the in-process worker pool. A
+//!   single router thread drains the job queue, performs the same
+//!   pre-execution steps a worker would (cache consult, model-reuse
+//!   resolution), and hands the job to the [`Dispatcher`] — which
+//!   hash-partitions it onto a shard worker process.
+//! * [`ShardEventSink`] receives the dispatcher's merged event batches
+//!   and folds them back into the job/artifact stores: progress frames
+//!   become store transitions, `Result` payloads (the exact
+//!   artifact-store encoding) become finished jobs plus cached models,
+//!   failures map onto the same error/cancellation paths the in-process
+//!   pool uses. One `on_batch` call lands as one durable-store commit.
+
+use crate::job::{DispatchedJob, JobManager, JobResult};
+use marioh_core::{MariohError, SavedModel};
+use marioh_dispatch::{DispatchEvent, DispatchEvents, DispatchJob, Dispatcher};
+use marioh_store::{decode_result, SpecHash, Transition};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Folds dispatcher event batches into the job and artifact stores.
+/// Called from the dispatcher's merger thread only.
+pub(crate) struct ShardEventSink {
+    pub(crate) manager: JobManager,
+}
+
+impl DispatchEvents for ShardEventSink {
+    fn on_batch(&self, events: Vec<DispatchEvent>) {
+        let mut progress: Vec<(u64, Transition)> = Vec::new();
+        let mut outcomes: Vec<(u64, Result<JobResult, MariohError>)> = Vec::new();
+        for event in events {
+            match event {
+                DispatchEvent::Progress {
+                    job,
+                    rounds,
+                    committed,
+                    reused,
+                    rescored,
+                    trained,
+                    note,
+                } => {
+                    self.manager
+                        .note_search_reuse(reused as usize, rescored as usize);
+                    if trained {
+                        self.manager.note_trained();
+                    }
+                    if rounds.is_some() || committed.is_some() {
+                        progress.push((
+                            job,
+                            Transition::Progress {
+                                rounds: rounds.map(|r| r as usize),
+                                committed: committed.map(|c| c as usize),
+                            },
+                        ));
+                    }
+                    if let Some(note) = note {
+                        progress.push((job, Transition::Note(note)));
+                    }
+                }
+                DispatchEvent::Done {
+                    job,
+                    spec_hash,
+                    payload,
+                    model,
+                } => match decode_result(&payload) {
+                    Ok(result) => {
+                        let hash = SpecHash::from_bytes(spec_hash);
+                        if let Some(bytes) = model {
+                            // The model is a reuse optimization, not part
+                            // of the result: a decode failure is noted,
+                            // never fatal.
+                            match SavedModel::read_from(&bytes[..]) {
+                                Ok(saved) => self.manager.store_model(&hash, &saved),
+                                Err(e) => progress.push((
+                                    job,
+                                    Transition::Note(format!("shard model discarded: {e}")),
+                                )),
+                            }
+                        }
+                        outcomes.push((job, Ok(result)));
+                    }
+                    Err(e) => outcomes.push((
+                        job,
+                        Err(MariohError::config(format!(
+                            "shard returned an undecodable result: {e}"
+                        ))),
+                    )),
+                },
+                DispatchEvent::Failed {
+                    job,
+                    message,
+                    cancelled,
+                } => {
+                    // The worker already streamed `on_error` as a note
+                    // frame, so plain failures need no extra Note here.
+                    let err = if cancelled {
+                        MariohError::Cancelled
+                    } else {
+                        MariohError::config(message)
+                    };
+                    outcomes.push((job, Err(err)));
+                }
+                DispatchEvent::ShardRespawned { .. } => self.manager.note_shard_restart(),
+            }
+        }
+        // Progress first so a job's final transition is its outcome.
+        self.manager.record_progress_batch(progress);
+        self.manager.finish_batch(outcomes);
+    }
+
+    fn result_already_landed(&self, job: u64, spec_hash: &[u8; 32]) -> bool {
+        // A twin of the dead shard's job may have finished elsewhere —
+        // its artifact is this job's answer, so skip the re-dispatch.
+        let hash = SpecHash::from_bytes(*spec_hash);
+        match self.manager.cached_result(&hash) {
+            Some(result) => {
+                self.manager.finish_cached(job, result);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Drains the job queue into the dispatcher until shutdown. The single
+/// router thread replaces the whole in-process worker pool: execution
+/// happens in the shard worker processes, so routing is never the
+/// bottleneck.
+pub(crate) fn spawn_shard_router(
+    manager: &JobManager,
+    dispatcher: Arc<Dispatcher>,
+) -> JoinHandle<()> {
+    let manager = manager.clone();
+    std::thread::Builder::new()
+        .name("marioh-shard-router".into())
+        .spawn(move || route_jobs(manager, dispatcher))
+        .expect("spawn shard router thread")
+}
+
+fn route_jobs(manager: JobManager, dispatcher: Arc<Dispatcher>) {
+    while let Some(DispatchedJob {
+        id,
+        spec,
+        spec_hash,
+        cancel,
+    }) = manager.take_next()
+    {
+        // Same pre-dispatch shortcuts as the in-process pool: a twin may
+        // have finished while this job queued, and model references
+        // resolve against *this* process's artifact store (shard workers
+        // are stateless — the model travels in the dispatch frame).
+        if let Some(cached) = manager.cached_result(&spec_hash) {
+            manager.finish_cached(id, cached);
+            continue;
+        }
+        let model = match &spec.model {
+            Some(model_ref) => match manager.resolve_model(model_ref) {
+                Ok(saved) => {
+                    let mut bytes = Vec::new();
+                    saved
+                        .write_to(&mut bytes)
+                        .expect("writes into a Vec cannot fail");
+                    Some(bytes)
+                }
+                Err(msg) => {
+                    manager.record_error(id, &msg);
+                    manager.finish(id, Err(MariohError::config(msg)));
+                    continue;
+                }
+            },
+            None => None,
+        };
+        manager.note_pipeline_run();
+        let job = DispatchJob {
+            id,
+            spec_hash: *spec_hash.as_bytes(),
+            spec_json: spec.to_json().to_string(),
+            model,
+            cancel,
+        };
+        if let Err(message) = dispatcher.dispatch(job) {
+            manager.finish(id, Err(MariohError::config(message)));
+        }
+    }
+}

@@ -1,12 +1,12 @@
-//! The worker pool: each worker blocks on the job queue, consults the
-//! artifact cache, builds the job's pipeline through
-//! [`Pipeline::builder`], and reports progress back into the job store
-//! through a [`ProgressObserver`] adapter.
+//! The in-process worker pool: each worker blocks on the job queue,
+//! consults the artifact cache, runs the job through the shared
+//! [`marioh_dispatch::execute_job`] executor, and reports progress back
+//! into the job store through a [`ProgressObserver`] adapter.
 //!
-//! Every job runs split → train → reconstruct off one `StdRng` seeded
-//! with the job's seed, so a job's result is bit-identical to a direct
-//! [`Pipeline`] run with the same inputs — the integration tests rely on
-//! this. Two storage-layer shortcuts preserve that identity:
+//! Execution itself lives in `marioh-dispatch` so that this pool and the
+//! sharded multi-process mode share one definition of "run a job" —
+//! which is what makes `--shards N` results bit-identical to
+//! `--workers N`. Two storage-layer shortcuts preserve that identity:
 //!
 //! * **Cache consult.** Before building anything, the worker checks the
 //!   artifact cache under the job's spec hash (a twin job may have
@@ -18,34 +18,12 @@
 //!   — so with the same input and seed the reconstruction is
 //!   bit-identical to the donor's, with zero training epochs.
 
-use crate::job::{DispatchedJob, JobInput, JobManager, JobResult, JobSpec};
+use crate::job::{DispatchedJob, JobManager};
 use marioh_core::search::SearchStats;
-use marioh_core::{
-    CancelToken, MariohError, Pipeline, ProgressObserver, Reconstructor as _, SavedModel,
-};
-use marioh_datasets::split::split_source_target;
-use marioh_hypergraph::metrics::jaccard;
-use marioh_hypergraph::projection::project;
-use rand::{rngs::StdRng, SeedableRng};
+use marioh_core::{CancelToken, MariohError, ProgressObserver};
+use marioh_dispatch::{cancellable_sleep, execute_job};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
-
-/// Granularity of cancellable sleeps.
-const SLEEP_SLICE: Duration = Duration::from_millis(10);
-
-/// Sleeps for `ms` milliseconds in small slices, returning early (and
-/// reporting whether it did) once `cancel` fires.
-fn cancellable_sleep(ms: u64, cancel: &CancelToken) -> bool {
-    let deadline = std::time::Instant::now() + Duration::from_millis(ms);
-    while std::time::Instant::now() < deadline {
-        if cancel.is_cancelled() {
-            return false;
-        }
-        std::thread::sleep(SLEEP_SLICE.min(deadline - std::time::Instant::now()));
-    }
-    !cancel.is_cancelled()
-}
 
 /// Streams pipeline progress into the job store, and applies the job's
 /// `throttle_ms` pacing after each round.
@@ -82,70 +60,6 @@ impl ProgressObserver for JobObserver {
     }
 }
 
-/// Runs one job to completion (or cancellation). Returns the result and,
-/// when the job trained its own classifier, the model (with the
-/// post-training RNG state) for the artifact store.
-fn execute(
-    spec: JobSpec,
-    reuse: Option<SavedModel>,
-    observer: Arc<dyn ProgressObserver>,
-    cancel: CancelToken,
-) -> Result<(JobResult, Option<SavedModel>), MariohError> {
-    if spec.throttle_ms > 0 && !cancellable_sleep(spec.throttle_ms, &cancel) {
-        return Err(MariohError::Cancelled);
-    }
-    let builder = spec
-        .apply(Pipeline::builder())
-        .observer(observer)
-        .cancel_token(cancel.clone());
-    let hypergraph = match spec.input {
-        JobInput::Dataset { dataset, scale } => {
-            dataset
-                .generate_scaled(scale.unwrap_or_else(|| dataset.default_scale()))
-                .hypergraph
-        }
-        JobInput::Edges(h) => h,
-    };
-    if cancel.is_cancelled() {
-        return Err(MariohError::Cancelled);
-    }
-    let mut rng = StdRng::seed_from_u64(spec.seed);
-    let (source, target) = split_source_target(&hypergraph, &mut rng);
-    let pipeline = builder.build()?; // validated at submission; cannot fail here
-    let (model, trained) = match reuse {
-        Some(saved) => {
-            // Skip training entirely. Restoring the donor's post-training
-            // RNG position makes the reconstruction bit-identical to the
-            // donor's when input and seed match (the observer's
-            // on_training_done never fires on this path).
-            if let Some(state) = saved.rng_state {
-                rng = StdRng::from_state(state);
-            }
-            (pipeline.with_model(saved.model), None)
-        }
-        None => {
-            let model = pipeline.train(&source, &mut rng)?;
-            let saved = SavedModel {
-                model: model.model().clone(),
-                rng_state: Some(rng.state()),
-            };
-            (model, Some(saved))
-        }
-    };
-    if cancel.is_cancelled() {
-        return Err(MariohError::Cancelled);
-    }
-    let reconstruction = model.reconstruct(&project(&target), &mut rng)?;
-    let similarity = jaccard(&target, &reconstruction);
-    Ok((
-        JobResult {
-            reconstruction,
-            jaccard: similarity,
-        },
-        trained,
-    ))
-}
-
 fn run_worker(manager: JobManager) {
     while let Some(DispatchedJob {
         id,
@@ -179,7 +93,7 @@ fn run_worker(manager: JobManager) {
             cancel: cancel.clone(),
         });
         manager.note_pipeline_run();
-        let outcome = execute(spec, reuse, Arc::clone(&observer), cancel);
+        let outcome = execute_job(spec, reuse, Arc::clone(&observer), cancel);
         let outcome = match outcome {
             Ok((result, trained)) => {
                 if let Some(saved) = trained {
@@ -215,8 +129,11 @@ pub(crate) fn spawn_workers(manager: &JobManager, n: usize) -> Vec<JoinHandle<()
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::job::JobStatus;
+    use crate::job::{JobSpec, JobStatus};
     use crate::json::Json;
+    use marioh_datasets::split::split_source_target;
+    use rand::{rngs::StdRng, SeedableRng};
+    use std::time::Duration;
 
     fn spec(body: &str) -> JobSpec {
         JobSpec::from_json(&Json::parse(body).unwrap()).unwrap()

@@ -197,15 +197,27 @@ fn unique_tmp(path: &Path) -> PathBuf {
     path.with_file_name(name)
 }
 
-fn append(inner: &mut DiskInner, record: &Json, durable: bool) {
+/// Buffers one log record without flushing — callers pair it with
+/// [`commit_log`], so a batch of appends pays one flush (+ fsync) total.
+fn buffer_record(inner: &mut DiskInner, record: &Json) {
     // A log write failure must not take the serving path down; the
     // in-memory state stays authoritative and the next open replays what
     // did land.
     let _ = writeln!(inner.log, "{record}");
+}
+
+/// Flushes everything buffered since the last commit; `durable` adds an
+/// fsync so acknowledged records survive power loss, not just a crash.
+fn commit_log(inner: &mut DiskInner, durable: bool) {
     let _ = inner.log.flush();
     if durable {
         let _ = inner.log.get_ref().sync_data();
     }
+}
+
+fn append(inner: &mut DiskInner, record: &Json, durable: bool) {
+    buffer_record(inner, record);
+    commit_log(inner, durable);
 }
 
 fn obj(pairs: Vec<(&str, Json)>) -> Json {
@@ -239,67 +251,34 @@ impl JobStore for DiskStore {
 
     fn transition(&self, id: u64, t: Transition) -> Option<JobStatus> {
         let mut inner = self.inner();
-        let before = inner.table.get(id).map(|r| r.status)?;
-        let record = if before.is_terminal() {
-            None // immutable; nothing to log
-        } else {
-            match &t {
-                Transition::Start => Some((
-                    obj(vec![
-                        ("t", Json::str("start")),
-                        ("id", Json::num(id as f64)),
-                    ]),
-                    false,
-                )),
-                Transition::Progress { rounds, committed } => {
-                    let mut pairs =
-                        vec![("t", Json::str("progress")), ("id", Json::num(id as f64))];
-                    if let Some(rounds) = rounds {
-                        pairs.push(("rounds", Json::num(*rounds as f64)));
-                    }
-                    if let Some(committed) = committed {
-                        pairs.push(("committed", Json::num(*committed as f64)));
-                    }
-                    Some((obj(pairs), false))
-                }
-                Transition::Note(msg) => Some((
-                    obj(vec![
-                        ("t", Json::str("note")),
-                        ("id", Json::num(id as f64)),
-                        ("error", Json::str(msg.clone())),
-                    ]),
-                    false,
-                )),
-                Transition::Done { cached, .. } => Some((
-                    obj(vec![
-                        ("t", Json::str("done")),
-                        ("id", Json::num(id as f64)),
-                        ("cached", Json::Bool(*cached)),
-                    ]),
-                    true,
-                )),
-                Transition::Failed(msg) => Some((
-                    obj(vec![
-                        ("t", Json::str("failed")),
-                        ("id", Json::num(id as f64)),
-                        ("error", Json::str(msg.clone())),
-                    ]),
-                    true,
-                )),
-                Transition::Cancelled => Some((
-                    obj(vec![
-                        ("t", Json::str("cancelled")),
-                        ("id", Json::num(id as f64)),
-                    ]),
-                    true,
-                )),
-            }
-        };
-        let status = inner.table.transition(id, t);
-        if let Some((record, durable)) = record {
-            append(&mut inner, &record, durable);
+        let (status, wrote) = transition_locked(&mut inner, id, t);
+        if let Some(durable) = wrote {
+            commit_log(&mut inner, durable);
         }
         status
+    }
+
+    fn transition_batch(&self, items: Vec<(u64, Transition)>) -> Vec<Option<JobStatus>> {
+        let mut inner = self.inner();
+        let mut wrote = false;
+        let mut durable = false;
+        let statuses = items
+            .into_iter()
+            .map(|(id, t)| {
+                let (status, record) = transition_locked(&mut inner, id, t);
+                if let Some(d) = record {
+                    wrote = true;
+                    durable |= d;
+                }
+                status
+            })
+            .collect();
+        // One flush (and at most one fsync) for the whole drain, instead
+        // of one per record.
+        if wrote {
+            commit_log(&mut inner, durable);
+        }
+        statuses
     }
 
     fn view(&self, id: u64) -> Option<JobView> {
@@ -337,12 +316,112 @@ impl JobStore for DiskStore {
         self.inner().table.counters()
     }
 
+    fn submit_batch(&self, items: &[(JobSpec, SpecHash)]) -> Vec<u64> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let mut inner = self.inner();
+        let ids = items
+            .iter()
+            .map(|(spec, hash)| {
+                let id = inner.table.submit(spec.clone(), *hash);
+                let record = obj(vec![
+                    ("t", Json::str("submit")),
+                    ("id", Json::num(id as f64)),
+                    ("hash", Json::str(hash.to_hex())),
+                    ("spec", spec.to_json()),
+                ]);
+                buffer_record(&mut inner, &record);
+                id
+            })
+            .collect();
+        // One flush + fsync for the whole batch.
+        commit_log(&mut inner, true);
+        ids
+    }
+
     fn recover_queued(&self) -> Vec<u64> {
         std::mem::take(&mut *self.recovered.lock().expect("recovered lock poisoned"))
     }
 
     fn kind(&self) -> &'static str {
         "disk"
+    }
+}
+
+/// Applies one transition against the locked inner state, buffering (but
+/// not committing) its log record. Returns the resulting status and
+/// `Some(durable)` when a record was buffered — the caller owns the
+/// [`commit_log`] so batches pay one flush + fsync total.
+fn transition_locked(
+    inner: &mut DiskInner,
+    id: u64,
+    t: Transition,
+) -> (Option<JobStatus>, Option<bool>) {
+    let Some(before) = inner.table.get(id).map(|r| r.status) else {
+        return (None, None);
+    };
+    let record = if before.is_terminal() {
+        None // immutable; nothing to log
+    } else {
+        match &t {
+            Transition::Start => Some((
+                obj(vec![
+                    ("t", Json::str("start")),
+                    ("id", Json::num(id as f64)),
+                ]),
+                false,
+            )),
+            Transition::Progress { rounds, committed } => {
+                let mut pairs = vec![("t", Json::str("progress")), ("id", Json::num(id as f64))];
+                if let Some(rounds) = rounds {
+                    pairs.push(("rounds", Json::num(*rounds as f64)));
+                }
+                if let Some(committed) = committed {
+                    pairs.push(("committed", Json::num(*committed as f64)));
+                }
+                Some((obj(pairs), false))
+            }
+            Transition::Note(msg) => Some((
+                obj(vec![
+                    ("t", Json::str("note")),
+                    ("id", Json::num(id as f64)),
+                    ("error", Json::str(msg.clone())),
+                ]),
+                false,
+            )),
+            Transition::Done { cached, .. } => Some((
+                obj(vec![
+                    ("t", Json::str("done")),
+                    ("id", Json::num(id as f64)),
+                    ("cached", Json::Bool(*cached)),
+                ]),
+                true,
+            )),
+            Transition::Failed(msg) => Some((
+                obj(vec![
+                    ("t", Json::str("failed")),
+                    ("id", Json::num(id as f64)),
+                    ("error", Json::str(msg.clone())),
+                ]),
+                true,
+            )),
+            Transition::Cancelled => Some((
+                obj(vec![
+                    ("t", Json::str("cancelled")),
+                    ("id", Json::num(id as f64)),
+                ]),
+                true,
+            )),
+        }
+    };
+    let status = inner.table.transition(id, t);
+    match record {
+        Some((record, durable)) => {
+            buffer_record(inner, &record);
+            (status, Some(durable))
+        }
+        None => (status, None),
     }
 }
 
@@ -353,13 +432,7 @@ impl ArtifactStore for DiskStore {
             return Ok(()); // identical content by construction
         }
         let tmp = unique_tmp(&path);
-        {
-            let mut out = BufWriter::new(File::create(&tmp)?);
-            writeln!(out, "marioh-result v{STORE_FORMAT_VERSION}")?;
-            writeln!(out, "jaccard_bits {}", result.jaccard.to_bits())?;
-            hio::write_hypergraph(&result.reconstruction, &mut out).map_err(MariohError::from)?;
-            out.flush()?;
-        }
+        fs::write(&tmp, encode_result(result))?;
         fs::rename(&tmp, &path)?;
         Ok(())
     }
@@ -466,8 +539,35 @@ fn list_model_files(dir: &Path) -> Vec<(String, String)> {
         .collect()
 }
 
+/// Encodes a result artifact exactly as [`DiskStore`] stores it on disk
+/// (`marioh-result vN` header, `jaccard_bits`, hypergraph text). The
+/// wire protocol ships these same bytes in `Result` frames, so a
+/// sharded run's merge path persists byte-for-byte what a
+/// single-process run would have written.
+pub fn encode_result(result: &JobResult) -> Vec<u8> {
+    let mut out = Vec::new();
+    // Writes into a Vec cannot fail.
+    let _ = writeln!(out, "marioh-result v{STORE_FORMAT_VERSION}");
+    let _ = writeln!(out, "jaccard_bits {}", result.jaccard.to_bits());
+    let _ = hio::write_hypergraph(&result.reconstruction, &mut out);
+    out
+}
+
+/// Decodes a result artifact produced by [`encode_result`] (or read
+/// back from a store's `artifacts/results/` directory).
+///
+/// # Errors
+///
+/// [`MariohError::Config`] for malformed or version-mismatched bytes.
+pub fn decode_result(bytes: &[u8]) -> Result<JobResult, MariohError> {
+    read_result(bytes)
+}
+
 fn read_result_file(path: &Path) -> Result<JobResult, MariohError> {
-    let mut input = BufReader::new(File::open(path)?);
+    read_result(BufReader::new(File::open(path)?))
+}
+
+fn read_result(mut input: impl BufRead) -> Result<JobResult, MariohError> {
     let mut line = String::new();
     input.read_line(&mut line)?;
     let header = line.trim();
@@ -840,6 +940,92 @@ mod tests {
         // Ids keep ascending across restarts.
         let (s, h) = spec(r#"{"dataset": "Hosts", "seed": 99}"#);
         assert!(store.submit(&s, &h) > *ids.last().unwrap());
+    }
+
+    #[test]
+    fn batched_appends_recover_a_consistent_prefix_after_a_mid_batch_crash() {
+        let dir = tmp_dir("batch");
+        let specs: Vec<(JobSpec, SpecHash)> = (0..4)
+            .map(|i| spec(&format!(r#"{{"dataset": "Hosts", "seed": {i}}}"#)))
+            .collect();
+        let ids = {
+            let store = DiskStore::open(&dir, 16).unwrap();
+            let ids = store.submit_batch(&specs);
+            assert_eq!(ids, vec![1, 2, 3, 4]);
+            store.start(ids[0]).unwrap();
+            store.start(ids[1]).unwrap();
+            let statuses = store.transition_batch(vec![
+                (
+                    ids[0],
+                    Transition::Progress {
+                        rounds: Some(1),
+                        committed: Some(3),
+                    },
+                ),
+                (ids[1], Transition::Failed("boom".into())),
+                (9999, Transition::Failed("unknown".into())),
+            ]);
+            assert_eq!(
+                statuses,
+                vec![Some(JobStatus::Running), Some(JobStatus::Failed), None]
+            );
+            ids
+        };
+
+        // The whole first batch was acknowledged, so a restart replays
+        // all of it: the interrupted runner re-queues, the failure and
+        // the untouched queued jobs survive.
+        {
+            let store = DiskStore::open(&dir, 16).unwrap();
+            assert_eq!(store.recover_queued(), vec![ids[0], ids[2], ids[3]]);
+            assert_eq!(store.view(ids[1]).unwrap().status, JobStatus::Failed);
+            // Write one more batch, whose tail the "crash" below tears.
+            let more: Vec<(JobSpec, SpecHash)> = (10..12)
+                .map(|i| spec(&format!(r#"{{"dataset": "Hosts", "seed": {i}}}"#)))
+                .collect();
+            assert_eq!(store.submit_batch(&more), vec![5, 6]);
+        }
+
+        // Simulate a crash mid-batch-append: chop the last bytes of the
+        // log, leaving the batch's final record torn.
+        let log = dir.join("jobs.log");
+        let bytes = fs::read(&log).unwrap();
+        fs::write(&log, &bytes[..bytes.len() - 7]).unwrap();
+
+        // Recovery keeps the consistent prefix — every record before the
+        // torn one — and drops only the torn tail, exactly like a torn
+        // single append.
+        let store = DiskStore::open(&dir, 16).unwrap();
+        assert_eq!(store.view(5).unwrap().status, JobStatus::Queued);
+        assert!(store.view(6).is_none(), "torn tail record must not replay");
+        assert_eq!(store.recover_queued(), vec![ids[0], ids[2], ids[3], 5]);
+    }
+
+    #[test]
+    fn result_codec_round_trips_and_matches_the_disk_artifact() {
+        let dir = tmp_dir("codec");
+        let store = DiskStore::open(&dir, 8).unwrap();
+        let (_, h) = spec(r#"{"dataset": "Hosts", "seed": 3}"#);
+        let original = result();
+        store.put_result(&h, &original).unwrap();
+        // The standalone encoder produces byte-for-byte the on-disk
+        // artifact — this is what `Result` wire frames carry.
+        let on_disk = fs::read(
+            dir.join("artifacts")
+                .join("results")
+                .join(format!("{h}.result")),
+        )
+        .unwrap();
+        assert_eq!(encode_result(&original), on_disk);
+        let decoded = decode_result(&on_disk).unwrap();
+        assert_eq!(decoded.jaccard.to_bits(), original.jaccard.to_bits());
+        assert_eq!(
+            decoded.reconstruction.sorted_edges(),
+            original.reconstruction.sorted_edges()
+        );
+        assert!(decode_result(b"not a result").is_err());
+        // Cut mid-way through the jaccard line: malformed, not a panic.
+        assert!(decode_result(&on_disk[..20]).is_err());
     }
 
     #[test]

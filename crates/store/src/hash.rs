@@ -25,6 +25,12 @@ impl SpecHash {
         &self.0
     }
 
+    /// Reconstructs a hash from its raw digest (inverse of
+    /// [`SpecHash::as_bytes`]; used when a hash crosses the wire).
+    pub fn from_bytes(digest: [u8; 32]) -> SpecHash {
+        SpecHash(digest)
+    }
+
     /// The 64-digit lower-case hex rendering (also the `Display` form).
     pub fn to_hex(&self) -> String {
         let mut out = String::with_capacity(64);

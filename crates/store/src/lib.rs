@@ -37,7 +37,7 @@ pub mod json;
 pub mod spec;
 pub mod store;
 
-pub use disk::{DiskStore, STORE_FORMAT_VERSION};
+pub use disk::{decode_result, encode_result, DiskStore, STORE_FORMAT_VERSION};
 pub use hash::SpecHash;
 pub use json::Json;
 pub use spec::{

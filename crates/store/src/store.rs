@@ -91,6 +91,30 @@ pub trait JobStore: Send + Sync {
     /// Lifetime counters.
     fn counters(&self) -> StoreCounters;
 
+    /// Persists a batch of new `Queued` records in one call, returning
+    /// their ids in order. Semantically identical to calling
+    /// [`JobStore::submit`] per item; durable implementations override
+    /// this to pay one flush + fsync for the whole batch instead of one
+    /// per record.
+    fn submit_batch(&self, items: &[(JobSpec, SpecHash)]) -> Vec<u64> {
+        items
+            .iter()
+            .map(|(spec, hash)| self.submit(spec, hash))
+            .collect()
+    }
+
+    /// Applies a batch of state changes in one call, returning each
+    /// job's status after its transition (in input order). Semantically
+    /// identical to calling [`JobStore::transition`] per item; durable
+    /// implementations override this to batch the log appends from a
+    /// dispatcher's merge path into one flush + fsync per drain.
+    fn transition_batch(&self, items: Vec<(u64, Transition)>) -> Vec<Option<JobStatus>> {
+        items
+            .into_iter()
+            .map(|(id, t)| self.transition(id, t))
+            .collect()
+    }
+
     /// Ids of jobs that were queued or running when the store was
     /// opened and must be re-dispatched (ascending; the durable store
     /// resets interrupted `Running` jobs to `Queued` on replay). Drained

@@ -1,0 +1,114 @@
+//! Version negotiation: `Hello` → `HelloAck` (or `Goodbye`).
+//!
+//! The connecting side (a shard worker) sends `Hello` with its newest
+//! wire version and capability strings; the accepting side (the
+//! dispatcher) answers with `HelloAck` carrying the negotiated version,
+//! or `Goodbye` with the refusal reason. Negotiation picks the highest
+//! version both ends speak — `min(ours, theirs)` — and fails cleanly if
+//! that falls below [`MIN_WIRE_VERSION`], so version skew surfaces as a
+//! typed handshake error instead of garbled frames later.
+
+use std::io::{Read, Write};
+
+use crate::frame::{FrameReader, FrameWriter, CONTROL_CHANNEL};
+use crate::message::Message;
+use crate::{WireError, MIN_WIRE_VERSION, WIRE_FORMAT_VERSION};
+
+/// Pick the version two peers will speak: the highest both support,
+/// i.e. `min(ours, theirs)`. Fails with
+/// [`WireError::VersionMismatch`] when that is older than
+/// [`MIN_WIRE_VERSION`] — the peers share no usable version.
+pub fn negotiate(ours: u32, theirs: u32) -> Result<u32, WireError> {
+    let agreed = ours.min(theirs);
+    if agreed < MIN_WIRE_VERSION {
+        return Err(WireError::VersionMismatch { ours, theirs });
+    }
+    Ok(agreed)
+}
+
+/// Client (connecting) side of the handshake: send `Hello` with our
+/// version and capabilities, await the verdict. Returns the negotiated
+/// version on `HelloAck`; a `Goodbye` becomes [`WireError::Rejected`].
+pub fn client_handshake<R: Read, W: Write>(
+    reader: &mut FrameReader<R>,
+    writer: &mut FrameWriter<W>,
+    capabilities: Vec<String>,
+) -> Result<u32, WireError> {
+    writer.send(
+        CONTROL_CHANNEL,
+        &Message::Hello {
+            version: WIRE_FORMAT_VERSION,
+            capabilities,
+        },
+    )?;
+    match reader.read()? {
+        Some(frame) => match frame.message {
+            Message::HelloAck { version } => {
+                // Re-check locally: a daemon newer than us must have
+                // negotiated down to something we actually speak.
+                negotiate(WIRE_FORMAT_VERSION, version)
+            }
+            Message::Goodbye { reason } => Err(WireError::Rejected(reason)),
+            other => Err(WireError::Malformed(format!(
+                "expected HelloAck, peer sent frame type {}",
+                other.frame_type()
+            ))),
+        },
+        None => Err(WireError::Truncated("handshake reply")),
+    }
+}
+
+/// Server (accepting) side of the handshake: await `Hello`, negotiate,
+/// answer `HelloAck` — or `Goodbye` with the reason and an error when
+/// no common version exists. Returns the negotiated version and the
+/// peer's capability strings.
+pub fn server_handshake<R: Read, W: Write>(
+    reader: &mut FrameReader<R>,
+    writer: &mut FrameWriter<W>,
+) -> Result<(u32, Vec<String>), WireError> {
+    let frame = reader.read()?.ok_or(WireError::Truncated("Hello"))?;
+    let (version, capabilities) = match frame.message {
+        Message::Hello {
+            version,
+            capabilities,
+        } => (version, capabilities),
+        other => {
+            return Err(WireError::Malformed(format!(
+                "expected Hello, peer sent frame type {}",
+                other.frame_type()
+            )))
+        }
+    };
+    match negotiate(WIRE_FORMAT_VERSION, version) {
+        Ok(agreed) => {
+            writer.send(CONTROL_CHANNEL, &Message::HelloAck { version: agreed })?;
+            Ok((agreed, capabilities))
+        }
+        Err(err) => {
+            // Tell the peer why before hanging up; best effort.
+            let _ = writer.send(
+                CONTROL_CHANNEL,
+                &Message::Goodbye {
+                    reason: err.to_string(),
+                },
+            );
+            Err(err)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negotiate_picks_min_and_enforces_floor() {
+        assert_eq!(negotiate(1, 1).unwrap(), 1);
+        assert_eq!(negotiate(2, 1).unwrap(), 1);
+        assert_eq!(negotiate(1, 2).unwrap(), 1);
+        assert!(matches!(
+            negotiate(1, 0),
+            Err(WireError::VersionMismatch { ours: 1, theirs: 0 })
+        ));
+    }
+}

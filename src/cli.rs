@@ -16,7 +16,7 @@
 //!                    [--seed n] [--verbose]
 //! marioh eval        --truth tgt.txt --pred rec.txt
 //! marioh serve       [--addr 127.0.0.1:7878] [--workers n] [--queue-cap n]
-//!                    [--state-dir dir] [--retain n]
+//!                    [--state-dir dir] [--retain n] [--shards n]
 //! marioh model export --state-dir dir (--job id | --name name) --out model.txt
 //! marioh model import --state-dir dir --name name --model model.txt
 //! ```
@@ -33,7 +33,11 @@
 //! [`marioh_server`]): it prints the bound address to stderr and serves
 //! until the process is killed. With `--state-dir` the job store and
 //! artifact cache are durable ([`marioh_store::DiskStore`]): a restarted
-//! server serves pre-restart results and resumes its queue. `model
+//! server serves pre-restart results and resumes its queue. With
+//! `--shards n` execution moves from the in-process worker pool to `n`
+//! shard worker child processes (each a `marioh shard-worker`, spawned
+//! and supervised over the [`marioh_wire`] protocol);
+//! results are bit-identical between the two modes. `model
 //! export`/`model import` move trained models between a state dir and
 //! the unified persistence format of [`marioh_core::persistence`] —
 //! exported job models keep their post-training RNG state, so a job
@@ -203,6 +207,8 @@ fn serve_config(flags: &Flags) -> Result<ServerConfig, MariohError> {
         addr: flags.get("addr").unwrap_or("127.0.0.1:7878").to_owned(),
         workers: flags.get_parsed("workers", default_workers)?,
         queue_cap: flags.get_parsed("queue-cap", 64usize)?,
+        shards: flags.get_parsed("shards", 0usize)?,
+        shard_worker: Vec::new(), // re-exec this binary as `shard-worker`
     })
 }
 
@@ -352,8 +358,12 @@ pub fn run(command: &str, flags: &Flags) -> Result<String, MariohError> {
             let addr = server.local_addr();
             let stats = server.manager().stats();
             eprintln!(
-                "marioh-server listening on http://{addr} ({} workers, queue capacity {}, {} store{})",
-                stats.workers,
+                "marioh-server listening on http://{addr} ({}, queue capacity {}, {} store{})",
+                if stats.shards > 0 {
+                    format!("{} shard processes", stats.shards)
+                } else {
+                    format!("{} workers", stats.workers)
+                },
                 stats.queue_cap,
                 stats.store,
                 if stats.queue_depth > 0 {
@@ -371,6 +381,17 @@ pub fn run(command: &str, flags: &Flags) -> Result<String, MariohError> {
             loop {
                 std::thread::park(); // serve until the process is killed
             }
+        }
+        // Internal: the child process half of `serve --shards`. Connects
+        // back to the dispatcher that spawned it and executes jobs until
+        // the connection closes. Not part of the public surface, but
+        // harmless to run by hand against a listening dispatcher.
+        "shard-worker" => {
+            let addr = flags.require("connect")?;
+            let shard = flags.get_parsed("shard", 0usize)?;
+            marioh_dispatch::shard_worker::run(addr, shard)
+                .map_err(|e| MariohError::config(format!("shard worker failed: {e}")))?;
+            Ok(format!("shard {shard} finished cleanly"))
         }
         "eval" => {
             let truth = io::load_hypergraph(flags.require("truth")?)?;

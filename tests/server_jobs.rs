@@ -23,6 +23,7 @@ fn start(workers: usize, queue_cap: usize) -> Server {
         addr: "127.0.0.1:0".to_owned(),
         workers,
         queue_cap,
+        ..ServerConfig::default()
     })
     .expect("server starts on an ephemeral port")
 }

@@ -1,0 +1,358 @@
+//! End-to-end tests of `marioh serve --shards N`: the dispatcher, the
+//! wire protocol, and real `marioh shard-worker` child processes.
+//!
+//! * a 16-job batch served across 4 shard worker OS processes is
+//!   bit-identical (edge multisets and jaccard bits) to the same batch
+//!   on the in-process `--workers` pool,
+//! * the batch endpoints round-trip: array `POST /jobs` → `{batch,
+//!   count, ids}`, `GET /batches/:id` until `complete`, per-index 400s
+//!   for malformed members,
+//! * SIGKILLing one shard worker mid-batch is absorbed: the dispatcher
+//!   respawns the shard, re-dispatches its in-flight jobs, and the
+//!   batch still completes bit-identical to the single-process run.
+
+use marioh::server::{client, Json, Server, ServerConfig};
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// The 16-job workload: distinct seeds, so distinct spec hashes that
+/// spread across shards.
+fn batch_bodies(throttle_ms: u64) -> Vec<String> {
+    (0..16)
+        .map(|seed| {
+            format!(r#"{{"dataset": "Hosts", "seed": {seed}, "throttle_ms": {throttle_ms}}}"#)
+        })
+        .collect()
+}
+
+fn post_batch(addr: SocketAddr, bodies: &[String]) -> (u64, Vec<u64>) {
+    let body = format!("[{}]", bodies.join(","));
+    let response = client::post(addr, "/jobs", &body).expect("submit batch");
+    assert_eq!(response.status, 201, "{}", response.body);
+    let json = response.json().expect("valid JSON");
+    let batch = json.get("batch").and_then(Json::as_u64).expect("batch id");
+    let ids: Vec<u64> = json
+        .get("ids")
+        .and_then(Json::as_array)
+        .expect("ids array")
+        .iter()
+        .map(|v| v.as_u64().expect("job id"))
+        .collect();
+    assert_eq!(
+        json.get("count").and_then(Json::as_u64),
+        Some(ids.len() as u64)
+    );
+    (batch, ids)
+}
+
+fn batch_view(addr: SocketAddr, batch: u64) -> Json {
+    let response = client::get(addr, &format!("/batches/{batch}")).expect("batch view");
+    assert_eq!(response.status, 200, "{}", response.body);
+    response.json().expect("valid JSON")
+}
+
+fn wait_batch_complete(addr: SocketAddr, batch: u64) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(180);
+    loop {
+        let view = batch_view(addr, batch);
+        if view.get("complete").and_then(Json::as_bool) == Some(true) {
+            return view;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "batch {batch} not complete in time: {view}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn result_body(addr: SocketAddr, id: u64) -> Json {
+    let response = client::get(addr, &format!("/jobs/{id}/result")).expect("result");
+    assert_eq!(response.status, 200, "{}", response.body);
+    response.json().expect("valid JSON")
+}
+
+/// A result reduced to comparable form: sorted `(nodes, multiplicity)`
+/// pairs plus the exact jaccard bits.
+type Fingerprint = (Vec<(Vec<u64>, u64)>, u64);
+
+fn fingerprint(result: &Json) -> Fingerprint {
+    let mut edges: Vec<(Vec<u64>, u64)> = result
+        .get("edges")
+        .and_then(Json::as_array)
+        .expect("edges array")
+        .iter()
+        .map(|e| {
+            (
+                e.get("nodes")
+                    .and_then(Json::as_array)
+                    .expect("nodes array")
+                    .iter()
+                    .map(|n| n.as_u64().expect("node id"))
+                    .collect(),
+                e.get("multiplicity")
+                    .and_then(Json::as_u64)
+                    .expect("multiplicity"),
+            )
+        })
+        .collect();
+    edges.sort();
+    let jaccard = result
+        .get("jaccard")
+        .and_then(Json::as_f64)
+        .expect("jaccard");
+    (edges, jaccard.to_bits())
+}
+
+fn stat(addr: SocketAddr, key: &str) -> u64 {
+    let response = client::get(addr, "/stats").expect("stats");
+    let stats = response.json().expect("valid JSON");
+    stats
+        .get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("stats field {key:?} missing: {stats}"))
+}
+
+/// Runs `bodies` as one batch on `server` and returns each job's
+/// fingerprint, in submission order.
+fn run_batch(server: &Server, bodies: &[String]) -> Vec<Fingerprint> {
+    let addr = server.local_addr();
+    let (batch, ids) = post_batch(addr, bodies);
+    let view = wait_batch_complete(addr, batch);
+    assert_eq!(
+        view.get("done").and_then(Json::as_u64),
+        Some(ids.len() as u64),
+        "not every job finished done: {view}"
+    );
+    ids.iter()
+        .map(|id| fingerprint(&result_body(addr, *id)))
+        .collect()
+}
+
+fn sharded_config(shards: usize) -> ServerConfig {
+    ServerConfig {
+        workers: 4,
+        queue_cap: 32,
+        shards,
+        // Real OS processes: the built `marioh` binary's internal
+        // `shard-worker` subcommand.
+        shard_worker: vec![
+            env!("CARGO_BIN_EXE_marioh").to_owned(),
+            "shard-worker".to_owned(),
+        ],
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn sharded_batch_is_bit_identical_to_the_worker_pool() {
+    let bodies = batch_bodies(0);
+    // Reference: the in-process pool.
+    let pooled = Server::start(ServerConfig {
+        workers: 4,
+        queue_cap: 32,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let reference = run_batch(&pooled, &bodies);
+    pooled.shutdown();
+
+    // Same batch across 4 shard worker processes.
+    let sharded = Server::start(sharded_config(4)).unwrap();
+    let addr = sharded.local_addr();
+    assert_eq!(stat(addr, "shards"), 4);
+    let results = run_batch(&sharded, &bodies);
+    assert_eq!(results.len(), 16);
+    assert_eq!(results, reference, "sharded results differ from pooled");
+    sharded.shutdown();
+}
+
+#[test]
+fn batch_endpoints_validate_and_report() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_cap: 8,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+
+    // A malformed member rejects the whole batch with its index.
+    let response = client::post(
+        addr,
+        "/jobs",
+        r#"[{"dataset": "Hosts"}, {"dataset": "Nope"}]"#,
+    )
+    .expect("submit");
+    assert_eq!(response.status, 400, "{}", response.body);
+    let json = response.json().expect("valid JSON");
+    let errors = json
+        .get("errors")
+        .and_then(Json::as_array)
+        .expect("errors array");
+    assert_eq!(errors.len(), 1);
+    assert_eq!(errors[0].get("index").and_then(Json::as_u64), Some(1));
+    assert_eq!(stat(addr, "jobs_submitted"), 0, "rejected batch submitted");
+
+    // An empty batch is a 400, an oversized one a 503.
+    assert_eq!(
+        client::post(addr, "/jobs", "[]").expect("submit").status,
+        400
+    );
+    let too_many = format!(
+        "[{}]",
+        (0..9)
+            .map(|s| format!(r#"{{"dataset": "Hosts", "seed": {s}}}"#))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    assert_eq!(
+        client::post(addr, "/jobs", &too_many)
+            .expect("submit")
+            .status,
+        503
+    );
+
+    // A valid batch reports through GET /batches/:id until complete.
+    let (batch, ids) = post_batch(addr, &batch_bodies(0)[..4]);
+    let view = wait_batch_complete(addr, batch);
+    assert_eq!(view.get("count").and_then(Json::as_u64), Some(4));
+    assert_eq!(view.get("done").and_then(Json::as_u64), Some(4));
+    let jobs = view
+        .get("jobs")
+        .and_then(Json::as_array)
+        .expect("jobs array");
+    let listed: Vec<u64> = jobs
+        .iter()
+        .map(|j| j.get("id").and_then(Json::as_u64).expect("id"))
+        .collect();
+    assert_eq!(listed, ids, "batch members out of order");
+
+    // Unknown batches are 404s, junk ids 400s, wrong methods 405s.
+    assert_eq!(client::get(addr, "/batches/999").expect("get").status, 404);
+    assert_eq!(client::get(addr, "/batches/x").expect("get").status, 400);
+    assert_eq!(
+        client::post(addr, "/batches/1", "{}").expect("post").status,
+        405
+    );
+    server.shutdown();
+}
+
+/// A `marioh serve --shards` child process bound to an ephemeral port.
+struct ServeProcess {
+    child: Child,
+    addr: SocketAddr,
+}
+
+fn spawn_sharded_serve(shards: usize) -> ServeProcess {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_marioh"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--queue-cap",
+            "32",
+            "--shards",
+            &shards.to_string(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn marioh serve --shards");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut line = String::new();
+    BufReader::new(stderr)
+        .read_line(&mut line)
+        .expect("read listen line");
+    let addr = line
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|addr| addr.parse().ok())
+        .unwrap_or_else(|| panic!("no address in serve banner: {line:?}"));
+    ServeProcess { child, addr }
+}
+
+/// The child PIDs of `pid`, from procfs (Linux CI only — the one e2e
+/// test that needs this is gated below).
+fn children_of(pid: u32) -> Vec<u32> {
+    let path = format!("/proc/{pid}/task/{pid}/children");
+    std::fs::read_to_string(path)
+        .unwrap_or_default()
+        .split_whitespace()
+        .filter_map(|p| p.parse().ok())
+        .collect()
+}
+
+#[test]
+fn sigkilled_shard_is_respawned_and_the_batch_completes_bit_identical() {
+    if !std::path::Path::new("/proc/self/stat").exists() {
+        eprintln!("skipping: needs procfs to find shard worker PIDs");
+        return;
+    }
+    // Reference run: in-process pool, no throttle (throttle_ms is
+    // non-semantic, so the sharded run below must still match exactly).
+    let pooled = Server::start(ServerConfig {
+        workers: 4,
+        queue_cap: 32,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let reference = run_batch(&pooled, &batch_bodies(0));
+    pooled.shutdown();
+
+    // Victim run: a real `marioh serve --shards 4` process; the throttle
+    // keeps all 16 jobs in flight while the kill lands.
+    let serve = spawn_sharded_serve(4);
+    let addr = serve.addr;
+    let mut child = serve.child;
+    let shard_pids = {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let pids = children_of(child.id());
+            if pids.len() == 4 {
+                break pids;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "4 shard workers never appeared (saw {pids:?})"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    };
+
+    let (batch, ids) = post_batch(addr, &batch_bodies(2000));
+    // Let the dispatch frames land in the workers' throttle windows,
+    // then SIGKILL one shard — no goodbye, no flush.
+    std::thread::sleep(Duration::from_millis(500));
+    let victim = shard_pids[0];
+    let killed = Command::new("kill")
+        .args(["-9", &victim.to_string()])
+        .status()
+        .expect("run kill");
+    assert!(killed.success(), "kill -9 {victim} failed");
+
+    let view = wait_batch_complete(addr, batch);
+    assert_eq!(
+        view.get("done").and_then(Json::as_u64),
+        Some(ids.len() as u64),
+        "batch did not fully complete after the kill: {view}"
+    );
+    assert!(
+        stat(addr, "shard_restarts") >= 1,
+        "the dispatcher never recorded the respawn"
+    );
+    let results: Vec<_> = ids
+        .iter()
+        .map(|id| fingerprint(&result_body(addr, *id)))
+        .collect();
+    assert_eq!(
+        results, reference,
+        "post-respawn results differ from the single-process run"
+    );
+
+    child.kill().expect("kill serve process");
+    child.wait().expect("reap serve process");
+}
