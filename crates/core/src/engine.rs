@@ -291,9 +291,12 @@ impl SearchEngine {
         if self.view_live && self.patched_pairs + phase1_pairs > self.bulk_threshold {
             self.view_live = false;
         }
-        for &(_, i) in &positives {
-            if self.try_commit(g, &cliques[i], reconstruction) {
-                stats.committed_phase1 += 1;
+        {
+            let _span = marioh_obs::Span::enter("commit");
+            for &(_, i) in &positives {
+                if self.try_commit(g, &cliques[i], reconstruction) {
+                    stats.committed_phase1 += 1;
+                }
             }
         }
 
@@ -354,9 +357,12 @@ impl SearchEngine {
         if self.view_live && self.patched_pairs + phase2_pairs > self.bulk_threshold {
             self.view_live = false;
         }
-        for (_, sub) in &sub_scored {
-            if self.try_commit(g, sub, reconstruction) {
-                stats.committed_phase2 += 1;
+        {
+            let _span = marioh_obs::Span::enter("commit");
+            for (_, sub) in &sub_scored {
+                if self.try_commit(g, sub, reconstruction) {
+                    stats.committed_phase2 += 1;
+                }
             }
         }
         self.store_prev(cliques, scores);
@@ -481,10 +487,13 @@ impl SearchEngine {
             self.changed.clear();
             self.removed.clear();
             let view = self.view.as_ref().expect("view synced");
-            let cliques = if self.threads > 1 && enumeration_parallel_worthwhile(view) {
-                maximal_cliques_ranked_pool(view, &self.order, &self.rank, self.pool())
-            } else {
-                maximal_cliques_ranked(view, &self.order, &self.rank)
+            let cliques = {
+                let _span = marioh_obs::Span::enter("enumeration");
+                if self.threads > 1 && enumeration_parallel_worthwhile(view) {
+                    maximal_cliques_ranked_pool(view, &self.order, &self.rank, self.pool())
+                } else {
+                    maximal_cliques_ranked(view, &self.order, &self.rank)
+                }
             };
             let scores = self.score_pass(g, scorer, &cliques);
             stats.cliques_rescored = cliques.len();
@@ -549,10 +558,13 @@ impl SearchEngine {
             // `refresh_order`'s quarter-loss rule above, so the full BK
             // runs on a recent degeneracy ordering.)
             let view = self.view.as_ref().expect("view synced");
-            cliques = if self.threads > 1 && enumeration_parallel_worthwhile(view) {
-                maximal_cliques_ranked_pool(view, &self.order, &self.rank, self.pool())
-            } else {
-                maximal_cliques_ranked(view, &self.order, &self.rank)
+            cliques = {
+                let _span = marioh_obs::Span::enter("enumeration");
+                if self.threads > 1 && enumeration_parallel_worthwhile(view) {
+                    maximal_cliques_ranked_pool(view, &self.order, &self.rank, self.pool())
+                } else {
+                    maximal_cliques_ranked(view, &self.order, &self.rank)
+                }
             };
             scores = vec![0.0; cliques.len()];
             let mut pi = 0usize;
@@ -576,6 +588,7 @@ impl SearchEngine {
             // remainder — the two sorted streams are disjoint, so the
             // merge reproduces the full enumeration's order exactly.
             let new_cliques = {
+                let _span = marioh_obs::Span::enter("enumeration");
                 let view = self.view.as_ref().expect("view synced");
                 if self.threads > 1 && removed_incident >= ENUM_PARALLEL_MIN_EDGES {
                     maximal_cliques_region_ranked_pool(
@@ -658,6 +671,7 @@ impl SearchEngine {
         scorer: &dyn CliqueScorer,
         cliques: &[Vec<NodeId>],
     ) -> Vec<f64> {
+        let _span = marioh_obs::Span::enter("scoring");
         self.ensure_view_live(g);
         self.sync_mhh();
         let parallel = self.threads > 1 && score_work(cliques) >= SCORE_PARALLEL_MIN_WORK;
@@ -698,6 +712,7 @@ impl SearchEngine {
             return;
         }
         if let Some(cache) = self.mhh.as_mut() {
+            let _span = marioh_obs::Span::enter("mhh_patch");
             let view = self.view.as_ref().expect("view synced");
             cache.patch(view, &self.mhh_stale.list, &self.mhh_stale.flag);
         }

@@ -146,7 +146,10 @@ impl Pipeline {
             ));
         }
         let t0 = std::time::Instant::now();
-        let model = train_classifier_cancellable(source, &self.training, rng, &self.cancel)?;
+        let model = {
+            let _span = marioh_obs::Span::enter("training");
+            train_classifier_cancellable(source, &self.training, rng, &self.cancel)?
+        };
         self.observer.on_training_done(t0.elapsed().as_secs_f64());
         Ok(self.with_model(model))
     }

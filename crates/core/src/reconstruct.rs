@@ -129,7 +129,10 @@ pub fn reconstruct_observed<R: Rng + ?Sized>(
     }
     let mut work = if cfg.use_filtering {
         let t0 = std::time::Instant::now();
-        let (g2, stats) = filtering_threaded(g, &mut reconstruction, cfg.threads);
+        let (g2, stats) = {
+            let _span = marioh_obs::Span::enter("filtering");
+            filtering_threaded(g, &mut reconstruction, cfg.threads)
+        };
         report.filtering_secs = t0.elapsed().as_secs_f64();
         observer.on_filtering_done(&stats, report.filtering_secs);
         report.filter_stats = Some(stats);
@@ -152,16 +155,28 @@ pub fn reconstruct_observed<R: Rng + ?Sized>(
         SearchEngine::full_rebuild(cfg.threads)
     };
     while !work.is_edgeless() && report.rounds.len() < cfg.max_iterations {
-        let stats = engine.round(
-            &mut work,
-            scorer,
-            theta,
-            cfg.neg_ratio,
-            &mut reconstruction,
-            cfg.use_bidirectional,
-            cancel,
-            rng,
-        )?;
+        let stats = {
+            let _span = marioh_obs::Span::enter("round");
+            engine.round(
+                &mut work,
+                scorer,
+                theta,
+                cfg.neg_ratio,
+                &mut reconstruction,
+                cfg.use_bidirectional,
+                cancel,
+                rng,
+            )?
+        };
+        // The process-wide reuse totals every serving frontend reads
+        // (`/stats`, `/metrics`, `--verbose`): recorded once, here, so
+        // no layer above ever keeps its own copy of this accounting.
+        marioh_obs::global()
+            .counter("marioh_engine_cliques_reused_total")
+            .add(stats.cliques_reused as u64);
+        marioh_obs::global()
+            .counter("marioh_engine_cliques_rescored_total")
+            .add(stats.cliques_rescored as u64);
         let committed = stats.committed_phase1 + stats.committed_phase2;
         let round = report.rounds.len() + 1;
         observer.on_round(round, theta, &stats);

@@ -220,6 +220,14 @@ struct Slot {
     inflight: HashMap<u64, Inflight>,
     last_seen: Instant,
     last_ping: Instant,
+    /// Token of the most recent `Ping` still awaiting its `Pong`
+    /// (0 = none; real tokens start at 1). Matching the answer against
+    /// exactly one outstanding token keeps RTT tracking allocation-free.
+    last_ping_token: u64,
+    last_ping_sent: Instant,
+    /// Latest metrics snapshot text pushed by the worker (wire v2);
+    /// `None` for v1 workers or before the first push.
+    last_snapshot: Option<String>,
 }
 
 impl Slot {
@@ -231,8 +239,55 @@ impl Slot {
             inflight: HashMap::new(),
             last_seen: Instant::now(),
             last_ping: Instant::now(),
+            last_ping_token: 0,
+            last_ping_sent: Instant::now(),
+            last_snapshot: None,
         }
     }
+}
+
+/// A point-in-time view of one shard slot, surfaced through
+/// [`Dispatcher::shard_statuses`] for `/stats` and `/metrics`.
+#[derive(Debug, Clone)]
+pub struct ShardStatus {
+    /// Shard slot index.
+    pub shard: usize,
+    /// Milliseconds since the shard's connection last produced a frame.
+    pub last_heartbeat_ms: u64,
+    /// Jobs dispatched to this shard still awaiting `Result`/`Failed`.
+    pub inflight: usize,
+    /// Latest worker metrics snapshot (`snapshot v1` text, see
+    /// `crates/obs/FORMATS.md`), when the worker speaks wire v2.
+    pub snapshot: Option<String>,
+}
+
+/// Records one sent frame against the per-shard wire-traffic counters.
+fn note_frame_sent(shard: usize, outcome: &Result<usize, WireError>) {
+    if let Ok(bytes) = outcome {
+        let label = shard.to_string();
+        let labels = [("shard", label.as_str())];
+        let registry = marioh_obs::global();
+        registry
+            .counter_with("marioh_dispatch_frames_sent_total", &labels)
+            .inc();
+        registry
+            .counter_with("marioh_dispatch_bytes_sent_total", &labels)
+            .add(*bytes as u64);
+    }
+}
+
+/// Records one received frame against the per-shard wire-traffic
+/// counters.
+fn note_frame_received(shard: usize, bytes: u64) {
+    let label = shard.to_string();
+    let labels = [("shard", label.as_str())];
+    let registry = marioh_obs::global();
+    registry
+        .counter_with("marioh_dispatch_frames_received_total", &labels)
+        .inc();
+    registry
+        .counter_with("marioh_dispatch_bytes_received_total", &labels)
+        .add(bytes);
 }
 
 /// What the reader and supervisor threads feed the merger.
@@ -361,6 +416,23 @@ impl Dispatcher {
         self.core.restarts.load(Ordering::Relaxed)
     }
 
+    /// A point-in-time view of every shard slot: heartbeat age, in-flight
+    /// job count, and the latest worker metrics snapshot (wire v2).
+    #[must_use]
+    pub fn shard_statuses(&self) -> Vec<ShardStatus> {
+        self.core
+            .lock_shards()
+            .iter()
+            .enumerate()
+            .map(|(shard, slot)| ShardStatus {
+                shard,
+                last_heartbeat_ms: slot.last_seen.elapsed().as_millis() as u64,
+                inflight: slot.inflight.len(),
+                snapshot: slot.last_snapshot.clone(),
+            })
+            .collect()
+    }
+
     /// Sends a job to the shard owning its spec hash. The answer arrives
     /// later through [`DispatchEvents::on_batch`]; if the shard is
     /// currently down, the job rides along when it respawns.
@@ -391,10 +463,11 @@ impl Dispatcher {
         if let Some(writer) = writer {
             // A failed send means the connection is dying; the reader
             // will report it and the respawn path re-sends the job.
-            let _ = writer
+            let outcome = writer
                 .lock()
                 .expect("writer lock poisoned")
                 .send(channel, &message);
+            note_frame_sent(shard, &outcome);
         }
         Ok(())
     }
@@ -407,14 +480,15 @@ impl Dispatcher {
         }
         {
             let mut shards = self.core.lock_shards();
-            for slot in shards.iter_mut() {
+            for (shard, slot) in shards.iter_mut().enumerate() {
                 if let Some(writer) = &slot.writer {
-                    let _ = writer.lock().expect("writer lock poisoned").send(
+                    let outcome = writer.lock().expect("writer lock poisoned").send(
                         CONTROL_CHANNEL,
                         &Message::Goodbye {
                             reason: "dispatcher shutting down".into(),
                         },
                     );
+                    note_frame_sent(shard, &outcome);
                 }
                 for inflight in slot.inflight.values() {
                     inflight.cancel.cancel();
@@ -638,11 +712,37 @@ impl Core {
                     cancelled,
                 });
             }
+            Message::Pong { token } if token != 0 && token == slot.last_ping_token => {
+                slot.last_ping_token = 0;
+                let rtt = slot.last_ping_sent.elapsed();
+                let label = shard.to_string();
+                marioh_obs::global()
+                    .histogram_with(
+                        "marioh_dispatch_heartbeat_seconds",
+                        &[("shard", label.as_str())],
+                    )
+                    .observe(rtt);
+            }
+            // An unmatched pong (stale token, or a worker heartbeating
+            // on its own) keeps the liveness effect above and nothing
+            // else.
+            Message::Pong { .. } => {}
+            // Opaque here: /stats and /metrics decode it, and a
+            // malformed snapshot degrades to "no shard metrics".
+            // In-thread workers share this process's global registry,
+            // so folding their snapshot back in would double-count
+            // every series — drop theirs.
+            Message::MetricsSnapshot { stats, .. }
+                if !matches!(self.worker, WorkerCommand::InThread) =>
+            {
+                slot.last_snapshot = Some(stats);
+            }
+            Message::MetricsSnapshot { .. } => {}
             Message::Goodbye { .. } => {
                 drop(shards);
                 self.handle_shard_down(shard, generation, events);
             }
-            // Pong already bumped last_seen; a v1 worker sends nothing else.
+            // A v1 worker sends nothing else; last_seen is already bumped.
             _ => {}
         }
     }
@@ -728,12 +828,12 @@ impl Core {
             inflight.cancel_sent = false;
             let channel = inflight.channel;
             slot.inflight.insert(job, inflight);
-            if writer
+            let outcome = writer
                 .lock()
                 .expect("writer lock poisoned")
-                .send(channel, &message)
-                .is_ok()
-            {
+                .send(channel, &message);
+            note_frame_sent(shard, &outcome);
+            if outcome.is_ok() {
                 redispatched += 1;
             }
             // A failed send leaves the job inflight; the reader reports
@@ -754,9 +854,13 @@ fn reader_loop(
     shard: usize,
     generation: u64,
 ) {
+    let mut counted = 0u64;
     loop {
         match reader.read() {
             Ok(Some(frame)) => {
+                let consumed = reader.bytes_consumed();
+                note_frame_received(shard, consumed - counted);
+                counted = consumed;
                 if tx
                     .send(Inbound::Frame {
                         shard,
@@ -830,19 +934,25 @@ fn supervise(core: &Arc<Core>) {
             for (job, inflight) in &mut slot.inflight {
                 if inflight.cancel.is_cancelled() && !inflight.cancel_sent {
                     inflight.cancel_sent = true;
-                    let _ = writer
+                    let outcome = writer
                         .lock()
                         .expect("writer lock poisoned")
                         .send(inflight.channel, &Message::Cancel { job: *job });
+                    note_frame_sent(index, &outcome);
                 }
             }
             if now.duration_since(slot.last_ping) >= core.ping_interval {
                 slot.last_ping = now;
                 let token = core.ping_token.fetch_add(1, Ordering::Relaxed);
-                let _ = writer
+                let outcome = writer
                     .lock()
                     .expect("writer lock poisoned")
                     .send(CONTROL_CHANNEL, &Message::Ping { token });
+                if outcome.is_ok() {
+                    slot.last_ping_token = token;
+                    slot.last_ping_sent = Instant::now();
+                }
+                note_frame_sent(index, &outcome);
             }
             if now.duration_since(slot.last_seen) >= core.shard_timeout {
                 // Reset so we do not re-report every tick while the

@@ -34,7 +34,7 @@ pub mod exec;
 pub mod shard_worker;
 
 pub use dispatcher::{
-    shard_for, DispatchConfig, DispatchEvent, DispatchEvents, DispatchJob, Dispatcher,
+    shard_for, DispatchConfig, DispatchEvent, DispatchEvents, DispatchJob, Dispatcher, ShardStatus,
     WorkerCommand,
 };
 pub use exec::{cancellable_sleep, execute_job};

@@ -42,10 +42,14 @@ pub fn serve(stream: TcpStream, shard: usize) -> Result<(), WireError> {
     stream.set_nodelay(true).ok();
     let mut reader = FrameReader::new(stream.try_clone()?);
     let writer: SharedWriter = Arc::new(Mutex::new(FrameWriter::new(stream)));
-    {
+    let version = {
         let mut sink = writer.lock().expect("writer lock poisoned");
-        client_handshake(&mut reader, &mut sink, vec![format!("shard={shard}")])?;
-    }
+        client_handshake(&mut reader, &mut sink, vec![format!("shard={shard}")])?
+    };
+    // Wire v2 dispatchers understand pushed metrics snapshots; against a
+    // v1 dispatcher the unknown frame would be a protocol error, so the
+    // worker simply keeps them to itself.
+    let metrics_shard = (version >= 2).then_some(shard as u64);
     let cancels: Arc<Mutex<HashMap<u64, CancelToken>>> = Arc::default();
     let mut jobs: Vec<JoinHandle<()>> = Vec::new();
     // On EOF or a read error the dispatcher went away — nothing left to
@@ -69,6 +73,11 @@ pub fn serve(stream: TcpStream, shard: usize) -> Result<(), WireError> {
                 let channel = frame.channel;
                 jobs.push(std::thread::spawn(move || {
                     run_job(&writer, channel, job, spec_hash, &spec_json, model, cancel);
+                    // The job's final frame just went out; follow it with
+                    // the freshest view of this worker's counters.
+                    if let Some(shard) = metrics_shard {
+                        push_snapshot(&writer, shard);
+                    }
                     cancels
                         .lock()
                         .expect("cancel registry lock poisoned")
@@ -89,6 +98,9 @@ pub fn serve(stream: TcpStream, shard: usize) -> Result<(), WireError> {
                     .lock()
                     .expect("writer lock poisoned")
                     .send(marioh_wire::CONTROL_CHANNEL, &Message::Pong { token });
+                if let Some(shard) = metrics_shard {
+                    push_snapshot(&writer, shard);
+                }
             }
             Message::Goodbye { .. } => break,
             // The dispatcher only sends the frames above; anything else
@@ -109,6 +121,18 @@ pub fn serve(stream: TcpStream, shard: usize) -> Result<(), WireError> {
         let _ = handle.join();
     }
     Ok(())
+}
+
+/// Pushes this process's metrics registry to the dispatcher as a
+/// `MetricsSnapshot` frame on the control channel (wire v2+). Best
+/// effort, like every other worker send: a lost snapshot only means the
+/// dispatcher keeps a slightly staler view.
+fn push_snapshot(writer: &SharedWriter, shard: u64) {
+    let stats = marioh_obs::global().snapshot().encode();
+    let _ = writer.lock().expect("writer lock poisoned").send(
+        marioh_wire::CONTROL_CHANNEL,
+        &Message::MetricsSnapshot { shard, stats },
+    );
 }
 
 /// Runs one dispatched job on its own thread and reports the outcome on

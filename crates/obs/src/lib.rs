@@ -1,0 +1,64 @@
+//! Process-wide observability for MARIOH: a metrics registry (atomic
+//! counters, gauges, log-bucketed latency histograms), a span-tracing
+//! layer that records phase wall-time into those histograms, and a
+//! line-oriented snapshot format so shard worker processes can ship
+//! their registries to the dispatcher over the wire.
+//!
+//! Everything here is std-only and allocation-light on the hot path:
+//! recording a sample is an atomic add, and a [`Span`] costs two clock
+//! reads plus one registry lookup. Instrumentation never feeds back
+//! into the algorithms — reconstruction output is bit-identical with
+//! and without it.
+//!
+//! Two registries matter in practice:
+//!
+//! * [`global()`] — the per-process registry. Deep layers (engine
+//!   phases, store fsyncs, dispatcher wire traffic) record here
+//!   without any plumbing.
+//! * Instantiated [`Registry`] values — the server gives each
+//!   `JobManager` its own, so concurrent in-process servers (as in
+//!   tests) keep exact, isolated request counters.
+//!
+//! Serialized formats are versioned in `crates/obs/FORMATS.md`:
+//! the snapshot wire text ([`SNAPSHOT_FORMAT_VERSION`]) and the Chrome
+//! trace-event JSON dump ([`TRACE_FORMAT_VERSION`]).
+
+mod registry;
+mod snapshot;
+mod trace;
+
+pub use registry::{global, Counter, Gauge, Histogram, Registry, BUCKET_COUNT};
+pub use snapshot::{Snapshot, Value};
+pub use trace::{trace_active, trace_dump, trace_start, Span};
+
+/// Version of the line-oriented snapshot text that travels in the wire
+/// `MetricsSnapshot` frame. Bump alongside a `## snapshot vN` entry in
+/// `crates/obs/FORMATS.md`.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// Version of the Chrome trace-event JSON written by
+/// `marioh reconstruct --trace-out`. Bump alongside a `## trace vN`
+/// entry in `crates/obs/FORMATS.md`.
+pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+#[cfg(test)]
+mod format_guard {
+    use super::{SNAPSHOT_FORMAT_VERSION, TRACE_FORMAT_VERSION};
+
+    /// Every snapshot/trace format bump must land a matching migration
+    /// note in FORMATS.md — the same contract the store, model, and
+    /// wire ledgers enforce.
+    #[test]
+    fn formats_ledger_documents_the_current_versions() {
+        let ledger = include_str!("../FORMATS.md");
+        for heading in [
+            format!("## snapshot v{SNAPSHOT_FORMAT_VERSION}"),
+            format!("## trace v{TRACE_FORMAT_VERSION}"),
+        ] {
+            assert!(
+                ledger.lines().any(|l| l.trim() == heading),
+                "FORMATS.md is missing a {heading:?} section"
+            );
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! The metrics registry: named counters, gauges, and log-bucketed
+//! latency histograms, all safe to hammer from many threads.
+
+use crate::snapshot::{Snapshot, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Number of histogram buckets. Bucket `i < BUCKET_COUNT - 1` counts
+/// observations of at most `2^i` microseconds; the last bucket is the
+/// overflow (`+Inf`). `2^30 µs` is just under 18 minutes, which covers
+/// every phase MARIOH times (training included) with room to spare.
+pub const BUCKET_COUNT: usize = 32;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (queue depths, shard
+/// counts). Stored as a `u64` because everything MARIOH gauges is a
+/// non-negative count.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A latency histogram over power-of-two microsecond buckets, with the
+/// sum and count needed for rates and quantile readout.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_micros: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Index of the bucket whose upper bound first covers `micros`.
+#[must_use]
+pub(crate) fn bucket_index(micros: u64) -> usize {
+    if micros <= 1 {
+        return 0;
+    }
+    // ceil(log2(micros)): bucket i holds (2^(i-1), 2^i].
+    let ceil_log2 = (u64::BITS - (micros - 1).leading_zeros()) as usize;
+    ceil_log2.min(BUCKET_COUNT - 1)
+}
+
+/// Upper bound of bucket `i` in seconds; `None` for the `+Inf` bucket.
+#[must_use]
+pub(crate) fn bucket_bound_secs(i: usize) -> Option<f64> {
+    #[allow(clippy::cast_precision_loss)]
+    if i < BUCKET_COUNT - 1 {
+        Some((1u64 << i) as f64 / 1e6)
+    } else {
+        None
+    }
+}
+
+impl Histogram {
+    pub fn observe(&self, d: Duration) {
+        self.observe_micros(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    pub fn observe_micros(&self, micros: u64) {
+        self.buckets[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    #[must_use]
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros.load(Ordering::Relaxed)
+    }
+
+    #[must_use]
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Quantile readout in seconds (`q` in `[0, 1]`): the upper bound
+    /// of the bucket where the cumulative count crosses `q * count`.
+    /// Returns 0.0 on an empty histogram; observations that landed in
+    /// the overflow bucket report the last finite bound.
+    #[must_use]
+    pub fn quantile_secs(&self, q: f64) -> f64 {
+        quantile_from_buckets(&self.bucket_counts(), q)
+    }
+}
+
+/// Shared quantile logic for live histograms and decoded snapshots.
+#[must_use]
+pub(crate) fn quantile_from_buckets(buckets: &[u64], q: f64) -> f64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+    let mut cum = 0u64;
+    for (i, b) in buckets.iter().enumerate() {
+        cum += b;
+        if cum >= rank {
+            return bucket_bound_secs(i)
+                .or_else(|| bucket_bound_secs(BUCKET_COUNT - 2))
+                .unwrap_or(0.0);
+        }
+    }
+    bucket_bound_secs(BUCKET_COUNT - 2).unwrap_or(0.0)
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics. Lookups intern the name once and
+/// hand out shared handles; recording through a handle is lock-free.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<HashMap<String, Metric>>,
+}
+
+/// Renders `name{k1="v1",...}` — the canonical key for a labelled
+/// series. Prometheus label syntax is embedded directly in the key so
+/// snapshots and the text exposition never need a second schema.
+#[must_use]
+pub fn keyed(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_owned();
+    }
+    let body: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{name}{{{}}}", body.join(","))
+}
+
+impl Registry {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut metrics = self.metrics.lock().expect("metrics lock poisoned");
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Arc::default()))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} is not a counter"),
+        }
+    }
+
+    /// [`Registry::counter`] for a labelled series.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.counter(&keyed(name, labels))
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut metrics = self.metrics.lock().expect("metrics lock poisoned");
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Arc::default()))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} is not a gauge"),
+        }
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut metrics = self.metrics.lock().expect("metrics lock poisoned");
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Arc::default()))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} is not a histogram"),
+        }
+    }
+
+    /// [`Registry::histogram`] for a labelled series.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram(&keyed(name, labels))
+    }
+
+    /// A point-in-time copy of every registered series, sorted by name.
+    /// Each series is read atomically, so totals in the snapshot are
+    /// internally consistent per metric even under concurrent writers.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.lock().expect("metrics lock poisoned");
+        let mut entries: Vec<(String, Value)> = metrics
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => Value::Counter(c.get()),
+                    Metric::Gauge(g) => Value::Gauge(g.get()),
+                    Metric::Histogram(h) => Value::Histogram {
+                        count: h.count(),
+                        sum_micros: h.sum_micros(),
+                        buckets: h.bucket_counts(),
+                    },
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot { entries }
+    }
+}
+
+/// The per-process registry: the recording target for layers that have
+/// no natural owner to thread a registry through (engine phases, store
+/// fsyncs, dispatcher wire traffic).
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_powers_of_two() {
+        // Bucket i covers (2^(i-1), 2^i] microseconds.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(1025), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+        // Exact powers of two sit in the bucket bearing their bound.
+        for i in 0..40u32 {
+            let v = 1u64 << i;
+            assert_eq!(bucket_index(v), (i as usize).min(BUCKET_COUNT - 1));
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_read_bucket_upper_bounds() {
+        let h = Histogram::default();
+        for micros in [10, 100, 1_000, 10_000, 100_000, 1_000_000] {
+            h.observe_micros(micros);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum_micros(), 1_111_110);
+        // p50 = 3rd of 6 samples → the 1000µs sample's bucket (2^10).
+        assert!((h.quantile_secs(0.5) - 0.001_024).abs() < 1e-12);
+        // p99 → the slowest sample's bucket (2^20 µs ≈ 1.05 s).
+        assert!((h.quantile_secs(0.99) - 1.048_576).abs() < 1e-9);
+        assert_eq!(h.quantile_secs(0.0), h.quantile_secs(0.000_001));
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        assert_eq!(Histogram::default().quantile_secs(0.5), 0.0);
+    }
+
+    #[test]
+    fn concurrent_increments_are_all_counted() {
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        let registry = Arc::new(Registry::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let registry = Arc::clone(&registry);
+                std::thread::spawn(move || {
+                    let counter = registry.counter("test_hits_total");
+                    let histogram = registry.histogram("test_latency_seconds");
+                    for i in 0..PER_THREAD {
+                        counter.inc();
+                        histogram.observe_micros((t as u64) * PER_THREAD + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let expected = THREADS as u64 * PER_THREAD;
+        assert_eq!(registry.counter("test_hits_total").get(), expected);
+        let h = registry.histogram("test_latency_seconds");
+        assert_eq!(h.count(), expected);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), expected);
+    }
+
+    #[test]
+    fn labelled_series_are_distinct() {
+        let registry = Registry::new();
+        registry
+            .counter_with("req_total", &[("endpoint", "/jobs")])
+            .add(2);
+        registry
+            .counter_with("req_total", &[("endpoint", "/stats")])
+            .inc();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("req_total{endpoint=\"/jobs\"}"), 2);
+        assert_eq!(snap.counter("req_total{endpoint=\"/stats\"}"), 1);
+        assert_eq!(snap.total("req_total"), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn kind_mismatch_panics() {
+        let registry = Registry::new();
+        registry.gauge("confused");
+        registry.counter("confused");
+    }
+}

@@ -1,0 +1,426 @@
+//! Point-in-time registry snapshots: a line-oriented text encoding
+//! (the payload of the wire `MetricsSnapshot` frame), cross-registry
+//! merging, label injection for per-shard aggregation, and Prometheus
+//! text exposition rendering.
+
+use crate::registry::{bucket_bound_secs, quantile_from_buckets, BUCKET_COUNT};
+
+/// One series' value in a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    Counter(u64),
+    Gauge(u64),
+    Histogram {
+        count: u64,
+        sum_micros: u64,
+        buckets: Vec<u64>,
+    },
+}
+
+/// A frozen copy of a registry, sorted by series name. Series names
+/// carry their Prometheus labels inline (`name{k="v"}`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    pub entries: Vec<(String, Value)>,
+}
+
+impl Snapshot {
+    /// Encodes to the `snapshot v1` text format (see
+    /// `crates/obs/FORMATS.md`): one tab-separated line per series.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            match value {
+                Value::Counter(v) => out.push_str(&format!("c\t{name}\t{v}\n")),
+                Value::Gauge(v) => out.push_str(&format!("g\t{name}\t{v}\n")),
+                Value::Histogram {
+                    count,
+                    sum_micros,
+                    buckets,
+                } => {
+                    out.push_str(&format!("h\t{name}\t{count}\t{sum_micros}"));
+                    for b in buckets {
+                        out.push_str(&format!("\t{b}"));
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes the `snapshot v1` text format.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed line. The
+    /// dispatcher treats a decode failure as "no snapshot from this
+    /// shard", never as a fatal wire error.
+    pub fn decode(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split('\t');
+            let kind = fields.next().unwrap_or_default();
+            let name = fields
+                .next()
+                .ok_or_else(|| format!("line {}: missing series name", lineno + 1))?
+                .to_owned();
+            let mut next_u64 = |what: &str| -> Result<u64, String> {
+                fields
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing {what}", lineno + 1))?
+                    .parse::<u64>()
+                    .map_err(|e| format!("line {}: bad {what}: {e}", lineno + 1))
+            };
+            let value = match kind {
+                "c" => Value::Counter(next_u64("counter value")?),
+                "g" => Value::Gauge(next_u64("gauge value")?),
+                "h" => {
+                    let count = next_u64("histogram count")?;
+                    let sum_micros = next_u64("histogram sum")?;
+                    let mut buckets = Vec::with_capacity(BUCKET_COUNT);
+                    for i in 0..BUCKET_COUNT {
+                        buckets.push(next_u64(&format!("bucket {i}"))?);
+                    }
+                    Value::Histogram {
+                        count,
+                        sum_micros,
+                        buckets,
+                    }
+                }
+                other => return Err(format!("line {}: unknown kind {other:?}", lineno + 1)),
+            };
+            if fields.next().is_some() {
+                return Err(format!("line {}: trailing fields", lineno + 1));
+            }
+            entries.push((name, value));
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(Self { entries })
+    }
+
+    /// Folds `other` into `self`: same-named counters, gauges, and
+    /// histograms add together; names unique to either side survive.
+    /// Mismatched kinds keep `self`'s series untouched (merging is
+    /// best-effort aggregation, not validation).
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, theirs) in &other.entries {
+            match self.entries.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                Ok(i) => {
+                    let ours = &mut self.entries[i].1;
+                    match (ours, theirs) {
+                        (Value::Counter(a), Value::Counter(b))
+                        | (Value::Gauge(a), Value::Gauge(b)) => {
+                            *a += b;
+                        }
+                        (
+                            Value::Histogram {
+                                count,
+                                sum_micros,
+                                buckets,
+                            },
+                            Value::Histogram {
+                                count: c2,
+                                sum_micros: s2,
+                                buckets: b2,
+                            },
+                        ) => {
+                            *count += c2;
+                            *sum_micros += s2;
+                            for (a, b) in buckets.iter_mut().zip(b2) {
+                                *a += b;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                Err(i) => self.entries.insert(i, (name.clone(), theirs.clone())),
+            }
+        }
+    }
+
+    /// A copy with `key="value"` injected into every series name —
+    /// how shard-worker snapshots become distinct `shard="K"` series
+    /// on the dispatcher instead of silently double-counting.
+    #[must_use]
+    pub fn with_label(&self, key: &str, value: &str) -> Snapshot {
+        let mut entries: Vec<(String, Value)> = self
+            .entries
+            .iter()
+            .map(|(name, v)| {
+                let labelled = match name.strip_suffix('}') {
+                    Some(body) => format!("{body},{key}=\"{value}\"}}"),
+                    None => format!("{name}{{{key}=\"{value}\"}}"),
+                };
+                (labelled, v.clone())
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot { entries }
+    }
+
+    /// The value of the exactly-named counter or gauge series, or 0.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| match v {
+                Value::Counter(c) | Value::Gauge(c) => *c,
+                Value::Histogram { .. } => 0,
+            })
+    }
+
+    /// Sum of a counter/gauge family across all label series: every
+    /// entry named `base` or `base{...}`.
+    #[must_use]
+    pub fn total(&self, base: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|(n, _)| family(n) == base)
+            .map(|(_, v)| match v {
+                Value::Counter(c) | Value::Gauge(c) => *c,
+                Value::Histogram { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Renders the snapshot as Prometheus text exposition (version
+    /// 0.0.4): one `# TYPE` line per family, cumulative `le` buckets
+    /// plus `_sum`/`_count` for histograms.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = String::new();
+        for (name, value) in &self.entries {
+            let base = family(name);
+            let labels = labels_of(name);
+            if base != last_family {
+                let kind = match value {
+                    Value::Counter(_) => "counter",
+                    Value::Gauge(_) => "gauge",
+                    Value::Histogram { .. } => "histogram",
+                };
+                out.push_str(&format!("# TYPE {base} {kind}\n"));
+                last_family = base.to_owned();
+            }
+            match value {
+                Value::Counter(v) | Value::Gauge(v) => {
+                    out.push_str(&format!("{name} {v}\n"));
+                }
+                Value::Histogram {
+                    count,
+                    sum_micros,
+                    buckets,
+                } => {
+                    let mut cum = 0u64;
+                    for (i, b) in buckets.iter().enumerate() {
+                        cum += b;
+                        let le = match bucket_bound_secs(i) {
+                            Some(bound) => format!("{bound}"),
+                            None => "+Inf".to_owned(),
+                        };
+                        let series = join_labels(base, labels, &format!("le=\"{le}\""));
+                        out.push_str(&format!("{series} {cum}\n"));
+                    }
+                    out.push_str(&format!(
+                        "{} {}\n",
+                        with_suffix(base, labels, "_sum"),
+                        *sum_micros as f64 / 1e6
+                    ));
+                    out.push_str(&format!(
+                        "{} {}\n",
+                        with_suffix(base, labels, "_count"),
+                        count
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// p-quantile (in seconds) of the exactly-named histogram series.
+    #[must_use]
+    pub fn quantile_secs(&self, name: &str, q: f64) -> f64 {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0.0, |(_, v)| match v {
+                Value::Histogram { buckets, .. } => quantile_from_buckets(buckets, q),
+                _ => 0.0,
+            })
+    }
+}
+
+/// The family (metric) name: everything before the label block.
+fn family(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// The label block body (without braces), if any.
+fn labels_of(name: &str) -> Option<&str> {
+    let start = name.find('{')?;
+    name[start + 1..].strip_suffix('}')
+}
+
+/// `base` + suffix + original labels: `http_seconds_sum{endpoint="/x"}`.
+fn with_suffix(base: &str, labels: Option<&str>, suffix: &str) -> String {
+    match labels {
+        Some(body) => format!("{base}{suffix}{{{body}}}"),
+        None => format!("{base}{suffix}"),
+    }
+}
+
+/// `base` + `_bucket` + original labels merged with the `le` pair.
+fn join_labels(base: &str, labels: Option<&str>, le: &str) -> String {
+    match labels {
+        Some(body) => format!("{base}_bucket{{{body},{le}}}"),
+        None => format!("{base}_bucket{{{le}}}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use std::time::Duration;
+
+    fn sample() -> Snapshot {
+        let r = Registry::new();
+        r.counter("a_total").add(7);
+        r.gauge("b").set(3);
+        r.histogram_with("lat_seconds", &[("phase", "x")])
+            .observe(Duration::from_micros(1500));
+        r.snapshot()
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let snap = sample();
+        let decoded = Snapshot::decode(&snap.encode()).expect("decodes");
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_lines() {
+        assert!(Snapshot::decode("x\tname\t1\n").is_err());
+        assert!(Snapshot::decode("c\tname\n").is_err());
+        assert!(Snapshot::decode("c\tname\tnot-a-number\n").is_err());
+        assert!(
+            Snapshot::decode("h\tname\t1\t2\t3\n").is_err(),
+            "short bucket list"
+        );
+        assert!(
+            Snapshot::decode("c\tname\t1\textra\n").is_err(),
+            "trailing field"
+        );
+        assert_eq!(Snapshot::decode("").unwrap(), Snapshot::default());
+    }
+
+    #[test]
+    fn merge_adds_matching_series_and_keeps_unique_ones() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.counter("a_total"), 14);
+        assert_eq!(a.counter("b"), 6);
+        let r = Registry::new();
+        r.counter("only_mine_total").inc();
+        a.merge(&r.snapshot());
+        assert_eq!(a.counter("only_mine_total"), 1);
+        match a
+            .entries
+            .iter()
+            .find(|(n, _)| n == "lat_seconds{phase=\"x\"}")
+            .map(|(_, v)| v)
+        {
+            Some(Value::Histogram { count, .. }) => assert_eq!(*count, 2),
+            other => panic!("histogram missing after merge: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_label_injects_into_plain_and_labelled_names() {
+        let shard = sample().with_label("shard", "2");
+        assert_eq!(shard.counter("a_total{shard=\"2\"}"), 7);
+        assert!(shard
+            .entries
+            .iter()
+            .any(|(n, _)| n == "lat_seconds{phase=\"x\",shard=\"2\"}"));
+        // Aggregation across shards is a family total, not a name clash.
+        let mut merged = shard.clone();
+        merged.merge(&sample().with_label("shard", "5"));
+        assert_eq!(merged.total("a_total"), 14);
+        assert_eq!(merged.counter("a_total{shard=\"2\"}"), 7);
+    }
+
+    #[test]
+    fn snapshot_totals_are_consistent_under_concurrent_writers() {
+        // A snapshot taken mid-write must never show a histogram whose
+        // bucket sum exceeds its count-at-read plus in-flight skew; we
+        // assert the stronger per-series invariant after quiescence and
+        // internal consistency (sum of buckets == count) on the final
+        // snapshot.
+        let r = std::sync::Arc::new(Registry::new());
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let r = std::sync::Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        r.counter("w_total").inc();
+                        r.histogram("w_seconds").observe_micros(i);
+                    }
+                })
+            })
+            .collect();
+        // Take snapshots while writers run: decode(encode(s)) == s.
+        for _ in 0..50 {
+            let s = r.snapshot();
+            assert_eq!(Snapshot::decode(&s.encode()).unwrap(), s);
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        let s = r.snapshot();
+        assert_eq!(s.counter("w_total"), 20_000);
+        match s
+            .entries
+            .iter()
+            .find(|(n, _)| n == "w_seconds")
+            .map(|e| &e.1)
+        {
+            Some(Value::Histogram { count, buckets, .. }) => {
+                assert_eq!(*count, 20_000);
+                assert_eq!(buckets.iter().sum::<u64>(), 20_000);
+            }
+            other => panic!("histogram missing: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let text = sample().render_prometheus();
+        assert!(text.contains("# TYPE a_total counter\n"));
+        assert!(text.contains("a_total 7\n"));
+        assert!(text.contains("# TYPE b gauge\n"));
+        assert!(text.contains("# TYPE lat_seconds histogram\n"));
+        // The 1500µs sample lands in the 2048µs bucket; cumulative
+        // counts reach 1 there and stay 1 through +Inf.
+        assert!(text.contains("lat_seconds_bucket{phase=\"x\",le=\"0.002048\"} 1\n"));
+        assert!(text.contains("lat_seconds_bucket{phase=\"x\",le=\"+Inf\"} 1\n"));
+        assert!(text.contains("lat_seconds_sum{phase=\"x\"} 0.0015\n"));
+        assert!(text.contains("lat_seconds_count{phase=\"x\"} 1\n"));
+    }
+
+    #[test]
+    fn quantile_reads_from_decoded_snapshots() {
+        let snap = sample();
+        let q = snap.quantile_secs("lat_seconds{phase=\"x\"}", 0.5);
+        assert!((q - 0.002_048).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,193 @@
+//! Span tracing: scoped guards that time a named phase into the global
+//! registry's `marioh_phase_seconds` histograms and, when a recorder is
+//! armed, into a bounded ring buffer that dumps Chrome trace-event
+//! JSON (`chrome://tracing` / Perfetto's legacy format).
+
+use crate::registry::global;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default ring-buffer capacity: enough for every phase of a sizeable
+/// reconstruction without unbounded growth on pathological inputs.
+pub(crate) const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// One completed span, in microseconds relative to the process epoch.
+struct Event {
+    name: &'static str,
+    ts_micros: u64,
+    dur_micros: u64,
+    tid: u64,
+}
+
+struct Recorder {
+    events: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// Armed flag checked on every span drop, so the common case (no
+/// recorder) costs one relaxed load instead of a mutex.
+static TRACING: AtomicBool = AtomicBool::new(false);
+static RECORDER: Mutex<Option<Recorder>> = Mutex::new(None);
+
+/// Monotonic epoch all trace timestamps are relative to.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Small stable per-thread id for the trace's `tid` field.
+fn thread_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// Arms the trace recorder with a ring buffer of `capacity` events
+/// (0 means the default). Spans entered from now on are recorded until
+/// [`trace_dump`] disarms it.
+pub fn trace_start(capacity: usize) {
+    let capacity = if capacity == 0 {
+        DEFAULT_TRACE_CAPACITY
+    } else {
+        capacity
+    };
+    epoch(); // pin the epoch before the first event
+    let mut recorder = RECORDER.lock().expect("trace recorder lock poisoned");
+    *recorder = Some(Recorder {
+        events: VecDeque::with_capacity(capacity.min(4096)),
+        capacity,
+        dropped: 0,
+    });
+    TRACING.store(true, Ordering::Release);
+}
+
+/// Whether a recorder is currently armed.
+#[must_use]
+pub fn trace_active() -> bool {
+    TRACING.load(Ordering::Acquire)
+}
+
+/// Disarms the recorder and renders the captured spans as Chrome
+/// trace-event JSON (`trace v1` in `crates/obs/FORMATS.md`). Returns
+/// `None` if no recorder was armed.
+#[must_use]
+pub fn trace_dump() -> Option<String> {
+    TRACING.store(false, Ordering::Release);
+    let recorder = RECORDER
+        .lock()
+        .expect("trace recorder lock poisoned")
+        .take()?;
+    let pid = std::process::id();
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, e) in recorder.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}}}",
+            e.name, e.ts_micros, e.dur_micros, pid, e.tid
+        ));
+    }
+    out.push(']');
+    if recorder.dropped > 0 {
+        out.push_str(&format!(",\"droppedEvents\":{}", recorder.dropped));
+    }
+    out.push('}');
+    Some(out)
+}
+
+fn record(name: &'static str, start: Instant, end: Instant) {
+    if !trace_active() {
+        return;
+    }
+    let mut guard = RECORDER.lock().expect("trace recorder lock poisoned");
+    let Some(recorder) = guard.as_mut() else {
+        return;
+    };
+    if recorder.events.len() >= recorder.capacity {
+        recorder.events.pop_front();
+        recorder.dropped += 1;
+    }
+    recorder.events.push_back(Event {
+        name,
+        ts_micros: u64::try_from(start.duration_since(epoch()).as_micros()).unwrap_or(u64::MAX),
+        dur_micros: u64::try_from((end - start).as_micros()).unwrap_or(u64::MAX),
+        tid: thread_id(),
+    });
+}
+
+/// A scoped phase timer. On drop it records the elapsed wall-time into
+/// `marioh_phase_seconds{phase="<name>"}` on the global registry and,
+/// when tracing is armed, appends a trace event.
+///
+/// ```
+/// {
+///     let _span = marioh_obs::Span::enter("scoring");
+///     // ... the phase ...
+/// } // recorded here
+/// ```
+#[must_use = "a span records when dropped; binding it to _ drops immediately"]
+pub struct Span {
+    name: &'static str,
+    start: Instant,
+}
+
+impl Span {
+    pub fn enter(name: &'static str) -> Self {
+        Self {
+            name,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let end = Instant::now();
+        global()
+            .histogram_with("marioh_phase_seconds", &[("phase", self.name)])
+            .observe(end - self.start);
+        record(self.name, self.start, end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_into_the_global_phase_histogram() {
+        let before = global()
+            .histogram_with("marioh_phase_seconds", &[("phase", "obs_test_phase")])
+            .count();
+        {
+            let _span = Span::enter("obs_test_phase");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let h = global().histogram_with("marioh_phase_seconds", &[("phase", "obs_test_phase")]);
+        assert_eq!(h.count(), before + 1);
+        assert!(h.sum_micros() >= 1_000);
+    }
+
+    #[test]
+    fn trace_recorder_captures_bounded_chrome_events() {
+        trace_start(4);
+        for _ in 0..6 {
+            let _span = Span::enter("obs_trace_test");
+        }
+        let json = trace_dump().expect("recorder was armed");
+        assert!(!trace_active());
+        assert!(trace_dump().is_none(), "dump disarms the recorder");
+        // 6 spans into a 4-slot ring: 4 kept, 2 dropped.
+        assert_eq!(json.matches("\"obs_trace_test\"").count(), 4);
+        assert!(json.contains("\"droppedEvents\":2"));
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.ends_with('}'));
+    }
+}

@@ -160,10 +160,20 @@ fn reason(status: u16) -> &'static str {
 
 /// Writes a JSON response with `Connection: close`.
 pub fn write_response<W: Write>(writer: &mut W, status: u16, body: &Json) -> io::Result<()> {
-    let payload = body.to_string();
+    write_text_response(writer, status, "application/json", &body.to_string())
+}
+
+/// Writes a response with an explicit content type (the Prometheus
+/// `/metrics` exposition is plain text, not JSON).
+pub fn write_text_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    payload: &str,
+) -> io::Result<()> {
     write!(
         writer,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
         reason(status),
         payload.len(),
     )?;

@@ -18,13 +18,14 @@
 
 use marioh_core::progress::CancelToken;
 use marioh_core::{MariohError, SavedModel};
+use marioh_dispatch::{Dispatcher, ShardStatus};
+use marioh_obs::{Counter, Gauge, Registry, Snapshot};
 use marioh_store::{
     ArtifactStats, ArtifactStore, JobStore, MemoryStore, ModelEntry, SpecHash, Transition,
     DEFAULT_RETAINED_JOBS,
 };
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
 
 // The job domain model lives in `marioh-store`; re-export it so server
 // consumers keep their import paths.
@@ -148,13 +149,19 @@ struct Shared {
     artifacts: Arc<dyn ArtifactStore>,
     queue_cap: usize,
     workers: usize,
-    pipeline_runs: AtomicU64,
-    cache_hits: AtomicU64,
-    models_trained: AtomicU64,
-    cliques_reused: AtomicU64,
-    cliques_rescored: AtomicU64,
-    shards: AtomicUsize,
-    shard_restarts: AtomicU64,
+    /// Per-manager metrics registry: the single source every frontend
+    /// reads. `/stats` and `GET /metrics` both render from it (plus the
+    /// process-global registry), so the two views can never disagree.
+    registry: Arc<Registry>,
+    pipeline_runs: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    models_trained: Arc<Counter>,
+    shards: Arc<Gauge>,
+    shard_restarts: Arc<Counter>,
+    /// The shard dispatcher, when `--shards` is active. Weak: the
+    /// dispatcher's event sink owns a manager clone, so a strong handle
+    /// here would cycle.
+    dispatcher: Mutex<Weak<Dispatcher>>,
 }
 
 /// The concurrent job queue and orchestration over a pluggable store.
@@ -210,6 +217,7 @@ impl JobManager {
             orch.tokens.insert(id, CancelToken::new());
             orch.queue.push_back(id);
         }
+        let registry = Arc::new(Registry::default());
         JobManager {
             shared: Arc::new(Shared {
                 orch: Mutex::new(orch),
@@ -218,13 +226,13 @@ impl JobManager {
                 artifacts,
                 queue_cap,
                 workers,
-                pipeline_runs: AtomicU64::new(0),
-                cache_hits: AtomicU64::new(0),
-                models_trained: AtomicU64::new(0),
-                cliques_reused: AtomicU64::new(0),
-                cliques_rescored: AtomicU64::new(0),
-                shards: AtomicUsize::new(0),
-                shard_restarts: AtomicU64::new(0),
+                pipeline_runs: registry.counter("marioh_server_pipeline_runs_total"),
+                cache_hits: registry.counter("marioh_server_cache_hits_total"),
+                models_trained: registry.counter("marioh_server_models_trained_total"),
+                shards: registry.gauge("marioh_server_shards"),
+                shard_restarts: registry.counter("marioh_server_shard_restarts_total"),
+                registry,
+                dispatcher: Mutex::new(Weak::new()),
             }),
         }
     }
@@ -269,7 +277,7 @@ impl JobManager {
                     cached: true,
                 },
             );
-            self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.shared.cache_hits.inc();
             return Ok(id);
         }
         let mut orch = self.lock();
@@ -383,7 +391,7 @@ impl JobManager {
         for (id, hit) in ids.iter().zip(cached) {
             match hit {
                 Some(result) => {
-                    self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    self.shared.cache_hits.inc();
                     done.push((
                         *id,
                         Transition::Done {
@@ -567,7 +575,7 @@ impl JobManager {
             orch.running = orch.running.saturating_sub(1);
             orch.tokens.remove(&id);
         }
-        self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.shared.cache_hits.inc();
         self.store().transition(
             id,
             Transition::Done {
@@ -630,37 +638,74 @@ impl JobManager {
     /// Counts one pipeline actually executed (called by workers, never
     /// on cache hits).
     pub fn note_pipeline_run(&self) {
-        self.shared.pipeline_runs.fetch_add(1, Ordering::Relaxed);
+        self.shared.pipeline_runs.inc();
     }
 
     /// Counts one classifier trained (driven by the observer's
     /// `on_training_done`, so model-reuse jobs — which skip training —
     /// never count).
     pub fn note_trained(&self) {
-        self.shared.models_trained.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Accumulates one round's engine reuse split (streamed by the
-    /// worker's progress observer; surfaces as the `/stats` reuse ratio).
-    pub fn note_search_reuse(&self, reused: usize, rescored: usize) {
-        self.shared
-            .cliques_reused
-            .fetch_add(reused as u64, Ordering::Relaxed);
-        self.shared
-            .cliques_rescored
-            .fetch_add(rescored as u64, Ordering::Relaxed);
+        self.shared.models_trained.inc();
     }
 
     /// Records that this manager serves through `shards` shard worker
     /// processes (surfaces in `/stats`).
     pub fn set_shard_mode(&self, shards: usize) {
-        self.shared.shards.store(shards, Ordering::Relaxed);
+        self.shared.shards.set(shards as u64);
     }
 
     /// Counts one shard worker replacement (SIGKILL, crash, or heartbeat
     /// timeout followed by respawn).
     pub fn note_shard_restart(&self) {
-        self.shared.shard_restarts.fetch_add(1, Ordering::Relaxed);
+        self.shared.shard_restarts.inc();
+    }
+
+    /// This manager's metrics registry — where the HTTP layer records
+    /// request latencies and the server counters above live.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.shared.registry
+    }
+
+    /// Attaches the shard dispatcher so stats and metrics can fold in
+    /// per-shard heartbeat ages, in-flight counts, and pushed worker
+    /// registries. Held weakly — the dispatcher's event sink already
+    /// owns a manager clone.
+    pub fn attach_dispatcher(&self, dispatcher: &Arc<Dispatcher>) {
+        *self
+            .shared
+            .dispatcher
+            .lock()
+            .expect("dispatcher handle lock poisoned") = Arc::downgrade(dispatcher);
+    }
+
+    /// Per-shard status (heartbeat age, in-flight jobs, latest pushed
+    /// metrics snapshot); empty when no dispatcher is attached.
+    pub fn shard_statuses(&self) -> Vec<ShardStatus> {
+        self.shared
+            .dispatcher
+            .lock()
+            .expect("dispatcher handle lock poisoned")
+            .upgrade()
+            .map(|d| d.shard_statuses())
+            .unwrap_or_default()
+    }
+
+    /// The one merged metrics view every frontend renders from: this
+    /// manager's registry, the process-global registry (engine phases,
+    /// store, dispatch wire traffic), and each shard worker's pushed
+    /// registry re-labelled with `shard="K"`. `/stats` and `GET /metrics`
+    /// both read this, so they can never disagree.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let mut snap = self.shared.registry.snapshot();
+        snap.merge(&marioh_obs::global().snapshot());
+        for status in self.shard_statuses() {
+            if let Some(text) = &status.snapshot {
+                if let Ok(worker) = Snapshot::decode(text) {
+                    snap.merge(&worker.with_label("shard", &status.shard.to_string()));
+                }
+            }
+        }
+        snap
     }
 
     /// Cancels a job: de-queues it if still queued, fires its token if
@@ -742,6 +787,10 @@ impl JobManager {
         };
         let counters = self.store().counters();
         let ArtifactStats { results, models } = self.shared.artifacts.artifact_stats();
+        // Engine reuse totals are recorded once, in core, on the global
+        // registry (and on each shard worker's, folded in with a
+        // `shard="K"` label); summing the family covers both modes.
+        let merged = self.metrics_snapshot();
         ServerStats {
             queue_depth,
             running,
@@ -749,15 +798,15 @@ impl JobManager {
             queue_cap: self.shared.queue_cap,
             submitted: counters.submitted,
             finished: counters.finished,
-            pipeline_runs: self.shared.pipeline_runs.load(Ordering::Relaxed),
-            cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
-            models_trained: self.shared.models_trained.load(Ordering::Relaxed),
-            cliques_reused: self.shared.cliques_reused.load(Ordering::Relaxed),
-            cliques_rescored: self.shared.cliques_rescored.load(Ordering::Relaxed),
+            pipeline_runs: self.shared.pipeline_runs.get(),
+            cache_hits: self.shared.cache_hits.get(),
+            models_trained: self.shared.models_trained.get(),
+            cliques_reused: merged.total("marioh_engine_cliques_reused_total"),
+            cliques_rescored: merged.total("marioh_engine_cliques_rescored_total"),
             results_cached: results,
             models_cached: models,
-            shards: self.shared.shards.load(Ordering::Relaxed),
-            shard_restarts: self.shared.shard_restarts.load(Ordering::Relaxed),
+            shards: self.shared.shards.get() as usize,
+            shard_restarts: self.shared.shard_restarts.get(),
             store: self.store().kind(),
         }
     }

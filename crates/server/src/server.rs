@@ -6,7 +6,7 @@
 //! pool), a non-blocking accept loop so shutdown never hangs in
 //! `accept(2)`, and `Connection: close` semantics throughout.
 
-use crate::http::{error_body, read_request, write_response, Request};
+use crate::http::{error_body, read_request, write_response, write_text_response, Request};
 use crate::job::{BatchError, BatchSubmission, JobManager, JobSpec, JobStatus, SubmitError};
 use crate::json::Json;
 use crate::shards::{spawn_shard_router, ShardEventSink};
@@ -20,7 +20,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long the accept loop sleeps between polls when idle.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
@@ -169,6 +169,7 @@ impl Server {
                     |e| MariohError::config(format!("failed to start shard dispatcher: {e}")),
                 )?,
             );
+            manager.attach_dispatcher(&dispatcher);
             let router = spawn_shard_router(&manager, Arc::clone(&dispatcher));
             (vec![router], Some(dispatcher))
         } else {
@@ -289,13 +290,68 @@ fn handle_connection(stream: TcpStream, manager: &JobManager) {
         Err(_) => return,
     });
     let mut writer = stream;
-    let (status, body) = match read_request(&mut reader) {
-        Ok(Some(request)) => route(&request, manager),
+    let started = Instant::now();
+    let mut endpoint = None;
+    let (status, reply) = match read_request(&mut reader) {
+        Ok(Some(request)) => {
+            endpoint = Some(endpoint_of(&request.path));
+            route(&request, manager)
+        }
         Ok(None) => return, // client connected and left
-        Err(e) if e.kind() == io::ErrorKind::InvalidData => (400, error_body(e.to_string())),
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            (400, Reply::Json(error_body(e.to_string())))
+        }
         Err(_) => return, // transport error; nothing sensible to send
     };
-    let _ = write_response(&mut writer, status, &body);
+    let _ = match &reply {
+        Reply::Json(body) => write_response(&mut writer, status, body),
+        Reply::Text { content_type, body } => {
+            write_text_response(&mut writer, status, content_type, body)
+        }
+    };
+    if let Some(endpoint) = endpoint {
+        manager
+            .registry()
+            .histogram_with("marioh_http_request_seconds", &[("endpoint", endpoint)])
+            .observe(started.elapsed());
+    }
+}
+
+/// The latency-histogram label for a request path: known routes keep
+/// their shape with ids collapsed to `:id` (bounded cardinality), and
+/// everything else shares one bucket.
+fn endpoint_of(path: &str) -> &'static str {
+    match segments(path).as_slice() {
+        ["healthz"] => "/healthz",
+        ["stats"] => "/stats",
+        ["metrics"] => "/metrics",
+        ["jobs"] => "/jobs",
+        ["jobs", _] => "/jobs/:id",
+        ["jobs", _, "result"] => "/jobs/:id/result",
+        ["batches", _] => "/batches/:id",
+        ["models"] => "/models",
+        _ => "other",
+    }
+}
+
+/// What a route produced: almost always JSON; `/metrics` is Prometheus
+/// plain text.
+enum Reply {
+    Json(Json),
+    Text {
+        content_type: &'static str,
+        body: String,
+    },
+}
+
+#[cfg(test)]
+impl Reply {
+    fn as_json(&self) -> &Json {
+        match self {
+            Reply::Json(body) => body,
+            Reply::Text { body, .. } => panic!("expected a JSON reply, got text {body:?}"),
+        }
+    }
 }
 
 /// Splits `/jobs/17/result` into its non-empty segments.
@@ -303,7 +359,27 @@ fn segments(path: &str) -> Vec<&str> {
     path.split('/').filter(|s| !s.is_empty()).collect()
 }
 
-fn route(request: &Request, manager: &JobManager) -> (u16, Json) {
+/// The Prometheus text exposition content type served on `/metrics`.
+const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+fn route(request: &Request, manager: &JobManager) -> (u16, Reply) {
+    // `/metrics` is the one non-JSON route: the Prometheus rendering of
+    // the same merged snapshot `/stats` reads, so the two views can
+    // never disagree.
+    if request.method == "GET" && segments(&request.path).as_slice() == ["metrics"] {
+        return (
+            200,
+            Reply::Text {
+                content_type: METRICS_CONTENT_TYPE,
+                body: manager.metrics_snapshot().render_prometheus(),
+            },
+        );
+    }
+    let (status, body) = route_json(request, manager);
+    (status, Reply::Json(body))
+}
+
+fn route_json(request: &Request, manager: &JobManager) -> (u16, Json) {
     let method = request.method.as_str();
     match (method, segments(&request.path).as_slice()) {
         ("GET", ["healthz"]) => (200, Json::Obj(vec![("status".into(), Json::str("ok"))])),
@@ -330,7 +406,9 @@ fn route(request: &Request, manager: &JobManager) -> (u16, Json) {
             ),
             None => not_found(id),
         }),
-        (_, ["healthz" | "stats" | "models"]) | (_, ["jobs", ..]) | (_, ["batches", ..]) => (
+        (_, ["healthz" | "stats" | "models" | "metrics"])
+        | (_, ["jobs", ..])
+        | (_, ["batches", ..]) => (
             405,
             error_body(format!("method {method} not allowed on {}", request.path)),
         ),
@@ -575,7 +653,21 @@ fn models_body(manager: &JobManager) -> Json {
 
 fn stats_body(manager: &JobManager) -> Json {
     let s = manager.stats();
-    Json::Obj(vec![
+    let shard_status: Vec<Json> = manager
+        .shard_statuses()
+        .into_iter()
+        .map(|status| {
+            Json::Obj(vec![
+                ("shard".into(), Json::num(status.shard as f64)),
+                (
+                    "last_heartbeat_ms".into(),
+                    Json::num(status.last_heartbeat_ms as f64),
+                ),
+                ("inflight".into(), Json::num(status.inflight as f64)),
+            ])
+        })
+        .collect();
+    let mut pairs = vec![
         ("queue_depth".into(), Json::num(s.queue_depth as f64)),
         ("running".into(), Json::num(s.running as f64)),
         ("workers".into(), Json::num(s.workers as f64)),
@@ -603,7 +695,11 @@ fn stats_body(manager: &JobManager) -> Json {
         ("store".into(), Json::str(s.store)),
         ("shards".into(), Json::num(s.shards as f64)),
         ("shard_restarts".into(), Json::num(s.shard_restarts as f64)),
-    ])
+    ];
+    if !shard_status.is_empty() {
+        pairs.push(("shard_status".into(), Json::Arr(shard_status)));
+    }
+    Json::Obj(pairs)
 }
 
 #[cfg(test)]
@@ -702,10 +798,20 @@ mod tests {
         assert_eq!(route(&req("GET", "/jobs/7/result", b""), &manager).0, 404);
         assert_eq!(route(&req("POST", "/jobs", b"not json"), &manager).0, 400);
         assert_eq!(route(&req("POST", "/jobs", b"{}"), &manager).0, 400);
+        assert_eq!(route(&req("POST", "/metrics", b""), &manager).0, 405);
+        let (status, reply) = route(&req("GET", "/metrics", b""), &manager);
+        assert_eq!(status, 200);
+        match reply {
+            Reply::Text { content_type, body } => {
+                assert_eq!(content_type, METRICS_CONTENT_TYPE);
+                assert!(body.contains("marioh_server_pipeline_runs_total"), "{body}");
+            }
+            Reply::Json(body) => panic!("metrics must be plain text, got {body}"),
+        }
 
-        let (status, body) = route(&req("POST", "/jobs", br#"{"dataset": "Hosts"}"#), &manager);
+        let (status, reply) = route(&req("POST", "/jobs", br#"{"dataset": "Hosts"}"#), &manager);
         assert_eq!(status, 201);
-        let id = body.get("id").unwrap().as_u64().unwrap();
+        let id = reply.as_json().get("id").unwrap().as_u64().unwrap();
         assert_eq!(
             route(&req("GET", &format!("/jobs/{id}"), b""), &manager).0,
             200
@@ -727,8 +833,11 @@ mod tests {
             503
         );
         // Cancel the queued job through the route.
-        let (status, body) = route(&req("DELETE", &format!("/jobs/{id}"), b""), &manager);
+        let (status, reply) = route(&req("DELETE", &format!("/jobs/{id}"), b""), &manager);
         assert_eq!(status, 200);
-        assert_eq!(body.get("status").unwrap().as_str(), Some("cancelled"));
+        assert_eq!(
+            reply.as_json().get("status").unwrap().as_str(),
+            Some("cancelled")
+        );
     }
 }

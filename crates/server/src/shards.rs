@@ -38,13 +38,14 @@ impl DispatchEvents for ShardEventSink {
                     job,
                     rounds,
                     committed,
-                    reused,
-                    rescored,
+                    // Engine reuse totals arrive through each worker's
+                    // pushed metrics snapshot instead (wire v2); the
+                    // Progress fields stay for v1 compatibility.
+                    reused: _,
+                    rescored: _,
                     trained,
                     note,
                 } => {
-                    self.manager
-                        .note_search_reuse(reused as usize, rescored as usize);
                     if trained {
                         self.manager.note_trained();
                     }

@@ -35,10 +35,10 @@ struct JobObserver {
 }
 
 impl ProgressObserver for JobObserver {
-    fn on_round(&self, round: usize, _theta: f64, stats: &SearchStats) {
+    fn on_round(&self, round: usize, _theta: f64, _stats: &SearchStats) {
+        // Engine reuse counters land on the process-global metrics
+        // registry inside core's round loop — nothing to fold in here.
         self.manager.record_round(self.id, round);
-        self.manager
-            .note_search_reuse(stats.cliques_reused, stats.cliques_rescored);
         if self.throttle_ms > 0 {
             cancellable_sleep(self.throttle_ms, &self.cancel);
         }

@@ -211,7 +211,12 @@ fn buffer_record(inner: &mut DiskInner, record: &Json) {
 fn commit_log(inner: &mut DiskInner, durable: bool) {
     let _ = inner.log.flush();
     if durable {
+        let t0 = std::time::Instant::now();
         let _ = inner.log.get_ref().sync_data();
+        let obs = marioh_obs::global();
+        obs.counter("marioh_store_fsync_total").inc();
+        obs.histogram("marioh_store_fsync_seconds")
+            .observe(t0.elapsed());
     }
 }
 
@@ -431,14 +436,18 @@ impl ArtifactStore for DiskStore {
         if path.exists() {
             return Ok(()); // identical content by construction
         }
+        let encoded = encode_result(result);
+        crate::store::record_artifact_bytes("result", encoded.len() as u64);
         let tmp = unique_tmp(&path);
-        fs::write(&tmp, encode_result(result))?;
+        fs::write(&tmp, encoded)?;
         fs::rename(&tmp, &path)?;
         Ok(())
     }
 
     fn get_result(&self, hash: &SpecHash) -> Option<Arc<JobResult>> {
-        read_result_file(&self.result_path(hash)).ok().map(Arc::new)
+        let found = read_result_file(&self.result_path(hash)).ok().map(Arc::new);
+        crate::store::record_cache_probe("result", found.is_some());
+        found
     }
 
     fn put_model(&self, hash: &SpecHash, model: &SavedModel) -> Result<(), MariohError> {
@@ -448,12 +457,17 @@ impl ArtifactStore for DiskStore {
         }
         let tmp = unique_tmp(&path);
         model.save(&tmp)?;
+        if let Ok(meta) = fs::metadata(&tmp) {
+            crate::store::record_artifact_bytes("model", meta.len());
+        }
         fs::rename(&tmp, &path)?;
         Ok(())
     }
 
     fn get_model(&self, hash: &SpecHash) -> Option<SavedModel> {
-        SavedModel::load(self.model_path(hash)).ok()
+        let found = SavedModel::load(self.model_path(hash)).ok();
+        crate::store::record_cache_probe("model", found.is_some());
+        found
     }
 
     fn put_named_model(&self, name: &str, model: &SavedModel) -> Result<(), MariohError> {

@@ -127,6 +127,29 @@ pub trait JobStore: Send + Sync {
     fn kind(&self) -> &'static str;
 }
 
+/// Records one artifact-cache probe on the process-wide registry
+/// (`marioh_store_artifact_cache_{hits,misses}_total{kind=...}`).
+/// Shared by every [`ArtifactStore`] implementation so cache telemetry
+/// means the same thing for memory and disk backends.
+pub(crate) fn record_cache_probe(kind: &'static str, hit: bool) {
+    let name = if hit {
+        "marioh_store_artifact_cache_hits_total"
+    } else {
+        "marioh_store_artifact_cache_misses_total"
+    };
+    marioh_obs::global()
+        .counter_with(name, &[("kind", kind)])
+        .inc();
+}
+
+/// Records bytes written for a freshly stored artifact
+/// (`marioh_store_artifact_bytes_total{kind=...}`).
+pub(crate) fn record_artifact_bytes(kind: &'static str, bytes: u64) {
+    marioh_obs::global()
+        .counter_with("marioh_store_artifact_bytes_total", &[("kind", kind)])
+        .add(bytes);
+}
+
 /// Content-addressed storage of reconstruction results and trained
 /// models.
 ///
@@ -493,7 +516,9 @@ impl ArtifactStore for MemoryStore {
     }
 
     fn get_result(&self, hash: &SpecHash) -> Option<Arc<JobResult>> {
-        self.artifacts().results.get(hash).cloned()
+        let found = self.artifacts().results.get(hash).cloned();
+        record_cache_probe("result", found.is_some());
+        found
     }
 
     fn put_model(&self, hash: &SpecHash, model: &SavedModel) -> Result<(), MariohError> {
@@ -505,7 +530,9 @@ impl ArtifactStore for MemoryStore {
     }
 
     fn get_model(&self, hash: &SpecHash) -> Option<SavedModel> {
-        self.artifacts().models.get(hash).cloned()
+        let found = self.artifacts().models.get(hash).cloned();
+        record_cache_probe("model", found.is_some());
+        found
     }
 
     fn put_named_model(&self, name: &str, model: &SavedModel) -> Result<(), MariohError> {

@@ -160,12 +160,13 @@ impl<W: Write> FrameWriter<W> {
     }
 
     /// Encode and send one message on the given channel, flushing the
-    /// transport.
-    pub fn send(&mut self, channel: u32, message: &Message) -> Result<(), WireError> {
+    /// transport. Returns the frame's size on the wire (header +
+    /// payload), so callers can account traffic without re-encoding.
+    pub fn send(&mut self, channel: u32, message: &Message) -> Result<usize, WireError> {
         let bytes = encode_frame(channel, message);
         self.inner.write_all(&bytes)?;
         self.inner.flush()?;
-        Ok(())
+        Ok(bytes.len())
     }
 
     /// Access the underlying transport (used to shut down sockets).
@@ -180,6 +181,8 @@ pub struct FrameReader<R: Read> {
     inner: BufReader<R>,
     /// Partial frame accumulated by [`try_read_buffered`] across calls.
     pending: Vec<u8>,
+    /// Total wire bytes of every frame successfully decoded so far.
+    consumed: u64,
 }
 
 impl<R: Read> FrameReader<R> {
@@ -188,7 +191,16 @@ impl<R: Read> FrameReader<R> {
         FrameReader {
             inner: BufReader::new(inner),
             pending: Vec::new(),
+            consumed: 0,
         }
+    }
+
+    /// Cumulative wire size (header + payload) of all frames this reader
+    /// has decoded. Sampling this before and after a read gives the
+    /// frame's size without re-encoding it.
+    #[must_use]
+    pub fn bytes_consumed(&self) -> u64 {
+        self.consumed
     }
 
     /// Read the next frame, blocking until one arrives.
@@ -239,7 +251,9 @@ impl<R: Read> FrameReader<R> {
                 Err(e) => return Err(WireError::Io(e)),
             }
         }
-        decode_frame(&buf).map(|(frame, _)| Some(frame))
+        let (frame, total) = decode_frame(&buf)?;
+        self.consumed += total as u64;
+        Ok(Some(frame))
     }
 
     /// Return the next frame only if it is already fully available
@@ -269,6 +283,7 @@ impl<R: Read> FrameReader<R> {
                 if self.pending.len() >= total {
                     let (frame, consumed) = decode_frame(&self.pending)?;
                     self.pending.drain(..consumed);
+                    self.consumed += consumed as u64;
                     return Ok(Some(frame));
                 }
             }

@@ -48,7 +48,7 @@ pub use message::Message;
 ///
 /// Bumping this constant requires a migration note in
 /// `crates/wire/FORMATS.md` (CI and a unit test fail otherwise).
-pub const WIRE_FORMAT_VERSION: u32 = 1;
+pub const WIRE_FORMAT_VERSION: u32 = 2;
 
 /// Oldest wire version this build still speaks. A peer whose newest
 /// version is older than this is refused in the handshake.

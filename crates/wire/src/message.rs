@@ -110,6 +110,17 @@ pub enum Message {
         /// Why the sender is leaving.
         reason: String,
     },
+    /// A shard worker's metrics registry, pushed to the dispatcher
+    /// (wire v2+; after each `Pong` and after each `Result`/`Failed`).
+    /// Purely informational: a peer may ignore it, and a malformed
+    /// `stats` text is dropped, never fatal.
+    MetricsSnapshot {
+        /// The sender's shard index.
+        shard: u64,
+        /// `snapshot v1` text (see `crates/obs/FORMATS.md`) — opaque to
+        /// this crate, decoded by `marioh-obs`.
+        stats: String,
+    },
 }
 
 impl Message {
@@ -126,6 +137,7 @@ impl Message {
             Message::Ping { .. } => 8,
             Message::Pong { .. } => 9,
             Message::Goodbye { .. } => 10,
+            Message::MetricsSnapshot { .. } => 11,
         }
     }
 
@@ -196,6 +208,10 @@ impl Message {
             Message::Ping { token } => put_u64(&mut out, *token),
             Message::Pong { token } => put_u64(&mut out, *token),
             Message::Goodbye { reason } => put_str(&mut out, reason),
+            Message::MetricsSnapshot { shard, stats } => {
+                put_u64(&mut out, *shard);
+                put_str(&mut out, stats);
+            }
         }
         out
     }
@@ -262,6 +278,10 @@ impl Message {
             },
             10 => Message::Goodbye {
                 reason: cur.string("Goodbye.reason")?,
+            },
+            11 => Message::MetricsSnapshot {
+                shard: cur.u64("MetricsSnapshot.shard")?,
+                stats: cur.string("MetricsSnapshot.stats")?,
             },
             other => return Err(WireError::UnknownFrameType(other)),
         };
@@ -470,6 +490,14 @@ mod tests {
         roundtrip(Message::Pong { token: 0 });
         roundtrip(Message::Goodbye {
             reason: "done".into(),
+        });
+        roundtrip(Message::MetricsSnapshot {
+            shard: 3,
+            stats: "c\tmarioh_engine_cliques_reused_total\t17\n".into(),
+        });
+        roundtrip(Message::MetricsSnapshot {
+            shard: 0,
+            stats: String::new(),
         });
     }
 

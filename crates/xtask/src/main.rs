@@ -1,0 +1,469 @@
+//! Repo automation: `cargo xtask bench-gate`.
+//!
+//! The perf-regression gate reads the checked-in `BENCH_*.json` results
+//! (written by `cargo bench -p marioh-bench`), renders every headline
+//! speedup into one dependency-free SVG trend chart, and exits non-zero
+//! when any metric falls below its floor:
+//!
+//! * `BENCH_engine.json` — per-dataset `threads_4.speedup_vs_legacy`
+//!   of the incremental engine (floor [`ENGINE_FLOOR`]).
+//! * `BENCH_search.json` — per-dataset `scoring_ms.speedup` of
+//!   view-batched scoring over the legacy per-clique path (floor
+//!   [`SEARCH_FLOOR`]).
+//! * `BENCH_dispatch.json` — per-shard-count `speedup_vs_sequential`,
+//!   (floor [`DISPATCH_FLOOR`]), and `bit_identical` must hold — a
+//!   faster but wrong dispatch path is the worst regression of all.
+//!
+//! A result file carrying `"smoke": true` came from a CI smoke run
+//! (timings are noise there), so it is charted but not gated. The SVG
+//! goes to `target/bench-gate.svg` by default (`--out` overrides); CI
+//! uploads it as a build artifact.
+
+use marioh_store::Json;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Floor on the engine's full-run speedup over the legacy path.
+const ENGINE_FLOOR: f64 = 0.9;
+/// Floor on view-batched scoring speedup (Foursquare sits at ~0.97:
+/// batching buys nothing on its flat clique structure, so the floor
+/// only catches real regressions, not that known plateau).
+const SEARCH_FLOOR: f64 = 0.9;
+/// Floor on sharded-dispatch speedup over the sequential loop.
+const DISPATCH_FLOOR: f64 = 1.0;
+
+/// One bar of a chart panel.
+#[derive(Debug)]
+struct Bar {
+    label: String,
+    value: f64,
+}
+
+/// One gated benchmark: a titled group of bars sharing a floor.
+#[derive(Debug)]
+struct Panel {
+    title: String,
+    floor: f64,
+    /// False for smoke-mode results: charted, never gated.
+    gated: bool,
+    bars: Vec<Bar>,
+}
+
+impl Panel {
+    /// The gate violations in this panel, empty when it passes.
+    fn violations(&self) -> Vec<String> {
+        if !self.gated {
+            return Vec::new();
+        }
+        self.bars
+            .iter()
+            .filter(|b| b.value < self.floor)
+            .map(|b| {
+                format!(
+                    "{}: {} = {:.3} is below the floor {:.3}",
+                    self.title, b.label, b.value, self.floor
+                )
+            })
+            .collect()
+    }
+}
+
+fn load(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("{} is not valid JSON: {e}", path.display()))
+}
+
+/// Whether a result file declares itself a smoke run.
+fn is_smoke(doc: &Json) -> bool {
+    doc.get("smoke").and_then(Json::as_bool) == Some(true)
+}
+
+/// Pulls `path.to.field` out of nested objects.
+fn field<'a>(doc: &'a Json, path: &[&str]) -> Option<&'a Json> {
+    path.iter().try_fold(doc, |v, key| v.get(key))
+}
+
+/// One bar per dataset from a `{"datasets": [...]}` bench file, reading
+/// the metric at `path` inside each dataset object.
+fn dataset_bars(doc: &Json, path: &[&str], what: &str) -> Result<Vec<Bar>, String> {
+    let datasets = doc
+        .get("datasets")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{what}: missing \"datasets\" array"))?;
+    datasets
+        .iter()
+        .map(|ds| {
+            let label = ds
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{what}: dataset without a \"name\""))?
+                .to_owned();
+            let value = field(ds, path)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{what}: {label} lacks numeric {}", path.join(".")))?;
+            Ok(Bar { label, value })
+        })
+        .collect()
+}
+
+fn engine_panel(doc: &Json) -> Result<Panel, String> {
+    Ok(Panel {
+        title: "engine: full-run speedup vs legacy (4 threads)".to_owned(),
+        floor: ENGINE_FLOOR,
+        gated: !is_smoke(doc),
+        bars: dataset_bars(doc, &["threads_4", "speedup_vs_legacy"], "BENCH_engine")?,
+    })
+}
+
+fn search_panel(doc: &Json) -> Result<Panel, String> {
+    Ok(Panel {
+        title: "search: view-batched scoring speedup".to_owned(),
+        floor: SEARCH_FLOOR,
+        gated: !is_smoke(doc),
+        bars: dataset_bars(doc, &["scoring_ms", "speedup"], "BENCH_search")?,
+    })
+}
+
+fn dispatch_panel(doc: &Json) -> Result<Panel, String> {
+    let runs = doc
+        .get("sharded")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "BENCH_dispatch: missing \"sharded\" array".to_owned())?;
+    let mut bars = Vec::new();
+    for run in runs {
+        let shards = run
+            .get("shards")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "BENCH_dispatch: run without a \"shards\" count".to_owned())?;
+        let value = run
+            .get("speedup_vs_sequential")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| {
+                format!("BENCH_dispatch: {shards} shards lacks speedup_vs_sequential")
+            })?;
+        if run.get("bit_identical").and_then(Json::as_bool) != Some(true) {
+            return Err(format!(
+                "BENCH_dispatch: {shards} shards is not bit_identical to the sequential run"
+            ));
+        }
+        bars.push(Bar {
+            label: format!("{shards} shards"),
+            value,
+        });
+    }
+    Ok(Panel {
+        title: "dispatch: sharded speedup vs sequential".to_owned(),
+        floor: DISPATCH_FLOOR,
+        gated: !is_smoke(doc),
+        bars,
+    })
+}
+
+/// Runs the whole gate over the bench files in `root`: parses, checks
+/// floors, and returns the panels for charting.
+///
+/// # Errors
+///
+/// One message per problem — unreadable/malformed files first, then
+/// every floor violation.
+fn gate(root: &Path) -> Result<Vec<Panel>, Vec<String>> {
+    type PanelFn = fn(&Json) -> Result<Panel, String>;
+    let sources: [(&str, PanelFn); 3] = [
+        ("BENCH_engine.json", engine_panel),
+        ("BENCH_search.json", search_panel),
+        ("BENCH_dispatch.json", dispatch_panel),
+    ];
+    let mut panels = Vec::new();
+    let mut errors = Vec::new();
+    for (file, build) in sources {
+        match load(&root.join(file)).and_then(|doc| build(&doc)) {
+            Ok(panel) => panels.push(panel),
+            Err(e) => errors.push(e),
+        }
+    }
+    for panel in &panels {
+        errors.extend(panel.violations());
+    }
+    if errors.is_empty() {
+        Ok(panels)
+    } else {
+        Err(errors)
+    }
+}
+
+// --- SVG rendering (no dependencies; dark-theme palette) -------------
+
+const CHART_WIDTH: f64 = 760.0;
+const LEFT_MARGIN: f64 = 150.0;
+const RIGHT_MARGIN: f64 = 70.0;
+const BAR_HEIGHT: f64 = 14.0;
+const BAR_GAP: f64 = 5.0;
+const PANEL_HEADER: f64 = 34.0;
+const PANEL_GAP: f64 = 18.0;
+const TOP_MARGIN: f64 = 14.0;
+const BOTTOM_MARGIN: f64 = 16.0;
+
+const COLOR_BG: &str = "#0d1117";
+const COLOR_TITLE: &str = "#e6edf3";
+const COLOR_LABEL: &str = "#8b949e";
+const COLOR_GRID: &str = "#30363d";
+const COLOR_FASTER: &str = "#3fb950"; // at or above 1.0×
+const COLOR_OK: &str = "#58a6ff"; // above the floor, below 1.0×
+const COLOR_SLOWER: &str = "#f85149"; // below the floor
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Renders the panels as one stacked horizontal-bar SVG.
+fn render_svg(panels: &[Panel]) -> String {
+    let bar_area = CHART_WIDTH - LEFT_MARGIN - RIGHT_MARGIN;
+    let max_value = panels
+        .iter()
+        .flat_map(|p| p.bars.iter().map(|b| b.value))
+        .fold(1.0f64, f64::max);
+    let scale = bar_area / max_value;
+    let height: f64 = TOP_MARGIN
+        + BOTTOM_MARGIN
+        + panels
+            .iter()
+            .map(|p| PANEL_HEADER + p.bars.len() as f64 * (BAR_HEIGHT + BAR_GAP) + PANEL_GAP)
+            .sum::<f64>();
+    let mut svg = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{CHART_WIDTH}\" height=\"{height:.0}\" \
+         font-family=\"Arial, Helvetica, sans-serif\">\n\
+         <rect width=\"100%\" height=\"100%\" fill=\"{COLOR_BG}\"/>\n"
+    );
+    let mut y = TOP_MARGIN;
+    for panel in panels {
+        y += PANEL_HEADER;
+        let suffix = if panel.gated {
+            ""
+        } else {
+            " (smoke — not gated)"
+        };
+        svg.push_str(&format!(
+            "<text x=\"12\" y=\"{:.1}\" fill=\"{COLOR_TITLE}\" font-size=\"14\">{}{}</text>\n",
+            y - 12.0,
+            escape(&panel.title),
+            suffix
+        ));
+        let panel_height = panel.bars.len() as f64 * (BAR_HEIGHT + BAR_GAP);
+        // Reference lines: the floor (dashed) and 1.0× (solid).
+        for (value, dash) in [(panel.floor, " stroke-dasharray=\"4 3\""), (1.0, "")] {
+            let x = LEFT_MARGIN + value * scale;
+            svg.push_str(&format!(
+                "<line x1=\"{x:.1}\" y1=\"{:.1}\" x2=\"{x:.1}\" y2=\"{:.1}\" \
+                 stroke=\"{COLOR_GRID}\"{dash}/>\n",
+                y - 4.0,
+                y + panel_height
+            ));
+        }
+        for bar in &panel.bars {
+            let width = (bar.value * scale).max(1.5);
+            let color = if bar.value < panel.floor {
+                COLOR_SLOWER
+            } else if bar.value < 1.0 {
+                COLOR_OK
+            } else {
+                COLOR_FASTER
+            };
+            svg.push_str(&format!(
+                "<text x=\"{:.1}\" y=\"{:.1}\" fill=\"{COLOR_LABEL}\" font-size=\"11\" \
+                 text-anchor=\"end\">{}</text>\n",
+                LEFT_MARGIN - 8.0,
+                y + BAR_HEIGHT - 3.0,
+                escape(&bar.label)
+            ));
+            svg.push_str(&format!(
+                "<rect x=\"{LEFT_MARGIN}\" y=\"{y:.1}\" width=\"{width:.1}\" \
+                 height=\"{BAR_HEIGHT}\" fill=\"{color}\"/>\n"
+            ));
+            svg.push_str(&format!(
+                "<text x=\"{:.1}\" y=\"{:.1}\" fill=\"{COLOR_LABEL}\" font-size=\"11\">\
+                 {:.2}&#215;</text>\n",
+                LEFT_MARGIN + width + 6.0,
+                y + BAR_HEIGHT - 3.0,
+                bar.value
+            ));
+            y += BAR_HEIGHT + BAR_GAP;
+        }
+        y += PANEL_GAP;
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+// --- Entry point -----------------------------------------------------
+
+/// The workspace root: xtask lives at `<root>/crates/xtask`.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("xtask sits two levels under the workspace root")
+}
+
+fn bench_gate(args: &[String]) -> Result<String, Vec<String>> {
+    let mut root = workspace_root();
+    let mut out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> Result<PathBuf, Vec<String>> {
+            args.get(i + 1)
+                .map(PathBuf::from)
+                .ok_or_else(|| vec![format!("flag {} needs a value", args[i])])
+        };
+        match args[i].as_str() {
+            "--root" => root = value(i)?,
+            "--out" => out = Some(value(i)?),
+            other => return Err(vec![format!("unknown bench-gate flag {other:?}")]),
+        }
+        i += 2;
+    }
+    let out = out.unwrap_or_else(|| root.join("target/bench-gate.svg"));
+    let panels = gate(&root)?;
+    let svg = render_svg(&panels);
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| vec![format!("cannot create {}: {e}", dir.display())])?;
+    }
+    std::fs::write(&out, &svg).map_err(|e| vec![format!("cannot write {}: {e}", out.display())])?;
+    let mut summary = String::new();
+    for panel in &panels {
+        let min = panel
+            .bars
+            .iter()
+            .map(|b| b.value)
+            .fold(f64::INFINITY, f64::min);
+        summary.push_str(&format!(
+            "bench-gate: {} — min {:.3} (floor {:.3}{}) over {} bars\n",
+            panel.title,
+            min,
+            panel.floor,
+            if panel.gated {
+                ""
+            } else {
+                ", smoke: not gated"
+            },
+            panel.bars.len()
+        ));
+    }
+    summary.push_str(&format!("bench-gate: chart written to {}\n", out.display()));
+    Ok(summary)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) if cmd == "bench-gate" => match bench_gate(rest) {
+            Ok(summary) => {
+                print!("{summary}");
+                ExitCode::SUCCESS
+            }
+            Err(errors) => {
+                for e in &errors {
+                    eprintln!("bench-gate: FAIL: {e}");
+                }
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("usage: cargo xtask bench-gate [--root DIR] [--out FILE.svg]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_bench_files_pass_the_gate() {
+        let panels = gate(&workspace_root()).expect("checked-in bench results must pass");
+        assert_eq!(panels.len(), 3);
+        assert!(panels.iter().all(|p| !p.bars.is_empty()));
+        assert!(panels.iter().all(|p| p.gated), "real results are gated");
+    }
+
+    #[test]
+    fn injected_regression_fails_and_smoke_does_not() {
+        let regressed = Json::parse(
+            r#"{"datasets": [
+                {"name": "Enron", "threads_4": {"speedup_vs_legacy": 0.42}},
+                {"name": "Eu", "threads_4": {"speedup_vs_legacy": 1.3}}
+            ]}"#,
+        )
+        .unwrap();
+        let panel = engine_panel(&regressed).unwrap();
+        let violations = panel.violations();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("Enron"), "{violations:?}");
+        assert!(violations[0].contains("0.420"), "{violations:?}");
+
+        let smoke = Json::parse(
+            r#"{"smoke": true, "datasets": [
+                {"name": "Enron", "threads_4": {"speedup_vs_legacy": 0.42}}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(engine_panel(&smoke).unwrap().violations().is_empty());
+    }
+
+    #[test]
+    fn non_bit_identical_dispatch_is_rejected_outright() {
+        let doc = Json::parse(
+            r#"{"sharded": [
+                {"shards": 2, "speedup_vs_sequential": 1.9, "bit_identical": false}
+            ]}"#,
+        )
+        .unwrap();
+        let err = dispatch_panel(&doc).unwrap_err();
+        assert!(err.contains("bit_identical"), "{err}");
+    }
+
+    #[test]
+    fn svg_chart_is_well_formed_and_colors_by_floor() {
+        let panels = vec![Panel {
+            title: "engine <fast & loose>".to_owned(),
+            floor: 0.9,
+            gated: true,
+            bars: vec![
+                Bar {
+                    label: "ok".to_owned(),
+                    value: 1.4,
+                },
+                Bar {
+                    label: "meh".to_owned(),
+                    value: 0.95,
+                },
+                Bar {
+                    label: "bad".to_owned(),
+                    value: 0.2,
+                },
+            ],
+        }];
+        let svg = render_svg(&panels);
+        assert!(svg.starts_with("<svg "), "{svg}");
+        assert!(svg.trim_end().ends_with("</svg>"), "{svg}");
+        assert!(svg.contains("engine &lt;fast &amp; loose&gt;"), "{svg}");
+        assert!(svg.contains(COLOR_FASTER) && svg.contains(COLOR_OK) && svg.contains(COLOR_SLOWER));
+        // Raw angle brackets only delimit tags: escaping held everywhere.
+        assert!(!svg.contains("<fast"), "unescaped label leaked into SVG");
+    }
+
+    #[test]
+    fn bench_gate_end_to_end_writes_the_chart() {
+        let out = std::env::temp_dir().join(format!("bench-gate-{}.svg", std::process::id()));
+        let summary = bench_gate(&["--out".to_owned(), out.display().to_string()])
+            .expect("real results pass");
+        assert!(summary.contains("chart written"), "{summary}");
+        let svg = std::fs::read_to_string(&out).unwrap();
+        assert!(svg.contains("dispatch: sharded speedup"), "{svg}");
+        let _ = std::fs::remove_file(&out);
+    }
+}

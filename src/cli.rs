@@ -13,7 +13,7 @@
 //! marioh train       --source src.txt --model model.txt [--features multiplicity|count|motif] [--fraction f] [--seed n]
 //! marioh reconstruct --graph g.txt --model model.txt --out rec.txt [--threads 4]
 //!                    [--theta t] [--ratio r] [--alpha a] [--no-filtering] [--no-bidirectional]
-//!                    [--seed n] [--verbose]
+//!                    [--seed n] [--verbose] [--trace-out trace.json]
 //! marioh eval        --truth tgt.txt --pred rec.txt
 //! marioh serve       [--addr 127.0.0.1:7878] [--workers n] [--queue-cap n]
 //!                    [--state-dir dir] [--retain n] [--shards n]
@@ -102,15 +102,26 @@ impl ProgressObserver for VerboseProgress {
     }
 
     fn on_done(&self, report: &ReconstructionReport) {
+        // Reuse totals read back from the process-global metrics
+        // registry — the same series `/metrics` exports — rather than a
+        // second CLI-side accumulation.
+        let snap = marioh_obs::global().snapshot();
+        let reused = snap.counter("marioh_engine_cliques_reused_total");
+        let rescored = snap.counter("marioh_engine_cliques_rescored_total");
+        let ratio = if reused + rescored == 0 {
+            0.0
+        } else {
+            reused as f64 / (reused + rescored) as f64
+        };
         eprintln!(
             "[done] filtering {:.3}s, search {:.3}s over {} rounds \
              (engine reuse {:.1}%: {} cliques carried, {} rescored)",
             report.filtering_secs,
             report.search_secs,
             report.rounds.len(),
-            report.reuse_ratio() * 100.0,
-            report.cliques_reused(),
-            report.cliques_rescored()
+            ratio * 100.0,
+            reused,
+            rescored
         );
     }
 
@@ -340,18 +351,29 @@ pub fn run(command: &str, flags: &Flags) -> Result<String, MariohError> {
                 builder = builder.observer(Arc::new(VerboseProgress));
             }
             let pipeline = builder.build()?;
+            let trace_out = flags.get("trace-out");
+            if trace_out.is_some() {
+                marioh_obs::trace_start(0); // 0 = default ring capacity
+            }
             let g = io::load_graph(flags.require("graph")?)?;
             let model = pipeline.load_model(flags.require("model")?)?;
             let seed = flags.get_parsed("seed", 0u64)?;
             let mut rng = StdRng::seed_from_u64(seed);
             let rec = model.reconstruct(&g, &mut rng)?;
             io::save_hypergraph(&rec, flags.require("out")?)?;
-            Ok(format!(
+            let mut report = format!(
                 "reconstructed {} unique hyperedges ({} events) from {} edges",
                 rec.unique_edge_count(),
                 rec.total_edge_count(),
                 g.num_edges()
-            ))
+            );
+            if let Some(path) = trace_out {
+                let json = marioh_obs::trace_dump()
+                    .expect("recorder was armed above and nothing else disarms it");
+                std::fs::write(path, &json)?;
+                let _ = write!(report, "; wrote phase trace to {path}");
+            }
+            Ok(report)
         }
         "serve" => {
             let server = Server::start_with_storage(serve_config(flags)?, storage_config(flags)?)?;
@@ -589,15 +611,26 @@ mod tests {
             &flags(&[("source", &h_path), ("model", &model)], &[]),
         )
         .unwrap();
+        let trace = tmp("t_verbose.json");
         let report = run(
             "reconstruct",
             &flags(
-                &[("graph", &g_path), ("model", &model), ("out", &rec)],
+                &[
+                    ("graph", &g_path),
+                    ("model", &model),
+                    ("out", &rec),
+                    ("trace-out", &trace),
+                ],
                 &["verbose"],
             ),
         )
         .unwrap();
         assert!(report.starts_with("reconstructed"), "{report}");
+        assert!(report.contains("wrote phase trace"), "{report}");
+        let json = std::fs::read_to_string(&trace).unwrap();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "trace has no spans: {json}");
     }
 
     #[test]

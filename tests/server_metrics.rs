@@ -1,0 +1,244 @@
+//! End-to-end test of the observability surface: `GET /metrics` on a
+//! `serve --shards 2` server with real `marioh shard-worker` child
+//! processes.
+//!
+//! Asserts that the exposition parses as valid Prometheus text format,
+//! that its counters agree exactly with the `/stats` JSON view (both
+//! read the same merged snapshot), that per-shard wire metrics and
+//! worker-pushed engine metrics arrive with `shard="K"` labels, and
+//! that `/stats` reports the per-shard heartbeat/in-flight section.
+
+use marioh::server::{client, Json, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+fn sharded_config(shards: usize) -> ServerConfig {
+    ServerConfig {
+        workers: 4,
+        queue_cap: 32,
+        shards,
+        shard_worker: vec![
+            env!("CARGO_BIN_EXE_marioh").to_owned(),
+            "shard-worker".to_owned(),
+        ],
+        ..ServerConfig::default()
+    }
+}
+
+fn get(addr: SocketAddr, path: &str) -> client::HttpResponse {
+    client::get(addr, path).unwrap_or_else(|e| panic!("GET {path}: {e}"))
+}
+
+/// Validates Prometheus text exposition format, line by line: comments
+/// are `# HELP`/`# TYPE`, samples are `name[{labels}] value` with a
+/// legal metric name and a parseable float value.
+fn assert_valid_exposition(text: &str) {
+    fn valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && !name.starts_with(|c: char| c.is_ascii_digit())
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    assert!(!text.is_empty(), "empty exposition");
+    assert!(text.ends_with('\n'), "exposition must end with a newline");
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            assert!(
+                comment.starts_with("TYPE ") || comment.starts_with("HELP "),
+                "unknown comment form: {line:?}"
+            );
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut parts = rest.split(' ');
+                let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next())
+                else {
+                    panic!("malformed TYPE line: {line:?}");
+                };
+                assert!(valid_name(name), "bad family name in {line:?}");
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "histogram"),
+                    "bad kind in {line:?}"
+                );
+            }
+            continue;
+        }
+        // A sample: `name value` or `name{label="v",...} value`.
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("sample line without a value: {line:?}");
+        });
+        assert!(
+            value == "+Inf" || value.parse::<f64>().is_ok(),
+            "unparseable value in {line:?}"
+        );
+        let name = match series.split_once('{') {
+            Some((name, labels)) => {
+                let body = labels.strip_suffix('}').unwrap_or_else(|| {
+                    panic!("unclosed label block in {line:?}");
+                });
+                for pair in body.split("\",") {
+                    let (key, val) = pair
+                        .split_once("=\"")
+                        .unwrap_or_else(|| panic!("malformed label pair {pair:?} in {line:?}"));
+                    assert!(valid_name(key), "bad label name {key:?} in {line:?}");
+                    assert!(
+                        !val.contains('"') || val.ends_with('"'),
+                        "stray quote in label value {val:?}"
+                    );
+                }
+                name
+            }
+            None => series,
+        };
+        assert!(valid_name(name), "bad metric name in {line:?}");
+    }
+}
+
+/// The value of an exactly-named sample series in the exposition.
+fn sample_value(text: &str, series: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(series)?;
+        let value = rest.strip_prefix(' ')?;
+        value.parse().ok()
+    })
+}
+
+fn stat_u64(stats: &Json, key: &str) -> u64 {
+    stats
+        .get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("stats field {key:?} missing: {stats}"))
+}
+
+#[test]
+fn metrics_exposition_agrees_with_stats_on_a_sharded_server() {
+    let server = Server::start(sharded_config(2)).unwrap();
+    let addr = server.local_addr();
+
+    // Run a small batch so every layer has something to count.
+    let bodies: Vec<String> = (0..6)
+        .map(|seed| format!(r#"{{"dataset": "Hosts", "seed": {seed}}}"#))
+        .collect();
+    let response = client::post(addr, "/jobs", &format!("[{}]", bodies.join(","))).unwrap();
+    assert_eq!(response.status, 201, "{}", response.body);
+    let batch = response
+        .json()
+        .unwrap()
+        .get("batch")
+        .and_then(Json::as_u64)
+        .expect("batch id");
+    let deadline = Instant::now() + Duration::from_secs(180);
+    loop {
+        let view = get(addr, &format!("/batches/{batch}")).json().unwrap();
+        if view.get("complete").and_then(Json::as_bool) == Some(true) {
+            assert_eq!(view.get("done").and_then(Json::as_u64), Some(6), "{view}");
+            break;
+        }
+        assert!(Instant::now() < deadline, "batch never completed: {view}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Worker snapshots ride in after job results (and on every 1 s
+    // heartbeat), so poll until both the engine counters pushed from a
+    // shard-worker process and each shard's wire counters are visible.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let text = loop {
+        let response = get(addr, "/metrics");
+        assert_eq!(response.status, 200, "{}", response.body);
+        let text = response.body;
+        let worker_push_landed = text.contains("marioh_engine_cliques_rescored_total{shard=\"");
+        let wire_counted = (0..2).all(|shard| {
+            sample_value(
+                &text,
+                &format!("marioh_dispatch_frames_sent_total{{shard=\"{shard}\"}}"),
+            )
+            .is_some_and(|v| v > 0.0)
+        });
+        if worker_push_landed && wire_counted {
+            break text;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "shard metrics never appeared in the exposition:\n{text}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_valid_exposition(&text);
+
+    // Snapshot both views back-to-back (no jobs are running, so the
+    // counters this test compares are quiescent).
+    let stats = get(addr, "/stats").json().unwrap();
+    let text = {
+        let response = get(addr, "/metrics");
+        assert_eq!(response.status, 200);
+        response.body
+    };
+
+    // The JSON view and the exposition read the same merged registry.
+    for (stat_key, series) in [
+        ("pipeline_runs", "marioh_server_pipeline_runs_total"),
+        ("cache_hits", "marioh_server_cache_hits_total"),
+        ("models_trained", "marioh_server_models_trained_total"),
+        ("shards", "marioh_server_shards"),
+        ("shard_restarts", "marioh_server_shard_restarts_total"),
+    ] {
+        let from_stats = stat_u64(&stats, stat_key) as f64;
+        let from_metrics = sample_value(&text, series)
+            .unwrap_or_else(|| panic!("series {series} missing:\n{text}"));
+        assert_eq!(from_metrics, from_stats, "{stat_key} vs {series}");
+    }
+    assert_eq!(stat_u64(&stats, "pipeline_runs"), 6);
+    assert_eq!(stat_u64(&stats, "shards"), 2);
+
+    // Engine totals in /stats are family sums over the shard-labelled
+    // series the workers pushed.
+    let rescored_sum: f64 = text
+        .lines()
+        .filter(|l| l.starts_with("marioh_engine_cliques_rescored_total{shard=\""))
+        .filter_map(|l| l.rsplit_once(' ')?.1.parse::<f64>().ok())
+        .sum();
+    assert_eq!(stat_u64(&stats, "cliques_rescored") as f64, rescored_sum);
+    assert!(rescored_sum > 0.0, "six real runs must have scored cliques");
+
+    // HTTP latency histograms cover the endpoints this test has hit.
+    for endpoint in ["/stats", "/metrics", "/batches/:id"] {
+        let series = format!("marioh_http_request_seconds_count{{endpoint=\"{endpoint}\"}}");
+        assert!(
+            sample_value(&text, &series).is_some_and(|v| v > 0.0),
+            "series {series} missing:\n{text}"
+        );
+    }
+
+    // Pipeline-phase histograms ride in from the shard workers (the
+    // phases ran in their processes), and the artifact-store counters
+    // come from this process's cache consults during routing.
+    assert!(
+        text.contains("marioh_phase_seconds_bucket{phase=\""),
+        "no pipeline-phase histograms:\n{text}"
+    );
+    assert!(
+        text.contains("marioh_store_artifact_cache_misses_total{kind=\""),
+        "no artifact-store counters:\n{text}"
+    );
+
+    // Satellite: /stats reports per-shard heartbeat age and in-flight
+    // counts for both live shard worker processes.
+    let shard_status = stats
+        .get("shard_status")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| panic!("stats lacks shard_status: {stats}"));
+    assert_eq!(shard_status.len(), 2, "{stats}");
+    for (shard, entry) in shard_status.iter().enumerate() {
+        assert_eq!(stat_u64(entry, "shard"), shard as u64, "{entry}");
+        // Heartbeats land every second; a live shard was seen recently.
+        assert!(stat_u64(entry, "last_heartbeat_ms") < 60_000, "{entry}");
+        assert_eq!(stat_u64(entry, "inflight"), 0, "batch done: {entry}");
+    }
+
+    // Wrong methods on /metrics are 405s like every other route.
+    assert_eq!(client::post(addr, "/metrics", "{}").unwrap().status, 405);
+
+    server.shutdown();
+}
