@@ -24,8 +24,9 @@ impl CliqueScorer for MhhScorer {
 fn lazy_mhh_build_inside_pool_scoring_does_not_deadlock() {
     let (tx, rx) = std::sync::mpsc::channel();
     std::thread::spawn(move || {
-        // Graph with >= 4096 slots so build_pool actually fans out.
-        let n = 80u32;
+        // Graph with >= 4096 slots so build_pool actually fans out
+        // (slots = 2 * edges; n = 96 yields 2351 edges, 4702 slots).
+        let n = 96u32;
         let mut g = ProjectedGraph::new(n);
         for u in 0..n {
             for v in u + 1..n {

@@ -49,11 +49,36 @@ const SPAWN_DEADLINE: Duration = Duration::from_secs(10);
 /// (absent for [`WorkerCommand::InThread`] shards).
 type ShardLink = (Arc<Mutex<FrameWriter<TcpStream>>>, Option<Child>);
 
-/// Respawn attempts before a shard's jobs are failed outright.
+/// Respawn attempts per shard death before the crash-loop breaker is
+/// consulted.
 const RESPAWN_ATTEMPTS: usize = 3;
 
 /// Supervisor tick.
 const TICK: Duration = Duration::from_millis(50);
+
+/// Strikes — spawn-attempt failures or immediate deaths (a worker dying
+/// without completing a single job) — before a shard's crash-loop
+/// breaker opens and its jobs reroute to in-process execution.
+const BREAKER_STRIKES: u32 = 3;
+
+/// Backoff before the second respawn attempt; doubles per attempt.
+/// `MARIOH_RESPAWN_BACKOFF_MS` overrides it (tests shrink it).
+const RESPAWN_BACKOFF: Duration = Duration::from_millis(100);
+
+/// How long an open breaker cools down before the supervisor probes
+/// with one half-open respawn attempt. `MARIOH_BREAKER_COOLDOWN_MS`
+/// overrides it (tests shrink it).
+const BREAKER_COOLDOWN: Duration = Duration::from_secs(5);
+
+/// Reads a millisecond duration override from the environment, falling
+/// back to `default` when unset or malformed.
+fn env_duration_ms(name: &str, default: Duration) -> Duration {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(default)
+}
 
 /// Picks the shard that owns a spec hash. Pure function of the hash, so
 /// twin jobs always land on the same shard and a restarted dispatcher
@@ -228,6 +253,18 @@ struct Slot {
     /// Latest metrics snapshot text pushed by the worker (wire v2);
     /// `None` for v1 workers or before the first push.
     last_snapshot: Option<String>,
+    /// Crash-loop strikes: spawn-attempt failures and immediate deaths.
+    /// A completed job from a live worker resets the count.
+    strikes: u32,
+    /// When the crash-loop breaker opened, if it is open. While open,
+    /// no respawns are attempted and the shard's jobs execute
+    /// in-process; after [`BREAKER_COOLDOWN`] the supervisor probes
+    /// with one half-open respawn attempt.
+    breaker_open_since: Option<Instant>,
+    /// Jobs the current worker incarnation has answered (`Result` or
+    /// `Failed`). Zero at death means the death was "immediate" — a
+    /// crash-loop strike.
+    completed_since_spawn: u64,
 }
 
 impl Slot {
@@ -242,8 +279,22 @@ impl Slot {
             last_ping_token: 0,
             last_ping_sent: Instant::now(),
             last_snapshot: None,
+            strikes: 0,
+            breaker_open_since: None,
+            completed_since_spawn: 0,
         }
     }
+}
+
+/// Publishes the number of currently open breakers as a gauge.
+fn update_breaker_gauge(shards: &[Slot]) {
+    let open = shards
+        .iter()
+        .filter(|s| s.breaker_open_since.is_some())
+        .count();
+    marioh_obs::global()
+        .gauge("marioh_dispatch_breakers_open")
+        .set(open as u64);
 }
 
 /// A point-in-time view of one shard slot, surfaced through
@@ -259,6 +310,12 @@ pub struct ShardStatus {
     /// Latest worker metrics snapshot (`snapshot v1` text, see
     /// `crates/obs/FORMATS.md`), when the worker speaks wire v2.
     pub snapshot: Option<String>,
+    /// Whether the shard's crash-loop breaker is open (its jobs execute
+    /// in-process until a half-open probe restores a worker).
+    pub breaker_open: bool,
+    /// Current crash-loop strike count (resets when a worker completes
+    /// a job).
+    pub strikes: u32,
 }
 
 /// Records one sent frame against the per-shard wire-traffic counters.
@@ -301,6 +358,16 @@ enum Inbound {
         shard: usize,
         generation: u64,
     },
+    /// Supervisor verdict: `shard`'s breaker has cooled down; the
+    /// merger should probe with one half-open respawn attempt.
+    TryRestore {
+        shard: usize,
+    },
+    /// Events produced by in-process execution of a rerouted job (its
+    /// breaker was open); bypasses slot/generation bookkeeping.
+    Local {
+        events: Vec<DispatchEvent>,
+    },
     Stop,
 }
 
@@ -308,6 +375,8 @@ struct Core {
     worker: WorkerCommand,
     ping_interval: Duration,
     shard_timeout: Duration,
+    respawn_backoff: Duration,
+    breaker_cooldown: Duration,
     addr: String,
     /// Also serializes worker spawns: connect-back is only attributable
     /// to a shard because one spawn awaits its accept at a time.
@@ -320,6 +389,10 @@ struct Core {
     ping_token: AtomicU64,
     restarts: AtomicU64,
     side_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Cancel tokens of jobs currently executing in-process because
+    /// their shard's breaker is open; fired at shutdown so their
+    /// threads wind down promptly.
+    local_jobs: Mutex<Vec<(u64, CancelToken)>>,
 }
 
 /// Routes jobs to shard workers over the wire protocol. See the module
@@ -353,6 +426,8 @@ impl Dispatcher {
             worker: config.worker,
             ping_interval: config.ping_interval,
             shard_timeout: config.shard_timeout,
+            respawn_backoff: env_duration_ms("MARIOH_RESPAWN_BACKOFF_MS", RESPAWN_BACKOFF),
+            breaker_cooldown: env_duration_ms("MARIOH_BREAKER_COOLDOWN_MS", BREAKER_COOLDOWN),
             addr,
             listener: Mutex::new(listener),
             shards: Mutex::new((0..config.shards).map(|_| Slot::new()).collect()),
@@ -363,24 +438,40 @@ impl Dispatcher {
             ping_token: AtomicU64::new(1),
             restarts: AtomicU64::new(0),
             side_threads: Mutex::new(Vec::new()),
+            local_jobs: Mutex::new(Vec::new()),
         });
         for shard in 0..config.shards {
-            match core.spawn_shard(shard, 0) {
-                Ok((writer, child)) => {
-                    let mut shards = core.lock_shards();
+            // A shard that cannot come up does not fail the boot: its
+            // breaker opens immediately and its jobs run in-process —
+            // degraded but correct — until a half-open probe succeeds.
+            let mut spawned = None;
+            for _ in 0..BREAKER_STRIKES {
+                match core.spawn_shard(shard, 0) {
+                    Ok(pair) => {
+                        spawned = Some(pair);
+                        break;
+                    }
+                    Err(e) => {
+                        let mut shards = core.lock_shards();
+                        shards[shard].strikes += 1;
+                        eprintln!("marioh-dispatch: shard {shard} failed to start: {e}");
+                    }
+                }
+            }
+            let mut shards = core.lock_shards();
+            match spawned {
+                Some((writer, child)) => {
                     shards[shard].writer = Some(writer);
                     shards[shard].child = child;
                     shards[shard].last_seen = Instant::now();
                 }
-                Err(e) => {
-                    core.stopping.store(true, Ordering::SeqCst);
-                    for slot in core.lock_shards().iter_mut() {
-                        if let Some(mut child) = slot.child.take() {
-                            let _ = child.kill();
-                            let _ = child.wait();
-                        }
-                    }
-                    return Err(format!("failed to start shard {shard}: {e}"));
+                None => {
+                    shards[shard].breaker_open_since = Some(Instant::now());
+                    update_breaker_gauge(&shards);
+                    eprintln!(
+                        "marioh-dispatch: shard {shard} crash-loop breaker open from boot; \
+                         its jobs will execute in-process"
+                    );
                 }
             }
         }
@@ -429,6 +520,8 @@ impl Dispatcher {
                 last_heartbeat_ms: slot.last_seen.elapsed().as_millis() as u64,
                 inflight: slot.inflight.len(),
                 snapshot: slot.last_snapshot.clone(),
+                breaker_open: slot.breaker_open_since.is_some(),
+                strikes: slot.strikes,
             })
             .collect()
     }
@@ -448,6 +541,20 @@ impl Dispatcher {
         let channel = self.core.fresh_channel();
         let mut shards = self.core.lock_shards();
         let slot = &mut shards[shard];
+        if slot.breaker_open_since.is_some() {
+            // Crash-loop breaker open: run the job in this process
+            // instead of feeding a respawn loop.
+            drop(shards);
+            self.core.execute_local(
+                shard,
+                job.id,
+                job.spec_hash,
+                job.spec_json,
+                job.model,
+                job.cancel,
+            );
+            return Ok(());
+        }
         let inflight = Inflight {
             channel,
             spec_hash: job.spec_hash,
@@ -499,6 +606,15 @@ impl Dispatcher {
                 }
                 slot.writer = None;
             }
+        }
+        for (_, cancel) in self
+            .core
+            .local_jobs
+            .lock()
+            .expect("local jobs lock poisoned")
+            .iter()
+        {
+            cancel.cancel();
         }
         let _ = self
             .core
@@ -552,6 +668,16 @@ impl Core {
     /// listener lock so concurrent spawns cannot steal each other's
     /// connections (capabilities are verified as a backstop).
     fn spawn_shard(self: &Arc<Self>, shard: usize, generation: u64) -> Result<ShardLink, String> {
+        // Parent-side spawn counter: unlike the worker's own `shard.K`
+        // sites it survives respawns, so chaos plans can script
+        // cross-incarnation crash loops (`shard.spawn.K:err@upto:N`).
+        match marioh_fault::hit(&format!("shard.spawn.{shard}")) {
+            Some(marioh_fault::Action::Err) => {
+                return Err(format!("injected fault at shard.spawn.{shard}"));
+            }
+            Some(marioh_fault::Action::Stall(ms)) => marioh_fault::stall(ms),
+            _ => {}
+        }
         let listener = self.listener.lock().expect("listener lock poisoned");
         let mut child = match &self.worker {
             WorkerCommand::Process(argv) => {
@@ -693,6 +819,10 @@ impl Core {
                 model,
             } => {
                 slot.inflight.remove(&job);
+                // A worker that answers jobs is healthy: clear its
+                // crash-loop strikes.
+                slot.completed_since_spawn += 1;
+                slot.strikes = 0;
                 events.push(DispatchEvent::Done {
                     job,
                     spec_hash,
@@ -705,7 +835,22 @@ impl Core {
                 message,
                 cancelled,
             } => {
+                // A cancellation nobody asked for is a worker winding
+                // down (its reader died mid-stream and it cancelled its
+                // own jobs on the way out). Drop the frame and keep the
+                // job inflight: the imminent shard-down re-dispatches
+                // it, instead of surfacing a phantom "cancelled".
+                if cancelled
+                    && slot
+                        .inflight
+                        .get(&job)
+                        .is_some_and(|inflight| !inflight.cancel.is_cancelled())
+                {
+                    return;
+                }
                 slot.inflight.remove(&job);
+                slot.completed_since_spawn += 1;
+                slot.strikes = 0;
                 events.push(DispatchEvent::Failed {
                     job,
                     message,
@@ -748,9 +893,12 @@ impl Core {
     }
 
     /// Merger-thread handling of a dead shard connection: bump the
-    /// generation, respawn (with retries), and re-dispatch the jobs the
-    /// dead worker still owed — unless their results already landed or
-    /// they were cancelled meanwhile.
+    /// generation, respawn (with exponential backoff), and re-dispatch
+    /// the jobs the dead worker still owed — unless their results
+    /// already landed or they were cancelled meanwhile. A crash loop
+    /// (strikes from spawn failures and immediate deaths) opens the
+    /// slot's breaker instead: respawns stop and the jobs reroute to
+    /// in-process execution, degraded but correct.
     fn handle_shard_down(
         self: &Arc<Self>,
         shard: usize,
@@ -772,30 +920,52 @@ impl Core {
                 let _ = child.kill();
                 let _ = child.wait();
             }
+            if slot.completed_since_spawn == 0 {
+                // Died without answering a single job: a crash-loop
+                // strike. (A death after completed work is not.)
+                slot.strikes += 1;
+            }
             (slot.generation, slot.inflight.drain().collect::<Vec<_>>())
         };
         self.restarts.fetch_add(1, Ordering::Relaxed);
         let mut respawned = None;
-        for _ in 0..RESPAWN_ATTEMPTS {
+        let mut backoff = self.respawn_backoff;
+        for attempt in 0..RESPAWN_ATTEMPTS {
             if self.stopping.load(Ordering::SeqCst) {
                 return;
+            }
+            if self.lock_shards()[shard].strikes >= BREAKER_STRIKES {
+                break; // crash loop: stop burning respawns
+            }
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff *= 2;
             }
             match self.spawn_shard(shard, new_generation) {
                 Ok(pair) => {
                     respawned = Some(pair);
                     break;
                 }
-                Err(_) => continue,
+                Err(e) => {
+                    eprintln!("marioh-dispatch: shard {shard} respawn failed: {e}");
+                    self.lock_shards()[shard].strikes += 1;
+                }
             }
         }
         let Some((writer, child)) = respawned else {
-            for (job, _) in pending {
-                events.push(DispatchEvent::Failed {
-                    job,
-                    message: format!("shard {shard} died and could not be respawned"),
-                    cancelled: false,
-                });
+            {
+                let mut shards = self.lock_shards();
+                let slot = &mut shards[shard];
+                if slot.breaker_open_since.is_none() {
+                    slot.breaker_open_since = Some(Instant::now());
+                    eprintln!(
+                        "marioh-dispatch: shard {shard} crash-loop breaker open; \
+                         its jobs will execute in-process until a probe succeeds"
+                    );
+                }
+                update_breaker_gauge(&shards);
             }
+            self.reroute_pending(shard, pending, events);
             return;
         };
         let mut shards = self.lock_shards();
@@ -803,6 +973,7 @@ impl Core {
         slot.writer = Some(Arc::clone(&writer));
         slot.child = child;
         slot.last_seen = Instant::now();
+        slot.completed_since_spawn = 0;
         // Jobs dispatched while the shard was down sit in `inflight`
         // unsent (dispatch() found no writer); fold them in with the
         // dead worker's jobs and (re-)send everything.
@@ -843,6 +1014,213 @@ impl Core {
             shard,
             redispatched,
         });
+    }
+
+    /// Routes a dead shard's owed jobs to in-process execution (its
+    /// breaker is open). Cancelled jobs fail as cancelled; jobs whose
+    /// results already landed are skipped, exactly like re-dispatch.
+    fn reroute_pending(
+        self: &Arc<Self>,
+        shard: usize,
+        pending: Vec<(u64, Inflight)>,
+        events: &mut Vec<DispatchEvent>,
+    ) {
+        for (job, inflight) in pending {
+            if inflight.cancel.is_cancelled() {
+                events.push(DispatchEvent::Failed {
+                    job,
+                    message: "cancelled".into(),
+                    cancelled: true,
+                });
+                continue;
+            }
+            if self.events.result_already_landed(job, &inflight.spec_hash) {
+                continue;
+            }
+            self.execute_local(
+                shard,
+                job,
+                inflight.spec_hash,
+                inflight.spec_json,
+                inflight.model,
+                inflight.cancel,
+            );
+        }
+    }
+
+    /// Runs one job in this process on its own thread — the degraded
+    /// path while a shard's breaker is open. The outcome flows back
+    /// through the merger as an [`Inbound::Local`], so the sink sees
+    /// the same `Done`/`Failed` events a worker would have produced
+    /// (and, jobs being deterministic, the same bytes).
+    fn execute_local(
+        self: &Arc<Self>,
+        shard: usize,
+        job: u64,
+        spec_hash: [u8; 32],
+        spec_json: String,
+        model: Option<Vec<u8>>,
+        cancel: CancelToken,
+    ) {
+        let label = shard.to_string();
+        marioh_obs::global()
+            .counter_with(
+                "marioh_dispatch_breaker_rerouted_total",
+                &[("shard", label.as_str())],
+            )
+            .inc();
+        self.local_jobs
+            .lock()
+            .expect("local jobs lock poisoned")
+            .push((job, cancel.clone()));
+        let core = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("marioh-dispatch-local-{shard}"))
+            .spawn(move || {
+                let event = run_local(job, spec_hash, &spec_json, model, cancel);
+                core.local_jobs
+                    .lock()
+                    .expect("local jobs lock poisoned")
+                    .retain(|(id, _)| *id != job);
+                let _ = core
+                    .tx
+                    .lock()
+                    .expect("sender lock poisoned")
+                    .send(Inbound::Local {
+                        events: vec![event],
+                    });
+            });
+        match handle {
+            Ok(handle) => self
+                .side_threads
+                .lock()
+                .expect("side threads lock poisoned")
+                .push(handle),
+            Err(e) => {
+                // Thread spawn failing is resource exhaustion; report
+                // the job failed rather than losing it silently.
+                let _ = self
+                    .tx
+                    .lock()
+                    .expect("sender lock poisoned")
+                    .send(Inbound::Local {
+                        events: vec![DispatchEvent::Failed {
+                            job,
+                            message: format!("could not start in-process execution: {e}"),
+                            cancelled: false,
+                        }],
+                    });
+            }
+        }
+    }
+
+    /// Merger-thread handling of a breaker probe: if the breaker is
+    /// still open and cooled down, attempt one respawn. Success closes
+    /// the breaker half-open (one strike short of the limit, so an
+    /// immediate death reopens it; a completed job clears it); failure
+    /// restarts the cooldown.
+    fn handle_try_restore(self: &Arc<Self>, shard: usize, events: &mut Vec<DispatchEvent>) {
+        if self.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let generation = {
+            let mut shards = self.lock_shards();
+            let slot = &mut shards[shard];
+            match slot.breaker_open_since {
+                Some(since) if since.elapsed() >= self.breaker_cooldown => {}
+                _ => return, // closed meanwhile, or probes racing
+            }
+            slot.generation += 1;
+            slot.generation
+        };
+        match self.spawn_shard(shard, generation) {
+            Ok((writer, child)) => {
+                let mut shards = self.lock_shards();
+                let slot = &mut shards[shard];
+                slot.writer = Some(writer);
+                slot.child = child;
+                slot.last_seen = Instant::now();
+                slot.breaker_open_since = None;
+                slot.strikes = BREAKER_STRIKES.saturating_sub(1);
+                slot.completed_since_spawn = 0;
+                update_breaker_gauge(&shards);
+                drop(shards);
+                eprintln!(
+                    "marioh-dispatch: shard {shard} breaker probe succeeded; worker restored"
+                );
+                events.push(DispatchEvent::ShardRespawned {
+                    shard,
+                    redispatched: 0,
+                });
+            }
+            Err(e) => {
+                eprintln!("marioh-dispatch: shard {shard} breaker probe failed: {e}");
+                let mut shards = self.lock_shards();
+                shards[shard].breaker_open_since = Some(Instant::now());
+            }
+        }
+    }
+}
+
+/// The body of one in-process (breaker-open) job execution: the same
+/// parse → decode → [`execute_job`] path a shard worker runs, reported
+/// as a [`DispatchEvent`] instead of wire frames. Per-round progress is
+/// not streamed on this path — breaker-open operation is explicitly
+/// degraded — but results are byte-identical.
+fn run_local(
+    job: u64,
+    spec_hash: [u8; 32],
+    spec_json: &str,
+    model_bytes: Option<Vec<u8>>,
+    cancel: CancelToken,
+) -> DispatchEvent {
+    let spec = match marioh_store::Json::parse(spec_json)
+        .map_err(|e| e.to_string())
+        .and_then(|json| marioh_store::JobSpec::from_json(&json).map_err(|e| e.to_string()))
+    {
+        Ok(spec) => spec,
+        Err(message) => {
+            return DispatchEvent::Failed {
+                job,
+                message: format!("in-process execution could not parse spec: {message}"),
+                cancelled: false,
+            };
+        }
+    };
+    let reuse = match model_bytes {
+        Some(bytes) => match marioh_core::SavedModel::read_from(&bytes[..]) {
+            Ok(saved) => Some(saved),
+            Err(e) => {
+                return DispatchEvent::Failed {
+                    job,
+                    message: format!("in-process execution could not decode model: {e}"),
+                    cancelled: false,
+                };
+            }
+        },
+        None => None,
+    };
+    match crate::exec::execute_job(spec, reuse, Arc::new(marioh_core::NoopObserver), cancel) {
+        Ok((result, trained)) => {
+            let model = trained.map(|saved| {
+                let mut bytes = Vec::new();
+                saved
+                    .write_to(&mut bytes)
+                    .expect("writing a model to a Vec cannot fail");
+                bytes
+            });
+            DispatchEvent::Done {
+                job,
+                spec_hash,
+                payload: marioh_store::encode_result(&result),
+                model,
+            }
+        }
+        Err(e) => DispatchEvent::Failed {
+            job,
+            message: e.to_string(),
+            cancelled: matches!(e, marioh_core::MariohError::Cancelled),
+        },
     }
 }
 
@@ -905,6 +1283,12 @@ fn merge_loop(core: &Arc<Core>, rx: &mpsc::Receiver<Inbound>) {
                 Inbound::Down { shard, generation } => {
                     core.handle_shard_down(shard, generation, &mut events);
                 }
+                Inbound::TryRestore { shard } => {
+                    core.handle_try_restore(shard, &mut events);
+                }
+                Inbound::Local {
+                    events: local_events,
+                } => events.extend(local_events),
             }
         }
         if !events.is_empty() {
@@ -928,6 +1312,18 @@ fn supervise(core: &Arc<Core>) {
         let mut shards = core.lock_shards();
         let now = Instant::now();
         for (index, slot) in shards.iter_mut().enumerate() {
+            if let Some(since) = slot.breaker_open_since {
+                if now.duration_since(since) >= core.breaker_cooldown {
+                    // Cooled down: ask the merger for one half-open
+                    // probe. (It re-checks and dedups racing probes.)
+                    let _ = core
+                        .tx
+                        .lock()
+                        .expect("sender lock poisoned")
+                        .send(Inbound::TryRestore { shard: index });
+                }
+                continue;
+            }
             let Some(writer) = slot.writer.clone() else {
                 continue;
             };

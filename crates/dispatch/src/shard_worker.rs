@@ -63,6 +63,31 @@ pub fn serve(stream: TcpStream, shard: usize) -> Result<(), WireError> {
                 spec_json,
                 model,
             } => {
+                // Worker-side fault site, one operation per Dispatch
+                // received: `exit` scripts a crash loop, `stall` wedges
+                // the serve loop (heartbeats stop, so the dispatcher's
+                // timeout must catch it), `err` fails the job without
+                // running it. Counters reset with the process — each
+                // respawned incarnation counts from 1.
+                match marioh_fault::hit(&format!("shard.{shard}")) {
+                    Some(marioh_fault::Action::Exit) => {
+                        std::process::exit(marioh_fault::EXIT_CODE);
+                    }
+                    Some(marioh_fault::Action::Stall(ms)) => marioh_fault::stall(ms),
+                    Some(marioh_fault::Action::Err) => {
+                        let _ = writer.lock().expect("writer lock poisoned").send(
+                            frame.channel,
+                            &Message::Failed {
+                                job,
+                                message: marioh_fault::io_error(&format!("shard.{shard}"))
+                                    .to_string(),
+                                cancelled: false,
+                            },
+                        );
+                        continue;
+                    }
+                    _ => {}
+                }
                 let cancel = CancelToken::new();
                 cancels
                     .lock()

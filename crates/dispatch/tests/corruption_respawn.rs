@@ -1,0 +1,107 @@
+//! Mid-stream corruption is shard death: a frame damaged on an
+//! established channel must tear the connection down cleanly, respawn
+//! the shard, and re-dispatch the inflight job — no desync, no hang,
+//! and the job still completes.
+//!
+//! Lives in its own test binary because arming a fault plan is
+//! process-global by design; sharing a process with other tests would
+//! let the plan fire on their frames.
+
+use marioh_core::CancelToken;
+use marioh_dispatch::{
+    DispatchConfig, DispatchEvent, DispatchEvents, DispatchJob, Dispatcher, WorkerCommand,
+};
+use marioh_store::{decode_result, JobSpec, Json};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(Default)]
+struct Sink {
+    state: Mutex<SinkState>,
+    changed: Condvar,
+}
+
+#[derive(Default)]
+struct SinkState {
+    done: Option<Vec<u8>>,
+    failed: Option<String>,
+    respawns: usize,
+}
+
+impl DispatchEvents for Sink {
+    fn on_batch(&self, events: Vec<DispatchEvent>) {
+        let mut state = self.state.lock().unwrap();
+        for event in events {
+            match event {
+                DispatchEvent::Done { payload, .. } => state.done = Some(payload),
+                DispatchEvent::Failed { message, .. } => state.failed = Some(message),
+                DispatchEvent::ShardRespawned { .. } => state.respawns += 1,
+                DispatchEvent::Progress { .. } => {}
+            }
+        }
+        self.changed.notify_all();
+    }
+}
+
+#[test]
+fn corrupted_frame_on_an_established_channel_respawns_and_redelivers() {
+    // Frames on the loopback channel: (1) worker Hello, (2) supervisor
+    // HelloAck, (3) the Dispatch frame — corrupt that one. The worker's
+    // CRC check turns the damage into a connection death; the
+    // supervisor must respawn the shard and re-dispatch the job over
+    // the fresh (clean) connection.
+    marioh_fault::arm(
+        marioh_fault::FaultPlan::parse("wire.frame:corrupt@nth:3").expect("valid plan"),
+    );
+
+    let sink = Arc::new(Sink::default());
+    let dispatcher = Dispatcher::start(
+        DispatchConfig::new(1, WorkerCommand::InThread),
+        Arc::clone(&sink) as Arc<dyn DispatchEvents>,
+    )
+    .expect("dispatcher starts");
+
+    let spec = JobSpec::from_json(&Json::parse(r#"{"dataset": "Hosts", "seed": 5}"#).unwrap())
+        .expect("valid spec");
+    let hash = *spec.content_hash().unwrap().as_bytes();
+    dispatcher
+        .dispatch(DispatchJob {
+            id: 1,
+            spec_hash: hash,
+            spec_json: spec.to_json().to_string(),
+            model: None,
+            cancel: CancelToken::new(),
+        })
+        .expect("dispatch accepted");
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut state = sink.state.lock().unwrap();
+    let payload = loop {
+        if let Some(payload) = state.done.clone() {
+            break payload;
+        }
+        assert!(
+            state.failed.is_none(),
+            "job failed instead of redelivering: {:?}",
+            state.failed
+        );
+        let now = Instant::now();
+        assert!(now < deadline, "job never completed after corruption");
+        let (next, _) = sink
+            .changed
+            .wait_timeout(state, deadline - now)
+            .expect("sink lock poisoned");
+        state = next;
+    };
+    let respawns = state.respawns;
+    drop(state);
+
+    assert!(
+        respawns >= 1,
+        "corruption must be handled as shard death, got {respawns} respawns"
+    );
+    decode_result(&payload).expect("redelivered result decodes");
+
+    dispatcher.shutdown();
+    marioh_fault::disarm();
+}

@@ -33,6 +33,10 @@ unsafe impl Send for Job {}
 struct State {
     /// The job currently being executed, if any.
     job: Option<Job>,
+    /// The thread that published `job`; its own re-entrant
+    /// [`WorkerPool::run`] calls execute inline instead of waiting on a
+    /// drain that can never happen while it is parked here.
+    publisher: Option<std::thread::ThreadId>,
     /// Monotone job counter; workers use it to detect fresh work.
     seq: u64,
     /// Workers still executing the current job.
@@ -83,6 +87,7 @@ impl WorkerPool {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 job: None,
+                publisher: None,
                 seq: 0,
                 running: 0,
                 panicked: false,
@@ -137,6 +142,15 @@ impl WorkerPool {
         }
         {
             let mut st = self.shared.state.lock().expect("pool state poisoned");
+            // Re-entrant call from the thread whose own participation in
+            // the in-flight job re-entered `run` (a lazily-built cache
+            // inside a parallel pass): waiting below would deadlock on
+            // ourselves, so degrade to an inline call.
+            if st.publisher == Some(std::thread::current().id()) {
+                drop(st);
+                job(0);
+                return;
+            }
             // Wait out any in-flight job another caller published —
             // overwriting it would free its borrowed closure while
             // workers still hold the lifetime-erased pointer.
@@ -157,6 +171,7 @@ impl WorkerPool {
             st.seq += 1;
             st.running = self.handles.len();
             st.panicked = false;
+            st.publisher = Some(std::thread::current().id());
         }
         self.shared.start.notify_all();
 
@@ -173,6 +188,7 @@ impl WorkerPool {
             st = self.shared.done.wait(st).expect("pool state poisoned");
         }
         st.job = None;
+        st.publisher = None;
         let panicked = st.panicked;
         drop(st);
         // Wake any caller queued behind this job's publication slot.
@@ -197,6 +213,7 @@ impl Drop for WaitGuard<'_> {
                 st = next;
             }
             st.job = None;
+            st.publisher = None;
             drop(st);
             self.shared.done.notify_all();
         }
@@ -350,6 +367,35 @@ mod tests {
         });
         assert_eq!(outer.load(Ordering::Relaxed), 3);
         assert_eq!(inner.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn reentrant_run_from_the_publishing_caller_executes_inline() {
+        // The caller's own participation (index 0) re-enters the pool —
+        // the shape of a lazily-built cache whose `get_or_init` happens
+        // to land on the publishing thread. Before publisher tracking
+        // this deadlocked: the inner `run` waited for the outer job to
+        // drain, which needed the caller to finish its participation.
+        let pool = WorkerPool::new(3);
+        let outer = AtomicUsize::new(0);
+        let inner = AtomicUsize::new(0);
+        pool.run(&|idx| {
+            outer.fetch_add(1, Ordering::Relaxed);
+            if idx == 0 {
+                pool.run(&|inner_idx| {
+                    assert_eq!(inner_idx, 0, "re-entrant job runs inline");
+                    inner.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(outer.load(Ordering::Relaxed), 3);
+        assert_eq!(inner.load(Ordering::Relaxed), 1);
+        // The pool stays fully usable afterwards.
+        let count = AtomicUsize::new(0);
+        pool.run(&|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3);
     }
 
     #[test]

@@ -15,6 +15,8 @@ const TIMEOUT: Duration = Duration::from_secs(60);
 pub struct HttpResponse {
     /// The status code from the status line.
     pub status: u16,
+    /// Response headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
     /// The response body.
     pub body: String,
 }
@@ -27,6 +29,15 @@ impl HttpResponse {
     /// The JSON parser's message when the body is not valid JSON.
     pub fn json(&self) -> Result<Json, String> {
         Json::parse(&self.body)
+    }
+
+    /// The first header value under `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -71,8 +82,15 @@ pub fn request(
                 format!("malformed status line in {head:?}"),
             )
         })?;
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|line| line.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_owned()))
+        .collect();
     Ok(HttpResponse {
         status,
+        headers,
         body: payload.to_owned(),
     })
 }

@@ -163,17 +163,29 @@ pub fn write_response<W: Write>(writer: &mut W, status: u16, body: &Json) -> io:
     write_text_response(writer, status, "application/json", &body.to_string())
 }
 
+/// The `Retry-After` value (seconds) sent with every 503. Short on
+/// purpose: the conditions behind a 503 (queue full, connection cap)
+/// clear as soon as one job or connection finishes.
+pub const RETRY_AFTER_SECS: u32 = 1;
+
 /// Writes a response with an explicit content type (the Prometheus
-/// `/metrics` exposition is plain text, not JSON).
+/// `/metrics` exposition is plain text, not JSON). Every 503 — queue
+/// full, connection cap, batch overflow — carries a `Retry-After`
+/// header, added here so no rejection path can forget it.
 pub fn write_text_response<W: Write>(
     writer: &mut W,
     status: u16,
     content_type: &str,
     payload: &str,
 ) -> io::Result<()> {
+    let retry_after = if status == 503 {
+        format!("Retry-After: {RETRY_AFTER_SECS}\r\n")
+    } else {
+        String::new()
+    };
     write!(
         writer,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{retry_after}Connection: close\r\n\r\n{payload}",
         reason(status),
         payload.len(),
     )?;
@@ -237,6 +249,23 @@ mod tests {
             parse(&oversized).unwrap_err().kind(),
             io::ErrorKind::InvalidData
         );
+    }
+
+    #[test]
+    fn every_503_carries_retry_after_and_nothing_else_does() {
+        let mut out = Vec::new();
+        write_response(&mut out, 503, &error_body("full")).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains(&format!("Retry-After: {RETRY_AFTER_SECS}\r\n")),
+            "{text}"
+        );
+        for status in [200, 201, 400, 404, 409] {
+            let mut out = Vec::new();
+            write_response(&mut out, status, &error_body("x")).unwrap();
+            let text = String::from_utf8(out).unwrap();
+            assert!(!text.contains("Retry-After"), "{status}: {text}");
+        }
     }
 
     #[test]

@@ -25,7 +25,9 @@ use marioh_store::{
     DEFAULT_RETAINED_JOBS,
 };
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
+use std::time::{Duration, Instant};
 
 // The job domain model lives in `marioh-store`; re-export it so server
 // consumers keep their import paths.
@@ -78,6 +80,10 @@ pub struct ServerStats {
     pub shard_restarts: u64,
     /// `"memory"` or `"disk"`.
     pub store: &'static str,
+    /// Whether the job store is in read-only degraded mode (persistent
+    /// I/O failure; serving continues from memory and the artifact
+    /// overlay).
+    pub degraded: bool,
 }
 
 /// Why a submission was rejected.
@@ -140,6 +146,13 @@ struct Orchestration {
     /// convenience.
     batches: HashMap<u64, Vec<u64>>,
     next_batch: u64,
+    /// Running jobs with a deadline: id → (deadline, timeout seconds).
+    /// Set at dispatch, cleared at every terminal path.
+    deadlines: HashMap<u64, (Instant, u64)>,
+    /// Jobs the deadline watchdog cancelled, with their timeout in
+    /// seconds. Consulted by the finish paths to turn the worker's
+    /// `Cancelled` report into a typed timeout failure.
+    timed_out: HashMap<u64, u64>,
 }
 
 struct Shared {
@@ -162,6 +175,12 @@ struct Shared {
     /// dispatcher's event sink owns a manager clone, so a strong handle
     /// here would cycle.
     dispatcher: Mutex<Weak<Dispatcher>>,
+    /// Server-wide default job deadline (`marioh serve --job-timeout`);
+    /// `None` means jobs without their own `timeout_secs` run unbounded.
+    job_timeout: Mutex<Option<Duration>>,
+    /// Whether the deadline watchdog thread has been spawned (lazily, on
+    /// the first job that actually has a deadline).
+    watchdog_started: AtomicBool,
 }
 
 /// The concurrent job queue and orchestration over a pluggable store.
@@ -212,6 +231,8 @@ impl JobManager {
             running: 0,
             batches: HashMap::new(),
             next_batch: 1,
+            deadlines: HashMap::new(),
+            timed_out: HashMap::new(),
         };
         for id in recovered {
             orch.tokens.insert(id, CancelToken::new());
@@ -233,8 +254,22 @@ impl JobManager {
                 shard_restarts: registry.counter("marioh_server_shard_restarts_total"),
                 registry,
                 dispatcher: Mutex::new(Weak::new()),
+                job_timeout: Mutex::new(None),
+                watchdog_started: AtomicBool::new(false),
             }),
         }
+    }
+
+    /// Sets the server-wide default job deadline (`marioh serve
+    /// --job-timeout`). Jobs whose spec carries its own `timeout_secs`
+    /// override it; `None` leaves default-less jobs unbounded. Applies
+    /// to jobs dispatched after the call.
+    pub fn set_job_timeout(&self, timeout: Option<Duration>) {
+        *self
+            .shared
+            .job_timeout
+            .lock()
+            .expect("job timeout lock poisoned") = timeout;
     }
 
     fn lock(&self) -> MutexGuard<'_, Orchestration> {
@@ -444,6 +479,7 @@ impl JobManager {
                     .store()
                     .spec_hash(id)
                     .expect("submitted job has a hash");
+                self.arm_deadline(&mut orch, id, &spec);
                 return Some(DispatchedJob {
                     id,
                     spec,
@@ -459,15 +495,58 @@ impl JobManager {
         }
     }
 
+    /// Arms the deadline for a job being dispatched: the spec's own
+    /// `timeout_secs` when set, the server-wide default otherwise. Jobs
+    /// with neither run unbounded. Spawns the watchdog thread on first
+    /// use.
+    fn arm_deadline(&self, orch: &mut Orchestration, id: u64, spec: &JobSpec) {
+        let secs = if spec.timeout_secs > 0 {
+            Some(spec.timeout_secs)
+        } else {
+            self.shared
+                .job_timeout
+                .lock()
+                .expect("job timeout lock poisoned")
+                .map(|d| d.as_secs())
+                .filter(|s| *s > 0)
+        };
+        let Some(secs) = secs else { return };
+        if let Some(deadline) = Instant::now().checked_add(Duration::from_secs(secs)) {
+            orch.deadlines.insert(id, (deadline, secs));
+            self.ensure_watchdog();
+        }
+    }
+
+    fn ensure_watchdog(&self) {
+        if self.shared.watchdog_started.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let shared = Arc::downgrade(&self.shared);
+        std::thread::Builder::new()
+            .name("marioh-deadline".to_owned())
+            .spawn(move || deadline_watchdog(shared))
+            .expect("spawn deadline watchdog thread");
+    }
+
+    /// Clears a job's deadline bookkeeping at a terminal path and
+    /// reports the timeout it hit, if any.
+    fn close_deadline(orch: &mut Orchestration, id: u64) -> Option<u64> {
+        orch.deadlines.remove(&id);
+        orch.timed_out.remove(&id)
+    }
+
     /// Records a finished job. A job already cancelled through
     /// [`JobManager::cancel`] stays `Cancelled` regardless of `outcome`
-    /// (terminal records are immutable in the store).
+    /// (terminal records are immutable in the store); a job the deadline
+    /// watchdog cancelled records as `Failed` with a typed timeout
+    /// reason instead.
     pub fn finish(&self, id: u64, outcome: Result<JobResult, MariohError>) {
-        {
+        let timed_out = {
             let mut orch = self.lock();
             orch.running = orch.running.saturating_sub(1);
             orch.tokens.remove(&id);
-        }
+            JobManager::close_deadline(&mut orch, id)
+        };
         match outcome {
             Ok(result) => {
                 let result = Arc::new(result);
@@ -499,7 +578,11 @@ impl JobManager {
                 );
             }
             Err(MariohError::Cancelled) => {
-                self.store().transition(id, Transition::Cancelled);
+                let transition = match timed_out {
+                    Some(secs) => Transition::Failed(timeout_message(secs)),
+                    None => Transition::Cancelled,
+                };
+                self.store().transition(id, transition);
             }
             Err(e) => {
                 self.store()
@@ -517,11 +600,15 @@ impl JobManager {
         if outcomes.is_empty() {
             return;
         }
+        let mut timed_out: HashMap<u64, u64> = HashMap::new();
         {
             let mut orch = self.lock();
             for (id, _) in &outcomes {
                 orch.running = orch.running.saturating_sub(1);
                 orch.tokens.remove(id);
+                if let Some(secs) = JobManager::close_deadline(&mut orch, *id) {
+                    timed_out.insert(*id, secs);
+                }
             }
         }
         let mut transitions: Vec<(u64, Transition)> = Vec::with_capacity(outcomes.len());
@@ -550,7 +637,13 @@ impl JobManager {
                         },
                     ));
                 }
-                Err(MariohError::Cancelled) => transitions.push((id, Transition::Cancelled)),
+                Err(MariohError::Cancelled) => transitions.push((
+                    id,
+                    match timed_out.get(&id) {
+                        Some(secs) => Transition::Failed(timeout_message(*secs)),
+                        None => Transition::Cancelled,
+                    },
+                )),
                 Err(e) => transitions.push((id, Transition::Failed(e.to_string()))),
             }
         }
@@ -574,6 +667,7 @@ impl JobManager {
             let mut orch = self.lock();
             orch.running = orch.running.saturating_sub(1);
             orch.tokens.remove(&id);
+            JobManager::close_deadline(&mut orch, id);
         }
         self.shared.cache_hits.inc();
         self.store().transition(
@@ -724,6 +818,9 @@ impl JobManager {
         if view.status == JobStatus::Queued {
             orch.tokens.remove(&id);
         }
+        // An explicit cancel takes the job off the deadline watch; a
+        // timeout already recorded races at the store (terminal-once).
+        orch.deadlines.remove(&id);
         // The store arbitrates the race with a finishing worker:
         // whichever terminal transition lands first wins.
         self.store().transition(id, Transition::Cancelled)
@@ -808,7 +905,14 @@ impl JobManager {
             shards: self.shared.shards.get() as usize,
             shard_restarts: self.shared.shard_restarts.get(),
             store: self.store().kind(),
+            degraded: self.store().degraded(),
         }
+    }
+
+    /// Whether the job store is in read-only degraded mode (surfaced on
+    /// `/healthz` and `/stats`).
+    pub fn store_degraded(&self) -> bool {
+        self.store().degraded()
     }
 
     /// Stops accepting and dispatching work: cancels every queued job,
@@ -827,6 +931,51 @@ impl JobManager {
             token.cancel();
         }
         self.shared.work_ready.notify_all();
+    }
+}
+
+/// How often the deadline watchdog scans for expired jobs.
+const DEADLINE_TICK: Duration = Duration::from_millis(50);
+
+/// The typed failure reason of a job the deadline watchdog cancelled.
+fn timeout_message(secs: u64) -> String {
+    format!("timed out: job exceeded its {secs}s deadline and was cancelled")
+}
+
+/// The deadline watchdog: scans running jobs' deadlines every
+/// [`DEADLINE_TICK`] and fires the cancel token of any job past its
+/// deadline — the same token `DELETE /jobs/:id` fires, so both serving
+/// modes (in-process pool and shard dispatch) stop the job through
+/// their existing cancellation machinery. The finish paths then turn
+/// the worker's `Cancelled` report into a typed timeout failure via the
+/// `timed_out` ledger. Exits when the manager shuts down or is dropped.
+fn deadline_watchdog(shared: Weak<Shared>) {
+    loop {
+        std::thread::sleep(DEADLINE_TICK);
+        let Some(shared) = shared.upgrade() else {
+            return;
+        };
+        let mut orch = shared.orch.lock().expect("job queue lock poisoned");
+        if orch.shutdown {
+            return;
+        }
+        if orch.deadlines.is_empty() {
+            continue;
+        }
+        let now = Instant::now();
+        let expired: Vec<(u64, u64)> = orch
+            .deadlines
+            .iter()
+            .filter(|(_, (deadline, _))| *deadline <= now)
+            .map(|(id, (_, secs))| (*id, *secs))
+            .collect();
+        for (id, secs) in expired {
+            orch.deadlines.remove(&id);
+            orch.timed_out.insert(id, secs);
+            if let Some(token) = orch.tokens.get(&id) {
+                token.cancel();
+            }
+        }
     }
 }
 
@@ -1091,6 +1240,63 @@ mod tests {
         // Counters are history, not store size: eviction leaves them.
         assert_eq!(m.stats().finished, 5);
         assert_eq!(m.scan().len(), 3);
+    }
+
+    #[test]
+    fn deadline_watchdog_times_out_running_jobs_with_a_typed_reason() {
+        let m = JobManager::new(4, 1);
+        m.set_job_timeout(Some(Duration::from_secs(1)));
+        let id = m.submit(tiny_spec()).unwrap();
+        let job = m.take_next().unwrap();
+        // The watchdog fires the job's token once the deadline passes.
+        let t0 = Instant::now();
+        while !job.cancel.is_cancelled() {
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "deadline never fired"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // The worker reports the cancellation; the record shows a typed
+        // timeout failure, not a plain cancel.
+        m.finish(id, Err(MariohError::Cancelled));
+        let view = m.view(id).unwrap();
+        assert_eq!(view.status, JobStatus::Failed);
+        let msg = view.error.expect("timeouts carry a reason");
+        assert!(msg.contains("timed out"), "{msg}");
+        assert!(msg.contains("1s deadline"), "{msg}");
+    }
+
+    #[test]
+    fn spec_timeout_overrides_the_default_and_explicit_cancel_stays_cancelled() {
+        let m = JobManager::new(8, 1);
+        // A server-wide default long enough to never fire in this test.
+        m.set_job_timeout(Some(Duration::from_secs(3600)));
+        let spec = JobSpec::from_json(
+            &Json::parse(r#"{"dataset": "Hosts", "timeout_secs": 1, "seed": 3}"#).unwrap(),
+        )
+        .unwrap();
+        let id = m.submit(spec).unwrap();
+        let job = m.take_next().unwrap();
+        let t0 = std::time::Instant::now();
+        while !job.cancel.is_cancelled() {
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "spec-level deadline never fired"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        m.finish(id, Err(MariohError::Cancelled));
+        assert_eq!(m.view(id).unwrap().status, JobStatus::Failed);
+
+        // An explicit DELETE under an armed deadline records Cancelled,
+        // never a timeout.
+        let other = m.submit(tiny_spec()).unwrap();
+        let job = m.take_next().unwrap();
+        assert_eq!(job.id, other);
+        assert_eq!(m.cancel(other), Some(JobStatus::Cancelled));
+        m.finish(other, Err(MariohError::Cancelled));
+        assert_eq!(m.view(other).unwrap().status, JobStatus::Cancelled);
     }
 
     #[test]

@@ -49,6 +49,15 @@ pub struct ServerConfig {
     /// process (still over loopback TCP), for tests and benches that
     /// have no `marioh` binary to exec.
     pub shard_worker: Vec<String>,
+    /// Default per-job deadline (`marioh serve --job-timeout`): a job
+    /// still running this long after dispatch is cancelled and recorded
+    /// failed with a typed timeout reason. Specs carrying their own
+    /// `timeout_secs` override it; `None` leaves jobs unbounded.
+    pub job_timeout: Option<Duration>,
+    /// Shard heartbeat timeout (`marioh serve --shard-timeout`): a shard
+    /// silent this long is declared dead and respawned. `None` keeps the
+    /// dispatcher's default; zero is rejected.
+    pub shard_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +68,8 @@ impl Default for ServerConfig {
             queue_cap: 64,
             shards: 0,
             shard_worker: Vec::new(),
+            job_timeout: None,
+            shard_timeout: None,
         }
     }
 }
@@ -130,6 +141,12 @@ impl Server {
         if storage.retain == 0 {
             return Err(MariohError::config("retention must be >= 1 (got 0)"));
         }
+        if config.job_timeout.is_some_and(|t| t.is_zero()) {
+            return Err(MariohError::config("job timeout must be >= 1 second"));
+        }
+        if config.shard_timeout.is_some_and(|t| t.is_zero()) {
+            return Err(MariohError::config("shard timeout must be >= 1 second"));
+        }
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -147,6 +164,7 @@ impl Server {
             };
         let manager =
             JobManager::with_stores(config.queue_cap, config.workers, job_store, artifact_store);
+        manager.set_job_timeout(config.job_timeout);
         let (worker_threads, dispatcher) = if config.shards > 0 {
             manager.set_shard_mode(config.shards);
             let worker = if config.shard_worker == ["in-thread"] {
@@ -164,11 +182,13 @@ impl Server {
             let sink = Arc::new(ShardEventSink {
                 manager: manager.clone(),
             });
-            let dispatcher = Arc::new(
-                Dispatcher::start(DispatchConfig::new(config.shards, worker), sink).map_err(
-                    |e| MariohError::config(format!("failed to start shard dispatcher: {e}")),
-                )?,
-            );
+            let mut dispatch_config = DispatchConfig::new(config.shards, worker);
+            if let Some(timeout) = config.shard_timeout {
+                dispatch_config.shard_timeout = timeout;
+            }
+            let dispatcher = Arc::new(Dispatcher::start(dispatch_config, sink).map_err(|e| {
+                MariohError::config(format!("failed to start shard dispatcher: {e}"))
+            })?);
             manager.attach_dispatcher(&dispatcher);
             let router = spawn_shard_router(&manager, Arc::clone(&dispatcher));
             (vec![router], Some(dispatcher))
@@ -382,7 +402,18 @@ fn route(request: &Request, manager: &JobManager) -> (u16, Reply) {
 fn route_json(request: &Request, manager: &JobManager) -> (u16, Json) {
     let method = request.method.as_str();
     match (method, segments(&request.path).as_slice()) {
-        ("GET", ["healthz"]) => (200, Json::Obj(vec![("status".into(), Json::str("ok"))])),
+        // Degraded (read-only store after persistent I/O failure) still
+        // answers 200: the service *is* serving, from memory and the
+        // artifact overlay — orchestrators should not kill it, but
+        // operators need to see it.
+        ("GET", ["healthz"]) => {
+            let status = if manager.store_degraded() {
+                "degraded"
+            } else {
+                "ok"
+            };
+            (200, Json::Obj(vec![("status".into(), Json::str(status))]))
+        }
         ("GET", ["stats"]) => (200, stats_body(manager)),
         ("GET", ["jobs"]) => (200, jobs_body(manager)),
         ("GET", ["models"]) => (200, models_body(manager)),
@@ -653,8 +684,9 @@ fn models_body(manager: &JobManager) -> Json {
 
 fn stats_body(manager: &JobManager) -> Json {
     let s = manager.stats();
-    let shard_status: Vec<Json> = manager
-        .shard_statuses()
+    let statuses = manager.shard_statuses();
+    let breakers_open = statuses.iter().filter(|s| s.breaker_open).count();
+    let shard_status: Vec<Json> = statuses
         .into_iter()
         .map(|status| {
             Json::Obj(vec![
@@ -664,6 +696,8 @@ fn stats_body(manager: &JobManager) -> Json {
                     Json::num(status.last_heartbeat_ms as f64),
                 ),
                 ("inflight".into(), Json::num(status.inflight as f64)),
+                ("breaker_open".into(), Json::Bool(status.breaker_open)),
+                ("strikes".into(), Json::num(status.strikes as f64)),
             ])
         })
         .collect();
@@ -695,8 +729,10 @@ fn stats_body(manager: &JobManager) -> Json {
         ("store".into(), Json::str(s.store)),
         ("shards".into(), Json::num(s.shards as f64)),
         ("shard_restarts".into(), Json::num(s.shard_restarts as f64)),
+        ("degraded".into(), Json::Bool(s.degraded)),
     ];
     if !shard_status.is_empty() {
+        pairs.push(("breakers_open".into(), Json::num(breakers_open as f64)));
         pairs.push(("shard_status".into(), Json::Arr(shard_status)));
     }
     Json::Obj(pairs)
@@ -757,6 +793,11 @@ mod tests {
             match crate::client::get(addr, "/healthz") {
                 Ok(response) if response.status == 503 => {
                     assert!(response.body.contains("too many open connections"));
+                    assert_eq!(
+                        response.header("retry-after"),
+                        Some("1"),
+                        "every 503 must tell the client when to retry"
+                    );
                     break;
                 }
                 Ok(_) => {}

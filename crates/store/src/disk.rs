@@ -27,6 +27,18 @@
 //! crash order merely leaves an orphan artifact that the next identical
 //! submission reuses.
 //!
+//! # Degraded mode
+//!
+//! Disk failures must not take serving down: artifact writes retry
+//! with bounded backoff, and persistent failure (or a run of
+//! consecutive log-write failures) flips the store into **read-only
+//! degraded mode** — nothing further touches the disk, new artifacts
+//! land in an in-memory overlay, the job table stays authoritative,
+//! and [`JobStore::degraded`] reports the state for `/healthz`. The
+//! write paths carry `marioh-fault` sites (`store.append`,
+//! `store.fsync`, `store.artifact`) so chaos runs can force these
+//! transitions deterministically.
+//!
 //! Changing [`STORE_FORMAT_VERSION`] is an on-disk format change: add a
 //! migration note to `crates/store/FORMATS.md` (CI and a unit test fail
 //! otherwise).
@@ -39,10 +51,13 @@ use crate::store::{
 };
 use marioh_core::{MariohError, SavedModel};
 use marioh_hypergraph::io as hio;
+use std::collections::HashMap;
 use std::fs::{self, File};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
 
 /// Version of the on-disk store format, written into `VERSION` and the
 /// snapshot/log headers. Opening a state dir written by a different
@@ -60,10 +75,35 @@ fn corrupt(msg: impl Into<String>) -> MariohError {
     MariohError::Config(msg.into())
 }
 
+/// Consecutive log-write failures tolerated before the store gives up
+/// on the disk and flips to read-only degraded mode.
+const LOG_FAILURE_LIMIT: u32 = 3;
+
+/// Attempts per artifact write (first try + retries with doubling
+/// backoff) before the failure is treated as persistent.
+const ARTIFACT_WRITE_ATTEMPTS: u32 = 3;
+
+/// Backoff before the first artifact-write retry; doubles per attempt.
+const ARTIFACT_RETRY_BACKOFF: Duration = Duration::from_millis(5);
+
 #[derive(Debug)]
 struct DiskInner {
     table: RecordTable,
     log: BufWriter<File>,
+    /// Consecutive `jobs.log` write/flush failures; one success resets
+    /// it, [`LOG_FAILURE_LIMIT`] in a row flips degraded mode.
+    log_failures: u32,
+    degraded: Arc<AtomicBool>,
+}
+
+/// Artifacts accepted while the disk was unwritable. Serving stays
+/// correct from this overlay + the in-memory job table; the entries die
+/// with the process, exactly like [`crate::store::MemoryStore`] data.
+#[derive(Debug, Default)]
+struct ArtifactOverlay {
+    results: HashMap<SpecHash, Arc<JobResult>>,
+    models: HashMap<SpecHash, SavedModel>,
+    named: HashMap<String, SavedModel>,
 }
 
 /// The durable job + artifact store. One instance owns a state dir;
@@ -73,6 +113,10 @@ pub struct DiskStore {
     root: PathBuf,
     inner: Mutex<DiskInner>,
     recovered: Mutex<Vec<u64>>,
+    /// Set once persistent I/O failure flips the store to read-only
+    /// degraded mode; checked lock-free on every write path.
+    degraded: Arc<AtomicBool>,
+    overlay: Mutex<ArtifactOverlay>,
     /// Held (OS-level, advisory, exclusive) for the store's whole
     /// lifetime; the kernel releases it when the process dies, so a
     /// `kill -9` never leaves a stale lock behind.
@@ -145,12 +189,28 @@ impl DiskStore {
         writeln!(log, "{} log", format_tag())?;
         log.flush()?;
 
+        let degraded = Arc::new(AtomicBool::new(false));
         Ok(DiskStore {
             root,
-            inner: Mutex::new(DiskInner { table, log }),
+            inner: Mutex::new(DiskInner {
+                table,
+                log,
+                log_failures: 0,
+                degraded: Arc::clone(&degraded),
+            }),
             recovered: Mutex::new(recovered),
+            degraded,
+            overlay: Mutex::new(ArtifactOverlay::default()),
             _lock: lock,
         })
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    fn overlay(&self) -> MutexGuard<'_, ArtifactOverlay> {
+        self.overlay.lock().expect("artifact overlay lock poisoned")
     }
 
     /// The state directory this store owns.
@@ -197,32 +257,116 @@ fn unique_tmp(path: &Path) -> PathBuf {
     path.with_file_name(name)
 }
 
+/// Flips the store to read-only degraded mode (idempotent): log and
+/// artifact writes stop touching the disk, serving continues from the
+/// in-memory table + artifact overlay, and `/healthz` reports it.
+fn enter_degraded(degraded: &AtomicBool, why: &str) {
+    if !degraded.swap(true, Ordering::Relaxed) {
+        eprintln!("marioh-store: persistent I/O failure, entering read-only degraded mode: {why}");
+        marioh_obs::global().gauge("marioh_store_degraded").set(1);
+    }
+}
+
+/// Records the outcome of one log write/flush: a success resets the
+/// consecutive-failure run, [`LOG_FAILURE_LIMIT`] failures in a row
+/// flip degraded mode. A lone failure must not take the serving path
+/// down; the in-memory state stays authoritative and the next open
+/// replays what did land.
+fn note_log_outcome(inner: &mut DiskInner, result: std::io::Result<()>) {
+    match result {
+        Ok(()) => inner.log_failures = 0,
+        Err(e) => {
+            inner.log_failures += 1;
+            if inner.log_failures >= LOG_FAILURE_LIMIT {
+                enter_degraded(&inner.degraded, &format!("jobs.log write failed: {e}"));
+            }
+        }
+    }
+}
+
 /// Buffers one log record without flushing — callers pair it with
 /// [`commit_log`], so a batch of appends pays one flush (+ fsync) total.
 fn buffer_record(inner: &mut DiskInner, record: &Json) {
-    // A log write failure must not take the serving path down; the
-    // in-memory state stays authoritative and the next open replays what
-    // did land.
-    let _ = writeln!(inner.log, "{record}");
+    if inner.degraded.load(Ordering::Relaxed) {
+        return; // read-only: the disk already proved unwritable
+    }
+    let result = match marioh_fault::hit("store.append") {
+        Some(marioh_fault::Action::Err) => Err(marioh_fault::io_error("store.append")),
+        Some(marioh_fault::Action::Stall(ms)) => {
+            marioh_fault::stall(ms);
+            writeln!(inner.log, "{record}")
+        }
+        _ => writeln!(inner.log, "{record}"),
+    };
+    note_log_outcome(inner, result);
 }
 
 /// Flushes everything buffered since the last commit; `durable` adds an
 /// fsync so acknowledged records survive power loss, not just a crash.
 fn commit_log(inner: &mut DiskInner, durable: bool) {
-    let _ = inner.log.flush();
+    if inner.degraded.load(Ordering::Relaxed) {
+        return;
+    }
+    let flushed = inner.log.flush();
     if durable {
         let t0 = std::time::Instant::now();
-        let _ = inner.log.get_ref().sync_data();
+        let synced = match marioh_fault::hit("store.fsync") {
+            Some(marioh_fault::Action::Err) => Err(marioh_fault::io_error("store.fsync")),
+            Some(marioh_fault::Action::Stall(ms)) => {
+                marioh_fault::stall(ms);
+                inner.log.get_ref().sync_data()
+            }
+            _ => inner.log.get_ref().sync_data(),
+        };
         let obs = marioh_obs::global();
         obs.counter("marioh_store_fsync_total").inc();
         obs.histogram("marioh_store_fsync_seconds")
             .observe(t0.elapsed());
+        note_log_outcome(inner, flushed.and(synced));
+    } else {
+        note_log_outcome(inner, flushed);
     }
 }
 
 fn append(inner: &mut DiskInner, record: &Json, durable: bool) {
     buffer_record(inner, record);
     commit_log(inner, durable);
+}
+
+/// Runs one artifact write with bounded retry: a transient failure
+/// (real, or injected at the `store.artifact` site) backs off with
+/// doubling sleeps and retries up to [`ARTIFACT_WRITE_ATTEMPTS`] total
+/// attempts; the final error is returned for the caller to treat as
+/// persistent. Each attempt counts one `store.artifact` operation.
+fn artifact_write_retry(
+    mut attempt: impl FnMut() -> Result<(), MariohError>,
+) -> Result<(), MariohError> {
+    let mut backoff = ARTIFACT_RETRY_BACKOFF;
+    let mut tries = 0;
+    loop {
+        let result = match marioh_fault::hit("store.artifact") {
+            Some(marioh_fault::Action::Err) => {
+                Err(MariohError::Io(marioh_fault::io_error("store.artifact")))
+            }
+            Some(marioh_fault::Action::Stall(ms)) => {
+                marioh_fault::stall(ms);
+                attempt()
+            }
+            _ => attempt(),
+        };
+        tries += 1;
+        match result {
+            Ok(()) => return Ok(()),
+            Err(e) if tries >= ARTIFACT_WRITE_ATTEMPTS => return Err(e),
+            Err(_) => {
+                marioh_obs::global()
+                    .counter("marioh_store_artifact_retries_total")
+                    .inc();
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+        }
+    }
 }
 
 fn obj(pairs: Vec<(&str, Json)>) -> Json {
@@ -295,6 +439,12 @@ impl JobStore for DiskStore {
         let record = inner.table.get(id)?;
         let (status, hash) = (record.status, record.hash);
         if status == JobStatus::Done && record.result.is_none() {
+            if let Some(arc) = self.overlay().results.get(&hash).cloned() {
+                if let Some(record) = inner.table.get_mut(id) {
+                    record.result = Some(Arc::clone(&arc));
+                }
+                return Some((status, Some(arc)));
+            }
             // Replayed done record: load the artifact lazily, memoize.
             if let Ok(result) = read_result_file(&self.result_path(&hash)) {
                 let arc = Arc::new(result);
@@ -351,6 +501,10 @@ impl JobStore for DiskStore {
 
     fn kind(&self) -> &'static str {
         "disk"
+    }
+
+    fn degraded(&self) -> bool {
+        self.is_degraded()
     }
 }
 
@@ -432,39 +586,72 @@ fn transition_locked(
 
 impl ArtifactStore for DiskStore {
     fn put_result(&self, hash: &SpecHash, result: &Arc<JobResult>) -> Result<(), MariohError> {
+        if self.is_degraded() {
+            self.overlay().results.insert(*hash, Arc::clone(result));
+            return Ok(());
+        }
         let path = self.result_path(hash);
         if path.exists() {
             return Ok(()); // identical content by construction
         }
         let encoded = encode_result(result);
         crate::store::record_artifact_bytes("result", encoded.len() as u64);
-        let tmp = unique_tmp(&path);
-        fs::write(&tmp, encoded)?;
-        fs::rename(&tmp, &path)?;
+        let written = artifact_write_retry(|| {
+            let tmp = unique_tmp(&path);
+            fs::write(&tmp, &encoded)?;
+            fs::rename(&tmp, &path)?;
+            Ok(())
+        });
+        if let Err(e) = written {
+            enter_degraded(
+                &self.degraded,
+                &format!("result artifact write failed: {e}"),
+            );
+            self.overlay().results.insert(*hash, Arc::clone(result));
+        }
         Ok(())
     }
 
     fn get_result(&self, hash: &SpecHash) -> Option<Arc<JobResult>> {
+        if let Some(found) = self.overlay().results.get(hash).cloned() {
+            crate::store::record_cache_probe("result", true);
+            return Some(found);
+        }
         let found = read_result_file(&self.result_path(hash)).ok().map(Arc::new);
         crate::store::record_cache_probe("result", found.is_some());
         found
     }
 
     fn put_model(&self, hash: &SpecHash, model: &SavedModel) -> Result<(), MariohError> {
+        if self.is_degraded() {
+            self.overlay().models.insert(*hash, model.clone());
+            return Ok(());
+        }
         let path = self.model_path(hash);
         if path.exists() {
             return Ok(());
         }
-        let tmp = unique_tmp(&path);
-        model.save(&tmp)?;
-        if let Ok(meta) = fs::metadata(&tmp) {
-            crate::store::record_artifact_bytes("model", meta.len());
+        let written = artifact_write_retry(|| {
+            let tmp = unique_tmp(&path);
+            model.save(&tmp)?;
+            if let Ok(meta) = fs::metadata(&tmp) {
+                crate::store::record_artifact_bytes("model", meta.len());
+            }
+            fs::rename(&tmp, &path)?;
+            Ok(())
+        });
+        if let Err(e) = written {
+            enter_degraded(&self.degraded, &format!("model artifact write failed: {e}"));
+            self.overlay().models.insert(*hash, model.clone());
         }
-        fs::rename(&tmp, &path)?;
         Ok(())
     }
 
     fn get_model(&self, hash: &SpecHash) -> Option<SavedModel> {
+        if let Some(found) = self.overlay().models.get(hash).cloned() {
+            crate::store::record_cache_probe("model", true);
+            return Some(found);
+        }
         let found = SavedModel::load(self.model_path(hash)).ok();
         crate::store::record_cache_probe("model", found.is_some());
         found
@@ -472,21 +659,46 @@ impl ArtifactStore for DiskStore {
 
     fn put_named_model(&self, name: &str, model: &SavedModel) -> Result<(), MariohError> {
         crate::spec::validate_model_name(name).map_err(MariohError::Config)?;
+        if self.is_degraded() {
+            self.overlay().named.insert(name.to_owned(), model.clone());
+            return Ok(());
+        }
         let path = self.named_model_path(name);
-        let tmp = unique_tmp(&path);
-        model.save(&tmp)?;
-        fs::rename(&tmp, &path)?;
+        let written = artifact_write_retry(|| {
+            let tmp = unique_tmp(&path);
+            model.save(&tmp)?;
+            fs::rename(&tmp, &path)?;
+            Ok(())
+        });
+        if let Err(e) = written {
+            enter_degraded(&self.degraded, &format!("named model write failed: {e}"));
+            self.overlay().named.insert(name.to_owned(), model.clone());
+        }
         Ok(())
     }
 
     fn get_named_model(&self, name: &str) -> Option<SavedModel> {
         crate::spec::validate_model_name(name).ok()?;
+        if let Some(found) = self.overlay().named.get(name).cloned() {
+            return Some(found);
+        }
         SavedModel::load(self.named_model_path(name)).ok()
     }
 
     fn list_models(&self) -> Vec<ModelEntry> {
         let models_dir = self.root.join("artifacts").join("models");
-        let mut named: Vec<ModelEntry> = list_model_files(&models_dir.join("named"))
+        let mut named_files = list_model_files(&models_dir.join("named"));
+        {
+            // Models accepted while degraded live only in the overlay;
+            // listing must still see them.
+            let overlay = self.overlay();
+            for (name, model) in &overlay.named {
+                if !named_files.iter().any(|(stem, _)| stem == name) {
+                    named_files.push((name.clone(), model.model.feature_mode().tag().to_owned()));
+                }
+            }
+        }
+        let mut named: Vec<ModelEntry> = named_files
             .into_iter()
             .map(|(stem, mode)| ModelEntry {
                 name: Some(stem),
@@ -522,10 +734,13 @@ impl ArtifactStore for DiskStore {
                 })
                 .unwrap_or(0)
         };
+        let overlay = self.overlay();
         ArtifactStats {
-            results: count(&artifacts.join("results"), "result"),
+            results: count(&artifacts.join("results"), "result") + overlay.results.len(),
             models: count(&artifacts.join("models"), "model")
-                + count(&artifacts.join("models").join("named"), "model"),
+                + count(&artifacts.join("models").join("named"), "model")
+                + overlay.models.len()
+                + overlay.named.len(),
         }
     }
 }

@@ -29,6 +29,9 @@ use std::sync::Arc;
 /// Cap on the per-job [`JobSpec::throttle_ms`] pacing knob.
 pub const MAX_THROTTLE_MS: u64 = 60_000;
 
+/// Cap on the per-job [`JobSpec::timeout_secs`] deadline (one day).
+pub const MAX_TIMEOUT_SECS: u64 = 86_400;
+
 /// Version tag embedded in the canonical encoding; bump it if the
 /// canonical field set ever changes meaning (old cached artifacts then
 /// stop matching instead of matching wrongly).
@@ -147,6 +150,12 @@ pub struct JobSpec {
     /// search round, so tiny jobs occupy workers for an observable time.
     /// Non-semantic: excluded from [`JobSpec::content_hash`].
     pub throttle_ms: u64,
+    /// Per-job deadline in seconds: a job still running this long after
+    /// dispatch is cancelled and recorded failed with a timeout reason.
+    /// `0` — the default — defers to the server-wide
+    /// `marioh serve --job-timeout` default (itself unlimited when
+    /// unset). Non-semantic: excluded from [`JobSpec::content_hash`].
+    pub timeout_secs: u64,
     /// An already-trained model to reuse instead of training.
     pub model: Option<ModelRef>,
     /// Hyperparameter overrides.
@@ -271,6 +280,7 @@ impl JobSpec {
         let mut variant = Variant::Full;
         let mut seed = 0u64;
         let mut throttle_ms = 0u64;
+        let mut timeout_secs = 0u64;
         let mut model: Option<ModelRef> = None;
         let mut params = JobParams::default();
         for (key, value) in pairs {
@@ -320,6 +330,16 @@ impl JobSpec {
                             format!("\"throttle_ms\" must be an integer in [0, {MAX_THROTTLE_MS}]")
                         })?;
                 }
+                "timeout_secs" => {
+                    timeout_secs = value
+                        .as_u64()
+                        .filter(|v| *v <= MAX_TIMEOUT_SECS)
+                        .ok_or_else(|| {
+                            format!(
+                                "\"timeout_secs\" must be an integer in [0, {MAX_TIMEOUT_SECS}]"
+                            )
+                        })?;
+                }
                 "model" => {
                     let text = value.as_str().ok_or_else(|| {
                         "\"model\" must be a string: \"job:<id>\" or a saved model name".to_owned()
@@ -330,7 +350,7 @@ impl JobSpec {
                 other => {
                     return Err(format!(
                         "unknown field {other:?}; known: dataset, scale, edges, method, seed, \
-                         throttle_ms, model, params"
+                         throttle_ms, timeout_secs, model, params"
                     ))
                 }
             }
@@ -352,6 +372,7 @@ impl JobSpec {
             variant,
             seed,
             throttle_ms,
+            timeout_secs,
             model,
             params,
         })
@@ -376,6 +397,12 @@ impl JobSpec {
         pairs.push(("seed".to_owned(), Json::num(self.seed as f64)));
         if self.throttle_ms > 0 {
             pairs.push(("throttle_ms".to_owned(), Json::num(self.throttle_ms as f64)));
+        }
+        if self.timeout_secs > 0 {
+            pairs.push((
+                "timeout_secs".to_owned(),
+                Json::num(self.timeout_secs as f64),
+            ));
         }
         if let Some(model) = &self.model {
             pairs.push(("model".to_owned(), Json::str(model.to_param())));
@@ -445,8 +472,9 @@ impl JobSpec {
     /// * ablation variants collapse into their effective configuration
     ///   (`MARIOH-F` ≡ `MARIOH` + `filtering: false`);
     /// * non-semantic knobs never appear: `threads` (bit-identical
-    ///   results at any thread count, by the round-frozen invariant) and
-    ///   `throttle_ms` (pacing only).
+    ///   results at any thread count, by the round-frozen invariant),
+    ///   `throttle_ms` (pacing only), and `timeout_secs` (a deadline
+    ///   changes when a job is abandoned, never what it computes).
     ///
     /// # Errors
     ///
@@ -725,6 +753,14 @@ mod tests {
                 r#"{"dataset": "Hosts", "throttle_ms": 999999}"#,
                 "throttle_ms",
             ),
+            (
+                r#"{"dataset": "Hosts", "timeout_secs": 99999999}"#,
+                "timeout_secs",
+            ),
+            (
+                r#"{"dataset": "Hosts", "timeout_secs": -3}"#,
+                "timeout_secs",
+            ),
             (r#"{"edges": "not numbers"}"#, "invalid edge list"),
             (
                 r#"{"edges": "1 0 1", "scale": 2}"#,
@@ -797,6 +833,7 @@ mod tests {
             r#"{"dataset": "crime", "scale": 0.5, "method": "MARIOH-B", "seed": 12}"#,
             r#"{"dataset": "Hosts", "throttle_ms": 9, "model": "job:4",
                 "params": {"theta_init": 0.7, "filtering": false, "threads": 3}}"#,
+            r#"{"dataset": "Hosts", "timeout_secs": 30, "seed": 2}"#,
             r#"{"edges": "2 0 1 2\n1 1 3\n", "seed": 5}"#,
         ] {
             let spec = parse(body).unwrap();
@@ -807,6 +844,7 @@ mod tests {
                 "{body}"
             );
             assert_eq!(spec.throttle_ms, back.throttle_ms, "{body}");
+            assert_eq!(spec.timeout_secs, back.timeout_secs, "{body}");
             assert_eq!(spec.model, back.model, "{body}");
         }
     }
@@ -819,11 +857,14 @@ mod tests {
         let b = parse(r#"{"dataset": "Hosts", "params": {"filtering": false}}"#).unwrap();
         assert_eq!(a.content_hash().unwrap(), b.content_hash().unwrap());
 
-        // threads and throttle_ms never change the result, so they never
-        // change the hash.
+        // threads, throttle_ms, and timeout_secs never change the
+        // result, so they never change the hash.
         let base = parse(r#"{"dataset": "Hosts"}"#).unwrap();
-        let knobs =
-            parse(r#"{"dataset": "Hosts", "throttle_ms": 50, "params": {"threads": 4}}"#).unwrap();
+        let knobs = parse(
+            r#"{"dataset": "Hosts", "throttle_ms": 50, "timeout_secs": 120,
+                "params": {"threads": 4}}"#,
+        )
+        .unwrap();
         assert_eq!(base.content_hash().unwrap(), knobs.content_hash().unwrap());
 
         // A semantic change does.

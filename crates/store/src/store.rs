@@ -125,6 +125,15 @@ pub trait JobStore: Send + Sync {
 
     /// `"memory"` or `"disk"`, surfaced in `/stats`.
     fn kind(&self) -> &'static str;
+
+    /// True once persistent I/O failure has flipped the store to
+    /// read-only degraded mode: serving continues from memory + the
+    /// artifact overlay, nothing further touches the disk, and
+    /// `/healthz` reports `degraded`. Purely in-memory stores never
+    /// degrade.
+    fn degraded(&self) -> bool {
+        false
+    }
 }
 
 /// Records one artifact-cache probe on the process-wide registry

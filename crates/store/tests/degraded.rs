@@ -1,0 +1,104 @@
+//! Read-only degraded mode, driven by the `store.artifact` fault site.
+//!
+//! Lives in its own test binary on purpose: arming a fault plan is
+//! process-global, and sharing a process with the store's other tests
+//! would inject faults into their artifact writes too.
+
+use marioh_store::{DiskStore, JobResult, JobSpec, JobStatus};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Arming is process-global; the two tests here serialize on this.
+static ARM_LOCK: Mutex<()> = Mutex::new(());
+
+fn arm_lock() -> MutexGuard<'static, ()> {
+    ARM_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("marioh-degraded-tests")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn result() -> Arc<JobResult> {
+    let mut h = marioh_hypergraph::Hypergraph::new(0);
+    h.add_edge_with_multiplicity(marioh_hypergraph::hyperedge::edge(&[0, 1, 2]), 3);
+    Arc::new(JobResult {
+        reconstruction: h,
+        jaccard: 0.8125,
+    })
+}
+
+#[test]
+fn persistent_artifact_failure_flips_degraded_and_serves_from_overlay() {
+    use marioh_store::{ArtifactStore, JobStore};
+
+    let _guard = arm_lock();
+    let dir = tmp_dir("flip");
+    let store = DiskStore::open(&dir, 8).unwrap();
+    let spec = JobSpec::from_json(
+        &marioh_store::Json::parse(r#"{"dataset": "Hosts", "seed": 11}"#).unwrap(),
+    )
+    .unwrap();
+    let hash = spec.content_hash().unwrap();
+    assert!(!JobStore::degraded(&store));
+
+    // Every store.artifact attempt fails: the bounded retry gives up
+    // and the store flips to read-only degraded mode instead of
+    // failing the job.
+    marioh_fault::arm(marioh_fault::FaultPlan::parse("store.artifact:err@upto:100").unwrap());
+    let outcome = store.put_result(&hash, &result());
+    marioh_fault::disarm();
+    outcome.expect("degraded put_result still succeeds from memory");
+    assert!(
+        JobStore::degraded(&store),
+        "persistent failure flips the flag"
+    );
+
+    // The artifact is served from the in-memory overlay, not the disk…
+    let back = store.get_result(&hash).expect("overlay serves the result");
+    assert_eq!(back.jaccard.to_bits(), 0.8125f64.to_bits());
+    let on_disk = std::fs::read_dir(dir.join("artifacts").join("results"))
+        .map(|entries| entries.count())
+        .unwrap_or(0);
+    assert_eq!(on_disk, 0, "nothing landed on disk");
+    assert_eq!(store.artifact_stats().results, 1);
+
+    // …and the job table stays fully correct in memory while log
+    // writes stop touching the disk.
+    let id = store.submit(&spec, &hash);
+    assert_eq!(store.view(id).unwrap().status, JobStatus::Queued);
+    assert!(store.start(id).is_some());
+}
+
+#[test]
+fn transient_artifact_failure_is_retried_through() {
+    use marioh_store::{ArtifactStore, JobStore};
+
+    let _guard = arm_lock();
+    let dir = tmp_dir("transient");
+    let store = DiskStore::open(&dir, 8).unwrap();
+    let spec = JobSpec::from_json(
+        &marioh_store::Json::parse(r#"{"dataset": "Hosts", "seed": 12}"#).unwrap(),
+    )
+    .unwrap();
+    let hash = spec.content_hash().unwrap();
+
+    // Only the first two attempts fail; the third retry lands the
+    // artifact on disk and the store never degrades.
+    marioh_fault::arm(marioh_fault::FaultPlan::parse("store.artifact:err@upto:2").unwrap());
+    let outcome = store.put_result(&hash, &result());
+    marioh_fault::disarm();
+    outcome.unwrap();
+    assert!(
+        !JobStore::degraded(&store),
+        "transient failure must not degrade"
+    );
+    let on_disk = std::fs::read_dir(dir.join("artifacts").join("results"))
+        .map(|entries| entries.count())
+        .unwrap_or(0);
+    assert_eq!(on_disk, 1, "the retried write reached the disk");
+}

@@ -162,8 +162,21 @@ impl<W: Write> FrameWriter<W> {
     /// Encode and send one message on the given channel, flushing the
     /// transport. Returns the frame's size on the wire (header +
     /// payload), so callers can account traffic without re-encoding.
+    ///
+    /// Injection site `wire.frame` (one operation per frame sent):
+    /// `err` fails the send, `corrupt` flips the frame's last byte on
+    /// its way out — the receiver's CRC check turns that into a clean
+    /// connection death, never a silently wrong message.
     pub fn send(&mut self, channel: u32, message: &Message) -> Result<usize, WireError> {
-        let bytes = encode_frame(channel, message);
+        let mut bytes = encode_frame(channel, message);
+        match marioh_fault::hit("wire.frame") {
+            Some(marioh_fault::Action::Err) => {
+                return Err(WireError::Io(marioh_fault::io_error("wire.frame")))
+            }
+            Some(marioh_fault::Action::Corrupt) => marioh_fault::corrupt_byte(&mut bytes),
+            Some(marioh_fault::Action::Stall(ms)) => marioh_fault::stall(ms),
+            Some(marioh_fault::Action::Exit) | None => {}
+        }
         self.inner.write_all(&bytes)?;
         self.inner.flush()?;
         Ok(bytes.len())
@@ -183,6 +196,11 @@ pub struct FrameReader<R: Read> {
     pending: Vec<u8>,
     /// Total wire bytes of every frame successfully decoded so far.
     consumed: u64,
+    /// Set after a mid-stream decode failure (bad CRC, truncation,
+    /// corrupt length). The stream position is unknowable past such an
+    /// error, so every later read answers [`WireError::Desynced`]
+    /// instead of misparsing whatever bytes follow.
+    poisoned: Option<&'static str>,
 }
 
 impl<R: Read> FrameReader<R> {
@@ -192,7 +210,27 @@ impl<R: Read> FrameReader<R> {
             inner: BufReader::new(inner),
             pending: Vec::new(),
             consumed: 0,
+            poisoned: None,
         }
+    }
+
+    /// Records errors that leave the stream position unknowable; once
+    /// one happened, the connection can only be torn down.
+    fn note_decode_error(&mut self, err: &WireError) {
+        let reason = match err {
+            WireError::BadCrc { .. } => "frame checksum mismatch",
+            WireError::Truncated(_) => "truncated frame",
+            WireError::PayloadTooLarge { .. } => "corrupt length field",
+            WireError::UnknownFrameType(_) => "unknown frame type",
+            WireError::Malformed(_) => "malformed frame payload",
+            // Transport errors and handshake refusals do not desync
+            // the framing (there is nothing left to read anyway).
+            WireError::Io(_)
+            | WireError::Desynced(_)
+            | WireError::VersionMismatch { .. }
+            | WireError::Rejected(_) => return,
+        };
+        self.poisoned = Some(reason);
     }
 
     /// Cumulative wire size (header + payload) of all frames this reader
@@ -206,8 +244,29 @@ impl<R: Read> FrameReader<R> {
     /// Read the next frame, blocking until one arrives.
     ///
     /// Returns `Ok(None)` on a clean end of stream at a frame boundary;
-    /// an end of stream mid-frame is a [`WireError::Truncated`].
+    /// an end of stream mid-frame is a [`WireError::Truncated`]. After
+    /// any decode error the reader is *poisoned*: the stream position
+    /// is gone, so every further call answers [`WireError::Desynced`]
+    /// — corruption maps to one clean teardown, never to misparsed
+    /// frames or a hang.
+    ///
+    /// Injection site `wire.read` (one operation per call): `err`
+    /// fails the read with an injected transport error.
     pub fn read(&mut self) -> Result<Option<Frame>, WireError> {
+        if let Some(reason) = self.poisoned {
+            return Err(WireError::Desynced(reason));
+        }
+        if let Some(marioh_fault::Action::Err) = marioh_fault::hit("wire.read") {
+            return Err(WireError::Io(marioh_fault::io_error("wire.read")));
+        }
+        let result = self.read_inner();
+        if let Err(e) = &result {
+            self.note_decode_error(e);
+        }
+        result
+    }
+
+    fn read_inner(&mut self) -> Result<Option<Frame>, WireError> {
         let mut header = [0u8; HEADER_LEN];
         let mut filled = self.pending.len().min(HEADER_LEN);
         header[..filled].copy_from_slice(&self.pending[..filled]);
@@ -263,8 +322,20 @@ impl<R: Read> FrameReader<R> {
     /// Returns `Ok(None)` when no complete frame is available yet; a
     /// partial frame is retained and completed by later calls. Used by
     /// the dispatcher to drain every frame a shard has already sent
-    /// before committing a merge batch.
+    /// before committing a merge batch. Poisons on decode errors like
+    /// [`FrameReader::read`].
     pub fn try_read_buffered(&mut self) -> Result<Option<Frame>, WireError> {
+        if let Some(reason) = self.poisoned {
+            return Err(WireError::Desynced(reason));
+        }
+        let result = self.try_read_buffered_inner();
+        if let Err(e) = &result {
+            self.note_decode_error(e);
+        }
+        result
+    }
+
+    fn try_read_buffered_inner(&mut self) -> Result<Option<Frame>, WireError> {
         loop {
             if self.pending.len() >= HEADER_LEN {
                 let payload_len = u32::from_le_bytes([

@@ -3,9 +3,11 @@
 //!
 //! The serving stack scales out by peeling stateless workers into their
 //! own OS processes (`marioh shard-worker`); this crate is the language
-//! they speak — std-only and dependency-free like the rest of the
-//! workspace, with hand-rolled binary encode/decode rather than routing
-//! job traffic through ad-hoc HTTP.
+//! they speak — std-only like the rest of the workspace, with
+//! hand-rolled binary encode/decode rather than routing job traffic
+//! through ad-hoc HTTP. The frame paths carry `marioh-fault` injection
+//! sites (`wire.frame`, `wire.read`) so chaos runs can corrupt or fail
+//! traffic deterministically; unarmed, each site is one relaxed load.
 //!
 //! Three layers, bottom up:
 //!
@@ -83,6 +85,10 @@ pub enum WireError {
     /// The payload decoded inconsistently (bad UTF-8, trailing bytes,
     /// out-of-range field).
     Malformed(String),
+    /// An earlier decode error left the stream position unknowable;
+    /// the reader refuses to misparse whatever bytes follow. The only
+    /// recovery is tearing the connection down.
+    Desynced(&'static str),
     /// Version negotiation found no common version.
     VersionMismatch {
         /// Our newest supported version.
@@ -109,6 +115,10 @@ impl std::fmt::Display for WireError {
                 write!(f, "wire payload of {len} bytes exceeds the {max}-byte cap")
             }
             WireError::Malformed(msg) => write!(f, "malformed wire payload: {msg}"),
+            WireError::Desynced(reason) => write!(
+                f,
+                "wire stream desynced by an earlier {reason}; the connection must be torn down"
+            ),
             WireError::VersionMismatch { ours, theirs } => write!(
                 f,
                 "no common wire version (we speak {} through {ours}, peer speaks {theirs})",

@@ -218,6 +218,71 @@ proptest! {
         }
     }
 
+    /// Corruption on an *established* channel: a clean prefix of frames
+    /// has already decoded when a later frame is hit by a bit flip or a
+    /// truncation splice. The reader must hand over every pre-corruption
+    /// frame intact, fail the corrupted one with a typed error, and then
+    /// stay poisoned ([`WireError::Desynced`]) — it must never resync
+    /// into the valid frames that follow the damage. That poisoning is
+    /// what lets the dispatcher treat corruption as shard death.
+    #[test]
+    fn mid_stream_corruption_poisons_an_established_channel(
+        frames in collection::vec(((0u32..=u32::MAX), arb_message()), 3..7),
+        victim_seed in 0u64..=u64::MAX,
+        damage_seed in 0u64..=u64::MAX,
+        truncate_seed in 0u8..2,
+    ) {
+        let truncate = truncate_seed == 1;
+        // Damage a frame after the first: the channel is established.
+        let victim = 1 + (victim_seed % (frames.len() as u64 - 1)) as usize;
+        let mut bytes = Vec::new();
+        let mut victim_start = 0usize;
+        let mut victim_end = 0usize;
+        for (i, (channel, message)) in frames.iter().enumerate() {
+            if i == victim {
+                victim_start = bytes.len();
+            }
+            bytes.extend_from_slice(&encode_frame(*channel, message));
+            if i == victim {
+                victim_end = bytes.len();
+            }
+        }
+        if truncate {
+            // Cut the stream inside the victim frame (keep ≥ 1 byte of
+            // it so the reader commits to parsing the frame).
+            let len = victim_end - victim_start;
+            let keep = 1 + (damage_seed % (len as u64 - 1)) as usize;
+            bytes.truncate(victim_start + keep);
+        } else {
+            let len = victim_end - victim_start;
+            let bit = (damage_seed % (len as u64 * 8)) as usize;
+            bytes[victim_start + bit / 8] ^= 1 << (bit % 8);
+        }
+
+        let mut reader = FrameReader::new(&bytes[..]);
+        for (channel, message) in &frames[..victim] {
+            let frame = reader
+                .read()
+                .expect("pre-corruption frames decode")
+                .expect("pre-corruption frames present");
+            prop_assert_eq!(frame.channel, *channel);
+            prop_assert_eq!(&frame.message, message);
+        }
+        match reader.read() {
+            Ok(Some(frame)) => panic!("corrupted frame accepted: {frame:?}"),
+            Ok(None) => panic!("corruption read as clean EOF"),
+            Err(WireError::Desynced(_)) => {
+                panic!("typed decode error expected before poisoning")
+            }
+            Err(_) => {}
+        }
+        // The reader is now poisoned: even the intact frames behind the
+        // damage are unreachable, by design.
+        for _ in 0..2 {
+            prop_assert!(matches!(reader.read(), Err(WireError::Desynced(_))));
+        }
+    }
+
     /// Feeding raw garbage to the reader never panics and never
     /// over-reads: it either decodes nothing or fails typed.
     #[test]

@@ -17,6 +17,7 @@
 //! marioh eval        --truth tgt.txt --pred rec.txt
 //! marioh serve       [--addr 127.0.0.1:7878] [--workers n] [--queue-cap n]
 //!                    [--state-dir dir] [--retain n] [--shards n]
+//!                    [--job-timeout secs] [--shard-timeout secs] [--faults spec]
 //! marioh model export --state-dir dir (--job id | --name name) --out model.txt
 //! marioh model import --state-dir dir --name name --model model.txt
 //! ```
@@ -66,6 +67,7 @@ use rand::{rngs::StdRng, SeedableRng};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Historical name of the CLI error type; every command now speaks
 /// [`MariohError`] directly.
@@ -206,6 +208,21 @@ fn dataset_by_name(name: &str) -> Result<PaperDataset, MariohError> {
     PaperDataset::resolve(name).map_err(MariohError::Config)
 }
 
+/// Parses an optional whole-seconds flag into a `Duration`. An explicit
+/// `0` becomes `Duration::ZERO` so [`Server::start`] can reject it with
+/// its own message rather than silently meaning "unlimited".
+fn secs_flag(flags: &Flags, key: &str) -> Result<Option<Duration>, MariohError> {
+    match flags.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            let secs: u64 = v
+                .parse()
+                .map_err(|_| MariohError::Config(format!("invalid value for --{key}: {v:?}")))?;
+            Ok(Some(Duration::from_secs(secs)))
+        }
+    }
+}
+
 /// Builds the `serve` configuration from flags. Worker count defaults to
 /// the machine's parallelism (capped at 8); zero values are rejected by
 /// [`Server::start`].
@@ -220,6 +237,8 @@ fn serve_config(flags: &Flags) -> Result<ServerConfig, MariohError> {
         queue_cap: flags.get_parsed("queue-cap", 64usize)?,
         shards: flags.get_parsed("shards", 0usize)?,
         shard_worker: Vec::new(), // re-exec this binary as `shard-worker`
+        job_timeout: secs_flag(flags, "job-timeout")?,
+        shard_timeout: secs_flag(flags, "shard-timeout")?,
     })
 }
 
@@ -376,6 +395,16 @@ pub fn run(command: &str, flags: &Flags) -> Result<String, MariohError> {
             Ok(report)
         }
         "serve" => {
+            // `--faults` arms the deterministic fault-injection plan
+            // (see `marioh_fault` and crates/fault/FORMATS.md). The spec
+            // is re-exported through the environment so `shard-worker`
+            // children inherit their `shard.K` sites.
+            if let Some(spec) = flags.get("faults") {
+                let plan = marioh_fault::FaultPlan::parse(spec).map_err(MariohError::Config)?;
+                std::env::set_var(marioh_fault::FAULTS_ENV, spec);
+                marioh_fault::arm(plan);
+                eprintln!("marioh-server fault plan armed: {spec}");
+            }
             let server = Server::start_with_storage(serve_config(flags)?, storage_config(flags)?)?;
             let addr = server.local_addr();
             let stats = server.manager().stats();
@@ -409,6 +438,9 @@ pub fn run(command: &str, flags: &Flags) -> Result<String, MariohError> {
         // the connection closes. Not part of the public surface, but
         // harmless to run by hand against a listening dispatcher.
         "shard-worker" => {
+            // Pick up a fault plan exported by the parent `serve`
+            // process (no-op without `MARIOH_FAULTS`).
+            marioh_fault::init_from_env().map_err(MariohError::Config)?;
             let addr = flags.require("connect")?;
             let shard = flags.get_parsed("shard", 0usize)?;
             marioh_dispatch::shard_worker::run(addr, shard)
@@ -872,6 +904,15 @@ mod tests {
             ("workers", "0", "workers"),
             ("workers", "many", "--workers"),
             ("queue-cap", "0", "queue capacity"),
+            ("job-timeout", "0", "job timeout"),
+            ("job-timeout", "soon", "--job-timeout"),
+            ("shard-timeout", "0", "shard timeout"),
+            ("shard-timeout", "never", "--shard-timeout"),
+            // A malformed fault spec is rejected before the server
+            // boots. Only the rejection path is exercised here: arming
+            // a *valid* plan would poison every other test in this
+            // process (the plan registry is process-global by design).
+            ("faults", "store.fsync:boom@nth:1", "unknown fault action"),
         ] {
             let err = run("serve", &flags(&[(key, value)], &["smoke"])).unwrap_err();
             assert!(err.to_string().contains(needle), "{key}={value}: {err}");

@@ -52,9 +52,12 @@ pub mod cli;
 pub use marioh_baselines as baselines;
 pub use marioh_core as core;
 pub use marioh_datasets as datasets;
+pub use marioh_dispatch as dispatch;
 pub use marioh_downstream as downstream;
+pub use marioh_fault as fault;
 pub use marioh_hypergraph as hypergraph;
 pub use marioh_linalg as linalg;
 pub use marioh_ml as ml;
 pub use marioh_server as server;
 pub use marioh_store as store;
+pub use marioh_wire as wire;
