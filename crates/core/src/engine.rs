@@ -123,6 +123,8 @@ impl FlagSet {
 pub struct SearchEngine {
     threads: usize,
     incremental: bool,
+    /// Pin pool workers to cores when the pool is first created.
+    pin_cores: bool,
     /// Created on first parallel-eligible stage; persists for the run.
     pool: OnceLock<WorkerPool>,
     /// CSR view patched in step with every commit (while `view_live`).
@@ -185,6 +187,7 @@ impl SearchEngine {
         SearchEngine {
             threads: threads.max(1),
             incremental,
+            pin_cores: false,
             pool: OnceLock::new(),
             view: None,
             view_live: false,
@@ -216,8 +219,16 @@ impl SearchEngine {
         self.threads
     }
 
+    /// Requests CPU pinning for the worker pool (effective only before
+    /// the pool's lazy creation, i.e. before the first round). A
+    /// scheduling hint: results are bit-identical either way.
+    pub fn set_pin_cores(&mut self, pin: bool) {
+        self.pin_cores = pin;
+    }
+
     fn pool(&self) -> &WorkerPool {
-        self.pool.get_or_init(|| WorkerPool::new(self.threads))
+        self.pool
+            .get_or_init(|| WorkerPool::with_affinity(self.threads, self.pin_cores))
     }
 
     /// Runs one bidirectional-search round (Algorithm 3) against `g`,

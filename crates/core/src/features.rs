@@ -124,6 +124,12 @@ pub struct FeatureScratch {
     edge_a: Vec<f64>,
     edge_b: Vec<f64>,
     edge_c: Vec<f64>,
+    /// Needle ids for the batched slot lookup (a clique suffix as raw
+    /// `u32`s, the kernel's input type).
+    ids: Vec<u32>,
+    /// Row-relative positions returned by
+    /// [`marioh_kernels::find_positions`].
+    positions: Vec<u32>,
 }
 
 /// [`extract`] against a round-frozen [`RoundContext`], writing the
@@ -176,13 +182,26 @@ fn extract_multiplicity_view(
     agg5_into(&scratch.node, &mut out[0..5]);
 
     // Edge-level: ω, MHH, MHH/ω — one slot lookup serves all three.
+    // The clique is sorted, so for each anchor `u` the co-members after
+    // it are a sorted, guaranteed-present subset of `N(u)`: one
+    // [`marioh_kernels::find_positions`] merge resolves all of `u`'s
+    // canonical slots instead of a binary search per pair.
     scratch.edge_a.clear();
     scratch.edge_b.clear();
     scratch.edge_c.clear();
     let mut internal_weight = 0u64;
     for (i, &u) in clique.iter().enumerate() {
-        for &v in &clique[i + 1..] {
-            let slot = view.slot(u, v).expect("clique pair is an edge");
+        let rest = &clique[i + 1..];
+        if rest.is_empty() {
+            break;
+        }
+        scratch.ids.clear();
+        scratch.ids.extend(rest.iter().map(|v| v.0));
+        scratch.positions.clear();
+        marioh_kernels::find_positions(&scratch.ids, view.neighbors(u), &mut scratch.positions);
+        let start = view.row_start(u);
+        for &pos in &scratch.positions {
+            let slot = start + pos as usize;
             let w = view.weight_at(slot);
             debug_assert!(w > 0);
             let m = cache.at(slot) as f64;
@@ -244,22 +263,22 @@ fn extract_motif_view(
     scratch: &mut FeatureScratch,
     out: &mut [f64],
 ) {
+    // Per (u, v) the walk count Σ_{a∈N(u)\{v}} |{b ∈ N(a)\{u,v} : b ∈ N(v)}|
+    // collapses to Σ_a (|N(a)∩N(v)| − [uv ∈ E]): u always sits in the
+    // intersection (a ∈ N(u) ⟹ u ∈ N(a)) and is excluded exactly when
+    // uv ∈ E, while v never does (no self-loops). Each term is one
+    // sorted-merge intersection count on the dispatched kernel.
     scratch.edge_b.clear();
     for (i, &u) in clique.iter().enumerate() {
         for &v in &clique[i + 1..] {
+            let nv = view.neighbors(v);
+            let has_uv = usize::from(view.has_edge(u, v));
             let mut count = 0usize;
             for &a in view.neighbors(u) {
                 if a == v.0 {
                     continue;
                 }
-                for &b in view.neighbors(NodeId(a)) {
-                    if b == u.0 || b == v.0 {
-                        continue;
-                    }
-                    if view.has_edge(NodeId(b), v) {
-                        count += 1;
-                    }
-                }
+                count += marioh_kernels::intersect_count(view.neighbors(NodeId(a)), nv) - has_uv;
             }
             scratch.edge_b.push(count as f64);
         }

@@ -55,28 +55,16 @@ pub fn residual_multiplicity(g: &ProjectedGraph, u: NodeId, v: NodeId) -> u32 {
     u32::try_from(w.saturating_sub(bound)).expect("residual exceeds u32")
 }
 
-/// [`mhh`] computed against a round-frozen [`GraphView`] by sorted-merge
-/// intersection of the two adjacency slices — no hashing, no allocation.
+/// [`mhh`] computed against a round-frozen [`GraphView`] by the
+/// dispatched sorted-merge kernel ([`marioh_kernels::intersect_min_sum`])
+/// over the two adjacency slices — no hashing, no allocation.
 /// Identical value to [`mhh`] on the source graph: both sum
 /// `min(ω_{u,z}, ω_{v,z})` over exactly `N(u) ∩ N(v)` (which can contain
 /// neither `u` nor `v`), and integer addition is order-independent.
 pub fn mhh_view(view: &GraphView, u: NodeId, v: NodeId) -> u64 {
     let (nu, wu) = view.neighbor_entries(u);
     let (nv, wv) = view.neighbor_entries(v);
-    let (mut i, mut j) = (0, 0);
-    let mut total = 0u64;
-    while i < nu.len() && j < nv.len() {
-        match nu[i].cmp(&nv[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                total += u64::from(wu[i].min(wv[j]));
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    total
+    marioh_kernels::intersect_min_sum(nu, wu, nv, wv)
 }
 
 /// Per-round MHH memo: one `u64` per directed adjacency slot of a

@@ -282,6 +282,13 @@ impl PipelineBuilder {
         self
     }
 
+    /// Pins worker threads to CPU cores (always valid; off by default).
+    /// A scheduling hint only — results are bit-identical either way.
+    pub fn pin_cores(mut self, on: bool) -> Self {
+        self.config.pin_cores = on;
+        self
+    }
+
     /// Toggles the cross-round incremental search engine (always valid;
     /// on by default). Results are bit-identical either way — `false`
     /// forces the rebuild-every-round path, for benchmarking and

@@ -36,6 +36,12 @@ pub struct MariohConfig {
     /// search round (1 = serial). Results are identical for any value;
     /// only wall-clock time changes.
     pub threads: usize,
+    /// Pin worker threads (and the coordinating thread) to CPU cores,
+    /// round-robin over the cores the process is allowed to run on.
+    /// Purely a scheduling hint: results are bit-identical either way,
+    /// and the flag is a silent no-op on platforms without
+    /// `sched_setaffinity`.
+    pub pin_cores: bool,
     /// Maintain cliques, scores, the CSR view and the MHH memo
     /// incrementally across outer-loop rounds (the
     /// [`crate::engine::SearchEngine`]) instead of
@@ -55,6 +61,7 @@ impl Default for MariohConfig {
             use_bidirectional: true,
             max_iterations: 10_000,
             threads: 1,
+            pin_cores: false,
             incremental: true,
         }
     }
@@ -154,6 +161,7 @@ pub fn reconstruct_observed<R: Rng + ?Sized>(
     } else {
         SearchEngine::full_rebuild(cfg.threads)
     };
+    engine.set_pin_cores(cfg.pin_cores);
     while !work.is_edgeless() && report.rounds.len() < cfg.max_iterations {
         let stats = {
             let _span = marioh_obs::Span::enter("round");

@@ -8,9 +8,10 @@
 //! negative:positive ratio is met.
 
 use crate::error::MariohError;
-use crate::features::{extract, FeatureMode};
+use crate::features::{extract_into, FeatureMode, FeatureScratch};
 use crate::model::TrainedModel;
 use crate::progress::CancelToken;
+use crate::round::RoundContext;
 use marioh_hypergraph::clique::{maximal_cliques, sample_k_subset};
 use marioh_hypergraph::fxhash::FxHashSet;
 use marioh_hypergraph::projection::project;
@@ -89,13 +90,21 @@ pub fn build_training_set<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> TrainingSet {
     let g = project(source);
+    // One frozen round context serves every extraction below: the CSR
+    // view and (lazily) the MHH cache are built once instead of
+    // re-deriving per-pair state clique by clique.
+    let round = RoundContext::new(&g);
+    let mut scratch = FeatureScratch::default();
+    let dim = cfg.feature_mode.dim();
     let mut features = Vec::new();
     let mut labels = Vec::new();
 
     // Positives: every unique hyperedge, in deterministic order.
     let positive_edges = source.sorted_edges();
     for e in &positive_edges {
-        features.push(extract(cfg.feature_mode, &g, e.nodes()));
+        let mut row = vec![0.0; dim];
+        extract_into(cfg.feature_mode, &round, e.nodes(), &mut scratch, &mut row);
+        features.push(row);
         labels.push(1.0);
     }
     let n_pos = positive_edges.len();
@@ -133,7 +142,9 @@ pub fn build_training_set<R: Rng + ?Sized>(
     }
 
     for c in &negatives {
-        features.push(extract(cfg.feature_mode, &g, c));
+        let mut row = vec![0.0; dim];
+        extract_into(cfg.feature_mode, &round, c, &mut scratch, &mut row);
+        features.push(row);
         labels.push(0.0);
     }
     TrainingSet { features, labels }

@@ -26,39 +26,19 @@ pub(crate) fn root_split(view: &GraphView, rank: &[u32], u: NodeId) -> (Vec<u32>
     (p, x)
 }
 
-/// Intersection of a sorted slice with the sorted neighbour list of `u`.
+/// Intersection of a sorted slice with the sorted neighbour list of `u`,
+/// via the dispatched sorted-merge kernel (galloping when the
+/// neighbourhood dwarfs the candidate set). Output stays sorted — the
+/// Bron–Kerbosch set representation.
 fn intersect_sorted(set: &[u32], nbrs: &[u32]) -> Vec<u32> {
     let mut out = Vec::with_capacity(set.len().min(nbrs.len()));
-    let (mut i, mut j) = (0, 0);
-    while i < set.len() && j < nbrs.len() {
-        match set[i].cmp(&nbrs[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(set[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
+    marioh_kernels::intersect_into(set, nbrs, &mut out);
     out
 }
 
 /// Size of the intersection of two sorted slices, without allocating.
 fn intersection_size(a: &[u32], b: &[u32]) -> usize {
-    let (mut i, mut j, mut n) = (0, 0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                n += 1;
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    n
+    marioh_kernels::intersect_count(a, b)
 }
 
 /// Computes a degeneracy ordering of the graph's nodes (bucket queue,
@@ -276,6 +256,35 @@ pub(crate) fn region_roots_local(
     roots
 }
 
+/// Pivot for the region walk: a vertex of `P ∪ X` with the most
+/// neighbours in `P`, scored by the dispatched intersection kernel.
+///
+/// The scan memoizes a running best and skips every vertex whose upper
+/// bound `min(|P|, deg(v))` cannot beat it, so most candidates are
+/// rejected on two loads without ever reaching the merge. Ties resolve
+/// to the earliest maximum (where [`bk_pivot`]'s `max_by_key` keeps the
+/// latest); pivot choice only steers traversal order, and
+/// [`maximal_cliques_region`] sorts its output before returning, so the
+/// emitted clique *set* is unchanged — the region walk has no
+/// truncation cap for order to leak through.
+fn region_pivot(view: &GraphView, p: &[u32], x: &[u32]) -> u32 {
+    let mut best_v = u32::MAX;
+    let mut best: i64 = -1;
+    for &v in p.iter().chain(x.iter()) {
+        let nbrs = view.neighbors(NodeId(v));
+        if (p.len().min(nbrs.len()) as i64) <= best {
+            continue;
+        }
+        let score = intersection_size(p, nbrs) as i64;
+        if score > best {
+            best = score;
+            best_v = v;
+        }
+    }
+    debug_assert_ne!(best_v, u32::MAX, "P ∪ X non-empty");
+    best_v
+}
+
 /// Recursive Bron–Kerbosch step restricted to the dirty region: emits
 /// only maximal cliques containing at least one `dirty` vertex, and
 /// prunes any subtree whose current clique `R` and candidate set `P` are
@@ -301,12 +310,7 @@ pub(crate) fn bk_pivot_region(
         }
         return;
     }
-    let pivot = p
-        .iter()
-        .chain(x.iter())
-        .copied()
-        .max_by_key(|&v| intersection_size(&p, view.neighbors(NodeId(v))))
-        .expect("P ∪ X non-empty");
+    let pivot = region_pivot(view, &p, &x);
     let pivot_nbrs = view.neighbors(NodeId(pivot));
     let candidates: Vec<u32> = p
         .iter()

@@ -83,7 +83,22 @@ impl WorkerPool {
     /// (`threads <= 1` spawns nothing and [`WorkerPool::run`] degrades to
     /// a plain call).
     pub fn new(threads: usize) -> WorkerPool {
+        Self::with_affinity(threads, false)
+    }
+
+    /// [`WorkerPool::new`] with optional CPU pinning. When `pin` is set,
+    /// the calling thread is pinned to core `0 mod cores` and worker
+    /// `idx` to core `idx mod cores` — explicit per-worker pins, because
+    /// Linux children inherit the spawner's affinity mask and would
+    /// otherwise all pile onto the caller's core. Pinning is
+    /// best-effort ([`marioh_kernels::pin_to_core`] is a no-op off
+    /// linux-x86_64 and may be refused by a cgroup cpuset); a failed pin
+    /// never degrades the pool itself.
+    pub fn with_affinity(threads: usize, pin: bool) -> WorkerPool {
         let workers = threads.saturating_sub(1);
+        if pin {
+            marioh_kernels::pin_to_core(0);
+        }
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 job: None,
@@ -99,7 +114,13 @@ impl WorkerPool {
         let handles: Vec<JoinHandle<()>> = (1..=workers)
             .map(|idx| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared, idx))
+                std::thread::spawn(move || {
+                    if pin {
+                        let cores = marioh_kernels::available_cores();
+                        marioh_kernels::pin_to_core(idx % cores);
+                    }
+                    worker_loop(&shared, idx)
+                })
             })
             .collect();
         let worker_ids = handles.iter().map(|h| h.thread().id()).collect();
@@ -396,6 +417,21 @@ mod tests {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn pinned_pool_runs_jobs_like_an_unpinned_one() {
+        // Pinning is best-effort and invisible to the job contract; the
+        // pinned constructor must behave identically job-wise.
+        let pool = WorkerPool::with_affinity(3, true);
+        assert_eq!(pool.threads(), 3);
+        let count = AtomicUsize::new(0);
+        for _ in 0..20 {
+            pool.run(&|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 60);
     }
 
     #[test]

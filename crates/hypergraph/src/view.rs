@@ -199,23 +199,11 @@ impl GraphView {
         true
     }
 
-    /// Size of `N(u) ∩ N(v)` by sorted merge — no allocation.
+    /// Size of `N(u) ∩ N(v)` — no allocation, dispatched to the active
+    /// [`marioh_kernels`] intersection kernel (exact count at every
+    /// level, so this stays interchangeable with the hash-map variant).
     pub fn common_neighbor_count(&self, u: NodeId, v: NodeId) -> usize {
-        let a = self.neighbors(u);
-        let b = self.neighbors(v);
-        let (mut i, mut j, mut count) = (0, 0, 0);
-        while i < a.len() && j < b.len() {
-            match a[i].cmp(&b[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    count += 1;
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        count
+        marioh_kernels::intersect_count(self.neighbors(u), self.neighbors(v))
     }
 
     /// Iterates over all edges `(u, v, ω)` with `u < v` in ascending

@@ -1,0 +1,186 @@
+//! The no-`unsafe` fast path: branchless two-pointer merges for
+//! similar-length slices, galloping (exponential probe + binary search)
+//! when one side dwarfs the other — the Bron–Kerbosch pivot shape.
+//!
+//! All kernels here are integer-sum or order-preserving, so any
+//! traversal order gives the scalar reference's exact result.
+
+use crate::GALLOP_RATIO;
+
+/// First index `>= from` with `haystack[idx] >= target`, by exponential
+/// probe from `from` then binary search over the bracketed gap. `O(log
+/// gap)` instead of `O(gap)` — the payoff when the cursor jumps far.
+#[inline]
+fn lower_bound_from(haystack: &[u32], from: usize, target: u32) -> usize {
+    let mut step = 1usize;
+    let mut lo = from;
+    let mut probe = from;
+    while probe < haystack.len() && haystack[probe] < target {
+        lo = probe + 1;
+        probe += step;
+        step *= 2;
+    }
+    let end = probe.min(haystack.len());
+    lo + haystack[lo..end].partition_point(|&v| v < target)
+}
+
+/// Branchless `Σ min(wa, wb)` over the intersection; gallops when the
+/// lengths are skewed by [`GALLOP_RATIO`] or more.
+pub fn intersect_min_sum(a: &[u32], wa: &[u32], b: &[u32], wb: &[u32]) -> u64 {
+    if a.len() > b.len() {
+        return intersect_min_sum(b, wb, a, wa);
+    }
+    if a.is_empty() {
+        return 0;
+    }
+    let mut total = 0u64;
+    if b.len() / a.len() >= GALLOP_RATIO {
+        let mut j = 0usize;
+        for (i, &x) in a.iter().enumerate() {
+            j = lower_bound_from(b, j, x);
+            if j == b.len() {
+                break;
+            }
+            if b[j] == x {
+                total += u64::from(wa[i].min(wb[j]));
+                j += 1;
+            }
+        }
+    } else {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            let (x, y) = (a[i], b[j]);
+            // Unconditional loads + a conditional-move sum keep the loop
+            // free of unpredictable branches.
+            let m = u64::from(wa[i].min(wb[j]));
+            total += if x == y { m } else { 0 };
+            i += usize::from(x <= y);
+            j += usize::from(y <= x);
+        }
+    }
+    total
+}
+
+/// Branchless `|a ∩ b|`; gallops when the lengths are skewed.
+pub fn intersect_count(a: &[u32], b: &[u32]) -> usize {
+    if a.len() > b.len() {
+        return intersect_count(b, a);
+    }
+    if a.is_empty() {
+        return 0;
+    }
+    let mut count = 0usize;
+    if b.len() / a.len() >= GALLOP_RATIO {
+        let mut j = 0usize;
+        for &x in a {
+            j = lower_bound_from(b, j, x);
+            if j == b.len() {
+                break;
+            }
+            if b[j] == x {
+                count += 1;
+                j += 1;
+            }
+        }
+    } else {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            let (x, y) = (a[i], b[j]);
+            count += usize::from(x == y);
+            i += usize::from(x <= y);
+            j += usize::from(y <= x);
+        }
+    }
+    count
+}
+
+/// Sorted intersection appended to `out`; gallops when skewed.
+pub fn intersect_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    if a.len() > b.len() {
+        return intersect_into(b, a, out);
+    }
+    if a.is_empty() {
+        return;
+    }
+    if b.len() / a.len() >= GALLOP_RATIO {
+        let mut j = 0usize;
+        for &x in a {
+            j = lower_bound_from(b, j, x);
+            if j == b.len() {
+                break;
+            }
+            if b[j] == x {
+                out.push(x);
+                j += 1;
+            }
+        }
+    } else {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            let (x, y) = (a[i], b[j]);
+            if x == y {
+                out.push(x);
+            }
+            i += usize::from(x <= y);
+            j += usize::from(y <= x);
+        }
+    }
+}
+
+/// When the haystack is at least this many times longer than the needle
+/// set, [`find_positions`] binary-searches each needle in the remaining
+/// suffix; below it, the needles are dense enough that one linear merge
+/// over the haystack is cheaper.
+const POSITIONS_SEARCH_RATIO: usize = 8;
+
+/// Needle positions with a forward-only cursor: each lookup starts
+/// where the last one ended, so a sparse needle set costs one
+/// shrinking-suffix binary search per needle (never more comparisons
+/// than the reference's full-row searches) and a dense one costs a
+/// single merge pass over the haystack.
+pub fn find_positions(needles: &[u32], haystack: &[u32], out: &mut Vec<u32>) {
+    if needles.is_empty() {
+        return;
+    }
+    let mut j = 0usize;
+    if haystack.len() / needles.len() >= POSITIONS_SEARCH_RATIO {
+        for &needle in needles {
+            j += haystack[j..].partition_point(|&v| v < needle);
+            if j < haystack.len() && haystack[j] == needle {
+                out.push(j as u32);
+                j += 1;
+            } else {
+                debug_assert!(false, "needle {needle} missing from haystack");
+            }
+        }
+    } else {
+        for &needle in needles {
+            while j < haystack.len() && haystack[j] < needle {
+                j += 1;
+            }
+            if j < haystack.len() && haystack[j] == needle {
+                out.push(j as u32);
+                j += 1;
+            } else {
+                debug_assert!(false, "needle {needle} missing from haystack");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_bound_from_brackets_every_gap() {
+        let b: Vec<u32> = (0..200).map(|i| i * 3).collect();
+        for from in [0usize, 1, 7, 199, 200] {
+            for target in [0u32, 1, 3, 299, 300, 598, 600] {
+                let got = lower_bound_from(&b, from, target);
+                let want = from + b[from.min(b.len())..].partition_point(|&v| v < target);
+                assert_eq!(got, want, "from {from} target {target}");
+            }
+        }
+    }
+}

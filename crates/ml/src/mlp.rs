@@ -14,6 +14,12 @@ use rand::Rng;
 #[derive(Debug, Clone)]
 struct Layer {
     w: Vec<f64>,
+    /// Column-major mirror of `w` (`wt[k * n_out + o] == w[o * n_in + k]`)
+    /// — the layout [`marioh_kernels::dense_forward`] vectorizes across
+    /// output neurons. `w` stays authoritative (backprop and persistence
+    /// read it); every mutation of `w` must be followed by
+    /// [`Layer::sync_wt`].
+    wt: Vec<f64>,
     b: Vec<f64>,
     n_in: usize,
     n_out: usize,
@@ -26,23 +32,37 @@ impl Layer {
         let w = (0..n_in * n_out)
             .map(|_| rng.gen_range(-1.0..1.0) * scale)
             .collect();
-        Layer {
+        Layer::from_parts(w, vec![0.0; n_out], n_in, n_out)
+    }
+
+    fn from_parts(w: Vec<f64>, b: Vec<f64>, n_in: usize, n_out: usize) -> Self {
+        let mut layer = Layer {
             w,
-            b: vec![0.0; n_out],
+            wt: Vec::new(),
+            b,
             n_in,
             n_out,
+        };
+        layer.sync_wt();
+        layer
+    }
+
+    /// Rebuilds the transposed mirror from `w`. O(in × out) — the same
+    /// order as the optimiser step that makes it necessary.
+    fn sync_wt(&mut self) {
+        self.wt.resize(self.w.len(), 0.0);
+        for o in 0..self.n_out {
+            for k in 0..self.n_in {
+                self.wt[k * self.n_out + o] = self.w[o * self.n_in + k];
+            }
         }
     }
 
-    /// `out = W x + b`.
+    /// `out = W x + b`, through the dispatched kernel. Each output's sum
+    /// folds strictly in input order with the bias added last — exactly
+    /// the scalar `Σ w·x + b` this replaced, bit for bit.
     fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
-        out.clear();
-        out.reserve(self.n_out);
-        for o in 0..self.n_out {
-            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
-            let v: f64 = row.iter().zip(x).map(|(a, b)| a * b).sum::<f64>() + self.b[o];
-            out.push(v);
-        }
+        marioh_kernels::dense_forward(&self.wt, &self.b, x, self.n_out, out);
     }
 }
 
@@ -261,6 +281,7 @@ impl Mlp {
                     }
                     adam_w[li].step(&mut layer.w, &grad_w[li], cfg.learning_rate, t);
                     adam_b[li].step(&mut layer.b, &grad_b[li], cfg.learning_rate, t);
+                    layer.sync_wt();
                 }
             }
             final_loss = epoch_loss / n as f64;
@@ -512,8 +533,10 @@ mod tests {
         for wi in 0..3 {
             let mut plus = mlp.clone();
             plus.layers[0].w[wi] += eps;
+            plus.layers[0].sync_wt();
             let mut minus = mlp.clone();
             minus.layers[0].w[wi] -= eps;
+            minus.layers[0].sync_wt();
             let loss = |m: &Mlp| {
                 let p = m.predict(&x);
                 -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
@@ -610,7 +633,7 @@ impl Mlp {
             };
             let w = parse_row(next_line()?, n_in * n_out)?;
             let b = parse_row(next_line()?, n_out)?;
-            layers.push(Layer { w, b, n_in, n_out });
+            layers.push(Layer::from_parts(w, b, n_in, n_out));
         }
         if layers.is_empty() {
             return Err(bad("mlp needs at least one layer"));

@@ -58,6 +58,12 @@ pub struct ServerConfig {
     /// silent this long is declared dead and respawned. `None` keeps the
     /// dispatcher's default; zero is rejected.
     pub shard_timeout: Option<Duration>,
+    /// Pin worker threads to CPU cores, round-robin (`marioh serve
+    /// --pin-cores`). A scheduling hint only — job results are
+    /// bit-identical either way, and the flag is a silent no-op on
+    /// platforms without `sched_setaffinity`. Ignored in shard mode
+    /// (shard children manage their own threads).
+    pub pin_cores: bool,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +76,7 @@ impl Default for ServerConfig {
             shard_worker: Vec::new(),
             job_timeout: None,
             shard_timeout: None,
+            pin_cores: false,
         }
     }
 }
@@ -193,7 +200,10 @@ impl Server {
             let router = spawn_shard_router(&manager, Arc::clone(&dispatcher));
             (vec![router], Some(dispatcher))
         } else {
-            (spawn_workers(&manager, config.workers), None)
+            (
+                spawn_workers(&manager, config.workers, config.pin_cores),
+                None,
+            )
         };
         let stop = Arc::new(AtomicBool::new(false));
         let accept_thread = {

@@ -113,14 +113,21 @@ fn run_worker(manager: JobManager) {
 }
 
 /// Spawns `n` worker threads draining `manager`'s queue. The threads
-/// exit when [`JobManager::shutdown`] fires.
-pub(crate) fn spawn_workers(manager: &JobManager, n: usize) -> Vec<JoinHandle<()>> {
+/// exit when [`JobManager::shutdown`] fires. With `pin`, each worker is
+/// pinned to a CPU core round-robin over the cores the process may run
+/// on — a scheduling hint only; results are bit-identical either way.
+pub(crate) fn spawn_workers(manager: &JobManager, n: usize, pin: bool) -> Vec<JoinHandle<()>> {
     (0..n)
         .map(|i| {
             let manager = manager.clone();
             std::thread::Builder::new()
                 .name(format!("marioh-worker-{i}"))
-                .spawn(move || run_worker(manager))
+                .spawn(move || {
+                    if pin {
+                        marioh_kernels::pin_to_core(i % marioh_kernels::available_cores());
+                    }
+                    run_worker(manager)
+                })
                 .expect("spawn worker thread")
         })
         .collect()
@@ -142,7 +149,7 @@ mod tests {
     #[test]
     fn a_worker_pool_drains_jobs_to_done() {
         let manager = JobManager::new(16, 2);
-        let workers = spawn_workers(&manager, 2);
+        let workers = spawn_workers(&manager, 2, true);
         let ids: Vec<u64> = (0..3)
             .map(|seed| {
                 manager
@@ -174,7 +181,7 @@ mod tests {
     #[test]
     fn model_reuse_skips_training_and_reproduces_the_donor() {
         let manager = JobManager::new(16, 1);
-        let workers = spawn_workers(&manager, 1);
+        let workers = spawn_workers(&manager, 1, false);
         let donor = manager
             .submit(spec(r#"{"dataset": "Hosts", "seed": 5}"#))
             .unwrap();
@@ -226,7 +233,7 @@ mod tests {
     #[test]
     fn throttled_job_cancels_during_its_start_delay() {
         let manager = JobManager::new(4, 1);
-        let workers = spawn_workers(&manager, 1);
+        let workers = spawn_workers(&manager, 1, false);
         let id = manager
             .submit(spec(r#"{"dataset": "Hosts", "throttle_ms": 60000}"#))
             .unwrap();
@@ -250,7 +257,7 @@ mod tests {
     #[test]
     fn empty_source_fails_and_surfaces_through_on_error() {
         let manager = JobManager::new(4, 1);
-        let workers = spawn_workers(&manager, 1);
+        let workers = spawn_workers(&manager, 1, false);
         // A 1-event upload: any seed whose 50/50 split sends that event
         // to the target side leaves the source empty, so training fails.
         let mut h = marioh_hypergraph::Hypergraph::new(0);

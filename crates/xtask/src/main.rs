@@ -13,6 +13,11 @@
 //! * `BENCH_dispatch.json` — per-shard-count `speedup_vs_sequential`,
 //!   (floor [`DISPATCH_FLOOR`]), and `bit_identical` must hold — a
 //!   faster but wrong dispatch path is the worst regression of all.
+//! * `BENCH_kernels.json` — per-kernel speedup of the runtime-dispatched
+//!   SIMD paths over the scalar reference: every kernel must be
+//!   `bit_identical` and clear the [`KERNELS_BACKSTOP`], and at least
+//!   two of the three headline kernels (MHH cache build, scoring-phase
+//!   `predict_rows`, feature extraction) must clear [`KERNELS_FLOOR`].
 //!
 //! A result file carrying `"smoke": true` came from a CI smoke run
 //! (timings are noise there), so it is charted but not gated. The SVG
@@ -31,6 +36,19 @@ const ENGINE_FLOOR: f64 = 0.9;
 const SEARCH_FLOOR: f64 = 0.9;
 /// Floor on sharded-dispatch speedup over the sequential loop.
 const DISPATCH_FLOOR: f64 = 1.0;
+/// Headline floor on kernel-dispatch speedup over the scalar reference:
+/// at least [`KERNELS_HEADLINE_MIN`] of the three headline kernels must
+/// clear it.
+const KERNELS_FLOOR: f64 = 1.3;
+/// How many headline kernels must clear [`KERNELS_FLOOR`].
+const KERNELS_HEADLINE_MIN: usize = 2;
+/// Per-kernel backstop: no dispatched kernel may regress below this
+/// (shape-dependent kernels like feature extraction hover near 1.0× on
+/// dense rows; the backstop catches real regressions, not that known
+/// plateau).
+const KERNELS_BACKSTOP: f64 = 0.75;
+/// The kernels whose speedups the [`KERNELS_FLOOR`] 2-of-3 rule covers.
+const KERNELS_HEADLINE: [&str; 3] = ["mhh_cache_build", "predict_rows", "feature_extract"];
 
 /// One bar of a chart panel.
 #[derive(Debug)]
@@ -160,6 +178,48 @@ fn dispatch_panel(doc: &Json) -> Result<Panel, String> {
     })
 }
 
+fn kernels_panel(doc: &Json) -> Result<Panel, String> {
+    let runs = doc
+        .get("kernels")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "BENCH_kernels: missing \"kernels\" array".to_owned())?;
+    let mut bars = Vec::new();
+    let mut headline_passing = 0usize;
+    for run in runs {
+        let name = run
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "BENCH_kernels: kernel without a \"name\"".to_owned())?
+            .to_owned();
+        let value = run
+            .get("speedup")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("BENCH_kernels: {name} lacks numeric speedup"))?;
+        if run.get("bit_identical").and_then(Json::as_bool) != Some(true) {
+            return Err(format!(
+                "BENCH_kernels: {name} is not bit_identical to the scalar reference"
+            ));
+        }
+        if KERNELS_HEADLINE.contains(&name.as_str()) && value >= KERNELS_FLOOR {
+            headline_passing += 1;
+        }
+        bars.push(Bar { label: name, value });
+    }
+    if !is_smoke(doc) && headline_passing < KERNELS_HEADLINE_MIN {
+        return Err(format!(
+            "BENCH_kernels: only {headline_passing} of the headline kernels \
+             ({}) reach the {KERNELS_FLOOR:.1}x floor (need {KERNELS_HEADLINE_MIN})",
+            KERNELS_HEADLINE.join(", ")
+        ));
+    }
+    Ok(Panel {
+        title: "kernels: dispatched speedup vs scalar reference".to_owned(),
+        floor: KERNELS_BACKSTOP,
+        gated: !is_smoke(doc),
+        bars,
+    })
+}
+
 /// Runs the whole gate over the bench files in `root`: parses, checks
 /// floors, and returns the panels for charting.
 ///
@@ -169,10 +229,11 @@ fn dispatch_panel(doc: &Json) -> Result<Panel, String> {
 /// every floor violation.
 fn gate(root: &Path) -> Result<Vec<Panel>, Vec<String>> {
     type PanelFn = fn(&Json) -> Result<Panel, String>;
-    let sources: [(&str, PanelFn); 3] = [
+    let sources: [(&str, PanelFn); 4] = [
         ("BENCH_engine.json", engine_panel),
         ("BENCH_search.json", search_panel),
         ("BENCH_dispatch.json", dispatch_panel),
+        ("BENCH_kernels.json", kernels_panel),
     ];
     let mut panels = Vec::new();
     let mut errors = Vec::new();
@@ -385,7 +446,7 @@ mod tests {
     #[test]
     fn real_bench_files_pass_the_gate() {
         let panels = gate(&workspace_root()).expect("checked-in bench results must pass");
-        assert_eq!(panels.len(), 3);
+        assert_eq!(panels.len(), 4);
         assert!(panels.iter().all(|p| !p.bars.is_empty()));
         assert!(panels.iter().all(|p| p.gated), "real results are gated");
     }
@@ -424,6 +485,52 @@ mod tests {
         .unwrap();
         let err = dispatch_panel(&doc).unwrap_err();
         assert!(err.contains("bit_identical"), "{err}");
+    }
+
+    #[test]
+    fn kernels_panel_enforces_bit_identity_and_the_headline_rule() {
+        // One headline kernel fast, the others slow: the 2-of-3 rule
+        // rejects the file outright (not a mere per-bar violation).
+        let thin = Json::parse(
+            r#"{"kernels": [
+                {"name": "mhh_cache_build", "speedup": 2.0, "bit_identical": true},
+                {"name": "predict_rows", "speedup": 1.1, "bit_identical": true},
+                {"name": "feature_extract", "speedup": 1.0, "bit_identical": true}
+            ]}"#,
+        )
+        .unwrap();
+        let err = kernels_panel(&thin).unwrap_err();
+        assert!(err.contains("headline"), "{err}");
+        // ...unless it is a smoke run (timings are noise there).
+        let smoke = Json::parse(
+            r#"{"smoke": true, "kernels": [
+                {"name": "mhh_cache_build", "speedup": 0.9, "bit_identical": true}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(kernels_panel(&smoke).unwrap().violations().is_empty());
+        // A wrong kernel is rejected even at blazing speed.
+        let wrong = Json::parse(
+            r#"{"kernels": [
+                {"name": "predict_rows", "speedup": 9.0, "bit_identical": false}
+            ]}"#,
+        )
+        .unwrap();
+        let err = kernels_panel(&wrong).unwrap_err();
+        assert!(err.contains("bit_identical"), "{err}");
+        // Two headline kernels over the floor pass, and the backstop
+        // still flags a kernel that regresses outright.
+        let regressed = Json::parse(
+            r#"{"kernels": [
+                {"name": "mhh_cache_build", "speedup": 1.6, "bit_identical": true},
+                {"name": "predict_rows", "speedup": 3.7, "bit_identical": true},
+                {"name": "feature_extract", "speedup": 0.5, "bit_identical": true}
+            ]}"#,
+        )
+        .unwrap();
+        let violations = kernels_panel(&regressed).unwrap().violations();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("feature_extract"), "{violations:?}");
     }
 
     #[test]

@@ -13,11 +13,12 @@
 //! marioh train       --source src.txt --model model.txt [--features multiplicity|count|motif] [--fraction f] [--seed n]
 //! marioh reconstruct --graph g.txt --model model.txt --out rec.txt [--threads 4]
 //!                    [--theta t] [--ratio r] [--alpha a] [--no-filtering] [--no-bidirectional]
-//!                    [--seed n] [--verbose] [--trace-out trace.json]
+//!                    [--seed n] [--verbose] [--trace-out trace.json] [--pin-cores]
 //! marioh eval        --truth tgt.txt --pred rec.txt
 //! marioh serve       [--addr 127.0.0.1:7878] [--workers n] [--queue-cap n]
 //!                    [--state-dir dir] [--retain n] [--shards n]
 //!                    [--job-timeout secs] [--shard-timeout secs] [--faults spec]
+//!                    [--pin-cores]
 //! marioh model export --state-dir dir (--job id | --name name) --out model.txt
 //! marioh model import --state-dir dir --name name --model model.txt
 //! ```
@@ -155,7 +156,7 @@ impl Flags {
             // Boolean switches take no value.
             if matches!(
                 name,
-                "no-filtering" | "no-bidirectional" | "reduced" | "verbose" | "smoke"
+                "no-filtering" | "no-bidirectional" | "reduced" | "verbose" | "smoke" | "pin-cores"
             ) {
                 if flags.switch(name) {
                     return Err(MariohError::Config(format!("duplicate flag --{name}")));
@@ -239,6 +240,7 @@ fn serve_config(flags: &Flags) -> Result<ServerConfig, MariohError> {
         shard_worker: Vec::new(), // re-exec this binary as `shard-worker`
         job_timeout: secs_flag(flags, "job-timeout")?,
         shard_timeout: secs_flag(flags, "shard-timeout")?,
+        pin_cores: flags.switch("pin-cores"),
     })
 }
 
@@ -365,7 +367,8 @@ pub fn run(command: &str, flags: &Flags) -> Result<String, MariohError> {
                 .alpha(flags.get_parsed("alpha", 1.0 / 20.0)?)
                 .filtering(!flags.switch("no-filtering"))
                 .bidirectional(!flags.switch("no-bidirectional"))
-                .threads(flags.get_parsed("threads", 1usize)?);
+                .threads(flags.get_parsed("threads", 1usize)?)
+                .pin_cores(flags.switch("pin-cores"));
             if flags.switch("verbose") {
                 builder = builder.observer(Arc::new(VerboseProgress));
             }
