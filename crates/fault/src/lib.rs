@@ -1,7 +1,8 @@
 //! `marioh-fault`: deterministic fault injection for the serving stack.
 //!
 //! Each layer registers named *injection sites* — `store.fsync`,
-//! `store.artifact`, `wire.frame`, `shard.spawn.K`, `shard.K` — by
+//! `store.artifact`, `store.compact`, `wire.frame`, `shard.spawn.K`,
+//! `shard.K` — by
 //! calling [`hit`] at the point where the operation would happen. A
 //! [`FaultPlan`], parsed from `marioh serve --faults` or the
 //! `MARIOH_FAULTS` environment variable, decides which hits turn into

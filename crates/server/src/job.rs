@@ -72,6 +72,10 @@ pub struct ServerStats {
     pub results_cached: usize,
     /// Trained models currently in the artifact store.
     pub models_cached: usize,
+    /// Encoded (post-compression) bytes of cached results on disk.
+    pub result_bytes: u64,
+    /// Encoded bytes of stored models on disk.
+    pub model_bytes: u64,
     /// Shard worker processes (`marioh serve --shards`); 0 when the
     /// in-process worker pool serves jobs.
     pub shards: usize,
@@ -883,7 +887,12 @@ impl JobManager {
             (orch.queue.len(), orch.running)
         };
         let counters = self.store().counters();
-        let ArtifactStats { results, models } = self.shared.artifacts.artifact_stats();
+        let ArtifactStats {
+            results,
+            models,
+            result_bytes,
+            model_bytes,
+        } = self.shared.artifacts.artifact_stats();
         // Engine reuse totals are recorded once, in core, on the global
         // registry (and on each shard worker's, folded in with a
         // `shard="K"` label); summing the family covers both modes.
@@ -902,6 +911,8 @@ impl JobManager {
             cliques_rescored: merged.total("marioh_engine_cliques_rescored_total"),
             results_cached: results,
             models_cached: models,
+            result_bytes,
+            model_bytes,
             shards: self.shared.shards.get() as usize,
             shard_restarts: self.shared.shard_restarts.get(),
             store: self.store().kind(),

@@ -90,6 +90,10 @@ pub struct StorageConfig {
     /// Terminal job records retained before the oldest are evicted
     /// (`marioh serve --retain`).
     pub retain: usize,
+    /// Artifact byte budget for the disk store (`marioh serve
+    /// --store-budget`); exceeding it evicts least-recently-used
+    /// artifacts. `None` disables size-aware eviction.
+    pub store_budget: Option<u64>,
 }
 
 impl Default for StorageConfig {
@@ -97,6 +101,7 @@ impl Default for StorageConfig {
         StorageConfig {
             state_dir: None,
             retain: DEFAULT_RETAINED_JOBS,
+            store_budget: None,
         }
     }
 }
@@ -161,7 +166,9 @@ impl Server {
         let (job_store, artifact_store): (Arc<dyn JobStore>, Arc<dyn ArtifactStore>) =
             match &storage.state_dir {
                 Some(dir) => {
-                    let store = Arc::new(DiskStore::open(dir, storage.retain)?);
+                    let mut tuning = marioh_store::StoreTuning::new(storage.retain);
+                    tuning.budget = storage.store_budget;
+                    let store = Arc::new(DiskStore::open_tuned(dir, tuning)?);
                     (store.clone(), store)
                 }
                 None => {
@@ -736,6 +743,8 @@ fn stats_body(manager: &JobManager) -> Json {
         ),
         ("results_cached".into(), Json::num(s.results_cached as f64)),
         ("models_cached".into(), Json::num(s.models_cached as f64)),
+        ("result_bytes".into(), Json::num(s.result_bytes as f64)),
+        ("model_bytes".into(), Json::num(s.model_bytes as f64)),
         ("store".into(), Json::str(s.store)),
         ("shards".into(), Json::num(s.shards as f64)),
         ("shard_restarts".into(), Json::num(s.shard_restarts as f64)),

@@ -116,6 +116,9 @@ impl DispatchEvents for ShardEventSink {
     fn result_already_landed(&self, job: u64, spec_hash: &[u8; 32]) -> bool {
         // A twin of the dead shard's job may have finished elsewhere —
         // its artifact is this job's answer, so skip the re-dispatch.
+        // The common case (no twin) is a cache miss, which the disk
+        // store's membership filter answers without touching disk, so
+        // this probe is safe to run on every respawned job.
         let hash = SpecHash::from_bytes(*spec_hash);
         match self.manager.cached_result(&hash) {
             Some(result) => {

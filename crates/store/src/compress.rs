@@ -1,0 +1,236 @@
+//! Std-only LZSS-class block compression for stored artifacts.
+//!
+//! Results and models dominate the store's disk footprint and compress
+//! well (CSR adjacency text, weight matrices with repeated structure).
+//! The codec is deliberately boring: byte-oriented LZSS with a 64 KiB
+//! window, framed so `decompress` can validate the output length before
+//! allocating. No external crates — the container is offline.
+//!
+//! ## Block framing
+//!
+//! ```text
+//! [orig_len: u32 LE] [token stream]
+//! ```
+//!
+//! The token stream is groups of up to eight tokens, each group led by
+//! a flag byte read LSB-first: bit clear = literal (one byte), bit set
+//! = back-reference (`dist: u16 LE` 1-based, `len: u8` storing
+//! `match_len - MIN_MATCH`). Matches are `MIN_MATCH..=MAX_MATCH` bytes
+//! and may overlap their own output (run-length case). A final partial
+//! group is terminated by the output-length bound, not a sentinel.
+
+/// Shortest back-reference worth emitting (below this a literal is
+/// smaller than the 3-byte match token).
+const MIN_MATCH: usize = 4;
+/// `MIN_MATCH + u8::MAX`: the longest match a one-byte length encodes.
+const MAX_MATCH: usize = MIN_MATCH + 255;
+/// Window the u16 distance can reach back.
+const MAX_DIST: usize = u16::MAX as usize;
+/// Hash-table size for the match finder (single probe, last-write-wins).
+const HASH_BITS: u32 = 15;
+
+fn hash4(b: &[u8]) -> usize {
+    let v = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress `input` into a self-framed block. Never fails; worst case
+/// (incompressible input) the output is `input.len() * 9 / 8 + 6`.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.extend_from_slice(&(input.len() as u32).to_le_bytes());
+    let mut table = vec![0usize; 1 << HASH_BITS]; // stores pos + 1; 0 = empty
+    let mut pos = 0usize;
+    // One flag byte per group of 8 tokens, allocated lazily so empty
+    // input stays header-only; the flag byte is patched in place as its
+    // group fills.
+    let mut flag_at = 0usize;
+    let mut flag_bit = 8u8;
+    let mut push_token = |out: &mut Vec<u8>, is_match: bool| {
+        if flag_bit == 8 {
+            flag_at = out.len();
+            out.push(0);
+            flag_bit = 0;
+        }
+        if is_match {
+            out[flag_at] |= 1 << flag_bit;
+        }
+        flag_bit += 1;
+    };
+    while pos < input.len() {
+        let mut match_len = 0usize;
+        let mut match_dist = 0usize;
+        if pos + MIN_MATCH <= input.len() {
+            let h = hash4(&input[pos..]);
+            let cand = table[h];
+            table[h] = pos + 1;
+            if cand > 0 {
+                let cand = cand - 1;
+                let dist = pos - cand;
+                if (1..=MAX_DIST).contains(&dist) {
+                    let limit = (input.len() - pos).min(MAX_MATCH);
+                    let mut l = 0usize;
+                    while l < limit && input[cand + l] == input[pos + l] {
+                        l += 1;
+                    }
+                    if l >= MIN_MATCH {
+                        match_len = l;
+                        match_dist = dist;
+                    }
+                }
+            }
+        }
+        if match_len >= MIN_MATCH {
+            push_token(&mut out, true);
+            out.extend_from_slice(&(match_dist as u16).to_le_bytes());
+            out.push((match_len - MIN_MATCH) as u8);
+            // Seed the table across the matched span so later matches
+            // can reference into it; skip the last 3 bytes (no 4-gram).
+            let end = (pos + match_len).min(input.len().saturating_sub(MIN_MATCH - 1));
+            let mut p = pos + 1;
+            while p < end {
+                table[hash4(&input[p..])] = p + 1;
+                p += 1;
+            }
+            pos += match_len;
+        } else {
+            push_token(&mut out, false);
+            out.push(input[pos]);
+            pos += 1;
+        }
+    }
+    out
+}
+
+/// Decompress a block produced by [`compress`]. Validates framing and
+/// the declared length; truncated or corrupt input is an error, never a
+/// panic or over-allocation.
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, String> {
+    if input.len() < 4 {
+        return Err("compressed block shorter than its length header".into());
+    }
+    let orig_len = u32::from_le_bytes([input[0], input[1], input[2], input[3]]) as usize;
+    let mut out = Vec::with_capacity(orig_len);
+    let mut pos = 4usize;
+    while out.len() < orig_len {
+        if pos >= input.len() {
+            return Err("compressed block truncated mid-stream".into());
+        }
+        let flags = input[pos];
+        pos += 1;
+        for bit in 0..8 {
+            if out.len() == orig_len {
+                break;
+            }
+            if flags & (1 << bit) == 0 {
+                let b = *input
+                    .get(pos)
+                    .ok_or("compressed block truncated inside a literal")?;
+                out.push(b);
+                pos += 1;
+            } else {
+                if pos + 3 > input.len() {
+                    return Err("compressed block truncated inside a match token".into());
+                }
+                let dist = u16::from_le_bytes([input[pos], input[pos + 1]]) as usize;
+                let len = MIN_MATCH + input[pos + 2] as usize;
+                pos += 3;
+                if dist == 0 || dist > out.len() {
+                    return Err(format!(
+                        "match distance {dist} reaches before the start of the block"
+                    ));
+                }
+                if out.len() + len > orig_len {
+                    return Err("match overruns the declared block length".into());
+                }
+                let start = out.len() - dist;
+                // Byte-by-byte: overlapping copies are the RLE case.
+                for i in 0..len {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    if pos != input.len() {
+        return Err("trailing bytes after the compressed stream".into());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let packed = compress(data);
+        let unpacked = decompress(&packed).expect("decompress");
+        assert_eq!(
+            unpacked,
+            data,
+            "round-trip mismatch for {} bytes",
+            data.len()
+        );
+    }
+
+    #[test]
+    fn round_trips_edge_shapes() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abcabcabcabcabcabcabc");
+        roundtrip(&[0u8; 10_000]);
+        roundtrip(&(0..=255u8).cycle().take(70_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn compresses_repetitive_input() {
+        let data: Vec<u8> = b"edge 1 2 3 multiplicity 4\n".repeat(500);
+        let packed = compress(&data);
+        assert!(
+            packed.len() < data.len() / 4,
+            "repetitive text should compress >4x ({} -> {})",
+            data.len(),
+            packed.len()
+        );
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_input_grows_boundedly() {
+        // A pseudo-random byte soup: no 4-gram repeats within the window
+        // is unlikely, but the hard bound is 9/8 + framing regardless.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect();
+        let packed = compress(&data);
+        assert!(packed.len() <= data.len() * 9 / 8 + 6);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_torn_and_corrupt_blocks() {
+        let packed = compress(&b"abcabcabcabcabcabc".repeat(20));
+        assert!(decompress(&packed[..2]).is_err(), "short header");
+        assert!(
+            decompress(&packed[..packed.len() - 1]).is_err(),
+            "torn tail"
+        );
+        let mut trailing = packed.clone();
+        trailing.push(0);
+        assert!(decompress(&trailing).is_err(), "trailing bytes");
+        let mut bad_dist = compress(b"xyz");
+        // First token is a literal flag byte + literal; force a match
+        // token pointing before the start instead.
+        bad_dist.truncate(4);
+        bad_dist.push(0b0000_0001);
+        bad_dist.extend_from_slice(&5u16.to_le_bytes());
+        bad_dist.push(0);
+        assert!(decompress(&bad_dist).is_err(), "distance before start");
+    }
+}

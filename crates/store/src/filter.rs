@@ -1,0 +1,270 @@
+//! Std-only xor filter: approximate membership over artifact hash keys.
+//!
+//! The store consults these before touching disk, so a cache-*miss*
+//! probe — the common case on a fresh corpus — answers negative from
+//! memory instead of paying a file-open syscall. Construction follows
+//! Graf & Lemire's 8-bit xor filter: three hash positions per key, a
+//! peeling pass to find a construction order, then back-substitution of
+//! fingerprints. Guarantees: **no false negatives** for the keys it was
+//! built over; false positives at roughly `2^-8` (~0.4%), each costing
+//! one wasted disk probe and nothing else.
+//!
+//! Filters are persisted next to sealed WAL segments (`seg-*.filter`)
+//! and rebuilt over the full live set on compaction (`base.filter`);
+//! the serialized form is versioned and checksummed so a torn write is
+//! detected and the filter silently rebuilt from the segment instead.
+
+/// Serialized-filter magic + version ("marioh xor filter v1").
+const FILTER_MAGIC: [u8; 4] = *b"MXF1";
+
+/// Derive the u64 filter key for an artifact hash, mixed with a
+/// per-kind constant so a cached *model* for a spec does not make the
+/// *result* probe for the same spec a guaranteed false positive.
+pub fn filter_key(hash: &[u8; 32], kind_salt: u64) -> u64 {
+    let lane = u64::from_le_bytes(hash[..8].try_into().unwrap());
+    splitmix(lane ^ kind_salt)
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn mix_with_seed(key: u64, seed: u64) -> u64 {
+    splitmix(key ^ seed)
+}
+
+/// Multiply-shift reduction of a 32-bit lane onto `0..n`.
+fn reduce(lane: u32, n: u32) -> u32 {
+    ((lane as u64 * n as u64) >> 32) as u32
+}
+
+/// An immutable 8-bit xor filter over `u64` keys.
+#[derive(Clone, Debug)]
+pub struct XorFilter {
+    seed: u64,
+    block: u32,
+    fingerprints: Vec<u8>,
+}
+
+impl XorFilter {
+    /// Build a filter over `keys` (duplicates are fine). Construction
+    /// retries with fresh seeds until peeling succeeds; for the ~1.23x
+    /// slack used here a handful of attempts always suffices.
+    pub fn build(keys: &[u64]) -> XorFilter {
+        let mut uniq: Vec<u64> = keys.to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        if uniq.is_empty() {
+            return XorFilter {
+                seed: 0,
+                block: 0,
+                fingerprints: Vec::new(),
+            };
+        }
+        let block = (((uniq.len() as f64 * 1.23) as u32 + 32).div_ceil(3)).max(2);
+        for attempt in 0u64.. {
+            let seed = splitmix(0xA076_1D64_78BD_642F ^ attempt);
+            if let Some(filter) = Self::try_build(&uniq, seed, block) {
+                return filter;
+            }
+        }
+        unreachable!("xor filter peeling retries forever with fresh seeds")
+    }
+
+    fn positions(key: u64, seed: u64, block: u32) -> [usize; 3] {
+        let h = mix_with_seed(key, seed);
+        let r0 = reduce((h & 0xFFFF_FFFF) as u32, block);
+        let r1 = reduce(((h >> 21) & 0xFFFF_FFFF) as u32, block);
+        let r2 = reduce((h >> 32) as u32, block);
+        [
+            r0 as usize,
+            (block + r1) as usize,
+            (2 * block + r2) as usize,
+        ]
+    }
+
+    fn fingerprint(key: u64, seed: u64) -> u8 {
+        // A separate mix from the position hash: the third position
+        // lane (`h >> 32`) feeds a multiply-shift reduction dominated by
+        // its *high* bits, so reusing that hash's top byte as the
+        // fingerprint would correlate slot choice with fingerprint and
+        // quintuple the false-positive rate.
+        (mix_with_seed(key, seed ^ 0xFF51_AFD7_ED55_8CCD) >> 56) as u8
+    }
+
+    fn try_build(keys: &[u64], seed: u64, block: u32) -> Option<XorFilter> {
+        let capacity = 3 * block as usize;
+        // Peeling: each slot tracks how many keys map to it and the xor
+        // of those keys; slots with exactly one key are peelable.
+        let mut count = vec![0u32; capacity];
+        let mut xor_key = vec![0u64; capacity];
+        for &k in keys {
+            for p in Self::positions(k, seed, block) {
+                count[p] += 1;
+                xor_key[p] ^= k;
+            }
+        }
+        let mut stack: Vec<(u64, usize)> = Vec::with_capacity(keys.len());
+        let mut queue: Vec<usize> = (0..capacity).filter(|&i| count[i] == 1).collect();
+        while let Some(slot) = queue.pop() {
+            if count[slot] != 1 {
+                continue;
+            }
+            let k = xor_key[slot];
+            stack.push((k, slot));
+            for p in Self::positions(k, seed, block) {
+                count[p] -= 1;
+                xor_key[p] ^= k;
+                if count[p] == 1 {
+                    queue.push(p);
+                }
+            }
+        }
+        if stack.len() != keys.len() {
+            return None; // peeling stuck on a cycle; retry with a new seed
+        }
+        let mut fingerprints = vec![0u8; capacity];
+        for &(k, slot) in stack.iter().rev() {
+            let [p0, p1, p2] = Self::positions(k, seed, block);
+            let fp = Self::fingerprint(k, seed)
+                ^ fingerprints[p0]
+                ^ fingerprints[p1]
+                ^ fingerprints[p2]
+                ^ fingerprints[slot]; // slot is one of p0..p2; cancel the double-xor
+            fingerprints[slot] = fp;
+        }
+        Some(XorFilter {
+            seed,
+            block,
+            fingerprints,
+        })
+    }
+
+    /// May `key` be in the set? `false` is definitive; `true` is
+    /// probably-present (fp rate ~2^-8).
+    pub fn may_contain(&self, key: u64) -> bool {
+        if self.block == 0 {
+            return false;
+        }
+        let [p0, p1, p2] = Self::positions(key, self.seed, self.block);
+        Self::fingerprint(key, self.seed)
+            == self.fingerprints[p0] ^ self.fingerprints[p1] ^ self.fingerprints[p2]
+    }
+
+    /// Approximate heap size, for gauges.
+    pub fn bytes(&self) -> usize {
+        self.fingerprints.len() + 16
+    }
+
+    /// Serialize: magic, seed, block, fingerprint bytes, then a
+    /// checksum over everything before it.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.fingerprints.len() + 28);
+        out.extend_from_slice(&FILTER_MAGIC);
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&self.block.to_le_bytes());
+        out.extend_from_slice(&(self.fingerprints.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.fingerprints);
+        let crc = crate::segment::crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parse a serialized filter; any framing or checksum mismatch is
+    /// an error (callers rebuild from the WAL segment instead).
+    pub fn from_bytes(data: &[u8]) -> Result<XorFilter, String> {
+        if data.len() < 24 || data[..4] != FILTER_MAGIC {
+            return Err("not a marioh xor filter".into());
+        }
+        let body = &data[..data.len() - 4];
+        let crc = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
+        if crate::segment::crc32(body) != crc {
+            return Err("xor filter checksum mismatch".into());
+        }
+        let seed = u64::from_le_bytes(data[4..12].try_into().unwrap());
+        let block = u32::from_le_bytes(data[12..16].try_into().unwrap());
+        let len = u32::from_le_bytes(data[16..20].try_into().unwrap()) as usize;
+        let fingerprints = body[20..].to_vec();
+        if fingerprints.len() != len || len != 3 * block as usize {
+            return Err("xor filter length mismatch".into());
+        }
+        Ok(XorFilter {
+            seed,
+            block,
+            fingerprints,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: u64, salt: u64) -> Vec<u64> {
+        (0..n).map(|i| splitmix(i ^ salt)).collect()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        for n in [0u64, 1, 2, 3, 17, 100, 5_000] {
+            let ks = keys(n, 7);
+            let f = XorFilter::build(&ks);
+            for k in &ks {
+                assert!(f.may_contain(*k), "false negative at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_bounded() {
+        let ks = keys(10_000, 42);
+        let f = XorFilter::build(&ks);
+        let probes = 100_000u64;
+        let fps = (0..probes)
+            .map(|i| splitmix(i ^ 0xDEAD_BEEF))
+            .filter(|k| f.may_contain(*k))
+            .count();
+        // Expected ~0.39%; 2% leaves generous slack.
+        assert!(
+            fps < (probes as usize) / 50,
+            "fp rate too high: {fps}/{probes}"
+        );
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let f = XorFilter::build(&[]);
+        assert!(!f.may_contain(0));
+        assert!(!f.may_contain(u64::MAX));
+        let back = XorFilter::from_bytes(&f.to_bytes()).unwrap();
+        assert!(!back.may_contain(12345));
+    }
+
+    #[test]
+    fn serialization_round_trips_and_rejects_corruption() {
+        let ks = keys(500, 3);
+        let f = XorFilter::build(&ks);
+        let bytes = f.to_bytes();
+        let back = XorFilter::from_bytes(&bytes).unwrap();
+        for k in &ks {
+            assert!(back.may_contain(*k));
+        }
+        let mut torn = bytes.clone();
+        torn.truncate(torn.len() - 3);
+        assert!(XorFilter::from_bytes(&torn).is_err());
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert!(XorFilter::from_bytes(&flipped).is_err());
+        assert!(XorFilter::from_bytes(b"nope").is_err());
+    }
+
+    #[test]
+    fn kind_salt_separates_keyspaces() {
+        let hash = [9u8; 32];
+        assert_ne!(filter_key(&hash, 1), filter_key(&hash, 2));
+    }
+}

@@ -31,13 +31,16 @@
 
 #![warn(missing_docs)]
 
+pub mod compress;
 pub mod disk;
+pub mod filter;
 pub mod hash;
 pub mod json;
+pub mod segment;
 pub mod spec;
 pub mod store;
 
-pub use disk::{decode_result, encode_result, DiskStore, STORE_FORMAT_VERSION};
+pub use disk::{decode_result, encode_result, DiskStore, StoreTuning, STORE_FORMAT_VERSION};
 pub use hash::SpecHash;
 pub use json::Json;
 pub use spec::{

@@ -34,13 +34,20 @@ pub struct StoreCounters {
     pub finished: u64,
 }
 
-/// Counts of cached artifacts.
+/// Counts and byte totals of cached artifacts. Byte totals are the
+/// *encoded* sizes the store actually holds — post-compression for the
+/// disk store's v2 artifacts, plain encoding for the in-memory store —
+/// so `/stats` reports the real footprint, not the logical one.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ArtifactStats {
     /// Cached job results.
     pub results: usize,
     /// Stored trained models (hash-keyed and named).
     pub models: usize,
+    /// Encoded bytes of cached results.
+    pub result_bytes: u64,
+    /// Encoded bytes of stored models (hash-keyed and named).
+    pub model_bytes: u64,
 }
 
 /// One stored model, as listed by `GET /models`.
@@ -65,8 +72,11 @@ pub trait JobStore: Send + Sync {
     /// Persists a new `Queued` record and returns its id (ids ascend).
     fn submit(&self, spec: &JobSpec, hash: &SpecHash) -> u64;
 
-    /// Marks a queued job `Running` and yields its spec (taken, not
-    /// cloned — specs can hold multi-MB uploaded hypergraphs). `None`
+    /// Marks a queued job `Running` and yields a clone of its spec. The
+    /// store keeps its own copy while the job runs — a compaction
+    /// snapshot must be able to persist in-flight jobs so a crash
+    /// requeues them with their specs intact; terminal transitions drop
+    /// the copy (specs can hold multi-MB uploaded hypergraphs). `None`
     /// for unknown ids or jobs not currently queued.
     fn start(&self, id: u64) -> Option<JobSpec>;
 
@@ -176,6 +186,16 @@ pub trait ArtifactStore: Send + Sync {
     /// The cached result for a spec hash, if any.
     fn get_result(&self, hash: &SpecHash) -> Option<Arc<JobResult>>;
 
+    /// Cheap presence probe: may return a false positive (an
+    /// implementation backed by an approximate-membership filter
+    /// answers from memory), never a false negative for a result that
+    /// [`ArtifactStore::get_result`] would find. Dispatch lookaside
+    /// paths call this first so the common cache-miss case skips the
+    /// full artifact fetch and decode.
+    fn contains_result(&self, hash: &SpecHash) -> bool {
+        self.get_result(hash).is_some()
+    }
+
     /// Stores the model a job trained, keyed by the job's spec hash.
     ///
     /// # Errors
@@ -223,6 +243,13 @@ pub(crate) struct Record {
 }
 
 impl Record {
+    /// Rough snapshot-encoded size of a terminal record (fixed framing
+    /// plus the only unbounded field it retains, the error/note text) —
+    /// the unit the byte-budget retention policy accounts in.
+    pub(crate) fn estimated_bytes(&self) -> u64 {
+        128 + self.error.as_ref().map_or(0, |e| e.len() as u64)
+    }
+
     pub(crate) fn queued(spec: JobSpec, hash: SpecHash) -> Record {
         Record {
             spec: Some(spec),
@@ -239,16 +266,26 @@ impl Record {
 
 /// The record bookkeeping shared by the memory and disk stores: id
 /// allocation, the record map, terminal-order retention, and counters.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct RecordTable {
     next_id: u64,
     jobs: HashMap<u64, Record>,
-    /// Terminal job ids in completion order, for retention eviction.
-    terminal_order: VecDeque<u64>,
+    /// Terminal job ids in completion order with their estimated
+    /// retained size, for retention eviction.
+    terminal_order: VecDeque<(u64, u64)>,
     submitted: u64,
     finished: u64,
     retain: usize,
+    /// Optional byte ceiling for retained terminal records — the
+    /// record-table slice of `--store-budget`. Evicts oldest-first like
+    /// the count cap, but never below [`MIN_RETAINED_JOBS`].
+    record_budget: Option<u64>,
+    terminal_bytes: u64,
 }
+
+/// Floor under byte-budget eviction: even the tightest `--store-budget`
+/// keeps this many terminal records pollable.
+pub(crate) const MIN_RETAINED_JOBS: usize = 16;
 
 impl RecordTable {
     pub(crate) fn new(retain: usize) -> RecordTable {
@@ -259,7 +296,16 @@ impl RecordTable {
             submitted: 0,
             finished: 0,
             retain,
+            record_budget: None,
+            terminal_bytes: 0,
         }
+    }
+
+    /// Folds terminal-record retention into a size-aware policy: on top
+    /// of the `retain` count cap, evict oldest terminal records while
+    /// their estimated bytes exceed `budget`.
+    pub(crate) fn set_record_budget(&mut self, budget: Option<u64>) {
+        self.record_budget = budget;
     }
 
     pub(crate) fn submit(&mut self, spec: JobSpec, hash: SpecHash) -> u64 {
@@ -285,8 +331,13 @@ impl RecordTable {
         if record.status != JobStatus::Queued {
             return None;
         }
+        // Clone rather than take: the table's copy is what a compaction
+        // snapshot persists, and a crash mid-run must requeue this job
+        // with its spec intact. The duplicate lives only while the job
+        // runs — terminal transitions drop it.
+        let spec = record.spec.clone()?;
         record.status = JobStatus::Running;
-        record.spec.take()
+        Some(spec)
     }
 
     /// Applies a transition; terminal records are immutable (the call
@@ -315,6 +366,7 @@ impl RecordTable {
                 record.status = JobStatus::Done;
                 record.result = Some(result);
                 record.cached = cached;
+                record.spec = None;
                 self.note_terminal(id);
             }
             Transition::Failed(msg) => {
@@ -322,6 +374,7 @@ impl RecordTable {
                 // The worker's `on_error` observer usually got here
                 // first; keep its message rather than overwriting.
                 record.error.get_or_insert(msg);
+                record.spec = None;
                 self.note_terminal(id);
             }
             Transition::Cancelled => {
@@ -337,14 +390,28 @@ impl RecordTable {
     }
 
     /// Counts a job that just reached a terminal state and evicts the
-    /// oldest terminal records beyond the retention cap.
+    /// oldest terminal records beyond the retention cap — by count
+    /// (`retain`) and, when a record budget is set, by estimated bytes.
     fn note_terminal(&mut self, id: u64) {
         self.finished += 1;
-        self.terminal_order.push_back(id);
-        while self.terminal_order.len() > self.retain {
-            if let Some(evicted) = self.terminal_order.pop_front() {
-                self.jobs.remove(&evicted);
+        let bytes = self.jobs.get(&id).map_or(0, Record::estimated_bytes);
+        self.terminal_order.push_back((id, bytes));
+        self.terminal_bytes += bytes;
+        while self.terminal_order.len() > self.retain || self.over_record_budget() {
+            let Some((evicted, evicted_bytes)) = self.terminal_order.pop_front() else {
+                break;
+            };
+            self.jobs.remove(&evicted);
+            self.terminal_bytes -= evicted_bytes;
+        }
+    }
+
+    fn over_record_budget(&self) -> bool {
+        match self.record_budget {
+            Some(budget) => {
+                self.terminal_bytes > budget && self.terminal_order.len() > MIN_RETAINED_JOBS
             }
+            None => false,
         }
     }
 
@@ -383,7 +450,7 @@ impl RecordTable {
 
     /// Terminal ids in completion order (snapshot writing).
     pub(crate) fn terminal_ids(&self) -> impl Iterator<Item = u64> + '_ {
-        self.terminal_order.iter().copied()
+        self.terminal_order.iter().map(|(id, _)| *id)
     }
 
     /// Overrides the lifetime counters with a snapshot's authoritative
@@ -436,11 +503,19 @@ impl RecordTable {
     }
 }
 
+/// In-memory artifacts, each paired with its encoded size so
+/// [`ArtifactStore::artifact_stats`] reports byte totals consistent
+/// with the disk backend.
 #[derive(Default)]
 struct MemoryArtifacts {
-    results: HashMap<SpecHash, Arc<JobResult>>,
-    models: HashMap<SpecHash, SavedModel>,
-    named: std::collections::BTreeMap<String, SavedModel>,
+    results: HashMap<SpecHash, (Arc<JobResult>, u64)>,
+    models: HashMap<SpecHash, (SavedModel, u64)>,
+    named: std::collections::BTreeMap<String, (SavedModel, u64)>,
+}
+
+fn encoded_model_len(model: &SavedModel) -> u64 {
+    let mut buf = Vec::new();
+    model.write_to(&mut buf).map_or(0, |()| buf.len() as u64)
 }
 
 /// The in-memory store: the original `JobManager` bookkeeping plus an
@@ -517,43 +592,50 @@ impl JobStore for MemoryStore {
 
 impl ArtifactStore for MemoryStore {
     fn put_result(&self, hash: &SpecHash, result: &Arc<JobResult>) -> Result<(), MariohError> {
-        self.artifacts()
-            .results
-            .entry(*hash)
-            .or_insert_with(|| Arc::clone(result));
+        let mut artifacts = self.artifacts();
+        if !artifacts.results.contains_key(hash) {
+            let bytes = crate::disk::encode_result(result).len() as u64;
+            artifacts.results.insert(*hash, (Arc::clone(result), bytes));
+        }
         Ok(())
     }
 
     fn get_result(&self, hash: &SpecHash) -> Option<Arc<JobResult>> {
-        let found = self.artifacts().results.get(hash).cloned();
+        let found = self.artifacts().results.get(hash).map(|(r, _)| r.clone());
         record_cache_probe("result", found.is_some());
         found
     }
 
+    fn contains_result(&self, hash: &SpecHash) -> bool {
+        self.artifacts().results.contains_key(hash)
+    }
+
     fn put_model(&self, hash: &SpecHash, model: &SavedModel) -> Result<(), MariohError> {
-        self.artifacts()
-            .models
-            .entry(*hash)
-            .or_insert_with(|| model.clone());
+        let mut artifacts = self.artifacts();
+        if !artifacts.models.contains_key(hash) {
+            let bytes = encoded_model_len(model);
+            artifacts.models.insert(*hash, (model.clone(), bytes));
+        }
         Ok(())
     }
 
     fn get_model(&self, hash: &SpecHash) -> Option<SavedModel> {
-        let found = self.artifacts().models.get(hash).cloned();
+        let found = self.artifacts().models.get(hash).map(|(m, _)| m.clone());
         record_cache_probe("model", found.is_some());
         found
     }
 
     fn put_named_model(&self, name: &str, model: &SavedModel) -> Result<(), MariohError> {
         crate::spec::validate_model_name(name).map_err(MariohError::Config)?;
+        let bytes = encoded_model_len(model);
         self.artifacts()
             .named
-            .insert(name.to_owned(), model.clone());
+            .insert(name.to_owned(), (model.clone(), bytes));
         Ok(())
     }
 
     fn get_named_model(&self, name: &str) -> Option<SavedModel> {
-        self.artifacts().named.get(name).cloned()
+        self.artifacts().named.get(name).map(|(m, _)| m.clone())
     }
 
     fn list_models(&self) -> Vec<ModelEntry> {
@@ -561,15 +643,15 @@ impl ArtifactStore for MemoryStore {
         let mut out: Vec<ModelEntry> = artifacts
             .named
             .iter()
-            .map(|(name, m)| ModelEntry {
+            .map(|(name, (m, _))| ModelEntry {
                 name: Some(name.clone()),
                 hash: None,
                 mode: m.model.feature_mode().tag().to_owned(),
             })
             .collect();
-        let mut hashed: Vec<(&SpecHash, &SavedModel)> = artifacts.models.iter().collect();
+        let mut hashed: Vec<(&SpecHash, &(SavedModel, u64))> = artifacts.models.iter().collect();
         hashed.sort_by_key(|(h, _)| **h);
-        out.extend(hashed.into_iter().map(|(h, m)| ModelEntry {
+        out.extend(hashed.into_iter().map(|(h, (m, _))| ModelEntry {
             name: None,
             hash: Some(*h),
             mode: m.model.feature_mode().tag().to_owned(),
@@ -582,6 +664,9 @@ impl ArtifactStore for MemoryStore {
         ArtifactStats {
             results: artifacts.results.len(),
             models: artifacts.models.len() + artifacts.named.len(),
+            result_bytes: artifacts.results.values().map(|(_, b)| b).sum(),
+            model_bytes: artifacts.models.values().map(|(_, b)| b).sum::<u64>()
+                + artifacts.named.values().map(|(_, b)| b).sum::<u64>(),
         }
     }
 }

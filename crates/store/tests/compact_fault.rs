@@ -1,0 +1,136 @@
+//! Crash-safety of the compaction protocol, driven by the
+//! `store.compact` fault site. The site is hit twice per compaction —
+//! at entry, and between the snapshot rename and segment retirement —
+//! so `@nth:2` scripts a failure at the protocol's most delicate
+//! interleaving: the snapshot already covers the WAL, but the covered
+//! segments still exist.
+//!
+//! Own test binary on purpose: fault arming is process-global (see
+//! `degraded.rs`).
+
+use marioh_store::{
+    ArtifactStore, DiskStore, JobResult, JobSpec, JobStore, Json, SpecHash, StoreTuning,
+};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+static ARM_LOCK: Mutex<()> = Mutex::new(());
+
+fn arm_lock() -> MutexGuard<'static, ()> {
+    ARM_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("marioh-compact-fault-tests")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tuning() -> StoreTuning {
+    StoreTuning {
+        retain: 64,
+        budget: None,
+        segment_bytes: 256, // rotate every record or two
+        compact_sealed: 1_000_000,
+        auto_compact: false, // compaction only via compact_now
+    }
+}
+
+fn spec(seed: u64) -> (JobSpec, SpecHash) {
+    let s = JobSpec::from_json(
+        &Json::parse(&format!(r#"{{"dataset": "Hosts", "seed": {seed}}}"#)).unwrap(),
+    )
+    .unwrap();
+    let h = s.content_hash().unwrap();
+    (s, h)
+}
+
+fn result() -> Arc<JobResult> {
+    let mut h = marioh_hypergraph::Hypergraph::new(0);
+    h.add_edge_with_multiplicity(marioh_hypergraph::hyperedge::edge(&[0, 1, 2]), 3);
+    Arc::new(JobResult {
+        reconstruction: h,
+        jaccard: 0.8125,
+    })
+}
+
+#[test]
+fn a_failure_at_compaction_entry_leaves_the_wal_untouched() {
+    let _guard = arm_lock();
+    let dir = tmp_dir("entry");
+    let store = DiskStore::open_tuned(&dir, tuning()).unwrap();
+    let mut hashes = Vec::new();
+    for i in 0..8 {
+        let (s, h) = spec(i);
+        store.submit(&s, &h);
+        hashes.push(h);
+    }
+    store.put_result(&hashes[0], &result()).unwrap();
+    let sealed_before = store.sealed_segments();
+    assert!(sealed_before >= 2, "tiny cap must have forced rotations");
+
+    marioh_fault::arm(marioh_fault::FaultPlan::parse("store.compact:err@nth:1").unwrap());
+    let outcome = store.compact_now();
+    marioh_fault::disarm();
+    assert!(outcome.is_err(), "injected entry failure surfaces");
+    assert_eq!(
+        store.sealed_segments(),
+        sealed_before,
+        "aborted compaction retires nothing"
+    );
+
+    // Nothing was lost: a later compaction succeeds and a restart
+    // replays the full state either way.
+    store.compact_now().unwrap();
+    assert_eq!(store.sealed_segments(), 0);
+    drop(store);
+    let store = DiskStore::open_tuned(&dir, tuning()).unwrap();
+    assert_eq!(store.counters().submitted, 8);
+    assert!(store.get_result(&hashes[0]).is_some());
+}
+
+#[test]
+fn a_crash_between_snapshot_and_retirement_replays_idempotently() {
+    let _guard = arm_lock();
+    let dir = tmp_dir("mid");
+    let store = DiskStore::open_tuned(&dir, tuning()).unwrap();
+    let mut hashes = Vec::new();
+    for i in 0..8 {
+        let (s, h) = spec(i);
+        store.submit(&s, &h);
+        hashes.push(h);
+    }
+    store.put_result(&hashes[0], &result()).unwrap();
+    store.put_result(&hashes[1], &result()).unwrap();
+    let sealed_before = store.sealed_segments();
+    assert!(sealed_before >= 2);
+
+    // Fail between the snapshot rename and segment retirement: the
+    // snapshot now covers every WAL record, the covered segments are
+    // still on disk — exactly what a SIGKILL there leaves behind.
+    marioh_fault::arm(marioh_fault::FaultPlan::parse("store.compact:err@nth:2").unwrap());
+    let outcome = store.compact_now();
+    marioh_fault::disarm();
+    assert!(outcome.is_err());
+    assert_eq!(store.sealed_segments(), sealed_before, "retirement skipped");
+    drop(store);
+
+    // Replay must treat the already-snapshotted segments as no-ops
+    // (watermark skip), not double-apply them.
+    let store = DiskStore::open_tuned(&dir, tuning()).unwrap();
+    assert_eq!(store.counters().submitted, 8);
+    assert_eq!(store.recover_queued().len(), 8);
+    assert!(store.get_result(&hashes[0]).is_some());
+    assert!(store.get_result(&hashes[1]).is_some());
+    assert_eq!(store.artifact_stats().results, 2);
+
+    // The next compaction finishes the interrupted one's work.
+    store.compact_now().unwrap();
+    assert_eq!(store.sealed_segments(), 0);
+    drop(store);
+    let store = DiskStore::open_tuned(&dir, tuning()).unwrap();
+    assert_eq!(store.counters().submitted, 8);
+    assert!(store.get_result(&hashes[1]).is_some());
+}

@@ -1,0 +1,106 @@
+//! Property-style tests of the xor membership filter, through the
+//! public API: the store is only allowed to trust a negative probe
+//! because these hold for *every* key set, not just the unit-test
+//! fixtures.
+//!
+//! * **Zero false negatives** — a key that was built in is always
+//!   admitted, at any set size, after serialization, and under
+//!   duplicate keys.
+//! * **Bounded false positives** — absent keys are admitted at roughly
+//!   the 8-bit fingerprint rate (~0.4%), far under the 2% we assert.
+
+use marioh_store::filter::{filter_key, XorFilter};
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+}
+
+#[test]
+fn no_false_negatives_over_varied_set_sizes_and_seeds() {
+    for trial in 0..8u64 {
+        let mut rng = Lcg(0x1234_5678 ^ (trial << 32));
+        let size = [0, 1, 2, 5, 33, 257, 1_000, 20_000][trial as usize];
+        let keys: Vec<u64> = (0..size).map(|_| rng.next()).collect();
+        let filter = XorFilter::build(&keys);
+        for (i, k) in keys.iter().enumerate() {
+            assert!(
+                filter.may_contain(*k),
+                "trial {trial}: false negative for key {i} of {size}"
+            );
+        }
+    }
+}
+
+#[test]
+fn duplicate_keys_do_not_break_construction() {
+    let mut rng = Lcg(0xD0D0);
+    let mut keys: Vec<u64> = (0..500).map(|_| rng.next()).collect();
+    let dupes = keys.clone();
+    keys.extend(dupes); // every key twice
+    keys.push(keys[0]); // and one thrice
+    let filter = XorFilter::build(&keys);
+    for k in &keys {
+        assert!(filter.may_contain(*k));
+    }
+}
+
+#[test]
+fn false_positive_rate_stays_under_two_percent() {
+    let mut rng = Lcg(0xFADE);
+    for &size in &[100usize, 1_000, 10_000] {
+        let keys: Vec<u64> = (0..size).map(|_| rng.next()).collect();
+        let filter = XorFilter::build(&keys);
+        // Probe keys drawn from a disjoint stream (collision odds with
+        // the build set are negligible at 2^-64 per pair).
+        let probes = 50_000;
+        let fps = (0..probes)
+            .map(|_| rng.next())
+            .filter(|k| filter.may_contain(*k))
+            .count();
+        assert!(
+            fps * 50 < probes,
+            "size {size}: fp rate too high ({fps}/{probes})"
+        );
+    }
+}
+
+#[test]
+fn serialization_preserves_every_answer() {
+    let mut rng = Lcg(0xBEA7);
+    let keys: Vec<u64> = (0..2_000).map(|_| rng.next()).collect();
+    let filter = XorFilter::build(&keys);
+    let back = XorFilter::from_bytes(&filter.to_bytes()).unwrap();
+    // Identical on members and on a sample of non-members: the
+    // round-trip must preserve the exact fingerprint table, not just
+    // the no-false-negative guarantee.
+    for k in &keys {
+        assert!(back.may_contain(*k));
+    }
+    for _ in 0..10_000 {
+        let probe = rng.next();
+        assert_eq!(filter.may_contain(probe), back.may_contain(probe));
+    }
+}
+
+#[test]
+fn artifact_keys_differ_by_kind_salt() {
+    let mut rng = Lcg(0x5A17);
+    for _ in 0..1_000 {
+        let mut hash = [0u8; 32];
+        for chunk in hash.chunks_mut(8) {
+            chunk.copy_from_slice(&rng.next().to_le_bytes());
+        }
+        // The same spec hash must map to distinct keyspaces per
+        // artifact kind, or a stored model would make the result probe
+        // for its spec a guaranteed false positive.
+        assert_ne!(filter_key(&hash, 1), filter_key(&hash, 2));
+    }
+}

@@ -18,6 +18,11 @@
 //!   `bit_identical` and clear the [`KERNELS_BACKSTOP`], and at least
 //!   two of the three headline kernels (MHH cache build, scoring-phase
 //!   `predict_rows`, feature extraction) must clear [`KERNELS_FLOOR`].
+//! * `BENCH_store.json` — the storage engine's filtered negative-probe
+//!   speedup over raw disk probes (must clear [`STORE_PROBE_FLOOR`])
+//!   and the v2 snapshot cold-open speedup over a v1 log replay (both
+//!   bars share the [`STORE_BACKSTOP`]: neither may regress below the
+//!   path it replaced).
 //!
 //! A result file carrying `"smoke": true` came from a CI smoke run
 //! (timings are noise there), so it is charted but not gated. The SVG
@@ -49,6 +54,13 @@ const KERNELS_HEADLINE_MIN: usize = 2;
 const KERNELS_BACKSTOP: f64 = 0.75;
 /// The kernels whose speedups the [`KERNELS_FLOOR`] 2-of-3 rule covers.
 const KERNELS_HEADLINE: [&str; 3] = ["mhh_cache_build", "predict_rows", "feature_extract"];
+/// Floor on the xor filter's negative-probe speedup over unfiltered
+/// disk probes — the headline claim of the filtered artifact cache.
+const STORE_PROBE_FLOOR: f64 = 5.0;
+/// Backstop for both store bars: a speedup below 1.0 means the new
+/// path (snapshot cold-open, filtered probe) lost to the one it
+/// replaced.
+const STORE_BACKSTOP: f64 = 1.0;
 
 /// One bar of a chart panel.
 #[derive(Debug)]
@@ -220,6 +232,36 @@ fn kernels_panel(doc: &Json) -> Result<Panel, String> {
     })
 }
 
+fn store_panel(doc: &Json) -> Result<Panel, String> {
+    let probe = field(doc, &["negative_probe", "speedup"])
+        .and_then(Json::as_f64)
+        .ok_or_else(|| "BENCH_store: missing numeric negative_probe.speedup".to_owned())?;
+    let cold_open = field(doc, &["cold_open", "speedup"])
+        .and_then(Json::as_f64)
+        .ok_or_else(|| "BENCH_store: missing numeric cold_open.speedup".to_owned())?;
+    if !is_smoke(doc) && probe < STORE_PROBE_FLOOR {
+        return Err(format!(
+            "BENCH_store: filtered negative probes are only {probe:.2}x faster than \
+             unfiltered disk probes (floor {STORE_PROBE_FLOOR:.1}x)"
+        ));
+    }
+    Ok(Panel {
+        title: "store: speedup vs unfiltered / v1 replay".to_owned(),
+        floor: STORE_BACKSTOP,
+        gated: !is_smoke(doc),
+        bars: vec![
+            Bar {
+                label: "negative probe".to_owned(),
+                value: probe,
+            },
+            Bar {
+                label: "cold open".to_owned(),
+                value: cold_open,
+            },
+        ],
+    })
+}
+
 /// Runs the whole gate over the bench files in `root`: parses, checks
 /// floors, and returns the panels for charting.
 ///
@@ -229,11 +271,12 @@ fn kernels_panel(doc: &Json) -> Result<Panel, String> {
 /// every floor violation.
 fn gate(root: &Path) -> Result<Vec<Panel>, Vec<String>> {
     type PanelFn = fn(&Json) -> Result<Panel, String>;
-    let sources: [(&str, PanelFn); 4] = [
+    let sources: [(&str, PanelFn); 5] = [
         ("BENCH_engine.json", engine_panel),
         ("BENCH_search.json", search_panel),
         ("BENCH_dispatch.json", dispatch_panel),
         ("BENCH_kernels.json", kernels_panel),
+        ("BENCH_store.json", store_panel),
     ];
     let mut panels = Vec::new();
     let mut errors = Vec::new();
@@ -446,7 +489,7 @@ mod tests {
     #[test]
     fn real_bench_files_pass_the_gate() {
         let panels = gate(&workspace_root()).expect("checked-in bench results must pass");
-        assert_eq!(panels.len(), 4);
+        assert_eq!(panels.len(), 5);
         assert!(panels.iter().all(|p| !p.bars.is_empty()));
         assert!(panels.iter().all(|p| p.gated), "real results are gated");
     }
@@ -531,6 +574,30 @@ mod tests {
         let violations = kernels_panel(&regressed).unwrap().violations();
         assert_eq!(violations.len(), 1, "{violations:?}");
         assert!(violations[0].contains("feature_extract"), "{violations:?}");
+    }
+
+    #[test]
+    fn store_panel_enforces_the_probe_floor_and_the_backstop() {
+        // A filter that barely beats disk is rejected outright.
+        let slow =
+            Json::parse(r#"{"negative_probe": {"speedup": 2.0}, "cold_open": {"speedup": 3.0}}"#)
+                .unwrap();
+        let err = store_panel(&slow).unwrap_err();
+        assert!(err.contains("5.0x"), "{err}");
+        // ...unless it is a smoke run (timings are noise there).
+        let smoke = Json::parse(
+            r#"{"smoke": true, "negative_probe": {"speedup": 2.0}, "cold_open": {"speedup": 3.0}}"#,
+        )
+        .unwrap();
+        assert!(store_panel(&smoke).unwrap().violations().is_empty());
+        // The probe can pass while a cold-open regression below 1.0
+        // still trips the backstop.
+        let regressed =
+            Json::parse(r#"{"negative_probe": {"speedup": 8.0}, "cold_open": {"speedup": 0.8}}"#)
+                .unwrap();
+        let violations = store_panel(&regressed).unwrap().violations();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("cold open"), "{violations:?}");
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!                    [--seed n] [--verbose] [--trace-out trace.json] [--pin-cores]
 //! marioh eval        --truth tgt.txt --pred rec.txt
 //! marioh serve       [--addr 127.0.0.1:7878] [--workers n] [--queue-cap n]
-//!                    [--state-dir dir] [--retain n] [--shards n]
+//!                    [--state-dir dir] [--retain n] [--store-budget bytes[K|M|G]] [--shards n]
 //!                    [--job-timeout secs] [--shard-timeout secs] [--faults spec]
 //!                    [--pin-cores]
 //! marioh model export --state-dir dir (--job id | --name name) --out model.txt
@@ -245,23 +245,53 @@ fn serve_config(flags: &Flags) -> Result<ServerConfig, MariohError> {
 }
 
 /// Builds the `serve` storage configuration: `--state-dir` selects the
-/// durable store, `--retain` bounds retained terminal records.
+/// durable store, `--retain` bounds retained terminal records, and
+/// `--store-budget` caps artifact bytes (LRU eviction past it).
 fn storage_config(flags: &Flags) -> Result<StorageConfig, MariohError> {
     let default = StorageConfig::default();
+    let store_budget = match flags.get("store-budget") {
+        Some(text) => Some(parse_byte_size(text).ok_or_else(|| {
+            MariohError::Config(format!(
+                "invalid value for --store-budget: {text:?} \
+                 (use bytes or a K/M/G suffix, e.g. 512M)"
+            ))
+        })?),
+        None => None,
+    };
     Ok(StorageConfig {
         state_dir: flags.get("state-dir").map(std::path::PathBuf::from),
         retain: flags.get_parsed("retain", default.retain)?,
+        store_budget,
     })
 }
 
-/// Opens the durable store named by `--state-dir` for the `model`
-/// subcommands. The store holds an exclusive OS lock on the dir (open
-/// compacts the record log, which would corrupt a live writer), so
-/// running these against a serving process fails with a clear error —
-/// stop the server first.
+/// Parses a byte size with an optional K/M/G suffix (powers of 1024):
+/// `65536`, `512M`, `8G`.
+fn parse_byte_size(text: &str) -> Option<u64> {
+    let t = text.trim();
+    let (digits, mult) = match t.char_indices().last()? {
+        (i, 'k') | (i, 'K') => (&t[..i], 1u64 << 10),
+        (i, 'm') | (i, 'M') => (&t[..i], 1 << 20),
+        (i, 'g') | (i, 'G') => (&t[..i], 1 << 30),
+        _ => (t, 1),
+    };
+    digits.trim().parse::<u64>().ok()?.checked_mul(mult)
+}
+
+/// Opens the durable store named by `--state-dir` read-write, for
+/// subcommands that modify it (`model import`). The store holds an
+/// exclusive OS lock on the dir, so running these against a serving
+/// process fails with a clear error — stop the server first.
 fn open_state_dir(flags: &Flags) -> Result<DiskStore, MariohError> {
     let dir = flags.require("state-dir")?;
     DiskStore::open(dir, StorageConfig::default().retain)
+}
+
+/// Opens the store named by `--state-dir` **read-only** — no lock, no
+/// writes — so `model export` works against a live server's state dir
+/// without stopping it.
+fn open_state_dir_read_only(flags: &Flags) -> Result<DiskStore, MariohError> {
+    DiskStore::open_read_only(flags.require("state-dir")?)
 }
 
 /// Runs one subcommand; returns the text to print on success.
@@ -462,7 +492,7 @@ pub fn run(command: &str, flags: &Flags) -> Result<String, MariohError> {
         }
         // `marioh model export` — the binary folds the subcommand in.
         "model-export" => {
-            let store = open_state_dir(flags)?;
+            let store = open_state_dir_read_only(flags)?;
             let out = flags.require("out")?;
             let saved = match (flags.get("job"), flags.get("name")) {
                 (Some(job), None) => {
@@ -827,6 +857,20 @@ mod tests {
         .unwrap_err();
         assert!(err.to_string().contains("retention"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_budget_flag_parses_byte_suffixes() {
+        assert_eq!(parse_byte_size("65536"), Some(65536));
+        assert_eq!(parse_byte_size("8K"), Some(8 << 10));
+        assert_eq!(parse_byte_size("512M"), Some(512 << 20));
+        assert_eq!(parse_byte_size("2g"), Some(2 << 30));
+        assert_eq!(parse_byte_size("nope"), None);
+        assert_eq!(parse_byte_size(""), None);
+        let cfg = storage_config(&flags(&[("store-budget", "1M")], &[])).unwrap();
+        assert_eq!(cfg.store_budget, Some(1 << 20));
+        let err = storage_config(&flags(&[("store-budget", "lots")], &[])).unwrap_err();
+        assert!(err.to_string().contains("store-budget"), "{err}");
     }
 
     #[test]

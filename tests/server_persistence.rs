@@ -207,7 +207,16 @@ struct ServeProcess {
 }
 
 fn spawn_serve(state_dir: &std::path::Path) -> ServeProcess {
-    let mut child = Command::new(env!("CARGO_BIN_EXE_marioh"))
+    spawn_serve_with(state_dir, &[], &[])
+}
+
+fn spawn_serve_with(
+    state_dir: &std::path::Path,
+    extra_args: &[&str],
+    envs: &[(&str, &str)],
+) -> ServeProcess {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_marioh"));
+    command
         .args([
             "serve",
             "--addr",
@@ -219,23 +228,37 @@ fn spawn_serve(state_dir: &std::path::Path) -> ServeProcess {
             "--state-dir",
             state_dir.to_str().expect("utf-8 path"),
         ])
+        .args(extra_args);
+    for (key, value) in envs {
+        command.env(key, value);
+    }
+    let mut child = command
         .stdout(Stdio::null())
         .stderr(Stdio::piped())
         .spawn()
         .expect("spawn marioh serve");
-    // The bound address is the first stderr line:
+    // The bound address is in the stderr banner:
     // "marioh-server listening on http://127.0.0.1:PORT (...)".
+    // Notices (an armed fault plan, say) may precede it, so scan a few
+    // lines rather than trusting the first.
     let stderr = child.stderr.take().expect("piped stderr");
-    let mut line = String::new();
-    BufReader::new(stderr)
-        .read_line(&mut line)
-        .expect("read listen line");
-    let addr = line
-        .split("http://")
-        .nth(1)
-        .and_then(|rest| rest.split_whitespace().next())
-        .and_then(|addr| addr.parse().ok())
-        .unwrap_or_else(|| panic!("no address in serve banner: {line:?}"));
+    let mut reader = BufReader::new(stderr);
+    let mut seen = String::new();
+    let addr = loop {
+        let mut line = String::new();
+        let read = reader.read_line(&mut line).expect("read listen line");
+        assert!(read > 0, "serve exited before its banner: {seen:?}");
+        seen.push_str(&line);
+        if let Some(addr) = line
+            .split("http://")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|addr| addr.parse().ok())
+        {
+            break addr;
+        }
+        assert!(seen.lines().count() < 10, "no banner in: {seen:?}");
+    };
     ServeProcess { child, addr }
 }
 
@@ -283,6 +306,7 @@ fn sigkilled_server_serves_old_results_and_resumes_its_queue_after_restart() {
         StorageConfig {
             state_dir: Some(state_dir.clone()),
             retain: 1024,
+            store_budget: None,
         },
     )
     .expect("reopen state dir");
@@ -331,6 +355,7 @@ fn sigkilled_server_serves_old_results_and_resumes_its_queue_after_restart() {
             StorageConfig {
                 state_dir: Some(state_dir.clone()),
                 retain: 1024,
+                store_budget: None,
             },
         ) {
             Ok(server) => break server,
@@ -352,5 +377,104 @@ fn sigkilled_server_serves_old_results_and_resumes_its_queue_after_restart() {
     assert_eq!(stat(&stats(addr), "pipeline_runs"), 0);
     server.shutdown();
 
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
+
+#[test]
+fn a_server_killed_between_compaction_snapshot_and_retirement_recovers_cleanly() {
+    let state_dir =
+        std::env::temp_dir().join(format!("marioh-compact-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+
+    // --- first life: tiny segments, eager compaction, scripted kill ----
+    // A 2 KiB segment cap rotates after a handful of records, a
+    // compact-after-one-sealed-segment policy wakes the compactor
+    // immediately, and `store.compact:exit@nth:2` kills the process at
+    // the protocol's worst moment — the snapshot rename has landed but
+    // the segments it covers are still on disk.
+    let serve = spawn_serve_with(
+        &state_dir,
+        &["--faults", "store.compact:exit@nth:2"],
+        &[
+            ("MARIOH_STORE_SEGMENT_BYTES", "2048"),
+            ("MARIOH_STORE_COMPACT_SEGMENTS", "1"),
+        ],
+    );
+    let addr = serve.addr;
+    let mut child = serve.child;
+
+    let done_id = submit(addr, r#"{"dataset": "Hosts", "seed": 41}"#);
+    assert_eq!(status_of(&wait_terminal(addr, done_id)), "done");
+    let done_result = result_body(addr, done_id);
+
+    // Keep submitting until the WAL rotates and the background
+    // compaction trips the scripted exit. Submissions race the kill, so
+    // tolerate refused connections and only count acknowledged jobs.
+    let mut acked = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("poll serve process") {
+            break status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "scripted mid-compaction exit never fired"
+        );
+        let seed = 100 + acked.len();
+        if let Ok(response) = client::post(
+            addr,
+            "/jobs",
+            &format!(r#"{{"dataset": "Hosts", "seed": {seed}}}"#),
+        ) {
+            if response.status == 201 {
+                if let Some(id) = response
+                    .json()
+                    .ok()
+                    .and_then(|j| j.get("id").and_then(Json::as_u64))
+                {
+                    acked.push(id);
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(
+        status.code(),
+        Some(86),
+        "process must die through the fault exit, not a crash of its own"
+    );
+
+    // --- second life: replay must skip the snapshotted segments -------
+    let server = Server::start_with_storage(
+        ServerConfig {
+            workers: 1,
+            queue_cap: 1024,
+            ..ServerConfig::default()
+        },
+        StorageConfig {
+            state_dir: Some(state_dir.clone()),
+            retain: 1024,
+            store_budget: None,
+        },
+    )
+    .expect("reopen after mid-compaction kill");
+    let addr = server.local_addr();
+
+    // The pre-crash result survives byte-for-byte, and every job the
+    // dead server acknowledged is still known and runs to completion.
+    let replayed = result_body(addr, done_id);
+    assert_eq!(edge_multiset(&done_result), edge_multiset(&replayed));
+    assert_eq!(
+        done_result.get("jaccard").and_then(Json::as_f64),
+        replayed.get("jaccard").and_then(Json::as_f64),
+    );
+    for &id in &acked {
+        let view = wait_terminal(addr, id);
+        assert_eq!(status_of(&view), "done", "job {id}: {view:?}");
+    }
+    let s = stats(addr);
+    assert_eq!(stat(&s, "jobs_submitted"), 1 + acked.len() as u64);
+
+    server.shutdown();
     let _ = std::fs::remove_dir_all(&state_dir);
 }
